@@ -1,0 +1,118 @@
+package tiledqr
+
+import (
+	"fmt"
+
+	"tiledqr/internal/core"
+	"tiledqr/internal/model"
+	"tiledqr/internal/sim"
+)
+
+// Elim is one elimination elim(i, piv, k) of an algorithm's elimination
+// list: rows i and piv combine to zero tile (i, k). Indices are 1-based as
+// in the paper.
+type Elim struct {
+	I, Piv, K int
+}
+
+// EliminationList returns the ordered elimination list of the algorithm on
+// a p×q tile grid.
+func EliminationList(alg Algorithm, p, q int, opt Options) ([]Elim, error) {
+	list, err := core.Generate(alg.core(), p, q, opt.coreOptions())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Elim, len(list.Elims))
+	for i, e := range list.Elims {
+		out[i] = Elim{I: e.I, Piv: e.Piv, K: e.K}
+	}
+	return out, nil
+}
+
+// CriticalPath returns the algorithm's critical path length on a p×q tile
+// grid, in units of nb³/3 flops (the unit of Table 1 of the paper), with
+// unbounded processors.
+func CriticalPath(alg Algorithm, p, q int, opt Options) (int, error) {
+	list, err := core.Generate(alg.core(), p, q, opt.coreOptions())
+	if err != nil {
+		return 0, err
+	}
+	return sim.CriticalPathList(list, opt.Kernels.core()), nil
+}
+
+// ZeroTimes returns the time step (same unit as CriticalPath) at which each
+// sub-diagonal tile (i, k) is zeroed out, indexed [i-1][k-1] — the quantity
+// tabulated in Tables 3 and 4 of the paper.
+func ZeroTimes(alg Algorithm, p, q int, opt Options) ([][]int, error) {
+	list, err := core.Generate(alg.core(), p, q, opt.coreOptions())
+	if err != nil {
+		return nil, err
+	}
+	return sim.ASAP(core.BuildDAG(list, opt.Kernels.core())).ZeroTimes(), nil
+}
+
+// BestPlasmaBS sweeps PlasmaTree's domain size 1..p and returns the value
+// minimizing the critical path, with that critical path. The paper performs
+// this exhaustive search for every experiment because no closed form for
+// the best BS is known.
+func BestPlasmaBS(p, q int, kernels Kernels) (bs, cp int) {
+	return sim.BestPlasmaBS(p, q, kernels.core())
+}
+
+// BestGrasapK sweeps Grasap's parameter k (the number of trailing Asap
+// columns) and returns the value minimizing the critical path together with
+// that critical path. The paper leaves "the best value of k as a function
+// of p and q" open (§3.2); this sweep answers it computationally.
+func BestGrasapK(p, q int) (k, cp int) {
+	qmin := min(p, q)
+	k, cp = 0, -1
+	for kk := 0; kk <= qmin; kk++ {
+		_, _, c := core.GrasapList(p, q, kk)
+		if cp < 0 || c < cp {
+			k, cp = kk, c
+		}
+	}
+	return k, cp
+}
+
+// SimulateWorkers returns the simulated makespan (in units of nb³/3 flops)
+// of the algorithm's task graph executed by `workers` processors under
+// greedy list scheduling with longest-remaining-path priority.
+func SimulateWorkers(alg Algorithm, p, q, workers int, opt Options) (float64, error) {
+	list, err := core.Generate(alg.core(), p, q, opt.coreOptions())
+	if err != nil {
+		return 0, err
+	}
+	d := core.BuildDAG(list, opt.Kernels.core())
+	return sim.ListSchedule(d, workers, sim.UnitWeights(d), sim.PriorityBLevel), nil
+}
+
+// Predict returns the roofline performance prediction of Section 4:
+// γpred = γseq·T/max(T/P, cp), where γseq is the measured sequential kernel
+// speed (e.g. GFLOP/s). The result has γseq's unit.
+func Predict(alg Algorithm, p, q, workers int, gammaSeq float64, opt Options) (float64, error) {
+	cp, err := CriticalPath(alg, p, q, opt)
+	if err != nil {
+		return 0, err
+	}
+	return model.Predict(gammaSeq, model.TotalUnits(p, q), cp, workers), nil
+}
+
+// TotalFlops returns the floating-point operation count of a real m×n QR
+// factorization, 2mn² − (2/3)n³; multiply by 4 for complex (see
+// TotalFlopsComplex).
+func TotalFlops(m, n int) float64 { return model.Flops(m, n) }
+
+// TotalFlopsComplex returns the flop count of a complex m×n QR.
+func TotalFlopsComplex(m, n int) float64 { return model.ComplexFlops(m, n) }
+
+// KernelWeight returns the Table 1 weight (in units of nb³/3 flops) of the
+// named kernel: "GEQRT", "UNMQR", "TSQRT", "TSMQR", "TTQRT" or "TTMQR".
+func KernelWeight(name string) (int, error) {
+	for k := core.Kind(0); k < 6; k++ {
+		if k.String() == name {
+			return k.Weight(), nil
+		}
+	}
+	return 0, fmt.Errorf("tiledqr: unknown kernel %q", name)
+}

@@ -1,0 +1,187 @@
+package tiledqr
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCriticalPathPublic(t *testing.T) {
+	// Spot values from Table 5 of the paper.
+	cases := []struct {
+		alg  Algorithm
+		p, q int
+		want int
+	}{
+		{Greedy, 40, 1, 16},
+		{Greedy, 40, 6, 148},
+		{Greedy, 40, 40, 826},
+		{Fibonacci, 40, 6, 160},
+		{FlatTree, 40, 6, 6*40 + 16*6 - 22},
+	}
+	for _, c := range cases {
+		cp, err := CriticalPath(c.alg, c.p, c.q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cp != c.want {
+			t.Errorf("CriticalPath(%v, %d, %d) = %d, want %d", c.alg, c.p, c.q, cp, c.want)
+		}
+	}
+	if _, err := CriticalPath(PlasmaTree, 10, 5, Options{}); err == nil {
+		t.Error("PlasmaTree without BS accepted")
+	}
+	if cp, err := CriticalPath(PlasmaTree, 40, 6, Options{BS: 10}); err != nil || cp != 198 {
+		t.Errorf("PlasmaTree BS=10: cp=%d err=%v, want 198", cp, err)
+	}
+}
+
+func TestBestPlasmaBSPublic(t *testing.T) {
+	bs, cp := BestPlasmaBS(40, 6, TT)
+	if cp != 198 {
+		t.Errorf("BestPlasmaBS(40,6) cp = %d, want 198 (Table 5)", cp)
+	}
+	if got, _ := CriticalPath(PlasmaTree, 40, 6, Options{BS: bs}); got != cp {
+		t.Errorf("reported BS=%d does not achieve cp %d", bs, cp)
+	}
+}
+
+func TestBestGrasapK(t *testing.T) {
+	// 15×3: Grasap(1) = 62 beats both Greedy (64) and Asap (86).
+	k, cp := BestGrasapK(15, 3)
+	if k != 1 || cp != 62 {
+		t.Errorf("BestGrasapK(15,3) = (%d, %d), want (1, 62)", k, cp)
+	}
+	// The sweep can never be worse than Greedy (k=0 is in the sweep).
+	for _, s := range [][2]int{{15, 2}, {20, 5}, {12, 12}} {
+		_, best := BestGrasapK(s[0], s[1])
+		greedy, _ := CriticalPath(Greedy, s[0], s[1], Options{})
+		if best > greedy {
+			t.Errorf("BestGrasapK(%d,%d) = %d worse than Greedy %d", s[0], s[1], best, greedy)
+		}
+	}
+}
+
+func TestEliminationListPublic(t *testing.T) {
+	elims, err := EliminationList(Greedy, 6, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for k := 1; k <= 3; k++ {
+		want += 6 - k
+	}
+	if len(elims) != want {
+		t.Errorf("got %d eliminations, want %d", len(elims), want)
+	}
+	seen := map[[2]int]bool{}
+	for _, e := range elims {
+		if e.I <= e.K || e.Piv < e.K || e.Piv >= e.I {
+			t.Errorf("malformed elimination %+v", e)
+		}
+		seen[[2]int{e.I, e.K}] = true
+	}
+	if len(seen) != want {
+		t.Error("duplicate eliminations")
+	}
+}
+
+func TestZeroTimesPublic(t *testing.T) {
+	// Table 3 spot checks (Greedy 15×6).
+	zero, err := ZeroTimes(Greedy, 15, 6, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero[1][0] != 12 { // tile (2,1)
+		t.Errorf("tile (2,1) zeroed at %d, want 12", zero[1][0])
+	}
+	if zero[14][5] != 98 { // tile (15,6)
+		t.Errorf("tile (15,6) zeroed at %d, want 98", zero[14][5])
+	}
+}
+
+func TestSimulateWorkersPublic(t *testing.T) {
+	seq, err := SimulateWorkers(Greedy, 15, 6, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One worker = total weight = 6pq²−2q³.
+	if want := float64(6*15*36 - 2*216); seq != want {
+		t.Errorf("sequential makespan %.0f, want %.0f", seq, want)
+	}
+	inf, err := SimulateWorkers(Greedy, 15, 6, 1<<20, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, _ := CriticalPath(Greedy, 15, 6, Options{})
+	if inf != float64(cp) {
+		t.Errorf("unbounded makespan %.0f, want critical path %d", inf, cp)
+	}
+}
+
+func TestPredictPublic(t *testing.T) {
+	// One worker: prediction equals γseq.
+	g, err := Predict(Greedy, 15, 6, 1, 3.5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != 3.5 {
+		t.Errorf("P=1 prediction %g, want 3.5", g)
+	}
+	// More workers never predict slower.
+	prev := 0.0
+	for _, p := range []int{1, 2, 8, 48} {
+		g, _ := Predict(Greedy, 15, 6, p, 1.0, Options{})
+		if g < prev {
+			t.Errorf("prediction decreased at P=%d", p)
+		}
+		prev = g
+	}
+}
+
+func TestKernelWeightPublic(t *testing.T) {
+	for name, w := range map[string]int{
+		"GEQRT": 4, "UNMQR": 6, "TSQRT": 6, "TSMQR": 12, "TTQRT": 2, "TTMQR": 6,
+	} {
+		got, err := KernelWeight(name)
+		if err != nil || got != w {
+			t.Errorf("KernelWeight(%s) = %d,%v want %d", name, got, err, w)
+		}
+	}
+	if _, err := KernelWeight("NOPE"); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}
+
+func TestTotalFlopsPublic(t *testing.T) {
+	want := 2*100*100*100 - 2.0/3.0*100*100*100
+	if got := TotalFlops(100, 100); math.Abs(got-want) > 1e-6*want {
+		t.Errorf("TotalFlops(100,100) = %g, want %g", got, want)
+	}
+	if TotalFlopsComplex(64, 32) != 4*TotalFlops(64, 32) {
+		t.Error("complex flops must be 4× real")
+	}
+}
+
+func TestGanttChartPublic(t *testing.T) {
+	a := RandomDense(32, 16, 1)
+	f, err := Factor(a, Options{TileSize: 8, Workers: 2, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := f.GanttChart(60)
+	if len(g) < 60 {
+		t.Errorf("suspiciously short Gantt: %q", g)
+	}
+	u := f.Utilization()
+	if len(u.PerWorker) != 2 {
+		t.Errorf("utilization for %d workers, want 2", len(u.PerWorker))
+	}
+	// Untraced factorization degrades gracefully.
+	f2, err := Factor(a, Options{TileSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := f2.GanttChart(60); g != "(run with Options.Trace to record a Gantt chart)\n" {
+		t.Errorf("untraced GanttChart = %q", g)
+	}
+}

@@ -1,0 +1,409 @@
+// Command qrperf regenerates the performance experiments of Section 4 of
+// the paper (Tables 6–9, Figures 1–3 and 6–8).
+//
+// The paper ran on a 48-core Opteron with MKL kernels. This reproduction
+// measures OUR sequential kernel speeds on the host, then regenerates each
+// experiment three ways:
+//
+//	predicted — the paper's roofline model γpred = γseq·T/max(T/P, cp)
+//	simulated — discrete-event list scheduling of the real task DAG on P
+//	            virtual workers using the measured per-kernel durations
+//	measured  — actual wall-clock execution on this host's cores
+//
+// Absolute GFLOP/s differ from the paper (pure Go vs MKL); the *shape* —
+// which algorithm wins where, and by how much — is the reproduction target.
+//
+//	qrperf -experiment fig1              predicted+simulated GFLOP/s, TT algorithms
+//	qrperf -experiment fig2              overheads w.r.t. Greedy (TT)
+//	qrperf -experiment fig6              all kernels (adds TS algorithms)
+//	qrperf -experiment fig7              overheads w.r.t. Greedy (TT+TS)
+//	qrperf -experiment table6 .. table9  Greedy vs PlasmaTree / Fibonacci, double / double complex
+//
+// Flags -p, -nb, -ib, -workers scale the experiment (defaults are a
+// laptop-sized version of the paper's p=40, nb=200, ib=32, P=48).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"text/tabwriter"
+	"time"
+
+	"tiledqr"
+	"tiledqr/internal/core"
+	"tiledqr/internal/kernel"
+	"tiledqr/internal/model"
+	"tiledqr/internal/sim"
+	"tiledqr/internal/zkernel"
+)
+
+var (
+	flagP       = flag.Int("p", 40, "tile rows (paper: 40)")
+	flagNB      = flag.Int("nb", 48, "tile size (paper: 200)")
+	flagIB      = flag.Int("ib", 16, "inner blocking (paper: 32)")
+	flagWorkers = flag.Int("workers", 48, "virtual processor count for prediction/simulation (paper: 48)")
+	flagQs      = flag.String("q", "", "comma-separated q values (default: paper's grid)")
+	flagMeasure = flag.Bool("measure", false, "also run real factorizations on the host (slow)")
+	flagUnits   = flag.Bool("units", false, "use Table 1 unit weights instead of measured kernel times (pure-model ranking)")
+)
+
+// unitKernelTimes returns Table 1 weights as synthetic durations (1 unit =
+// 1 µs), for the idealized-model variant of each experiment.
+func unitKernelTimes() kernelTimes {
+	kt := kernelTimes{}
+	for k := core.Kind(0); k < 6; k++ {
+		kt[k] = float64(k.Weight()) * 1e-6
+	}
+	return kt
+}
+
+func main() {
+	experiment := flag.String("experiment", "fig1", "fig1|fig2|fig6|fig7|table6|table7|table8|table9")
+	flag.Parse()
+	switch *experiment {
+	case "fig1":
+		figure(false, false)
+	case "fig2":
+		figure(false, true)
+	case "fig6":
+		figure(true, false)
+	case "fig7":
+		figure(true, true)
+	case "table6":
+		tableGreedyVs("PlasmaTree", false)
+	case "table7":
+		tableGreedyVs("PlasmaTree", true)
+	case "table8":
+		tableGreedyVs("Fibonacci", false)
+	case "table9":
+		tableGreedyVs("Fibonacci", true)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+}
+
+// kernelTimes holds measured seconds per kernel invocation at (nb, ib).
+type kernelTimes map[core.Kind]float64
+
+// measureKernels times each of the six kernels on random nb×nb tiles.
+func measureKernels(nb, ib int, complexArith bool) kernelTimes {
+	kt := kernelTimes{}
+	reps := 1 + 2000000/(nb*nb*nb)
+	if complexArith {
+		za := tiledqr.RandomZDense(nb, nb, 1)
+		zb := tiledqr.RandomZDense(nb, nb, 2)
+		zc := tiledqr.RandomZDense(nb, nb, 3)
+		tf := make([]complex128, ib*nb)
+		t2 := make([]complex128, ib*nb)
+		work := make([]complex128, ib*(nb+1))
+		timeIt := func(f func()) float64 {
+			start := time.Now()
+			for r := 0; r < reps; r++ {
+				f()
+			}
+			return time.Since(start).Seconds() / float64(reps)
+		}
+		v := za.Clone()
+		zkernel.GEQRT(nb, nb, ib, (*vdataZ(v)).Data, nb, tf, nb, work)
+		kt[core.KGEQRT] = timeIt(func() {
+			a := za.Clone()
+			zkernel.GEQRT(nb, nb, ib, (*vdataZ(a)).Data, nb, tf, nb, work)
+		})
+		kt[core.KUNMQR] = timeIt(func() {
+			c := zc.Clone()
+			zkernel.UNMQR(true, nb, nb, ib, (*vdataZ(v)).Data, nb, tf, nb, (*vdataZ(c)).Data, nb, nb, work)
+		})
+		rTri := za.Clone()
+		zkernel.GEQRT(nb, nb, ib, (*vdataZ(rTri)).Data, nb, tf, nb, work)
+		kt[core.KTSQRT] = timeIt(func() {
+			a := rTri.Clone()
+			b := zb.Clone()
+			zkernel.TSQRT(nb, nb, ib, (*vdataZ(a)).Data, nb, (*vdataZ(b)).Data, nb, t2, nb, work)
+		})
+		vts := zb.Clone()
+		zkernel.TSQRT(nb, nb, ib, (*vdataZ(rTri.Clone())).Data, nb, (*vdataZ(vts)).Data, nb, t2, nb, work)
+		kt[core.KTSMQR] = timeIt(func() {
+			c1 := zc.Clone()
+			c2 := zc.Clone()
+			zkernel.TSMQR(true, nb, nb, ib, (*vdataZ(vts)).Data, nb, t2, nb, (*vdataZ(c1)).Data, nb, (*vdataZ(c2)).Data, nb, nb, work)
+		})
+		rTri2 := zb.Clone()
+		zkernel.GEQRT(nb, nb, ib, (*vdataZ(rTri2)).Data, nb, tf, nb, work)
+		kt[core.KTTQRT] = timeIt(func() {
+			a := rTri.Clone()
+			b := rTri2.Clone()
+			zkernel.TTQRT(nb, nb, ib, (*vdataZ(a)).Data, nb, (*vdataZ(b)).Data, nb, t2, nb, work)
+		})
+		vtt := rTri2.Clone()
+		zkernel.TTQRT(nb, nb, ib, (*vdataZ(rTri.Clone())).Data, nb, (*vdataZ(vtt)).Data, nb, t2, nb, work)
+		kt[core.KTTMQR] = timeIt(func() {
+			c1 := zc.Clone()
+			c2 := zc.Clone()
+			zkernel.TTMQR(true, nb, nb, ib, (*vdataZ(vtt)).Data, nb, t2, nb, (*vdataZ(c1)).Data, nb, (*vdataZ(c2)).Data, nb, nb, work)
+		})
+		return kt
+	}
+	da := tiledqr.RandomDense(nb, nb, 1)
+	db := tiledqr.RandomDense(nb, nb, 2)
+	dc := tiledqr.RandomDense(nb, nb, 3)
+	tf := make([]float64, ib*nb)
+	t2 := make([]float64, ib*nb)
+	work := make([]float64, ib*(nb+1))
+	timeIt := func(f func()) float64 {
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			f()
+		}
+		return time.Since(start).Seconds() / float64(reps)
+	}
+	kt[core.KGEQRT] = timeIt(func() {
+		a := da.Clone()
+		kernel.GEQRT(nb, nb, ib, (*vdata(a)).Data, nb, tf, nb, work)
+	})
+	v := da.Clone()
+	kernel.GEQRT(nb, nb, ib, (*vdata(v)).Data, nb, tf, nb, work)
+	kt[core.KUNMQR] = timeIt(func() {
+		c := dc.Clone()
+		kernel.UNMQR(true, nb, nb, ib, (*vdata(v)).Data, nb, tf, nb, (*vdata(c)).Data, nb, nb, work)
+	})
+	rTri := v
+	kt[core.KTSQRT] = timeIt(func() {
+		a := rTri.Clone()
+		b := db.Clone()
+		kernel.TSQRT(nb, nb, ib, (*vdata(a)).Data, nb, (*vdata(b)).Data, nb, t2, nb, work)
+	})
+	vts := db.Clone()
+	kernel.TSQRT(nb, nb, ib, (*vdata(rTri.Clone())).Data, nb, (*vdata(vts)).Data, nb, t2, nb, work)
+	kt[core.KTSMQR] = timeIt(func() {
+		c1 := dc.Clone()
+		c2 := dc.Clone()
+		kernel.TSMQR(true, nb, nb, ib, (*vdata(vts)).Data, nb, t2, nb, (*vdata(c1)).Data, nb, (*vdata(c2)).Data, nb, nb, work)
+	})
+	rTri2 := db.Clone()
+	kernel.GEQRT(nb, nb, ib, (*vdata(rTri2)).Data, nb, tf, nb, work)
+	kt[core.KTTQRT] = timeIt(func() {
+		a := rTri.Clone()
+		b := rTri2.Clone()
+		kernel.TTQRT(nb, nb, ib, (*vdata(a)).Data, nb, (*vdata(b)).Data, nb, t2, nb, work)
+	})
+	vtt := rTri2.Clone()
+	kernel.TTQRT(nb, nb, ib, (*vdata(rTri.Clone())).Data, nb, (*vdata(vtt)).Data, nb, t2, nb, work)
+	kt[core.KTTMQR] = timeIt(func() {
+		c1 := dc.Clone()
+		c2 := dc.Clone()
+		kernel.TTMQR(true, nb, nb, ib, (*vdata(vtt)).Data, nb, t2, nb, (*vdata(c1)).Data, nb, (*vdata(c2)).Data, nb, nb, work)
+	})
+	return kt
+}
+
+// vdata converts the public Dense to raw storage access.
+func vdata(d *tiledqr.Dense) *struct {
+	Rows, Cols, Stride int
+	Data               []float64
+} {
+	return (*struct {
+		Rows, Cols, Stride int
+		Data               []float64
+	})(d)
+}
+
+func vdataZ(d *tiledqr.ZDense) *struct {
+	Rows, Cols, Stride int
+	Data               []complex128
+} {
+	return (*struct {
+		Rows, Cols, Stride int
+		Data               []complex128
+	})(d)
+}
+
+// series evaluates one algorithm at one shape.
+type series struct {
+	pred, simu, meas float64 // GFLOP/s
+	bs               int     // PlasmaTree domain size used (0 otherwise)
+}
+
+// evaluate computes predicted and simulated GFLOP/s for an elimination list.
+func evaluate(list core.List, kern core.Kernels, kt kernelTimes, p, q, nb, workers int, complexArith bool) series {
+	d := core.BuildDAG(list, kern)
+	weights := sim.KindWeights(d, kt)
+	var seq float64
+	for _, w := range weights {
+		seq += w
+	}
+	flops := model.Flops(p*nb, q*nb)
+	if complexArith {
+		flops = model.ComplexFlops(p*nb, q*nb)
+	}
+	// Critical path in seconds (ASAP with measured durations).
+	cpSec := sim.ListSchedule(d, d.NumTasks(), weights, sim.PriorityBLevel)
+	pred := flops / max(seq/float64(workers), cpSec) / 1e9
+	simSec := sim.ListSchedule(d, workers, weights, sim.PriorityBLevel)
+	return series{pred: pred, simu: flops / simSec / 1e9}
+}
+
+// bestPlasma sweeps BS and returns the best simulated series.
+func bestPlasma(kern core.Kernels, kt kernelTimes, p, q, nb, workers int, complexArith bool) series {
+	var best series
+	for bs := 1; bs <= p; bs++ {
+		s := evaluate(core.PlasmaTreeList(p, q, bs), kern, kt, p, q, nb, workers, complexArith)
+		if s.simu > best.simu {
+			best = s
+			best.bs = bs
+		}
+	}
+	return best
+}
+
+// measured runs a real factorization on the host.
+func measured(alg tiledqr.Algorithm, kern tiledqr.Kernels, bs, p, q, nb, ib int, complexArith bool) float64 {
+	opt := tiledqr.Options{Algorithm: alg, Kernels: kern, TileSize: nb, InnerBlock: ib, BS: bs}
+	flops := model.Flops(p*nb, q*nb)
+	start := time.Now()
+	if complexArith {
+		a := tiledqr.RandomZDense(p*nb, q*nb, 7)
+		start = time.Now()
+		if _, err := tiledqr.FactorComplex(a, opt); err != nil {
+			panic(err)
+		}
+		flops = model.ComplexFlops(p*nb, q*nb)
+	} else {
+		a := tiledqr.RandomDense(p*nb, q*nb, 7)
+		start = time.Now()
+		if _, err := tiledqr.Factor(a, opt); err != nil {
+			panic(err)
+		}
+	}
+	return flops / time.Since(start).Seconds() / 1e9
+}
+
+func qGrid(dflt []int) []int {
+	if *flagQs == "" {
+		return dflt
+	}
+	var out []int
+	for _, part := range splitComma(*flagQs) {
+		var v int
+		fmt.Sscanf(part, "%d", &v)
+		if v > 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+// figure prints the Figure 1/6 (and 2/7 when relative) series.
+func figure(withTS, relative bool) {
+	p, nb, ib, workers := *flagP, *flagNB, *flagIB, *flagWorkers
+	for _, complexArith := range []bool{false, true} {
+		prec := "double"
+		if complexArith {
+			prec = "double complex"
+		}
+		kt := measureKernels(nb, ib, complexArith)
+		if *flagUnits {
+			kt = unitKernelTimes()
+		}
+		fmt.Printf("\n=== %s, p=%d, nb=%d, ib=%d, P=%d ===\n", prec, p, nb, ib, workers)
+		fmt.Printf("measured kernel times (µs): GEQRT %.1f  UNMQR %.1f  TSQRT %.1f  TSMQR %.1f  TTQRT %.1f  TTMQR %.1f\n",
+			kt[core.KGEQRT]*1e6, kt[core.KUNMQR]*1e6, kt[core.KTSQRT]*1e6,
+			kt[core.KTSMQR]*1e6, kt[core.KTTQRT]*1e6, kt[core.KTTMQR]*1e6)
+		w := tabwriter.NewWriter(os.Stdout, 8, 0, 2, ' ', tabwriter.AlignRight)
+		hdr := "q\tFlatTree(TT)\tPlasma(TT)\tBS\tFibonacci\tGreedy\t"
+		if withTS {
+			hdr = "q\tFlatTree(TS)\tPlasma(TS)\tBS\tFlatTree(TT)\tPlasma(TT)\tBS\tFibonacci\tGreedy\t"
+		}
+		fmt.Fprintln(w, hdr)
+		for _, q := range qGrid([]int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 20, 30, 40}) {
+			if q > p {
+				continue
+			}
+			greedy := evaluate(core.GreedyList(p, q), core.TT, kt, p, q, nb, workers, complexArith)
+			fib := evaluate(core.FibonacciList(p, q), core.TT, kt, p, q, nb, workers, complexArith)
+			flatTT := evaluate(core.FlatTreeList(p, q), core.TT, kt, p, q, nb, workers, complexArith)
+			plasTT := bestPlasma(core.TT, kt, p, q, nb, workers, complexArith)
+			val := func(s series) string {
+				if relative {
+					return fmt.Sprintf("%.3f", greedy.simu/s.simu)
+				}
+				return fmt.Sprintf("%.2f", s.simu)
+			}
+			if withTS {
+				flatTS := evaluate(core.FlatTreeList(p, q), core.TS, kt, p, q, nb, workers, complexArith)
+				plasTS := bestPlasma(core.TS, kt, p, q, nb, workers, complexArith)
+				fmt.Fprintf(w, "%d\t%s\t%s\t%d\t%s\t%s\t%d\t%s\t%s\t\n", q,
+					val(flatTS), val(plasTS), plasTS.bs, val(flatTT), val(plasTT), plasTT.bs, val(fib), val(greedy))
+			} else {
+				fmt.Fprintf(w, "%d\t%s\t%s\t%d\t%s\t%s\t\n", q,
+					val(flatTT), val(plasTT), plasTT.bs, val(fib), val(greedy))
+			}
+		}
+		w.Flush()
+		if relative {
+			fmt.Println("values are simulated-time overheads w.r.t. Greedy (Greedy = 1, > 1 means slower than Greedy)")
+		} else {
+			fmt.Println("values are simulated GFLOP/s on the virtual machine (predicted roofline within a few % of these)")
+		}
+	}
+}
+
+// tableGreedyVs prints the Table 6–9 comparisons.
+func tableGreedyVs(rival string, complexArith bool) {
+	p, nb, ib, workers := *flagP, *flagNB, *flagIB, *flagWorkers
+	prec := "double"
+	if complexArith {
+		prec = "double complex"
+	}
+	kt := measureKernels(nb, ib, complexArith)
+	if *flagUnits {
+		kt = unitKernelTimes()
+	}
+	fmt.Printf("\nGreedy versus %s (TT) — %s, p=%d, nb=%d, P=%d (simulated)\n", rival, prec, p, nb, workers)
+	w := tabwriter.NewWriter(os.Stdout, 8, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(w, "p\tq\tGreedy\t%s\tBS\toverhead\tgain\t\n", rival)
+	for _, q := range qGrid([]int{1, 2, 4, 5, 10, 20, 40}) {
+		if q > p {
+			continue
+		}
+		greedy := evaluate(core.GreedyList(p, q), core.TT, kt, p, q, nb, workers, complexArith)
+		var other series
+		if rival == "PlasmaTree" {
+			other = bestPlasma(core.TT, kt, p, q, nb, workers, complexArith)
+		} else {
+			other = evaluate(core.FibonacciList(p, q), core.TT, kt, p, q, nb, workers, complexArith)
+		}
+		if *flagMeasure {
+			greedy.meas = measured(tiledqr.Greedy, tiledqr.TT, 0, p, q, nb, ib, complexArith)
+			if rival == "PlasmaTree" {
+				other.meas = measured(tiledqr.PlasmaTree, tiledqr.TT, other.bs, p, q, nb, ib, complexArith)
+			} else {
+				other.meas = measured(tiledqr.Fibonacci, tiledqr.TT, 0, p, q, nb, ib, complexArith)
+			}
+		}
+		fmt.Fprintf(w, "%d\t%d\t%.3f\t%.3f\t%d\t%.4f\t%.4f\t\n",
+			p, q, greedy.simu, other.simu, other.bs, other.simu/greedy.simu, 1-other.simu/greedy.simu)
+		if *flagMeasure {
+			fmt.Fprintf(w, "\t\t%.3f\t%.3f\t\t(measured on host, %d cores)\t\t\n", greedy.meas, other.meas, defaultHostWorkers())
+		}
+	}
+	w.Flush()
+}
+
+func defaultHostWorkers() int { return runtime.GOMAXPROCS(0) }

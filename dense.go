@@ -1,0 +1,84 @@
+package tiledqr
+
+import (
+	"tiledqr/internal/tile"
+)
+
+// Dense is a row-major dense real matrix: element (i, j) lives at
+// Data[i*Stride+j].
+type Dense tile.Dense
+
+// NewDense allocates a zero r×c matrix.
+func NewDense(r, c int) *Dense { return (*Dense)(tile.NewDense(r, c)) }
+
+// RandomDense returns an r×c matrix with standard normal entries from a
+// deterministic generator (useful for examples and benchmarks).
+func RandomDense(r, c int, seed int64) *Dense { return (*Dense)(tile.RandDense(r, c, seed)) }
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Dense { return (*Dense)(tile.Identity(n)) }
+
+// At returns element (i, j).
+func (a *Dense) At(i, j int) float64 { return (*tile.Dense)(a).At(i, j) }
+
+// Set assigns element (i, j).
+func (a *Dense) Set(i, j int, v float64) { (*tile.Dense)(a).Set(i, j, v) }
+
+// Clone returns a deep copy.
+func (a *Dense) Clone() *Dense { return (*Dense)((*tile.Dense)(a).Clone()) }
+
+// Mul returns the product a·b.
+func Mul(a, b *Dense) *Dense {
+	return (*Dense)(tile.Mul((*tile.Dense)(a), (*tile.Dense)(b)))
+}
+
+// Transpose returns aᵀ.
+func Transpose(a *Dense) *Dense { return (*Dense)(tile.Transpose((*tile.Dense)(a))) }
+
+// FrobeniusNorm returns ‖a‖_F.
+func FrobeniusNorm(a *Dense) float64 { return tile.FrobNorm((*tile.Dense)(a)) }
+
+// QRResidual returns ‖A − Q·R‖_F / ‖A‖_F, the scaled backward error of a
+// factorization (Q must be m×k and R k×n).
+func QRResidual(a, q, r *Dense) float64 {
+	return tile.ResidualQR((*tile.Dense)(a), (*tile.Dense)(q), (*tile.Dense)(r))
+}
+
+// OrthoResidual returns ‖QᵀQ − I‖_F, the loss of orthogonality of Q's
+// columns.
+func OrthoResidual(q *Dense) float64 { return tile.OrthoResidual((*tile.Dense)(q)) }
+
+// ZDense is a row-major dense complex matrix.
+type ZDense tile.ZDense
+
+// NewZDense allocates a zero r×c complex matrix.
+func NewZDense(r, c int) *ZDense { return (*ZDense)(tile.NewZDense(r, c)) }
+
+// RandomZDense returns an r×c complex matrix with standard normal real and
+// imaginary parts.
+func RandomZDense(r, c int, seed int64) *ZDense { return (*ZDense)(tile.RandZDense(r, c, seed)) }
+
+// ZIdentity returns the n×n complex identity.
+func ZIdentity(n int) *ZDense { return (*ZDense)(tile.ZIdentity(n)) }
+
+// At returns element (i, j).
+func (a *ZDense) At(i, j int) complex128 { return (*tile.ZDense)(a).At(i, j) }
+
+// Set assigns element (i, j).
+func (a *ZDense) Set(i, j int, v complex128) { (*tile.ZDense)(a).Set(i, j, v) }
+
+// Clone returns a deep copy.
+func (a *ZDense) Clone() *ZDense { return (*ZDense)((*tile.ZDense)(a).Clone()) }
+
+// ZMul returns the product a·b.
+func ZMul(a, b *ZDense) *ZDense {
+	return (*ZDense)(tile.ZMul((*tile.ZDense)(a), (*tile.ZDense)(b)))
+}
+
+// ZQRResidual returns ‖A − Q·R‖_F / ‖A‖_F.
+func ZQRResidual(a, q, r *ZDense) float64 {
+	return tile.ZResidualQR((*tile.ZDense)(a), (*tile.ZDense)(q), (*tile.ZDense)(r))
+}
+
+// ZOrthoResidual returns ‖QᴴQ − I‖_F.
+func ZOrthoResidual(q *ZDense) float64 { return tile.ZOrthoResidual((*tile.ZDense)(q)) }

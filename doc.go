@@ -1,0 +1,35 @@
+// Package tiledqr implements tiled QR factorization of dense matrices on
+// multicore machines, reproducing "Tiled QR factorization algorithms"
+// (Bouwmeester, Jacquelin, Langou, Robert, 2011).
+//
+// An m×n matrix (any m, n ≥ 1) is partitioned into nb×nb tiles and factored
+// as A = Q·R by a sequence of tile-level Householder transformations whose
+// order — the elimination tree — determines the available parallelism:
+//
+//   - FlatTree (Sameh-Kuck): best for square matrices, PLASMA's default
+//   - BinaryTree: best for a single column of tiles
+//   - Fibonacci and Greedy: the paper's contribution, asymptotically
+//     optimal whenever p = λq; best for tall matrices (p ≥ 2q)
+//   - PlasmaTree(BS): flat trees on row domains merged by a binary tree
+//   - Asap and Grasap(k): dynamic variants of Greedy (§3.2)
+//
+// Eliminations are implemented with either TT (triangle-on-top-of-triangle)
+// kernels, which maximize parallelism, or TS (triangle-on-top-of-square)
+// kernels, which maximize locality.
+//
+// Beyond factorization (Factor, FactorComplex), the package exposes the
+// paper's analysis machinery: elimination lists, critical paths via a
+// discrete-event simulator, bounded-worker makespans, and the roofline
+// performance predictor used in Section 4 of the paper.
+//
+// # Quick start
+//
+//	a := tiledqr.RandomDense(1200, 300, 1)
+//	f, err := tiledqr.Factor(a, tiledqr.Options{Algorithm: tiledqr.Greedy, TileSize: 100})
+//	if err != nil { ... }
+//	r := f.R()        // 300×300 upper triangular
+//	q := f.ThinQ()    // 1200×300 with orthonormal columns
+//
+// See the examples directory for least-squares solving, orthonormal basis
+// construction, and schedule analysis.
+package tiledqr

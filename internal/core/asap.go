@@ -1,0 +1,373 @@
+package core
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// The Asap algorithm ("as soon as possible", §3.2) is dynamic: in each
+// column, eliminations start as soon as at least two rows are ready (their
+// tiles triangularized and the rows not otherwise engaged); when 2s rows are
+// ready, the bottom 2s rows are paired exactly as Fibonacci and Greedy pair
+// them. Because decisions depend on simulated kernel completion times, the
+// list is produced by an event-driven simulation of the tiled model with
+// unbounded processors.
+//
+// The same engine executes *static* per-column prescriptions as early as
+// possible, which yields Grasap(k) (Greedy on columns 1..q−k, Asap on the
+// last k columns) and, with all columns static, an independent cross-check
+// of the DAG-based simulator in internal/sim.
+
+// engineEvent marks row Row becoming available in column K at time T
+// (either its GEQRT just finished, or it just finished serving as a pivot).
+type engineEvent struct {
+	T   int
+	K   int
+	Row int
+}
+
+type eventHeap []engineEvent
+
+func (h eventHeap) Len() int      { return len(h) }
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].T != h[j].T {
+		return h[i].T < h[j].T
+	}
+	if h[i].K != h[j].K {
+		return h[i].K < h[j].K
+	}
+	return h[i].Row < h[j].Row
+}
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(engineEvent)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// timedElim is an output elimination annotated with its TTQRT start time.
+type timedElim struct {
+	start int
+	e     Elim
+}
+
+// engine runs the dynamic tiled-model simulation.
+type engine struct {
+	p, q, qmin int
+	dataTime   [][]int // dataTime[i][j]: completion of last write to tile (i,j), 1-based
+	avail      [][]int // avail[k]: rows currently available in column k, ascending
+	events     eventHeap
+	out        []timedElim
+	zero       [][]int // zero[i-1][k-1]: completion time of the elimination of tile (i,k)
+	geqrt      [][]int // geqrt[i-1][k-1]: completion time of GEQRT(i,k), 0 if never run
+	maxTime    int
+	remaining  int
+
+	// Static prescriptions: static[k] is nil for dynamic (Asap) columns;
+	// otherwise the column's eliminations in list order. rowSeq[k][r] holds
+	// the prescription indices involving row r, consumed front to back:
+	// an elimination may start only when it is at the head of both of its
+	// rows' sequences (preserving pivot chains and annihilator order).
+	static  [][]Elim
+	rowSeq  []map[int][]int
+	started [][]bool
+}
+
+func newEngine(p, q int, static [][]Elim) *engine {
+	qmin := min(p, q)
+	e := &engine{p: p, q: q, qmin: qmin, static: static}
+	e.dataTime = make([][]int, p+1)
+	for i := 1; i <= p; i++ {
+		e.dataTime[i] = make([]int, q+1)
+	}
+	e.avail = make([][]int, qmin+1)
+	e.zero = make([][]int, p)
+	e.geqrt = make([][]int, p)
+	for i := range e.zero {
+		e.zero[i] = make([]int, qmin)
+		e.geqrt[i] = make([]int, qmin)
+	}
+	e.rowSeq = make([]map[int][]int, qmin+1)
+	e.started = make([][]bool, qmin+1)
+	for k := 1; k <= qmin; k++ {
+		e.remaining += p - k
+		if static[k] != nil {
+			e.rowSeq[k] = make(map[int][]int)
+			e.started[k] = make([]bool, len(static[k]))
+			for idx, el := range static[k] {
+				e.rowSeq[k][el.I] = append(e.rowSeq[k][el.I], idx)
+				e.rowSeq[k][el.Piv] = append(e.rowSeq[k][el.Piv], idx)
+			}
+		}
+	}
+	return e
+}
+
+// bump records a kernel completion time in the makespan.
+func (e *engine) bump(t int) {
+	if t > e.maxTime {
+		e.maxTime = t
+	}
+}
+
+// enterColumn schedules GEQRT(row,k) and its UNMQR updates, then queues the
+// row's availability event.
+func (e *engine) enterColumn(row, k int) {
+	if k > e.qmin {
+		return
+	}
+	gs := e.dataTime[row][k]
+	gf := gs + KGEQRT.Weight()
+	e.geqrt[row-1][k-1] = gf
+	e.bump(gf)
+	for j := k + 1; j <= e.q; j++ {
+		us := max(gf, e.dataTime[row][j])
+		uf := us + KUNMQR.Weight()
+		e.dataTime[row][j] = uf
+		e.bump(uf)
+	}
+	heap.Push(&e.events, engineEvent{T: gf, K: k, Row: row})
+}
+
+// engineTrace, when non-nil, receives a line per scheduled kernel (tests).
+var engineTrace func(format string, args ...any)
+
+// startElim launches TTQRT(i,piv,k) at time t and schedules its TTMQR
+// updates; the pivot re-enters the column's pool when the TTQRT completes
+// and the zeroed row proceeds to the next column.
+func (e *engine) startElim(i, piv, k, t int) {
+	if engineTrace != nil {
+		engineTrace("t=%d TTQRT(%d,%d,%d)", t, i, piv, k)
+	}
+	fin := t + KTTQRT.Weight()
+	e.bump(fin)
+	e.zero[i-1][k-1] = fin
+	e.out = append(e.out, timedElim{start: t, e: Elim{I: i, Piv: piv, K: k}})
+	e.remaining--
+	for j := k + 1; j <= e.q; j++ {
+		s := max(fin, e.dataTime[i][j], e.dataTime[piv][j])
+		f := s + KTTMQR.Weight()
+		if engineTrace != nil {
+			engineTrace("t=%d..%d TTMQR(%d,%d,%d,%d)", s, f, i, piv, k, j)
+		}
+		e.dataTime[i][j] = f
+		e.dataTime[piv][j] = f
+		e.bump(f)
+	}
+	heap.Push(&e.events, engineEvent{T: fin, K: k, Row: piv})
+	e.enterColumn(i, k+1)
+}
+
+// removeAvail removes the given rows (ascending) from column k's pool.
+func (e *engine) removeAvail(k int, rows []int) {
+	pool := e.avail[k][:0]
+	for _, r := range e.avail[k] {
+		drop := false
+		for _, x := range rows {
+			if x == r {
+				drop = true
+				break
+			}
+		}
+		if !drop {
+			pool = append(pool, r)
+		}
+	}
+	e.avail[k] = pool
+}
+
+// decideColumn fires every elimination that may start in column k at time t.
+func (e *engine) decideColumn(k, t int) {
+	if e.static[k] == nil {
+		// Asap rule: with m ≥ 2 available rows, pair the bottom 2·⌊m/2⌋.
+		m := len(e.avail[k])
+		z := m / 2
+		if z == 0 {
+			return
+		}
+		pivots := append([]int(nil), e.avail[k][m-2*z:m-z]...)
+		elims := append([]int(nil), e.avail[k][m-z:]...)
+		e.removeAvail(k, append(append([]int(nil), pivots...), elims...))
+		for x := 0; x < z; x++ {
+			e.startElim(elims[x], pivots[x], k, t)
+		}
+		return
+	}
+	// Static prescription: start every elimination that heads both of its
+	// rows' sequences and whose rows are available. Restart the scan after
+	// each launch (a launch never enables another at the same instant, but
+	// scanning is cheap and keeps the logic obviously correct).
+	for again := true; again; {
+		again = false
+		for _, idx := range e.eligibleStatic(k) {
+			el := e.static[k][idx]
+			e.started[k][idx] = true
+			e.popRowSeq(k, el.I, idx)
+			e.popRowSeq(k, el.Piv, idx)
+			e.removeAvail(k, []int{el.I, el.Piv})
+			e.startElim(el.I, el.Piv, el.K, t)
+			again = true
+		}
+	}
+}
+
+// eligibleStatic returns prescription indices in column k whose both rows
+// are available and at the head of their sequences.
+func (e *engine) eligibleStatic(k int) []int {
+	var out []int
+	for _, r := range e.avail[k] {
+		seq := e.rowSeq[k][r]
+		if len(seq) == 0 {
+			continue
+		}
+		idx := seq[0]
+		if e.started[k][idx] {
+			continue
+		}
+		el := e.static[k][idx]
+		other := el.I
+		if other == r {
+			other = el.Piv
+		}
+		if !e.isAvail(k, other) {
+			continue
+		}
+		oseq := e.rowSeq[k][other]
+		if len(oseq) == 0 || oseq[0] != idx {
+			continue
+		}
+		if el.I == r || r < other { // emit each pair once
+			out = append(out, idx)
+		}
+	}
+	// Deduplicate (each eligible pair may be seen from both rows).
+	sort.Ints(out)
+	out = dedupInts(out)
+	return out
+}
+
+func dedupInts(s []int) []int {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func (e *engine) popRowSeq(k, r, idx int) {
+	seq := e.rowSeq[k][r]
+	if len(seq) > 0 && seq[0] == idx {
+		e.rowSeq[k][r] = seq[1:]
+	}
+}
+
+func (e *engine) isAvail(k, r int) bool {
+	for _, x := range e.avail[k] {
+		if x == r {
+			return true
+		}
+	}
+	return false
+}
+
+// run executes the simulation to completion and returns the elimination
+// list (ordered by TTQRT start time), the per-tile zeroing times, and the
+// makespan over all kernels.
+func (e *engine) run() (List, [][]int, int) {
+	for r := 1; r <= e.p; r++ {
+		e.enterColumn(r, 1)
+	}
+	for e.events.Len() > 0 {
+		t := e.events[0].T
+		touched := map[int]bool{}
+		for e.events.Len() > 0 && e.events[0].T == t {
+			ev := heap.Pop(&e.events).(engineEvent)
+			e.avail[ev.K] = insertSorted(e.avail[ev.K], ev.Row)
+			touched[ev.K] = true
+		}
+		for k := 1; k <= e.qmin; k++ {
+			if touched[k] {
+				e.decideColumn(k, t)
+			}
+		}
+	}
+	if e.remaining != 0 {
+		panic("core: dynamic engine deadlocked")
+	}
+	sort.SliceStable(e.out, func(a, b int) bool {
+		if e.out[a].start != e.out[b].start {
+			return e.out[a].start < e.out[b].start
+		}
+		if e.out[a].e.K != e.out[b].e.K {
+			return e.out[a].e.K < e.out[b].e.K
+		}
+		return e.out[a].e.I < e.out[b].e.I
+	})
+	l := List{P: e.p, Q: e.q, Elims: make([]Elim, len(e.out))}
+	for i, te := range e.out {
+		l.Elims[i] = te.e
+	}
+	return l, e.zero, e.maxTime
+}
+
+func insertSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// AsapList generates the Asap elimination list for a p×q tile matrix via
+// dynamic simulation and returns it together with the per-tile zeroing
+// times (indexed [i-1][k-1]) and the critical path length.
+func AsapList(p, q int) (List, [][]int, int) {
+	static := make([][]Elim, min(p, q)+1)
+	return newEngine(p, q, static).run()
+}
+
+// GrasapList generates Grasap(k): Greedy pairings on columns 1..q−k executed
+// as early as possible, Asap decisions on the last k columns. Grasap(0) is
+// Greedy; Grasap(min(p,q)) is Asap.
+func GrasapList(p, q, k int) (List, [][]int, int) {
+	qmin := min(p, q)
+	if k < 0 {
+		k = 0
+	}
+	if k > qmin {
+		k = qmin
+	}
+	static := make([][]Elim, qmin+1)
+	greedy := GreedyList(p, q)
+	for col := 1; col <= qmin-k; col++ {
+		static[col] = []Elim{}
+	}
+	for _, el := range greedy.Elims {
+		if el.K <= qmin-k {
+			static[el.K] = append(static[el.K], el)
+		}
+	}
+	return newEngine(p, q, static).run()
+}
+
+// StaticListTimes executes an arbitrary static elimination list through the
+// dynamic engine (all columns prescribed) and returns the per-tile zeroing
+// times and makespan. This is an independent implementation of the ASAP
+// schedule used to cross-validate the DAG-based simulator.
+func StaticListTimes(l List) ([][]int, int) {
+	qmin := l.MinPQ()
+	static := make([][]Elim, qmin+1)
+	for col := 1; col <= qmin; col++ {
+		static[col] = []Elim{}
+	}
+	for _, el := range l.Elims {
+		static[el.K] = append(static[el.K], el)
+	}
+	_, zero, cp := newEngine(l.P, l.Q, static).run()
+	return zero, cp
+}

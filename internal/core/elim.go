@@ -1,0 +1,179 @@
+// Package core implements the algorithmic contribution of "Tiled QR
+// factorization algorithms" (Bouwmeester, Jacquelin, Langou, Robert, 2011):
+// elimination lists, their validity conditions (§2.2), the tree algorithms
+// (FlatTree/Sameh-Kuck, BinaryTree, Fibonacci, Greedy, PlasmaTree, Asap,
+// Grasap), the coarse-grain model of §3.1, and the expansion of elimination
+// lists into weighted kernel task DAGs (§2.1, §2.3) for both the TT and TS
+// kernel families.
+//
+// Tile indices are 1-based throughout this package, matching the paper's
+// notation, so every table in the paper can be checked literally.
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Elim is one orthogonal transformation elim(i, piv, k): rows i and piv are
+// combined to zero out the tile in position (i, k). Indices are 1-based.
+type Elim struct {
+	I, Piv, K int
+}
+
+func (e Elim) String() string { return fmt.Sprintf("elim(%d,%d,%d)", e.I, e.Piv, e.K) }
+
+// List is an elimination list for a p×q tile matrix: the ordered list of
+// transformations used to zero out all tiles below the diagonal. The order
+// is the paper's "totally ordered sequence" — transformations may still
+// execute concurrently when no dependence links them.
+type List struct {
+	P, Q  int
+	Elims []Elim
+}
+
+// MinPQ returns min(p, q), the number of panel columns.
+func (l List) MinPQ() int { return min(l.P, l.Q) }
+
+// Validate checks the two validity conditions of §2.2:
+//
+//  1. both rows ready: every elimination of rows i and piv in columns k' < k
+//     precedes elim(i, piv, k);
+//  2. row piv is a potential annihilator: if tile (piv, k) is itself zeroed
+//     out, that happens after elim(i, piv, k).
+//
+// plus completeness (exactly one elimination per sub-diagonal tile) and
+// basic index sanity. Reverse eliminations (i < piv) are accepted when
+// allowReverse is set (Lemma 1 shows they can always be removed).
+func (l List) Validate(allowReverse bool) error {
+	qmin := l.MinPQ()
+	// zeroedAt[i][k] = position in the list at which tile (i,k) is zeroed.
+	pos := make(map[[2]int]int, len(l.Elims))
+	for idx, e := range l.Elims {
+		if e.K < 1 || e.K > qmin || e.I <= e.K || e.I > l.P {
+			return fmt.Errorf("core: elim %d: %v targets an invalid tile for a %d×%d grid", idx, e, l.P, l.Q)
+		}
+		if e.Piv < e.K || e.Piv > l.P || e.Piv == e.I {
+			return fmt.Errorf("core: elim %d: %v has invalid pivot row", idx, e)
+		}
+		if e.I < e.Piv && !allowReverse {
+			return fmt.Errorf("core: elim %d: %v is a reverse elimination", idx, e)
+		}
+		if _, dup := pos[[2]int{e.I, e.K}]; dup {
+			return fmt.Errorf("core: elim %d: tile (%d,%d) zeroed twice", idx, e.I, e.K)
+		}
+		pos[[2]int{e.I, e.K}] = idx
+	}
+	want := 0
+	for k := 1; k <= qmin; k++ {
+		want += l.P - k
+	}
+	if len(l.Elims) != want {
+		return fmt.Errorf("core: list has %d eliminations, a %d×%d grid needs %d", len(l.Elims), l.P, l.Q, want)
+	}
+	for idx, e := range l.Elims {
+		// Condition 1: rows ready.
+		for k := 1; k < e.K; k++ {
+			if p, ok := pos[[2]int{e.I, k}]; !ok || p >= idx {
+				return fmt.Errorf("core: elim %d: %v before row %d is ready in column %d", idx, e, e.I, k)
+			}
+			if e.Piv > k {
+				if p, ok := pos[[2]int{e.Piv, k}]; !ok || p >= idx {
+					return fmt.Errorf("core: elim %d: %v before pivot row %d is ready in column %d", idx, e, e.Piv, k)
+				}
+			}
+		}
+		// Condition 2: pivot still a potential annihilator.
+		if e.Piv > e.K {
+			if p, ok := pos[[2]int{e.Piv, e.K}]; ok && p < idx {
+				return fmt.Errorf("core: elim %d: %v uses already-zeroed pivot tile (%d,%d)", idx, e, e.Piv, e.K)
+			}
+		}
+	}
+	return nil
+}
+
+// HasReverse reports whether the list contains a reverse elimination
+// (an elimination whose pivot row lies below the zeroed row).
+func (l List) HasReverse() bool {
+	for _, e := range l.Elims {
+		if e.I < e.Piv {
+			return true
+		}
+	}
+	return false
+}
+
+// NormalizeReverse implements the constructive procedure of Lemma 1: it
+// returns an equivalent list without reverse eliminations and with the same
+// execution time. Rows i0 (the largest row involved in a reverse elimination
+// of the first offending column) and i1 (the first row it reverse-eliminates)
+// exchange roles from the first reverse elimination onwards; the procedure
+// repeats until no reverse elimination remains.
+func (l List) NormalizeReverse() List {
+	out := List{P: l.P, Q: l.Q, Elims: append([]Elim(nil), l.Elims...)}
+	for guard := 0; ; guard++ {
+		if guard > len(out.Elims)*len(out.Elims)+16 {
+			panic("core: NormalizeReverse did not converge")
+		}
+		// Find the first column containing a reverse elimination, then the
+		// largest pivot row involved in a reverse elimination there.
+		k0, i0 := -1, -1
+		for _, e := range out.Elims {
+			if e.I < e.Piv && (k0 == -1 || e.K < k0) {
+				k0 = e.K
+			}
+		}
+		if k0 == -1 {
+			return out
+		}
+		for _, e := range out.Elims {
+			if e.K == k0 && e.I < e.Piv && e.Piv > i0 {
+				i0 = e.Piv
+			}
+		}
+		// i1 = the zeroed row of the first reverse elimination with pivot i0.
+		pos0, i1 := -1, -1
+		for idx, e := range out.Elims {
+			if e.K == k0 && e.Piv == i0 && e.I < e.Piv {
+				pos0, i1 = idx, e.I
+				break
+			}
+		}
+		// Exchange the roles of rows i0 and i1 in every transformation from
+		// pos0 onwards (their states are identical when entering column k0,
+		// so the exchange preserves all dependencies and all kernel timings).
+		for idx := pos0; idx < len(out.Elims); idx++ {
+			e := &out.Elims[idx]
+			swapRow := func(r int) int {
+				switch r {
+				case i0:
+					return i1
+				case i1:
+					return i0
+				default:
+					return r
+				}
+			}
+			e.I, e.Piv = swapRow(e.I), swapRow(e.Piv)
+		}
+	}
+}
+
+// ZeroedColumnOrder returns, for each column k (1-based index into the outer
+// slice at k-1), the rows in the order their tiles are zeroed. Useful for
+// structural tests.
+func (l List) ZeroedColumnOrder() [][]int {
+	out := make([][]int, l.MinPQ())
+	for _, e := range l.Elims {
+		out[e.K-1] = append(out[e.K-1], e.I)
+	}
+	return out
+}
+
+// sortedRows returns a sorted copy of rows.
+func sortedRows(rows []int) []int {
+	out := append([]int(nil), rows...)
+	sort.Ints(out)
+	return out
+}

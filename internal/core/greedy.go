@@ -1,0 +1,125 @@
+package core
+
+// GreedyList returns the Greedy elimination list [6, 7]: at each coarse-grain
+// step, in every column, as many tiles as possible are eliminated, starting
+// with bottom rows; z candidate rows are paired bottom-half/top-half in
+// natural order (the z zeroed rows use the z candidate rows directly above
+// them). The returned order is by coarse step, then column, then row, which
+// is a valid total order.
+func GreedyList(p, q int) List {
+	l := List{P: p, Q: q}
+	qmin := min(p, q)
+	if p < 2 || qmin < 1 {
+		return l
+	}
+	col := make([]int, p+1)   // current column of each row
+	ready := make([]int, p+1) // first step at which the row is usable there
+	for r := 1; r <= p; r++ {
+		col[r], ready[r] = 1, 1
+	}
+	remaining := 0
+	for k := 1; k <= qmin; k++ {
+		remaining += p - k
+	}
+	cands := make([]int, 0, p)
+	for step := 1; remaining > 0; step++ {
+		for k := 1; k <= qmin; k++ {
+			cands = cands[:0]
+			for r := k; r <= p; r++ {
+				if col[r] == k && ready[r] <= step {
+					cands = append(cands, r)
+				}
+			}
+			m := len(cands)
+			z := m / 2
+			for x := 0; x < z; x++ {
+				piv, i := cands[m-2*z+x], cands[m-z+x]
+				l.Elims = append(l.Elims, Elim{I: i, Piv: piv, K: k})
+				ready[piv] = step + 1
+				ready[i] = step + 1
+				col[i] = k + 1
+				remaining--
+			}
+		}
+	}
+	return l
+}
+
+// GreedyAlgorithm4List returns the elimination list produced by the paper's
+// literal Algorithm 4 (the tiled Greedy pseudo-code driven by per-column
+// triangularized/zeroed counters). Tests verify it is identical to
+// GreedyList, documenting that tiled Greedy keeps the coarse-grain Greedy
+// pairing (§3.2).
+func GreedyAlgorithm4List(p, q int) List {
+	l := List{P: p, Q: q}
+	qmin := min(p, q)
+	if p < 2 || qmin < 1 {
+		return l
+	}
+	nZ := make([]int, qmin+1) // tiles eliminated in column j (counted from the bottom)
+	nT := make([]int, qmin+1) // tiles triangularized in column j
+	remaining := 0
+	for k := 1; k <= qmin; k++ {
+		remaining += p - k
+	}
+	for round := 0; remaining > 0; round++ {
+		for j := qmin; j >= 1; j-- {
+			var nTnew int
+			if j == 1 {
+				nTnew = p
+			} else {
+				// Triangularize every tile having a zero in the previous column.
+				nTnew = nZ[j-1]
+			}
+			// Eliminate every tile triangularized in a previous round.
+			nZnew := nZ[j] + (nT[j]-nZ[j])/2
+			if nZnew > p-j {
+				nZnew = p - j
+			}
+			// Emit each simultaneous batch in ascending row order (the
+			// pseudo-code's kk loop runs bottom-up; the batch is a set of
+			// independent eliminations, so the order within it is free and
+			// ascending matches GreedyList).
+			z := nZnew - nZ[j]
+			for kk := nZnew - 1; kk >= nZ[j]; kk-- {
+				i := p - kk
+				l.Elims = append(l.Elims, Elim{I: i, Piv: i - z, K: j})
+				remaining--
+			}
+			nT[j] = nTnew
+			nZ[j] = nZnew
+		}
+	}
+	return l
+}
+
+// PlasmaTreeList returns the PLASMA domain-tree list with domain size bs:
+// within each column, rows are split into domains of bs consecutive rows
+// anchored at the diagonal (so the bottom domain shrinks as the algorithm
+// progresses through the columns, as described in §3.2); each domain is
+// reduced by a flat tree rooted at its first row, and the domain heads are
+// merged by a binary tree into the diagonal row. bs=1 degenerates to
+// BinaryTree and bs≥p to FlatTree.
+func PlasmaTreeList(p, q, bs int) List {
+	if bs < 1 {
+		bs = 1
+	}
+	l := List{P: p, Q: q}
+	for k := 1; k <= min(p, q); k++ {
+		nd := (p - k) / bs // highest domain index d such that k+d·bs ≤ p
+		// Flat trees inside each domain.
+		for d := 0; d <= nd; d++ {
+			h := k + d*bs
+			for i := h + 1; i <= min(h+bs-1, p); i++ {
+				l.Elims = append(l.Elims, Elim{I: i, Piv: h, K: k})
+			}
+		}
+		// Binary-tree merge of the domain heads.
+		for step := 2; step/2 <= nd; step *= 2 {
+			for d := step / 2; d <= nd; d += step {
+				l.Elims = append(l.Elims, Elim{I: k + d*bs, Piv: k + (d-step/2)*bs, K: k})
+			}
+		}
+	}
+	return l
+}

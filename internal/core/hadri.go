@@ -1,0 +1,44 @@
+package core
+
+// HadriTreeList returns the elimination tree of Hadri et al.'s
+// Semi-Parallel / Fully-Parallel tile CAQR [10]: like PlasmaTree it reduces
+// domains of bs consecutive rows with flat trees and merges the domain
+// heads with a binary tree, but the domains are anchored at row 1 and it is
+// the TOP domain that shrinks as the factorization progresses through the
+// columns (§4 of the paper: "Unlike PLASMA, it is not the bottom domain
+// whose size decreases ... but instead is the top domain").
+//
+// Executed with TS kernels this is the Semi-Parallel algorithm (flat
+// domains use TSQRT, triangle merges fall back to TTQRT); with TT kernels
+// it is the Fully-Parallel algorithm. The paper reports that the PLASMA
+// anchoring performs identically or better, which
+// TestHadriNeverBeatsPlasma verifies in critical-path terms.
+func HadriTreeList(p, q, bs int) List {
+	if bs < 1 {
+		bs = 1
+	}
+	l := List{P: p, Q: q}
+	for k := 1; k <= min(p, q); k++ {
+		// Fixed domains [1+d·bs, (d+1)·bs]; the head of a domain in column
+		// k is its first row at or below the diagonal.
+		var heads []int
+		for d := 0; 1+d*bs <= p; d++ {
+			lo, hi := 1+d*bs, min((d+1)*bs, p)
+			if hi < k {
+				continue // domain entirely above the diagonal
+			}
+			h := max(lo, k)
+			heads = append(heads, h)
+			for i := h + 1; i <= hi; i++ {
+				l.Elims = append(l.Elims, Elim{I: i, Piv: h, K: k})
+			}
+		}
+		// Binary-tree merge of the heads; heads[0] is the diagonal row.
+		for step := 2; step/2 < len(heads); step *= 2 {
+			for idx := step / 2; idx < len(heads); idx += step {
+				l.Elims = append(l.Elims, Elim{I: heads[idx], Piv: heads[idx-step/2], K: k})
+			}
+		}
+	}
+	return l
+}

@@ -1,0 +1,68 @@
+package core
+
+import "testing"
+
+func TestHadriTreeValid(t *testing.T) {
+	for _, s := range [][2]int{{15, 6}, {40, 7}, {12, 12}, {9, 2}} {
+		for _, bs := range []int{1, 2, 3, 5, s[0]} {
+			l := HadriTreeList(s[0], s[1], bs)
+			if err := l.Validate(false); err != nil {
+				t.Errorf("HadriTree(%d,%d,BS=%d): %v", s[0], s[1], bs, err)
+			}
+		}
+	}
+}
+
+func TestHadriDegeneratesLikePlasma(t *testing.T) {
+	// BS = 1 is a binary tree for both anchorings; BS ≥ p is a flat tree.
+	p, q := 12, 4
+	if _, cpH := StaticListTimes(HadriTreeList(p, q, 1)); true {
+		_, cpB := StaticListTimes(BinaryTreeList(p, q))
+		if cpH != cpB {
+			t.Errorf("HadriTree(BS=1) CP %d != BinaryTree CP %d", cpH, cpB)
+		}
+	}
+	if _, cpH := StaticListTimes(HadriTreeList(p, q, p)); true {
+		_, cpF := StaticListTimes(FlatTreeList(p, q))
+		if cpH != cpF {
+			t.Errorf("HadriTree(BS=p) CP %d != FlatTree CP %d", cpH, cpF)
+		}
+	}
+}
+
+// TestHadriNeverBeatsPlasma reproduces the §4 finding: "the PLASMA
+// algorithms performed identically or better than these algorithms" — in
+// critical-path terms, the best PLASMA-anchored tree is never worse than
+// the best Hadri-anchored tree.
+func TestHadriNeverBeatsPlasma(t *testing.T) {
+	for _, s := range [][2]int{{15, 6}, {40, 4}, {40, 10}, {20, 20}, {30, 3}} {
+		p, q := s[0], s[1]
+		bestPlasma, bestHadri := 1<<30, 1<<30
+		for bs := 1; bs <= p; bs++ {
+			if _, cp := StaticListTimes(PlasmaTreeList(p, q, bs)); cp < bestPlasma {
+				bestPlasma = cp
+			}
+			if _, cp := StaticListTimes(HadriTreeList(p, q, bs)); cp < bestHadri {
+				bestHadri = cp
+			}
+		}
+		if bestPlasma > bestHadri {
+			t.Errorf("%dx%d: best PlasmaTree CP %d worse than best HadriTree CP %d", p, q, bestPlasma, bestHadri)
+		}
+	}
+}
+
+// TestHadriPerBSComparison: with the same BS the two anchorings may differ
+// either way for individual domain sizes, but the PLASMA anchoring wins the
+// aggregate (previous test); here we just pin that both produce sane CPs
+// bounded below by Greedy's.
+func TestHadriBoundedByGreedy(t *testing.T) {
+	p, q := 40, 6
+	_, greedy := StaticListTimes(GreedyList(p, q))
+	for _, bs := range []int{1, 5, 10, 20} {
+		_, cp := StaticListTimes(HadriTreeList(p, q, bs))
+		if cp < greedy {
+			t.Errorf("HadriTree(BS=%d) CP %d beats Greedy %d on %dx%d", bs, cp, greedy, p, q)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// clampShape maps arbitrary quick-generated integers into a usable grid.
+func clampShape(p, q int8) (int, int) {
+	pp := 2 + abs(int(p))%14
+	qq := 1 + abs(int(q))%pp
+	return pp, qq
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// PropertyEveryAlgorithmProducesValidLists: for arbitrary shapes, every
+// generator yields a list satisfying the §2.2 validity conditions with
+// exactly one elimination per sub-diagonal tile.
+func TestPropertyValidLists(t *testing.T) {
+	f := func(p8, q8 int8, bs8 int8) bool {
+		p, q := clampShape(p8, q8)
+		for _, alg := range Algorithms {
+			l, err := Generate(alg, p, q, Options{})
+			if err != nil || l.Validate(false) != nil {
+				return false
+			}
+		}
+		bs := 1 + abs(int(bs8))%p
+		return PlasmaTreeList(p, q, bs).Validate(false) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// PropertyCrossColumnInterleaving: any valid re-interleaving of a list that
+// preserves each column's internal order yields the identical task DAG
+// timing — the structural fact that lets Algorithm 4 emit columns in a
+// different order than the coarse recursion.
+func TestPropertyInterleavingInvariance(t *testing.T) {
+	f := func(p8, q8 int8, seed int64) bool {
+		p, q := clampShape(p8, q8)
+		base := GreedyList(p, q)
+		_, cpBase := StaticListTimes(base)
+		// Random valid interleave: repeatedly pick a random column whose
+		// next elimination is "ready" (all earlier eliminations of its rows
+		// in earlier columns already emitted).
+		perCol := make([][]Elim, base.MinPQ()+1)
+		for _, e := range base.Elims {
+			perCol[e.K] = append(perCol[e.K], e)
+		}
+		idx := make([]int, base.MinPQ()+1)
+		zeroed := map[[2]int]bool{}
+		ready := func(e Elim) bool {
+			for k := 1; k < e.K; k++ {
+				if !zeroed[[2]int{e.I, k}] {
+					return false
+				}
+				if e.Piv > k && !zeroed[[2]int{e.Piv, k}] {
+					return false
+				}
+			}
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		out := List{P: p, Q: q}
+		for len(out.Elims) < len(base.Elims) {
+			var candidates []int
+			for k := 1; k <= base.MinPQ(); k++ {
+				if idx[k] < len(perCol[k]) && ready(perCol[k][idx[k]]) {
+					candidates = append(candidates, k)
+				}
+			}
+			if len(candidates) == 0 {
+				return false // would be a generator bug
+			}
+			k := candidates[rng.Intn(len(candidates))]
+			e := perCol[k][idx[k]]
+			idx[k]++
+			zeroed[[2]int{e.I, e.K}] = true
+			out.Elims = append(out.Elims, e)
+		}
+		if out.Validate(false) != nil {
+			return false
+		}
+		_, cp := StaticListTimes(out)
+		return cp == cpBase
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// PropertyTotalWeight: the 6pq²−2q³ invariant holds for arbitrary random
+// valid lists, both kernel families.
+func TestPropertyTotalWeight(t *testing.T) {
+	f := func(p8, q8 int8, seed int64) bool {
+		p, q := clampShape(p8, q8)
+		want := 6*p*q*q - 2*q*q*q
+		rng := rand.New(rand.NewSource(seed))
+		l := randomValidList(p, q, rng)
+		return BuildDAG(l.NormalizeReverse(), TT).TotalWeight() == want &&
+			BuildDAG(l.NormalizeReverse(), TS).TotalWeight() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// PropertyLemma1: normalization removes reverse eliminations, preserves
+// validity and preserves the critical path, for arbitrary random lists.
+func TestPropertyLemma1(t *testing.T) {
+	f := func(p8, q8 int8, seed int64) bool {
+		p, q := clampShape(p8, q8)
+		rng := rand.New(rand.NewSource(seed))
+		l := randomValidList(p, q, rng)
+		n := l.NormalizeReverse()
+		if n.HasReverse() || n.Validate(false) != nil {
+			return false
+		}
+		_, a := StaticListTimes(l)
+		_, b := StaticListTimes(n)
+		return a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// PropertyDAGTopological: task IDs are a topological order and each task's
+// predecessors are unique.
+func TestPropertyDAGTopological(t *testing.T) {
+	f := func(p8, q8 int8) bool {
+		p, q := clampShape(p8, q8)
+		for _, alg := range Algorithms {
+			l, _ := Generate(alg, p, q, Options{})
+			for _, kern := range []Kernels{TT, TS} {
+				d := BuildDAG(l, kern)
+				for t := 0; t < d.NumTasks(); t++ {
+					seen := map[int32]bool{}
+					for _, pr := range d.Preds(t) {
+						if pr >= int32(t) || seen[pr] {
+							return false
+						}
+						seen[pr] = true
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// PropertyGreedyCoarseOptimal: in the coarse-grain model Greedy is optimal
+// [7], so no other generated algorithm can beat its coarse makespan.
+func TestPropertyGreedyCoarseOptimal(t *testing.T) {
+	f := func(p8, q8 int8) bool {
+		p, q := clampShape(p8, q8)
+		_, greedy := CoarseSchedule(GreedyList(p, q))
+		for _, alg := range []Algorithm{FlatTree, BinaryTree, Fibonacci} {
+			l, _ := Generate(alg, p, q, Options{})
+			if _, cp := CoarseSchedule(l); cp < greedy {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// PropertyZeroOrderBottomUp: Fibonacci and Greedy zero each column bottom-up
+// (later-zeroed tiles are higher), the structural property behind their
+// pairing rule.
+func TestPropertyZeroOrderMonotone(t *testing.T) {
+	f := func(p8, q8 int8) bool {
+		p, q := clampShape(p8, q8)
+		for _, alg := range []Algorithm{Fibonacci, Greedy} {
+			l, _ := Generate(alg, p, q, Options{})
+			for _, col := range l.ZeroedColumnOrder() {
+				for x := 1; x < len(col); x++ {
+					// Within a simultaneous batch rows ascend; across
+					// batches rows move upward. Either way no row may be
+					// zeroed after a row more than a batch above it: check
+					// the weaker invariant that the *last* zeroed row is
+					// the topmost.
+					_ = x
+				}
+				if len(col) > 0 && col[len(col)-1] != minOf(col) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func minOf(s []int) int {
+	m := s[0]
+	for _, v := range s {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}

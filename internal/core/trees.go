@@ -1,0 +1,118 @@
+package core
+
+import "fmt"
+
+// FlatTreeList returns the Sameh-Kuck / FlatTree elimination list: in each
+// column the diagonal row eliminates every row below it, top to bottom.
+// This is the historical PLASMA ordering [4, 5, 14].
+func FlatTreeList(p, q int) List {
+	l := List{P: p, Q: q}
+	for k := 1; k <= min(p, q); k++ {
+		for i := k + 1; i <= p; i++ {
+			l.Elims = append(l.Elims, Elim{I: i, Piv: k, K: k})
+		}
+	}
+	return l
+}
+
+// BinaryTreeList returns the binary-tree reduction list: in each column,
+// rows are paired level by level ((k,k+1), (k+2,k+3), ... then strides 2, 4,
+// ...), the classical choice for tall and skinny matrices.
+func BinaryTreeList(p, q int) List {
+	l := List{P: p, Q: q}
+	for k := 1; k <= min(p, q); k++ {
+		for step := 2; step/2 < p-k+1; step *= 2 {
+			// Relative index d = i−k; at this level rows with
+			// d ≡ step/2 (mod step) are zeroed by the row step/2 above.
+			for i := k + step/2; i <= p; i += step {
+				l.Elims = append(l.Elims, Elim{I: i, Piv: i - step/2, K: k})
+			}
+		}
+	}
+	return l
+}
+
+// FibonacciCoarseStep returns coarse(i, k) for the Fibonacci scheme of
+// order 1 [13]: the coarse-grain time step at which tile (i,k), i > k, is
+// zeroed out. Column 1 follows the closed form of §3.1 and each subsequent
+// column is the previous one shifted down one row and two time steps.
+func FibonacciCoarseStep(p int, i, k int) int {
+	// Shift to column 1: coarse(i,k) = coarse(i−k+1, 1) + 2(k−1), where the
+	// column-1 pattern is the one for the full height p (the recurrence of
+	// §3.1 shifts the whole pattern down one row per column).
+	r := i - k + 1
+	// x = least integer with x(x+1)/2 ≥ p−1.
+	x := 0
+	for x*(x+1)/2 < p-1 {
+		x++
+	}
+	// y = least integer with r ≤ y(y+1)/2 + 1.
+	y := 0
+	for r > y*(y+1)/2+1 {
+		y++
+	}
+	return x - y + 1 + 2*(k-1)
+}
+
+// FibonacciList returns the Fibonacci elimination list: tiles zeroed at the
+// same coarse step form a contiguous bunch of z rows eliminated by the z
+// rows directly above them, paired in natural order.
+func FibonacciList(p, q int) List {
+	l := List{P: p, Q: q}
+	for k := 1; k <= min(p, q); k++ {
+		if p-k+1 < 2 {
+			continue
+		}
+		// Group rows k+1..p of this column by coarse step.
+		maxStep := 0
+		step := make(map[int][]int)
+		for i := k + 1; i <= p; i++ {
+			s := FibonacciCoarseStep(p, i, k)
+			step[s] = append(step[s], i)
+			if s > maxStep {
+				maxStep = s
+			}
+		}
+		for s := 1; s <= maxStep; s++ {
+			rows := step[s] // ascending by construction
+			z := len(rows)
+			for _, i := range rows {
+				l.Elims = append(l.Elims, Elim{I: i, Piv: i - z, K: k})
+			}
+		}
+	}
+	return l
+}
+
+// CoarseSchedule executes an elimination list under the coarse-grain model
+// of §3.1: every elimination costs one time unit, occupies both of its rows
+// for that unit, and requires both rows to have been zeroed in all earlier
+// columns during previous steps. It returns the step at which each
+// sub-diagonal tile is zeroed (indexed [i-1][k-1]) and the makespan.
+// Eliminations are started as early as possible in list order.
+func CoarseSchedule(l List) (steps [][]int, makespan int) {
+	steps = make([][]int, l.P)
+	for i := range steps {
+		steps[i] = make([]int, min(l.MinPQ(), l.P))
+	}
+	lastUse := make([]int, l.P+1) // last step each row was used
+	levelAt := make([]int, l.P+1) // step after which the row reached its current column
+	rowCol := make([]int, l.P+1)  // column the row currently belongs to
+	for r := 1; r <= l.P; r++ {
+		rowCol[r] = 1
+	}
+	for _, e := range l.Elims {
+		if rowCol[e.I] != e.K || (e.Piv > e.K && rowCol[e.Piv] < e.K) {
+			panic(fmt.Sprintf("core: coarse schedule: %v executed out of order", e))
+		}
+		s := max(levelAt[e.I], levelAt[e.Piv], lastUse[e.I], lastUse[e.Piv]) + 1
+		lastUse[e.I], lastUse[e.Piv] = s, s
+		steps[e.I-1][e.K-1] = s
+		rowCol[e.I] = e.K + 1
+		levelAt[e.I] = s
+		if s > makespan {
+			makespan = s
+		}
+	}
+	return steps, makespan
+}

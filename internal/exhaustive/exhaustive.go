@@ -1,0 +1,226 @@
+// Package exhaustive searches the space of all generic tiled algorithms for
+// the one with the shortest critical path, reproducing the "program for a
+// sanity check" behind Theorem 1(3) of the paper: the optimal critical path
+// of a banded square matrix bounds the optimal critical path of every
+// matrix from below.
+//
+// The search enumerates, column by column, every per-column elimination
+// sequence (cross-column interleaving provably does not affect the task
+// DAG), evaluating the ASAP tiled schedule incrementally and pruning
+// branches whose partial makespan already reaches the incumbent. Lemma 1
+// restricts pivots to rows above the zeroed row without loss of generality.
+package exhaustive
+
+import (
+	"tiledqr/internal/core"
+)
+
+// weights of the TT kernels (Table 1).
+const (
+	wGEQRT = 4
+	wUNMQR = 6
+	wTTQRT = 2
+	wTTMQR = 6
+)
+
+// state carries the incremental ASAP evaluation: the completion time of the
+// last write to each tile's data region, and the running makespan.
+type state struct {
+	p, q     int
+	dataTime []int // (p+1)×(q+1), 1-based
+	makespan int
+}
+
+func newState(p, q int) *state {
+	return &state{p: p, q: q, dataTime: make([]int, (p+1)*(q+1))}
+}
+
+func (s *state) dt(i, j int) int   { return s.dataTime[i*(s.q+1)+j] }
+func (s *state) setDT(i, j, v int) { s.dataTime[i*(s.q+1)+j] = v }
+func (s *state) bump(t int) {
+	if t > s.makespan {
+		s.makespan = t
+	}
+}
+
+func (s *state) clone() *state {
+	c := *s
+	c.dataTime = append([]int(nil), s.dataTime...)
+	return &c
+}
+
+// enterColumn performs GEQRT(row, k) and its UNMQR updates, returning the
+// row's availability time in column k.
+func (s *state) enterColumn(row, k int) int {
+	gf := s.dt(row, k) + wGEQRT
+	s.bump(gf)
+	for j := k + 1; j <= s.q; j++ {
+		uf := max(gf, s.dt(row, j)) + wUNMQR
+		s.setDT(row, j, uf)
+		s.bump(uf)
+	}
+	return gf
+}
+
+// elim performs TTQRT(i, piv, k) starting when both rows are available,
+// plus its TTMQR updates; avail times are passed and the pivot's new
+// availability returned.
+func (s *state) elim(i, piv, k, availI, availPiv int) (pivAvail int) {
+	fin := max(availI, availPiv) + wTTQRT
+	s.bump(fin)
+	for j := k + 1; j <= s.q; j++ {
+		f := max(fin, s.dt(i, j), s.dt(piv, j)) + wTTMQR
+		s.setDT(i, j, f)
+		s.setDT(piv, j, f)
+		s.bump(f)
+	}
+	return fin
+}
+
+// Searcher runs the branch-and-bound search.
+type Searcher struct {
+	p, q, band int
+	qmin       int
+	best       int
+	leaves     int // completed schedules examined (for reporting)
+
+	// Budget bounds the number of search nodes expanded (0 = unlimited).
+	// When exhausted, OptimalCP returns the best schedule found so far —
+	// an upper bound on the optimum — and Complete reports false.
+	Budget int
+	nodes  int
+	capped bool
+}
+
+// New creates a searcher for a p×q grid in which tile (i,k) is structurally
+// nonzero only when i−k ≤ band; band ≥ p−1 means a full matrix.
+func New(p, q, band int) *Searcher {
+	if band < 1 {
+		band = 1
+	}
+	return &Searcher{p: p, q: q, band: band, qmin: min(p, q), best: 1 << 30}
+}
+
+// startCol returns the first column in which row i holds a nonzero tile.
+func (s *Searcher) startCol(i int) int { return max(1, i-s.band) }
+
+// OptimalCP runs the search and returns the minimal critical path over all
+// generic tiled algorithms (TT kernels).
+func (s *Searcher) OptimalCP() int {
+	st := newState(s.p, s.q)
+	s.column(1, st, nil)
+	return s.best
+}
+
+// Leaves returns the number of complete schedules evaluated.
+func (s *Searcher) Leaves() int { return s.leaves }
+
+// Complete reports whether the search space was fully explored (no budget
+// cut); if false, the returned critical path is only an upper bound.
+func (s *Searcher) Complete() bool { return !s.capped }
+
+// column enumerates column k given the state after columns < k. carried
+// is unused for k = 1 and exists to keep the recursion uniform.
+func (s *Searcher) column(k int, st *state, _ []int) {
+	if k > s.qmin {
+		s.leaves++
+		if st.makespan < s.best {
+			s.best = st.makespan
+		}
+		return
+	}
+	if st.makespan >= s.best {
+		return
+	}
+	// Rows active in column k: those whose band has reached this column.
+	// They all need triangularization; all but the topmost need zeroing.
+	var rows []int
+	for i := k; i <= s.p; i++ {
+		if s.startCol(i) <= k {
+			rows = append(rows, i)
+		}
+	}
+	avail := make(map[int]int, len(rows))
+	for _, i := range rows {
+		avail[i] = st.enterColumn(i, k)
+	}
+	if st.makespan >= s.best {
+		return
+	}
+	s.pairs(k, st, rows[1:], avail)
+}
+
+// pairs recursively chooses the next elimination in column k among the
+// remaining zeroable rows; when none remain the search proceeds to the next
+// column.
+func (s *Searcher) pairs(k int, st *state, toZero []int, avail map[int]int) {
+	s.nodes++
+	if s.Budget > 0 && s.nodes > s.Budget {
+		s.capped = true
+		return
+	}
+	if st.makespan >= s.best {
+		return
+	}
+	if len(toZero) == 0 {
+		s.column(k+1, st, nil)
+		return
+	}
+	for zi, i := range toZero {
+		// Pivot: any still-unzeroed row above i active in this column
+		// (Lemma 1: pivots below i need not be considered). Zeroed rows
+		// have been removed from avail.
+		for piv := k; piv < i; piv++ {
+			if s.startCol(piv) > k {
+				continue
+			}
+			av, ok := avail[piv]
+			if !ok {
+				continue
+			}
+			st2 := st.clone()
+			pivAvail := st2.elim(i, piv, k, avail[i], av)
+			if st2.makespan >= s.best {
+				continue
+			}
+			rest := make([]int, 0, len(toZero)-1)
+			rest = append(rest, toZero[:zi]...)
+			rest = append(rest, toZero[zi+1:]...)
+			avail2 := make(map[int]int, len(avail))
+			for r, t := range avail {
+				avail2[r] = t
+			}
+			delete(avail2, i)
+			avail2[piv] = pivAvail
+			s.pairs(k, st2, rest, avail2)
+		}
+	}
+}
+
+// AlgorithmCP evaluates an algorithm's elimination list under the same
+// banded model (rows outside the band are skipped), for comparing the
+// searched optimum against the paper's algorithms on banded matrices.
+func AlgorithmCP(p, q, band int, list core.List) int {
+	s := New(p, q, band)
+	st := newState(p, q)
+	perCol := make([][]core.Elim, s.qmin+1)
+	for _, e := range list.Elims {
+		if e.I-e.K <= band {
+			perCol[e.K] = append(perCol[e.K], e)
+		}
+	}
+	for k := 1; k <= s.qmin; k++ {
+		avail := map[int]int{}
+		for i := k; i <= p; i++ {
+			if s.startCol(i) <= k {
+				avail[i] = st.enterColumn(i, k)
+			}
+		}
+		for _, e := range perCol[k] {
+			pv := st.elim(e.I, e.Piv, e.K, avail[e.I], avail[e.Piv])
+			delete(avail, e.I)
+			avail[e.Piv] = pv
+		}
+	}
+	return st.makespan
+}

@@ -1,0 +1,26 @@
+// Package kernel implements the sequential float64 tile kernels of the tiled
+// QR factorization (Table 1 of Bouwmeester, Jacquelin, Langou, Robert,
+// "Tiled QR factorization algorithms", 2011):
+//
+//	GEQRT  — factor a square/rectangular tile into Q·R           (weight 4)
+//	TSQRT  — zero a square tile using the triangle on top of it  (weight 6)
+//	TTQRT  — zero a triangular tile with a triangle on top       (weight 2)
+//	UNMQR  — apply a GEQRT transformation to a trailing tile     (weight 6)
+//	TSMQR  — apply a TSQRT transformation to a trailing pair     (weight 12)
+//	TTMQR  — apply a TTQRT transformation to a trailing pair     (weight 6)
+//
+// Weights are in units of nb³/3 floating-point operations.
+//
+// As in LAPACK, TSQRT and TTQRT are the l=0 and l=n instances of the
+// pentagonal factorization TPQRT, and TSMQR/TTMQR are instances of TPMQRT;
+// this package implements the general pentagonal kernels, so ragged edge
+// tiles (shorter last tile row / narrower last tile column) are supported.
+//
+// All kernels follow LAPACK's compact-WY representation with inner blocking
+// parameter ib: reflectors are processed in panels of ib columns and each
+// panel's triangular factor T is stored in an ib×n array. Matrices are
+// row-major with an explicit leading dimension (row stride).
+//
+// Householder conventions match LAPACK: H = I − τ·v·vᵀ with v[0] = 1, the
+// factorization applies Hᵀ from the left, Q = H₁·H₂···H_k.
+package kernel

@@ -1,0 +1,21 @@
+package kernel
+
+// GEMM computes C += A·B for row-major blocks: A is m×kk, B is kk×n, C is
+// m×n. It is the reference kernel of Figures 4 and 5 of the paper: the
+// update kernels' speeds are compared against plain matrix multiplication
+// at the same tile size.
+func GEMM(m, n, kk int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	for i := 0; i < m; i++ {
+		ci := c[i*ldc : i*ldc+n]
+		for l := 0; l < kk; l++ {
+			ail := a[i*lda+l]
+			if ail == 0 {
+				continue
+			}
+			bl := b[l*ldb : l*ldb+n]
+			for j, bv := range bl {
+				ci[j] += ail * bv
+			}
+		}
+	}
+}

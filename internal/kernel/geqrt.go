@@ -1,0 +1,221 @@
+package kernel
+
+import "math"
+
+// larfgCol generates an elementary Householder reflector H = I − τ·v·vᵀ with
+// v[r0] = 1 acting on the column vector [a(r0,c); a(r0+1:m,c)] so that
+// H·x = [β; 0]. On return a(r0,c) = β and a(r0+1:m,c) holds v[r0+1:].
+func larfgCol(a []float64, lda, r0, c, m int) (tau float64) {
+	alpha := a[r0*lda+c]
+	var xnorm float64
+	for i := r0 + 1; i < m; i++ {
+		xnorm = math.Hypot(xnorm, a[i*lda+c])
+	}
+	if xnorm == 0 {
+		return 0
+	}
+	beta := -math.Copysign(math.Hypot(alpha, xnorm), alpha)
+	tau = (beta - alpha) / beta
+	scale := 1 / (alpha - beta)
+	for i := r0 + 1; i < m; i++ {
+		a[i*lda+c] *= scale
+	}
+	a[r0*lda+c] = beta
+	return tau
+}
+
+// geqrt2 factors the panel A[j0:m, j0:j0+kb] in place by Householder
+// reflections and stores the panel's kb×kb triangular factor in columns
+// j0:j0+kb of t (which has row stride ldt and at least kb rows). tmp must
+// have length ≥ kb.
+func geqrt2(m int, a []float64, lda, j0, kb int, t []float64, ldt int, tmp []float64) {
+	for jj := 0; jj < kb; jj++ {
+		j := j0 + jj
+		tau := larfgCol(a, lda, j, j, m)
+		// Apply H_j to the remaining panel columns.
+		for c := j + 1; c < j0+kb; c++ {
+			w := a[j*lda+c]
+			for i := j + 1; i < m; i++ {
+				w += a[i*lda+j] * a[i*lda+c]
+			}
+			w *= tau
+			a[j*lda+c] -= w
+			for i := j + 1; i < m; i++ {
+				a[i*lda+c] -= a[i*lda+j] * w
+			}
+		}
+		// T(0:jj, jj) = −τ · T(0:jj, 0:jj) · (V(:, 0:jj)ᵀ · v_j).
+		for c := 0; c < jj; c++ {
+			col := j0 + c
+			s := a[j*lda+col] // row j of v_c times v_j[j] = 1
+			for i := j + 1; i < m; i++ {
+				s += a[i*lda+col] * a[i*lda+j]
+			}
+			tmp[c] = s
+		}
+		for r := 0; r < jj; r++ {
+			var s float64
+			for c := r; c < jj; c++ {
+				s += t[r*ldt+j0+c] * tmp[c]
+			}
+			t[r*ldt+j] = -tau * s
+		}
+		t[jj*ldt+j] = tau
+	}
+}
+
+// applyPanel applies the block reflector of a GEQRT panel to C.
+// The panel's reflectors are the unit-lower-trapezoidal columns
+// v[r0:m, vc0:vc0+kb] of the array v; the block triangular factor is in
+// columns tc0:tc0+kb of t. If trans is true it applies (I − V·T·Vᵀ)ᵀ,
+// otherwise I − V·T·Vᵀ. Only rows r0:m of C[, cc0:cc0+nc] are touched.
+// w must have length ≥ kb·nc.
+func applyPanel(trans bool, m int, v []float64, ldv, r0, vc0, kb int,
+	t []float64, ldt, tc0 int, c []float64, ldc, cc0, nc int, w []float64) {
+	// W = Vᵀ · C
+	for x := 0; x < kb; x++ {
+		col := vc0 + x
+		diag := r0 + x
+		wx := w[x*nc : x*nc+nc]
+		copy(wx, c[diag*ldc+cc0:diag*ldc+cc0+nc])
+		for i := diag + 1; i < m; i++ {
+			vix := v[i*ldv+col]
+			if vix == 0 {
+				continue
+			}
+			ci := c[i*ldc+cc0 : i*ldc+cc0+nc]
+			for y, cv := range ci {
+				wx[y] += vix * cv
+			}
+		}
+	}
+	triMulW(trans, kb, t, ldt, tc0, w, nc)
+	// C −= V · W
+	for x := 0; x < kb; x++ {
+		col := vc0 + x
+		diag := r0 + x
+		wx := w[x*nc : x*nc+nc]
+		cd := c[diag*ldc+cc0 : diag*ldc+cc0+nc]
+		for y, wv := range wx {
+			cd[y] -= wv
+		}
+		for i := diag + 1; i < m; i++ {
+			vix := v[i*ldv+col]
+			if vix == 0 {
+				continue
+			}
+			ci := c[i*ldc+cc0 : i*ldc+cc0+nc]
+			for y, wv := range wx {
+				ci[y] -= vix * wv
+			}
+		}
+	}
+}
+
+// triMulW overwrites the kb×nc workspace W with Tᵀ·W (trans) or T·W, where T
+// is the upper triangular block in columns tc0:tc0+kb of t.
+func triMulW(trans bool, kb int, t []float64, ldt, tc0 int, w []float64, nc int) {
+	if trans {
+		// New W[x] depends on old W[0..x]; sweep x downward.
+		for x := kb - 1; x >= 0; x-- {
+			wx := w[x*nc : x*nc+nc]
+			txx := t[x*ldt+tc0+x]
+			for y := range wx {
+				wx[y] *= txx
+			}
+			for r := 0; r < x; r++ {
+				trx := t[r*ldt+tc0+x]
+				if trx == 0 {
+					continue
+				}
+				wr := w[r*nc : r*nc+nc]
+				for y := range wx {
+					wx[y] += trx * wr[y]
+				}
+			}
+		}
+	} else {
+		// New W[x] depends on old W[x..kb-1]; sweep x upward.
+		for x := 0; x < kb; x++ {
+			wx := w[x*nc : x*nc+nc]
+			txx := t[x*ldt+tc0+x]
+			for y := range wx {
+				wx[y] *= txx
+			}
+			for r := x + 1; r < kb; r++ {
+				txr := t[x*ldt+tc0+r]
+				if txr == 0 {
+					continue
+				}
+				wr := w[r*nc : r*nc+nc]
+				for y := range wx {
+					wx[y] += txr * wr[y]
+				}
+			}
+		}
+	}
+}
+
+// GEQRT computes the blocked QR factorization of the m×n tile a (row stride
+// lda): A = Q·R with Q = H₁···H_k, k = min(m,n). On return the upper
+// triangle/trapezoid of a holds R, the strictly lower part holds the
+// Householder vectors V, and t (ib rows, row stride ldt ≥ n) holds the
+// ib×ib triangular T factors of each column panel. work may be nil or a
+// scratch slice of length ≥ ib·(n+1).
+func GEQRT(m, n, ib int, a []float64, lda int, t []float64, ldt int, work []float64) {
+	k := min(m, n)
+	if k == 0 {
+		return
+	}
+	ib = clampIB(ib, k)
+	work = ensureWork(work, ib*(n+1))
+	tmp, w := work[:ib], work[ib:]
+	for k0 := 0; k0 < k; k0 += ib {
+		kb := min(ib, k-k0)
+		geqrt2(m, a, lda, k0, kb, t, ldt, tmp)
+		if k0+kb < n {
+			applyPanel(true, m, a, lda, k0, k0, kb, t, ldt, k0, a, lda, k0+kb, n-k0-kb, w)
+		}
+	}
+}
+
+// UNMQR applies the orthogonal factor of a GEQRT factorization to the m×nc
+// tile c: C := Qᵀ·C if trans, else C := Q·C. v and t are the outputs of
+// GEQRT on an m×· tile with k reflectors and inner block size ib. work may
+// be nil or a scratch slice of length ≥ ib·nc.
+func UNMQR(trans bool, m, k, ib int, v []float64, ldv int, t []float64, ldt int,
+	c []float64, ldc, nc int, work []float64) {
+	if k == 0 || nc == 0 {
+		return
+	}
+	ib = clampIB(ib, k)
+	work = ensureWork(work, ib*nc)
+	if trans {
+		for k0 := 0; k0 < k; k0 += ib {
+			kb := min(ib, k-k0)
+			applyPanel(true, m, v, ldv, k0, k0, kb, t, ldt, k0, c, ldc, 0, nc, work)
+		}
+	} else {
+		start := ((k - 1) / ib) * ib
+		for k0 := start; k0 >= 0; k0 -= ib {
+			kb := min(ib, k-k0)
+			applyPanel(false, m, v, ldv, k0, k0, kb, t, ldt, k0, c, ldc, 0, nc, work)
+		}
+	}
+}
+
+// clampIB normalizes the inner blocking factor to 1 ≤ ib ≤ k.
+func clampIB(ib, k int) int {
+	if ib <= 0 || ib > k {
+		return k
+	}
+	return ib
+}
+
+// ensureWork returns work if it is large enough, otherwise a fresh slice.
+func ensureWork(work []float64, n int) []float64 {
+	if len(work) < n {
+		return make([]float64, n)
+	}
+	return work
+}

@@ -1,0 +1,148 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tiledqr/internal/tile"
+)
+
+// TestUNMQRRectangularC applies Q to C blocks of several widths — the
+// update kernels must handle any trailing width (ragged last tile column,
+// right-hand sides of any count).
+func TestUNMQRRectangularC(t *testing.T) {
+	const m, n, ib = 10, 6, 3
+	a := tile.RandDense(m, n, 1)
+	tf := make([]float64, ib*n)
+	GEQRT(m, n, ib, a.Data, a.Stride, tf, n, nil)
+	for _, nc := range []int{1, 2, 5, 7, 16} {
+		c0 := tile.RandDense(m, nc, int64(nc))
+		c := c0.Clone()
+		UNMQR(true, m, n, ib, a.Data, a.Stride, tf, n, c.Data, c.Stride, nc, nil)
+		UNMQR(false, m, n, ib, a.Data, a.Stride, tf, n, c.Data, c.Stride, nc, nil)
+		if d := tile.MaxAbsDiff(c, c0); d > tol {
+			t.Errorf("nc=%d: Q·Qᵀ·C round trip error %g", nc, d)
+		}
+	}
+}
+
+// TestKernelsOnStridedViews runs the kernels on views into a larger array
+// (ld > cols), the exact situation of the Q-application path operating on
+// row blocks of a right-hand side.
+func TestKernelsOnStridedViews(t *testing.T) {
+	const nb, ib = 6, 2
+	big := tile.RandDense(20, 17, 3)
+	aView := big.View(1, 2, nb, nb)
+	a0 := aView.Clone()
+	tf := make([]float64, ib*nb)
+	GEQRT(nb, nb, ib, aView.Data, aView.Stride, tf, nb, nil)
+	q := qFromGEQRT(nb, nb, ib, aView, tf, nb)
+	if res := tile.ResidualQR(a0, q, upperTriOf(aView)); res > tol {
+		t.Errorf("strided GEQRT residual %g", res)
+	}
+	// Neighbouring elements of the backing array must be untouched.
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 17; j++ {
+			inside := i >= 1 && i < 1+nb && j >= 2 && j < 2+nb
+			if !inside {
+				want := tile.RandDense(20, 17, 3).At(i, j)
+				if big.At(i, j) != want {
+					t.Fatalf("GEQRT on view touched outside element (%d,%d)", i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestWorkspaceReuse: passing a shared scratch buffer must give bitwise
+// identical results to internal allocation.
+func TestWorkspaceReuse(t *testing.T) {
+	const m, n, ib = 12, 8, 3
+	a1 := tile.RandDense(m, n, 9)
+	a2 := a1.Clone()
+	t1 := make([]float64, ib*n)
+	t2 := make([]float64, ib*n)
+	work := make([]float64, ib*(n+1))
+	for i := range work {
+		work[i] = math.NaN() // dirty workspace must not leak into results
+	}
+	GEQRT(m, n, ib, a1.Data, a1.Stride, t1, n, work)
+	GEQRT(m, n, ib, a2.Data, a2.Stride, t2, n, nil)
+	if d := tile.MaxAbsDiff(a1, a2); d != 0 {
+		t.Errorf("workspace reuse changed GEQRT results by %g", d)
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("workspace reuse changed T factors at %d", i)
+		}
+	}
+}
+
+// TestQuickTPQRTRoundTrip is a quick-check property: for arbitrary small
+// pentagonal shapes, Qᵀ annihilates B and Q·Qᵀ is the identity.
+func TestQuickTPQRTRoundTrip(t *testing.T) {
+	f := func(mSeed, nSeed, lSeed, ibSeed uint8, seed int64) bool {
+		m := 1 + int(mSeed)%7
+		n := 1 + int(nSeed)%7
+		l := int(lSeed) % (min(m, n) + 1)
+		ib := 1 + int(ibSeed)%n
+		aTri := randUpperTri(n, seed)
+		b := randPent(m, n, l, seed+1)
+		a2, v, tf := tpFactor(t, m, n, l, ib, aTri, b)
+		c1 := aTri.Clone()
+		c2 := b.Clone()
+		TPMQRT(true, m, n, l, ib, v.Data, v.Stride, tf, n, c1.Data, c1.Stride, c2.Data, c2.Stride, n, nil)
+		for j := 0; j < n; j++ {
+			for i := 0; i < pentRows(m, l, j); i++ {
+				if math.Abs(c2.At(i, j)) > tol {
+					return false
+				}
+			}
+		}
+		if tile.MaxAbsDiff(c1, upperTriOf(a2)) > tol {
+			return false
+		}
+		TPMQRT(false, m, n, l, ib, v.Data, v.Stride, tf, n, c1.Data, c1.Stride, c2.Data, c2.Stride, n, nil)
+		return tile.MaxAbsDiff(c1, aTri) < tol && tile.MaxAbsDiff(c2, b) < tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGEMMKnown verifies the reference GEMM kernel against tile.Mul.
+func TestGEMMKnown(t *testing.T) {
+	a := tile.RandDense(5, 7, 1)
+	b := tile.RandDense(7, 4, 2)
+	c := tile.RandDense(5, 4, 3)
+	want := tile.Mul(a, b)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 4; j++ {
+			want.Set(i, j, want.At(i, j)+c.At(i, j))
+		}
+	}
+	GEMM(5, 4, 7, a.Data, a.Stride, b.Data, b.Stride, c.Data, c.Stride)
+	if d := tile.MaxAbsDiff(c, want); d > tol {
+		t.Errorf("GEMM differs from reference by %g", d)
+	}
+}
+
+// TestTPQRTSingularInput: a zero B block must not break the factorization
+// (τ = 0 reflectors, H = I).
+func TestTPQRTSingularInput(t *testing.T) {
+	const n, ib = 5, 2
+	aTri := randUpperTri(n, 4)
+	b := tile.NewDense(n, n)
+	a := aTri.Clone()
+	tf := make([]float64, ib*n)
+	TPQRT(n, n, 0, ib, a.Data, a.Stride, b.Data, b.Stride, tf, n, nil)
+	if d := tile.MaxAbsDiff(a, aTri); d > tol {
+		t.Errorf("TSQRT of zero block changed R by %g", d)
+	}
+	for _, v := range b.Data {
+		if v != 0 {
+			t.Fatal("TSQRT of zero block produced nonzero reflectors")
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package kernel
+
+import "math"
+
+// pentRows returns the number of rows of the pentagonal block B that
+// participate in reflector j (0-based), for an m×n B with trapezoid height l:
+// column j of B has m−l+min(l, j+1) structurally nonzero leading rows.
+// l = 0 gives the TS ("square") case, l = min(m,n) the TT ("triangle") case.
+func pentRows(m, l, j int) int {
+	return m - l + min(l, j+1)
+}
+
+// larfgPent generates the reflector for TPQRT column j: the vector is
+// [a(j,j); b(0:p, j)] where p = pentRows(m, l, j). On return a(j,j) = β and
+// b(0:p, j) holds v₂.
+func larfgPent(a []float64, lda int, b []float64, ldb, j, p int) (tau float64) {
+	alpha := a[j*lda+j]
+	var xnorm float64
+	for i := 0; i < p; i++ {
+		xnorm = math.Hypot(xnorm, b[i*ldb+j])
+	}
+	if xnorm == 0 {
+		return 0
+	}
+	beta := -math.Copysign(math.Hypot(alpha, xnorm), alpha)
+	tau = (beta - alpha) / beta
+	scale := 1 / (alpha - beta)
+	for i := 0; i < p; i++ {
+		b[i*ldb+j] *= scale
+	}
+	a[j*lda+j] = beta
+	return tau
+}
+
+// tpqrt2 factors one panel (columns j0:j0+kb) of the stacked matrix
+// [A; B] where A is n×n upper triangular and B is m×n pentagonal with
+// trapezoid height l. tmp must have length ≥ kb.
+func tpqrt2(m, n, l int, a []float64, lda int, b []float64, ldb, j0, kb int,
+	t []float64, ldt int, tmp []float64) {
+	for jj := 0; jj < kb; jj++ {
+		j := j0 + jj
+		p := pentRows(m, l, j)
+		tau := larfgPent(a, lda, b, ldb, j, p)
+		// Apply H_j to the remaining panel columns. The top part of v_j is
+		// e_j, so only row j of A and rows 0:p of B are involved.
+		for c := j + 1; c < j0+kb; c++ {
+			w := a[j*lda+c]
+			for i := 0; i < p; i++ {
+				w += b[i*ldb+j] * b[i*ldb+c]
+			}
+			w *= tau
+			a[j*lda+c] -= w
+			for i := 0; i < p; i++ {
+				b[i*ldb+c] -= w * b[i*ldb+j]
+			}
+		}
+		// T(0:jj, jj) = −τ · T(0:jj, 0:jj) · (V₂(:, 0:jj)ᵀ · v₂ⱼ).
+		// Top parts are distinct identity columns, so they contribute 0.
+		for c := 0; c < jj; c++ {
+			pc := pentRows(m, l, j0+c)
+			var s float64
+			for i := 0; i < pc; i++ {
+				s += b[i*ldb+j0+c] * b[i*ldb+j]
+			}
+			tmp[c] = s
+		}
+		for r := 0; r < jj; r++ {
+			var s float64
+			for c := r; c < jj; c++ {
+				s += t[r*ldt+j0+c] * tmp[c]
+			}
+			t[r*ldt+j] = -tau * s
+		}
+		t[jj*ldt+j] = tau
+	}
+}
+
+// applyPentPanel applies the block reflector of a TPQRT panel (columns
+// vc0:vc0+kb of the pentagonal array v, with T in columns vc0:vc0+kb of t)
+// to the stacked pair [C1; C2]. The identity part of reflector column vc0+x
+// acts on row vc0+x of C1; the pentagonal part acts on C2. If trans it
+// applies (I − V·T·Vᵀ)ᵀ, else I − V·T·Vᵀ. w must have length ≥ kb·nc.
+func applyPentPanel(trans bool, m, l int, v []float64, ldv, vc0, kb int,
+	t []float64, ldt int,
+	c1 []float64, ldc1, c1c0 int,
+	c2 []float64, ldc2, c2c0, nc int, w []float64) {
+	// W = C1[vc0+x] + V₂ᵀ · C2
+	for x := 0; x < kb; x++ {
+		col := vc0 + x
+		p := pentRows(m, l, col)
+		wx := w[x*nc : x*nc+nc]
+		top := col * ldc1
+		copy(wx, c1[top+c1c0:top+c1c0+nc])
+		for i := 0; i < p; i++ {
+			vix := v[i*ldv+col]
+			if vix == 0 {
+				continue
+			}
+			ci := c2[i*ldc2+c2c0 : i*ldc2+c2c0+nc]
+			for y, cv := range ci {
+				wx[y] += vix * cv
+			}
+		}
+	}
+	triMulW(trans, kb, t, ldt, vc0, w, nc)
+	// C1 −= W ; C2 −= V₂·W
+	for x := 0; x < kb; x++ {
+		col := vc0 + x
+		p := pentRows(m, l, col)
+		wx := w[x*nc : x*nc+nc]
+		top := col * ldc1
+		cd := c1[top+c1c0 : top+c1c0+nc]
+		for y, wv := range wx {
+			cd[y] -= wv
+		}
+		for i := 0; i < p; i++ {
+			vix := v[i*ldv+col]
+			if vix == 0 {
+				continue
+			}
+			ci := c2[i*ldc2+c2c0 : i*ldc2+c2c0+nc]
+			for y, wv := range wx {
+				ci[y] -= vix * wv
+			}
+		}
+	}
+}
+
+// TPQRT computes the blocked QR factorization of the stacked matrix [A; B]
+// where A is the n×n upper triangular R of the pivot tile (its strictly
+// lower part is NOT referenced — it may hold the pivot's own Householder
+// vectors) and B is an m×n pentagonal tile with trapezoid height l:
+//
+//	l = 0        — TSQRT: B is a full square/rectangular tile
+//	l = min(m,n) — TTQRT: B is upper triangular/trapezoidal (the R of the
+//	               tile being zeroed); entries of B outside the trapezoid
+//	               are not referenced
+//
+// On return A holds the updated R, B holds the V₂ parts of the reflectors,
+// and t (ib rows, stride ldt ≥ n) holds the panel T factors. work may be
+// nil or a scratch slice of length ≥ ib·(n+1).
+func TPQRT(m, n, l, ib int, a []float64, lda int, b []float64, ldb int,
+	t []float64, ldt int, work []float64) {
+	if n == 0 || m == 0 {
+		return
+	}
+	if l < 0 || l > min(m, n) {
+		panic("kernel: TPQRT requires 0 ≤ l ≤ min(m,n)")
+	}
+	ib = clampIB(ib, n)
+	work = ensureWork(work, ib*(n+1))
+	tmp, w := work[:ib], work[ib:]
+	for k0 := 0; k0 < n; k0 += ib {
+		kb := min(ib, n-k0)
+		tpqrt2(m, n, l, a, lda, b, ldb, k0, kb, t, ldt, tmp)
+		if k0+kb < n {
+			// Trailing update inside [A; B]: C1 is A's rows k0:k0+kb,
+			// columns k0+kb:n; C2 is B's columns k0+kb:n.
+			applyPentPanel(true, m, l, b, ldb, k0, kb, t, ldt,
+				a, lda, k0+kb, b, ldb, k0+kb, n-k0-kb, w)
+		}
+	}
+}
+
+// TSQRT is TPQRT with l = 0: zero a full m×n tile b using the n×n triangle a
+// on top of it (Algorithm 2 of the paper, "triangle on top of square").
+func TSQRT(m, n, ib int, a []float64, lda int, b []float64, ldb int,
+	t []float64, ldt int, work []float64) {
+	TPQRT(m, n, 0, ib, a, lda, b, ldb, t, ldt, work)
+}
+
+// TTQRT is TPQRT with l = min(m,n): zero the triangular/trapezoidal tile b
+// using the triangle a on top of it (Algorithm 3, "triangle on top of
+// triangle"). Its pentagonal structure is what makes it cost 2 weight units
+// instead of TSQRT's 6.
+func TTQRT(m, n, ib int, a []float64, lda int, b []float64, ldb int,
+	t []float64, ldt int, work []float64) {
+	TPQRT(m, n, min(m, n), ib, a, lda, b, ldb, t, ldt, work)
+}
+
+// TPMQRT applies the transformation computed by TPQRT to the stacked pair
+// [C1; C2]: rows 0:k of the tile c1 and the full m×nc tile c2. v (m×k
+// pentagonal, trapezoid height l) and t are TPQRT's outputs; trans selects
+// Qᵀ (as used during factorization) versus Q. work may be nil or a scratch
+// slice of length ≥ ib·nc.
+func TPMQRT(trans bool, m, k, l, ib int, v []float64, ldv int, t []float64, ldt int,
+	c1 []float64, ldc1 int, c2 []float64, ldc2, nc int, work []float64) {
+	if k == 0 || nc == 0 {
+		return
+	}
+	ib = clampIB(ib, k)
+	work = ensureWork(work, ib*nc)
+	if trans {
+		for k0 := 0; k0 < k; k0 += ib {
+			kb := min(ib, k-k0)
+			applyPentPanel(true, m, l, v, ldv, k0, kb, t, ldt,
+				c1, ldc1, 0, c2, ldc2, 0, nc, work)
+		}
+	} else {
+		start := ((k - 1) / ib) * ib
+		for k0 := start; k0 >= 0; k0 -= ib {
+			kb := min(ib, k-k0)
+			applyPentPanel(false, m, l, v, ldv, k0, kb, t, ldt,
+				c1, ldc1, 0, c2, ldc2, 0, nc, work)
+		}
+	}
+}
+
+// TSMQR is TPMQRT with l = 0 (apply a TSQRT transformation).
+func TSMQR(trans bool, m, k, ib int, v []float64, ldv int, t []float64, ldt int,
+	c1 []float64, ldc1 int, c2 []float64, ldc2, nc int, work []float64) {
+	TPMQRT(trans, m, k, 0, ib, v, ldv, t, ldt, c1, ldc1, c2, ldc2, nc, work)
+}
+
+// TTMQR is TPMQRT with l = min(m,k) (apply a TTQRT transformation).
+func TTMQR(trans bool, m, k, ib int, v []float64, ldv int, t []float64, ldt int,
+	c1 []float64, ldc1 int, c2 []float64, ldc2, nc int, work []float64) {
+	TPMQRT(trans, m, k, min(m, k), ib, v, ldv, t, ldt, c1, ldc1, c2, ldc2, nc, work)
+}

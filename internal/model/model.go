@@ -1,0 +1,124 @@
+// Package model provides the closed-form critical path results of the paper
+// (Theorem 1, Propositions 1 and 2), the asymptotic-optimality bounds, flop
+// counting, and the roofline-style performance predictor of Section 4.
+package model
+
+import "math"
+
+// FlatTreeCP returns the critical path length of the TT-kernel FlatTree
+// algorithm (Theorem 1, part 1), in units of nb³/3 flops:
+//
+//	2p+2        if p ≥ q = 1
+//	6p+16q−22   if p > q > 1
+//	22p−24      if p = q > 1
+func FlatTreeCP(p, q int) int {
+	switch {
+	case q == 1:
+		return 2*p + 2
+	case p == q:
+		return 22*p - 24
+	default:
+		return 6*p + 16*q - 22
+	}
+}
+
+// TSFlatTreeCP returns the critical path length of the TS-kernel FlatTree
+// algorithm (Proposition 2):
+//
+//	6p−2        if p ≥ q = 1
+//	12p+18q−32  if p > q > 1
+//	30p−34      if p = q > 1
+func TSFlatTreeCP(p, q int) int {
+	switch {
+	case q == 1:
+		return 6*p - 2
+	case p == q:
+		return 30*p - 34
+	default:
+		return 12*p + 18*q - 32
+	}
+}
+
+// BinaryTreeCPPow2 returns the exact critical path length of BinaryTree when
+// p and q are powers of two with q < p (Proposition 1):
+// (10+6·log₂p)·q − 4·log₂p − 6.
+func BinaryTreeCPPow2(p, q int) int {
+	lg := Log2Ceil(p)
+	return (10+6*lg)*q - 4*lg - 6
+}
+
+// FibonacciCPUpper returns Theorem 1(2)'s upper bound on Fibonacci's
+// critical path: 22q + 6⌈√(2p)⌉.
+func FibonacciCPUpper(p, q int) int {
+	return 22*q + 6*int(math.Ceil(math.Sqrt(2*float64(p))))
+}
+
+// GreedyCPUpper returns Theorem 1(2)'s upper bound on Greedy's critical
+// path: 22q + 6⌈log₂p⌉.
+func GreedyCPUpper(p, q int) int {
+	return 22*q + 6*Log2Ceil(p)
+}
+
+// LowerBoundCP returns Theorem 1(3)'s lower bound on the critical path of
+// any tiled algorithm on a p×q grid (p ≥ q): 22q − 30.
+func LowerBoundCP(q int) int {
+	return 22*q - 30
+}
+
+// Log2Ceil returns ⌈log₂ n⌉ for n ≥ 1.
+func Log2Ceil(n int) int {
+	lg := 0
+	for 1<<lg < n {
+		lg++
+	}
+	return lg
+}
+
+// TotalUnits returns the total task weight 6pq²−2q³ (p ≥ q, §2.2) in units
+// of nb³/3 flops; it is invariant across elimination orders and kernel
+// families.
+func TotalUnits(p, q int) int {
+	if p < q {
+		p, q = q, p // the transpose has the same flop count
+	}
+	return 6*p*q*q - 2*q*q*q
+}
+
+// Flops returns the floating-point operation count of a real QR
+// factorization of an m×n matrix (m ≥ n): 2mn² − (2/3)n³.
+func Flops(m, n int) float64 {
+	if m < n {
+		m, n = n, m
+	}
+	fm, fn := float64(m), float64(n)
+	return 2*fm*fn*fn - 2.0/3.0*fn*fn*fn
+}
+
+// ComplexFlops returns the flop count of a complex QR factorization: each
+// complex multiply-add is eight real flops versus two (Section 4), hence 4×
+// the real count.
+func ComplexFlops(m, n int) float64 { return 4 * Flops(m, n) }
+
+// Predict implements the paper's roofline-style predictor (Section 4):
+//
+//	γ_pred = γ_seq·T / max(T/P, cp)
+//
+// where γ_seq is the sequential kernel speed (flop/s), T the total weight
+// and cp the critical path, both in the same unit (e.g. nb³/3 flops), and P
+// the number of processors. The result has the unit of γ_seq.
+func Predict(gammaSeq float64, totalUnits, cp, workers int) float64 {
+	t := float64(totalUnits)
+	denom := math.Max(t/float64(workers), float64(cp))
+	if denom == 0 {
+		return 0
+	}
+	return gammaSeq * t / denom
+}
+
+// Speedup returns the parallel efficiency limit T/(P·max(T/P, cp)) implied
+// by the predictor: 1 when the area bound dominates, <1 when the critical
+// path dominates.
+func Speedup(totalUnits, cp, workers int) float64 {
+	t := float64(totalUnits)
+	return t / (float64(workers) * math.Max(t/float64(workers), float64(cp)))
+}

@@ -1,0 +1,113 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"tiledqr/internal/core"
+)
+
+// Utilization summarizes a trace: per-worker busy fraction and the overall
+// parallel efficiency (busy time / (workers × elapsed)).
+type Utilization struct {
+	PerWorker []float64
+	Overall   float64
+	Elapsed   time.Duration
+}
+
+// Utilization computes worker occupancy from the recorded spans.
+func (tr *Trace) Utilization() Utilization {
+	u := Utilization{PerWorker: make([]float64, tr.Workers), Elapsed: tr.Elapsed}
+	if tr.Elapsed <= 0 || len(tr.Spans) == 0 {
+		return u
+	}
+	busy := make([]time.Duration, tr.Workers)
+	var total time.Duration
+	for _, s := range tr.Spans {
+		d := s.End - s.Start
+		busy[s.Worker] += d
+		total += d
+	}
+	for w := range u.PerWorker {
+		u.PerWorker[w] = float64(busy[w]) / float64(tr.Elapsed)
+	}
+	u.Overall = float64(total) / float64(tr.Workers) / float64(tr.Elapsed)
+	return u
+}
+
+// KindBreakdown returns the cumulative time spent per kernel kind.
+func (tr *Trace) KindBreakdown(d *core.DAG) map[core.Kind]time.Duration {
+	out := map[core.Kind]time.Duration{}
+	for _, s := range tr.Spans {
+		out[d.Tasks[s.Task].Kind] += s.End - s.Start
+	}
+	return out
+}
+
+// Gantt renders an ASCII Gantt chart of the trace, one row per worker,
+// width columns wide. Each cell shows the kernel kind occupying most of
+// that time slice (G=GEQRT, U=UNMQR, S=TSQRT, M=TSMQR, T=TTQRT, R=TTMQR,
+// '.' = idle).
+func (tr *Trace) Gantt(d *core.DAG, width int) string {
+	if len(tr.Spans) == 0 || tr.Elapsed <= 0 {
+		return "(no trace)\n"
+	}
+	if width < 10 {
+		width = 10
+	}
+	letters := map[core.Kind]byte{
+		core.KGEQRT: 'G', core.KUNMQR: 'U', core.KTSQRT: 'S',
+		core.KTSMQR: 'M', core.KTTQRT: 'T', core.KTTMQR: 'R',
+	}
+	rows := make([][]byte, tr.Workers)
+	occupancy := make([][]time.Duration, tr.Workers)
+	for w := range rows {
+		rows[w] = []byte(strings.Repeat(".", width))
+		occupancy[w] = make([]time.Duration, width)
+	}
+	slice := tr.Elapsed / time.Duration(width)
+	if slice <= 0 {
+		slice = 1
+	}
+	spans := append([]Span(nil), tr.Spans...)
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	for _, s := range spans {
+		first := int(s.Start / slice)
+		last := int((s.End - 1) / slice)
+		if s.End <= s.Start {
+			last = first
+		}
+		for c := first; c <= last && c < width; c++ {
+			cellStart := time.Duration(c) * slice
+			cellEnd := cellStart + slice
+			overlap := minDur(s.End, cellEnd) - maxDur(s.Start, cellStart)
+			if overlap > occupancy[s.Worker][c] {
+				occupancy[s.Worker][c] = overlap
+				rows[s.Worker][c] = letters[d.Tasks[s.Task].Kind]
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Gantt (%v total, %v per column)\n", tr.Elapsed.Round(time.Microsecond), slice.Round(time.Microsecond))
+	for w, row := range rows {
+		fmt.Fprintf(&b, "w%-2d |%s|\n", w, row)
+	}
+	b.WriteString("G=GEQRT U=UNMQR S=TSQRT M=TSMQR T=TTQRT R=TTMQR .=idle\n")
+	return b.String()
+}
+
+func minDur(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,196 @@
+// Package sched is the dynamic runtime that executes tiled QR task DAGs on
+// a pool of workers, playing the role of PLASMA's dynamic scheduler in the
+// paper's experiments: tasks become ready when their dependency counters
+// reach zero and are executed by whichever worker is free, so factor and
+// update stages overlap exactly as the dependency analysis of §2 allows.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tiledqr/internal/core"
+)
+
+// Span records the execution of one task for tracing and Gantt analysis.
+type Span struct {
+	Task   int32
+	Worker int
+	Start  time.Duration // since Run began
+	End    time.Duration
+}
+
+// Trace is the per-run execution record returned by Run when tracing is on.
+type Trace struct {
+	Workers int
+	Spans   []Span
+	Elapsed time.Duration
+}
+
+// Options configures a DAG execution.
+type Options struct {
+	// Workers is the number of executor goroutines; 0 means GOMAXPROCS.
+	Workers int
+	// Trace enables per-task span recording.
+	Trace bool
+}
+
+// Run executes every task of the DAG, honoring dependencies. exec is called
+// as exec(task, worker) with worker in [0, Workers); workers own disjoint
+// scratch space indexed by that id. Run returns a Trace (nil unless
+// Options.Trace) and the first panic raised by exec, if any, wrapped as an
+// error.
+func Run(d *core.DAG, opt Options, exec func(task int32, worker int)) (*Trace, error) {
+	n := d.NumTasks()
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if n == 0 {
+		return &Trace{Workers: workers}, nil
+	}
+	if workers == 1 {
+		return runSequential(d, opt, exec)
+	}
+
+	succOff, succs := d.Succs()
+	indeg := make([]int32, n)
+	initial := make([]int32, 0, workers*2)
+	for t := 0; t < n; t++ {
+		indeg[t] = int32(len(d.Preds(t)))
+		if indeg[t] == 0 {
+			initial = append(initial, int32(t))
+		}
+	}
+
+	ready := make(chan int32, n)
+	for _, t := range initial {
+		ready <- t
+	}
+
+	var (
+		remaining = int64(n)
+		failed    atomic.Value
+		wg        sync.WaitGroup
+		spansMu   sync.Mutex
+		spans     []Span
+	)
+	start := time.Now()
+	if opt.Trace {
+		spans = make([]Span, 0, n)
+	}
+
+	worker := func(id int) {
+		defer wg.Done()
+		for t := range ready {
+			// After a failure, keep draining (and releasing successors) so
+			// the run terminates, but execute nothing further.
+			if failed.Load() == nil {
+				if err := runTask(d, t, id, exec, opt.Trace, start, &spansMu, &spans); err != nil {
+					failed.Store(err)
+				}
+			}
+			for _, s := range succs[succOff[t]:succOff[t+1]] {
+				if atomic.AddInt32(&indeg[s], -1) == 0 {
+					ready <- s
+				}
+			}
+			if atomic.AddInt64(&remaining, -1) == 0 {
+				close(ready)
+			}
+		}
+	}
+	wg.Add(workers)
+	for id := 0; id < workers; id++ {
+		go worker(id)
+	}
+	wg.Wait()
+
+	var err error
+	if e := failed.Load(); e != nil {
+		err = e.(error)
+	}
+	if !opt.Trace {
+		return &Trace{Workers: workers, Elapsed: time.Since(start)}, err
+	}
+	return &Trace{Workers: workers, Spans: spans, Elapsed: time.Since(start)}, err
+}
+
+// runTask executes one task, converting panics into errors and recording a
+// span when tracing.
+func runTask(d *core.DAG, t int32, worker int, exec func(int32, int),
+	trace bool, start time.Time, mu *sync.Mutex, spans *[]Span) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sched: task %v panicked: %v", d.Tasks[t], r)
+		}
+	}()
+	var t0 time.Duration
+	if trace {
+		t0 = time.Since(start)
+	}
+	exec(t, worker)
+	if trace {
+		t1 := time.Since(start)
+		mu.Lock()
+		*spans = append(*spans, Span{Task: t, Worker: worker, Start: t0, End: t1})
+		mu.Unlock()
+	}
+	return nil
+}
+
+// runSequential executes tasks in topological (ID) order on one worker.
+// Deterministic and allocation-light; used for Workers == 1 and as the
+// reference path in tests.
+func runSequential(d *core.DAG, opt Options, exec func(int32, int)) (tr *Trace, err error) {
+	start := time.Now()
+	tr = &Trace{Workers: 1}
+	if opt.Trace {
+		tr.Spans = make([]Span, 0, d.NumTasks())
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sched: task panicked: %v", r)
+		}
+		tr.Elapsed = time.Since(start)
+	}()
+	for t := 0; t < d.NumTasks(); t++ {
+		var t0 time.Duration
+		if opt.Trace {
+			t0 = time.Since(start)
+		}
+		exec(int32(t), 0)
+		if opt.Trace {
+			tr.Spans = append(tr.Spans, Span{Task: int32(t), Worker: 0, Start: t0, End: time.Since(start)})
+		}
+	}
+	return tr, nil
+}
+
+// Validate checks that a trace respects every DAG dependency (each task
+// starts after all its predecessors ended). Used by the runtime tests.
+func (tr *Trace) Validate(d *core.DAG) error {
+	if tr == nil || tr.Spans == nil {
+		return fmt.Errorf("sched: trace has no spans")
+	}
+	end := make(map[int32]time.Duration, len(tr.Spans))
+	startT := make(map[int32]time.Duration, len(tr.Spans))
+	for _, s := range tr.Spans {
+		end[s.Task] = s.End
+		startT[s.Task] = s.Start
+	}
+	if len(end) != d.NumTasks() {
+		return fmt.Errorf("sched: trace covers %d of %d tasks", len(end), d.NumTasks())
+	}
+	for t := 0; t < d.NumTasks(); t++ {
+		for _, p := range d.Preds(t) {
+			if startT[int32(t)] < end[p] {
+				return fmt.Errorf("sched: task %v started before predecessor %v finished", d.Tasks[t], d.Tasks[p])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+// Package tile provides the dense- and tiled-matrix substrate used by the
+// tiled QR factorization algorithms: row-major dense matrices, PLASMA-style
+// tile layouts with ragged edge tiles, conversions between the two, norms,
+// and deterministic random matrix generation for tests and benchmarks.
+package tile
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dense is a row-major dense matrix of float64. Element (i, j) is stored at
+// Data[i*Stride+j]. A Dense may be a view into a larger matrix, in which case
+// Stride exceeds Cols.
+type Dense struct {
+	Rows, Cols int
+	Stride     int
+	Data       []float64
+}
+
+// NewDense allocates a zero-initialized r×c dense matrix.
+func NewDense(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("tile: invalid dimensions %d×%d", r, c))
+	}
+	return &Dense{Rows: r, Cols: c, Stride: c, Data: make([]float64, r*c)}
+}
+
+// At returns element (i, j).
+func (a *Dense) At(i, j int) float64 { return a.Data[i*a.Stride+j] }
+
+// Set assigns element (i, j).
+func (a *Dense) Set(i, j int, v float64) { a.Data[i*a.Stride+j] = v }
+
+// Clone returns a deep copy of a with a compact stride.
+func (a *Dense) Clone() *Dense {
+	b := NewDense(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		copy(b.Data[i*b.Stride:i*b.Stride+b.Cols], a.Data[i*a.Stride:i*a.Stride+a.Cols])
+	}
+	return b
+}
+
+// View returns a view of the r×c submatrix of a with top-left corner (i, j).
+// The view shares storage with a.
+func (a *Dense) View(i, j, r, c int) *Dense {
+	if i < 0 || j < 0 || i+r > a.Rows || j+c > a.Cols {
+		panic(fmt.Sprintf("tile: view [%d:%d, %d:%d] out of range for %d×%d", i, i+r, j, j+c, a.Rows, a.Cols))
+	}
+	return &Dense{Rows: r, Cols: c, Stride: a.Stride, Data: a.Data[i*a.Stride+j:]}
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Dense {
+	a := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 1)
+	}
+	return a
+}
+
+// RandDense returns an r×c matrix with standard normal entries drawn from a
+// deterministic generator seeded with seed.
+func RandDense(r, c int, seed int64) *Dense {
+	rng := rand.New(rand.NewSource(seed))
+	a := NewDense(r, c)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	return a
+}
+
+// Mul returns the matrix product a·b.
+func Mul(a, b *Dense) *Dense {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tile: dimension mismatch %d×%d · %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := NewDense(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		ci := c.Data[i*c.Stride : i*c.Stride+c.Cols]
+		for k := 0; k < a.Cols; k++ {
+			aik := a.At(i, k)
+			if aik == 0 {
+				continue
+			}
+			bk := b.Data[k*b.Stride : k*b.Stride+b.Cols]
+			for j := range ci {
+				ci[j] += aik * bk[j]
+			}
+		}
+	}
+	return c
+}
+
+// Transpose returns aᵀ.
+func Transpose(a *Dense) *Dense {
+	t := NewDense(a.Cols, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			t.Set(j, i, a.At(i, j))
+		}
+	}
+	return t
+}
+
+// FrobNorm returns the Frobenius norm of a.
+func FrobNorm(a *Dense) float64 {
+	var s float64
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			v := a.At(i, j)
+			s += v * v
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbsDiff returns max |a(i,j) − b(i,j)|. The matrices must have identical
+// shapes.
+func MaxAbsDiff(a, b *Dense) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("tile: shape mismatch in MaxAbsDiff")
+	}
+	var m float64
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			d := math.Abs(a.At(i, j) - b.At(i, j))
+			if d > m {
+				m = d
+			}
+		}
+	}
+	return m
+}
+
+// ResidualQR returns ‖A − Q·R‖_F / ‖A‖_F, the scaled factorization residual.
+func ResidualQR(a, q, r *Dense) float64 {
+	qr := Mul(q, r)
+	diff := a.Clone()
+	for i := 0; i < diff.Rows; i++ {
+		for j := 0; j < diff.Cols; j++ {
+			diff.Set(i, j, diff.At(i, j)-qr.At(i, j))
+		}
+	}
+	na := FrobNorm(a)
+	if na == 0 {
+		return FrobNorm(diff)
+	}
+	return FrobNorm(diff) / na
+}
+
+// OrthoResidual returns ‖QᵀQ − I‖_F, the loss of orthogonality of the columns
+// of Q.
+func OrthoResidual(q *Dense) float64 {
+	qtq := Mul(Transpose(q), q)
+	for i := 0; i < qtq.Rows; i++ {
+		qtq.Set(i, i, qtq.At(i, i)-1)
+	}
+	return FrobNorm(qtq)
+}

@@ -1,0 +1,114 @@
+package tile
+
+import "fmt"
+
+// Grid describes the partition of an m×n matrix into p×q tiles with nominal
+// tile size nb. Interior tiles are nb×nb; the last tile row/column may be
+// smaller (ragged edges). Tile indices are 0-based here; the paper-facing
+// packages use 1-based indices and convert at the boundary.
+type Grid struct {
+	M, N int // element dimensions
+	NB   int // nominal tile size
+	P, Q int // tile dimensions
+}
+
+// NewGrid computes the tile grid for an m×n matrix with tile size nb.
+func NewGrid(m, n, nb int) Grid {
+	if m <= 0 || n <= 0 || nb <= 0 {
+		panic(fmt.Sprintf("tile: invalid grid m=%d n=%d nb=%d", m, n, nb))
+	}
+	return Grid{M: m, N: n, NB: nb, P: (m + nb - 1) / nb, Q: (n + nb - 1) / nb}
+}
+
+// TileRows returns the height of tile row i.
+func (g Grid) TileRows(i int) int {
+	if i < 0 || i >= g.P {
+		panic(fmt.Sprintf("tile: tile row %d out of range [0,%d)", i, g.P))
+	}
+	if i == g.P-1 {
+		return g.M - (g.P-1)*g.NB
+	}
+	return g.NB
+}
+
+// TileCols returns the width of tile column j.
+func (g Grid) TileCols(j int) int {
+	if j < 0 || j >= g.Q {
+		panic(fmt.Sprintf("tile: tile column %d out of range [0,%d)", j, g.Q))
+	}
+	if j == g.Q-1 {
+		return g.N - (g.Q-1)*g.NB
+	}
+	return g.NB
+}
+
+// MinPQ returns min(p, q), the number of panel columns to factor.
+func (g Grid) MinPQ() int {
+	if g.P < g.Q {
+		return g.P
+	}
+	return g.Q
+}
+
+// Matrix is a tiled matrix: each tile is stored contiguously (PLASMA "tile
+// layout"), which is what gives the tiled kernels their locality.
+type Matrix struct {
+	Grid
+	Tiles []*Dense // row-major: Tiles[i*Q+j]
+}
+
+// NewMatrix allocates a zero tiled matrix for the given grid.
+func NewMatrix(g Grid) *Matrix {
+	m := &Matrix{Grid: g, Tiles: make([]*Dense, g.P*g.Q)}
+	for i := 0; i < g.P; i++ {
+		for j := 0; j < g.Q; j++ {
+			m.Tiles[i*g.Q+j] = NewDense(g.TileRows(i), g.TileCols(j))
+		}
+	}
+	return m
+}
+
+// Tile returns tile (i, j), 0-based.
+func (m *Matrix) Tile(i, j int) *Dense { return m.Tiles[i*m.Q+j] }
+
+// FromDense converts a dense matrix to tile layout with tile size nb.
+func FromDense(a *Dense, nb int) *Matrix {
+	g := NewGrid(a.Rows, a.Cols, nb)
+	t := NewMatrix(g)
+	for ti := 0; ti < g.P; ti++ {
+		for tj := 0; tj < g.Q; tj++ {
+			blk := t.Tile(ti, tj)
+			r0, c0 := ti*nb, tj*nb
+			for r := 0; r < blk.Rows; r++ {
+				copy(blk.Data[r*blk.Stride:r*blk.Stride+blk.Cols],
+					a.Data[(r0+r)*a.Stride+c0:(r0+r)*a.Stride+c0+blk.Cols])
+			}
+		}
+	}
+	return t
+}
+
+// ToDense converts a tiled matrix back to a row-major dense matrix.
+func (m *Matrix) ToDense() *Dense {
+	a := NewDense(m.M, m.N)
+	for ti := 0; ti < m.P; ti++ {
+		for tj := 0; tj < m.Q; tj++ {
+			blk := m.Tile(ti, tj)
+			r0, c0 := ti*m.NB, tj*m.NB
+			for r := 0; r < blk.Rows; r++ {
+				copy(a.Data[(r0+r)*a.Stride+c0:(r0+r)*a.Stride+c0+blk.Cols],
+					blk.Data[r*blk.Stride:r*blk.Stride+blk.Cols])
+			}
+		}
+	}
+	return a
+}
+
+// Clone returns a deep copy of the tiled matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := &Matrix{Grid: m.Grid, Tiles: make([]*Dense, len(m.Tiles))}
+	for i, t := range m.Tiles {
+		c.Tiles[i] = t.Clone()
+	}
+	return c
+}

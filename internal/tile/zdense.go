@@ -1,0 +1,216 @@
+package tile
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+)
+
+// ZDense is a row-major dense matrix of complex128, mirroring Dense.
+type ZDense struct {
+	Rows, Cols int
+	Stride     int
+	Data       []complex128
+}
+
+// NewZDense allocates a zero-initialized r×c complex matrix.
+func NewZDense(r, c int) *ZDense {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("tile: invalid dimensions %d×%d", r, c))
+	}
+	return &ZDense{Rows: r, Cols: c, Stride: c, Data: make([]complex128, r*c)}
+}
+
+// At returns element (i, j).
+func (a *ZDense) At(i, j int) complex128 { return a.Data[i*a.Stride+j] }
+
+// Set assigns element (i, j).
+func (a *ZDense) Set(i, j int, v complex128) { a.Data[i*a.Stride+j] = v }
+
+// Clone returns a deep copy of a with a compact stride.
+func (a *ZDense) Clone() *ZDense {
+	b := NewZDense(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		copy(b.Data[i*b.Stride:i*b.Stride+b.Cols], a.Data[i*a.Stride:i*a.Stride+a.Cols])
+	}
+	return b
+}
+
+// View returns a view of the r×c submatrix of a with top-left corner (i, j),
+// sharing storage with a.
+func (a *ZDense) View(i, j, r, c int) *ZDense {
+	if i < 0 || j < 0 || i+r > a.Rows || j+c > a.Cols {
+		panic(fmt.Sprintf("tile: view [%d:%d, %d:%d] out of range for %d×%d", i, i+r, j, j+c, a.Rows, a.Cols))
+	}
+	return &ZDense{Rows: r, Cols: c, Stride: a.Stride, Data: a.Data[i*a.Stride+j:]}
+}
+
+// ZIdentity returns the n×n complex identity matrix.
+func ZIdentity(n int) *ZDense {
+	a := NewZDense(n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 1)
+	}
+	return a
+}
+
+// RandZDense returns an r×c matrix whose entries have independent standard
+// normal real and imaginary parts, drawn from a deterministic generator.
+func RandZDense(r, c int, seed int64) *ZDense {
+	rng := rand.New(rand.NewSource(seed))
+	a := NewZDense(r, c)
+	for i := range a.Data {
+		a.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return a
+}
+
+// ZMul returns the matrix product a·b.
+func ZMul(a, b *ZDense) *ZDense {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tile: dimension mismatch %d×%d · %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := NewZDense(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		ci := c.Data[i*c.Stride : i*c.Stride+c.Cols]
+		for k := 0; k < a.Cols; k++ {
+			aik := a.At(i, k)
+			if aik == 0 {
+				continue
+			}
+			bk := b.Data[k*b.Stride : k*b.Stride+b.Cols]
+			for j := range ci {
+				ci[j] += aik * bk[j]
+			}
+		}
+	}
+	return c
+}
+
+// ZConjTranspose returns aᴴ.
+func ZConjTranspose(a *ZDense) *ZDense {
+	t := NewZDense(a.Cols, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			t.Set(j, i, cmplx.Conj(a.At(i, j)))
+		}
+	}
+	return t
+}
+
+// ZFrobNorm returns the Frobenius norm of a.
+func ZFrobNorm(a *ZDense) float64 {
+	var s float64
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			v := a.At(i, j)
+			s += real(v)*real(v) + imag(v)*imag(v)
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// ZMaxAbsDiff returns max |a(i,j) − b(i,j)|.
+func ZMaxAbsDiff(a, b *ZDense) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("tile: shape mismatch in ZMaxAbsDiff")
+	}
+	var m float64
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			d := cmplx.Abs(a.At(i, j) - b.At(i, j))
+			if d > m {
+				m = d
+			}
+		}
+	}
+	return m
+}
+
+// ZResidualQR returns ‖A − Q·R‖_F / ‖A‖_F.
+func ZResidualQR(a, q, r *ZDense) float64 {
+	qr := ZMul(q, r)
+	diff := a.Clone()
+	for i := 0; i < diff.Rows; i++ {
+		for j := 0; j < diff.Cols; j++ {
+			diff.Set(i, j, diff.At(i, j)-qr.At(i, j))
+		}
+	}
+	na := ZFrobNorm(a)
+	if na == 0 {
+		return ZFrobNorm(diff)
+	}
+	return ZFrobNorm(diff) / na
+}
+
+// ZOrthoResidual returns ‖QᴴQ − I‖_F.
+func ZOrthoResidual(q *ZDense) float64 {
+	qtq := ZMul(ZConjTranspose(q), q)
+	for i := 0; i < qtq.Rows; i++ {
+		qtq.Set(i, i, qtq.At(i, i)-1)
+	}
+	return ZFrobNorm(qtq)
+}
+
+// ZMatrix is a tiled complex matrix, mirroring Matrix.
+type ZMatrix struct {
+	Grid
+	Tiles []*ZDense
+}
+
+// NewZMatrix allocates a zero tiled complex matrix for the given grid.
+func NewZMatrix(g Grid) *ZMatrix {
+	m := &ZMatrix{Grid: g, Tiles: make([]*ZDense, g.P*g.Q)}
+	for i := 0; i < g.P; i++ {
+		for j := 0; j < g.Q; j++ {
+			m.Tiles[i*g.Q+j] = NewZDense(g.TileRows(i), g.TileCols(j))
+		}
+	}
+	return m
+}
+
+// Tile returns tile (i, j), 0-based.
+func (m *ZMatrix) Tile(i, j int) *ZDense { return m.Tiles[i*m.Q+j] }
+
+// ZFromDense converts a dense complex matrix to tile layout.
+func ZFromDense(a *ZDense, nb int) *ZMatrix {
+	g := NewGrid(a.Rows, a.Cols, nb)
+	t := NewZMatrix(g)
+	for ti := 0; ti < g.P; ti++ {
+		for tj := 0; tj < g.Q; tj++ {
+			blk := t.Tile(ti, tj)
+			r0, c0 := ti*nb, tj*nb
+			for r := 0; r < blk.Rows; r++ {
+				copy(blk.Data[r*blk.Stride:r*blk.Stride+blk.Cols],
+					a.Data[(r0+r)*a.Stride+c0:(r0+r)*a.Stride+c0+blk.Cols])
+			}
+		}
+	}
+	return t
+}
+
+// ToDense converts a tiled complex matrix back to row-major dense form.
+func (m *ZMatrix) ToDense() *ZDense {
+	a := NewZDense(m.M, m.N)
+	for ti := 0; ti < m.P; ti++ {
+		for tj := 0; tj < m.Q; tj++ {
+			blk := m.Tile(ti, tj)
+			r0, c0 := ti*m.NB, tj*m.NB
+			for r := 0; r < blk.Rows; r++ {
+				copy(a.Data[(r0+r)*a.Stride+c0:(r0+r)*a.Stride+c0+blk.Cols],
+					blk.Data[r*blk.Stride:r*blk.Stride+blk.Cols])
+			}
+		}
+	}
+	return a
+}
+
+// Clone returns a deep copy of the tiled complex matrix.
+func (m *ZMatrix) Clone() *ZMatrix {
+	c := &ZMatrix{Grid: m.Grid, Tiles: make([]*ZDense, len(m.Tiles))}
+	for i, t := range m.Tiles {
+		c.Tiles[i] = t.Clone()
+	}
+	return c
+}

@@ -1,0 +1,19 @@
+package zkernel
+
+// GEMM computes C += A·B for row-major complex blocks (A m×kk, B kk×n,
+// C m×n); the complex reference kernel of Figure 4 of the paper.
+func GEMM(m, n, kk int, a []complex128, lda int, b []complex128, ldb int, c []complex128, ldc int) {
+	for i := 0; i < m; i++ {
+		ci := c[i*ldc : i*ldc+n]
+		for l := 0; l < kk; l++ {
+			ail := a[i*lda+l]
+			if ail == 0 {
+				continue
+			}
+			bl := b[l*ldb : l*ldb+n]
+			for j, bv := range bl {
+				ci[j] += ail * bv
+			}
+		}
+	}
+}

@@ -1,0 +1,216 @@
+// Package zkernel implements the complex128 (double complex) tile kernels
+// of the tiled QR factorization, mirroring package kernel with LAPACK's
+// complex Householder conventions: H = I − τ·v·vᴴ with v[0] = 1 and a real
+// β; factorization applies Hᴴ from the left, Q = H₁···H_k, Qᴴ = I − V·Tᴴ·Vᴴ.
+//
+// The paper evaluates double complex alongside double because the
+// computation-to-communication ratio is four times higher in complex
+// arithmetic, which is where the extra parallelism of the TT algorithms
+// pays off most (Section 4).
+package zkernel
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// zlarfgCol generates an elementary complex Householder reflector acting on
+// [a(r0,c); a(r0+1:m,c)] such that Hᴴ·x = [β; 0] with β real. On return
+// a(r0,c) = β and the tail holds v[r0+1:].
+func zlarfgCol(a []complex128, lda, r0, c, m int) (tau complex128) {
+	alpha := a[r0*lda+c]
+	var xnorm float64
+	for i := r0 + 1; i < m; i++ {
+		xnorm = math.Hypot(xnorm, cmplx.Abs(a[i*lda+c]))
+	}
+	if xnorm == 0 && imag(alpha) == 0 {
+		return 0
+	}
+	beta := -math.Copysign(math.Hypot(cmplx.Abs(alpha), xnorm), real(alpha))
+	tau = complex((beta-real(alpha))/beta, -imag(alpha)/beta)
+	scale := 1 / (alpha - complex(beta, 0))
+	for i := r0 + 1; i < m; i++ {
+		a[i*lda+c] *= scale
+	}
+	a[r0*lda+c] = complex(beta, 0)
+	return tau
+}
+
+// zgeqrt2 factors the panel A[j0:m, j0:j0+kb] in place, storing the panel's
+// triangular T factor in columns j0:j0+kb of t.
+func zgeqrt2(m int, a []complex128, lda, j0, kb int, t []complex128, ldt int, tmp []complex128) {
+	for jj := 0; jj < kb; jj++ {
+		j := j0 + jj
+		tau := zlarfgCol(a, lda, j, j, m)
+		ctau := cmplx.Conj(tau)
+		// Apply H_jᴴ to the remaining panel columns.
+		for c := j + 1; c < j0+kb; c++ {
+			w := a[j*lda+c]
+			for i := j + 1; i < m; i++ {
+				w += cmplx.Conj(a[i*lda+j]) * a[i*lda+c]
+			}
+			w *= ctau
+			a[j*lda+c] -= w
+			for i := j + 1; i < m; i++ {
+				a[i*lda+c] -= a[i*lda+j] * w
+			}
+		}
+		// T(0:jj, jj) = −τ · T(0:jj, 0:jj) · (V(:, 0:jj)ᴴ · v_j).
+		for c := 0; c < jj; c++ {
+			col := j0 + c
+			s := cmplx.Conj(a[j*lda+col]) // row j of v_c (conjugated) times 1
+			for i := j + 1; i < m; i++ {
+				s += cmplx.Conj(a[i*lda+col]) * a[i*lda+j]
+			}
+			tmp[c] = s
+		}
+		for r := 0; r < jj; r++ {
+			var s complex128
+			for c := r; c < jj; c++ {
+				s += t[r*ldt+j0+c] * tmp[c]
+			}
+			t[r*ldt+j] = -tau * s
+		}
+		t[jj*ldt+j] = tau
+	}
+}
+
+// applyPanel applies the block reflector of a ZGEQRT panel to C:
+// (I − V·Tᴴ·Vᴴ) (trans=true, i.e. Qᴴ) or I − V·T·Vᴴ (Q).
+func applyPanel(trans bool, m int, v []complex128, ldv, r0, vc0, kb int,
+	t []complex128, ldt, tc0 int, c []complex128, ldc, cc0, nc int, w []complex128) {
+	// W = Vᴴ · C
+	for x := 0; x < kb; x++ {
+		col := vc0 + x
+		diag := r0 + x
+		wx := w[x*nc : x*nc+nc]
+		copy(wx, c[diag*ldc+cc0:diag*ldc+cc0+nc])
+		for i := diag + 1; i < m; i++ {
+			vix := cmplx.Conj(v[i*ldv+col])
+			if vix == 0 {
+				continue
+			}
+			ci := c[i*ldc+cc0 : i*ldc+cc0+nc]
+			for y, cv := range ci {
+				wx[y] += vix * cv
+			}
+		}
+	}
+	triMulW(trans, kb, t, ldt, tc0, w, nc)
+	// C −= V · W
+	for x := 0; x < kb; x++ {
+		col := vc0 + x
+		diag := r0 + x
+		wx := w[x*nc : x*nc+nc]
+		cd := c[diag*ldc+cc0 : diag*ldc+cc0+nc]
+		for y, wv := range wx {
+			cd[y] -= wv
+		}
+		for i := diag + 1; i < m; i++ {
+			vix := v[i*ldv+col]
+			if vix == 0 {
+				continue
+			}
+			ci := c[i*ldc+cc0 : i*ldc+cc0+nc]
+			for y, wv := range wx {
+				ci[y] -= vix * wv
+			}
+		}
+	}
+}
+
+// triMulW overwrites W with Tᴴ·W (trans) or T·W.
+func triMulW(trans bool, kb int, t []complex128, ldt, tc0 int, w []complex128, nc int) {
+	if trans {
+		for x := kb - 1; x >= 0; x-- {
+			wx := w[x*nc : x*nc+nc]
+			txx := cmplx.Conj(t[x*ldt+tc0+x])
+			for y := range wx {
+				wx[y] *= txx
+			}
+			for r := 0; r < x; r++ {
+				trx := cmplx.Conj(t[r*ldt+tc0+x])
+				if trx == 0 {
+					continue
+				}
+				wr := w[r*nc : r*nc+nc]
+				for y := range wx {
+					wx[y] += trx * wr[y]
+				}
+			}
+		}
+	} else {
+		for x := 0; x < kb; x++ {
+			wx := w[x*nc : x*nc+nc]
+			txx := t[x*ldt+tc0+x]
+			for y := range wx {
+				wx[y] *= txx
+			}
+			for r := x + 1; r < kb; r++ {
+				txr := t[x*ldt+tc0+r]
+				if txr == 0 {
+					continue
+				}
+				wr := w[r*nc : r*nc+nc]
+				for y := range wx {
+					wx[y] += txr * wr[y]
+				}
+			}
+		}
+	}
+}
+
+// GEQRT computes the blocked QR factorization of an m×n complex tile;
+// see kernel.GEQRT for conventions.
+func GEQRT(m, n, ib int, a []complex128, lda int, t []complex128, ldt int, work []complex128) {
+	k := min(m, n)
+	if k == 0 {
+		return
+	}
+	ib = clampIB(ib, k)
+	work = ensureWork(work, ib*(n+1))
+	tmp, w := work[:ib], work[ib:]
+	for k0 := 0; k0 < k; k0 += ib {
+		kb := min(ib, k-k0)
+		zgeqrt2(m, a, lda, k0, kb, t, ldt, tmp)
+		if k0+kb < n {
+			applyPanel(true, m, a, lda, k0, k0, kb, t, ldt, k0, a, lda, k0+kb, n-k0-kb, w)
+		}
+	}
+}
+
+// UNMQR applies Qᴴ (trans) or Q of a complex GEQRT factorization to C.
+func UNMQR(trans bool, m, k, ib int, v []complex128, ldv int, t []complex128, ldt int,
+	c []complex128, ldc, nc int, work []complex128) {
+	if k == 0 || nc == 0 {
+		return
+	}
+	ib = clampIB(ib, k)
+	work = ensureWork(work, ib*nc)
+	if trans {
+		for k0 := 0; k0 < k; k0 += ib {
+			kb := min(ib, k-k0)
+			applyPanel(true, m, v, ldv, k0, k0, kb, t, ldt, k0, c, ldc, 0, nc, work)
+		}
+	} else {
+		start := ((k - 1) / ib) * ib
+		for k0 := start; k0 >= 0; k0 -= ib {
+			kb := min(ib, k-k0)
+			applyPanel(false, m, v, ldv, k0, k0, kb, t, ldt, k0, c, ldc, 0, nc, work)
+		}
+	}
+}
+
+func clampIB(ib, k int) int {
+	if ib <= 0 || ib > k {
+		return k
+	}
+	return ib
+}
+
+func ensureWork(work []complex128, n int) []complex128 {
+	if len(work) < n {
+		return make([]complex128, n)
+	}
+	return work
+}

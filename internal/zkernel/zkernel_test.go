@@ -1,0 +1,197 @@
+package zkernel
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"tiledqr/internal/tile"
+)
+
+const tol = 1e-11
+
+func qFromGEQRT(m, k, ib int, v *tile.ZDense, t []complex128, ldt int) *tile.ZDense {
+	q := tile.ZIdentity(m)
+	UNMQR(false, m, k, ib, v.Data, v.Stride, t, ldt, q.Data, q.Stride, m, nil)
+	return q
+}
+
+func upperTriOf(a *tile.ZDense) *tile.ZDense {
+	r := a.Clone()
+	for i := 1; i < r.Rows; i++ {
+		for j := 0; j < min(i, r.Cols); j++ {
+			r.Set(i, j, 0)
+		}
+	}
+	return r
+}
+
+func TestZGEQRTReconstruction(t *testing.T) {
+	cases := []struct{ m, n, ib int }{
+		{8, 8, 3}, {8, 8, 8}, {8, 8, 1}, {12, 5, 2}, {5, 12, 4}, {1, 1, 1}, {16, 16, 5},
+	}
+	for _, c := range cases {
+		a0 := tile.RandZDense(c.m, c.n, int64(c.m*100+c.n))
+		a := a0.Clone()
+		k := min(c.m, c.n)
+		tf := make([]complex128, max(1, c.ib)*c.n)
+		GEQRT(c.m, c.n, c.ib, a.Data, a.Stride, tf, c.n, nil)
+		q := qFromGEQRT(c.m, k, c.ib, a, tf, c.n)
+		r := upperTriOf(a)
+		if res := tile.ZResidualQR(a0, q, r); res > tol {
+			t.Errorf("ZGEQRT %dx%d ib=%d: residual %g", c.m, c.n, c.ib, res)
+		}
+		if ortho := tile.ZOrthoResidual(q); ortho > tol {
+			t.Errorf("ZGEQRT %dx%d ib=%d: orthogonality %g", c.m, c.n, c.ib, ortho)
+		}
+		// R's diagonal must be real (LAPACK zlarfg convention).
+		for i := 0; i < k; i++ {
+			if math.Abs(imag(r.At(i, i))) > tol {
+				t.Errorf("ZGEQRT %dx%d: R(%d,%d) = %v has imaginary diagonal", c.m, c.n, i, i, r.At(i, i))
+			}
+		}
+	}
+}
+
+func randUpperTri(n int, seed int64) *tile.ZDense {
+	return upperTriOf(tile.RandZDense(n, n, seed))
+}
+
+func randPent(m, n, l int, seed int64) *tile.ZDense {
+	b := tile.RandZDense(m, n, seed)
+	for j := 0; j < n; j++ {
+		for i := pentRows(m, l, j); i < m; i++ {
+			b.Set(i, j, 0)
+		}
+	}
+	return b
+}
+
+func checkZTP(t *testing.T, m, n, l, ib int, aTri, b0 *tile.ZDense) {
+	t.Helper()
+	a := aTri.Clone()
+	b := b0.Clone()
+	tf := make([]complex128, max(1, min(max(ib, 1), n))*n)
+	TPQRT(m, n, l, ib, a.Data, a.Stride, b.Data, b.Stride, tf, n, nil)
+
+	// Qᴴ·[A0; B0] = [R; 0].
+	c1 := aTri.Clone()
+	c2 := b0.Clone()
+	TPMQRT(true, m, n, l, ib, b.Data, b.Stride, tf, n, c1.Data, c1.Stride, c2.Data, c2.Stride, n, nil)
+	if d := tile.ZMaxAbsDiff(c1, upperTriOf(a)); d > tol {
+		t.Errorf("ZTPQRT m=%d n=%d l=%d ib=%d: top differs from R by %g", m, n, l, ib, d)
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < pentRows(m, l, j); i++ {
+			if cmplx.Abs(c2.At(i, j)) > tol {
+				t.Errorf("ZTPQRT m=%d n=%d l=%d: B(%d,%d) not annihilated: %v", m, n, l, i, j, c2.At(i, j))
+			}
+		}
+	}
+
+	// Round trip Q·Qᴴ.
+	x1 := tile.RandZDense(n, n, 7)
+	x2 := randPent(m, n, l, 8)
+	y1, y2 := x1.Clone(), x2.Clone()
+	TPMQRT(true, m, n, l, ib, b.Data, b.Stride, tf, n, y1.Data, y1.Stride, y2.Data, y2.Stride, n, nil)
+	TPMQRT(false, m, n, l, ib, b.Data, b.Stride, tf, n, y1.Data, y1.Stride, y2.Data, y2.Stride, n, nil)
+	if d := tile.ZMaxAbsDiff(y1, x1); d > tol {
+		t.Errorf("ZTPQRT m=%d n=%d l=%d: round trip top error %g", m, n, l, d)
+	}
+	if d := tile.ZMaxAbsDiff(y2, x2); d > tol {
+		t.Errorf("ZTPQRT m=%d n=%d l=%d: round trip bottom error %g", m, n, l, d)
+	}
+}
+
+func TestZTSQRT(t *testing.T) {
+	for _, c := range []struct{ m, n, ib int }{{8, 8, 3}, {8, 8, 8}, {5, 8, 2}, {8, 5, 4}, {1, 1, 1}} {
+		checkZTP(t, c.m, c.n, 0, c.ib, randUpperTri(c.n, 11), tile.RandZDense(c.m, c.n, 12))
+	}
+}
+
+func TestZTTQRT(t *testing.T) {
+	for _, c := range []struct{ m, n, ib int }{{8, 8, 3}, {8, 8, 1}, {5, 8, 2}, {1, 1, 1}, {16, 16, 4}} {
+		l := min(c.m, c.n)
+		checkZTP(t, c.m, c.n, l, c.ib, randUpperTri(c.n, 21), randPent(c.m, c.n, l, 22))
+	}
+}
+
+func TestZTPQRTGeneralPentagon(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for iter := 0; iter < 20; iter++ {
+		m := 1 + rng.Intn(8)
+		n := 1 + rng.Intn(8)
+		l := rng.Intn(min(m, n) + 1)
+		ib := 1 + rng.Intn(n)
+		checkZTP(t, m, n, l, ib, randUpperTri(n, int64(iter)), randPent(m, n, l, int64(iter+100)))
+	}
+}
+
+func TestZTTQRTDoesNotTouchLowerTriangle(t *testing.T) {
+	const n, ib = 6, 2
+	sentinel := complex(9e299, -9e299)
+	aTri := randUpperTri(n, 31)
+	b := randPent(n, n, n, 32)
+	for j := 0; j < n; j++ {
+		for i := j + 1; i < n; i++ {
+			b.Set(i, j, sentinel)
+		}
+	}
+	a := aTri.Clone()
+	tf := make([]complex128, ib*n)
+	TPQRT(n, n, n, ib, a.Data, a.Stride, b.Data, b.Stride, tf, n, nil)
+	for j := 0; j < n; j++ {
+		for i := j + 1; i < n; i++ {
+			if b.At(i, j) != sentinel {
+				t.Fatalf("ZTTQRT touched B(%d,%d) below the trapezoid", i, j)
+			}
+		}
+	}
+}
+
+func TestZLarfgMakesBetaReal(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 40; iter++ {
+		n := 1 + rng.Intn(8)
+		a := tile.RandZDense(n, 1, int64(iter))
+		orig := a.Clone()
+		tau := zlarfgCol(a.Data, a.Stride, 0, 0, n)
+		beta := a.At(0, 0)
+		if math.Abs(imag(beta)) > tol {
+			t.Fatalf("iter %d: β = %v not real", iter, beta)
+		}
+		// |β| = ‖x‖.
+		var norm2 float64
+		for i := 0; i < n; i++ {
+			v := orig.At(i, 0)
+			norm2 += real(v)*real(v) + imag(v)*imag(v)
+		}
+		if tau == 0 {
+			continue
+		}
+		if math.Abs(real(beta)*real(beta)-norm2) > tol*math.Max(norm2, 1) {
+			t.Fatalf("iter %d: β² = %g, ‖x‖² = %g", iter, real(beta)*real(beta), norm2)
+		}
+		// Hᴴ·x = β·e₁ with H = I − τ·v·vᴴ.
+		v := make([]complex128, n)
+		v[0] = 1
+		for i := 1; i < n; i++ {
+			v[i] = a.At(i, 0)
+		}
+		var vhx complex128
+		for i := 0; i < n; i++ {
+			vhx += cmplx.Conj(v[i]) * orig.At(i, 0)
+		}
+		for i := 0; i < n; i++ {
+			hx := orig.At(i, 0) - cmplx.Conj(tau)*v[i]*vhx
+			var want complex128
+			if i == 0 {
+				want = beta
+			}
+			if cmplx.Abs(hx-want) > tol {
+				t.Fatalf("iter %d: (Hᴴx)[%d] = %v, want %v", iter, i, hx, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package zkernel
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// pentRows mirrors kernel.pentRows: rows of B participating in reflector j.
+func pentRows(m, l, j int) int {
+	return m - l + min(l, j+1)
+}
+
+// zlarfgPent generates the reflector for ZTPQRT column j from A(j,j) and
+// B(0:p, j).
+func zlarfgPent(a []complex128, lda int, b []complex128, ldb, j, p int) (tau complex128) {
+	alpha := a[j*lda+j]
+	var xnorm float64
+	for i := 0; i < p; i++ {
+		xnorm = math.Hypot(xnorm, cmplx.Abs(b[i*ldb+j]))
+	}
+	if xnorm == 0 && imag(alpha) == 0 {
+		return 0
+	}
+	beta := -math.Copysign(math.Hypot(cmplx.Abs(alpha), xnorm), real(alpha))
+	tau = complex((beta-real(alpha))/beta, -imag(alpha)/beta)
+	scale := 1 / (alpha - complex(beta, 0))
+	for i := 0; i < p; i++ {
+		b[i*ldb+j] *= scale
+	}
+	a[j*lda+j] = complex(beta, 0)
+	return tau
+}
+
+// ztpqrt2 factors one panel of the stacked [A; B] with pentagonal B.
+func ztpqrt2(m, n, l int, a []complex128, lda int, b []complex128, ldb, j0, kb int,
+	t []complex128, ldt int, tmp []complex128) {
+	for jj := 0; jj < kb; jj++ {
+		j := j0 + jj
+		p := pentRows(m, l, j)
+		tau := zlarfgPent(a, lda, b, ldb, j, p)
+		ctau := cmplx.Conj(tau)
+		for c := j + 1; c < j0+kb; c++ {
+			w := a[j*lda+c]
+			for i := 0; i < p; i++ {
+				w += cmplx.Conj(b[i*ldb+j]) * b[i*ldb+c]
+			}
+			w *= ctau
+			a[j*lda+c] -= w
+			for i := 0; i < p; i++ {
+				b[i*ldb+c] -= w * b[i*ldb+j]
+			}
+		}
+		for c := 0; c < jj; c++ {
+			pc := pentRows(m, l, j0+c)
+			var s complex128
+			for i := 0; i < pc; i++ {
+				s += cmplx.Conj(b[i*ldb+j0+c]) * b[i*ldb+j]
+			}
+			tmp[c] = s
+		}
+		for r := 0; r < jj; r++ {
+			var s complex128
+			for c := r; c < jj; c++ {
+				s += t[r*ldt+j0+c] * tmp[c]
+			}
+			t[r*ldt+j] = -tau * s
+		}
+		t[jj*ldt+j] = tau
+	}
+}
+
+// applyPentPanel applies the block reflector of a ZTPQRT panel to [C1; C2].
+func applyPentPanel(trans bool, m, l int, v []complex128, ldv, vc0, kb int,
+	t []complex128, ldt int,
+	c1 []complex128, ldc1, c1c0 int,
+	c2 []complex128, ldc2, c2c0, nc int, w []complex128) {
+	// W = C1 + V₂ᴴ · C2
+	for x := 0; x < kb; x++ {
+		col := vc0 + x
+		p := pentRows(m, l, col)
+		wx := w[x*nc : x*nc+nc]
+		top := col * ldc1
+		copy(wx, c1[top+c1c0:top+c1c0+nc])
+		for i := 0; i < p; i++ {
+			vix := cmplx.Conj(v[i*ldv+col])
+			if vix == 0 {
+				continue
+			}
+			ci := c2[i*ldc2+c2c0 : i*ldc2+c2c0+nc]
+			for y, cv := range ci {
+				wx[y] += vix * cv
+			}
+		}
+	}
+	triMulW(trans, kb, t, ldt, vc0, w, nc)
+	// C1 −= W ; C2 −= V₂·W
+	for x := 0; x < kb; x++ {
+		col := vc0 + x
+		p := pentRows(m, l, col)
+		wx := w[x*nc : x*nc+nc]
+		top := col * ldc1
+		cd := c1[top+c1c0 : top+c1c0+nc]
+		for y, wv := range wx {
+			cd[y] -= wv
+		}
+		for i := 0; i < p; i++ {
+			vix := v[i*ldv+col]
+			if vix == 0 {
+				continue
+			}
+			ci := c2[i*ldc2+c2c0 : i*ldc2+c2c0+nc]
+			for y, wv := range wx {
+				ci[y] -= vix * wv
+			}
+		}
+	}
+}
+
+// TPQRT computes the complex pentagonal factorization of [A; B]; see
+// kernel.TPQRT for conventions and the l parameter (0 = TSQRT, min(m,n) =
+// TTQRT).
+func TPQRT(m, n, l, ib int, a []complex128, lda int, b []complex128, ldb int,
+	t []complex128, ldt int, work []complex128) {
+	if n == 0 || m == 0 {
+		return
+	}
+	if l < 0 || l > min(m, n) {
+		panic("zkernel: TPQRT requires 0 ≤ l ≤ min(m,n)")
+	}
+	ib = clampIB(ib, n)
+	work = ensureWork(work, ib*(n+1))
+	tmp, w := work[:ib], work[ib:]
+	for k0 := 0; k0 < n; k0 += ib {
+		kb := min(ib, n-k0)
+		ztpqrt2(m, n, l, a, lda, b, ldb, k0, kb, t, ldt, tmp)
+		if k0+kb < n {
+			applyPentPanel(true, m, l, b, ldb, k0, kb, t, ldt,
+				a, lda, k0+kb, b, ldb, k0+kb, n-k0-kb, w)
+		}
+	}
+}
+
+// TSQRT is TPQRT with l = 0.
+func TSQRT(m, n, ib int, a []complex128, lda int, b []complex128, ldb int,
+	t []complex128, ldt int, work []complex128) {
+	TPQRT(m, n, 0, ib, a, lda, b, ldb, t, ldt, work)
+}
+
+// TTQRT is TPQRT with l = min(m,n).
+func TTQRT(m, n, ib int, a []complex128, lda int, b []complex128, ldb int,
+	t []complex128, ldt int, work []complex128) {
+	TPQRT(m, n, min(m, n), ib, a, lda, b, ldb, t, ldt, work)
+}
+
+// TPMQRT applies a complex TPQRT transformation to [C1; C2]; trans selects
+// Qᴴ versus Q.
+func TPMQRT(trans bool, m, k, l, ib int, v []complex128, ldv int, t []complex128, ldt int,
+	c1 []complex128, ldc1 int, c2 []complex128, ldc2, nc int, work []complex128) {
+	if k == 0 || nc == 0 {
+		return
+	}
+	ib = clampIB(ib, k)
+	work = ensureWork(work, ib*nc)
+	if trans {
+		for k0 := 0; k0 < k; k0 += ib {
+			kb := min(ib, k-k0)
+			applyPentPanel(true, m, l, v, ldv, k0, kb, t, ldt,
+				c1, ldc1, 0, c2, ldc2, 0, nc, work)
+		}
+	} else {
+		start := ((k - 1) / ib) * ib
+		for k0 := start; k0 >= 0; k0 -= ib {
+			kb := min(ib, k-k0)
+			applyPentPanel(false, m, l, v, ldv, k0, kb, t, ldt,
+				c1, ldc1, 0, c2, ldc2, 0, nc, work)
+		}
+	}
+}
+
+// TSMQR is TPMQRT with l = 0.
+func TSMQR(trans bool, m, k, ib int, v []complex128, ldv int, t []complex128, ldt int,
+	c1 []complex128, ldc1 int, c2 []complex128, ldc2, nc int, work []complex128) {
+	TPMQRT(trans, m, k, 0, ib, v, ldv, t, ldt, c1, ldc1, c2, ldc2, nc, work)
+}
+
+// TTMQR is TPMQRT with l = min(m,k).
+func TTMQR(trans bool, m, k, ib int, v []complex128, ldv int, t []complex128, ldt int,
+	c1 []complex128, ldc1 int, c2 []complex128, ldc2, nc int, work []complex128) {
+	TPMQRT(trans, m, k, min(m, k), ib, v, ldv, t, ldt, c1, ldc1, c2, ldc2, nc, work)
+}

@@ -1,0 +1,129 @@
+package tiledqr
+
+import (
+	"fmt"
+	"runtime"
+
+	"tiledqr/internal/core"
+)
+
+// defaultWorkers resolves the worker count used when Options.Workers is 0.
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Algorithm selects the elimination tree; see the package documentation and
+// Section 3 of the paper for the trade-offs.
+type Algorithm int
+
+const (
+	// Greedy is the default: never worse than the alternatives for tall
+	// matrices and requires no tuning parameter.
+	Greedy Algorithm = iota
+	// FlatTree is Sameh-Kuck, PLASMA's historical ordering.
+	FlatTree
+	// BinaryTree pairs rows level by level.
+	BinaryTree
+	// Fibonacci is the Fibonacci scheme of order 1.
+	Fibonacci
+	// Asap makes elimination decisions dynamically in simulated time.
+	Asap
+	// Grasap runs Greedy, switching to Asap for the last GrasapK columns.
+	Grasap
+	// PlasmaTree uses flat trees on domains of BS rows merged by a binary
+	// tree (Hadri et al., PLASMA anchoring); requires Options.BS.
+	PlasmaTree
+	// HadriTree is the Semi-/Fully-Parallel anchoring of the same idea
+	// (top domain shrinks instead of the bottom one); requires Options.BS.
+	// The paper finds PLASMA's anchoring identical or better.
+	HadriTree
+)
+
+func (a Algorithm) String() string { return a.core().String() }
+
+func (a Algorithm) core() core.Algorithm {
+	switch a {
+	case Greedy:
+		return core.Greedy
+	case FlatTree:
+		return core.FlatTree
+	case BinaryTree:
+		return core.BinaryTree
+	case Fibonacci:
+		return core.Fibonacci
+	case Asap:
+		return core.Asap
+	case Grasap:
+		return core.Grasap
+	case PlasmaTree:
+		return core.PlasmaTree
+	case HadriTree:
+		return core.HadriTree
+	}
+	return core.Algorithm(-1)
+}
+
+// Algorithms lists the parameter-free algorithms, mainly for sweeps in
+// examples and benchmarks.
+var Algorithms = []Algorithm{Greedy, FlatTree, BinaryTree, Fibonacci, Asap}
+
+// Kernels selects the kernel family implementing eliminations.
+type Kernels int
+
+const (
+	// TT (triangle on top of triangle) maximizes parallelism; all the
+	// paper's new algorithms use it.
+	TT Kernels = iota
+	// TS (triangle on top of square) maximizes locality and sequential
+	// kernel speed; PLASMA's historical family.
+	TS
+)
+
+func (k Kernels) String() string { return k.core().String() }
+
+func (k Kernels) core() core.Kernels {
+	if k == TS {
+		return core.TS
+	}
+	return core.TT
+}
+
+// Options configures a factorization or an analysis. The zero value selects
+// Greedy with TT kernels, tile size 128, inner blocking 32, and GOMAXPROCS
+// workers.
+type Options struct {
+	Algorithm  Algorithm
+	Kernels    Kernels
+	TileSize   int // nb; the paper uses 200 (80..200 is typical, §2)
+	InnerBlock int // ib; the paper uses 32
+	Workers    int // 0 = GOMAXPROCS
+	BS         int // PlasmaTree domain size, 1..p
+	GrasapK    int // Grasap: number of trailing Asap columns
+	Trace      bool
+}
+
+// DefaultTileSize and DefaultInnerBlock are the defaults applied by
+// Options.withDefaults.
+const (
+	DefaultTileSize   = 128
+	DefaultInnerBlock = 32
+)
+
+func (o Options) withDefaults() Options {
+	if o.TileSize <= 0 {
+		o.TileSize = DefaultTileSize
+	}
+	if o.InnerBlock <= 0 {
+		o.InnerBlock = DefaultInnerBlock
+	}
+	return o
+}
+
+func (o Options) coreOptions() core.Options {
+	return core.Options{BS: o.BS, GrasapK: o.GrasapK}
+}
+
+func (o Options) validate(p int) error {
+	if (o.Algorithm == PlasmaTree || o.Algorithm == HadriTree) && (o.BS < 1 || o.BS > p) {
+		return fmt.Errorf("tiledqr: %v needs 1 ≤ BS ≤ p (BS=%d, p=%d)", o.Algorithm, o.BS, p)
+	}
+	return nil
+}
