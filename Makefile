@@ -1,0 +1,34 @@
+# Build/test/benchmark entry points for the tiledqr reproduction.
+
+GO ?= go
+
+.PHONY: all build test race vet bench bench-smoke clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench measures every sequential kernel (double and double complex, at the
+# benchmark shape nb=128/ib=32) plus scheduler dispatch cost and records the
+# GFLOP/s trajectory in BENCH_kernels.json. The file's "baseline" object
+# (seed figures) is preserved across regenerations.
+bench:
+	$(GO) run ./cmd/qrperf -kernels-json BENCH_kernels.json
+
+# bench-smoke is the CI-sized benchmark run: one iteration of the kernel
+# figures only, to prove the harness still works.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'Figure4' -benchtime 1x ./...
+
+clean:
+	$(GO) clean ./...

@@ -83,7 +83,7 @@ func BenchmarkTable5PlasmaBSSweep(b *testing.B) {
 
 // --- Figures 1–3 and 6–8: performance model ------------------------------------
 
-func BenchmarkFig1RooflinePrediction(b *testing.B) {
+func BenchmarkFigure1RooflinePrediction(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, q := range []int{1, 2, 5, 10, 20, 40} {
 			cp := sim.CriticalPathList(core.GreedyList(40, q), core.TT)
@@ -92,7 +92,7 @@ func BenchmarkFig1RooflinePrediction(b *testing.B) {
 	}
 }
 
-func BenchmarkFig6ListScheduling48Workers(b *testing.B) {
+func BenchmarkFigure6ListScheduling48Workers(b *testing.B) {
 	d := core.BuildDAG(core.GreedyList(40, 10), core.TT)
 	w := sim.UnitWeights(d)
 	b.ResetTimer()
@@ -114,12 +114,12 @@ func benchKernelReal(b *testing.B, nb, weight int, f func()) {
 	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
 }
 
-func BenchmarkFig5KernelsDouble(b *testing.B) {
+func BenchmarkFigure5KernelsDouble(b *testing.B) {
 	const nb, ib = 128, 32
 	tri := tile.RandDense(nb, nb, 1)
 	tf := make([]float64, ib*nb)
 	t2 := make([]float64, ib*nb)
-	work := make([]float64, ib*(nb+1))
+	work := make([]float64, kernel.WorkLen(nb, ib))
 	kernel.GEQRT(nb, nb, ib, tri.Data, tri.Stride, tf, nb, work)
 	full := tile.RandDense(nb, nb, 2)
 	c1 := tile.RandDense(nb, nb, 3)
@@ -145,12 +145,12 @@ func BenchmarkFig5KernelsDouble(b *testing.B) {
 	}
 }
 
-func BenchmarkFig4KernelsDoubleComplex(b *testing.B) {
+func BenchmarkFigure4KernelsDoubleComplex(b *testing.B) {
 	const nb, ib = 128, 32
 	tri := tile.RandZDense(nb, nb, 1)
 	tf := make([]complex128, ib*nb)
 	t2 := make([]complex128, ib*nb)
-	work := make([]complex128, ib*(nb+1))
+	work := make([]complex128, zkernel.WorkLen(nb, ib))
 	zkernel.GEQRT(nb, nb, ib, tri.Data, tri.Stride, tf, nb, work)
 	full := tile.RandZDense(nb, nb, 2)
 	c1 := tile.RandZDense(nb, nb, 3)
@@ -253,7 +253,7 @@ func BenchmarkTable9FibonacciDoubleComplex(b *testing.B) {
 	b.Run("Fibonacci", func(b *testing.B) { benchFactor(b, Fibonacci, TT, 8, 4, true) })
 }
 
-func BenchmarkFig6FlatTreeTSDouble(b *testing.B) {
+func BenchmarkFigure6FlatTreeTSDouble(b *testing.B) {
 	b.Run("FlatTreeTS", func(b *testing.B) { benchFactor(b, FlatTree, TS, 12, 4, false) })
 	b.Run("FlatTreeTT", func(b *testing.B) { benchFactor(b, FlatTree, TT, 12, 4, false) })
 }

@@ -147,7 +147,7 @@ func newDPool(nb, pool int) *dPool {
 	ib := *flagIB
 	p := &dPool{nb: nb, ib: ib,
 		tf: make([]float64, ib*nb), t2: make([]float64, ib*nb),
-		work: make([]float64, ib*(nb+1)),
+		work: make([]float64, kernel.WorkLen(nb, ib)),
 	}
 	for i := 0; i < pool; i++ {
 		tri := tile.RandDense(nb, nb, int64(i))
@@ -235,7 +235,7 @@ func newZPool(nb, pool int) *zPool {
 	ib := *flagIB
 	p := &zPool{nb: nb, ib: ib,
 		tf: make([]complex128, ib*nb), t2: make([]complex128, ib*nb),
-		work: make([]complex128, ib*(nb+1)),
+		work: make([]complex128, zkernel.WorkLen(nb, ib)),
 	}
 	for i := 0; i < pool; i++ {
 		tri := tile.RandZDense(nb, nb, int64(i))

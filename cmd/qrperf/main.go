@@ -18,12 +18,20 @@
 //	qrperf -experiment fig6              all kernels (adds TS algorithms)
 //	qrperf -experiment fig7              overheads w.r.t. Greedy (TT+TS)
 //	qrperf -experiment table6 .. table9  Greedy vs PlasmaTree / Fibonacci, double / double complex
+//	qrperf -kernels-json FILE            measure every sequential kernel at the
+//	                                     benchmark shape (nb=128, ib=32) plus
+//	                                     scheduler dispatch cost, and write the
+//	                                     GFLOP/s figures to FILE — the perf
+//	                                     trajectory record tracked across PRs
+//	                                     (a "baseline" object already in FILE
+//	                                     is preserved verbatim)
 //
 // Flags -p, -nb, -ib, -workers scale the experiment (defaults are a
 // laptop-sized version of the paper's p=40, nb=200, ib=32, P=48).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,7 +43,9 @@ import (
 	"tiledqr/internal/core"
 	"tiledqr/internal/kernel"
 	"tiledqr/internal/model"
+	"tiledqr/internal/sched"
 	"tiledqr/internal/sim"
+	"tiledqr/internal/tile"
 	"tiledqr/internal/zkernel"
 )
 
@@ -61,7 +71,15 @@ func unitKernelTimes() kernelTimes {
 
 func main() {
 	experiment := flag.String("experiment", "fig1", "fig1|fig2|fig6|fig7|table6|table7|table8|table9")
+	kernelsJSON := flag.String("kernels-json", "", "write kernel GFLOP/s to this file and exit")
 	flag.Parse()
+	if *kernelsJSON != "" {
+		if err := writeKernelsJSON(*kernelsJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	switch *experiment {
 	case "fig1":
 		figure(false, false)
@@ -88,24 +106,17 @@ func main() {
 // kernelTimes holds measured seconds per kernel invocation at (nb, ib).
 type kernelTimes map[core.Kind]float64
 
-// measureKernels times each of the six kernels on random nb×nb tiles.
+// measureKernels times each of the six kernels on random nb×nb tiles,
+// using the adaptive timeIt so small tile sizes still get stable samples.
 func measureKernels(nb, ib int, complexArith bool) kernelTimes {
 	kt := kernelTimes{}
-	reps := 1 + 2000000/(nb*nb*nb)
 	if complexArith {
 		za := tiledqr.RandomZDense(nb, nb, 1)
 		zb := tiledqr.RandomZDense(nb, nb, 2)
 		zc := tiledqr.RandomZDense(nb, nb, 3)
 		tf := make([]complex128, ib*nb)
 		t2 := make([]complex128, ib*nb)
-		work := make([]complex128, ib*(nb+1))
-		timeIt := func(f func()) float64 {
-			start := time.Now()
-			for r := 0; r < reps; r++ {
-				f()
-			}
-			return time.Since(start).Seconds() / float64(reps)
-		}
+		work := make([]complex128, zkernel.WorkLen(nb, ib))
 		v := za.Clone()
 		zkernel.GEQRT(nb, nb, ib, (*vdataZ(v)).Data, nb, tf, nb, work)
 		kt[core.KGEQRT] = timeIt(func() {
@@ -151,14 +162,7 @@ func measureKernels(nb, ib int, complexArith bool) kernelTimes {
 	dc := tiledqr.RandomDense(nb, nb, 3)
 	tf := make([]float64, ib*nb)
 	t2 := make([]float64, ib*nb)
-	work := make([]float64, ib*(nb+1))
-	timeIt := func(f func()) float64 {
-		start := time.Now()
-		for r := 0; r < reps; r++ {
-			f()
-		}
-		return time.Since(start).Seconds() / float64(reps)
-	}
+	work := make([]float64, kernel.WorkLen(nb, ib))
 	kt[core.KGEQRT] = timeIt(func() {
 		a := da.Clone()
 		kernel.GEQRT(nb, nb, ib, (*vdata(a)).Data, nb, tf, nb, work)
@@ -407,3 +411,106 @@ func tableGreedyVs(rival string, complexArith bool) {
 }
 
 func defaultHostWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// --- kernel GFLOP/s JSON emitter (make bench) -------------------------------
+
+// benchNB/benchIB fix the -kernels-json measurement shape to the benchmark
+// harness constants of bench_test.go, so figures are comparable across PRs
+// and hosts regardless of the experiment-scaling flags.
+const (
+	benchNB = 128
+	benchIB = 32
+)
+
+type kernelsReport struct {
+	NB                 int                `json:"nb"`
+	IB                 int                `json:"ib"`
+	Double             map[string]float64 `json:"double_gflops"`
+	DoubleComplex      map[string]float64 `json:"double_complex_gflops"`
+	SchedulerNsPerTask float64            `json:"scheduler_dispatch_ns_per_task"`
+	SchedulerWorkers   int                `json:"scheduler_dispatch_workers"`
+	Baseline           json.RawMessage    `json:"baseline,omitempty"`
+}
+
+// timeIt returns seconds per call, growing the repetition count until the
+// sample is long enough to trust.
+func timeIt(f func()) float64 {
+	f() // warm up
+	for reps := 1; ; reps *= 2 {
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			f()
+		}
+		if el := time.Since(start); el > 100*time.Millisecond || reps >= 1<<20 {
+			return el.Seconds() / float64(reps)
+		}
+	}
+}
+
+// kernelGflops converts measureKernels timings at the benchmark shape into
+// GFLOP/s (4 real flops per complex flop, as in the paper) and adds the
+// GEMM reference kernel, which measureKernels does not time. One kernel
+// table — measureKernels — backs both the experiments and the JSON record.
+func kernelGflops(complexArith bool) map[string]float64 {
+	const nb, ib = benchNB, benchIB
+	flopScale := 1.0
+	if complexArith {
+		flopScale = 4
+	}
+	cube := float64(nb) * float64(nb) * float64(nb)
+	out := make(map[string]float64, 7)
+	for kind, sec := range measureKernels(nb, ib, complexArith) {
+		out[kind.String()] = flopScale * float64(kind.Weight()) * cube / 3 / sec / 1e9
+	}
+	var gemmSec float64
+	if complexArith {
+		a := tile.RandZDense(nb, nb, 2)
+		b := tile.RandZDense(nb, nb, 3)
+		c := tile.RandZDense(nb, nb, 4)
+		gemmSec = timeIt(func() { zkernel.GEMM(nb, nb, nb, a.Data, nb, b.Data, nb, c.Data, nb) })
+	} else {
+		a := tile.RandDense(nb, nb, 2)
+		b := tile.RandDense(nb, nb, 3)
+		c := tile.RandDense(nb, nb, 4)
+		gemmSec = timeIt(func() { kernel.GEMM(nb, nb, nb, a.Data, nb, b.Data, nb, c.Data, nb) })
+	}
+	out["GEMM"] = flopScale * 6 * cube / 3 / gemmSec / 1e9
+	return out
+}
+
+// writeKernelsJSON measures everything and writes the report, preserving
+// any "baseline" object already present in the target file.
+func writeKernelsJSON(path string) error {
+	rep := kernelsReport{
+		NB:               benchNB,
+		IB:               benchIB,
+		Double:           kernelGflops(false),
+		DoubleComplex:    kernelGflops(true),
+		SchedulerWorkers: 2,
+	}
+	d := core.BuildDAG(core.GreedyList(20, 10), core.TT)
+	sec := timeIt(func() {
+		if _, err := sched.Run(d, sched.Options{Workers: 2}, func(int32, int) {}); err != nil {
+			panic(err)
+		}
+	})
+	rep.SchedulerNsPerTask = sec * 1e9 / float64(d.NumTasks())
+	if old, err := os.ReadFile(path); err == nil {
+		var prev struct {
+			Baseline json.RawMessage `json:"baseline"`
+		}
+		if json.Unmarshal(old, &prev) == nil && len(prev.Baseline) > 0 {
+			rep.Baseline = prev.Baseline
+		}
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (nb=%d, ib=%d)\n", path, benchNB, benchIB)
+	return nil
+}

@@ -32,4 +32,30 @@
 //
 // See the examples directory for least-squares solving, orthonormal basis
 // construction, and schedule analysis.
+//
+// # Performance
+//
+// Both arithmetic domains run on one tuned core, internal/vec: unrolled,
+// bounds-check-free Dot/Axpy/Scal/AddScaled primitives plus an
+// overflow-safe single-Sqrt Nrm2 (the reflector norms take one Sqrt per
+// column instead of one Hypot per element). Kernel inner loops are
+// row-contiguous sweeps, and the block-reflector appliers tile their
+// workspace so the updated block streams through cache once per pass.
+//
+// The parallel runtime (internal/sched) executes the task DAG with
+// per-worker deques plus work stealing. Ready tasks are ordered by
+// critical-path priority — the longest weighted path to a DAG sink, using
+// the paper's Table 1 kernel weights — so factor kernels on the critical
+// path run ahead of trailing updates, the ASAP discipline of §2. A
+// completing worker keeps its released successors (the tiles it just wrote
+// are still in cache); idle workers steal low-priority leaves from
+// victims. Workers = 1 selects a deterministic sequential path. Each
+// worker owns a preallocated kernel workspace and Q-application scratch is
+// pooled, so steady-state factorization does no per-task allocation.
+//
+// To benchmark: `go test -bench 'Figure4|Figure5' .` reports per-kernel
+// GFLOP/s (the paper's Figures 4–5), `go test -bench Table .` the
+// end-to-end experiments, and `make bench` records the kernel figures in
+// BENCH_kernels.json alongside the seed baseline, tracking the performance
+// trajectory across revisions.
 package tiledqr

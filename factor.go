@@ -2,11 +2,13 @@ package tiledqr
 
 import (
 	"fmt"
+	"sync"
 
 	"tiledqr/internal/core"
 	"tiledqr/internal/kernel"
 	"tiledqr/internal/sched"
 	"tiledqr/internal/tile"
+	"tiledqr/internal/vec"
 )
 
 // Factorization is the result of Factor: the factored tiles (R plus the
@@ -21,6 +23,21 @@ type Factorization struct {
 	ib    int
 	opt   Options
 	trace *sched.Trace
+
+	workPool sync.Pool // scratch slices for ApplyQ/ApplyQT/SolveLS
+}
+
+// getWork fetches a pooled scratch slice of at least n floats; putWork
+// returns it. Steady-state Q applications allocate nothing.
+func (f *Factorization) getWork(n int) []float64 {
+	if w, ok := f.workPool.Get().(*[]float64); ok && len(*w) >= n {
+		return *w
+	}
+	return make([]float64, n)
+}
+
+func (f *Factorization) putWork(w []float64) {
+	f.workPool.Put(&w)
 }
 
 // Factor computes the tiled QR factorization A = Q·R of an m×n matrix
@@ -150,7 +167,8 @@ func (f *Factorization) apply(b *Dense, trans bool) error {
 	}
 	bd := (*tile.Dense)(b)
 	nrhs := b.Cols
-	work := make([]float64, f.ib*max(nrhs, 1))
+	work := f.getWork(f.ib * max(nrhs, 1))
+	defer f.putWork(work)
 	// View of b's tile row i (1-based).
 	rowView := func(i int) *tile.Dense {
 		return bd.View((i-1)*f.grid.NB, 0, f.grid.TileRows(i-1), nrhs)
@@ -229,18 +247,26 @@ func (f *Factorization) SolveLS(b *Dense) (*Dense, error) {
 		return nil, err
 	}
 	r := f.R()
+	rd := (*tile.Dense)(r)
 	x := NewDense(n, b.Cols)
+	// Back-substitution per right-hand side, row-oriented so every inner
+	// product runs over a contiguous row of R via vec.Dot; the solution
+	// column lives in a pooled contiguous scratch until written back.
+	wbuf := f.getWork(n)
+	defer f.putWork(wbuf)
+	xcol := wbuf[:n]
 	for c := 0; c < b.Cols; c++ {
 		for i := n - 1; i >= 0; i-- {
-			s := qtb.At(i, c)
-			for j := i + 1; j < n; j++ {
-				s -= r.At(i, j) * x.At(j, c)
-			}
-			d := r.At(i, i)
+			row := rd.Data[i*rd.Stride : i*rd.Stride+n]
+			s := qtb.At(i, c) - vec.Dot(row[i+1:], xcol[i+1:n])
+			d := row[i]
 			if d == 0 {
 				return nil, fmt.Errorf("tiledqr: SolveLS: R(%d,%d) = 0, matrix is rank deficient", i, i)
 			}
-			x.Set(i, c, s/d)
+			xcol[i] = s / d
+		}
+		for i := 0; i < n; i++ {
+			x.Set(i, c, xcol[i])
 		}
 	}
 	return x, nil
@@ -277,7 +303,7 @@ func (f *Factorization) Grid() (p, q, nb int) { return f.grid.P, f.grid.Q, f.gri
 func newWorkspaces(workers, ib, nb int) [][]float64 {
 	w := make([][]float64, workers)
 	for i := range w {
-		w[i] = make([]float64, ib*(nb+1))
+		w[i] = make([]float64, kernel.WorkLen(nb, ib))
 	}
 	return w
 }

@@ -1,0 +1,3 @@
+module tiledqr
+
+go 1.24.0

@@ -1,64 +1,82 @@
 package kernel
 
-import "math"
+import (
+	"math"
+
+	"tiledqr/internal/vec"
+)
 
 // larfgCol generates an elementary Householder reflector H = I − τ·v·vᵀ with
 // v[r0] = 1 acting on the column vector [a(r0,c); a(r0+1:m,c)] so that
-// H·x = [β; 0]. On return a(r0,c) = β and a(r0+1:m,c) holds v[r0+1:].
-func larfgCol(a []float64, lda, r0, c, m int) (tau float64) {
+// H·x = [β; 0]. On return a(r0,c) = β; the tail a(r0+1:m,c) still holds the
+// RAW column — the caller multiplies it by the returned scale (fused into
+// its next row sweep) to obtain v[r0+1:]. scale is 1 when τ = 0.
+//
+// The tail norm uses the safe single-pass Nrm2 — one Sqrt per reflector
+// instead of the seed's one Hypot per element — and the final α/xnorm
+// combination keeps one Hypot for its overflow safety.
+func larfgCol(a []float64, lda, r0, c, m int) (tau, scale float64) {
 	alpha := a[r0*lda+c]
-	var xnorm float64
-	for i := r0 + 1; i < m; i++ {
-		xnorm = math.Hypot(xnorm, a[i*lda+c])
+	n := m - r0 - 1
+	if n <= 0 {
+		return 0, 1
 	}
+	xnorm := vec.Nrm2Inc(a[(r0+1)*lda+c:], n, lda)
 	if xnorm == 0 {
-		return 0
+		return 0, 1
 	}
 	beta := -math.Copysign(math.Hypot(alpha, xnorm), alpha)
-	tau = (beta - alpha) / beta
-	scale := 1 / (alpha - beta)
-	for i := r0 + 1; i < m; i++ {
-		a[i*lda+c] *= scale
-	}
 	a[r0*lda+c] = beta
-	return tau
+	return (beta - alpha) / beta, 1 / (alpha - beta)
 }
 
 // geqrt2 factors the panel A[j0:m, j0:j0+kb] in place by Householder
 // reflections and stores the panel's kb×kb triangular factor in columns
-// j0:j0+kb of t (which has row stride ldt and at least kb rows). tmp must
+// j0:j0+kb of t (which has row stride ldt and at least kb rows). comb must
 // have length ≥ kb.
-func geqrt2(m int, a []float64, lda, j0, kb int, t []float64, ldt int, tmp []float64) {
+//
+// Each reflector makes two row-contiguous sweeps over the panel instead of
+// the column-strided loops of the unblocked reference: the first sweep
+// accumulates every dot product the reflector needs into comb (positions
+// below jj feed the T column, positions above jj feed the trailing update),
+// the second applies the update. Row slices keep the accesses sequential in
+// memory, which column walks at stride lda are not.
+func geqrt2(m int, a []float64, lda, j0, kb int, t []float64, ldt int, comb []float64) {
 	for jj := 0; jj < kb; jj++ {
 		j := j0 + jj
-		tau := larfgCol(a, lda, j, j, m)
-		// Apply H_j to the remaining panel columns.
-		for c := j + 1; c < j0+kb; c++ {
-			w := a[j*lda+c]
-			for i := j + 1; i < m; i++ {
-				w += a[i*lda+j] * a[i*lda+c]
+		tau, scale := larfgCol(a, lda, j, j, m)
+		cb := comb[:kb]
+		clear(cb)
+		// Sweep 1: scale the raw reflector column in passing (larfgCol
+		// defers it) and accumulate comb[c] = Σ_{i>j} v_i·a(i, j0+c).
+		// comb[jj] gathers Σ v² and is never read.
+		for i := j + 1; i < m; i++ {
+			row := a[i*lda+j0 : i*lda+j0+kb]
+			vi := row[jj] * scale
+			row[jj] = vi
+			vec.Axpy(vi, row, cb)
+		}
+		// Finish the update scalars w = τ·(row j + comb) in place, apply
+		// them to row j, then sweep 2 applies them to the rows below.
+		if jj+1 < kb {
+			w := cb[jj+1:]
+			arow := a[j*lda+j+1 : j*lda+j0+kb]
+			for y, av := range arow {
+				wv := tau * (av + w[y])
+				arow[y] = av - wv
+				w[y] = wv
 			}
-			w *= tau
-			a[j*lda+c] -= w
 			for i := j + 1; i < m; i++ {
-				a[i*lda+c] -= a[i*lda+j] * w
+				vec.Axpy(-a[i*lda+j], w, a[i*lda+j+1:i*lda+j0+kb])
 			}
 		}
-		// T(0:jj, jj) = −τ · T(0:jj, 0:jj) · (V(:, 0:jj)ᵀ · v_j).
+		// T(0:jj, jj) = −τ·T(0:jj, 0:jj)·(Vᵀ·v_j). The dot tails are already
+		// in comb; add the row-j terms (v_c's row j times v_j[j] = 1).
 		for c := 0; c < jj; c++ {
-			col := j0 + c
-			s := a[j*lda+col] // row j of v_c times v_j[j] = 1
-			for i := j + 1; i < m; i++ {
-				s += a[i*lda+col] * a[i*lda+j]
-			}
-			tmp[c] = s
+			cb[c] += a[j*lda+j0+c]
 		}
 		for r := 0; r < jj; r++ {
-			var s float64
-			for c := r; c < jj; c++ {
-				s += t[r*ldt+j0+c] * tmp[c]
-			}
-			t[r*ldt+j] = -tau * s
+			t[r*ldt+j] = -tau * vec.Dot(t[r*ldt+j0+r:r*ldt+j0+jj], cb[r:jj])
 		}
 		t[jj*ldt+j] = tau
 	}
@@ -72,66 +90,68 @@ func geqrt2(m int, a []float64, lda, j0, kb int, t []float64, ldt int, tmp []flo
 // w must have length ≥ kb·nc.
 func applyPanel(trans bool, m int, v []float64, ldv, r0, vc0, kb int,
 	t []float64, ldt, tc0 int, c []float64, ldc, cc0, nc int, w []float64) {
-	// W = Vᵀ · C
-	for x := 0; x < kb; x++ {
-		col := vc0 + x
-		diag := r0 + x
-		wx := w[x*nc : x*nc+nc]
-		copy(wx, c[diag*ldc+cc0:diag*ldc+cc0+nc])
-		for i := diag + 1; i < m; i++ {
-			vix := v[i*ldv+col]
-			if vix == 0 {
-				continue
-			}
+	// W = Vᵀ · C, swept in blocks of xBlock reflector columns: each block's
+	// W rows stay cache-resident while C's rows stream through, so the C
+	// tile is read ⌈kb/xBlock⌉ times instead of kb times.
+	for xb := 0; xb < kb; xb += xBlock {
+		xe := min(xb+xBlock, kb)
+		for i := r0 + xb; i < m; i++ {
 			ci := c[i*ldc+cc0 : i*ldc+cc0+nc]
-			for y, cv := range ci {
-				wx[y] += vix * cv
+			d := i - r0 // reflector columns x < d accumulate row i
+			nx := min(d, xe)
+			if d < xe {
+				copy(w[d*nc:d*nc+nc], ci) // diagonal row of reflector d: v = 1
+			}
+			vrow := v[i*ldv+vc0 : i*ldv+vc0+nx]
+			for x := xb; x < nx; x++ {
+				vec.Axpy(vrow[x], ci, w[x*nc:x*nc+nc])
 			}
 		}
 	}
 	triMulW(trans, kb, t, ldt, tc0, w, nc)
-	// C −= V · W
-	for x := 0; x < kb; x++ {
-		col := vc0 + x
-		diag := r0 + x
-		wx := w[x*nc : x*nc+nc]
-		cd := c[diag*ldc+cc0 : diag*ldc+cc0+nc]
-		for y, wv := range wx {
-			cd[y] -= wv
-		}
-		for i := diag + 1; i < m; i++ {
-			vix := v[i*ldv+col]
-			if vix == 0 {
-				continue
-			}
+	// C −= V · W, same blocking, consuming W rows in pairs per C row.
+	for xb := 0; xb < kb; xb += xBlock {
+		xe := min(xb+xBlock, kb)
+		for i := r0 + xb; i < m; i++ {
 			ci := c[i*ldc+cc0 : i*ldc+cc0+nc]
-			for y, wv := range wx {
-				ci[y] -= vix * wv
+			d := i - r0
+			nx := min(d, xe)
+			if d < xe {
+				vec.Sub(w[d*nc:d*nc+nc], ci)
+			}
+			vrow := v[i*ldv+vc0 : i*ldv+vc0+nx]
+			x := xb
+			for ; x+1 < nx; x += 2 {
+				vec.Axpy2(-vrow[x], w[x*nc:x*nc+nc], -vrow[x+1], w[(x+1)*nc:(x+1)*nc+nc], ci)
+			}
+			if x < nx {
+				vec.Axpy(-vrow[x], w[x*nc:x*nc+nc], ci)
 			}
 		}
 	}
 }
 
+// xBlock is the reflector-column blocking of the panel appliers: xBlock
+// rows of the W workspace (≤ xBlock·nb scalars) fit in L1 alongside the
+// streaming C row.
+const xBlock = 16
+
 // triMulW overwrites the kb×nc workspace W with Tᵀ·W (trans) or T·W, where T
-// is the upper triangular block in columns tc0:tc0+kb of t.
+// is the upper triangular block in columns tc0:tc0+kb of t. The diagonal
+// scale is fused with the first off-diagonal accumulation via AddScaled.
 func triMulW(trans bool, kb int, t []float64, ldt, tc0 int, w []float64, nc int) {
 	if trans {
 		// New W[x] depends on old W[0..x]; sweep x downward.
 		for x := kb - 1; x >= 0; x-- {
 			wx := w[x*nc : x*nc+nc]
 			txx := t[x*ldt+tc0+x]
-			for y := range wx {
-				wx[y] *= txx
+			if x == 0 {
+				vec.Scal(txx, wx)
+				continue
 			}
-			for r := 0; r < x; r++ {
-				trx := t[r*ldt+tc0+x]
-				if trx == 0 {
-					continue
-				}
-				wr := w[r*nc : r*nc+nc]
-				for y := range wx {
-					wx[y] += trx * wr[y]
-				}
+			vec.AddScaled(txx, t[tc0+x], w[:nc], wx)
+			for r := 1; r < x; r++ {
+				vec.Axpy(t[r*ldt+tc0+x], w[r*nc:r*nc+nc], wx)
 			}
 		}
 	} else {
@@ -139,18 +159,13 @@ func triMulW(trans bool, kb int, t []float64, ldt, tc0 int, w []float64, nc int)
 		for x := 0; x < kb; x++ {
 			wx := w[x*nc : x*nc+nc]
 			txx := t[x*ldt+tc0+x]
-			for y := range wx {
-				wx[y] *= txx
+			if x == kb-1 {
+				vec.Scal(txx, wx)
+				continue
 			}
-			for r := x + 1; r < kb; r++ {
-				txr := t[x*ldt+tc0+r]
-				if txr == 0 {
-					continue
-				}
-				wr := w[r*nc : r*nc+nc]
-				for y := range wx {
-					wx[y] += txr * wr[y]
-				}
+			vec.AddScaled(txx, t[x*ldt+tc0+x+1], w[(x+1)*nc:(x+1)*nc+nc], wx)
+			for r := x + 2; r < kb; r++ {
+				vec.Axpy(t[x*ldt+tc0+r], w[r*nc:r*nc+nc], wx)
 			}
 		}
 	}
@@ -161,18 +176,18 @@ func triMulW(trans bool, kb int, t []float64, ldt, tc0 int, w []float64, nc int)
 // triangle/trapezoid of a holds R, the strictly lower part holds the
 // Householder vectors V, and t (ib rows, row stride ldt ≥ n) holds the
 // ib×ib triangular T factors of each column panel. work may be nil or a
-// scratch slice of length ≥ ib·(n+1).
+// scratch slice of length ≥ WorkLen(n, ib).
 func GEQRT(m, n, ib int, a []float64, lda int, t []float64, ldt int, work []float64) {
 	k := min(m, n)
 	if k == 0 {
 		return
 	}
 	ib = clampIB(ib, k)
-	work = ensureWork(work, ib*(n+1))
-	tmp, w := work[:ib], work[ib:]
+	work = ensureWork(work, WorkLen(n, ib))
+	comb, w := work[:ib], work[ib:]
 	for k0 := 0; k0 < k; k0 += ib {
 		kb := min(ib, k-k0)
-		geqrt2(m, a, lda, k0, kb, t, ldt, tmp)
+		geqrt2(m, a, lda, k0, kb, t, ldt, comb)
 		if k0+kb < n {
 			applyPanel(true, m, a, lda, k0, k0, kb, t, ldt, k0, a, lda, k0+kb, n-k0-kb, w)
 		}
@@ -202,6 +217,13 @@ func UNMQR(trans bool, m, k, ib int, v []float64, ldv int, t []float64, ldt int,
 			applyPanel(false, m, v, ldv, k0, k0, kb, t, ldt, k0, c, ldc, 0, nc, work)
 		}
 	}
+}
+
+// WorkLen returns the scratch length the factor kernels (GEQRT, TPQRT) need
+// for an n-column tile at inner block size ib: one ib-vector of fused dot
+// accumulators plus the ib×n block-reflector workspace.
+func WorkLen(n, ib int) int {
+	return ib * (n + 1)
 }
 
 // clampIB normalizes the inner blocking factor to 1 ≤ ib ≤ k.

@@ -349,9 +349,9 @@ func TestUNMQRNoReflectorsIsIdentity(t *testing.T) {
 func TestLarfgColZeroTail(t *testing.T) {
 	a := tile.NewDense(4, 1)
 	a.Set(0, 0, 3)
-	tau := larfgCol(a.Data, a.Stride, 0, 0, 4)
-	if tau != 0 {
-		t.Errorf("tau = %g, want 0 for zero tail", tau)
+	tau, scale := larfgCol(a.Data, a.Stride, 0, 0, 4)
+	if tau != 0 || scale != 1 {
+		t.Errorf("tau, scale = %g, %g, want 0, 1 for zero tail", tau, scale)
 	}
 	if a.At(0, 0) != 3 {
 		t.Errorf("alpha modified: %g", a.At(0, 0))
@@ -364,12 +364,13 @@ func TestLarfgColAnnihilates(t *testing.T) {
 		n := 2 + rng.Intn(8)
 		a := tile.RandDense(n, 1, int64(iter))
 		orig := a.Clone()
-		tau := larfgCol(a.Data, a.Stride, 0, 0, n)
-		// Reconstruct H·x and verify it equals [β; 0].
+		tau, scale := larfgCol(a.Data, a.Stride, 0, 0, n)
+		// Reconstruct H·x and verify it equals [β; 0]. The tail is
+		// returned raw; the caller applies scale to obtain v.
 		v := make([]float64, n)
 		v[0] = 1
 		for i := 1; i < n; i++ {
-			v[i] = a.At(i, 0)
+			v[i] = a.At(i, 0) * scale
 		}
 		var vx float64
 		for i := 0; i < n; i++ {

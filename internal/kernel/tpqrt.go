@@ -1,6 +1,10 @@
 package kernel
 
-import "math"
+import (
+	"math"
+
+	"tiledqr/internal/vec"
+)
 
 // pentRows returns the number of rows of the pentagonal block B that
 // participate in reflector j (0-based), for an m×n B with trapezoid height l:
@@ -11,65 +15,76 @@ func pentRows(m, l, j int) int {
 }
 
 // larfgPent generates the reflector for TPQRT column j: the vector is
-// [a(j,j); b(0:p, j)] where p = pentRows(m, l, j). On return a(j,j) = β and
-// b(0:p, j) holds v₂.
-func larfgPent(a []float64, lda int, b []float64, ldb, j, p int) (tau float64) {
+// [a(j,j); b(0:p, j)] where p = pentRows(m, l, j). On return a(j,j) = β;
+// b(0:p, j) still holds the raw column — the caller multiplies it by the
+// returned scale (fused into its next row sweep) to obtain v₂. The tail
+// norm is the safe single-pass Nrm2 (one Sqrt per reflector instead of one
+// Hypot per element).
+func larfgPent(a []float64, lda int, b []float64, ldb, j, p int) (tau, scale float64) {
 	alpha := a[j*lda+j]
-	var xnorm float64
-	for i := 0; i < p; i++ {
-		xnorm = math.Hypot(xnorm, b[i*ldb+j])
+	if p <= 0 {
+		return 0, 1
 	}
+	xnorm := vec.Nrm2Inc(b[j:], p, ldb)
 	if xnorm == 0 {
-		return 0
+		return 0, 1
 	}
 	beta := -math.Copysign(math.Hypot(alpha, xnorm), alpha)
-	tau = (beta - alpha) / beta
-	scale := 1 / (alpha - beta)
-	for i := 0; i < p; i++ {
-		b[i*ldb+j] *= scale
-	}
 	a[j*lda+j] = beta
-	return tau
+	return (beta - alpha) / beta, 1 / (alpha - beta)
 }
 
 // tpqrt2 factors one panel (columns j0:j0+kb) of the stacked matrix
 // [A; B] where A is n×n upper triangular and B is m×n pentagonal with
-// trapezoid height l. tmp must have length ≥ kb.
+// trapezoid height l. comb must have length ≥ kb.
+//
+// As in geqrt2, each reflector is applied with row-contiguous sweeps over B.
+// The only pentagonal subtlety is in the T-column dot products: column
+// j0+c of B has pentRows(m, l, j0+c) structural rows, so row i contributes
+// to comb[c] only when that height exceeds i — a per-row start offset,
+// since pentRows is nondecreasing in the column index. The update columns
+// (c > jj) always take all p rows, and start never exceeds jj, so one Axpy
+// per row covers both.
 func tpqrt2(m, n, l int, a []float64, lda int, b []float64, ldb, j0, kb int,
-	t []float64, ldt int, tmp []float64) {
+	t []float64, ldt int, comb []float64) {
 	for jj := 0; jj < kb; jj++ {
 		j := j0 + jj
 		p := pentRows(m, l, j)
-		tau := larfgPent(a, lda, b, ldb, j, p)
-		// Apply H_j to the remaining panel columns. The top part of v_j is
-		// e_j, so only row j of A and rows 0:p of B are involved.
-		for c := j + 1; c < j0+kb; c++ {
-			w := a[j*lda+c]
-			for i := 0; i < p; i++ {
-				w += b[i*ldb+j] * b[i*ldb+c]
+		tau, scale := larfgPent(a, lda, b, ldb, j, p)
+		cb := comb[:kb]
+		clear(cb)
+		// Sweep 1: scale the raw reflector column in passing and
+		// accumulate comb[c] = Σ_i v_i·b(i, j0+c) over each column's
+		// structural rows. The top parts of the reflectors are distinct
+		// identity columns, so A contributes nothing here.
+		for i := 0; i < p; i++ {
+			start := 0
+			if d := i - (m - l) - j0; d > 0 {
+				start = d
 			}
-			w *= tau
-			a[j*lda+c] -= w
+			row := b[i*ldb+j0 : i*ldb+j0+kb]
+			vi := row[jj] * scale
+			row[jj] = vi
+			vec.Axpy(vi, row[start:], cb[start:])
+		}
+		// Update scalars w = τ·(A row j + comb), applied to A's row j and
+		// then to all p rows of B.
+		if jj+1 < kb {
+			w := cb[jj+1:]
+			arow := a[j*lda+j+1 : j*lda+j0+kb]
+			for y, av := range arow {
+				wv := tau * (av + w[y])
+				arow[y] = av - wv
+				w[y] = wv
+			}
 			for i := 0; i < p; i++ {
-				b[i*ldb+c] -= w * b[i*ldb+j]
+				vec.Axpy(-b[i*ldb+j], w, b[i*ldb+j+1:i*ldb+j0+kb])
 			}
 		}
-		// T(0:jj, jj) = −τ · T(0:jj, 0:jj) · (V₂(:, 0:jj)ᵀ · v₂ⱼ).
-		// Top parts are distinct identity columns, so they contribute 0.
-		for c := 0; c < jj; c++ {
-			pc := pentRows(m, l, j0+c)
-			var s float64
-			for i := 0; i < pc; i++ {
-				s += b[i*ldb+j0+c] * b[i*ldb+j]
-			}
-			tmp[c] = s
-		}
+		// T(0:jj, jj) = −τ·T(0:jj, 0:jj)·(V₂(:, 0:jj)ᵀ·v₂ⱼ); the dots are
+		// already in comb (no top-part terms).
 		for r := 0; r < jj; r++ {
-			var s float64
-			for c := r; c < jj; c++ {
-				s += t[r*ldt+j0+c] * tmp[c]
-			}
-			t[r*ldt+j] = -tau * s
+			t[r*ldt+j] = -tau * vec.Dot(t[r*ldt+j0+r:r*ldt+j0+jj], cb[r:jj])
 		}
 		t[jj*ldt+j] = tau
 	}
@@ -84,43 +99,53 @@ func applyPentPanel(trans bool, m, l int, v []float64, ldv, vc0, kb int,
 	t []float64, ldt int,
 	c1 []float64, ldc1, c1c0 int,
 	c2 []float64, ldc2, c2c0, nc int, w []float64) {
-	// W = C1[vc0+x] + V₂ᵀ · C2
+	// W = C1[vc0+x] + V₂ᵀ · C2. The C1 rows seed W (the identity tops of
+	// the reflectors); then one sweep over C2's structural rows accumulates
+	// the pentagonal parts — row i of C2 is read once and feeds the
+	// reflector columns whose pentagonal height exceeds i (a suffix
+	// x ≥ xmin, since pentRows is nondecreasing in the column index).
 	for x := 0; x < kb; x++ {
-		col := vc0 + x
-		p := pentRows(m, l, col)
-		wx := w[x*nc : x*nc+nc]
-		top := col * ldc1
-		copy(wx, c1[top+c1c0:top+c1c0+nc])
-		for i := 0; i < p; i++ {
-			vix := v[i*ldv+col]
-			if vix == 0 {
-				continue
-			}
+		top := (vc0 + x) * ldc1
+		copy(w[x*nc:x*nc+nc], c1[top+c1c0:top+c1c0+nc])
+	}
+	for xb := 0; xb < kb; xb += xBlock {
+		xe := min(xb+xBlock, kb)
+		pmaxB := pentRows(m, l, vc0+xe-1)
+		for i := 0; i < pmaxB; i++ {
 			ci := c2[i*ldc2+c2c0 : i*ldc2+c2c0+nc]
-			for y, cv := range ci {
-				wx[y] += vix * cv
+			xs := xb
+			if d := i - (m - l) - vc0; d > xs {
+				xs = d
+			}
+			vrow := v[i*ldv+vc0 : i*ldv+vc0+xe]
+			for x := xs; x < xe; x++ {
+				vec.Axpy(vrow[x], ci, w[x*nc:x*nc+nc])
 			}
 		}
 	}
 	triMulW(trans, kb, t, ldt, vc0, w, nc)
-	// C1 −= W ; C2 −= V₂·W
+	// C1 −= W ; C2 −= V₂·W, same blocking, consuming W rows in pairs per
+	// C2 row.
 	for x := 0; x < kb; x++ {
-		col := vc0 + x
-		p := pentRows(m, l, col)
-		wx := w[x*nc : x*nc+nc]
-		top := col * ldc1
-		cd := c1[top+c1c0 : top+c1c0+nc]
-		for y, wv := range wx {
-			cd[y] -= wv
-		}
-		for i := 0; i < p; i++ {
-			vix := v[i*ldv+col]
-			if vix == 0 {
-				continue
-			}
+		top := (vc0 + x) * ldc1
+		vec.Sub(w[x*nc:x*nc+nc], c1[top+c1c0:top+c1c0+nc])
+	}
+	for xb := 0; xb < kb; xb += xBlock {
+		xe := min(xb+xBlock, kb)
+		pmaxB := pentRows(m, l, vc0+xe-1)
+		for i := 0; i < pmaxB; i++ {
 			ci := c2[i*ldc2+c2c0 : i*ldc2+c2c0+nc]
-			for y, wv := range wx {
-				ci[y] -= vix * wv
+			xs := xb
+			if d := i - (m - l) - vc0; d > xs {
+				xs = d
+			}
+			vrow := v[i*ldv+vc0 : i*ldv+vc0+xe]
+			x := xs
+			for ; x+1 < xe; x += 2 {
+				vec.Axpy2(-vrow[x], w[x*nc:x*nc+nc], -vrow[x+1], w[(x+1)*nc:(x+1)*nc+nc], ci)
+			}
+			if x < xe {
+				vec.Axpy(-vrow[x], w[x*nc:x*nc+nc], ci)
 			}
 		}
 	}
@@ -138,7 +163,7 @@ func applyPentPanel(trans bool, m, l int, v []float64, ldv, vc0, kb int,
 //
 // On return A holds the updated R, B holds the V₂ parts of the reflectors,
 // and t (ib rows, stride ldt ≥ n) holds the panel T factors. work may be
-// nil or a scratch slice of length ≥ ib·(n+1).
+// nil or a scratch slice of length ≥ WorkLen(n, ib).
 func TPQRT(m, n, l, ib int, a []float64, lda int, b []float64, ldb int,
 	t []float64, ldt int, work []float64) {
 	if n == 0 || m == 0 {
@@ -148,11 +173,11 @@ func TPQRT(m, n, l, ib int, a []float64, lda int, b []float64, ldb int,
 		panic("kernel: TPQRT requires 0 ≤ l ≤ min(m,n)")
 	}
 	ib = clampIB(ib, n)
-	work = ensureWork(work, ib*(n+1))
-	tmp, w := work[:ib], work[ib:]
+	work = ensureWork(work, WorkLen(n, ib))
+	comb, w := work[:ib], work[ib:]
 	for k0 := 0; k0 < n; k0 += ib {
 		kb := min(ib, n-k0)
-		tpqrt2(m, n, l, a, lda, b, ldb, k0, kb, t, ldt, tmp)
+		tpqrt2(m, n, l, a, lda, b, ldb, k0, kb, t, ldt, comb)
 		if k0+kb < n {
 			// Trailing update inside [A; B]: C1 is A's rows k0:k0+kb,
 			// columns k0+kb:n; C2 is B's columns k0+kb:n.

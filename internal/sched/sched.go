@@ -1,13 +1,24 @@
 // Package sched is the dynamic runtime that executes tiled QR task DAGs on
 // a pool of workers, playing the role of PLASMA's dynamic scheduler in the
 // paper's experiments: tasks become ready when their dependency counters
-// reach zero and are executed by whichever worker is free, so factor and
-// update stages overlap exactly as the dependency analysis of §2 allows.
+// reach zero and are executed so that factor and update stages overlap
+// exactly as the dependency analysis of §2 allows.
+//
+// Scheduling discipline: each worker owns a priority deque of ready tasks.
+// Completing a task pushes its newly released successors onto the finishing
+// worker's own deque (LIFO locality — the tiles it just wrote are still in
+// its cache); the deque orders tasks by critical-path priority (the
+// weighted longest path to a sink, Table 1 kernel weights), so TT/TS factor
+// kernels on the critical path run ahead of trailing updates — the ASAP
+// discipline the paper's §2 analysis assumes. An idle worker first drains
+// its own deque and then steals from a victim; steals take a low-priority
+// leaf of the victim's heap, leaving the victim its critical-path work.
 package sched
 
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,9 +49,102 @@ type Options struct {
 	Trace bool
 }
 
+// Priorities returns the critical-path priority of every task: its Table 1
+// kernel weight plus the weighted longest path to any sink (the b-level of
+// list scheduling). Task IDs are topologically ordered, so one backward
+// sweep suffices.
+func Priorities(d *core.DAG) []int64 {
+	n := d.NumTasks()
+	prio := make([]int64, n)
+	succOff, succs := d.Succs()
+	for t := n - 1; t >= 0; t-- {
+		var best int64
+		for _, s := range succs[succOff[t]:succOff[t+1]] {
+			if prio[s] > best {
+				best = prio[s]
+			}
+		}
+		prio[t] = best + int64(d.Tasks[t].Kind.Weight())
+	}
+	return prio
+}
+
+// deque is one worker's pool of ready tasks: a hand-rolled max-heap keyed
+// by critical-path priority (direct array code — no container/heap
+// interface boxing on the per-task hot path). The owner pops the maximum;
+// thieves remove a trailing leaf — O(1), no sift, and guaranteed not to be
+// the victim's most critical task.
+type deque struct {
+	mu    sync.Mutex
+	tasks []int32
+	prio  []int64 // shared priority table, indexed by task ID
+}
+
+func (q *deque) push(t int32) {
+	q.mu.Lock()
+	q.tasks = append(q.tasks, t)
+	tasks, prio := q.tasks, q.prio
+	i := len(tasks) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if prio[tasks[p]] >= prio[tasks[i]] {
+			break
+		}
+		tasks[p], tasks[i] = tasks[i], tasks[p]
+		i = p
+	}
+	q.mu.Unlock()
+}
+
+// pop removes the highest-priority ready task.
+func (q *deque) pop() (int32, bool) {
+	q.mu.Lock()
+	n := len(q.tasks)
+	if n == 0 {
+		q.mu.Unlock()
+		return 0, false
+	}
+	tasks, prio := q.tasks, q.prio
+	top := tasks[0]
+	n--
+	tasks[0] = tasks[n]
+	q.tasks = tasks[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && prio[tasks[r]] > prio[tasks[c]] {
+			c = r
+		}
+		if prio[tasks[i]] >= prio[tasks[c]] {
+			break
+		}
+		tasks[i], tasks[c] = tasks[c], tasks[i]
+		i = c
+	}
+	q.mu.Unlock()
+	return top, true
+}
+
+// stealFrom removes a trailing heap leaf (locally low priority).
+func (q *deque) stealFrom() (int32, bool) {
+	q.mu.Lock()
+	n := len(q.tasks)
+	if n == 0 {
+		q.mu.Unlock()
+		return 0, false
+	}
+	t := q.tasks[n-1]
+	q.tasks = q.tasks[:n-1]
+	q.mu.Unlock()
+	return t, true
+}
+
 // Run executes every task of the DAG, honoring dependencies. exec is called
 // as exec(task, worker) with worker in [0, Workers); workers own disjoint
-// scratch space indexed by that id. Run returns a Trace (nil unless
+// scratch space indexed by that id. Run returns a Trace (nil Spans unless
 // Options.Trace) and the first panic raised by exec, if any, wrapped as an
 // error.
 func Run(d *core.DAG, opt Options, exec func(task int32, worker int)) (*Trace, error) {
@@ -57,6 +161,7 @@ func Run(d *core.DAG, opt Options, exec func(task int32, worker int)) (*Trace, e
 	}
 
 	succOff, succs := d.Succs()
+	prio := Priorities(d)
 	indeg := make([]int32, n)
 	initial := make([]int32, 0, workers*2)
 	for t := 0; t < n; t++ {
@@ -66,28 +171,74 @@ func Run(d *core.DAG, opt Options, exec func(task int32, worker int)) (*Trace, e
 		}
 	}
 
-	ready := make(chan int32, n)
-	for _, t := range initial {
-		ready <- t
+	// Seed the deques before any worker starts: sources sorted by
+	// descending critical-path priority, dealt round-robin so every worker
+	// opens with the most critical work available to it.
+	deques := make([]deque, workers)
+	for i := range deques {
+		deques[i].prio = prio
+		deques[i].tasks = make([]int32, 0, n/workers+4)
+	}
+	sort.Slice(initial, func(a, b int) bool { return prio[initial[a]] > prio[initial[b]] })
+	for k, t := range initial {
+		deques[k%workers].push(t)
 	}
 
 	var (
-		remaining = int64(n)
+		remaining atomic.Int64
 		failed    atomic.Value
 		wg        sync.WaitGroup
 		spansMu   sync.Mutex
 		spans     []Span
 	)
+	remaining.Store(int64(n))
+	// notify wakes parked workers; done is closed when the last task
+	// retires. Tokens are minted only while someone is parked (the parked
+	// counter), so the channel is silent in steady state. The
+	// increment-then-rescan handshake below makes the gate lossless: if a
+	// pusher reads parked = 0, the parking worker's rescan — which locks
+	// the same deque mutexes — is ordered after the push and finds the
+	// task. A consumed token whose task was taken by someone else is
+	// harmless: the taker's completions mint more.
+	var parked atomic.Int32
+	notify := make(chan struct{}, n)
+	done := make(chan struct{})
 	start := time.Now()
 	if opt.Trace {
 		spans = make([]Span, 0, n)
 	}
 
+	// scan tries the worker's own deque, then every victim.
+	scan := func(id int) (int32, bool) {
+		t, ok := deques[id].pop()
+		for v := 1; !ok && v < workers; v++ {
+			t, ok = deques[(id+v)%workers].stealFrom()
+		}
+		return t, ok
+	}
+
 	worker := func(id int) {
 		defer wg.Done()
-		for t := range ready {
-			// After a failure, keep draining (and releasing successors) so
-			// the run terminates, but execute nothing further.
+		self := &deques[id]
+		for {
+			t, ok := scan(id)
+			if !ok {
+				parked.Add(1)
+				if t, ok = scan(id); ok {
+					parked.Add(-1)
+				} else {
+					select {
+					case <-notify:
+						parked.Add(-1)
+						continue
+					case <-done:
+						parked.Add(-1)
+						return
+					}
+				}
+			}
+			// After a failure, keep retiring tasks (and releasing their
+			// successors) so the run terminates, but execute nothing more.
 			if failed.Load() == nil {
 				if err := runTask(d, t, id, exec, opt.Trace, start, &spansMu, &spans); err != nil {
 					failed.Store(err)
@@ -95,11 +246,15 @@ func Run(d *core.DAG, opt Options, exec func(task int32, worker int)) (*Trace, e
 			}
 			for _, s := range succs[succOff[t]:succOff[t+1]] {
 				if atomic.AddInt32(&indeg[s], -1) == 0 {
-					ready <- s
+					self.push(s)
+					if parked.Load() > 0 {
+						notify <- struct{}{}
+					}
 				}
 			}
-			if atomic.AddInt64(&remaining, -1) == 0 {
-				close(ready)
+			if remaining.Add(-1) == 0 {
+				close(done)
+				return
 			}
 		}
 	}

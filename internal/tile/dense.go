@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"tiledqr/internal/vec"
 )
 
 // Dense is a row-major dense matrix of float64. Element (i, j) is stored at
@@ -80,14 +82,7 @@ func Mul(a, b *Dense) *Dense {
 	for i := 0; i < a.Rows; i++ {
 		ci := c.Data[i*c.Stride : i*c.Stride+c.Cols]
 		for k := 0; k < a.Cols; k++ {
-			aik := a.At(i, k)
-			if aik == 0 {
-				continue
-			}
-			bk := b.Data[k*b.Stride : k*b.Stride+b.Cols]
-			for j := range ci {
-				ci[j] += aik * bk[j]
-			}
+			vec.Axpy(a.At(i, k), b.Data[k*b.Stride:k*b.Stride+b.Cols], ci)
 		}
 	}
 	return c
@@ -104,16 +99,20 @@ func Transpose(a *Dense) *Dense {
 	return t
 }
 
-// FrobNorm returns the Frobenius norm of a.
+// FrobNorm returns the Frobenius norm of a, overflow/underflow-safe via the
+// scaled vec.Nrm2 (norm of per-row norms).
 func FrobNorm(a *Dense) float64 {
-	var s float64
-	for i := 0; i < a.Rows; i++ {
-		for j := 0; j < a.Cols; j++ {
-			v := a.At(i, j)
-			s += v * v
-		}
+	if a.Rows == 0 || a.Cols == 0 {
+		return 0
 	}
-	return math.Sqrt(s)
+	if a.Stride == a.Cols {
+		return vec.Nrm2(a.Data[:a.Rows*a.Cols])
+	}
+	rows := make([]float64, a.Rows)
+	for i := range rows {
+		rows[i] = vec.Nrm2(a.Data[i*a.Stride : i*a.Stride+a.Cols])
+	}
+	return vec.Nrm2(rows)
 }
 
 // MaxAbsDiff returns max |a(i,j) − b(i,j)|. The matrices must have identical

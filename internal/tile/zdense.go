@@ -2,9 +2,10 @@ package tile
 
 import (
 	"fmt"
-	"math"
 	"math/cmplx"
 	"math/rand"
+
+	"tiledqr/internal/vec"
 )
 
 // ZDense is a row-major dense matrix of complex128, mirroring Dense.
@@ -75,14 +76,7 @@ func ZMul(a, b *ZDense) *ZDense {
 	for i := 0; i < a.Rows; i++ {
 		ci := c.Data[i*c.Stride : i*c.Stride+c.Cols]
 		for k := 0; k < a.Cols; k++ {
-			aik := a.At(i, k)
-			if aik == 0 {
-				continue
-			}
-			bk := b.Data[k*b.Stride : k*b.Stride+b.Cols]
-			for j := range ci {
-				ci[j] += aik * bk[j]
-			}
+			vec.ZAxpy(a.At(i, k), b.Data[k*b.Stride:k*b.Stride+b.Cols], ci)
 		}
 	}
 	return c
@@ -99,16 +93,20 @@ func ZConjTranspose(a *ZDense) *ZDense {
 	return t
 }
 
-// ZFrobNorm returns the Frobenius norm of a.
+// ZFrobNorm returns the Frobenius norm of a, overflow/underflow-safe via
+// the scaled vec.ZNrm2 (norm of per-row norms).
 func ZFrobNorm(a *ZDense) float64 {
-	var s float64
-	for i := 0; i < a.Rows; i++ {
-		for j := 0; j < a.Cols; j++ {
-			v := a.At(i, j)
-			s += real(v)*real(v) + imag(v)*imag(v)
-		}
+	if a.Rows == 0 || a.Cols == 0 {
+		return 0
 	}
-	return math.Sqrt(s)
+	if a.Stride == a.Cols {
+		return vec.ZNrm2(a.Data[:a.Rows*a.Cols])
+	}
+	rows := make([]float64, a.Rows)
+	for i := range rows {
+		rows[i] = vec.ZNrm2(a.Data[i*a.Stride : i*a.Stride+a.Cols])
+	}
+	return vec.Nrm2(rows)
 }
 
 // ZMaxAbsDiff returns max |a(i,j) − b(i,j)|.

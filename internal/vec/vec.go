@@ -1,0 +1,228 @@
+// Package vec is the shared vector-primitive layer under every tile kernel
+// of the tiled QR factorization. Both arithmetic domains (float64 in package
+// kernel, complex128 in package zkernel) express their inner loops through
+// these primitives, so the tuning — 4-way unrolling, bounds-check
+// elimination via slice re-slicing, multiple accumulators to break the
+// floating-point dependency chain — lives in exactly one place.
+//
+// Conventions: the destination operand is last; a scaling factor of zero is
+// treated as a structural zero (the operation is skipped, matching the
+// sparsity guards the kernels used before this layer existed); slices must
+// not alias unless a function documents otherwise.
+package vec
+
+import "math"
+
+// Dot returns Σ x[i]·y[i]. len(y) must be ≥ len(x).
+func Dot(x, y []float64) float64 {
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	y = y[:n]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+3 < n; i += 4 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+		s2 += x[i+2] * y[i+2]
+		s3 += x[i+3] * y[i+3]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < n; i++ {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// Axpy computes y += α·x over len(x) elements. len(y) must be ≥ len(x).
+// α = 0 is a no-op (structural-zero skip).
+func Axpy(alpha float64, x, y []float64) {
+	if alpha == 0 {
+		return
+	}
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	y = y[:n]
+	i := 0
+	for ; i+3 < n; i += 4 {
+		y[i] += alpha * x[i]
+		y[i+1] += alpha * x[i+1]
+		y[i+2] += alpha * x[i+2]
+		y[i+3] += alpha * x[i+3]
+	}
+	for ; i < n; i++ {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Axpy2 computes y += α·x1 + β·x2 in a single pass, halving the load/store
+// traffic on y versus two Axpy calls (the GEMM inner unroll). Each zero
+// scalar is a structural zero: its term is skipped entirely.
+func Axpy2(alpha float64, x1 []float64, beta float64, x2, y []float64) {
+	if alpha == 0 {
+		Axpy(beta, x2, y)
+		return
+	}
+	if beta == 0 {
+		Axpy(alpha, x1, y)
+		return
+	}
+	n := len(x1)
+	if n == 0 {
+		return
+	}
+	x2 = x2[:n]
+	y = y[:n]
+	i := 0
+	for ; i+3 < n; i += 4 {
+		y[i] += alpha*x1[i] + beta*x2[i]
+		y[i+1] += alpha*x1[i+1] + beta*x2[i+1]
+		y[i+2] += alpha*x1[i+2] + beta*x2[i+2]
+		y[i+3] += alpha*x1[i+3] + beta*x2[i+3]
+	}
+	for ; i < n; i++ {
+		y[i] += alpha*x1[i] + beta*x2[i]
+	}
+}
+
+// Scal computes x *= α in place.
+func Scal(alpha float64, x []float64) {
+	n := len(x)
+	i := 0
+	for ; i+3 < n; i += 4 {
+		x[i] *= alpha
+		x[i+1] *= alpha
+		x[i+2] *= alpha
+		x[i+3] *= alpha
+	}
+	for ; i < n; i++ {
+		x[i] *= alpha
+	}
+}
+
+// Sub computes y -= x over len(x) elements. len(y) must be ≥ len(x).
+func Sub(x, y []float64) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	y = y[:n]
+	i := 0
+	for ; i+3 < n; i += 4 {
+		y[i] -= x[i]
+		y[i+1] -= x[i+1]
+		y[i+2] -= x[i+2]
+		y[i+3] -= x[i+3]
+	}
+	for ; i < n; i++ {
+		y[i] -= x[i]
+	}
+}
+
+// AddScaled computes y = α·y + β·x in a single pass (BLAS axpby), fusing the
+// scale and first accumulation of the triangular T·W products.
+func AddScaled(alpha, beta float64, x, y []float64) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	y = y[:n]
+	i := 0
+	for ; i+3 < n; i += 4 {
+		y[i] = alpha*y[i] + beta*x[i]
+		y[i+1] = alpha*y[i+1] + beta*x[i+1]
+		y[i+2] = alpha*y[i+2] + beta*x[i+2]
+		y[i+3] = alpha*y[i+3] + beta*x[i+3]
+	}
+	for ; i < n; i++ {
+		y[i] = alpha*y[i] + beta*x[i]
+	}
+}
+
+// DotAxpy applies one Householder reflector H = I − τ·(1,v)·(1,v)ᵀ to the
+// column (c0; c) in a single fused call: w = τ·(c0 + v·c), then c -= w·v.
+// It returns w, so the caller finishes with c0 -= w. This is the contiguous
+// dlarf column micro-kernel, for callers holding column-major (or packed)
+// data; the row-major tile kernels express the same update as row sweeps of
+// Axpy instead.
+func DotAxpy(tau, c0 float64, v, c []float64) (w float64) {
+	w = tau * (c0 + Dot(v, c))
+	Axpy(-w, v, c)
+	return w
+}
+
+// Nrm2 returns ‖x‖₂, safe against overflow and underflow with exactly one
+// Sqrt total (the seed's larfg did one Hypot per element). The common case
+// is a single unscaled sum-of-squares pass; only when that sum lands
+// outside the trustworthy range (over-/underflow or a degenerate input)
+// does a scaled LAPACK dnrm2-style two-pass fallback run.
+func Nrm2(x []float64) float64 {
+	n := len(x)
+	var s0, s1 float64
+	i := 0
+	for ; i+1 < n; i += 2 {
+		v0, v1 := x[i], x[i+1]
+		s0 += v0 * v0
+		s1 += v1 * v1
+	}
+	if i < n {
+		v := x[i]
+		s0 += v * v
+	}
+	if s := s0 + s1; nrm2SumOK(s) {
+		return math.Sqrt(s)
+	}
+	return nrm2Scaled(x, n, 1)
+}
+
+// Nrm2Inc returns the Euclidean norm of the n strided elements
+// x[0], x[inc], …, x[(n−1)·inc].
+func Nrm2Inc(x []float64, n, inc int) float64 {
+	var s float64
+	for i, ix := 0, 0; i < n; i, ix = i+1, ix+inc {
+		v := x[ix]
+		s += v * v
+	}
+	if nrm2SumOK(s) {
+		return math.Sqrt(s)
+	}
+	return nrm2Scaled(x, n, inc)
+}
+
+// nrm2SumSafe* bracket the sums of squares the single-pass path may trust:
+// inside this range neither overflow nor damaging underflow can have
+// occurred (squares below ~1e-308 that vanished are negligible against a
+// total above 1e-280).
+const (
+	nrm2SumSafeMax = 1e280
+	nrm2SumSafeMin = 1e-280
+)
+
+func nrm2SumOK(s float64) bool {
+	return s > nrm2SumSafeMin && s < nrm2SumSafeMax
+}
+
+// nrm2Scaled is the rare-path norm: finds the magnitude, divides every
+// element by it (safe even for subnormal magnitudes, where multiplying by
+// the inverse would overflow), and rescales once at the end. Returns the
+// magnitude itself when it is 0, NaN, or ±Inf.
+func nrm2Scaled(x []float64, n, inc int) float64 {
+	amax := 0.0
+	for i, ix := 0, 0; i < n; i, ix = i+1, ix+inc {
+		if av := math.Abs(x[ix]); av > amax || math.IsNaN(av) {
+			amax = av
+		}
+	}
+	if amax == 0 || math.IsNaN(amax) || math.IsInf(amax, 0) {
+		return amax
+	}
+	var s float64
+	for i, ix := 0, 0; i < n; i, ix = i+1, ix+inc {
+		v := x[ix] / amax
+		s += v * v
+	}
+	return amax * math.Sqrt(s)
+}

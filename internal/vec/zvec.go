@@ -1,0 +1,174 @@
+package vec
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// ZDotu returns the unconjugated product Σ x[i]·y[i] (BLAS zdotu), the form
+// the T-factor assembly needs. len(y) must be ≥ len(x).
+func ZDotu(x, y []complex128) complex128 {
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	y = y[:n]
+	var s0, s1 complex128
+	i := 0
+	for ; i+1 < n; i += 2 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+	}
+	if i < n {
+		s0 += x[i] * y[i]
+	}
+	return s0 + s1
+}
+
+// ZDotc returns the conjugated product Σ conj(x[i])·y[i] (BLAS zdotc).
+func ZDotc(x, y []complex128) complex128 {
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	y = y[:n]
+	var s0, s1 complex128
+	i := 0
+	for ; i+1 < n; i += 2 {
+		s0 += cmplx.Conj(x[i]) * y[i]
+		s1 += cmplx.Conj(x[i+1]) * y[i+1]
+	}
+	if i < n {
+		s0 += cmplx.Conj(x[i]) * y[i]
+	}
+	return s0 + s1
+}
+
+// ZAxpy computes y += α·x over len(x) elements. α = 0 is a no-op.
+func ZAxpy(alpha complex128, x, y []complex128) {
+	if alpha == 0 {
+		return
+	}
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	y = y[:n]
+	i := 0
+	for ; i+1 < n; i += 2 {
+		y[i] += alpha * x[i]
+		y[i+1] += alpha * x[i+1]
+	}
+	if i < n {
+		y[i] += alpha * x[i]
+	}
+}
+
+// ZAxpy2 computes y += α·x1 + β·x2 in a single pass. Each zero scalar is a
+// structural zero: its term is skipped entirely.
+func ZAxpy2(alpha complex128, x1 []complex128, beta complex128, x2, y []complex128) {
+	if alpha == 0 {
+		ZAxpy(beta, x2, y)
+		return
+	}
+	if beta == 0 {
+		ZAxpy(alpha, x1, y)
+		return
+	}
+	n := len(x1)
+	if n == 0 {
+		return
+	}
+	x2 = x2[:n]
+	y = y[:n]
+	for i := 0; i < n; i++ {
+		y[i] += alpha*x1[i] + beta*x2[i]
+	}
+}
+
+// ZScal computes x *= α in place.
+func ZScal(alpha complex128, x []complex128) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// ZSub computes y -= x over len(x) elements.
+func ZSub(x, y []complex128) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	y = y[:n]
+	for i := 0; i < n; i++ {
+		y[i] -= x[i]
+	}
+}
+
+// ZAddScaled computes y = α·y + β·x in a single pass.
+func ZAddScaled(alpha, beta complex128, x, y []complex128) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	y = y[:n]
+	for i := 0; i < n; i++ {
+		y[i] = alpha*y[i] + beta*x[i]
+	}
+}
+
+// ZDotAxpy applies one complex Householder reflector H = I − τ·(1,v)·(1,v)ᴴ
+// from the left to the column (c0; c) in a single fused call, in LAPACK's
+// convention (Hᴴ is applied when τ is passed conjugated): w = τ·(c0 +
+// Σ conj(v[i])·c[i]), then c -= w·v. Returns w; the caller finishes with
+// c0 -= w. Like DotAxpy, this serves column-major callers; the row-major
+// tile kernels use ZAxpy row sweeps.
+func ZDotAxpy(tau, c0 complex128, v, c []complex128) (w complex128) {
+	w = tau * (c0 + ZDotc(v, c))
+	ZAxpy(-w, v, c)
+	return w
+}
+
+// ZNrm2 returns the Euclidean norm of a complex vector — the norm of its
+// real and imaginary parts interleaved — with the same scaled two-pass
+// scheme as Nrm2.
+func ZNrm2(x []complex128) float64 {
+	return ZNrm2Inc(x, len(x), 1)
+}
+
+// ZNrm2Inc returns the Euclidean norm of the n strided complex elements
+// x[0], x[inc], …, x[(n−1)·inc]. Single unscaled pass with the same scaled
+// fallback as Nrm2Inc.
+func ZNrm2Inc(x []complex128, n, inc int) float64 {
+	var s float64
+	for i, ix := 0, 0; i < n; i, ix = i+1, ix+inc {
+		re, im := real(x[ix]), imag(x[ix])
+		s += re*re + im*im
+	}
+	if nrm2SumOK(s) {
+		return math.Sqrt(s)
+	}
+	return znrm2Scaled(x, n, inc)
+}
+
+// znrm2Scaled is the rare-path complex norm; see nrm2Scaled.
+func znrm2Scaled(x []complex128, n, inc int) float64 {
+	amax := 0.0
+	for i, ix := 0, 0; i < n; i, ix = i+1, ix+inc {
+		if av := math.Abs(real(x[ix])); av > amax || math.IsNaN(av) {
+			amax = av
+		}
+		if av := math.Abs(imag(x[ix])); av > amax || math.IsNaN(av) {
+			amax = av
+		}
+	}
+	if amax == 0 || math.IsNaN(amax) || math.IsInf(amax, 0) {
+		return amax
+	}
+	var s float64
+	for i, ix := 0, 0; i < n; i, ix = i+1, ix+inc {
+		re, im := real(x[ix])/amax, imag(x[ix])/amax
+		s += re*re + im*im
+	}
+	return amax * math.Sqrt(s)
+}

@@ -1,0 +1,168 @@
+package vec
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func randZSlice(n int, rng *rand.Rand) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func almostEqZ(a, b complex128) bool {
+	if a == b {
+		return true
+	}
+	d := cmplx.Abs(a - b)
+	scale := math.Max(cmplx.Abs(a), cmplx.Abs(b))
+	return d <= 1e-12*math.Max(scale, 1)
+}
+
+func TestZDotuZDotc(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range lengths {
+		x, y := randZSlice(n, rng), randZSlice(n, rng)
+		var wantU, wantC complex128
+		for i := range x {
+			wantU += x[i] * y[i]
+			wantC += cmplx.Conj(x[i]) * y[i]
+		}
+		if got := ZDotu(x, y); !almostEqZ(got, wantU) {
+			t.Errorf("n=%d: ZDotu=%v want %v", n, got, wantU)
+		}
+		if got := ZDotc(x, y); !almostEqZ(got, wantC) {
+			t.Errorf("n=%d: ZDotc=%v want %v", n, got, wantC)
+		}
+	}
+}
+
+func TestZAxpyZAxpy2ZSub(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	alpha, beta := complex(1.5, -0.5), complex(-2, 0.25)
+	for _, n := range lengths {
+		x1, x2, y := randZSlice(n, rng), randZSlice(n, rng), randZSlice(n, rng)
+		want := append([]complex128(nil), y...)
+		for i := range want {
+			want[i] += alpha * x1[i]
+		}
+		ZAxpy(alpha, x1, y)
+		for i := range y {
+			if y[i] != want[i] {
+				t.Fatalf("n=%d: ZAxpy[%d]=%v want %v", n, i, y[i], want[i])
+			}
+		}
+		for i := range want {
+			want[i] += alpha*x1[i] + beta*x2[i]
+		}
+		ZAxpy2(alpha, x1, beta, x2, y)
+		for i := range y {
+			if y[i] != want[i] {
+				t.Fatalf("n=%d: ZAxpy2[%d]=%v want %v", n, i, y[i], want[i])
+			}
+		}
+		for i := range want {
+			want[i] -= x1[i]
+		}
+		ZSub(x1, y)
+		for i := range y {
+			if y[i] != want[i] {
+				t.Fatalf("n=%d: ZSub[%d]=%v want %v", n, i, y[i], want[i])
+			}
+		}
+	}
+	// α = 0 must be a structural no-op.
+	y := []complex128{1 + 2i}
+	ZAxpy(0, []complex128{cmplx.Inf()}, y)
+	if y[0] != 1+2i {
+		t.Error("ZAxpy with α=0 touched y")
+	}
+}
+
+func TestZScalZAddScaled(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	alpha, beta := complex(0.5, 1), complex(2, -1)
+	for _, n := range lengths {
+		x, y := randZSlice(n, rng), randZSlice(n, rng)
+		want := append([]complex128(nil), y...)
+		for i := range want {
+			want[i] *= alpha
+		}
+		ZScal(alpha, y)
+		for i := range y {
+			if y[i] != want[i] {
+				t.Fatalf("n=%d: ZScal[%d]=%v want %v", n, i, y[i], want[i])
+			}
+		}
+		for i := range want {
+			want[i] = alpha*want[i] + beta*x[i]
+		}
+		ZAddScaled(alpha, beta, x, y)
+		for i := range y {
+			if y[i] != want[i] {
+				t.Fatalf("n=%d: ZAddScaled[%d]=%v want %v", n, i, y[i], want[i])
+			}
+		}
+	}
+}
+
+func TestZDotAxpy(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for _, n := range lengths {
+		v, c := randZSlice(n, rng), randZSlice(n, rng)
+		c0 := complex(rng.NormFloat64(), rng.NormFloat64())
+		tau := complex(rng.NormFloat64(), rng.NormFloat64())
+		var dot complex128
+		for i := range v {
+			dot += cmplx.Conj(v[i]) * c[i]
+		}
+		wantW := tau * (c0 + dot)
+		wantC := append([]complex128(nil), c...)
+		for i := range wantC {
+			wantC[i] -= wantW * v[i]
+		}
+		w := ZDotAxpy(tau, c0, v, c)
+		if !almostEqZ(w, wantW) {
+			t.Errorf("n=%d: ZDotAxpy w=%v want %v", n, w, wantW)
+		}
+		for i := range c {
+			if !almostEqZ(c[i], wantC[i]) {
+				t.Fatalf("n=%d: ZDotAxpy c[%d]=%v want %v", n, i, c[i], wantC[i])
+			}
+		}
+	}
+}
+
+func TestZNrm2(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for _, n := range lengths {
+		x := randZSlice(n, rng)
+		var want float64
+		for _, v := range x {
+			want = math.Hypot(want, cmplx.Abs(v))
+		}
+		if got := ZNrm2(x); !almostEq(got, want) {
+			t.Errorf("n=%d: ZNrm2=%g want %g", n, got, want)
+		}
+	}
+	// Overflow range: |x|² would be +Inf naively.
+	big := []complex128{complex(1e200, 1e200), complex(-1e200, 0)}
+	want := 1e200 * math.Sqrt(3)
+	if got := ZNrm2(big); !almostEq(got, want) {
+		t.Errorf("overflow-range ZNrm2=%g want %g", got, want)
+	}
+	// Underflow range: |x|² would be 0 naively.
+	small := []complex128{complex(1e-200, 0), complex(0, 1e-200)}
+	want = 1e-200 * math.Sqrt2
+	if got := ZNrm2(small); !almostEq(got, want) {
+		t.Errorf("underflow-range ZNrm2=%g want %g", got, want)
+	}
+	if got := ZNrm2Inc(big, 1, 2); !almostEq(got, 1e200*math.Sqrt2) {
+		t.Errorf("strided ZNrm2Inc=%g want %g", got, 1e200*math.Sqrt2)
+	}
+}

@@ -1,19 +1,20 @@
 package zkernel
 
+import "tiledqr/internal/vec"
+
 // GEMM computes C += A·B for row-major complex blocks (A m×kk, B kk×n,
-// C m×n); the complex reference kernel of Figure 4 of the paper.
+// C m×n); the complex reference kernel of Figure 4 of the paper. The inner
+// dimension is consumed two rows of B at a time (vec.ZAxpy2).
 func GEMM(m, n, kk int, a []complex128, lda int, b []complex128, ldb int, c []complex128, ldc int) {
 	for i := 0; i < m; i++ {
 		ci := c[i*ldc : i*ldc+n]
-		for l := 0; l < kk; l++ {
-			ail := a[i*lda+l]
-			if ail == 0 {
-				continue
-			}
-			bl := b[l*ldb : l*ldb+n]
-			for j, bv := range bl {
-				ci[j] += ail * bv
-			}
+		ai := a[i*lda : i*lda+kk]
+		l := 0
+		for ; l+1 < kk; l += 2 {
+			vec.ZAxpy2(ai[l], b[l*ldb:l*ldb+n], ai[l+1], b[(l+1)*ldb:(l+1)*ldb+n], ci)
+		}
+		if l < kk {
+			vec.ZAxpy(ai[l], b[l*ldb:l*ldb+n], ci)
 		}
 	}
 }

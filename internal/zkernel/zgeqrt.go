@@ -7,69 +7,81 @@
 // computation-to-communication ratio is four times higher in complex
 // arithmetic, which is where the extra parallelism of the TT algorithms
 // pays off most (Section 4).
+//
+// Both domains share the tuned primitives of internal/vec; the inner loops
+// are row-contiguous sweeps exactly as in the float64 kernels.
 package zkernel
 
 import (
 	"math"
 	"math/cmplx"
+
+	"tiledqr/internal/vec"
 )
 
 // zlarfgCol generates an elementary complex Householder reflector acting on
 // [a(r0,c); a(r0+1:m,c)] such that Hᴴ·x = [β; 0] with β real. On return
-// a(r0,c) = β and the tail holds v[r0+1:].
-func zlarfgCol(a []complex128, lda, r0, c, m int) (tau complex128) {
+// a(r0,c) = β; the tail still holds the raw column — the caller multiplies
+// it by the returned scale (fused into its next row sweep) to obtain
+// v[r0+1:]. The tail norm is the safe single-pass ZNrm2 — one Sqrt per
+// reflector instead of one Hypot+Abs per element.
+func zlarfgCol(a []complex128, lda, r0, c, m int) (tau, scale complex128) {
 	alpha := a[r0*lda+c]
+	n := m - r0 - 1
 	var xnorm float64
-	for i := r0 + 1; i < m; i++ {
-		xnorm = math.Hypot(xnorm, cmplx.Abs(a[i*lda+c]))
+	if n > 0 {
+		xnorm = vec.ZNrm2Inc(a[(r0+1)*lda+c:], n, lda)
 	}
 	if xnorm == 0 && imag(alpha) == 0 {
-		return 0
+		return 0, 1
 	}
 	beta := -math.Copysign(math.Hypot(cmplx.Abs(alpha), xnorm), real(alpha))
 	tau = complex((beta-real(alpha))/beta, -imag(alpha)/beta)
-	scale := 1 / (alpha - complex(beta, 0))
-	for i := r0 + 1; i < m; i++ {
-		a[i*lda+c] *= scale
-	}
 	a[r0*lda+c] = complex(beta, 0)
-	return tau
+	return tau, 1 / (alpha - complex(beta, 0))
 }
 
 // zgeqrt2 factors the panel A[j0:m, j0:j0+kb] in place, storing the panel's
-// triangular T factor in columns j0:j0+kb of t.
-func zgeqrt2(m int, a []complex128, lda, j0, kb int, t []complex128, ldt int, tmp []complex128) {
+// triangular T factor in columns j0:j0+kb of t. comb must have length ≥ kb.
+//
+// Row-contiguous sweeps as in kernel.geqrt2, with one twist: a single sweep
+// accumulates comb[c] = Σ_{i>j} conj(v_i)·a(i, j0+c). For update columns
+// (c > jj) that is the needed Vᴴ·A dot directly; for T columns (c < jj) the
+// needed Σ conj(v_c[i])·v_j[i] is its conjugate.
+func zgeqrt2(m int, a []complex128, lda, j0, kb int, t []complex128, ldt int, comb []complex128) {
 	for jj := 0; jj < kb; jj++ {
 		j := j0 + jj
-		tau := zlarfgCol(a, lda, j, j, m)
+		tau, scale := zlarfgCol(a, lda, j, j, m)
 		ctau := cmplx.Conj(tau)
-		// Apply H_jᴴ to the remaining panel columns.
-		for c := j + 1; c < j0+kb; c++ {
-			w := a[j*lda+c]
-			for i := j + 1; i < m; i++ {
-				w += cmplx.Conj(a[i*lda+j]) * a[i*lda+c]
+		cb := comb[:kb]
+		clear(cb)
+		for i := j + 1; i < m; i++ {
+			row := a[i*lda+j0 : i*lda+j0+kb]
+			vi := row[jj] * scale
+			row[jj] = vi
+			vec.ZAxpy(cmplx.Conj(vi), row, cb)
+		}
+		// Apply Hᴴ to the remaining panel columns: w = conj(τ)·(row j +
+		// comb), row j −= w, rows below −= v·w.
+		if jj+1 < kb {
+			w := cb[jj+1:]
+			arow := a[j*lda+j+1 : j*lda+j0+kb]
+			for y, av := range arow {
+				wv := ctau * (av + w[y])
+				arow[y] = av - wv
+				w[y] = wv
 			}
-			w *= ctau
-			a[j*lda+c] -= w
 			for i := j + 1; i < m; i++ {
-				a[i*lda+c] -= a[i*lda+j] * w
+				vec.ZAxpy(-a[i*lda+j], w, a[i*lda+j+1:i*lda+j0+kb])
 			}
 		}
-		// T(0:jj, jj) = −τ · T(0:jj, 0:jj) · (V(:, 0:jj)ᴴ · v_j).
+		// T(0:jj, jj) = −τ·T(0:jj, 0:jj)·(V(:, 0:jj)ᴴ·v_j): conjugate the
+		// sweep's accumulators and add the row-j terms.
 		for c := 0; c < jj; c++ {
-			col := j0 + c
-			s := cmplx.Conj(a[j*lda+col]) // row j of v_c (conjugated) times 1
-			for i := j + 1; i < m; i++ {
-				s += cmplx.Conj(a[i*lda+col]) * a[i*lda+j]
-			}
-			tmp[c] = s
+			cb[c] = cmplx.Conj(a[j*lda+j0+c] + cb[c])
 		}
 		for r := 0; r < jj; r++ {
-			var s complex128
-			for c := r; c < jj; c++ {
-				s += t[r*ldt+j0+c] * tmp[c]
-			}
-			t[r*ldt+j] = -tau * s
+			t[r*ldt+j] = -tau * vec.ZDotu(t[r*ldt+j0+r:r*ldt+j0+jj], cb[r:jj])
 		}
 		t[jj*ldt+j] = tau
 	}
@@ -79,82 +91,77 @@ func zgeqrt2(m int, a []complex128, lda, j0, kb int, t []complex128, ldt int, tm
 // (I − V·Tᴴ·Vᴴ) (trans=true, i.e. Qᴴ) or I − V·T·Vᴴ (Q).
 func applyPanel(trans bool, m int, v []complex128, ldv, r0, vc0, kb int,
 	t []complex128, ldt, tc0 int, c []complex128, ldc, cc0, nc int, w []complex128) {
-	// W = Vᴴ · C
-	for x := 0; x < kb; x++ {
-		col := vc0 + x
-		diag := r0 + x
-		wx := w[x*nc : x*nc+nc]
-		copy(wx, c[diag*ldc+cc0:diag*ldc+cc0+nc])
-		for i := diag + 1; i < m; i++ {
-			vix := cmplx.Conj(v[i*ldv+col])
-			if vix == 0 {
-				continue
-			}
+	// W = Vᴴ · C, swept in blocks of xBlock reflector columns so each
+	// block's W rows stay cache-resident (see kernel.applyPanel).
+	for xb := 0; xb < kb; xb += xBlock {
+		xe := min(xb+xBlock, kb)
+		for i := r0 + xb; i < m; i++ {
 			ci := c[i*ldc+cc0 : i*ldc+cc0+nc]
-			for y, cv := range ci {
-				wx[y] += vix * cv
+			d := i - r0
+			nx := min(d, xe)
+			if d < xe {
+				copy(w[d*nc:d*nc+nc], ci)
+			}
+			vrow := v[i*ldv+vc0 : i*ldv+vc0+nx]
+			for x := xb; x < nx; x++ {
+				vec.ZAxpy(cmplx.Conj(vrow[x]), ci, w[x*nc:x*nc+nc])
 			}
 		}
 	}
 	triMulW(trans, kb, t, ldt, tc0, w, nc)
-	// C −= V · W
-	for x := 0; x < kb; x++ {
-		col := vc0 + x
-		diag := r0 + x
-		wx := w[x*nc : x*nc+nc]
-		cd := c[diag*ldc+cc0 : diag*ldc+cc0+nc]
-		for y, wv := range wx {
-			cd[y] -= wv
-		}
-		for i := diag + 1; i < m; i++ {
-			vix := v[i*ldv+col]
-			if vix == 0 {
-				continue
-			}
+	// C −= V · W, same blocking, consuming W rows in pairs per C row.
+	for xb := 0; xb < kb; xb += xBlock {
+		xe := min(xb+xBlock, kb)
+		for i := r0 + xb; i < m; i++ {
 			ci := c[i*ldc+cc0 : i*ldc+cc0+nc]
-			for y, wv := range wx {
-				ci[y] -= vix * wv
+			d := i - r0
+			nx := min(d, xe)
+			if d < xe {
+				vec.ZSub(w[d*nc:d*nc+nc], ci)
+			}
+			vrow := v[i*ldv+vc0 : i*ldv+vc0+nx]
+			x := xb
+			for ; x+1 < nx; x += 2 {
+				vec.ZAxpy2(-vrow[x], w[x*nc:x*nc+nc], -vrow[x+1], w[(x+1)*nc:(x+1)*nc+nc], ci)
+			}
+			if x < nx {
+				vec.ZAxpy(-vrow[x], w[x*nc:x*nc+nc], ci)
 			}
 		}
 	}
 }
 
-// triMulW overwrites W with Tᴴ·W (trans) or T·W.
+// xBlock mirrors kernel.xBlock: the reflector-column blocking of the panel
+// appliers (xBlock complex W rows stay L1-resident per block).
+const xBlock = 8
+
+// triMulW overwrites W with Tᴴ·W (trans) or T·W; the diagonal scale is
+// fused with the first off-diagonal accumulation via ZAddScaled.
 func triMulW(trans bool, kb int, t []complex128, ldt, tc0 int, w []complex128, nc int) {
 	if trans {
 		for x := kb - 1; x >= 0; x-- {
 			wx := w[x*nc : x*nc+nc]
 			txx := cmplx.Conj(t[x*ldt+tc0+x])
-			for y := range wx {
-				wx[y] *= txx
+			if x == 0 {
+				vec.ZScal(txx, wx)
+				continue
 			}
-			for r := 0; r < x; r++ {
-				trx := cmplx.Conj(t[r*ldt+tc0+x])
-				if trx == 0 {
-					continue
-				}
-				wr := w[r*nc : r*nc+nc]
-				for y := range wx {
-					wx[y] += trx * wr[y]
-				}
+			vec.ZAddScaled(txx, cmplx.Conj(t[tc0+x]), w[:nc], wx)
+			for r := 1; r < x; r++ {
+				vec.ZAxpy(cmplx.Conj(t[r*ldt+tc0+x]), w[r*nc:r*nc+nc], wx)
 			}
 		}
 	} else {
 		for x := 0; x < kb; x++ {
 			wx := w[x*nc : x*nc+nc]
 			txx := t[x*ldt+tc0+x]
-			for y := range wx {
-				wx[y] *= txx
+			if x == kb-1 {
+				vec.ZScal(txx, wx)
+				continue
 			}
-			for r := x + 1; r < kb; r++ {
-				txr := t[x*ldt+tc0+r]
-				if txr == 0 {
-					continue
-				}
-				wr := w[r*nc : r*nc+nc]
-				for y := range wx {
-					wx[y] += txr * wr[y]
-				}
+			vec.ZAddScaled(txx, t[x*ldt+tc0+x+1], w[(x+1)*nc:(x+1)*nc+nc], wx)
+			for r := x + 2; r < kb; r++ {
+				vec.ZAxpy(t[x*ldt+tc0+r], w[r*nc:r*nc+nc], wx)
 			}
 		}
 	}
@@ -168,11 +175,11 @@ func GEQRT(m, n, ib int, a []complex128, lda int, t []complex128, ldt int, work 
 		return
 	}
 	ib = clampIB(ib, k)
-	work = ensureWork(work, ib*(n+1))
-	tmp, w := work[:ib], work[ib:]
+	work = ensureWork(work, WorkLen(n, ib))
+	comb, w := work[:ib], work[ib:]
 	for k0 := 0; k0 < k; k0 += ib {
 		kb := min(ib, k-k0)
-		zgeqrt2(m, a, lda, k0, kb, t, ldt, tmp)
+		zgeqrt2(m, a, lda, k0, kb, t, ldt, comb)
 		if k0+kb < n {
 			applyPanel(true, m, a, lda, k0, k0, kb, t, ldt, k0, a, lda, k0+kb, n-k0-kb, w)
 		}
@@ -199,6 +206,12 @@ func UNMQR(trans bool, m, k, ib int, v []complex128, ldv int, t []complex128, ld
 			applyPanel(false, m, v, ldv, k0, k0, kb, t, ldt, k0, c, ldc, 0, nc, work)
 		}
 	}
+}
+
+// WorkLen returns the scratch length the complex factor kernels need for an
+// n-column tile at inner block size ib.
+func WorkLen(n, ib int) int {
+	return ib * (n + 1)
 }
 
 func clampIB(ib, k int) int {

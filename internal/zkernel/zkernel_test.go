@@ -156,7 +156,7 @@ func TestZLarfgMakesBetaReal(t *testing.T) {
 		n := 1 + rng.Intn(8)
 		a := tile.RandZDense(n, 1, int64(iter))
 		orig := a.Clone()
-		tau := zlarfgCol(a.Data, a.Stride, 0, 0, n)
+		tau, scale := zlarfgCol(a.Data, a.Stride, 0, 0, n)
 		beta := a.At(0, 0)
 		if math.Abs(imag(beta)) > tol {
 			t.Fatalf("iter %d: β = %v not real", iter, beta)
@@ -174,10 +174,11 @@ func TestZLarfgMakesBetaReal(t *testing.T) {
 			t.Fatalf("iter %d: β² = %g, ‖x‖² = %g", iter, real(beta)*real(beta), norm2)
 		}
 		// Hᴴ·x = β·e₁ with H = I − τ·v·vᴴ.
+		// The tail is returned raw; the caller applies scale to obtain v.
 		v := make([]complex128, n)
 		v[0] = 1
 		for i := 1; i < n; i++ {
-			v[i] = a.At(i, 0)
+			v[i] = a.At(i, 0) * scale
 		}
 		var vhx complex128
 		for i := 0; i < n; i++ {

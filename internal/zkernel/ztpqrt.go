@@ -3,6 +3,8 @@ package zkernel
 import (
 	"math"
 	"math/cmplx"
+
+	"tiledqr/internal/vec"
 )
 
 // pentRows mirrors kernel.pentRows: rows of B participating in reflector j.
@@ -11,59 +13,71 @@ func pentRows(m, l, j int) int {
 }
 
 // zlarfgPent generates the reflector for ZTPQRT column j from A(j,j) and
-// B(0:p, j).
-func zlarfgPent(a []complex128, lda int, b []complex128, ldb, j, p int) (tau complex128) {
+// B(0:p, j), with the safe single-pass ZNrm2 for the tail norm. On return
+// B's column still holds raw values; the caller applies the returned scale
+// in its next row sweep.
+func zlarfgPent(a []complex128, lda int, b []complex128, ldb, j, p int) (tau, scale complex128) {
 	alpha := a[j*lda+j]
 	var xnorm float64
-	for i := 0; i < p; i++ {
-		xnorm = math.Hypot(xnorm, cmplx.Abs(b[i*ldb+j]))
+	if p > 0 {
+		xnorm = vec.ZNrm2Inc(b[j:], p, ldb)
 	}
 	if xnorm == 0 && imag(alpha) == 0 {
-		return 0
+		return 0, 1
 	}
 	beta := -math.Copysign(math.Hypot(cmplx.Abs(alpha), xnorm), real(alpha))
 	tau = complex((beta-real(alpha))/beta, -imag(alpha)/beta)
-	scale := 1 / (alpha - complex(beta, 0))
-	for i := 0; i < p; i++ {
-		b[i*ldb+j] *= scale
-	}
 	a[j*lda+j] = complex(beta, 0)
-	return tau
+	return tau, 1 / (alpha - complex(beta, 0))
 }
 
 // ztpqrt2 factors one panel of the stacked [A; B] with pentagonal B.
+// Row-contiguous sweeps as in kernel.tpqrt2; comb must have length ≥ kb.
+// comb[c] accumulates Σ conj(v_i)·b(i, j0+c): the Vᴴ·B dot for update
+// columns, the conjugate of the T-column dot for c < jj.
 func ztpqrt2(m, n, l int, a []complex128, lda int, b []complex128, ldb, j0, kb int,
-	t []complex128, ldt int, tmp []complex128) {
+	t []complex128, ldt int, comb []complex128) {
 	for jj := 0; jj < kb; jj++ {
 		j := j0 + jj
 		p := pentRows(m, l, j)
-		tau := zlarfgPent(a, lda, b, ldb, j, p)
+		tau, scale := zlarfgPent(a, lda, b, ldb, j, p)
 		ctau := cmplx.Conj(tau)
-		for c := j + 1; c < j0+kb; c++ {
-			w := a[j*lda+c]
-			for i := 0; i < p; i++ {
-				w += cmplx.Conj(b[i*ldb+j]) * b[i*ldb+c]
+		cb := comb[:kb]
+		clear(cb)
+		// Sweep 1 over B's structural rows, scaling the raw reflector
+		// column in passing; the per-row start offset excludes T columns
+		// whose pentagonal height is ≤ i (pentRows is nondecreasing in the
+		// column, and start never exceeds jj).
+		for i := 0; i < p; i++ {
+			start := 0
+			if d := i - (m - l) - j0; d > 0 {
+				start = d
 			}
-			w *= ctau
-			a[j*lda+c] -= w
+			row := b[i*ldb+j0 : i*ldb+j0+kb]
+			vi := row[jj] * scale
+			row[jj] = vi
+			vec.ZAxpy(cmplx.Conj(vi), row[start:], cb[start:])
+		}
+		// Apply Hᴴ to the remaining panel columns.
+		if jj+1 < kb {
+			w := cb[jj+1:]
+			arow := a[j*lda+j+1 : j*lda+j0+kb]
+			for y, av := range arow {
+				wv := ctau * (av + w[y])
+				arow[y] = av - wv
+				w[y] = wv
+			}
 			for i := 0; i < p; i++ {
-				b[i*ldb+c] -= w * b[i*ldb+j]
+				vec.ZAxpy(-b[i*ldb+j], w, b[i*ldb+j+1:i*ldb+j0+kb])
 			}
 		}
+		// T(0:jj, jj) = −τ·T(0:jj, 0:jj)·(V₂(:, 0:jj)ᴴ·v₂ⱼ); the top parts
+		// are distinct identity columns and contribute 0.
 		for c := 0; c < jj; c++ {
-			pc := pentRows(m, l, j0+c)
-			var s complex128
-			for i := 0; i < pc; i++ {
-				s += cmplx.Conj(b[i*ldb+j0+c]) * b[i*ldb+j]
-			}
-			tmp[c] = s
+			cb[c] = cmplx.Conj(cb[c])
 		}
 		for r := 0; r < jj; r++ {
-			var s complex128
-			for c := r; c < jj; c++ {
-				s += t[r*ldt+j0+c] * tmp[c]
-			}
-			t[r*ldt+j] = -tau * s
+			t[r*ldt+j] = -tau * vec.ZDotu(t[r*ldt+j0+r:r*ldt+j0+jj], cb[r:jj])
 		}
 		t[jj*ldt+j] = tau
 	}
@@ -74,43 +88,50 @@ func applyPentPanel(trans bool, m, l int, v []complex128, ldv, vc0, kb int,
 	t []complex128, ldt int,
 	c1 []complex128, ldc1, c1c0 int,
 	c2 []complex128, ldc2, c2c0, nc int, w []complex128) {
-	// W = C1 + V₂ᴴ · C2
+	// W = C1 + V₂ᴴ · C2: C1 rows seed W, then one sweep over C2's
+	// structural rows (see kernel.applyPentPanel for the xmin suffix).
 	for x := 0; x < kb; x++ {
-		col := vc0 + x
-		p := pentRows(m, l, col)
-		wx := w[x*nc : x*nc+nc]
-		top := col * ldc1
-		copy(wx, c1[top+c1c0:top+c1c0+nc])
-		for i := 0; i < p; i++ {
-			vix := cmplx.Conj(v[i*ldv+col])
-			if vix == 0 {
-				continue
-			}
+		top := (vc0 + x) * ldc1
+		copy(w[x*nc:x*nc+nc], c1[top+c1c0:top+c1c0+nc])
+	}
+	for xb := 0; xb < kb; xb += xBlock {
+		xe := min(xb+xBlock, kb)
+		pmaxB := pentRows(m, l, vc0+xe-1)
+		for i := 0; i < pmaxB; i++ {
 			ci := c2[i*ldc2+c2c0 : i*ldc2+c2c0+nc]
-			for y, cv := range ci {
-				wx[y] += vix * cv
+			xs := xb
+			if d := i - (m - l) - vc0; d > xs {
+				xs = d
+			}
+			vrow := v[i*ldv+vc0 : i*ldv+vc0+xe]
+			for x := xs; x < xe; x++ {
+				vec.ZAxpy(cmplx.Conj(vrow[x]), ci, w[x*nc:x*nc+nc])
 			}
 		}
 	}
 	triMulW(trans, kb, t, ldt, vc0, w, nc)
-	// C1 −= W ; C2 −= V₂·W
+	// C1 −= W ; C2 −= V₂·W, same blocking, consuming W rows in pairs per
+	// C2 row.
 	for x := 0; x < kb; x++ {
-		col := vc0 + x
-		p := pentRows(m, l, col)
-		wx := w[x*nc : x*nc+nc]
-		top := col * ldc1
-		cd := c1[top+c1c0 : top+c1c0+nc]
-		for y, wv := range wx {
-			cd[y] -= wv
-		}
-		for i := 0; i < p; i++ {
-			vix := v[i*ldv+col]
-			if vix == 0 {
-				continue
-			}
+		top := (vc0 + x) * ldc1
+		vec.ZSub(w[x*nc:x*nc+nc], c1[top+c1c0:top+c1c0+nc])
+	}
+	for xb := 0; xb < kb; xb += xBlock {
+		xe := min(xb+xBlock, kb)
+		pmaxB := pentRows(m, l, vc0+xe-1)
+		for i := 0; i < pmaxB; i++ {
 			ci := c2[i*ldc2+c2c0 : i*ldc2+c2c0+nc]
-			for y, wv := range wx {
-				ci[y] -= vix * wv
+			xs := xb
+			if d := i - (m - l) - vc0; d > xs {
+				xs = d
+			}
+			vrow := v[i*ldv+vc0 : i*ldv+vc0+xe]
+			x := xs
+			for ; x+1 < xe; x += 2 {
+				vec.ZAxpy2(-vrow[x], w[x*nc:x*nc+nc], -vrow[x+1], w[(x+1)*nc:(x+1)*nc+nc], ci)
+			}
+			if x < xe {
+				vec.ZAxpy(-vrow[x], w[x*nc:x*nc+nc], ci)
 			}
 		}
 	}
@@ -128,11 +149,11 @@ func TPQRT(m, n, l, ib int, a []complex128, lda int, b []complex128, ldb int,
 		panic("zkernel: TPQRT requires 0 ≤ l ≤ min(m,n)")
 	}
 	ib = clampIB(ib, n)
-	work = ensureWork(work, ib*(n+1))
-	tmp, w := work[:ib], work[ib:]
+	work = ensureWork(work, WorkLen(n, ib))
+	comb, w := work[:ib], work[ib:]
 	for k0 := 0; k0 < n; k0 += ib {
 		kb := min(ib, n-k0)
-		ztpqrt2(m, n, l, a, lda, b, ldb, k0, kb, t, ldt, tmp)
+		ztpqrt2(m, n, l, a, lda, b, ldb, k0, kb, t, ldt, comb)
 		if k0+kb < n {
 			applyPentPanel(true, m, l, b, ldb, k0, kb, t, ldt,
 				a, lda, k0+kb, b, ldb, k0+kb, n-k0-kb, w)

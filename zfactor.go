@@ -3,10 +3,12 @@ package tiledqr
 import (
 	"fmt"
 	"math/cmplx"
+	"sync"
 
 	"tiledqr/internal/core"
 	"tiledqr/internal/sched"
 	"tiledqr/internal/tile"
+	"tiledqr/internal/vec"
 	"tiledqr/internal/zkernel"
 )
 
@@ -24,6 +26,21 @@ type ZFactorization struct {
 	ib    int
 	opt   Options
 	trace *sched.Trace
+
+	workPool sync.Pool // scratch slices for ApplyQ/ApplyQH/SolveLS
+}
+
+// getWork fetches a pooled scratch slice of at least n elements; putWork
+// returns it. Steady-state Q applications allocate nothing.
+func (f *ZFactorization) getWork(n int) []complex128 {
+	if w, ok := f.workPool.Get().(*[]complex128); ok && len(*w) >= n {
+		return *w
+	}
+	return make([]complex128, n)
+}
+
+func (f *ZFactorization) putWork(w []complex128) {
+	f.workPool.Put(&w)
 }
 
 // FactorComplex computes the tiled QR factorization A = Q·R of an m×n
@@ -141,7 +158,8 @@ func (f *ZFactorization) apply(b *ZDense, trans bool) error {
 	}
 	bd := (*tile.ZDense)(b)
 	nrhs := b.Cols
-	work := make([]complex128, f.ib*max(nrhs, 1))
+	work := f.getWork(f.ib * max(nrhs, 1))
+	defer f.putWork(work)
 	rowView := func(i int) *tile.ZDense {
 		return bd.View((i-1)*f.grid.NB, 0, f.grid.TileRows(i-1), nrhs)
 	}
@@ -215,18 +233,25 @@ func (f *ZFactorization) SolveLS(b *ZDense) (*ZDense, error) {
 		return nil, err
 	}
 	r := f.R()
+	rd := (*tile.ZDense)(r)
 	x := NewZDense(n, b.Cols)
+	// Row-oriented back-substitution: contiguous R rows against a pooled
+	// contiguous solution column via vec.ZDotu.
+	wbuf := f.getWork(n)
+	defer f.putWork(wbuf)
+	xcol := wbuf[:n]
 	for c := 0; c < b.Cols; c++ {
 		for i := n - 1; i >= 0; i-- {
-			s := qtb.At(i, c)
-			for j := i + 1; j < n; j++ {
-				s -= r.At(i, j) * x.At(j, c)
-			}
-			d := r.At(i, i)
+			row := rd.Data[i*rd.Stride : i*rd.Stride+n]
+			s := qtb.At(i, c) - vec.ZDotu(row[i+1:], xcol[i+1:n])
+			d := row[i]
 			if cmplx.Abs(d) == 0 {
 				return nil, fmt.Errorf("tiledqr: SolveLS: R(%d,%d) = 0, matrix is rank deficient", i, i)
 			}
-			x.Set(i, c, s/d)
+			xcol[i] = s / d
+		}
+		for i := 0; i < n; i++ {
+			x.Set(i, c, xcol[i])
 		}
 	}
 	return x, nil
@@ -262,7 +287,7 @@ func (f *ZFactorization) Grid() (p, q, nb int) { return f.grid.P, f.grid.Q, f.gr
 func newZWorkspaces(workers, ib, nb int) [][]complex128 {
 	w := make([][]complex128, workers)
 	for i := range w {
-		w[i] = make([]complex128, ib*(nb+1))
+		w[i] = make([]complex128, zkernel.WorkLen(nb, ib))
 	}
 	return w
 }
