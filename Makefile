@@ -19,16 +19,19 @@ race:
 	$(GO) test -race ./...
 
 # bench measures every sequential kernel (double and double complex, at the
-# benchmark shape nb=128/ib=32) plus scheduler dispatch cost and records the
-# GFLOP/s trajectory in BENCH_kernels.json. The file's "baseline" object
-# (seed figures) is preserved across regenerations.
+# benchmark shape nb=128/ib=32), scheduler dispatch cost, and streaming TSQR
+# ingestion throughput (rows/sec), and records the trajectory in
+# BENCH_kernels.json. The file's "baseline" object (seed figures) is
+# preserved across regenerations.
 bench:
 	$(GO) run ./cmd/qrperf -kernels-json BENCH_kernels.json
 
-# bench-smoke is the CI-sized benchmark run: one iteration of the kernel
-# figures only, to prove the harness still works.
+# bench-smoke is the CI-sized benchmark run: one iteration of the kernel and
+# streaming figures plus a tiny qrstream ingestion with verification, to
+# prove both harnesses still work.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'Figure4' -benchtime 1x ./...
+	$(GO) test -run '^$$' -bench 'Figure4|StreamAppendDouble$$' -benchtime 1x ./...
+	$(GO) run ./cmd/qrstream -n 96 -nb 32 -batch 64 -batches 6 -rhs 1 -verify
 
 clean:
 	$(GO) clean ./...

@@ -258,6 +258,94 @@ func BenchmarkFigure6FlatTreeTSDouble(b *testing.B) {
 	b.Run("FlatTreeTT", func(b *testing.B) { benchFactor(b, FlatTree, TT, 12, 4, false) })
 }
 
+// --- streaming TSQR ---------------------------------------------------------------
+
+// benchStreamAppend measures streaming ingestion throughput in rows/sec:
+// batches of `batch` rows merged into a resident n×n triangle, with an
+// optional tracked right-hand side.
+func benchStreamAppend(b *testing.B, n, nb, batch, nrhs int, complexArith bool) {
+	b.Helper()
+	opt := Options{TileSize: nb, InnerBlock: 32}
+	if complexArith {
+		s, err := NewZStream(n, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		data := RandomZDense(batch, n, 1)
+		rhs := RandomZDense(batch, max(nrhs, 1), 2)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if nrhs > 0 {
+				err = s.AppendRHS(data, rhs)
+			} else {
+				err = s.AppendRows(data)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "rows/s")
+		return
+	}
+	s, err := NewStream(n, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := RandomDense(batch, n, 1)
+	rhs := RandomDense(batch, max(nrhs, 1), 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if nrhs > 0 {
+			err = s.AppendRHS(data, rhs)
+		} else {
+			err = s.AppendRows(data)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "rows/s")
+}
+
+func BenchmarkStreamAppendDouble(b *testing.B) {
+	for _, c := range []struct{ n, batch int }{{128, 128}, {256, 256}, {512, 512}} {
+		b.Run(fmt.Sprintf("n=%d/batch=%d", c.n, c.batch), func(b *testing.B) {
+			benchStreamAppend(b, c.n, 128, c.batch, 0, false)
+		})
+	}
+}
+
+func BenchmarkStreamAppendRHSDouble(b *testing.B) {
+	b.Run("n=256/batch=256/rhs=1", func(b *testing.B) {
+		benchStreamAppend(b, 256, 128, 256, 1, false)
+	})
+}
+
+func BenchmarkStreamAppendDoubleComplex(b *testing.B) {
+	b.Run("n=256/batch=256", func(b *testing.B) {
+		benchStreamAppend(b, 256, 128, 256, 0, true)
+	})
+}
+
+func BenchmarkStreamSolveLS(b *testing.B) {
+	const n, batch = 256, 256
+	s, err := NewStream(n, Options{TileSize: 128, InnerBlock: 32})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.AppendRHS(RandomDense(batch, n, int64(i)), RandomDense(batch, 1, int64(10+i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.SolveLS(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- infrastructure benches -------------------------------------------------------
 
 func BenchmarkDAGBuild40x40(b *testing.B) {

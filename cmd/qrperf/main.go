@@ -429,7 +429,50 @@ type kernelsReport struct {
 	DoubleComplex      map[string]float64 `json:"double_complex_gflops"`
 	SchedulerNsPerTask float64            `json:"scheduler_dispatch_ns_per_task"`
 	SchedulerWorkers   int                `json:"scheduler_dispatch_workers"`
+	Stream             *streamReport      `json:"stream,omitempty"`
 	Baseline           json.RawMessage    `json:"baseline,omitempty"`
+}
+
+// streamReport records the streaming TSQR ingestion throughput at a fixed
+// shape, alongside the kernel figures, so the serving-workload trajectory
+// is tracked across PRs too.
+type streamReport struct {
+	N                       int     `json:"n"`
+	Batch                   int     `json:"batch_rows"`
+	DoubleRowsPerSec        float64 `json:"double_rows_per_sec"`
+	DoubleComplexRowsPerSec float64 `json:"double_complex_rows_per_sec"`
+}
+
+// measureStream times steady-state StreamQR ingestion (rows merged into a
+// resident n×n triangle per second) in both domains at the benchmark tile
+// shape.
+func measureStream() *streamReport {
+	const n, batch = 512, 512
+	rep := &streamReport{N: n, Batch: batch}
+	opt := tiledqr.Options{TileSize: benchNB, InnerBlock: benchIB}
+	s, err := tiledqr.NewStream(n, opt)
+	if err != nil {
+		panic(err)
+	}
+	data := tiledqr.RandomDense(batch, n, 1)
+	sec := timeIt(func() {
+		if err := s.AppendRows(data); err != nil {
+			panic(err)
+		}
+	})
+	rep.DoubleRowsPerSec = float64(batch) / sec
+	zs, err := tiledqr.NewZStream(n, opt)
+	if err != nil {
+		panic(err)
+	}
+	zdata := tiledqr.RandomZDense(batch, n, 1)
+	zsec := timeIt(func() {
+		if err := zs.AppendRows(zdata); err != nil {
+			panic(err)
+		}
+	})
+	rep.DoubleComplexRowsPerSec = float64(batch) / zsec
+	return rep
 }
 
 // timeIt returns seconds per call, growing the repetition count until the
@@ -495,6 +538,7 @@ func writeKernelsJSON(path string) error {
 		}
 	})
 	rep.SchedulerNsPerTask = sec * 1e9 / float64(d.NumTasks())
+	rep.Stream = measureStream()
 	if old, err := os.ReadFile(path); err == nil {
 		var prev struct {
 			Baseline json.RawMessage `json:"baseline"`

@@ -31,7 +31,35 @@
 //	q := f.ThinQ()    // 1200×300 with orthonormal columns
 //
 // See the examples directory for least-squares solving, orthonormal basis
-// construction, and schedule analysis.
+// construction, streaming ingestion, and schedule analysis.
+//
+// # Streaming (incremental) factorization
+//
+// StreamQR and ZStreamQR factor a matrix whose rows arrive over time —
+// the incremental mode of communication-avoiding TSQR, built from the same
+// triangle-on-triangle kernels the paper's algorithms use. Each appended
+// batch is tiled, panel-factored with GEQRT, binary-tree-reduced within
+// each column, and merged into a resident n×n triangle with TTQRT/TTMQR,
+// scheduled by the same work-stealing runtime and critical-path priorities
+// as a one-shot factorization:
+//
+//	s, _ := tiledqr.NewStream(nFeatures, tiledqr.Options{})
+//	for batch, rhs := range observations {   // r×n rows + r×nrhs targets
+//		s.AppendRHS(batch, rhs)
+//	}
+//	x, _ := s.SolveLS()  // LS fit over every row ever ingested
+//
+// Use Factor when the matrix fits in memory and is factored once: it sees
+// the whole matrix, so wide trailing updates amortize better and Q can be
+// applied afterwards. Use a stream when rows keep arriving, the history is
+// too large to hold, or rolling least-squares estimates are needed: memory
+// stays O(n² + batch) — the triangle, Qᵀb, and per-worker scratch; nothing
+// scales with rows ingested (Footprint makes the bound observable, and a
+// test asserts it). Appending r rows costs 2·r·n² flops regardless of how
+// many rows came before; Q is never materialized, but the running
+// least-squares residual is available as ResidualNorm. Ingestion
+// throughput is benchmarked by BenchmarkStream* and cmd/qrstream, and
+// recorded in BENCH_kernels.json by make bench.
 //
 // # Performance
 //

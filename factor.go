@@ -9,6 +9,7 @@ import (
 	"tiledqr/internal/sched"
 	"tiledqr/internal/tile"
 	"tiledqr/internal/vec"
+	"tiledqr/internal/work"
 )
 
 // Factorization is the result of Factor: the factored tiles (R plus the
@@ -64,12 +65,9 @@ func Factor(a *Dense, opt Options) (*Factorization, error) {
 		opt:  opt,
 	}
 	f.allocT()
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = 0 // sched.Run resolves to GOMAXPROCS
-	}
-	work := newWorkspaces(workersOrDefault(workers), f.ib, opt.TileSize)
-	trace, err := sched.Run(f.dag, sched.Options{Workers: workers, Trace: opt.Trace},
+	work := work.Workspaces[float64](work.WorkersOrDefault(opt.Workers),
+		kernel.WorkLen(opt.TileSize, f.ib))
+	trace, err := sched.Run(f.dag, sched.Options{Workers: opt.Workers, Trace: opt.Trace},
 		func(t int32, w int) { f.exec(t, work[w]) })
 	if err != nil {
 		return nil, err
@@ -162,6 +160,9 @@ func (f *Factorization) ApplyQ(b *Dense) error {
 }
 
 func (f *Factorization) apply(b *Dense, trans bool) error {
+	if b == nil {
+		return fmt.Errorf("tiledqr: ApplyQ: b must not be nil")
+	}
 	if b.Rows != f.grid.M {
 		return fmt.Errorf("tiledqr: ApplyQ: b has %d rows, want %d", b.Rows, f.grid.M)
 	}
@@ -239,6 +240,9 @@ func (f *Factorization) SolveLS(b *Dense) (*Dense, error) {
 	if m < n {
 		return nil, fmt.Errorf("tiledqr: SolveLS needs m ≥ n (have %d×%d)", m, n)
 	}
+	if b == nil {
+		return nil, fmt.Errorf("tiledqr: SolveLS: b must not be nil")
+	}
 	if b.Rows != m {
 		return nil, fmt.Errorf("tiledqr: SolveLS: b has %d rows, want %d", b.Rows, m)
 	}
@@ -249,25 +253,14 @@ func (f *Factorization) SolveLS(b *Dense) (*Dense, error) {
 	r := f.R()
 	rd := (*tile.Dense)(r)
 	x := NewDense(n, b.Cols)
-	// Back-substitution per right-hand side, row-oriented so every inner
-	// product runs over a contiguous row of R via vec.Dot; the solution
-	// column lives in a pooled contiguous scratch until written back.
+	// Row-oriented back-substitution (shared with the streaming path); the
+	// solution column lives in a pooled contiguous scratch until written
+	// back.
 	wbuf := f.getWork(n)
 	defer f.putWork(wbuf)
-	xcol := wbuf[:n]
-	for c := 0; c < b.Cols; c++ {
-		for i := n - 1; i >= 0; i-- {
-			row := rd.Data[i*rd.Stride : i*rd.Stride+n]
-			s := qtb.At(i, c) - vec.Dot(row[i+1:], xcol[i+1:n])
-			d := row[i]
-			if d == 0 {
-				return nil, fmt.Errorf("tiledqr: SolveLS: R(%d,%d) = 0, matrix is rank deficient", i, i)
-			}
-			xcol[i] = s / d
-		}
-		for i := 0; i < n; i++ {
-			x.Set(i, c, xcol[i])
-		}
+	if err := work.SolveUpper(n, b.Cols, rd.Data, rd.Stride, qtb.Data, qtb.Stride,
+		x.Data, x.Stride, wbuf[:n], vec.Dot); err != nil {
+		return nil, err
 	}
 	return x, nil
 }
@@ -298,19 +291,3 @@ func (f *Factorization) TaskCount() int { return f.dag.NumTasks() }
 
 // Grid returns the tile grid dimensions (p×q) and tile size.
 func (f *Factorization) Grid() (p, q, nb int) { return f.grid.P, f.grid.Q, f.grid.NB }
-
-// newWorkspaces allocates one kernel scratch buffer per worker.
-func newWorkspaces(workers, ib, nb int) [][]float64 {
-	w := make([][]float64, workers)
-	for i := range w {
-		w[i] = make([]float64, kernel.WorkLen(nb, ib))
-	}
-	return w
-}
-
-func workersOrDefault(workers int) int {
-	if workers > 0 {
-		return workers
-	}
-	return defaultWorkers()
-}

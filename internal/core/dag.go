@@ -248,6 +248,42 @@ func (b *dagBuilder) triangularize(r, k int) {
 	}
 }
 
+// elim expands one elimination into its factor kernel plus trailing updates,
+// triangularizing the participating rows first as the kernel family demands.
+// Shared by BuildDAG and BuildStreamDAG.
+func (b *dagBuilder) elim(e Elim, kernels Kernels) {
+	useTT := kernels == TT || b.tri[b.idx(e.I, e.K)]
+	b.triangularize(e.Piv, e.K)
+	if useTT {
+		if kernels == TT {
+			b.triangularize(e.I, e.K)
+		}
+		f := b.add(Task{Kind: KTTQRT, I: e.I, Piv: e.Piv, K: e.K},
+			b.lastR[b.idx(e.Piv, e.K)], b.lastR[b.idx(e.I, e.K)])
+		b.lastR[b.idx(e.Piv, e.K)] = f
+		b.lastR[b.idx(e.I, e.K)] = f
+		b.d.zeroTask[b.idx(e.I, e.K)] = f
+		for j := e.K + 1; j <= b.q; j++ {
+			u := b.add(Task{Kind: KTTMQR, I: e.I, Piv: e.Piv, K: e.K, J: j},
+				f, b.lastData[b.idx(e.I, j)], b.lastData[b.idx(e.Piv, j)])
+			b.lastData[b.idx(e.I, j)] = u
+			b.lastData[b.idx(e.Piv, j)] = u
+		}
+	} else {
+		f := b.add(Task{Kind: KTSQRT, I: e.I, Piv: e.Piv, K: e.K},
+			b.lastR[b.idx(e.Piv, e.K)], b.lastData[b.idx(e.I, e.K)])
+		b.lastR[b.idx(e.Piv, e.K)] = f
+		b.lastR[b.idx(e.I, e.K)] = f
+		b.d.zeroTask[b.idx(e.I, e.K)] = f
+		for j := e.K + 1; j <= b.q; j++ {
+			u := b.add(Task{Kind: KTSMQR, I: e.I, Piv: e.Piv, K: e.K, J: j},
+				f, b.lastData[b.idx(e.I, j)], b.lastData[b.idx(e.Piv, j)])
+			b.lastData[b.idx(e.I, j)] = u
+			b.lastData[b.idx(e.Piv, j)] = u
+		}
+	}
+}
+
 // BuildDAG expands a validated elimination list into the kernel task graph
 // for the chosen kernel family. Following §2.1, a kernel is omitted when a
 // tile is already in the required form: TT mode triangularizes both rows,
@@ -257,36 +293,7 @@ func (b *dagBuilder) triangularize(r, k int) {
 func BuildDAG(list List, kernels Kernels) *DAG {
 	b := newDAGBuilder(list.P, list.Q, kernels)
 	for _, e := range list.Elims {
-		useTT := kernels == TT || b.tri[b.idx(e.I, e.K)]
-		b.triangularize(e.Piv, e.K)
-		if useTT {
-			if kernels == TT {
-				b.triangularize(e.I, e.K)
-			}
-			f := b.add(Task{Kind: KTTQRT, I: e.I, Piv: e.Piv, K: e.K},
-				b.lastR[b.idx(e.Piv, e.K)], b.lastR[b.idx(e.I, e.K)])
-			b.lastR[b.idx(e.Piv, e.K)] = f
-			b.lastR[b.idx(e.I, e.K)] = f
-			b.d.zeroTask[b.idx(e.I, e.K)] = f
-			for j := e.K + 1; j <= b.q; j++ {
-				u := b.add(Task{Kind: KTTMQR, I: e.I, Piv: e.Piv, K: e.K, J: j},
-					f, b.lastData[b.idx(e.I, j)], b.lastData[b.idx(e.Piv, j)])
-				b.lastData[b.idx(e.I, j)] = u
-				b.lastData[b.idx(e.Piv, j)] = u
-			}
-		} else {
-			f := b.add(Task{Kind: KTSQRT, I: e.I, Piv: e.Piv, K: e.K},
-				b.lastR[b.idx(e.Piv, e.K)], b.lastData[b.idx(e.I, e.K)])
-			b.lastR[b.idx(e.Piv, e.K)] = f
-			b.lastR[b.idx(e.I, e.K)] = f
-			b.d.zeroTask[b.idx(e.I, e.K)] = f
-			for j := e.K + 1; j <= b.q; j++ {
-				u := b.add(Task{Kind: KTSMQR, I: e.I, Piv: e.Piv, K: e.K, J: j},
-					f, b.lastData[b.idx(e.I, j)], b.lastData[b.idx(e.Piv, j)])
-				b.lastData[b.idx(e.I, j)] = u
-				b.lastData[b.idx(e.Piv, j)] = u
-			}
-		}
+		b.elim(e, kernels)
 	}
 	// Triangularize any diagonal tile never used as a pivot (the final
 	// GEQRT(k,k) of square grids, or every column when p == 1).

@@ -1,0 +1,426 @@
+// Package stream is the reduction core of the streaming TSQR subsystem: it
+// maintains a resident n×n upper triangular factor (and optionally Qᵀb for
+// online least squares) while row batches are appended, in O(n² + batch)
+// memory regardless of how many rows have been ingested.
+//
+// Each appended batch is tiled, panel-factored with GEQRT, and merged into
+// the resident triangle through the triangle-on-triangle kernels of the
+// paper (TPQRT/TPMQRT with l = m) along the task DAG of
+// core.BuildStreamDAG, executed by internal/sched with the same
+// critical-path priorities as a one-shot factorization. The package is
+// generic over the scalar type so the float64 and complex128 domains share
+// one code path; the public tiledqr package instantiates it twice.
+package stream
+
+import (
+	"fmt"
+	"math"
+
+	"tiledqr/internal/core"
+	"tiledqr/internal/sched"
+	"tiledqr/internal/tile"
+	"tiledqr/internal/work"
+)
+
+// Funcs bundles the tile-kernel entry points of one arithmetic domain
+// (internal/kernel or internal/zkernel) plus the vector dot used by
+// back-substitution.
+type Funcs[T work.Scalar] struct {
+	GEQRT   func(m, n, ib int, a []T, lda int, t []T, ldt int, work []T)
+	UNMQR   func(trans bool, m, k, ib int, v []T, ldv int, t []T, ldt int, c []T, ldc, nc int, work []T)
+	TPQRT   func(m, n, l, ib int, a []T, lda int, b []T, ldb int, t []T, ldt int, work []T)
+	TPMQRT  func(trans bool, m, k, l, ib int, v []T, ldv int, t []T, ldt int, c1 []T, ldc1 int, c2 []T, ldc2, nc int, work []T)
+	WorkLen func(n, ib int) int
+	Dot     func(x, y []T) T
+}
+
+// seqTaskThreshold is the DAG size below which a batch merge runs on the
+// scheduler's deterministic sequential path: tiny merges (a one-tile-row
+// batch into a narrow triangle) are dominated by goroutine wake-up cost.
+const seqTaskThreshold = 64
+
+// Tile is one contiguous tile of the resident triangle or of a tiled batch.
+type Tile[T work.Scalar] struct {
+	Rows, Cols, Stride int
+	Data               []T
+}
+
+// Core is the domain-generic streaming state: the resident triangle, the
+// retained Qᵀb block, cached merge DAGs keyed by batch tile height, and the
+// per-worker kernel workspaces. All retained storage is O(n² + batch);
+// nothing grows with the number of rows ingested, and steady-state appends
+// of a repeated batch shape reuse every buffer.
+type Core[T work.Scalar] struct {
+	n, nb, ib int
+	workers   int
+	kernels   core.Kernels
+	ops       Funcs[T]
+
+	grid tile.Grid // q×q resident grid over the n×n triangle
+	res  []Tile[T] // row-major q×q; only tiles with i ≤ k are allocated
+
+	qtb  []T // top n rows of Qᵀb, row-major with stride nrhs
+	nrhs int
+
+	rows   int64   // total rows ingested
+	resid2 float64 // Σ|discarded Qᵀb components|² = ‖b − A·X‖_F² so far
+
+	dags map[int]*core.DAG // merge DAGs keyed by batch tile rows pb
+	wk   [][]T             // per-worker kernel scratch
+
+	// Grow-only staging reused across appends, bounded by the largest batch
+	// seen: the tiled batch copy, its T factors, and the RHS block.
+	bv         batchView[T]
+	arena      []T // batch tile payloads (r·n scalars)
+	tArena     []T // T-factor payloads
+	rhsScratch []T // batch RHS staging
+
+	rwork []T // contiguous R for back-substitution
+	xcol  []T // back-substitution column scratch
+}
+
+// NewCore creates the streaming state for an n-column system. workers must
+// already be resolved (≥ 1).
+func NewCore[T work.Scalar](n, nb, ib, workers int, kernels core.Kernels, ops Funcs[T]) (*Core[T], error) {
+	if n < 1 {
+		return nil, fmt.Errorf("tiledqr: stream: need at least one column (n=%d)", n)
+	}
+	if nb < 1 || ib < 1 || workers < 1 {
+		return nil, fmt.Errorf("tiledqr: stream: invalid nb=%d ib=%d workers=%d", nb, ib, workers)
+	}
+	g := tile.NewGrid(n, n, nb)
+	c := &Core[T]{
+		n: n, nb: nb, ib: ib, workers: workers, kernels: kernels, ops: ops,
+		grid: g,
+		res:  make([]Tile[T], g.Q*g.Q),
+		dags: make(map[int]*core.DAG),
+		wk:   work.Workspaces[T](workers, ops.WorkLen(nb, ib)),
+	}
+	for i := 0; i < g.Q; i++ {
+		for k := i; k < g.Q; k++ {
+			r, cc := g.TileRows(i), g.TileCols(k)
+			c.res[i*g.Q+k] = Tile[T]{Rows: r, Cols: cc, Stride: cc, Data: make([]T, r*cc)}
+		}
+	}
+	return c, nil
+}
+
+// N returns the column count of the streamed system.
+func (c *Core[T]) N() int { return c.n }
+
+// Rows returns the total number of rows ingested so far.
+func (c *Core[T]) Rows() int64 { return c.rows }
+
+// NRHS returns the number of tracked right-hand sides (0 when none).
+func (c *Core[T]) NRHS() int { return c.nrhs }
+
+// ResidualNorm returns ‖b − A·X‖_F of the least-squares system ingested so
+// far, summed over all tracked right-hand-side columns: the norm of the
+// Qᵀb components rotated out of the retained top block. Zero when no
+// right-hand side is tracked.
+func (c *Core[T]) ResidualNorm() float64 { return math.Sqrt(c.resid2) }
+
+// Footprint returns the number of scalars retained across appends (resident
+// tiles, Qᵀb, workspaces, staging arenas). The memory-bound test asserts it
+// is independent of the number of rows ingested.
+func (c *Core[T]) Footprint() int {
+	total := len(c.qtb) + cap(c.arena) + cap(c.tArena) + cap(c.rhsScratch) +
+		len(c.rwork) + len(c.xcol)
+	for i := range c.res {
+		total += len(c.res[i].Data)
+	}
+	for i := range c.wk {
+		total += len(c.wk[i])
+	}
+	return total
+}
+
+// batchView is the per-append staging: the tiled batch and the T factors of
+// its merge tasks, indexed over the stacked row space. Its slices view the
+// Core's grow-only arenas.
+type batchView[T work.Scalar] struct {
+	g      tile.Grid
+	tiles  []Tile[T]
+	tg, t2 [][]T
+}
+
+// grow returns buf resliced to n elements, reallocating only when the
+// capacity seen so far is exceeded.
+func grow[S any](buf []S, n int) []S {
+	if cap(buf) < n {
+		return make([]S, n)
+	}
+	return buf[:n]
+}
+
+// tileBatch copies an r×n batch (row stride ld) into tile layout, reusing
+// the arena from previous appends.
+func (c *Core[T]) tileBatch(r int, data []T, ld int) *batchView[T] {
+	g := tile.NewGrid(r, c.n, c.nb)
+	bv := &c.bv
+	bv.g = g
+	bv.tiles = grow(bv.tiles, g.P*g.Q)
+	c.arena = grow(c.arena, r*c.n)
+	off := 0
+	for ti := 0; ti < g.P; ti++ {
+		for tk := 0; tk < g.Q; tk++ {
+			tr, tc := g.TileRows(ti), g.TileCols(tk)
+			t := Tile[T]{Rows: tr, Cols: tc, Stride: tc, Data: c.arena[off : off+tr*tc]}
+			off += tr * tc
+			r0, c0 := ti*c.nb, tk*c.nb
+			for rr := 0; rr < tr; rr++ {
+				copy(t.Data[rr*tc:rr*tc+tc], data[(r0+rr)*ld+c0:(r0+rr)*ld+c0+tc])
+			}
+			bv.tiles[ti*g.Q+tk] = t
+		}
+	}
+	return bv
+}
+
+// dag returns the cached merge DAG for a pb-tile-row batch. The cache is
+// keyed by batch height only — a handful of entries for any realistic
+// workload, never dependent on the number of batches ingested.
+func (c *Core[T]) dag(pb int) *core.DAG {
+	if d, ok := c.dags[pb]; ok {
+		return d
+	}
+	d := core.BuildStreamDAG(c.grid.Q, pb, c.kernels)
+	c.dags[pb] = d
+	return d
+}
+
+// stacked tile and T-factor addressing: rows 1..q are the resident
+// triangle, rows q+1..q+pb the batch.
+func (c *Core[T]) tileAt(bv *batchView[T], i, k int) *Tile[T] {
+	if i <= c.grid.Q {
+		return &c.res[(i-1)*c.grid.Q+(k-1)]
+	}
+	return &bv.tiles[(i-c.grid.Q-1)*c.grid.Q+(k-1)]
+}
+
+func (c *Core[T]) tidx(i, k int) int { return (i-1)*c.grid.Q + (k - 1) }
+
+// allocT carves the per-task T factor storage demanded by a merge DAG out
+// of the reused arena. Only batch rows ever carry factors (the resident
+// triangle is never re-factored), so this is O(batch · n · ib/nb). No
+// zeroing is needed: every T position a kernel reads (the upper triangle of
+// each panel block) is written by the factor kernel of the same append
+// before any applier reads it.
+func (c *Core[T]) allocT(d *core.DAG, bv *batchView[T]) {
+	p := c.grid.Q + bv.g.P
+	bv.tg = grow(bv.tg, p*c.grid.Q)
+	bv.t2 = grow(bv.t2, p*c.grid.Q)
+	need := 0
+	for _, t := range d.Tasks {
+		switch t.Kind {
+		case core.KGEQRT, core.KTSQRT, core.KTTQRT:
+			need += c.ib * c.grid.TileCols(t.K-1)
+		}
+	}
+	c.tArena = grow(c.tArena, need)
+	off := 0
+	carve := func(k int) []T {
+		n := c.ib * c.grid.TileCols(k-1)
+		s := c.tArena[off : off+n]
+		off += n
+		return s
+	}
+	for _, t := range d.Tasks {
+		switch t.Kind {
+		case core.KGEQRT:
+			bv.tg[c.tidx(t.I, t.K)] = carve(t.K)
+		case core.KTSQRT, core.KTTQRT:
+			bv.t2[c.tidx(t.I, t.K)] = carve(t.K)
+		}
+	}
+}
+
+// exec dispatches one merge task to the corresponding tile kernel, mirroring
+// the one-shot factorization's dispatch with the stacked row mapping.
+func (c *Core[T]) exec(d *core.DAG, t int32, bv *batchView[T], work []T) {
+	task := d.Tasks[t]
+	switch task.Kind {
+	case core.KGEQRT:
+		a := c.tileAt(bv, task.I, task.K)
+		c.ops.GEQRT(a.Rows, a.Cols, c.ib, a.Data, a.Stride,
+			bv.tg[c.tidx(task.I, task.K)], a.Cols, work)
+	case core.KUNMQR:
+		v := c.tileAt(bv, task.I, task.K)
+		cc := c.tileAt(bv, task.I, task.J)
+		c.ops.UNMQR(true, v.Rows, min(v.Rows, v.Cols), c.ib, v.Data, v.Stride,
+			bv.tg[c.tidx(task.I, task.K)], v.Cols, cc.Data, cc.Stride, cc.Cols, work)
+	case core.KTSQRT, core.KTTQRT:
+		a := c.tileAt(bv, task.Piv, task.K)
+		b := c.tileAt(bv, task.I, task.K)
+		m, l := b.Rows, 0
+		if task.Kind == core.KTTQRT {
+			m = min(b.Rows, a.Cols)
+			l = m
+		}
+		c.ops.TPQRT(m, a.Cols, l, c.ib, a.Data, a.Stride, b.Data, b.Stride,
+			bv.t2[c.tidx(task.I, task.K)], a.Cols, work)
+	case core.KTSMQR, core.KTTMQR:
+		v := c.tileAt(bv, task.I, task.K)
+		c1 := c.tileAt(bv, task.Piv, task.J)
+		c2 := c.tileAt(bv, task.I, task.J)
+		kRef := c.grid.TileCols(task.K - 1)
+		m, l := v.Rows, 0
+		if task.Kind == core.KTTMQR {
+			m = min(v.Rows, kRef)
+			l = m
+		}
+		c.ops.TPMQRT(true, m, kRef, l, c.ib, v.Data, v.Stride,
+			bv.t2[c.tidx(task.I, task.K)], kRef,
+			c1.Data, c1.Stride, c2.Data, c2.Stride, c2.Cols, work)
+	default:
+		panic(fmt.Sprintf("tiledqr: stream: unknown task kind %v", task.Kind))
+	}
+}
+
+// Append merges an r×n row batch (row stride ld) into the resident
+// triangle, and, when the stream tracks right-hand sides, folds the
+// matching r×nrhs RHS rows (stride ldr) into the retained Qᵀb block. The
+// caller's slices are never modified. rhs must be nil exactly when the
+// stream tracks no RHS; tracking is decided by the first append. Append is
+// not safe for concurrent use.
+func (c *Core[T]) Append(r int, data []T, ld int, rhs []T, ldr, nrhs int) error {
+	if r < 1 {
+		return fmt.Errorf("tiledqr: stream: batch must have at least one row")
+	}
+	if rhs == nil && c.nrhs > 0 {
+		return fmt.Errorf("tiledqr: stream: this stream tracks %d right-hand side(s); use AppendRHS", c.nrhs)
+	}
+	if rhs != nil {
+		if nrhs < 1 {
+			return fmt.Errorf("tiledqr: stream: right-hand side must have at least one column")
+		}
+		switch {
+		case c.nrhs == 0 && c.rows > 0:
+			return fmt.Errorf("tiledqr: stream: right-hand sides must be supplied from the first batch onwards")
+		case c.nrhs == 0:
+			c.nrhs = nrhs
+			c.qtb = make([]T, c.n*nrhs)
+		case nrhs != c.nrhs:
+			return fmt.Errorf("tiledqr: stream: right-hand side has %d columns, want %d", nrhs, c.nrhs)
+		}
+	}
+
+	bv := c.tileBatch(r, data, ld)
+	d := c.dag(bv.g.P)
+	c.allocT(d, bv)
+	workers := c.workers
+	if d.NumTasks() < seqTaskThreshold {
+		workers = 1
+	}
+	if _, err := sched.Run(d, sched.Options{Workers: workers},
+		func(t int32, w int) { c.exec(d, t, bv, c.wk[w]) }); err != nil {
+		return err
+	}
+	if c.nrhs > 0 {
+		c.applyRHS(d, bv, r, rhs, ldr)
+	}
+	c.rows += int64(r)
+	return nil
+}
+
+// applyRHS replays the merge transformations over the stacked right-hand
+// side [qtb; batch rhs] in task order (task IDs are topological). The batch
+// rows' leftover components are exactly the Qᵀb coordinates orthogonal to
+// the retained top block; their squared norm accumulates into the running
+// least-squares residual.
+func (c *Core[T]) applyRHS(d *core.DAG, bv *batchView[T], r int, rhs []T, ldr int) {
+	nrhs := c.nrhs
+	c.rhsScratch = grow(c.rhsScratch, r*nrhs)
+	scratch := c.rhsScratch
+	for i := 0; i < r; i++ {
+		copy(scratch[i*nrhs:i*nrhs+nrhs], rhs[i*ldr:i*ldr+nrhs])
+	}
+	// rowBlock returns the stacked RHS rows of tile row i.
+	rowBlock := func(i int) []T {
+		if i <= c.grid.Q {
+			return c.qtb[(i-1)*c.nb*nrhs:]
+		}
+		return scratch[(i-c.grid.Q-1)*c.nb*nrhs:]
+	}
+	work := c.wk[0]
+	for _, task := range d.Tasks {
+		switch task.Kind {
+		case core.KGEQRT:
+			v := c.tileAt(bv, task.I, task.K)
+			c.ops.UNMQR(true, v.Rows, min(v.Rows, v.Cols), c.ib, v.Data, v.Stride,
+				bv.tg[c.tidx(task.I, task.K)], v.Cols, rowBlock(task.I), nrhs, nrhs, work)
+		case core.KTSQRT, core.KTTQRT:
+			v := c.tileAt(bv, task.I, task.K)
+			kRef := c.grid.TileCols(task.K - 1)
+			m, l := v.Rows, 0
+			if task.Kind == core.KTTQRT {
+				m = min(v.Rows, kRef)
+				l = m
+			}
+			c.ops.TPMQRT(true, m, kRef, l, c.ib, v.Data, v.Stride,
+				bv.t2[c.tidx(task.I, task.K)], kRef,
+				rowBlock(task.Piv), nrhs, rowBlock(task.I), nrhs, nrhs, work)
+		}
+	}
+	for _, v := range scratch {
+		c.resid2 += abs2(v)
+	}
+}
+
+// abs2 returns |v|² for either scalar domain.
+func abs2[T work.Scalar](v T) float64 {
+	switch x := any(v).(type) {
+	case float64:
+		return x * x
+	case complex128:
+		return real(x)*real(x) + imag(x)*imag(x)
+	default:
+		panic("tiledqr: stream: unsupported scalar type")
+	}
+}
+
+// CopyR writes the resident upper triangular factor into dst (n×n, row
+// stride ld ≥ n). Only the upper triangle is written; callers that need
+// explicit zeros below the diagonal must start from a zeroed dst.
+func (c *Core[T]) CopyR(dst []T, ld int) {
+	q, nb := c.grid.Q, c.nb
+	for ti := 0; ti < q; ti++ {
+		for tk := ti; tk < q; tk++ {
+			t := &c.res[ti*q+tk]
+			r0, c0 := ti*nb, tk*nb
+			for rr := 0; rr < t.Rows; rr++ {
+				start := 0
+				if ti == tk {
+					start = rr // diagonal tile: skip the zero lower part
+				}
+				copy(dst[(r0+rr)*ld+c0+start:(r0+rr)*ld+c0+t.Cols],
+					t.Data[rr*t.Stride+start:rr*t.Stride+t.Cols])
+			}
+		}
+	}
+}
+
+// CopyQTB writes the retained top n rows of Qᵀb into dst (n×nrhs, row
+// stride ld ≥ nrhs).
+func (c *Core[T]) CopyQTB(dst []T, ld int) {
+	for i := 0; i < c.n; i++ {
+		copy(dst[i*ld:i*ld+c.nrhs], c.qtb[i*c.nrhs:(i+1)*c.nrhs])
+	}
+}
+
+// SolveLS back-substitutes the resident triangle against the retained Qᵀb,
+// writing the n×nrhs least-squares solution to x (row stride ldx).
+func (c *Core[T]) SolveLS(x []T, ldx int) error {
+	if c.nrhs == 0 {
+		return fmt.Errorf("tiledqr: SolveLS: stream tracks no right-hand side (ingest batches with AppendRHS)")
+	}
+	if c.rows < int64(c.n) {
+		return fmt.Errorf("tiledqr: SolveLS: needs at least n = %d ingested rows (have %d)", c.n, c.rows)
+	}
+	if c.rwork == nil {
+		c.rwork = make([]T, c.n*c.n)
+		c.xcol = make([]T, c.n)
+	}
+	c.CopyR(c.rwork, c.n)
+	return work.SolveUpper(c.n, c.nrhs, c.rwork, c.n, c.qtb, c.nrhs, x, ldx, c.xcol, c.ops.Dot)
+}

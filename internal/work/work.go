@@ -1,0 +1,55 @@
+// Package work holds the small execution helpers shared by the one-shot
+// factorization paths (factor.go, zfactor.go) and the streaming subsystem:
+// worker-count resolution, per-worker workspace allocation, and triangular
+// back-substitution, generic over the two arithmetic domains.
+package work
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Scalar is the set of arithmetic domains the tiled kernels support.
+type Scalar interface{ ~float64 | ~complex128 }
+
+// WorkersOrDefault resolves a Workers option: values < 1 mean GOMAXPROCS.
+func WorkersOrDefault(workers int) int {
+	if workers > 0 {
+		return workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Workspaces allocates one kernel scratch buffer of length n per worker.
+func Workspaces[T any](workers, n int) [][]T {
+	w := make([][]T, workers)
+	for i := range w {
+		w[i] = make([]T, n)
+	}
+	return w
+}
+
+// SolveUpper solves R·X = B by row-oriented back-substitution: R is n×n
+// upper triangular with row stride ldr (its strictly lower part is never
+// read), B provides the top n rows of the right-hand sides at stride ldb,
+// and the solution is written to x at stride ldx. xcol is an n-element
+// scratch holding each solution column contiguously so every inner product
+// runs over a contiguous row of R via dot (vec.Dot or vec.ZDotu).
+func SolveUpper[T Scalar](n, nrhs int, r []T, ldr int, b []T, ldb int,
+	x []T, ldx int, xcol []T, dot func(x, y []T) T) error {
+	for c := 0; c < nrhs; c++ {
+		for i := n - 1; i >= 0; i-- {
+			row := r[i*ldr : i*ldr+n]
+			s := b[i*ldb+c] - dot(row[i+1:], xcol[i+1:n])
+			d := row[i]
+			if d == 0 {
+				return fmt.Errorf("tiledqr: SolveLS: R(%d,%d) = 0, matrix is rank deficient", i, i)
+			}
+			xcol[i] = s / d
+		}
+		for i := 0; i < n; i++ {
+			x[i*ldx+c] = xcol[i]
+		}
+	}
+	return nil
+}

@@ -2,13 +2,9 @@ package tiledqr
 
 import (
 	"fmt"
-	"runtime"
 
 	"tiledqr/internal/core"
 )
-
-// defaultWorkers resolves the worker count used when Options.Workers is 0.
-func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // Algorithm selects the elimination tree; see the package documentation and
 // Section 3 of the paper for the trade-offs.

@@ -1,0 +1,137 @@
+package tiledqr
+
+import (
+	"fmt"
+
+	"tiledqr/internal/kernel"
+	"tiledqr/internal/stream"
+	"tiledqr/internal/vec"
+	"tiledqr/internal/work"
+)
+
+// StreamQR is an incremental (streaming) tiled QR factorization: rows
+// arrive in batches and only the n×n upper triangular factor R — plus,
+// optionally, the top n rows of Qᵀb for online least squares — is retained.
+// Memory stays O(n² + batch) no matter how many rows are ingested, so a
+// StreamQR can absorb millions of observations that would never fit as one
+// matrix.
+//
+// Each batch is tiled, panel-factored with GEQRT, and merged into the
+// resident triangle with the paper's triangle-on-triangle kernels — the
+// merge primitive of communication-avoiding TSQR (Demmel, Grigori,
+// Hoemmen, Langou) — along a task DAG executed by the work-stealing runtime
+// with critical-path priorities, so batches spanning several tile rows
+// reduce in parallel.
+//
+// Options.TileSize, InnerBlock, Workers and Kernels are honored;
+// Algorithm and BS are ignored (the per-column reduction tree of a
+// streaming merge is a binary tree, the optimal shape for single-column
+// reductions). StreamQR is not safe for concurrent use.
+type StreamQR struct {
+	c *stream.Core[float64]
+}
+
+// NewStream creates a streaming factorization for rows with n columns.
+// The triangle starts at zero: a StreamQR with no ingested rows represents
+// the QR factorization of an empty (0×n) matrix.
+func NewStream(n int, opt Options) (*StreamQR, error) {
+	opt = opt.withDefaults()
+	c, err := stream.NewCore(n, opt.TileSize, opt.InnerBlock,
+		work.WorkersOrDefault(opt.Workers), opt.Kernels.core(), stream.Funcs[float64]{
+			GEQRT:   kernel.GEQRT,
+			UNMQR:   kernel.UNMQR,
+			TPQRT:   kernel.TPQRT,
+			TPMQRT:  kernel.TPMQRT,
+			WorkLen: kernel.WorkLen,
+			Dot:     vec.Dot,
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &StreamQR{c: c}, nil
+}
+
+// AppendRows merges a batch of rows (r×n, any r ≥ 1) into the resident
+// triangle. The batch is not modified. Returns an error if the stream
+// tracks right-hand sides (use AppendRHS so Qᵀb stays consistent).
+func (s *StreamQR) AppendRows(batch *Dense) error {
+	if err := checkBatch(batch, s.c.N()); err != nil {
+		return err
+	}
+	return s.c.Append(batch.Rows, batch.Data, batch.Stride, nil, 0, 0)
+}
+
+// AppendRHS merges a batch of rows together with the matching right-hand
+// side rows (r×nrhs), maintaining the top n rows of Qᵀb for SolveLS.
+// Right-hand sides must be supplied from the first batch onwards and keep
+// the same column count; neither argument is modified.
+func (s *StreamQR) AppendRHS(batch, rhs *Dense) error {
+	if err := checkBatch(batch, s.c.N()); err != nil {
+		return err
+	}
+	if rhs == nil {
+		return fmt.Errorf("tiledqr: stream: AppendRHS needs a non-nil right-hand side (use AppendRows)")
+	}
+	if rhs.Rows != batch.Rows {
+		return fmt.Errorf("tiledqr: stream: right-hand side has %d rows, batch has %d", rhs.Rows, batch.Rows)
+	}
+	return s.c.Append(batch.Rows, batch.Data, batch.Stride, rhs.Data, rhs.Stride, rhs.Cols)
+}
+
+// checkBatch validates a row batch against the stream's column count.
+func checkBatch(batch *Dense, n int) error {
+	if batch == nil || batch.Rows < 1 {
+		return fmt.Errorf("tiledqr: stream: batch must have at least one row")
+	}
+	if batch.Cols != n {
+		return fmt.Errorf("tiledqr: stream: batch has %d columns, stream has %d", batch.Cols, n)
+	}
+	return nil
+}
+
+// R returns the n×n upper triangular factor of all rows ingested so far.
+// It equals (up to row signs) the R of a one-shot Factor over the same rows.
+func (s *StreamQR) R() *Dense {
+	n := s.c.N()
+	r := NewDense(n, n)
+	s.c.CopyR(r.Data, r.Stride)
+	return r
+}
+
+// QTB returns the retained top n rows of Qᵀb (n×nrhs), or nil when the
+// stream tracks no right-hand side.
+func (s *StreamQR) QTB() *Dense {
+	if s.c.NRHS() == 0 {
+		return nil
+	}
+	q := NewDense(s.c.N(), s.c.NRHS())
+	s.c.CopyQTB(q.Data, q.Stride)
+	return q
+}
+
+// SolveLS returns the n×nrhs least-squares solution min‖A·x − b‖₂ over
+// every row ingested so far, without ever having materialized A or b.
+// Requires right-hand-side tracking and at least n ingested rows.
+func (s *StreamQR) SolveLS() (*Dense, error) {
+	x := NewDense(s.c.N(), max(s.c.NRHS(), 1))
+	if err := s.c.SolveLS(x.Data, x.Stride); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// Rows returns the total number of rows ingested.
+func (s *StreamQR) Rows() int64 { return s.c.Rows() }
+
+// N returns the column count of the streamed system.
+func (s *StreamQR) N() int { return s.c.N() }
+
+// ResidualNorm returns the running least-squares residual of the ingested
+// system: ‖b − A·X‖_F over all tracked right-hand-side columns (0 when no
+// RHS is tracked). The components of Qᵀb rotated beyond the retained top
+// block accumulate here instead of being stored.
+func (s *StreamQR) ResidualNorm() float64 { return s.c.ResidualNorm() }
+
+// Footprint returns the number of float64 values retained across appends —
+// the O(n² + batch) bound made observable for tests and capacity planning.
+func (s *StreamQR) Footprint() int { return s.c.Footprint() }

@@ -2,13 +2,13 @@ package tiledqr
 
 import (
 	"fmt"
-	"math/cmplx"
 	"sync"
 
 	"tiledqr/internal/core"
 	"tiledqr/internal/sched"
 	"tiledqr/internal/tile"
 	"tiledqr/internal/vec"
+	"tiledqr/internal/work"
 	"tiledqr/internal/zkernel"
 )
 
@@ -67,7 +67,8 @@ func FactorComplex(a *ZDense, opt Options) (*ZFactorization, error) {
 		opt:  opt,
 	}
 	f.allocT()
-	work := newZWorkspaces(workersOrDefault(opt.Workers), f.ib, opt.TileSize)
+	work := work.Workspaces[complex128](work.WorkersOrDefault(opt.Workers),
+		zkernel.WorkLen(opt.TileSize, f.ib))
 	trace, err := sched.Run(f.dag, sched.Options{Workers: opt.Workers, Trace: opt.Trace},
 		func(t int32, w int) { f.exec(t, work[w]) })
 	if err != nil {
@@ -153,6 +154,9 @@ func (f *ZFactorization) ApplyQH(b *ZDense) error { return f.apply(b, true) }
 func (f *ZFactorization) ApplyQ(b *ZDense) error { return f.apply(b, false) }
 
 func (f *ZFactorization) apply(b *ZDense, trans bool) error {
+	if b == nil {
+		return fmt.Errorf("tiledqr: ApplyQ: b must not be nil")
+	}
 	if b.Rows != f.grid.M {
 		return fmt.Errorf("tiledqr: ApplyQ: b has %d rows, want %d", b.Rows, f.grid.M)
 	}
@@ -225,6 +229,9 @@ func (f *ZFactorization) SolveLS(b *ZDense) (*ZDense, error) {
 	if m < n {
 		return nil, fmt.Errorf("tiledqr: SolveLS needs m ≥ n (have %d×%d)", m, n)
 	}
+	if b == nil {
+		return nil, fmt.Errorf("tiledqr: SolveLS: b must not be nil")
+	}
 	if b.Rows != m {
 		return nil, fmt.Errorf("tiledqr: SolveLS: b has %d rows, want %d", b.Rows, m)
 	}
@@ -235,24 +242,12 @@ func (f *ZFactorization) SolveLS(b *ZDense) (*ZDense, error) {
 	r := f.R()
 	rd := (*tile.ZDense)(r)
 	x := NewZDense(n, b.Cols)
-	// Row-oriented back-substitution: contiguous R rows against a pooled
-	// contiguous solution column via vec.ZDotu.
+	// Row-oriented back-substitution (shared with the streaming path).
 	wbuf := f.getWork(n)
 	defer f.putWork(wbuf)
-	xcol := wbuf[:n]
-	for c := 0; c < b.Cols; c++ {
-		for i := n - 1; i >= 0; i-- {
-			row := rd.Data[i*rd.Stride : i*rd.Stride+n]
-			s := qtb.At(i, c) - vec.ZDotu(row[i+1:], xcol[i+1:n])
-			d := row[i]
-			if cmplx.Abs(d) == 0 {
-				return nil, fmt.Errorf("tiledqr: SolveLS: R(%d,%d) = 0, matrix is rank deficient", i, i)
-			}
-			xcol[i] = s / d
-		}
-		for i := 0; i < n; i++ {
-			x.Set(i, c, xcol[i])
-		}
+	if err := work.SolveUpper(n, b.Cols, rd.Data, rd.Stride, qtb.Data, qtb.Stride,
+		x.Data, x.Stride, wbuf[:n], vec.ZDotu); err != nil {
+		return nil, err
 	}
 	return x, nil
 }
@@ -283,11 +278,3 @@ func (f *ZFactorization) TaskCount() int { return f.dag.NumTasks() }
 
 // Grid returns the tile grid dimensions (p×q) and tile size.
 func (f *ZFactorization) Grid() (p, q, nb int) { return f.grid.P, f.grid.Q, f.grid.NB }
-
-func newZWorkspaces(workers, ib, nb int) [][]complex128 {
-	w := make([][]complex128, workers)
-	for i := range w {
-		w[i] = make([]complex128, zkernel.WorkLen(nb, ib))
-	}
-	return w
-}
