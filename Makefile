@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke clean
+.PHONY: all build test race vet fmt-check lint bench bench-smoke clean
 
-all: vet build test
+all: lint build test
 
 build:
 	$(GO) build ./...
@@ -12,17 +12,26 @@ build:
 vet:
 	$(GO) vet ./...
 
+# fmt-check fails (and lists the offenders) if any file is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+lint: fmt-check vet
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
-# bench measures every sequential kernel (double and double complex, at the
-# benchmark shape nb=128/ib=32), scheduler dispatch cost, and streaming TSQR
-# ingestion throughput (rows/sec), and records the trajectory in
-# BENCH_kernels.json. The file's "baseline" object (seed figures) is
-# preserved across regenerations.
+# bench measures every sequential kernel in all four precisions (double,
+# double complex, single, single complex, at the benchmark shape
+# nb=128/ib=32), scheduler dispatch cost, and streaming TSQR ingestion
+# throughput (rows/sec), and records the trajectory in BENCH_kernels.json.
+# The file's "baseline" object (seed figures) is preserved across
+# regenerations, so the float64/complex128 maps stay comparable to the
+# pre-generic numbers.
 bench:
 	$(GO) run ./cmd/qrperf -kernels-json BENCH_kernels.json
 

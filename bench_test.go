@@ -16,7 +16,7 @@ import (
 	"tiledqr/internal/sched"
 	"tiledqr/internal/sim"
 	"tiledqr/internal/tile"
-	"tiledqr/internal/zkernel"
+	"tiledqr/internal/vec"
 )
 
 // --- Table 2: coarse-grain schedules ---------------------------------------
@@ -103,28 +103,24 @@ func BenchmarkFigure6ListScheduling48Workers(b *testing.B) {
 
 // --- Figures 4–5: sequential kernel speeds ---------------------------------------
 
-// benchKernelReal reports GFLOP/s for one real kernel at tile size nb.
-func benchKernelReal(b *testing.B, nb, weight int, f func()) {
-	b.Helper()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		f()
-	}
-	flops := float64(weight) * float64(nb*nb*nb) / 3
-	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
-}
-
-func BenchmarkFigure5KernelsDouble(b *testing.B) {
+// benchFigureKernels reports GFLOP/s for the six tile kernels plus GEMM at
+// the benchmark shape, for one scalar domain of the generic kernels
+// (4 real flops per complex flop, as in the paper).
+func benchFigureKernels[T vec.Scalar](b *testing.B, prefix string) {
 	const nb, ib = 128, 32
-	tri := tile.RandDense(nb, nb, 1)
-	tf := make([]float64, ib*nb)
-	t2 := make([]float64, ib*nb)
-	work := make([]float64, kernel.WorkLen(nb, ib))
+	flopScale := 1.0
+	if vec.IsComplex[T]() {
+		flopScale = 4
+	}
+	tri := tile.RandDense[T](nb, nb, 1)
+	tf := make([]T, ib*nb)
+	t2 := make([]T, ib*nb)
+	work := make([]T, kernel.WorkLen(nb, ib))
 	kernel.GEQRT(nb, nb, ib, tri.Data, tri.Stride, tf, nb, work)
-	full := tile.RandDense(nb, nb, 2)
-	c1 := tile.RandDense(nb, nb, 3)
-	c2 := tile.RandDense(nb, nb, 4)
-	vtt := tile.RandDense(nb, nb, 5)
+	full := tile.RandDense[T](nb, nb, 2)
+	c1 := tile.RandDense[T](nb, nb, 3)
+	c2 := tile.RandDense[T](nb, nb, 4)
+	vtt := tile.RandDense[T](nb, nb, 5)
 	kernel.GEQRT(nb, nb, ib, vtt.Data, nb, tf, nb, work)
 	kernel.TTQRT(nb, nb, ib, tri.Clone().Data, nb, vtt.Data, nb, t2, nb, work)
 	cases := []struct {
@@ -141,47 +137,24 @@ func BenchmarkFigure5KernelsDouble(b *testing.B) {
 		{"GEMM", 6, func() { kernel.GEMM(nb, nb, nb, full.Data, nb, c1.Data, nb, c2.Data, nb) }},
 	}
 	for _, c := range cases {
-		b.Run(c.name, func(b *testing.B) { benchKernelReal(b, nb, c.weight, c.f) })
-	}
-}
-
-func BenchmarkFigure4KernelsDoubleComplex(b *testing.B) {
-	const nb, ib = 128, 32
-	tri := tile.RandZDense(nb, nb, 1)
-	tf := make([]complex128, ib*nb)
-	t2 := make([]complex128, ib*nb)
-	work := make([]complex128, zkernel.WorkLen(nb, ib))
-	zkernel.GEQRT(nb, nb, ib, tri.Data, tri.Stride, tf, nb, work)
-	full := tile.RandZDense(nb, nb, 2)
-	c1 := tile.RandZDense(nb, nb, 3)
-	c2 := tile.RandZDense(nb, nb, 4)
-	vtt := tile.RandZDense(nb, nb, 5)
-	zkernel.GEQRT(nb, nb, ib, vtt.Data, nb, tf, nb, work)
-	zkernel.TTQRT(nb, nb, ib, tri.Clone().Data, nb, vtt.Data, nb, t2, nb, work)
-	cases := []struct {
-		name   string
-		weight int
-		f      func()
-	}{
-		{"ZGEQRT", 4, func() { zkernel.GEQRT(nb, nb, ib, full.Clone().Data, nb, tf, nb, work) }},
-		{"ZUNMQR", 6, func() { zkernel.UNMQR(true, nb, nb, ib, tri.Data, nb, tf, nb, c1.Data, nb, nb, work) }},
-		{"ZTSQRT", 6, func() { zkernel.TSQRT(nb, nb, ib, tri.Clone().Data, nb, full.Clone().Data, nb, t2, nb, work) }},
-		{"ZTSMQR", 12, func() { zkernel.TSMQR(true, nb, nb, ib, full.Data, nb, t2, nb, c1.Data, nb, c2.Data, nb, nb, work) }},
-		{"ZTTQRT", 2, func() { zkernel.TTQRT(nb, nb, ib, tri.Clone().Data, nb, vtt.Clone().Data, nb, t2, nb, work) }},
-		{"ZTTMQR", 6, func() { zkernel.TTMQR(true, nb, nb, ib, vtt.Data, nb, t2, nb, c1.Data, nb, c2.Data, nb, nb, work) }},
-		{"ZGEMM", 6, func() { zkernel.GEMM(nb, nb, nb, full.Data, nb, c1.Data, nb, c2.Data, nb) }},
-	}
-	for _, c := range cases {
-		b.Run(c.name, func(b *testing.B) {
+		b.Run(prefix+c.name, func(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				c.f()
 			}
-			flops := 4 * float64(c.weight) * float64(nb*nb*nb) / 3
+			flops := flopScale * float64(c.weight) * float64(nb*nb*nb) / 3
 			b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
 		})
 	}
 }
+
+func BenchmarkFigure5KernelsDouble(b *testing.B) { benchFigureKernels[float64](b, "") }
+
+func BenchmarkFigure4KernelsDoubleComplex(b *testing.B) { benchFigureKernels[complex128](b, "Z") }
+
+func BenchmarkFigure5KernelsSingle(b *testing.B) { benchFigureKernels[float32](b, "S") }
+
+func BenchmarkFigure4KernelsSingleComplex(b *testing.B) { benchFigureKernels[complex64](b, "C") }
 
 // --- Tables 6–9 / experimental runs: end-to-end factorization --------------------
 

@@ -19,7 +19,7 @@ func main() {
 	m := flag.Int("m", 1200, "rows")
 	n := flag.Int("n", 400, "columns")
 	nb := flag.Int("nb", 100, "tile size")
-	ib := flag.Int("ib", 32, "inner blocking")
+	ib := flag.Int("ib", 0, "inner blocking (0 = library default, capped at nb)")
 	algName := flag.String("alg", "Greedy", "FlatTree|BinaryTree|Fibonacci|Greedy|Asap|Grasap|PlasmaTree")
 	bs := flag.Int("bs", 0, "PlasmaTree domain size (0 = pick best by critical path)")
 	grasapK := flag.Int("grasapk", 1, "Grasap trailing Asap columns")

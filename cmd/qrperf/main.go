@@ -46,7 +46,7 @@ import (
 	"tiledqr/internal/sched"
 	"tiledqr/internal/sim"
 	"tiledqr/internal/tile"
-	"tiledqr/internal/zkernel"
+	"tiledqr/internal/vec"
 )
 
 var (
@@ -106,122 +106,66 @@ func main() {
 // kernelTimes holds measured seconds per kernel invocation at (nb, ib).
 type kernelTimes map[core.Kind]float64
 
-// measureKernels times each of the six kernels on random nb×nb tiles,
-// using the adaptive timeIt so small tile sizes still get stable samples.
+// measureKernels times each of the six kernels on random nb×nb tiles for
+// the double or double-complex domain (the two the paper's experiments
+// sweep), using the adaptive timeIt so small tile sizes still get stable
+// samples.
 func measureKernels(nb, ib int, complexArith bool) kernelTimes {
-	kt := kernelTimes{}
 	if complexArith {
-		za := tiledqr.RandomZDense(nb, nb, 1)
-		zb := tiledqr.RandomZDense(nb, nb, 2)
-		zc := tiledqr.RandomZDense(nb, nb, 3)
-		tf := make([]complex128, ib*nb)
-		t2 := make([]complex128, ib*nb)
-		work := make([]complex128, zkernel.WorkLen(nb, ib))
-		v := za.Clone()
-		zkernel.GEQRT(nb, nb, ib, (*vdataZ(v)).Data, nb, tf, nb, work)
-		kt[core.KGEQRT] = timeIt(func() {
-			a := za.Clone()
-			zkernel.GEQRT(nb, nb, ib, (*vdataZ(a)).Data, nb, tf, nb, work)
-		})
-		kt[core.KUNMQR] = timeIt(func() {
-			c := zc.Clone()
-			zkernel.UNMQR(true, nb, nb, ib, (*vdataZ(v)).Data, nb, tf, nb, (*vdataZ(c)).Data, nb, nb, work)
-		})
-		rTri := za.Clone()
-		zkernel.GEQRT(nb, nb, ib, (*vdataZ(rTri)).Data, nb, tf, nb, work)
-		kt[core.KTSQRT] = timeIt(func() {
-			a := rTri.Clone()
-			b := zb.Clone()
-			zkernel.TSQRT(nb, nb, ib, (*vdataZ(a)).Data, nb, (*vdataZ(b)).Data, nb, t2, nb, work)
-		})
-		vts := zb.Clone()
-		zkernel.TSQRT(nb, nb, ib, (*vdataZ(rTri.Clone())).Data, nb, (*vdataZ(vts)).Data, nb, t2, nb, work)
-		kt[core.KTSMQR] = timeIt(func() {
-			c1 := zc.Clone()
-			c2 := zc.Clone()
-			zkernel.TSMQR(true, nb, nb, ib, (*vdataZ(vts)).Data, nb, t2, nb, (*vdataZ(c1)).Data, nb, (*vdataZ(c2)).Data, nb, nb, work)
-		})
-		rTri2 := zb.Clone()
-		zkernel.GEQRT(nb, nb, ib, (*vdataZ(rTri2)).Data, nb, tf, nb, work)
-		kt[core.KTTQRT] = timeIt(func() {
-			a := rTri.Clone()
-			b := rTri2.Clone()
-			zkernel.TTQRT(nb, nb, ib, (*vdataZ(a)).Data, nb, (*vdataZ(b)).Data, nb, t2, nb, work)
-		})
-		vtt := rTri2.Clone()
-		zkernel.TTQRT(nb, nb, ib, (*vdataZ(rTri.Clone())).Data, nb, (*vdataZ(vtt)).Data, nb, t2, nb, work)
-		kt[core.KTTMQR] = timeIt(func() {
-			c1 := zc.Clone()
-			c2 := zc.Clone()
-			zkernel.TTMQR(true, nb, nb, ib, (*vdataZ(vtt)).Data, nb, t2, nb, (*vdataZ(c1)).Data, nb, (*vdataZ(c2)).Data, nb, nb, work)
-		})
-		return kt
+		return measureKernelsT[complex128](nb, ib)
 	}
-	da := tiledqr.RandomDense(nb, nb, 1)
-	db := tiledqr.RandomDense(nb, nb, 2)
-	dc := tiledqr.RandomDense(nb, nb, 3)
-	tf := make([]float64, ib*nb)
-	t2 := make([]float64, ib*nb)
-	work := make([]float64, kernel.WorkLen(nb, ib))
+	return measureKernelsT[float64](nb, ib)
+}
+
+// measureKernelsT times each of the six kernels on random nb×nb tiles of
+// one scalar domain — one generic harness instead of the former mirrored
+// float64/complex128 pair.
+func measureKernelsT[T vec.Scalar](nb, ib int) kernelTimes {
+	kt := kernelTimes{}
+	da := tile.RandDense[T](nb, nb, 1)
+	db := tile.RandDense[T](nb, nb, 2)
+	dc := tile.RandDense[T](nb, nb, 3)
+	tf := make([]T, ib*nb)
+	t2 := make([]T, ib*nb)
+	work := make([]T, kernel.WorkLen(nb, ib))
 	kt[core.KGEQRT] = timeIt(func() {
 		a := da.Clone()
-		kernel.GEQRT(nb, nb, ib, (*vdata(a)).Data, nb, tf, nb, work)
+		kernel.GEQRT(nb, nb, ib, a.Data, nb, tf, nb, work)
 	})
 	v := da.Clone()
-	kernel.GEQRT(nb, nb, ib, (*vdata(v)).Data, nb, tf, nb, work)
+	kernel.GEQRT(nb, nb, ib, v.Data, nb, tf, nb, work)
 	kt[core.KUNMQR] = timeIt(func() {
 		c := dc.Clone()
-		kernel.UNMQR(true, nb, nb, ib, (*vdata(v)).Data, nb, tf, nb, (*vdata(c)).Data, nb, nb, work)
+		kernel.UNMQR(true, nb, nb, ib, v.Data, nb, tf, nb, c.Data, nb, nb, work)
 	})
 	rTri := v
 	kt[core.KTSQRT] = timeIt(func() {
 		a := rTri.Clone()
 		b := db.Clone()
-		kernel.TSQRT(nb, nb, ib, (*vdata(a)).Data, nb, (*vdata(b)).Data, nb, t2, nb, work)
+		kernel.TSQRT(nb, nb, ib, a.Data, nb, b.Data, nb, t2, nb, work)
 	})
 	vts := db.Clone()
-	kernel.TSQRT(nb, nb, ib, (*vdata(rTri.Clone())).Data, nb, (*vdata(vts)).Data, nb, t2, nb, work)
+	kernel.TSQRT(nb, nb, ib, rTri.Clone().Data, nb, vts.Data, nb, t2, nb, work)
 	kt[core.KTSMQR] = timeIt(func() {
 		c1 := dc.Clone()
 		c2 := dc.Clone()
-		kernel.TSMQR(true, nb, nb, ib, (*vdata(vts)).Data, nb, t2, nb, (*vdata(c1)).Data, nb, (*vdata(c2)).Data, nb, nb, work)
+		kernel.TSMQR(true, nb, nb, ib, vts.Data, nb, t2, nb, c1.Data, nb, c2.Data, nb, nb, work)
 	})
 	rTri2 := db.Clone()
-	kernel.GEQRT(nb, nb, ib, (*vdata(rTri2)).Data, nb, tf, nb, work)
+	kernel.GEQRT(nb, nb, ib, rTri2.Data, nb, tf, nb, work)
 	kt[core.KTTQRT] = timeIt(func() {
 		a := rTri.Clone()
 		b := rTri2.Clone()
-		kernel.TTQRT(nb, nb, ib, (*vdata(a)).Data, nb, (*vdata(b)).Data, nb, t2, nb, work)
+		kernel.TTQRT(nb, nb, ib, a.Data, nb, b.Data, nb, t2, nb, work)
 	})
 	vtt := rTri2.Clone()
-	kernel.TTQRT(nb, nb, ib, (*vdata(rTri.Clone())).Data, nb, (*vdata(vtt)).Data, nb, t2, nb, work)
+	kernel.TTQRT(nb, nb, ib, rTri.Clone().Data, nb, vtt.Data, nb, t2, nb, work)
 	kt[core.KTTMQR] = timeIt(func() {
 		c1 := dc.Clone()
 		c2 := dc.Clone()
-		kernel.TTMQR(true, nb, nb, ib, (*vdata(vtt)).Data, nb, t2, nb, (*vdata(c1)).Data, nb, (*vdata(c2)).Data, nb, nb, work)
+		kernel.TTMQR(true, nb, nb, ib, vtt.Data, nb, t2, nb, c1.Data, nb, c2.Data, nb, nb, work)
 	})
 	return kt
-}
-
-// vdata converts the public Dense to raw storage access.
-func vdata(d *tiledqr.Dense) *struct {
-	Rows, Cols, Stride int
-	Data               []float64
-} {
-	return (*struct {
-		Rows, Cols, Stride int
-		Data               []float64
-	})(d)
-}
-
-func vdataZ(d *tiledqr.ZDense) *struct {
-	Rows, Cols, Stride int
-	Data               []complex128
-} {
-	return (*struct {
-		Rows, Cols, Stride int
-		Data               []complex128
-	})(d)
 }
 
 // series evaluates one algorithm at one shape.
@@ -423,10 +367,15 @@ const (
 )
 
 type kernelsReport struct {
-	NB                 int                `json:"nb"`
-	IB                 int                `json:"ib"`
-	Double             map[string]float64 `json:"double_gflops"`
-	DoubleComplex      map[string]float64 `json:"double_complex_gflops"`
+	NB int `json:"nb"`
+	IB int `json:"ib"`
+	// The paper's two precisions, measured since the seed — the regression
+	// baselines below compare against these two maps.
+	Double        map[string]float64 `json:"double_gflops"`
+	DoubleComplex map[string]float64 `json:"double_complex_gflops"`
+	// The single-precision pair the generic engine opened up.
+	Single             map[string]float64 `json:"single_gflops"`
+	SingleComplex      map[string]float64 `json:"single_complex_gflops"`
 	SchedulerNsPerTask float64            `json:"scheduler_dispatch_ns_per_task"`
 	SchedulerWorkers   int                `json:"scheduler_dispatch_workers"`
 	Stream             *streamReport      `json:"stream,omitempty"`
@@ -441,6 +390,8 @@ type streamReport struct {
 	Batch                   int     `json:"batch_rows"`
 	DoubleRowsPerSec        float64 `json:"double_rows_per_sec"`
 	DoubleComplexRowsPerSec float64 `json:"double_complex_rows_per_sec"`
+	SingleRowsPerSec        float64 `json:"single_rows_per_sec"`
+	SingleComplexRowsPerSec float64 `json:"single_complex_rows_per_sec"`
 }
 
 // measureStream times steady-state StreamQR ingestion (rows merged into a
@@ -450,28 +401,38 @@ func measureStream() *streamReport {
 	const n, batch = 512, 512
 	rep := &streamReport{N: n, Batch: batch}
 	opt := tiledqr.Options{TileSize: benchNB, InnerBlock: benchIB}
-	s, err := tiledqr.NewStream(n, opt)
+	appendRate := func(app func() error) float64 {
+		sec := timeIt(func() {
+			if err := app(); err != nil {
+				panic(err)
+			}
+		})
+		return float64(batch) / sec
+	}
+	d, err := tiledqr.NewStream(n, opt)
 	if err != nil {
 		panic(err)
 	}
-	data := tiledqr.RandomDense(batch, n, 1)
-	sec := timeIt(func() {
-		if err := s.AppendRows(data); err != nil {
-			panic(err)
-		}
-	})
-	rep.DoubleRowsPerSec = float64(batch) / sec
-	zs, err := tiledqr.NewZStream(n, opt)
+	ddata := tiledqr.RandomDense(batch, n, 1)
+	rep.DoubleRowsPerSec = appendRate(func() error { return d.AppendRows(ddata) })
+	z, err := tiledqr.NewZStream(n, opt)
 	if err != nil {
 		panic(err)
 	}
 	zdata := tiledqr.RandomZDense(batch, n, 1)
-	zsec := timeIt(func() {
-		if err := zs.AppendRows(zdata); err != nil {
-			panic(err)
-		}
-	})
-	rep.DoubleComplexRowsPerSec = float64(batch) / zsec
+	rep.DoubleComplexRowsPerSec = appendRate(func() error { return z.AppendRows(zdata) })
+	sg, err := tiledqr.NewStream32(n, opt)
+	if err != nil {
+		panic(err)
+	}
+	sdata := tiledqr.RandomDense32(batch, n, 1)
+	rep.SingleRowsPerSec = appendRate(func() error { return sg.AppendRows(sdata) })
+	cs, err := tiledqr.NewCStream(n, opt)
+	if err != nil {
+		panic(err)
+	}
+	cdata := tiledqr.RandomCDense(batch, n, 1)
+	rep.SingleComplexRowsPerSec = appendRate(func() error { return cs.AppendRows(cdata) })
 	return rep
 }
 
@@ -490,33 +451,25 @@ func timeIt(f func()) float64 {
 	}
 }
 
-// kernelGflops converts measureKernels timings at the benchmark shape into
-// GFLOP/s (4 real flops per complex flop, as in the paper) and adds the
-// GEMM reference kernel, which measureKernels does not time. One kernel
-// table — measureKernels — backs both the experiments and the JSON record.
-func kernelGflops(complexArith bool) map[string]float64 {
+// kernelGflops converts measureKernelsT timings at the benchmark shape
+// into GFLOP/s (4 real flops per complex flop, as in the paper) and adds
+// the GEMM reference kernel, which measureKernelsT does not time. One
+// kernel table backs both the experiments and the JSON record.
+func kernelGflops[T vec.Scalar]() map[string]float64 {
 	const nb, ib = benchNB, benchIB
 	flopScale := 1.0
-	if complexArith {
+	if vec.IsComplex[T]() {
 		flopScale = 4
 	}
 	cube := float64(nb) * float64(nb) * float64(nb)
 	out := make(map[string]float64, 7)
-	for kind, sec := range measureKernels(nb, ib, complexArith) {
+	for kind, sec := range measureKernelsT[T](nb, ib) {
 		out[kind.String()] = flopScale * float64(kind.Weight()) * cube / 3 / sec / 1e9
 	}
-	var gemmSec float64
-	if complexArith {
-		a := tile.RandZDense(nb, nb, 2)
-		b := tile.RandZDense(nb, nb, 3)
-		c := tile.RandZDense(nb, nb, 4)
-		gemmSec = timeIt(func() { zkernel.GEMM(nb, nb, nb, a.Data, nb, b.Data, nb, c.Data, nb) })
-	} else {
-		a := tile.RandDense(nb, nb, 2)
-		b := tile.RandDense(nb, nb, 3)
-		c := tile.RandDense(nb, nb, 4)
-		gemmSec = timeIt(func() { kernel.GEMM(nb, nb, nb, a.Data, nb, b.Data, nb, c.Data, nb) })
-	}
+	a := tile.RandDense[T](nb, nb, 2)
+	b := tile.RandDense[T](nb, nb, 3)
+	c := tile.RandDense[T](nb, nb, 4)
+	gemmSec := timeIt(func() { kernel.GEMM(nb, nb, nb, a.Data, nb, b.Data, nb, c.Data, nb) })
 	out["GEMM"] = flopScale * 6 * cube / 3 / gemmSec / 1e9
 	return out
 }
@@ -527,8 +480,10 @@ func writeKernelsJSON(path string) error {
 	rep := kernelsReport{
 		NB:               benchNB,
 		IB:               benchIB,
-		Double:           kernelGflops(false),
-		DoubleComplex:    kernelGflops(true),
+		Double:           kernelGflops[float64](),
+		DoubleComplex:    kernelGflops[complex128](),
+		Single:           kernelGflops[float32](),
+		SingleComplex:    kernelGflops[complex64](),
 		SchedulerWorkers: 2,
 	}
 	d := core.BuildDAG(core.GreedyList(20, 10), core.TT)

@@ -1,0 +1,77 @@
+package tiledqr
+
+import (
+	"tiledqr/internal/stream"
+	"tiledqr/internal/tile"
+)
+
+// CStreamQR is the complex64 instantiation of the streaming TSQR core. See
+// StreamQR for the algorithm and option semantics.
+type CStreamQR struct {
+	c *stream.Core[complex64]
+}
+
+// NewCStream creates a complex64 streaming factorization for rows with n
+// columns.
+func NewCStream(n int, opt Options) (*CStreamQR, error) {
+	c, err := newStreamCore[complex64](n, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &CStreamQR{c: c}, nil
+}
+
+// AppendRows merges a batch of rows (r×n, any r ≥ 1) into the resident
+// triangle. The batch is not modified.
+func (s *CStreamQR) AppendRows(batch *CDense) error {
+	return streamAppend(s.c, (*tile.Dense[complex64])(batch), nil, false)
+}
+
+// AppendRHS merges a batch of rows together with the matching right-hand
+// side rows, maintaining the top n rows of Qᴴb for SolveLS.
+func (s *CStreamQR) AppendRHS(batch, rhs *CDense) error {
+	return streamAppend(s.c, (*tile.Dense[complex64])(batch), (*tile.Dense[complex64])(rhs), true)
+}
+
+// R returns the n×n upper triangular factor of all rows ingested so far.
+func (s *CStreamQR) R() *CDense {
+	n := s.c.N()
+	r := NewCDense(n, n)
+	s.c.CopyR(r.Data, r.Stride)
+	return r
+}
+
+// QTB returns the retained top n rows of Qᴴb (n×nrhs), or nil when the
+// stream tracks no right-hand side.
+func (s *CStreamQR) QTB() *CDense {
+	if s.c.NRHS() == 0 {
+		return nil
+	}
+	q := NewCDense(s.c.N(), s.c.NRHS())
+	s.c.CopyQTB(q.Data, q.Stride)
+	return q
+}
+
+// SolveLS returns the n×nrhs least-squares solution over every row
+// ingested so far. Requires right-hand-side tracking and at least n
+// ingested rows.
+func (s *CStreamQR) SolveLS() (*CDense, error) {
+	x := NewCDense(s.c.N(), max(s.c.NRHS(), 1))
+	if err := s.c.SolveLS(x.Data, x.Stride); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// Rows returns the total number of rows ingested.
+func (s *CStreamQR) Rows() int64 { return s.c.Rows() }
+
+// N returns the column count of the streamed system.
+func (s *CStreamQR) N() int { return s.c.N() }
+
+// ResidualNorm returns the running least-squares residual ‖b − A·X‖_F over
+// all tracked right-hand-side columns (0 when no RHS is tracked).
+func (s *CStreamQR) ResidualNorm() float64 { return s.c.ResidualNorm() }
+
+// Footprint returns the number of complex64 values retained across appends.
+func (s *CStreamQR) Footprint() int { return s.c.Footprint() }

@@ -4,81 +4,170 @@ import (
 	"tiledqr/internal/tile"
 )
 
-// Dense is a row-major dense real matrix: element (i, j) lives at
-// Data[i*Stride+j].
-type Dense tile.Dense
+// Dense is a row-major dense float64 matrix: element (i, j) lives at
+// Data[i*Stride+j]. Its three precision siblings — ZDense (complex128),
+// Dense32 (float32) and CDense (complex64) — share one generic
+// implementation below the public API.
+type Dense tile.Dense[float64]
 
 // NewDense allocates a zero r×c matrix.
-func NewDense(r, c int) *Dense { return (*Dense)(tile.NewDense(r, c)) }
+func NewDense(r, c int) *Dense { return (*Dense)(tile.NewDense[float64](r, c)) }
 
 // RandomDense returns an r×c matrix with standard normal entries from a
 // deterministic generator (useful for examples and benchmarks).
-func RandomDense(r, c int, seed int64) *Dense { return (*Dense)(tile.RandDense(r, c, seed)) }
+func RandomDense(r, c int, seed int64) *Dense { return (*Dense)(tile.RandDense[float64](r, c, seed)) }
 
 // Identity returns the n×n identity matrix.
-func Identity(n int) *Dense { return (*Dense)(tile.Identity(n)) }
+func Identity(n int) *Dense { return (*Dense)(tile.Identity[float64](n)) }
 
 // At returns element (i, j).
-func (a *Dense) At(i, j int) float64 { return (*tile.Dense)(a).At(i, j) }
+func (a *Dense) At(i, j int) float64 { return (*tile.Dense[float64])(a).At(i, j) }
 
 // Set assigns element (i, j).
-func (a *Dense) Set(i, j int, v float64) { (*tile.Dense)(a).Set(i, j, v) }
+func (a *Dense) Set(i, j int, v float64) { (*tile.Dense[float64])(a).Set(i, j, v) }
 
 // Clone returns a deep copy.
-func (a *Dense) Clone() *Dense { return (*Dense)((*tile.Dense)(a).Clone()) }
+func (a *Dense) Clone() *Dense { return (*Dense)((*tile.Dense[float64])(a).Clone()) }
 
 // Mul returns the product a·b.
 func Mul(a, b *Dense) *Dense {
-	return (*Dense)(tile.Mul((*tile.Dense)(a), (*tile.Dense)(b)))
+	return (*Dense)(tile.Mul((*tile.Dense[float64])(a), (*tile.Dense[float64])(b)))
 }
 
 // Transpose returns aᵀ.
-func Transpose(a *Dense) *Dense { return (*Dense)(tile.Transpose((*tile.Dense)(a))) }
+func Transpose(a *Dense) *Dense { return (*Dense)(tile.Transpose((*tile.Dense[float64])(a))) }
 
 // FrobeniusNorm returns ‖a‖_F.
-func FrobeniusNorm(a *Dense) float64 { return tile.FrobNorm((*tile.Dense)(a)) }
+func FrobeniusNorm(a *Dense) float64 { return tile.FrobNorm((*tile.Dense[float64])(a)) }
 
 // QRResidual returns ‖A − Q·R‖_F / ‖A‖_F, the scaled backward error of a
 // factorization (Q must be m×k and R k×n).
 func QRResidual(a, q, r *Dense) float64 {
-	return tile.ResidualQR((*tile.Dense)(a), (*tile.Dense)(q), (*tile.Dense)(r))
+	return tile.ResidualQR((*tile.Dense[float64])(a), (*tile.Dense[float64])(q), (*tile.Dense[float64])(r))
 }
 
 // OrthoResidual returns ‖QᵀQ − I‖_F, the loss of orthogonality of Q's
 // columns.
-func OrthoResidual(q *Dense) float64 { return tile.OrthoResidual((*tile.Dense)(q)) }
+func OrthoResidual(q *Dense) float64 { return tile.OrthoResidual((*tile.Dense[float64])(q)) }
 
-// ZDense is a row-major dense complex matrix.
-type ZDense tile.ZDense
+// ZDense is a row-major dense complex128 matrix.
+type ZDense tile.Dense[complex128]
 
 // NewZDense allocates a zero r×c complex matrix.
-func NewZDense(r, c int) *ZDense { return (*ZDense)(tile.NewZDense(r, c)) }
+func NewZDense(r, c int) *ZDense { return (*ZDense)(tile.NewDense[complex128](r, c)) }
 
 // RandomZDense returns an r×c complex matrix with standard normal real and
 // imaginary parts.
-func RandomZDense(r, c int, seed int64) *ZDense { return (*ZDense)(tile.RandZDense(r, c, seed)) }
+func RandomZDense(r, c int, seed int64) *ZDense {
+	return (*ZDense)(tile.RandDense[complex128](r, c, seed))
+}
 
 // ZIdentity returns the n×n complex identity.
-func ZIdentity(n int) *ZDense { return (*ZDense)(tile.ZIdentity(n)) }
+func ZIdentity(n int) *ZDense { return (*ZDense)(tile.Identity[complex128](n)) }
 
 // At returns element (i, j).
-func (a *ZDense) At(i, j int) complex128 { return (*tile.ZDense)(a).At(i, j) }
+func (a *ZDense) At(i, j int) complex128 { return (*tile.Dense[complex128])(a).At(i, j) }
 
 // Set assigns element (i, j).
-func (a *ZDense) Set(i, j int, v complex128) { (*tile.ZDense)(a).Set(i, j, v) }
+func (a *ZDense) Set(i, j int, v complex128) { (*tile.Dense[complex128])(a).Set(i, j, v) }
 
 // Clone returns a deep copy.
-func (a *ZDense) Clone() *ZDense { return (*ZDense)((*tile.ZDense)(a).Clone()) }
+func (a *ZDense) Clone() *ZDense { return (*ZDense)((*tile.Dense[complex128])(a).Clone()) }
 
 // ZMul returns the product a·b.
 func ZMul(a, b *ZDense) *ZDense {
-	return (*ZDense)(tile.ZMul((*tile.ZDense)(a), (*tile.ZDense)(b)))
+	return (*ZDense)(tile.Mul((*tile.Dense[complex128])(a), (*tile.Dense[complex128])(b)))
 }
+
+// ZFrobeniusNorm returns ‖a‖_F.
+func ZFrobeniusNorm(a *ZDense) float64 { return tile.FrobNorm((*tile.Dense[complex128])(a)) }
 
 // ZQRResidual returns ‖A − Q·R‖_F / ‖A‖_F.
 func ZQRResidual(a, q, r *ZDense) float64 {
-	return tile.ZResidualQR((*tile.ZDense)(a), (*tile.ZDense)(q), (*tile.ZDense)(r))
+	return tile.ResidualQR((*tile.Dense[complex128])(a), (*tile.Dense[complex128])(q), (*tile.Dense[complex128])(r))
 }
 
 // ZOrthoResidual returns ‖QᴴQ − I‖_F.
-func ZOrthoResidual(q *ZDense) float64 { return tile.ZOrthoResidual((*tile.ZDense)(q)) }
+func ZOrthoResidual(q *ZDense) float64 { return tile.OrthoResidual((*tile.Dense[complex128])(q)) }
+
+// Dense32 is a row-major dense float32 matrix — the single-precision
+// sibling of Dense, factored by Factor32.
+type Dense32 tile.Dense[float32]
+
+// NewDense32 allocates a zero r×c float32 matrix.
+func NewDense32(r, c int) *Dense32 { return (*Dense32)(tile.NewDense[float32](r, c)) }
+
+// RandomDense32 returns an r×c float32 matrix with standard normal entries
+// from a deterministic generator.
+func RandomDense32(r, c int, seed int64) *Dense32 {
+	return (*Dense32)(tile.RandDense[float32](r, c, seed))
+}
+
+// Identity32 returns the n×n float32 identity.
+func Identity32(n int) *Dense32 { return (*Dense32)(tile.Identity[float32](n)) }
+
+// At returns element (i, j).
+func (a *Dense32) At(i, j int) float32 { return (*tile.Dense[float32])(a).At(i, j) }
+
+// Set assigns element (i, j).
+func (a *Dense32) Set(i, j int, v float32) { (*tile.Dense[float32])(a).Set(i, j, v) }
+
+// Clone returns a deep copy.
+func (a *Dense32) Clone() *Dense32 { return (*Dense32)((*tile.Dense[float32])(a).Clone()) }
+
+// Mul32 returns the product a·b.
+func Mul32(a, b *Dense32) *Dense32 {
+	return (*Dense32)(tile.Mul((*tile.Dense[float32])(a), (*tile.Dense[float32])(b)))
+}
+
+// FrobeniusNorm32 returns ‖a‖_F.
+func FrobeniusNorm32(a *Dense32) float64 { return tile.FrobNorm((*tile.Dense[float32])(a)) }
+
+// QRResidual32 returns ‖A − Q·R‖_F / ‖A‖_F.
+func QRResidual32(a, q, r *Dense32) float64 {
+	return tile.ResidualQR((*tile.Dense[float32])(a), (*tile.Dense[float32])(q), (*tile.Dense[float32])(r))
+}
+
+// OrthoResidual32 returns ‖QᵀQ − I‖_F.
+func OrthoResidual32(q *Dense32) float64 { return tile.OrthoResidual((*tile.Dense[float32])(q)) }
+
+// CDense is a row-major dense complex64 matrix — the single-precision
+// complex sibling of ZDense, factored by CFactor.
+type CDense tile.Dense[complex64]
+
+// NewCDense allocates a zero r×c complex64 matrix.
+func NewCDense(r, c int) *CDense { return (*CDense)(tile.NewDense[complex64](r, c)) }
+
+// RandomCDense returns an r×c complex64 matrix with standard normal real
+// and imaginary parts.
+func RandomCDense(r, c int, seed int64) *CDense {
+	return (*CDense)(tile.RandDense[complex64](r, c, seed))
+}
+
+// CIdentity returns the n×n complex64 identity.
+func CIdentity(n int) *CDense { return (*CDense)(tile.Identity[complex64](n)) }
+
+// At returns element (i, j).
+func (a *CDense) At(i, j int) complex64 { return (*tile.Dense[complex64])(a).At(i, j) }
+
+// Set assigns element (i, j).
+func (a *CDense) Set(i, j int, v complex64) { (*tile.Dense[complex64])(a).Set(i, j, v) }
+
+// Clone returns a deep copy.
+func (a *CDense) Clone() *CDense { return (*CDense)((*tile.Dense[complex64])(a).Clone()) }
+
+// CMul returns the product a·b.
+func CMul(a, b *CDense) *CDense {
+	return (*CDense)(tile.Mul((*tile.Dense[complex64])(a), (*tile.Dense[complex64])(b)))
+}
+
+// CFrobeniusNorm returns ‖a‖_F.
+func CFrobeniusNorm(a *CDense) float64 { return tile.FrobNorm((*tile.Dense[complex64])(a)) }
+
+// CQRResidual returns ‖A − Q·R‖_F / ‖A‖_F.
+func CQRResidual(a, q, r *CDense) float64 {
+	return tile.ResidualQR((*tile.Dense[complex64])(a), (*tile.Dense[complex64])(q), (*tile.Dense[complex64])(r))
+}
+
+// COrthoResidual returns ‖QᴴQ − I‖_F.
+func COrthoResidual(q *CDense) float64 { return tile.OrthoResidual((*tile.Dense[complex64])(q)) }

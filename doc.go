@@ -17,10 +17,10 @@
 // kernels, which maximize parallelism, or TS (triangle-on-top-of-square)
 // kernels, which maximize locality.
 //
-// Beyond factorization (Factor, FactorComplex), the package exposes the
-// paper's analysis machinery: elimination lists, critical paths via a
-// discrete-event simulator, bounded-worker makespans, and the roofline
-// performance predictor used in Section 4 of the paper.
+// Beyond factorization, the package exposes the paper's analysis machinery:
+// elimination lists, critical paths via a discrete-event simulator,
+// bounded-worker makespans, and the roofline performance predictor used in
+// Section 4 of the paper.
 //
 // # Quick start
 //
@@ -33,15 +33,62 @@
 // See the examples directory for least-squares solving, orthonormal basis
 // construction, streaming ingestion, and schedule analysis.
 //
+// # Architecture: one generic engine, four precisions
+//
+// Every numeric layer is a single generic implementation parameterized by
+// the scalar constraint (float32 | float64 | complex64 | complex128); the
+// public API instantiates it four times behind thin typed wrappers. From
+// the bottom up:
+//
+//	internal/vec    — the Scalar constraint, the real/complex hooks
+//	                  (Conj, Abs, RealPart, FromParts), and the tuned
+//	                  vector primitives (unrolled Dot/Dotc/Axpy/Axpy2/
+//	                  Scal/AddScaled, overflow-safe single-Sqrt Nrm2)
+//	internal/kernel — the paper's six tile kernels (GEQRT, TSQRT, TTQRT,
+//	                  UNMQR, TSMQR, TTMQR, as the pentagonal TPQRT/TPMQRT
+//	                  generals) plus GEMM, one generic implementation with
+//	                  conjugation fused through the vec hooks
+//	internal/tile   — generic dense matrices, PLASMA tile layout, norms
+//	internal/engine — the one Factorization[T]: DAG execution loop (task →
+//	                  kernel dispatch with error reporting), ApplyQ/ApplyQT
+//	                  replay, SolveLS, workspace pooling, tracing
+//	public API      — Factor (float64), Factor32 (float32), FactorComplex
+//	                  (complex128), CFactor (complex64), and the matching
+//	                  StreamQR / StreamQR32 / ZStreamQR / CStreamQR
+//
+// The real/complex difference never forks the code: conjugation is the
+// identity in the real domains and every hook compiles to straight-line
+// code per instantiation, so the float64 kernels are as fast as the
+// hand-written ones they replaced (see BENCH_kernels.json for the
+// trajectory). The streaming subsystem's reduction core shares the same
+// dispatch loop through the engine's Source interface.
+//
+// # Choosing a precision
+//
+// float64 (Factor) is the default: ~1e-15 relative residuals, the paper's
+// "double" domain. complex128 (FactorComplex) is the paper's "double
+// complex" domain, whose 4× computation-to-communication ratio favours the
+// TT algorithms most. The single-precision pair halves memory traffic and
+// resident footprint — tiles stay cache-resident at twice the tile size —
+// at ~1e-6 relative accuracy: use Factor32/CFactor when throughput or
+// footprint matters more than the last digits (preconditioning, sketching,
+// streaming aggregation of noisy data, ML feature pipelines), and stay with
+// the double domains for ill-conditioned least squares or when residuals
+// near machine epsilon are the point. All four precisions pass the same
+// agreement suite: the complex path reproduces the real path's R on
+// real-valued data, and the 32-bit paths agree with their 64-bit siblings
+// to single precision, across every parameter-free algorithm and both
+// kernel families.
+//
 // # Streaming (incremental) factorization
 //
-// StreamQR and ZStreamQR factor a matrix whose rows arrive over time —
-// the incremental mode of communication-avoiding TSQR, built from the same
-// triangle-on-triangle kernels the paper's algorithms use. Each appended
-// batch is tiled, panel-factored with GEQRT, binary-tree-reduced within
-// each column, and merged into a resident n×n triangle with TTQRT/TTMQR,
-// scheduled by the same work-stealing runtime and critical-path priorities
-// as a one-shot factorization:
+// StreamQR and its precision siblings factor a matrix whose rows arrive
+// over time — the incremental mode of communication-avoiding TSQR, built
+// from the same triangle-on-triangle kernels the paper's algorithms use.
+// Each appended batch is tiled, panel-factored with GEQRT,
+// binary-tree-reduced within each column, and merged into a resident n×n
+// triangle with TTQRT/TTMQR, scheduled by the same work-stealing runtime
+// and critical-path priorities as a one-shot factorization:
 //
 //	s, _ := tiledqr.NewStream(nFeatures, tiledqr.Options{})
 //	for batch, rhs := range observations {   // r×n rows + r×nrhs targets
@@ -63,12 +110,14 @@
 //
 // # Performance
 //
-// Both arithmetic domains run on one tuned core, internal/vec: unrolled,
-// bounds-check-free Dot/Axpy/Scal/AddScaled primitives plus an
+// All four arithmetic domains run on one tuned core, internal/vec:
+// unrolled, bounds-check-free Dot/Axpy/Scal/AddScaled primitives plus an
 // overflow-safe single-Sqrt Nrm2 (the reflector norms take one Sqrt per
-// column instead of one Hypot per element). Kernel inner loops are
+// column instead of one Hypot per element; sums of squares accumulate in
+// float64 even for the 32-bit domains). Kernel inner loops are
 // row-contiguous sweeps, and the block-reflector appliers tile their
-// workspace so the updated block streams through cache once per pass.
+// workspace to a fixed byte budget per domain so the updated block streams
+// through cache once per pass.
 //
 // The parallel runtime (internal/sched) executes the task DAG with
 // per-worker deques plus work stealing. Ready tasks are ordered by
@@ -82,8 +131,8 @@
 // pooled, so steady-state factorization does no per-task allocation.
 //
 // To benchmark: `go test -bench 'Figure4|Figure5' .` reports per-kernel
-// GFLOP/s (the paper's Figures 4–5), `go test -bench Table .` the
-// end-to-end experiments, and `make bench` records the kernel figures in
-// BENCH_kernels.json alongside the seed baseline, tracking the performance
-// trajectory across revisions.
+// GFLOP/s (the paper's Figures 4–5) in all four precisions, `go test
+// -bench Table .` the end-to-end experiments, and `make bench` records the
+// kernel figures for every precision in BENCH_kernels.json alongside the
+// seed baseline, tracking the performance trajectory across revisions.
 package tiledqr

@@ -2,48 +2,16 @@ package tiledqr
 
 import (
 	"fmt"
-	"sync"
 
-	"tiledqr/internal/core"
-	"tiledqr/internal/kernel"
+	"tiledqr/internal/engine"
 	"tiledqr/internal/sched"
 	"tiledqr/internal/tile"
 	"tiledqr/internal/vec"
-	"tiledqr/internal/work"
 )
 
-// Factorization is the result of Factor: the factored tiles (R plus the
-// Householder representation of Q) and everything needed to apply Q.
-type Factorization struct {
-	grid  tile.Grid
-	mat   *tile.Matrix
-	dag   *core.DAG
-	list  core.List
-	tg    [][]float64 // GEQRT T factors per tile, indexed (i-1)*q+(k-1)
-	t2    [][]float64 // TSQRT/TTQRT T factors per tile
-	ib    int
-	opt   Options
-	trace *sched.Trace
-
-	workPool sync.Pool // scratch slices for ApplyQ/ApplyQT/SolveLS
-}
-
-// getWork fetches a pooled scratch slice of at least n floats; putWork
-// returns it. Steady-state Q applications allocate nothing.
-func (f *Factorization) getWork(n int) []float64 {
-	if w, ok := f.workPool.Get().(*[]float64); ok && len(*w) >= n {
-		return *w
-	}
-	return make([]float64, n)
-}
-
-func (f *Factorization) putWork(w []float64) {
-	f.workPool.Put(&w)
-}
-
-// Factor computes the tiled QR factorization A = Q·R of an m×n matrix
-// (any m, n ≥ 1). A is not modified.
-func Factor(a *Dense, opt Options) (*Factorization, error) {
+// factorEngine applies defaults, validates, and runs the generic engine —
+// the single code path behind Factor, Factor32, CFactor and FactorComplex.
+func factorEngine[T vec.Scalar](a *tile.Dense[T], opt Options) (*engine.Factorization[T], error) {
 	opt = opt.withDefaults()
 	if a == nil || a.Rows < 1 || a.Cols < 1 {
 		return nil, fmt.Errorf("tiledqr: cannot factor an empty matrix")
@@ -52,242 +20,81 @@ func Factor(a *Dense, opt Options) (*Factorization, error) {
 	if err := opt.validate(g.P); err != nil {
 		return nil, err
 	}
-	list, err := core.Generate(opt.Algorithm.core(), g.P, g.Q, opt.coreOptions())
+	return engine.Factor(a, engine.Config{
+		Algorithm:  opt.Algorithm.core(),
+		Kernels:    opt.Kernels.core(),
+		CoreOpts:   opt.coreOptions(),
+		TileSize:   opt.TileSize,
+		InnerBlock: opt.InnerBlock,
+		Workers:    opt.Workers,
+		Trace:      opt.Trace,
+	})
+}
+
+// Factorization is the result of Factor: the factored tiles (R plus the
+// Householder representation of Q) and everything needed to apply Q. It is
+// a thin float64 instantiation of the generic engine shared by all four
+// precisions (see also Factor32, CFactor, FactorComplex).
+type Factorization struct {
+	e *engine.Factorization[float64]
+}
+
+// Factor computes the tiled QR factorization A = Q·R of an m×n matrix
+// (any m, n ≥ 1). A is not modified.
+func Factor(a *Dense, opt Options) (*Factorization, error) {
+	e, err := factorEngine((*tile.Dense[float64])(a), opt)
 	if err != nil {
 		return nil, err
 	}
-	f := &Factorization{
-		grid: g,
-		mat:  tile.FromDense((*tile.Dense)(a), opt.TileSize),
-		dag:  core.BuildDAG(list, opt.Kernels.core()),
-		list: list,
-		ib:   opt.InnerBlock,
-		opt:  opt,
-	}
-	f.allocT()
-	work := work.Workspaces[float64](work.WorkersOrDefault(opt.Workers),
-		kernel.WorkLen(opt.TileSize, f.ib))
-	trace, err := sched.Run(f.dag, sched.Options{Workers: opt.Workers, Trace: opt.Trace},
-		func(t int32, w int) { f.exec(t, work[w]) })
-	if err != nil {
-		return nil, err
-	}
-	f.trace = trace
-	return f, nil
-}
-
-// allocT allocates the per-tile T factor storage demanded by the DAG.
-func (f *Factorization) allocT() {
-	p, q := f.grid.P, f.grid.Q
-	f.tg = make([][]float64, p*q)
-	f.t2 = make([][]float64, p*q)
-	for _, t := range f.dag.Tasks {
-		switch t.Kind {
-		case core.KGEQRT:
-			f.tg[f.tidx(t.I, t.K)] = make([]float64, f.ib*f.grid.TileCols(t.K-1))
-		case core.KTSQRT, core.KTTQRT:
-			f.t2[f.tidx(t.I, t.K)] = make([]float64, f.ib*f.grid.TileCols(t.K-1))
-		}
-	}
-}
-
-// tidx maps 1-based tile coordinates to storage index.
-func (f *Factorization) tidx(i, k int) int { return (i-1)*f.grid.Q + (k - 1) }
-
-// exec dispatches one DAG task to the corresponding tile kernel.
-func (f *Factorization) exec(t int32, work []float64) {
-	task := f.dag.Tasks[t]
-	switch task.Kind {
-	case core.KGEQRT:
-		a := f.mat.Tile(task.I-1, task.K-1)
-		kernel.GEQRT(a.Rows, a.Cols, f.ib, a.Data, a.Stride,
-			f.tg[f.tidx(task.I, task.K)], a.Cols, work)
-	case core.KUNMQR:
-		v := f.mat.Tile(task.I-1, task.K-1)
-		c := f.mat.Tile(task.I-1, task.J-1)
-		kernel.UNMQR(true, v.Rows, min(v.Rows, v.Cols), f.ib, v.Data, v.Stride,
-			f.tg[f.tidx(task.I, task.K)], v.Cols, c.Data, c.Stride, c.Cols, work)
-	case core.KTSQRT, core.KTTQRT:
-		a := f.mat.Tile(task.Piv-1, task.K-1)
-		b := f.mat.Tile(task.I-1, task.K-1)
-		m, l := b.Rows, 0
-		if task.Kind == core.KTTQRT {
-			m = min(b.Rows, a.Cols)
-			l = m
-		}
-		kernel.TPQRT(m, a.Cols, l, f.ib, a.Data, a.Stride, b.Data, b.Stride,
-			f.t2[f.tidx(task.I, task.K)], a.Cols, work)
-	case core.KTSMQR, core.KTTMQR:
-		v := f.mat.Tile(task.I-1, task.K-1)
-		c1 := f.mat.Tile(task.Piv-1, task.J-1)
-		c2 := f.mat.Tile(task.I-1, task.J-1)
-		kRef := f.grid.TileCols(task.K - 1)
-		m, l := v.Rows, 0
-		if task.Kind == core.KTTMQR {
-			m = min(v.Rows, kRef)
-			l = m
-		}
-		kernel.TPMQRT(true, m, kRef, l, f.ib, v.Data, v.Stride,
-			f.t2[f.tidx(task.I, task.K)], kRef,
-			c1.Data, c1.Stride, c2.Data, c2.Stride, c2.Cols, work)
-	default:
-		panic(fmt.Sprintf("tiledqr: unknown task kind %v", task.Kind))
-	}
+	return &Factorization{e: e}, nil
 }
 
 // R returns the min(m,n)×n upper triangular (trapezoidal) factor.
-func (f *Factorization) R() *Dense {
-	k := min(f.grid.M, f.grid.N)
-	r := NewDense(k, f.grid.N)
-	nb := f.grid.NB
-	for i := 0; i < k; i++ {
-		for j := i; j < f.grid.N; j++ {
-			r.Set(i, j, f.mat.Tile(i/nb, j/nb).At(i%nb, j%nb))
-		}
-	}
-	return r
-}
+func (f *Factorization) R() *Dense { return (*Dense)(f.e.R()) }
 
 // ApplyQT overwrites b (m×nrhs) with Qᵀ·b by replaying the factorization's
 // transformations in execution order.
 func (f *Factorization) ApplyQT(b *Dense) error {
-	return f.apply(b, true)
+	return f.e.Apply((*tile.Dense[float64])(b), true)
 }
 
 // ApplyQ overwrites b (m×nrhs) with Q·b.
 func (f *Factorization) ApplyQ(b *Dense) error {
-	return f.apply(b, false)
-}
-
-func (f *Factorization) apply(b *Dense, trans bool) error {
-	if b == nil {
-		return fmt.Errorf("tiledqr: ApplyQ: b must not be nil")
-	}
-	if b.Rows != f.grid.M {
-		return fmt.Errorf("tiledqr: ApplyQ: b has %d rows, want %d", b.Rows, f.grid.M)
-	}
-	bd := (*tile.Dense)(b)
-	nrhs := b.Cols
-	work := f.getWork(f.ib * max(nrhs, 1))
-	defer f.putWork(work)
-	// View of b's tile row i (1-based).
-	rowView := func(i int) *tile.Dense {
-		return bd.View((i-1)*f.grid.NB, 0, f.grid.TileRows(i-1), nrhs)
-	}
-	applyOne := func(task core.Task) {
-		switch task.Kind {
-		case core.KGEQRT:
-			v := f.mat.Tile(task.I-1, task.K-1)
-			c := rowView(task.I)
-			kernel.UNMQR(trans, v.Rows, min(v.Rows, v.Cols), f.ib, v.Data, v.Stride,
-				f.tg[f.tidx(task.I, task.K)], v.Cols, c.Data, c.Stride, nrhs, work)
-		case core.KTSQRT, core.KTTQRT:
-			v := f.mat.Tile(task.I-1, task.K-1)
-			c1 := rowView(task.Piv)
-			c2 := rowView(task.I)
-			kRef := f.grid.TileCols(task.K - 1)
-			m, l := v.Rows, 0
-			if task.Kind == core.KTTQRT {
-				m = min(v.Rows, kRef)
-				l = m
-			}
-			kernel.TPMQRT(trans, m, kRef, l, f.ib, v.Data, v.Stride,
-				f.t2[f.tidx(task.I, task.K)], kRef,
-				c1.Data, c1.Stride, c2.Data, c2.Stride, nrhs, work)
-		}
-	}
-	if trans {
-		for _, task := range f.dag.Tasks {
-			applyOne(task)
-		}
-	} else {
-		for t := len(f.dag.Tasks) - 1; t >= 0; t-- {
-			applyOne(f.dag.Tasks[t])
-		}
-	}
-	return nil
+	return f.e.Apply((*tile.Dense[float64])(b), false)
 }
 
 // Q returns the full m×m orthogonal factor (built by applying Q to the
 // identity; O(m³) work — prefer ThinQ or ApplyQ for large m).
-func (f *Factorization) Q() *Dense {
-	q := Identity(f.grid.M)
-	if err := f.ApplyQ(q); err != nil {
-		panic(err) // identity always has the right shape
-	}
-	return q
-}
+func (f *Factorization) Q() *Dense { return (*Dense)(f.e.Q()) }
 
 // ThinQ returns the first min(m,n) columns of Q (the orthonormal basis of
 // A's column span when A has full column rank).
-func (f *Factorization) ThinQ() *Dense {
-	k := min(f.grid.M, f.grid.N)
-	e := NewDense(f.grid.M, k)
-	for i := 0; i < k; i++ {
-		e.Set(i, i, 1)
-	}
-	if err := f.ApplyQ(e); err != nil {
-		panic(err)
-	}
-	return e
-}
+func (f *Factorization) ThinQ() *Dense { return (*Dense)(f.e.ThinQ()) }
 
 // SolveLS solves the least-squares problem min‖A·x − b‖₂ for each column of
 // b (m×nrhs), returning the n×nrhs solution. Requires m ≥ n and a
 // nonsingular R.
 func (f *Factorization) SolveLS(b *Dense) (*Dense, error) {
-	m, n := f.grid.M, f.grid.N
-	if m < n {
-		return nil, fmt.Errorf("tiledqr: SolveLS needs m ≥ n (have %d×%d)", m, n)
-	}
-	if b == nil {
-		return nil, fmt.Errorf("tiledqr: SolveLS: b must not be nil")
-	}
-	if b.Rows != m {
-		return nil, fmt.Errorf("tiledqr: SolveLS: b has %d rows, want %d", b.Rows, m)
-	}
-	qtb := b.Clone()
-	if err := f.ApplyQT(qtb); err != nil {
+	x, err := f.e.SolveLS((*tile.Dense[float64])(b))
+	if err != nil {
 		return nil, err
 	}
-	r := f.R()
-	rd := (*tile.Dense)(r)
-	x := NewDense(n, b.Cols)
-	// Row-oriented back-substitution (shared with the streaming path); the
-	// solution column lives in a pooled contiguous scratch until written
-	// back.
-	wbuf := f.getWork(n)
-	defer f.putWork(wbuf)
-	if err := work.SolveUpper(n, b.Cols, rd.Data, rd.Stride, qtb.Data, qtb.Stride,
-		x.Data, x.Stride, wbuf[:n], vec.Dot); err != nil {
-		return nil, err
-	}
-	return x, nil
+	return (*Dense)(x), nil
 }
 
 // Trace returns the execution trace (nil unless Options.Trace was set).
-func (f *Factorization) Trace() *sched.Trace { return f.trace }
+func (f *Factorization) Trace() *sched.Trace { return f.e.Trace() }
 
 // GanttChart renders an ASCII Gantt chart of the traced execution (one row
 // per worker, `width` time columns). Requires Options.Trace.
-func (f *Factorization) GanttChart(width int) string {
-	if f.trace == nil || f.trace.Spans == nil {
-		return "(run with Options.Trace to record a Gantt chart)\n"
-	}
-	return f.trace.Gantt(f.dag, width)
-}
+func (f *Factorization) GanttChart(width int) string { return f.e.GanttChart(width) }
 
 // Utilization returns per-worker busy fractions and overall parallel
 // efficiency of the traced execution. Requires Options.Trace.
-func (f *Factorization) Utilization() sched.Utilization {
-	if f.trace == nil {
-		return sched.Utilization{}
-	}
-	return f.trace.Utilization()
-}
+func (f *Factorization) Utilization() sched.Utilization { return f.e.Utilization() }
 
 // TaskCount returns the number of kernel tasks the factorization executed.
-func (f *Factorization) TaskCount() int { return f.dag.NumTasks() }
+func (f *Factorization) TaskCount() int { return f.e.TaskCount() }
 
 // Grid returns the tile grid dimensions (p×q) and tile size.
-func (f *Factorization) Grid() (p, q, nb int) { return f.grid.P, f.grid.Q, f.grid.NB }
+func (f *Factorization) Grid() (p, q, nb int) { return f.e.Grid() }

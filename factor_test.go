@@ -93,7 +93,7 @@ func TestFactorWorkerCounts(t *testing.T) {
 
 func TestFactorTileSizes(t *testing.T) {
 	for _, nb := range []int{1, 2, 5, 8, 13, 64} {
-		opt := Options{Algorithm: Greedy, TileSize: nb, InnerBlock: 4}
+		opt := Options{Algorithm: Greedy, TileSize: nb, InnerBlock: min(4, nb)}
 		checkFactorization(t, 40, 25, opt)
 	}
 }
@@ -287,7 +287,7 @@ func TestTraceValidates(t *testing.T) {
 	if len(tr.Spans) != f.TaskCount() {
 		t.Fatalf("trace has %d spans, want %d", len(tr.Spans), f.TaskCount())
 	}
-	if err := tr.Validate(f.dag); err != nil {
+	if err := tr.Validate(f.e.DAG()); err != nil {
 		t.Errorf("trace violates dependencies: %v", err)
 	}
 }

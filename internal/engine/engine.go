@@ -1,0 +1,363 @@
+// Package engine holds the one generic tiled-QR execution core shared by
+// every public precision: the DAG execution loop (dispatching core tasks to
+// the generic tile kernels through a Source), the Q application replay used
+// by ApplyQ/ApplyQT and the streaming Qᵀb fold, one-shot factorization
+// state (R extraction, thin/full Q, least squares, workspace pooling), and
+// tracing. The public package instantiates Factorization at
+// float32/float64/complex64/complex128 behind thin typed wrappers;
+// internal/stream reuses ExecTasks/Replay for its resident-triangle merges.
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"tiledqr/internal/core"
+	"tiledqr/internal/kernel"
+	"tiledqr/internal/sched"
+	"tiledqr/internal/tile"
+	"tiledqr/internal/vec"
+	"tiledqr/internal/work"
+)
+
+// Config carries the resolved factorization parameters from the public
+// options layer (defaults applied, values validated) down to the engine.
+type Config struct {
+	Algorithm  core.Algorithm
+	Kernels    core.Kernels
+	CoreOpts   core.Options
+	TileSize   int
+	InnerBlock int
+	Workers    int // 0 = GOMAXPROCS
+	Trace      bool
+}
+
+// Source resolves the tile and T-factor operands of DAG tasks, all in the
+// 1-based tile coordinates the task lists use. It is implemented by
+// Factorization (plain grid mapping) and by the streaming core (stacked
+// resident-triangle + batch mapping), so exactly one dispatch loop exists.
+type Source[T vec.Scalar] interface {
+	// TileAt returns tile (i, k).
+	TileAt(i, k int) *tile.Dense[T]
+	// TFactor returns the GEQRT T-factor storage of tile (i, k).
+	TFactor(i, k int) []T
+	// T2Factor returns the TSQRT/TTQRT T-factor storage of tile (i, k).
+	T2Factor(i, k int) []T
+	// KCols returns the column count of tile column k.
+	KCols(k int) int
+}
+
+// ExecTask dispatches one DAG task to the corresponding tile kernel.
+// Unknown task kinds are reported as an error (not a panic): the DAG is
+// data, and a malformed one must fail the factorization, not the process.
+func ExecTask[T vec.Scalar](src Source[T], d *core.DAG, t int32, ib int, ws []T) error {
+	task := d.Tasks[t]
+	switch task.Kind {
+	case core.KGEQRT:
+		a := src.TileAt(task.I, task.K)
+		kernel.GEQRT(a.Rows, a.Cols, ib, a.Data, a.Stride,
+			src.TFactor(task.I, task.K), a.Cols, ws)
+	case core.KUNMQR:
+		v := src.TileAt(task.I, task.K)
+		c := src.TileAt(task.I, task.J)
+		kernel.UNMQR(true, v.Rows, min(v.Rows, v.Cols), ib, v.Data, v.Stride,
+			src.TFactor(task.I, task.K), v.Cols, c.Data, c.Stride, c.Cols, ws)
+	case core.KTSQRT, core.KTTQRT:
+		a := src.TileAt(task.Piv, task.K)
+		b := src.TileAt(task.I, task.K)
+		m, l := b.Rows, 0
+		if task.Kind == core.KTTQRT {
+			m = min(b.Rows, a.Cols)
+			l = m
+		}
+		kernel.TPQRT(m, a.Cols, l, ib, a.Data, a.Stride, b.Data, b.Stride,
+			src.T2Factor(task.I, task.K), a.Cols, ws)
+	case core.KTSMQR, core.KTTMQR:
+		v := src.TileAt(task.I, task.K)
+		c1 := src.TileAt(task.Piv, task.J)
+		c2 := src.TileAt(task.I, task.J)
+		kRef := src.KCols(task.K)
+		m, l := v.Rows, 0
+		if task.Kind == core.KTTMQR {
+			m = min(v.Rows, kRef)
+			l = m
+		}
+		kernel.TPMQRT(true, m, kRef, l, ib, v.Data, v.Stride,
+			src.T2Factor(task.I, task.K), kRef,
+			c1.Data, c1.Stride, c2.Data, c2.Stride, c2.Cols, ws)
+	default:
+		return fmt.Errorf("tiledqr: unknown task kind %v (task %d)", task.Kind, t)
+	}
+	return nil
+}
+
+// ExecTasks runs every task of the DAG on the scheduler, dispatching
+// through ExecTask with one preallocated workspace per worker. The first
+// dispatch error (or exec panic, via sched.Run) aborts the run's result.
+func ExecTasks[T vec.Scalar](src Source[T], d *core.DAG, opt sched.Options, ib int, ws [][]T) (*sched.Trace, error) {
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	trace, err := sched.Run(d, opt, func(t int32, w int) {
+		if e := ExecTask(src, d, t, ib, ws[w]); e != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = e
+			}
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return trace, nil
+}
+
+// Replay applies the Q transformations recorded in the DAG's factor tasks
+// to a stacked block-row right-hand side: row(i) returns the RHS rows of
+// tile row i (1-based) and their row stride. trans replays Qᴴ in execution
+// order; !trans replays Q by walking the tasks backwards (task IDs are
+// topological). Update-kernel tasks (UNMQR/TSMQR/TTMQR) carry no new
+// reflectors and are skipped.
+func Replay[T vec.Scalar](src Source[T], d *core.DAG, trans bool, row func(i int) ([]T, int), nrhs, ib int, ws []T) {
+	applyOne := func(task core.Task) {
+		switch task.Kind {
+		case core.KGEQRT:
+			v := src.TileAt(task.I, task.K)
+			c, ldc := row(task.I)
+			kernel.UNMQR(trans, v.Rows, min(v.Rows, v.Cols), ib, v.Data, v.Stride,
+				src.TFactor(task.I, task.K), v.Cols, c, ldc, nrhs, ws)
+		case core.KTSQRT, core.KTTQRT:
+			v := src.TileAt(task.I, task.K)
+			c1, ldc1 := row(task.Piv)
+			c2, ldc2 := row(task.I)
+			kRef := src.KCols(task.K)
+			m, l := v.Rows, 0
+			if task.Kind == core.KTTQRT {
+				m = min(v.Rows, kRef)
+				l = m
+			}
+			kernel.TPMQRT(trans, m, kRef, l, ib, v.Data, v.Stride,
+				src.T2Factor(task.I, task.K), kRef,
+				c1, ldc1, c2, ldc2, nrhs, ws)
+		}
+	}
+	if trans {
+		for _, task := range d.Tasks {
+			applyOne(task)
+		}
+	} else {
+		for t := len(d.Tasks) - 1; t >= 0; t-- {
+			applyOne(d.Tasks[t])
+		}
+	}
+}
+
+// Factorization is the generic one-shot tiled QR state: the factored tiles
+// (R plus the Householder representation of Q) and everything needed to
+// apply Q, for any scalar domain.
+type Factorization[T vec.Scalar] struct {
+	grid  tile.Grid
+	mat   *tile.Matrix[T]
+	dag   *core.DAG
+	tg    [][]T // GEQRT T factors per tile, indexed (i-1)*q+(k-1)
+	t2    [][]T // TSQRT/TTQRT T factors per tile
+	ib    int
+	trace *sched.Trace
+
+	workPool sync.Pool // scratch slices for ApplyQ/ApplyQT/SolveLS
+}
+
+// Factor computes the tiled QR factorization A = Q·R of an m×n matrix
+// (any m, n ≥ 1). A is not modified. cfg must already carry defaulted,
+// validated options.
+func Factor[T vec.Scalar](a *tile.Dense[T], cfg Config) (*Factorization[T], error) {
+	g := tile.NewGrid(a.Rows, a.Cols, cfg.TileSize)
+	list, err := core.Generate(cfg.Algorithm, g.P, g.Q, cfg.CoreOpts)
+	if err != nil {
+		return nil, err
+	}
+	f := &Factorization[T]{
+		grid: g,
+		mat:  tile.FromDense(a, cfg.TileSize),
+		dag:  core.BuildDAG(list, cfg.Kernels),
+		ib:   cfg.InnerBlock,
+	}
+	f.allocT()
+	ws := work.Workspaces[T](work.WorkersOrDefault(cfg.Workers),
+		kernel.WorkLen(cfg.TileSize, f.ib))
+	trace, err := ExecTasks[T](f, f.dag, sched.Options{Workers: cfg.Workers, Trace: cfg.Trace}, f.ib, ws)
+	if err != nil {
+		return nil, err
+	}
+	f.trace = trace
+	return f, nil
+}
+
+// allocT allocates the per-tile T factor storage demanded by the DAG.
+func (f *Factorization[T]) allocT() {
+	p, q := f.grid.P, f.grid.Q
+	f.tg = make([][]T, p*q)
+	f.t2 = make([][]T, p*q)
+	for _, t := range f.dag.Tasks {
+		switch t.Kind {
+		case core.KGEQRT:
+			f.tg[f.tidx(t.I, t.K)] = make([]T, f.ib*f.grid.TileCols(t.K-1))
+		case core.KTSQRT, core.KTTQRT:
+			f.t2[f.tidx(t.I, t.K)] = make([]T, f.ib*f.grid.TileCols(t.K-1))
+		}
+	}
+}
+
+// tidx maps 1-based tile coordinates to storage index.
+func (f *Factorization[T]) tidx(i, k int) int { return (i-1)*f.grid.Q + (k - 1) }
+
+// TileAt, TFactor, T2Factor and KCols implement Source with the plain grid
+// mapping (tile row i is tile row i).
+func (f *Factorization[T]) TileAt(i, k int) *tile.Dense[T] { return f.mat.Tile(i-1, k-1) }
+
+// TFactor returns the GEQRT T-factor storage of tile (i, k).
+func (f *Factorization[T]) TFactor(i, k int) []T { return f.tg[f.tidx(i, k)] }
+
+// T2Factor returns the TSQRT/TTQRT T-factor storage of tile (i, k).
+func (f *Factorization[T]) T2Factor(i, k int) []T { return f.t2[f.tidx(i, k)] }
+
+// KCols returns the column count of tile column k (1-based).
+func (f *Factorization[T]) KCols(k int) int { return f.grid.TileCols(k - 1) }
+
+// getWork fetches a pooled scratch slice of at least n elements; putWork
+// returns it. Steady-state Q applications allocate nothing.
+func (f *Factorization[T]) getWork(n int) []T {
+	if w, ok := f.workPool.Get().(*[]T); ok && len(*w) >= n {
+		return *w
+	}
+	return make([]T, n)
+}
+
+func (f *Factorization[T]) putWork(w []T) {
+	f.workPool.Put(&w)
+}
+
+// R returns the min(m,n)×n upper triangular (trapezoidal) factor.
+func (f *Factorization[T]) R() *tile.Dense[T] {
+	k := min(f.grid.M, f.grid.N)
+	r := tile.NewDense[T](k, f.grid.N)
+	nb := f.grid.NB
+	for i := 0; i < k; i++ {
+		for j := i; j < f.grid.N; j++ {
+			r.Set(i, j, f.mat.Tile(i/nb, j/nb).At(i%nb, j%nb))
+		}
+	}
+	return r
+}
+
+// Apply overwrites b (m×nrhs) with Qᴴ·b (trans) or Q·b by replaying the
+// factorization's transformations.
+func (f *Factorization[T]) Apply(b *tile.Dense[T], trans bool) error {
+	if b == nil {
+		return fmt.Errorf("tiledqr: ApplyQ: b must not be nil")
+	}
+	if b.Rows != f.grid.M {
+		return fmt.Errorf("tiledqr: ApplyQ: b has %d rows, want %d", b.Rows, f.grid.M)
+	}
+	nrhs := b.Cols
+	ws := f.getWork(f.ib * max(nrhs, 1))
+	defer f.putWork(ws)
+	// row returns a view of b's tile row i (1-based).
+	row := func(i int) ([]T, int) {
+		v := b.View((i-1)*f.grid.NB, 0, f.grid.TileRows(i-1), nrhs)
+		return v.Data, v.Stride
+	}
+	Replay[T](f, f.dag, trans, row, nrhs, f.ib, ws)
+	return nil
+}
+
+// Q returns the full m×m orthogonal (unitary) factor, built by applying Q
+// to the identity; O(m³) work — prefer ThinQ or Apply for large m.
+func (f *Factorization[T]) Q() *tile.Dense[T] {
+	q := tile.Identity[T](f.grid.M)
+	if err := f.Apply(q, false); err != nil {
+		panic(err) // identity always has the right shape
+	}
+	return q
+}
+
+// ThinQ returns the first min(m,n) columns of Q (the orthonormal basis of
+// A's column span when A has full column rank).
+func (f *Factorization[T]) ThinQ() *tile.Dense[T] {
+	k := min(f.grid.M, f.grid.N)
+	e := tile.NewDense[T](f.grid.M, k)
+	for i := 0; i < k; i++ {
+		e.Set(i, i, 1)
+	}
+	if err := f.Apply(e, false); err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// SolveLS solves the least-squares problem min‖A·x − b‖₂ for each column of
+// b (m×nrhs), returning the n×nrhs solution. Requires m ≥ n and a
+// nonsingular R.
+func (f *Factorization[T]) SolveLS(b *tile.Dense[T]) (*tile.Dense[T], error) {
+	m, n := f.grid.M, f.grid.N
+	if m < n {
+		return nil, fmt.Errorf("tiledqr: SolveLS needs m ≥ n (have %d×%d)", m, n)
+	}
+	if b == nil {
+		return nil, fmt.Errorf("tiledqr: SolveLS: b must not be nil")
+	}
+	if b.Rows != m {
+		return nil, fmt.Errorf("tiledqr: SolveLS: b has %d rows, want %d", b.Rows, m)
+	}
+	qtb := b.Clone()
+	if err := f.Apply(qtb, true); err != nil {
+		return nil, err
+	}
+	r := f.R()
+	x := tile.NewDense[T](n, b.Cols)
+	// Row-oriented back-substitution (shared with the streaming path); the
+	// solution column lives in a pooled contiguous scratch until written
+	// back.
+	wbuf := f.getWork(n)
+	defer f.putWork(wbuf)
+	if err := work.SolveUpper(n, b.Cols, r.Data, r.Stride, qtb.Data, qtb.Stride,
+		x.Data, x.Stride, wbuf[:n]); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// Trace returns the execution trace (nil unless Config.Trace was set).
+func (f *Factorization[T]) Trace() *sched.Trace { return f.trace }
+
+// GanttChart renders an ASCII Gantt chart of the traced execution (one row
+// per worker, `width` time columns). Requires Config.Trace.
+func (f *Factorization[T]) GanttChart(width int) string {
+	if f.trace == nil || f.trace.Spans == nil {
+		return "(run with Options.Trace to record a Gantt chart)\n"
+	}
+	return f.trace.Gantt(f.dag, width)
+}
+
+// Utilization returns per-worker busy fractions and overall parallel
+// efficiency of the traced execution. Requires Config.Trace.
+func (f *Factorization[T]) Utilization() sched.Utilization {
+	if f.trace == nil {
+		return sched.Utilization{}
+	}
+	return f.trace.Utilization()
+}
+
+// TaskCount returns the number of kernel tasks the factorization executed.
+func (f *Factorization[T]) TaskCount() int { return f.dag.NumTasks() }
+
+// DAG exposes the executed task DAG (trace validation in tests).
+func (f *Factorization[T]) DAG() *core.DAG { return f.dag }
+
+// Grid returns the tile grid dimensions (p×q) and tile size.
+func (f *Factorization[T]) Grid() (p, q, nb int) { return f.grid.P, f.grid.Q, f.grid.NB }

@@ -1,6 +1,7 @@
-// Package kernel implements the sequential float64 tile kernels of the tiled
-// QR factorization (Table 1 of Bouwmeester, Jacquelin, Langou, Robert,
-// "Tiled QR factorization algorithms", 2011):
+// Package kernel implements the sequential tile kernels of the tiled QR
+// factorization (Table 1 of Bouwmeester, Jacquelin, Langou, Robert,
+// "Tiled QR factorization algorithms", 2011), generic over all four
+// arithmetic domains (float32, float64, complex64, complex128):
 //
 //	GEQRT  — factor a square/rectangular tile into Q·R           (weight 4)
 //	TSQRT  — zero a square tile using the triangle on top of it  (weight 6)
@@ -9,7 +10,8 @@
 //	TSMQR  — apply a TSQRT transformation to a trailing pair     (weight 12)
 //	TTMQR  — apply a TTQRT transformation to a trailing pair     (weight 6)
 //
-// Weights are in units of nb³/3 floating-point operations.
+// Weights are in units of nb³/3 floating-point operations (4 real flops per
+// complex flop in the complex domains).
 //
 // As in LAPACK, TSQRT and TTQRT are the l=0 and l=n instances of the
 // pentagonal factorization TPQRT, and TSMQR/TTMQR are instances of TPMQRT;
@@ -21,6 +23,14 @@
 // panel's triangular factor T is stored in an ib×n array. Matrices are
 // row-major with an explicit leading dimension (row stride).
 //
-// Householder conventions match LAPACK: H = I − τ·v·vᵀ with v[0] = 1, the
-// factorization applies Hᵀ from the left, Q = H₁·H₂···H_k.
+// Householder conventions match LAPACK: H = I − τ·v·vᴴ with v[0] = 1 and a
+// real β, the factorization applies Hᴴ from the left, Q = H₁·H₂···H_k. In
+// the real domains the conjugations degenerate to the familiar
+// H = I − τ·v·vᵀ; one generic implementation serves both because every
+// real/complex difference is funneled through the vec.Conj /
+// vec.FromParts hooks, which compile to straight-line code per
+// instantiation. The paper evaluates double complex alongside double
+// because the computation-to-communication ratio is four times higher in
+// complex arithmetic (Section 4); the single-precision instantiations halve
+// the memory traffic instead.
 package kernel

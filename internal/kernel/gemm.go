@@ -7,7 +7,7 @@ import "tiledqr/internal/vec"
 // update kernels' speeds are compared against plain matrix multiplication
 // at the same tile size. The inner dimension is consumed two rows of B at a
 // time (vec.Axpy2), halving the load/store traffic on each row of C.
-func GEMM(m, n, kk int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+func GEMM[T vec.Scalar](m, n, kk int, a []T, lda int, b []T, ldb int, c []T, ldc int) {
 	for i := 0; i < m; i++ {
 		ci := c[i*ldc : i*ldc+n]
 		ai := a[i*lda : i*lda+kk]

@@ -2,32 +2,40 @@ package kernel
 
 import (
 	"math"
+	"unsafe"
 
 	"tiledqr/internal/vec"
 )
 
-// larfgCol generates an elementary Householder reflector H = I − τ·v·vᵀ with
+// larfgCol generates an elementary Householder reflector H = I − τ·v·vᴴ with
 // v[r0] = 1 acting on the column vector [a(r0,c); a(r0+1:m,c)] so that
-// H·x = [β; 0]. On return a(r0,c) = β; the tail a(r0+1:m,c) still holds the
-// RAW column — the caller multiplies it by the returned scale (fused into
-// its next row sweep) to obtain v[r0+1:]. scale is 1 when τ = 0.
+// Hᴴ·x = [β; 0] with β real. On return a(r0,c) = β; the tail a(r0+1:m,c)
+// still holds the RAW column — the caller multiplies it by the returned
+// scale (fused into its next row sweep) to obtain v[r0+1:]. scale is 1 when
+// τ = 0. For the real domains the conjugation degenerates and this is
+// exactly LAPACK's dlarfg; for the complex domains τ is complex and β is
+// forced real, as in zlarfg.
 //
 // The tail norm uses the safe single-pass Nrm2 — one Sqrt per reflector
-// instead of the seed's one Hypot per element — and the final α/xnorm
-// combination keeps one Hypot for its overflow safety.
-func larfgCol(a []float64, lda, r0, c, m int) (tau, scale float64) {
+// instead of one Hypot (or Hypot+Abs) per element — and the final α/xnorm
+// combination keeps one Hypot for its overflow safety. The β/τ arithmetic
+// runs in float64 for every domain, so the single-precision types only
+// round once at the end.
+func larfgCol[T vec.Scalar](a []T, lda, r0, c, m int) (tau, scale T) {
 	alpha := a[r0*lda+c]
 	n := m - r0 - 1
-	if n <= 0 {
+	var xnorm float64
+	if n > 0 {
+		xnorm = vec.Nrm2Inc(a[(r0+1)*lda+c:], n, lda)
+	}
+	if xnorm == 0 && vec.ImagPart(alpha) == 0 {
 		return 0, 1
 	}
-	xnorm := vec.Nrm2Inc(a[(r0+1)*lda+c:], n, lda)
-	if xnorm == 0 {
-		return 0, 1
-	}
-	beta := -math.Copysign(math.Hypot(alpha, xnorm), alpha)
-	a[r0*lda+c] = beta
-	return (beta - alpha) / beta, 1 / (alpha - beta)
+	beta := -math.Copysign(math.Hypot(vec.Abs(alpha), xnorm), vec.RealPart(alpha))
+	tau = vec.FromParts[T]((beta-vec.RealPart(alpha))/beta, -vec.ImagPart(alpha)/beta)
+	betaT := vec.FromParts[T](beta, 0)
+	a[r0*lda+c] = betaT
+	return tau, 1 / (alpha - betaT)
 }
 
 // geqrt2 factors the panel A[j0:m, j0:j0+kb] in place by Householder
@@ -40,29 +48,34 @@ func larfgCol(a []float64, lda, r0, c, m int) (tau, scale float64) {
 // accumulates every dot product the reflector needs into comb (positions
 // below jj feed the T column, positions above jj feed the trailing update),
 // the second applies the update. Row slices keep the accesses sequential in
-// memory, which column walks at stride lda are not.
-func geqrt2(m int, a []float64, lda, j0, kb int, t []float64, ldt int, comb []float64) {
+// memory, which column walks at stride lda are not. comb[c] accumulates
+// Σ_{i>j} conj(v_i)·a(i, j0+c): the Vᴴ·A dot the update columns need
+// directly, and the conjugate of the T-column dot for c < jj.
+func geqrt2[T vec.Scalar](m int, a []T, lda, j0, kb int, t []T, ldt int, comb []T) {
+	cc := vec.IsComplex[T]()
 	for jj := 0; jj < kb; jj++ {
 		j := j0 + jj
 		tau, scale := larfgCol(a, lda, j, j, m)
+		ctau := vec.Conj(tau)
 		cb := comb[:kb]
 		clear(cb)
 		// Sweep 1: scale the raw reflector column in passing (larfgCol
-		// defers it) and accumulate comb[c] = Σ_{i>j} v_i·a(i, j0+c).
-		// comb[jj] gathers Σ v² and is never read.
+		// defers it) and accumulate the conjugated dots. comb[jj] gathers
+		// Σ|v|² and is never read.
 		for i := j + 1; i < m; i++ {
 			row := a[i*lda+j0 : i*lda+j0+kb]
 			vi := row[jj] * scale
 			row[jj] = vi
-			vec.Axpy(vi, row, cb)
+			vec.Axpy(conjIf(cc, vi), row, cb)
 		}
-		// Finish the update scalars w = τ·(row j + comb) in place, apply
-		// them to row j, then sweep 2 applies them to the rows below.
+		// Apply Hᴴ to the remaining panel columns: finish the update scalars
+		// w = conj(τ)·(row j + comb) in place, apply them to row j, then
+		// sweep 2 applies them to the rows below.
 		if jj+1 < kb {
 			w := cb[jj+1:]
 			arow := a[j*lda+j+1 : j*lda+j0+kb]
 			for y, av := range arow {
-				wv := tau * (av + w[y])
+				wv := ctau * (av + w[y])
 				arow[y] = av - wv
 				w[y] = wv
 			}
@@ -70,10 +83,11 @@ func geqrt2(m int, a []float64, lda, j0, kb int, t []float64, ldt int, comb []fl
 				vec.Axpy(-a[i*lda+j], w, a[i*lda+j+1:i*lda+j0+kb])
 			}
 		}
-		// T(0:jj, jj) = −τ·T(0:jj, 0:jj)·(Vᵀ·v_j). The dot tails are already
-		// in comb; add the row-j terms (v_c's row j times v_j[j] = 1).
+		// T(0:jj, jj) = −τ·T(0:jj, 0:jj)·(V(:, 0:jj)ᴴ·v_j). The conjugated
+		// dot tails are already in comb; add the row-j terms (v_c's row j
+		// times v_j[j] = 1) and conjugate (identity in the real domains).
 		for c := 0; c < jj; c++ {
-			cb[c] += a[j*lda+j0+c]
+			cb[c] = conjIf(cc, a[j*lda+j0+c]+cb[c])
 		}
 		for r := 0; r < jj; r++ {
 			t[r*ldt+j] = -tau * vec.Dot(t[r*ldt+j0+r:r*ldt+j0+jj], cb[r:jj])
@@ -85,12 +99,14 @@ func geqrt2(m int, a []float64, lda, j0, kb int, t []float64, ldt int, comb []fl
 // applyPanel applies the block reflector of a GEQRT panel to C.
 // The panel's reflectors are the unit-lower-trapezoidal columns
 // v[r0:m, vc0:vc0+kb] of the array v; the block triangular factor is in
-// columns tc0:tc0+kb of t. If trans is true it applies (I − V·T·Vᵀ)ᵀ,
-// otherwise I − V·T·Vᵀ. Only rows r0:m of C[, cc0:cc0+nc] are touched.
-// w must have length ≥ kb·nc.
-func applyPanel(trans bool, m int, v []float64, ldv, r0, vc0, kb int,
-	t []float64, ldt, tc0 int, c []float64, ldc, cc0, nc int, w []float64) {
-	// W = Vᵀ · C, swept in blocks of xBlock reflector columns: each block's
+// columns tc0:tc0+kb of t. If trans is true it applies (I − V·Tᴴ·Vᴴ)
+// (i.e. Qᴴ; Qᵀ in the real domains), otherwise I − V·T·Vᴴ. Only rows r0:m
+// of C[, cc0:cc0+nc] are touched. w must have length ≥ kb·nc.
+func applyPanel[T vec.Scalar](trans bool, m int, v []T, ldv, r0, vc0, kb int,
+	t []T, ldt, tc0 int, c []T, ldc, cc0, nc int, w []T) {
+	xBlock := xBlockOf[T]()
+	cc := vec.IsComplex[T]()
+	// W = Vᴴ · C, swept in blocks of xBlock reflector columns: each block's
 	// W rows stay cache-resident while C's rows stream through, so the C
 	// tile is read ⌈kb/xBlock⌉ times instead of kb times.
 	for xb := 0; xb < kb; xb += xBlock {
@@ -104,7 +120,7 @@ func applyPanel(trans bool, m int, v []float64, ldv, r0, vc0, kb int,
 			}
 			vrow := v[i*ldv+vc0 : i*ldv+vc0+nx]
 			for x := xb; x < nx; x++ {
-				vec.Axpy(vrow[x], ci, w[x*nc:x*nc+nc])
+				vec.Axpy(conjIf(cc, vrow[x]), ci, w[x*nc:x*nc+nc])
 			}
 		}
 	}
@@ -131,27 +147,45 @@ func applyPanel(trans bool, m int, v []float64, ldv, r0, vc0, kb int,
 	}
 }
 
-// xBlock is the reflector-column blocking of the panel appliers: xBlock
-// rows of the W workspace (≤ xBlock·nb scalars) fit in L1 alongside the
-// streaming C row.
-const xBlock = 16
+// conjIf returns Conj(v) when cc is set and v unchanged otherwise. cc is
+// vec.IsComplex[T]() computed once per kernel call: in gcshape-generic code
+// a bare vec.Conj compiles to a dictionary type switch, which costs real
+// time when paid per reflector column inside the hot sweeps; hoisting the
+// domain test to one branch keeps the real instantiations free of it.
+func conjIf[T vec.Scalar](cc bool, v T) T {
+	if cc {
+		return vec.Conj(v)
+	}
+	return v
+}
 
-// triMulW overwrites the kb×nc workspace W with Tᵀ·W (trans) or T·W, where T
+// xBlockOf is the reflector-column blocking of the panel appliers: xBlock
+// rows of the W workspace stay L1-resident alongside the streaming C row.
+// The budget is held in bytes (128·sizeof(T) per W row at nb columns), so
+// every domain blocks to the same cache footprint: 16 columns for float64,
+// 8 for complex128, 32/16 for the single-precision pair.
+func xBlockOf[T vec.Scalar]() int {
+	var z T
+	return 128 / int(unsafe.Sizeof(z))
+}
+
+// triMulW overwrites the kb×nc workspace W with Tᴴ·W (trans) or T·W, where T
 // is the upper triangular block in columns tc0:tc0+kb of t. The diagonal
 // scale is fused with the first off-diagonal accumulation via AddScaled.
-func triMulW(trans bool, kb int, t []float64, ldt, tc0 int, w []float64, nc int) {
+func triMulW[T vec.Scalar](trans bool, kb int, t []T, ldt, tc0 int, w []T, nc int) {
 	if trans {
+		cc := vec.IsComplex[T]()
 		// New W[x] depends on old W[0..x]; sweep x downward.
 		for x := kb - 1; x >= 0; x-- {
 			wx := w[x*nc : x*nc+nc]
-			txx := t[x*ldt+tc0+x]
+			txx := conjIf(cc, t[x*ldt+tc0+x])
 			if x == 0 {
 				vec.Scal(txx, wx)
 				continue
 			}
-			vec.AddScaled(txx, t[tc0+x], w[:nc], wx)
+			vec.AddScaled(txx, conjIf(cc, t[tc0+x]), w[:nc], wx)
 			for r := 1; r < x; r++ {
-				vec.Axpy(t[r*ldt+tc0+x], w[r*nc:r*nc+nc], wx)
+				vec.Axpy(conjIf(cc, t[r*ldt+tc0+x]), w[r*nc:r*nc+nc], wx)
 			}
 		}
 	} else {
@@ -177,7 +211,7 @@ func triMulW(trans bool, kb int, t []float64, ldt, tc0 int, w []float64, nc int)
 // Householder vectors V, and t (ib rows, row stride ldt ≥ n) holds the
 // ib×ib triangular T factors of each column panel. work may be nil or a
 // scratch slice of length ≥ WorkLen(n, ib).
-func GEQRT(m, n, ib int, a []float64, lda int, t []float64, ldt int, work []float64) {
+func GEQRT[T vec.Scalar](m, n, ib int, a []T, lda int, t []T, ldt int, work []T) {
 	k := min(m, n)
 	if k == 0 {
 		return
@@ -194,12 +228,12 @@ func GEQRT(m, n, ib int, a []float64, lda int, t []float64, ldt int, work []floa
 	}
 }
 
-// UNMQR applies the orthogonal factor of a GEQRT factorization to the m×nc
-// tile c: C := Qᵀ·C if trans, else C := Q·C. v and t are the outputs of
-// GEQRT on an m×· tile with k reflectors and inner block size ib. work may
-// be nil or a scratch slice of length ≥ ib·nc.
-func UNMQR(trans bool, m, k, ib int, v []float64, ldv int, t []float64, ldt int,
-	c []float64, ldc, nc int, work []float64) {
+// UNMQR applies the orthogonal (unitary) factor of a GEQRT factorization to
+// the m×nc tile c: C := Qᴴ·C if trans, else C := Q·C. v and t are the
+// outputs of GEQRT on an m×· tile with k reflectors and inner block size
+// ib. work may be nil or a scratch slice of length ≥ ib·nc.
+func UNMQR[T vec.Scalar](trans bool, m, k, ib int, v []T, ldv int, t []T, ldt int,
+	c []T, ldc, nc int, work []T) {
 	if k == 0 || nc == 0 {
 		return
 	}
@@ -235,9 +269,9 @@ func clampIB(ib, k int) int {
 }
 
 // ensureWork returns work if it is large enough, otherwise a fresh slice.
-func ensureWork(work []float64, n int) []float64 {
+func ensureWork[T vec.Scalar](work []T, n int) []T {
 	if len(work) < n {
-		return make([]float64, n)
+		return make([]T, n)
 	}
 	return work
 }

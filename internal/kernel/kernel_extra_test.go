@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"tiledqr/internal/tile"
+	"tiledqr/internal/vec"
 )
 
 // TestUNMQRRectangularC applies Q to C blocks of several widths — the
@@ -13,11 +14,11 @@ import (
 // right-hand sides of any count).
 func TestUNMQRRectangularC(t *testing.T) {
 	const m, n, ib = 10, 6, 3
-	a := tile.RandDense(m, n, 1)
+	a := tile.RandDense[float64](m, n, 1)
 	tf := make([]float64, ib*n)
 	GEQRT(m, n, ib, a.Data, a.Stride, tf, n, nil)
 	for _, nc := range []int{1, 2, 5, 7, 16} {
-		c0 := tile.RandDense(m, nc, int64(nc))
+		c0 := tile.RandDense[float64](m, nc, int64(nc))
 		c := c0.Clone()
 		UNMQR(true, m, n, ib, a.Data, a.Stride, tf, n, c.Data, c.Stride, nc, nil)
 		UNMQR(false, m, n, ib, a.Data, a.Stride, tf, n, c.Data, c.Stride, nc, nil)
@@ -32,7 +33,7 @@ func TestUNMQRRectangularC(t *testing.T) {
 // row blocks of a right-hand side.
 func TestKernelsOnStridedViews(t *testing.T) {
 	const nb, ib = 6, 2
-	big := tile.RandDense(20, 17, 3)
+	big := tile.RandDense[float64](20, 17, 3)
 	aView := big.View(1, 2, nb, nb)
 	a0 := aView.Clone()
 	tf := make([]float64, ib*nb)
@@ -46,7 +47,7 @@ func TestKernelsOnStridedViews(t *testing.T) {
 		for j := 0; j < 17; j++ {
 			inside := i >= 1 && i < 1+nb && j >= 2 && j < 2+nb
 			if !inside {
-				want := tile.RandDense(20, 17, 3).At(i, j)
+				want := tile.RandDense[float64](20, 17, 3).At(i, j)
 				if big.At(i, j) != want {
 					t.Fatalf("GEQRT on view touched outside element (%d,%d)", i, j)
 				}
@@ -59,7 +60,7 @@ func TestKernelsOnStridedViews(t *testing.T) {
 // identical results to internal allocation.
 func TestWorkspaceReuse(t *testing.T) {
 	const m, n, ib = 12, 8, 3
-	a1 := tile.RandDense(m, n, 9)
+	a1 := tile.RandDense[float64](m, n, 9)
 	a2 := a1.Clone()
 	t1 := make([]float64, ib*n)
 	t2 := make([]float64, ib*n)
@@ -87,15 +88,15 @@ func TestQuickTPQRTRoundTrip(t *testing.T) {
 		n := 1 + int(nSeed)%7
 		l := int(lSeed) % (min(m, n) + 1)
 		ib := 1 + int(ibSeed)%n
-		aTri := randUpperTri(n, seed)
-		b := randPent(m, n, l, seed+1)
+		aTri := randUpperTri[float64](n, seed)
+		b := randPent[float64](m, n, l, seed+1)
 		a2, v, tf := tpFactor(t, m, n, l, ib, aTri, b)
 		c1 := aTri.Clone()
 		c2 := b.Clone()
 		TPMQRT(true, m, n, l, ib, v.Data, v.Stride, tf, n, c1.Data, c1.Stride, c2.Data, c2.Stride, n, nil)
 		for j := 0; j < n; j++ {
 			for i := 0; i < pentRows(m, l, j); i++ {
-				if math.Abs(c2.At(i, j)) > tol {
+				if vec.Abs(c2.At(i, j)) > tol {
 					return false
 				}
 			}
@@ -113,9 +114,9 @@ func TestQuickTPQRTRoundTrip(t *testing.T) {
 
 // TestGEMMKnown verifies the reference GEMM kernel against tile.Mul.
 func TestGEMMKnown(t *testing.T) {
-	a := tile.RandDense(5, 7, 1)
-	b := tile.RandDense(7, 4, 2)
-	c := tile.RandDense(5, 4, 3)
+	a := tile.RandDense[float64](5, 7, 1)
+	b := tile.RandDense[float64](7, 4, 2)
+	c := tile.RandDense[float64](5, 4, 3)
 	want := tile.Mul(a, b)
 	for i := 0; i < 5; i++ {
 		for j := 0; j < 4; j++ {
@@ -132,8 +133,8 @@ func TestGEMMKnown(t *testing.T) {
 // (τ = 0 reflectors, H = I).
 func TestTPQRTSingularInput(t *testing.T) {
 	const n, ib = 5, 2
-	aTri := randUpperTri(n, 4)
-	b := tile.NewDense(n, n)
+	aTri := randUpperTri[float64](n, 4)
+	b := tile.NewDense[float64](n, n)
 	a := aTri.Clone()
 	tf := make([]float64, ib*n)
 	TPQRT(n, n, 0, ib, a.Data, a.Stride, b.Data, b.Stride, tf, n, nil)

@@ -6,21 +6,22 @@ import (
 	"testing"
 
 	"tiledqr/internal/tile"
+	"tiledqr/internal/vec"
 )
 
 const tol = 1e-11
 
-// qFromGEQRT reconstructs the explicit m×m orthogonal factor of a GEQRT
-// factorization by applying Q to the identity.
-func qFromGEQRT(m, k, ib int, v *tile.Dense, t []float64, ldt int) *tile.Dense {
-	q := tile.Identity(m)
+// qFromGEQRT reconstructs the explicit m×m orthogonal (unitary) factor of a
+// GEQRT factorization by applying Q to the identity.
+func qFromGEQRT[T vec.Scalar](m, k, ib int, v *tile.Dense[T], t []T, ldt int) *tile.Dense[T] {
+	q := tile.Identity[T](m)
 	UNMQR(false, m, k, ib, v.Data, v.Stride, t, ldt, q.Data, q.Stride, m, nil)
 	return q
 }
 
 // upperTriOf returns the upper triangle/trapezoid of a (the R factor),
 // zeroing everything below the diagonal.
-func upperTriOf(a *tile.Dense) *tile.Dense {
+func upperTriOf[T vec.Scalar](a *tile.Dense[T]) *tile.Dense[T] {
 	r := a.Clone()
 	for i := 1; i < r.Rows; i++ {
 		for j := 0; j < min(i, r.Cols); j++ {
@@ -37,7 +38,7 @@ func TestGEQRTReconstruction(t *testing.T) {
 		{16, 16, 5}, {30, 17, 8},
 	}
 	for _, c := range cases {
-		a0 := tile.RandDense(c.m, c.n, int64(c.m*100+c.n))
+		a0 := tile.RandDense[float64](c.m, c.n, int64(c.m*100+c.n))
 		a := a0.Clone()
 		k := min(c.m, c.n)
 		tf := make([]float64, max(1, c.ib)*c.n)
@@ -55,7 +56,7 @@ func TestGEQRTReconstruction(t *testing.T) {
 
 func TestGEQRTTransAppliesQT(t *testing.T) {
 	m, n, ib := 10, 6, 3
-	a0 := tile.RandDense(m, n, 5)
+	a0 := tile.RandDense[float64](m, n, 5)
 	a := a0.Clone()
 	tf := make([]float64, ib*n)
 	GEQRT(m, n, ib, a.Data, a.Stride, tf, n, nil)
@@ -63,15 +64,15 @@ func TestGEQRTTransAppliesQT(t *testing.T) {
 	c := a0.Clone()
 	UNMQR(true, m, n, ib, a.Data, a.Stride, tf, n, c.Data, c.Stride, n, nil)
 	r := upperTriOf(a)
-	if d := tile.MaxAbsDiff(c, tile.Mul(tile.Identity(m), r)); d > tol {
+	if d := tile.MaxAbsDiff(c, tile.Mul(tile.Identity[float64](m), r)); d > tol {
 		t.Errorf("QᵀA differs from R by %g", d)
 	}
 }
 
 func TestGEQRTInnerBlockingInvariance(t *testing.T) {
 	m, n := 20, 20
-	a0 := tile.RandDense(m, n, 9)
-	var ref *tile.Dense
+	a0 := tile.RandDense[float64](m, n, 9)
+	var ref *tile.Dense[float64]
 	for _, ib := range []int{1, 2, 3, 5, 7, 20} {
 		a := a0.Clone()
 		tf := make([]float64, ib*n)
@@ -89,7 +90,7 @@ func TestGEQRTInnerBlockingInvariance(t *testing.T) {
 
 func TestGEQRTZeroMatrix(t *testing.T) {
 	m, n := 6, 4
-	a := tile.NewDense(m, n)
+	a := tile.NewDense[float64](m, n)
 	tf := make([]float64, 2*n)
 	GEQRT(m, n, 2, a.Data, a.Stride, tf, n, nil)
 	for _, v := range a.Data {
@@ -101,18 +102,18 @@ func TestGEQRTZeroMatrix(t *testing.T) {
 
 // tpFactor runs TPQRT on copies of a triangular top and pentagonal bottom,
 // returning the updated triangle (R), the reflectors, and T.
-func tpFactor(tb testing.TB, m, n, l, ib int, a0tri, b0 *tile.Dense) (r, v *tile.Dense, tf []float64) {
+func tpFactor[T vec.Scalar](tb testing.TB, m, n, l, ib int, a0tri, b0 *tile.Dense[T]) (r, v *tile.Dense[T], tf []T) {
 	tb.Helper()
 	a := a0tri.Clone()
 	b := b0.Clone()
-	tf = make([]float64, max(1, min(ib, n))*n)
+	tf = make([]T, max(1, min(ib, n))*n)
 	TPQRT(m, n, l, ib, a.Data, a.Stride, b.Data, b.Stride, tf, n, nil)
 	return a, b, tf
 }
 
 // checkTP verifies a TPQRT factorization by applying Qᵀ to the original
 // stacked pair and checking [R; 0], then round-tripping Q·Qᵀ.
-func checkTP(t *testing.T, m, n, l, ib int, a0tri, b0 *tile.Dense) {
+func checkTP[T vec.Scalar](t *testing.T, m, n, l, ib int, a0tri, b0 *tile.Dense[T]) {
 	t.Helper()
 	r, v, tf := tpFactor(t, m, n, l, ib, a0tri, b0)
 	ibn := min(max(ib, 1), n)
@@ -128,16 +129,16 @@ func checkTP(t *testing.T, m, n, l, ib int, a0tri, b0 *tile.Dense) {
 	for j := 0; j < n; j++ {
 		p := pentRows(m, l, j)
 		for i := 0; i < p; i++ {
-			if math.Abs(c2.At(i, j)) > tol {
-				t.Errorf("TPQRT m=%d n=%d l=%d ib=%d: B(%d,%d) not annihilated: %g",
+			if vec.Abs(c2.At(i, j)) > tol {
+				t.Errorf("TPQRT m=%d n=%d l=%d ib=%d: B(%d,%d) not annihilated: %v",
 					m, n, l, ibn, i, j, c2.At(i, j))
 			}
 		}
 	}
 
 	// Round trip: Q·(Qᵀ·[X1; X2]) = [X1; X2] for random X.
-	x1 := tile.RandDense(n, n, 77)
-	x2 := tile.RandDense(m, n, 78)
+	x1 := tile.RandDense[T](n, n, 77)
+	x2 := tile.RandDense[T](m, n, 78)
 	// Zero X2 outside the pentagonal region so the structured kernel's
 	// untouched region stays consistent.
 	for j := 0; j < n; j++ {
@@ -156,15 +157,14 @@ func checkTP(t *testing.T, m, n, l, ib int, a0tri, b0 *tile.Dense) {
 	}
 }
 
-func randUpperTri(n int, seed int64) *tile.Dense {
-	a := tile.RandDense(n, n, seed)
-	return upperTriOf(a)
+func randUpperTri[T vec.Scalar](n int, seed int64) *tile.Dense[T] {
+	return upperTriOf(tile.RandDense[T](n, n, seed))
 }
 
 // randPent returns an m×n matrix that is zero outside the pentagonal region
 // with trapezoid height l.
-func randPent(m, n, l int, seed int64) *tile.Dense {
-	b := tile.RandDense(m, n, seed)
+func randPent[T vec.Scalar](m, n, l int, seed int64) *tile.Dense[T] {
+	b := tile.RandDense[T](m, n, seed)
 	for j := 0; j < n; j++ {
 		for i := pentRows(m, l, j); i < m; i++ {
 			b.Set(i, j, 0)
@@ -177,7 +177,7 @@ func TestTSQRT(t *testing.T) {
 	for _, c := range []struct{ m, n, ib int }{
 		{8, 8, 3}, {8, 8, 8}, {5, 8, 2}, {8, 5, 4}, {1, 1, 1}, {3, 7, 7}, {16, 16, 4},
 	} {
-		checkTP(t, c.m, c.n, 0, c.ib, randUpperTri(c.n, 11), tile.RandDense(c.m, c.n, 12))
+		checkTP(t, c.m, c.n, 0, c.ib, randUpperTri[float64](c.n, 11), tile.RandDense[float64](c.m, c.n, 12))
 	}
 }
 
@@ -186,7 +186,7 @@ func TestTTQRT(t *testing.T) {
 		{8, 8, 3}, {8, 8, 8}, {8, 8, 1}, {5, 8, 2}, {1, 1, 1}, {16, 16, 4},
 	} {
 		l := min(c.m, c.n)
-		checkTP(t, c.m, c.n, l, c.ib, randUpperTri(c.n, 21), randPent(c.m, c.n, l, 22))
+		checkTP(t, c.m, c.n, l, c.ib, randUpperTri[float64](c.n, 21), randPent[float64](c.m, c.n, l, 22))
 	}
 }
 
@@ -197,7 +197,7 @@ func TestTPQRTGeneralPentagon(t *testing.T) {
 		n := 1 + rng.Intn(10)
 		l := rng.Intn(min(m, n) + 1)
 		ib := 1 + rng.Intn(n)
-		checkTP(t, m, n, l, ib, randUpperTri(n, int64(iter)), randPent(m, n, l, int64(iter+100)))
+		checkTP(t, m, n, l, ib, randUpperTri[float64](n, int64(iter)), randPent[float64](m, n, l, int64(iter+100)))
 	}
 }
 
@@ -208,8 +208,8 @@ func TestTPQRTGeneralPentagon(t *testing.T) {
 func TestTTQRTDoesNotTouchLowerTriangle(t *testing.T) {
 	const n, ib = 8, 3
 	const sentinel = 1e300
-	aTri := randUpperTri(n, 31)
-	b := randPent(n, n, n, 32)
+	aTri := randUpperTri[float64](n, 31)
+	b := randPent[float64](n, n, n, 32)
 	for j := 0; j < n; j++ {
 		for i := j + 1; i < n; i++ {
 			b.Set(i, j, sentinel)
@@ -227,8 +227,8 @@ func TestTTQRTDoesNotTouchLowerTriangle(t *testing.T) {
 	}
 	// The apply kernel must also leave those entries alone in V and never
 	// produce NaN/Inf in C (which it would if it read the sentinels).
-	c1 := tile.RandDense(n, n, 33)
-	c2 := tile.RandDense(n, n, 34)
+	c1 := tile.RandDense[float64](n, n, 33)
+	c2 := tile.RandDense[float64](n, n, 34)
 	TPMQRT(true, n, n, n, ib, b.Data, b.Stride, tf, n, c1.Data, c1.Stride, c2.Data, c2.Stride, n, nil)
 	for _, v := range append(append([]float64{}, c1.Data...), c2.Data...) {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
@@ -243,13 +243,13 @@ func TestTTQRTDoesNotTouchLowerTriangle(t *testing.T) {
 func TestTPQRTDoesNotTouchTopLowerTriangle(t *testing.T) {
 	const n, m, ib = 6, 6, 2
 	const sentinel = -7e299
-	a := randUpperTri(n, 41)
+	a := randUpperTri[float64](n, 41)
 	for i := 1; i < n; i++ {
 		for j := 0; j < i; j++ {
 			a.Set(i, j, sentinel)
 		}
 	}
-	b := tile.RandDense(m, n, 42)
+	b := tile.RandDense[float64](m, n, 42)
 	tf := make([]float64, ib*n)
 	TPQRT(m, n, 0, ib, a.Data, a.Stride, b.Data, b.Stride, tf, n, nil)
 	for i := 1; i < n; i++ {
@@ -268,9 +268,9 @@ func TestTPQRTDoesNotTouchTopLowerTriangle(t *testing.T) {
 
 func TestTPQRTInnerBlockingInvariance(t *testing.T) {
 	m, n := 12, 12
-	aTri := randUpperTri(n, 51)
-	b := tile.RandDense(m, n, 52)
-	var ref *tile.Dense
+	aTri := randUpperTri[float64](n, 51)
+	b := tile.RandDense[float64](m, n, 52)
+	var ref *tile.Dense[float64]
 	for _, ib := range []int{1, 2, 4, 5, 12} {
 		r, _, _ := tpFactor(t, m, n, 0, ib, aTri, b)
 		if ref == nil {
@@ -288,11 +288,11 @@ func TestTPQRTInnerBlockingInvariance(t *testing.T) {
 // against a direct dense QR of the stacked matrix.
 func TestTwoTileColumnMatchesDenseQR(t *testing.T) {
 	const nb, ib = 6, 3
-	top0 := tile.RandDense(nb, nb, 61)
-	bot0 := tile.RandDense(nb, nb, 62)
+	top0 := tile.RandDense[float64](nb, nb, 61)
+	bot0 := tile.RandDense[float64](nb, nb, 62)
 
 	// Reference: GEQRT of the stacked 2nb×nb matrix.
-	stack := tile.NewDense(2*nb, nb)
+	stack := tile.NewDense[float64](2*nb, nb)
 	for i := 0; i < nb; i++ {
 		copy(stack.Data[i*nb:(i+1)*nb], top0.Data[i*nb:(i+1)*nb])
 		copy(stack.Data[(nb+i)*nb:(nb+i+1)*nb], bot0.Data[i*nb:(i+1)*nb])
@@ -301,7 +301,7 @@ func TestTwoTileColumnMatchesDenseQR(t *testing.T) {
 	GEQRT(2*nb, nb, ib, stack.Data, stack.Stride, tf, nb, nil)
 	refR := upperTriOf(stack.View(0, 0, nb, nb))
 
-	absDiff := func(a, b *tile.Dense) float64 {
+	absDiff := func(a, b *tile.Dense[float64]) float64 {
 		var m float64
 		for i := 0; i < a.Rows; i++ {
 			for j := 0; j < a.Cols; j++ {
@@ -338,7 +338,7 @@ func TestTwoTileColumnMatchesDenseQR(t *testing.T) {
 }
 
 func TestUNMQRNoReflectorsIsIdentity(t *testing.T) {
-	c0 := tile.RandDense(4, 4, 71)
+	c0 := tile.RandDense[float64](4, 4, 71)
 	c := c0.Clone()
 	UNMQR(true, 4, 0, 1, nil, 1, nil, 1, c.Data, c.Stride, 4, nil)
 	if tile.MaxAbsDiff(c, c0) != 0 {
@@ -347,7 +347,7 @@ func TestUNMQRNoReflectorsIsIdentity(t *testing.T) {
 }
 
 func TestLarfgColZeroTail(t *testing.T) {
-	a := tile.NewDense(4, 1)
+	a := tile.NewDense[float64](4, 1)
 	a.Set(0, 0, 3)
 	tau, scale := larfgCol(a.Data, a.Stride, 0, 0, 4)
 	if tau != 0 || scale != 1 {
@@ -362,7 +362,7 @@ func TestLarfgColAnnihilates(t *testing.T) {
 	rng := rand.New(rand.NewSource(81))
 	for iter := 0; iter < 50; iter++ {
 		n := 2 + rng.Intn(8)
-		a := tile.RandDense(n, 1, int64(iter))
+		a := tile.RandDense[float64](n, 1, int64(iter))
 		orig := a.Clone()
 		tau, scale := larfgCol(a.Data, a.Stride, 0, 0, n)
 		// Reconstruct H·x and verify it equals [β; 0]. The tail is

@@ -15,23 +15,26 @@ func pentRows(m, l, j int) int {
 }
 
 // larfgPent generates the reflector for TPQRT column j: the vector is
-// [a(j,j); b(0:p, j)] where p = pentRows(m, l, j). On return a(j,j) = β;
-// b(0:p, j) still holds the raw column — the caller multiplies it by the
-// returned scale (fused into its next row sweep) to obtain v₂. The tail
+// [a(j,j); b(0:p, j)] where p = pentRows(m, l, j). On return a(j,j) = β
+// (real); b(0:p, j) still holds the raw column — the caller multiplies it by
+// the returned scale (fused into its next row sweep) to obtain v₂. The tail
 // norm is the safe single-pass Nrm2 (one Sqrt per reflector instead of one
-// Hypot per element).
-func larfgPent(a []float64, lda int, b []float64, ldb, j, p int) (tau, scale float64) {
+// Hypot per element), and the β/τ arithmetic runs in float64 for every
+// domain as in larfgCol.
+func larfgPent[T vec.Scalar](a []T, lda int, b []T, ldb, j, p int) (tau, scale T) {
 	alpha := a[j*lda+j]
-	if p <= 0 {
+	var xnorm float64
+	if p > 0 {
+		xnorm = vec.Nrm2Inc(b[j:], p, ldb)
+	}
+	if xnorm == 0 && vec.ImagPart(alpha) == 0 {
 		return 0, 1
 	}
-	xnorm := vec.Nrm2Inc(b[j:], p, ldb)
-	if xnorm == 0 {
-		return 0, 1
-	}
-	beta := -math.Copysign(math.Hypot(alpha, xnorm), alpha)
-	a[j*lda+j] = beta
-	return (beta - alpha) / beta, 1 / (alpha - beta)
+	beta := -math.Copysign(math.Hypot(vec.Abs(alpha), xnorm), vec.RealPart(alpha))
+	tau = vec.FromParts[T]((beta-vec.RealPart(alpha))/beta, -vec.ImagPart(alpha)/beta)
+	betaT := vec.FromParts[T](beta, 0)
+	a[j*lda+j] = betaT
+	return tau, 1 / (alpha - betaT)
 }
 
 // tpqrt2 factors one panel (columns j0:j0+kb) of the stacked matrix
@@ -44,19 +47,22 @@ func larfgPent(a []float64, lda int, b []float64, ldb, j, p int) (tau, scale flo
 // to comb[c] only when that height exceeds i — a per-row start offset,
 // since pentRows is nondecreasing in the column index. The update columns
 // (c > jj) always take all p rows, and start never exceeds jj, so one Axpy
-// per row covers both.
-func tpqrt2(m, n, l int, a []float64, lda int, b []float64, ldb, j0, kb int,
-	t []float64, ldt int, comb []float64) {
+// per row covers both. comb[c] accumulates Σ conj(v_i)·b(i, j0+c): the
+// Vᴴ·B dot for update columns, the conjugate of the T-column dot for c < jj.
+func tpqrt2[T vec.Scalar](m, n, l int, a []T, lda int, b []T, ldb, j0, kb int,
+	t []T, ldt int, comb []T) {
+	cc := vec.IsComplex[T]()
 	for jj := 0; jj < kb; jj++ {
 		j := j0 + jj
 		p := pentRows(m, l, j)
 		tau, scale := larfgPent(a, lda, b, ldb, j, p)
+		ctau := vec.Conj(tau)
 		cb := comb[:kb]
 		clear(cb)
-		// Sweep 1: scale the raw reflector column in passing and
-		// accumulate comb[c] = Σ_i v_i·b(i, j0+c) over each column's
-		// structural rows. The top parts of the reflectors are distinct
-		// identity columns, so A contributes nothing here.
+		// Sweep 1: scale the raw reflector column in passing and accumulate
+		// the conjugated dots over each column's structural rows. The top
+		// parts of the reflectors are distinct identity columns, so A
+		// contributes nothing here.
 		for i := 0; i < p; i++ {
 			start := 0
 			if d := i - (m - l) - j0; d > 0 {
@@ -65,15 +71,16 @@ func tpqrt2(m, n, l int, a []float64, lda int, b []float64, ldb, j0, kb int,
 			row := b[i*ldb+j0 : i*ldb+j0+kb]
 			vi := row[jj] * scale
 			row[jj] = vi
-			vec.Axpy(vi, row[start:], cb[start:])
+			vec.Axpy(conjIf(cc, vi), row[start:], cb[start:])
 		}
-		// Update scalars w = τ·(A row j + comb), applied to A's row j and
-		// then to all p rows of B.
+		// Apply Hᴴ to the remaining panel columns: update scalars
+		// w = conj(τ)·(A row j + comb), applied to A's row j and then to all
+		// p rows of B.
 		if jj+1 < kb {
 			w := cb[jj+1:]
 			arow := a[j*lda+j+1 : j*lda+j0+kb]
 			for y, av := range arow {
-				wv := tau * (av + w[y])
+				wv := ctau * (av + w[y])
 				arow[y] = av - wv
 				w[y] = wv
 			}
@@ -81,8 +88,12 @@ func tpqrt2(m, n, l int, a []float64, lda int, b []float64, ldb, j0, kb int,
 				vec.Axpy(-b[i*ldb+j], w, b[i*ldb+j+1:i*ldb+j0+kb])
 			}
 		}
-		// T(0:jj, jj) = −τ·T(0:jj, 0:jj)·(V₂(:, 0:jj)ᵀ·v₂ⱼ); the dots are
-		// already in comb (no top-part terms).
+		// T(0:jj, jj) = −τ·T(0:jj, 0:jj)·(V₂(:, 0:jj)ᴴ·v₂ⱼ); the conjugated
+		// dots are already in comb (no top-part terms), so conjugate back
+		// (identity in the real domains).
+		for c := 0; c < jj; c++ {
+			cb[c] = conjIf(cc, cb[c])
+		}
 		for r := 0; r < jj; r++ {
 			t[r*ldt+j] = -tau * vec.Dot(t[r*ldt+j0+r:r*ldt+j0+jj], cb[r:jj])
 		}
@@ -94,12 +105,14 @@ func tpqrt2(m, n, l int, a []float64, lda int, b []float64, ldb, j0, kb int,
 // vc0:vc0+kb of the pentagonal array v, with T in columns vc0:vc0+kb of t)
 // to the stacked pair [C1; C2]. The identity part of reflector column vc0+x
 // acts on row vc0+x of C1; the pentagonal part acts on C2. If trans it
-// applies (I − V·T·Vᵀ)ᵀ, else I − V·T·Vᵀ. w must have length ≥ kb·nc.
-func applyPentPanel(trans bool, m, l int, v []float64, ldv, vc0, kb int,
-	t []float64, ldt int,
-	c1 []float64, ldc1, c1c0 int,
-	c2 []float64, ldc2, c2c0, nc int, w []float64) {
-	// W = C1[vc0+x] + V₂ᵀ · C2. The C1 rows seed W (the identity tops of
+// applies (I − V·Tᴴ·Vᴴ), else I − V·T·Vᴴ. w must have length ≥ kb·nc.
+func applyPentPanel[T vec.Scalar](trans bool, m, l int, v []T, ldv, vc0, kb int,
+	t []T, ldt int,
+	c1 []T, ldc1, c1c0 int,
+	c2 []T, ldc2, c2c0, nc int, w []T) {
+	xBlock := xBlockOf[T]()
+	cc := vec.IsComplex[T]()
+	// W = C1[vc0+x] + V₂ᴴ · C2. The C1 rows seed W (the identity tops of
 	// the reflectors); then one sweep over C2's structural rows accumulates
 	// the pentagonal parts — row i of C2 is read once and feeds the
 	// reflector columns whose pentagonal height exceeds i (a suffix
@@ -119,7 +132,7 @@ func applyPentPanel(trans bool, m, l int, v []float64, ldv, vc0, kb int,
 			}
 			vrow := v[i*ldv+vc0 : i*ldv+vc0+xe]
 			for x := xs; x < xe; x++ {
-				vec.Axpy(vrow[x], ci, w[x*nc:x*nc+nc])
+				vec.Axpy(conjIf(cc, vrow[x]), ci, w[x*nc:x*nc+nc])
 			}
 		}
 	}
@@ -164,8 +177,8 @@ func applyPentPanel(trans bool, m, l int, v []float64, ldv, vc0, kb int,
 // On return A holds the updated R, B holds the V₂ parts of the reflectors,
 // and t (ib rows, stride ldt ≥ n) holds the panel T factors. work may be
 // nil or a scratch slice of length ≥ WorkLen(n, ib).
-func TPQRT(m, n, l, ib int, a []float64, lda int, b []float64, ldb int,
-	t []float64, ldt int, work []float64) {
+func TPQRT[T vec.Scalar](m, n, l, ib int, a []T, lda int, b []T, ldb int,
+	t []T, ldt int, work []T) {
 	if n == 0 || m == 0 {
 		return
 	}
@@ -189,8 +202,8 @@ func TPQRT(m, n, l, ib int, a []float64, lda int, b []float64, ldb int,
 
 // TSQRT is TPQRT with l = 0: zero a full m×n tile b using the n×n triangle a
 // on top of it (Algorithm 2 of the paper, "triangle on top of square").
-func TSQRT(m, n, ib int, a []float64, lda int, b []float64, ldb int,
-	t []float64, ldt int, work []float64) {
+func TSQRT[T vec.Scalar](m, n, ib int, a []T, lda int, b []T, ldb int,
+	t []T, ldt int, work []T) {
 	TPQRT(m, n, 0, ib, a, lda, b, ldb, t, ldt, work)
 }
 
@@ -198,18 +211,18 @@ func TSQRT(m, n, ib int, a []float64, lda int, b []float64, ldb int,
 // using the triangle a on top of it (Algorithm 3, "triangle on top of
 // triangle"). Its pentagonal structure is what makes it cost 2 weight units
 // instead of TSQRT's 6.
-func TTQRT(m, n, ib int, a []float64, lda int, b []float64, ldb int,
-	t []float64, ldt int, work []float64) {
+func TTQRT[T vec.Scalar](m, n, ib int, a []T, lda int, b []T, ldb int,
+	t []T, ldt int, work []T) {
 	TPQRT(m, n, min(m, n), ib, a, lda, b, ldb, t, ldt, work)
 }
 
 // TPMQRT applies the transformation computed by TPQRT to the stacked pair
 // [C1; C2]: rows 0:k of the tile c1 and the full m×nc tile c2. v (m×k
 // pentagonal, trapezoid height l) and t are TPQRT's outputs; trans selects
-// Qᵀ (as used during factorization) versus Q. work may be nil or a scratch
+// Qᴴ (as used during factorization) versus Q. work may be nil or a scratch
 // slice of length ≥ ib·nc.
-func TPMQRT(trans bool, m, k, l, ib int, v []float64, ldv int, t []float64, ldt int,
-	c1 []float64, ldc1 int, c2 []float64, ldc2, nc int, work []float64) {
+func TPMQRT[T vec.Scalar](trans bool, m, k, l, ib int, v []T, ldv int, t []T, ldt int,
+	c1 []T, ldc1 int, c2 []T, ldc2, nc int, work []T) {
 	if k == 0 || nc == 0 {
 		return
 	}
@@ -232,13 +245,13 @@ func TPMQRT(trans bool, m, k, l, ib int, v []float64, ldv int, t []float64, ldt 
 }
 
 // TSMQR is TPMQRT with l = 0 (apply a TSQRT transformation).
-func TSMQR(trans bool, m, k, ib int, v []float64, ldv int, t []float64, ldt int,
-	c1 []float64, ldc1 int, c2 []float64, ldc2, nc int, work []float64) {
+func TSMQR[T vec.Scalar](trans bool, m, k, ib int, v []T, ldv int, t []T, ldt int,
+	c1 []T, ldc1 int, c2 []T, ldc2, nc int, work []T) {
 	TPMQRT(trans, m, k, 0, ib, v, ldv, t, ldt, c1, ldc1, c2, ldc2, nc, work)
 }
 
 // TTMQR is TPMQRT with l = min(m,k) (apply a TTQRT transformation).
-func TTMQR(trans bool, m, k, ib int, v []float64, ldv int, t []float64, ldt int,
-	c1 []float64, ldc1 int, c2 []float64, ldc2, nc int, work []float64) {
+func TTMQR[T vec.Scalar](trans bool, m, k, ib int, v []T, ldv int, t []T, ldt int,
+	c1 []T, ldc1 int, c2 []T, ldc2, nc int, work []T) {
 	TPMQRT(trans, m, k, min(m, k), ib, v, ldv, t, ldt, c1, ldc1, c2, ldc2, nc, work)
 }

@@ -8,8 +8,9 @@
 // paper (TPQRT/TPMQRT with l = m) along the task DAG of
 // core.BuildStreamDAG, executed by internal/sched with the same
 // critical-path priorities as a one-shot factorization. The package is
-// generic over the scalar type so the float64 and complex128 domains share
-// one code path; the public tiledqr package instantiates it twice.
+// generic over all four scalar domains and dispatches tasks through the
+// shared engine.Source loop — the Core's only jobs are batch staging, the
+// stacked tile addressing, and the Qᵀb/residual bookkeeping.
 package stream
 
 import (
@@ -17,47 +18,31 @@ import (
 	"math"
 
 	"tiledqr/internal/core"
+	"tiledqr/internal/engine"
+	"tiledqr/internal/kernel"
 	"tiledqr/internal/sched"
 	"tiledqr/internal/tile"
+	"tiledqr/internal/vec"
 	"tiledqr/internal/work"
 )
-
-// Funcs bundles the tile-kernel entry points of one arithmetic domain
-// (internal/kernel or internal/zkernel) plus the vector dot used by
-// back-substitution.
-type Funcs[T work.Scalar] struct {
-	GEQRT   func(m, n, ib int, a []T, lda int, t []T, ldt int, work []T)
-	UNMQR   func(trans bool, m, k, ib int, v []T, ldv int, t []T, ldt int, c []T, ldc, nc int, work []T)
-	TPQRT   func(m, n, l, ib int, a []T, lda int, b []T, ldb int, t []T, ldt int, work []T)
-	TPMQRT  func(trans bool, m, k, l, ib int, v []T, ldv int, t []T, ldt int, c1 []T, ldc1 int, c2 []T, ldc2, nc int, work []T)
-	WorkLen func(n, ib int) int
-	Dot     func(x, y []T) T
-}
 
 // seqTaskThreshold is the DAG size below which a batch merge runs on the
 // scheduler's deterministic sequential path: tiny merges (a one-tile-row
 // batch into a narrow triangle) are dominated by goroutine wake-up cost.
 const seqTaskThreshold = 64
 
-// Tile is one contiguous tile of the resident triangle or of a tiled batch.
-type Tile[T work.Scalar] struct {
-	Rows, Cols, Stride int
-	Data               []T
-}
-
 // Core is the domain-generic streaming state: the resident triangle, the
 // retained Qᵀb block, cached merge DAGs keyed by batch tile height, and the
 // per-worker kernel workspaces. All retained storage is O(n² + batch);
 // nothing grows with the number of rows ingested, and steady-state appends
 // of a repeated batch shape reuse every buffer.
-type Core[T work.Scalar] struct {
+type Core[T vec.Scalar] struct {
 	n, nb, ib int
 	workers   int
 	kernels   core.Kernels
-	ops       Funcs[T]
 
-	grid tile.Grid // q×q resident grid over the n×n triangle
-	res  []Tile[T] // row-major q×q; only tiles with i ≤ k are allocated
+	grid tile.Grid       // q×q resident grid over the n×n triangle
+	res  []tile.Dense[T] // row-major q×q; only tiles with i ≤ k are allocated
 
 	qtb  []T // top n rows of Qᵀb, row-major with stride nrhs
 	nrhs int
@@ -69,8 +54,10 @@ type Core[T work.Scalar] struct {
 	wk   [][]T             // per-worker kernel scratch
 
 	// Grow-only staging reused across appends, bounded by the largest batch
-	// seen: the tiled batch copy, its T factors, and the RHS block.
+	// seen: the tiled batch copy, its T factors, and the RHS block. cur
+	// points at bv while a merge is in flight (the Source methods need it).
 	bv         batchView[T]
+	cur        *batchView[T]
 	arena      []T // batch tile payloads (r·n scalars)
 	tArena     []T // T-factor payloads
 	rhsScratch []T // batch RHS staging
@@ -81,7 +68,7 @@ type Core[T work.Scalar] struct {
 
 // NewCore creates the streaming state for an n-column system. workers must
 // already be resolved (≥ 1).
-func NewCore[T work.Scalar](n, nb, ib, workers int, kernels core.Kernels, ops Funcs[T]) (*Core[T], error) {
+func NewCore[T vec.Scalar](n, nb, ib, workers int, kernels core.Kernels) (*Core[T], error) {
 	if n < 1 {
 		return nil, fmt.Errorf("tiledqr: stream: need at least one column (n=%d)", n)
 	}
@@ -90,16 +77,16 @@ func NewCore[T work.Scalar](n, nb, ib, workers int, kernels core.Kernels, ops Fu
 	}
 	g := tile.NewGrid(n, n, nb)
 	c := &Core[T]{
-		n: n, nb: nb, ib: ib, workers: workers, kernels: kernels, ops: ops,
+		n: n, nb: nb, ib: ib, workers: workers, kernels: kernels,
 		grid: g,
-		res:  make([]Tile[T], g.Q*g.Q),
+		res:  make([]tile.Dense[T], g.Q*g.Q),
 		dags: make(map[int]*core.DAG),
-		wk:   work.Workspaces[T](workers, ops.WorkLen(nb, ib)),
+		wk:   work.Workspaces[T](workers, kernel.WorkLen(nb, ib)),
 	}
 	for i := 0; i < g.Q; i++ {
 		for k := i; k < g.Q; k++ {
 			r, cc := g.TileRows(i), g.TileCols(k)
-			c.res[i*g.Q+k] = Tile[T]{Rows: r, Cols: cc, Stride: cc, Data: make([]T, r*cc)}
+			c.res[i*g.Q+k] = tile.Dense[T]{Rows: r, Cols: cc, Stride: cc, Data: make([]T, r*cc)}
 		}
 	}
 	return c, nil
@@ -138,9 +125,9 @@ func (c *Core[T]) Footprint() int {
 // batchView is the per-append staging: the tiled batch and the T factors of
 // its merge tasks, indexed over the stacked row space. Its slices view the
 // Core's grow-only arenas.
-type batchView[T work.Scalar] struct {
+type batchView[T vec.Scalar] struct {
 	g      tile.Grid
-	tiles  []Tile[T]
+	tiles  []tile.Dense[T]
 	tg, t2 [][]T
 }
 
@@ -165,7 +152,7 @@ func (c *Core[T]) tileBatch(r int, data []T, ld int) *batchView[T] {
 	for ti := 0; ti < g.P; ti++ {
 		for tk := 0; tk < g.Q; tk++ {
 			tr, tc := g.TileRows(ti), g.TileCols(tk)
-			t := Tile[T]{Rows: tr, Cols: tc, Stride: tc, Data: c.arena[off : off+tr*tc]}
+			t := tile.Dense[T]{Rows: tr, Cols: tc, Stride: tc, Data: c.arena[off : off+tr*tc]}
 			off += tr * tc
 			r0, c0 := ti*c.nb, tk*c.nb
 			for rr := 0; rr < tr; rr++ {
@@ -189,14 +176,23 @@ func (c *Core[T]) dag(pb int) *core.DAG {
 	return d
 }
 
-// stacked tile and T-factor addressing: rows 1..q are the resident
-// triangle, rows q+1..q+pb the batch.
-func (c *Core[T]) tileAt(bv *batchView[T], i, k int) *Tile[T] {
+// TileAt implements engine.Source with the stacked addressing: tile rows
+// 1..q are the resident triangle, rows q+1..q+pb the in-flight batch.
+func (c *Core[T]) TileAt(i, k int) *tile.Dense[T] {
 	if i <= c.grid.Q {
 		return &c.res[(i-1)*c.grid.Q+(k-1)]
 	}
-	return &bv.tiles[(i-c.grid.Q-1)*c.grid.Q+(k-1)]
+	return &c.cur.tiles[(i-c.grid.Q-1)*c.grid.Q+(k-1)]
 }
+
+// TFactor returns the GEQRT T-factor storage of stacked tile (i, k).
+func (c *Core[T]) TFactor(i, k int) []T { return c.cur.tg[c.tidx(i, k)] }
+
+// T2Factor returns the TSQRT/TTQRT T-factor storage of stacked tile (i, k).
+func (c *Core[T]) T2Factor(i, k int) []T { return c.cur.t2[c.tidx(i, k)] }
+
+// KCols returns the column count of tile column k (1-based).
+func (c *Core[T]) KCols(k int) int { return c.grid.TileCols(k - 1) }
 
 func (c *Core[T]) tidx(i, k int) int { return (i-1)*c.grid.Q + (k - 1) }
 
@@ -235,48 +231,6 @@ func (c *Core[T]) allocT(d *core.DAG, bv *batchView[T]) {
 	}
 }
 
-// exec dispatches one merge task to the corresponding tile kernel, mirroring
-// the one-shot factorization's dispatch with the stacked row mapping.
-func (c *Core[T]) exec(d *core.DAG, t int32, bv *batchView[T], work []T) {
-	task := d.Tasks[t]
-	switch task.Kind {
-	case core.KGEQRT:
-		a := c.tileAt(bv, task.I, task.K)
-		c.ops.GEQRT(a.Rows, a.Cols, c.ib, a.Data, a.Stride,
-			bv.tg[c.tidx(task.I, task.K)], a.Cols, work)
-	case core.KUNMQR:
-		v := c.tileAt(bv, task.I, task.K)
-		cc := c.tileAt(bv, task.I, task.J)
-		c.ops.UNMQR(true, v.Rows, min(v.Rows, v.Cols), c.ib, v.Data, v.Stride,
-			bv.tg[c.tidx(task.I, task.K)], v.Cols, cc.Data, cc.Stride, cc.Cols, work)
-	case core.KTSQRT, core.KTTQRT:
-		a := c.tileAt(bv, task.Piv, task.K)
-		b := c.tileAt(bv, task.I, task.K)
-		m, l := b.Rows, 0
-		if task.Kind == core.KTTQRT {
-			m = min(b.Rows, a.Cols)
-			l = m
-		}
-		c.ops.TPQRT(m, a.Cols, l, c.ib, a.Data, a.Stride, b.Data, b.Stride,
-			bv.t2[c.tidx(task.I, task.K)], a.Cols, work)
-	case core.KTSMQR, core.KTTMQR:
-		v := c.tileAt(bv, task.I, task.K)
-		c1 := c.tileAt(bv, task.Piv, task.J)
-		c2 := c.tileAt(bv, task.I, task.J)
-		kRef := c.grid.TileCols(task.K - 1)
-		m, l := v.Rows, 0
-		if task.Kind == core.KTTMQR {
-			m = min(v.Rows, kRef)
-			l = m
-		}
-		c.ops.TPMQRT(true, m, kRef, l, c.ib, v.Data, v.Stride,
-			bv.t2[c.tidx(task.I, task.K)], kRef,
-			c1.Data, c1.Stride, c2.Data, c2.Stride, c2.Cols, work)
-	default:
-		panic(fmt.Sprintf("tiledqr: stream: unknown task kind %v", task.Kind))
-	}
-}
-
 // Append merges an r×n row batch (row stride ld) into the resident
 // triangle, and, when the stream tracks right-hand sides, folds the
 // matching r×nrhs RHS rows (stride ldr) into the retained Qᵀb block. The
@@ -308,74 +262,44 @@ func (c *Core[T]) Append(r int, data []T, ld int, rhs []T, ldr, nrhs int) error 
 	bv := c.tileBatch(r, data, ld)
 	d := c.dag(bv.g.P)
 	c.allocT(d, bv)
+	c.cur = bv
+	defer func() { c.cur = nil }()
 	workers := c.workers
 	if d.NumTasks() < seqTaskThreshold {
 		workers = 1
 	}
-	if _, err := sched.Run(d, sched.Options{Workers: workers},
-		func(t int32, w int) { c.exec(d, t, bv, c.wk[w]) }); err != nil {
+	if _, err := engine.ExecTasks[T](c, d, sched.Options{Workers: workers}, c.ib, c.wk); err != nil {
 		return err
 	}
 	if c.nrhs > 0 {
-		c.applyRHS(d, bv, r, rhs, ldr)
+		c.applyRHS(d, r, rhs, ldr)
 	}
 	c.rows += int64(r)
 	return nil
 }
 
 // applyRHS replays the merge transformations over the stacked right-hand
-// side [qtb; batch rhs] in task order (task IDs are topological). The batch
-// rows' leftover components are exactly the Qᵀb coordinates orthogonal to
-// the retained top block; their squared norm accumulates into the running
-// least-squares residual.
-func (c *Core[T]) applyRHS(d *core.DAG, bv *batchView[T], r int, rhs []T, ldr int) {
+// side [qtb; batch rhs] via the shared engine.Replay (task IDs are
+// topological). The batch rows' leftover components are exactly the Qᵀb
+// coordinates orthogonal to the retained top block; their squared norm
+// accumulates into the running least-squares residual.
+func (c *Core[T]) applyRHS(d *core.DAG, r int, rhs []T, ldr int) {
 	nrhs := c.nrhs
 	c.rhsScratch = grow(c.rhsScratch, r*nrhs)
 	scratch := c.rhsScratch
 	for i := 0; i < r; i++ {
 		copy(scratch[i*nrhs:i*nrhs+nrhs], rhs[i*ldr:i*ldr+nrhs])
 	}
-	// rowBlock returns the stacked RHS rows of tile row i.
-	rowBlock := func(i int) []T {
+	// row returns the stacked RHS rows of tile row i.
+	row := func(i int) ([]T, int) {
 		if i <= c.grid.Q {
-			return c.qtb[(i-1)*c.nb*nrhs:]
+			return c.qtb[(i-1)*c.nb*nrhs:], nrhs
 		}
-		return scratch[(i-c.grid.Q-1)*c.nb*nrhs:]
+		return scratch[(i-c.grid.Q-1)*c.nb*nrhs:], nrhs
 	}
-	work := c.wk[0]
-	for _, task := range d.Tasks {
-		switch task.Kind {
-		case core.KGEQRT:
-			v := c.tileAt(bv, task.I, task.K)
-			c.ops.UNMQR(true, v.Rows, min(v.Rows, v.Cols), c.ib, v.Data, v.Stride,
-				bv.tg[c.tidx(task.I, task.K)], v.Cols, rowBlock(task.I), nrhs, nrhs, work)
-		case core.KTSQRT, core.KTTQRT:
-			v := c.tileAt(bv, task.I, task.K)
-			kRef := c.grid.TileCols(task.K - 1)
-			m, l := v.Rows, 0
-			if task.Kind == core.KTTQRT {
-				m = min(v.Rows, kRef)
-				l = m
-			}
-			c.ops.TPMQRT(true, m, kRef, l, c.ib, v.Data, v.Stride,
-				bv.t2[c.tidx(task.I, task.K)], kRef,
-				rowBlock(task.Piv), nrhs, rowBlock(task.I), nrhs, nrhs, work)
-		}
-	}
+	engine.Replay[T](c, d, true, row, nrhs, c.ib, c.wk[0])
 	for _, v := range scratch {
-		c.resid2 += abs2(v)
-	}
-}
-
-// abs2 returns |v|² for either scalar domain.
-func abs2[T work.Scalar](v T) float64 {
-	switch x := any(v).(type) {
-	case float64:
-		return x * x
-	case complex128:
-		return real(x)*real(x) + imag(x)*imag(x)
-	default:
-		panic("tiledqr: stream: unsupported scalar type")
+		c.resid2 += vec.Abs2(v)
 	}
 }
 
@@ -422,5 +346,5 @@ func (c *Core[T]) SolveLS(x []T, ldx int) error {
 		c.xcol = make([]T, c.n)
 	}
 	c.CopyR(c.rwork, c.n)
-	return work.SolveUpper(c.n, c.nrhs, c.rwork, c.n, c.qtb, c.nrhs, x, ldx, c.xcol, c.ops.Dot)
+	return work.SolveUpper(c.n, c.nrhs, c.rwork, c.n, c.qtb, c.nrhs, x, ldx, c.xcol)
 }

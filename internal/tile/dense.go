@@ -1,43 +1,45 @@
 // Package tile provides the dense- and tiled-matrix substrate used by the
 // tiled QR factorization algorithms: row-major dense matrices, PLASMA-style
 // tile layouts with ragged edge tiles, conversions between the two, norms,
-// and deterministic random matrix generation for tests and benchmarks.
+// and deterministic random matrix generation for tests and benchmarks. The
+// whole substrate is generic over the four arithmetic domains of
+// vec.Scalar; the real/complex differences (conjugation, modulus, random
+// fill) go through the vec scalar hooks.
 package tile
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 
 	"tiledqr/internal/vec"
 )
 
-// Dense is a row-major dense matrix of float64. Element (i, j) is stored at
-// Data[i*Stride+j]. A Dense may be a view into a larger matrix, in which case
-// Stride exceeds Cols.
-type Dense struct {
+// Dense is a row-major dense matrix over one of the scalar domains.
+// Element (i, j) is stored at Data[i*Stride+j]. A Dense may be a view into
+// a larger matrix, in which case Stride exceeds Cols.
+type Dense[T vec.Scalar] struct {
 	Rows, Cols int
 	Stride     int
-	Data       []float64
+	Data       []T
 }
 
 // NewDense allocates a zero-initialized r×c dense matrix.
-func NewDense(r, c int) *Dense {
+func NewDense[T vec.Scalar](r, c int) *Dense[T] {
 	if r < 0 || c < 0 {
 		panic(fmt.Sprintf("tile: invalid dimensions %d×%d", r, c))
 	}
-	return &Dense{Rows: r, Cols: c, Stride: c, Data: make([]float64, r*c)}
+	return &Dense[T]{Rows: r, Cols: c, Stride: c, Data: make([]T, r*c)}
 }
 
 // At returns element (i, j).
-func (a *Dense) At(i, j int) float64 { return a.Data[i*a.Stride+j] }
+func (a *Dense[T]) At(i, j int) T { return a.Data[i*a.Stride+j] }
 
 // Set assigns element (i, j).
-func (a *Dense) Set(i, j int, v float64) { a.Data[i*a.Stride+j] = v }
+func (a *Dense[T]) Set(i, j int, v T) { a.Data[i*a.Stride+j] = v }
 
 // Clone returns a deep copy of a with a compact stride.
-func (a *Dense) Clone() *Dense {
-	b := NewDense(a.Rows, a.Cols)
+func (a *Dense[T]) Clone() *Dense[T] {
+	b := NewDense[T](a.Rows, a.Cols)
 	for i := 0; i < a.Rows; i++ {
 		copy(b.Data[i*b.Stride:i*b.Stride+b.Cols], a.Data[i*a.Stride:i*a.Stride+a.Cols])
 	}
@@ -46,16 +48,16 @@ func (a *Dense) Clone() *Dense {
 
 // View returns a view of the r×c submatrix of a with top-left corner (i, j).
 // The view shares storage with a.
-func (a *Dense) View(i, j, r, c int) *Dense {
+func (a *Dense[T]) View(i, j, r, c int) *Dense[T] {
 	if i < 0 || j < 0 || i+r > a.Rows || j+c > a.Cols {
 		panic(fmt.Sprintf("tile: view [%d:%d, %d:%d] out of range for %d×%d", i, i+r, j, j+c, a.Rows, a.Cols))
 	}
-	return &Dense{Rows: r, Cols: c, Stride: a.Stride, Data: a.Data[i*a.Stride+j:]}
+	return &Dense[T]{Rows: r, Cols: c, Stride: a.Stride, Data: a.Data[i*a.Stride+j:]}
 }
 
 // Identity returns the n×n identity matrix.
-func Identity(n int) *Dense {
-	a := NewDense(n, n)
+func Identity[T vec.Scalar](n int) *Dense[T] {
+	a := NewDense[T](n, n)
 	for i := 0; i < n; i++ {
 		a.Set(i, i, 1)
 	}
@@ -63,22 +65,31 @@ func Identity(n int) *Dense {
 }
 
 // RandDense returns an r×c matrix with standard normal entries drawn from a
-// deterministic generator seeded with seed.
-func RandDense(r, c int, seed int64) *Dense {
+// deterministic generator seeded with seed; in the complex domains the real
+// and imaginary parts are independent standard normals. The draw sequence
+// per element is fixed per domain, so the float64 and complex128 data of a
+// given seed match what the pre-generic RandDense/RandZDense produced.
+func RandDense[T vec.Scalar](r, c int, seed int64) *Dense[T] {
 	rng := rand.New(rand.NewSource(seed))
-	a := NewDense(r, c)
-	for i := range a.Data {
-		a.Data[i] = rng.NormFloat64()
+	a := NewDense[T](r, c)
+	if vec.IsComplex[T]() {
+		for i := range a.Data {
+			a.Data[i] = vec.FromParts[T](rng.NormFloat64(), rng.NormFloat64())
+		}
+	} else {
+		for i := range a.Data {
+			a.Data[i] = vec.FromParts[T](rng.NormFloat64(), 0)
+		}
 	}
 	return a
 }
 
 // Mul returns the matrix product a·b.
-func Mul(a, b *Dense) *Dense {
+func Mul[T vec.Scalar](a, b *Dense[T]) *Dense[T] {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tile: dimension mismatch %d×%d · %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	c := NewDense(a.Rows, b.Cols)
+	c := NewDense[T](a.Rows, b.Cols)
 	for i := 0; i < a.Rows; i++ {
 		ci := c.Data[i*c.Stride : i*c.Stride+c.Cols]
 		for k := 0; k < a.Cols; k++ {
@@ -88,9 +99,9 @@ func Mul(a, b *Dense) *Dense {
 	return c
 }
 
-// Transpose returns aᵀ.
-func Transpose(a *Dense) *Dense {
-	t := NewDense(a.Cols, a.Rows)
+// Transpose returns aᵀ (no conjugation).
+func Transpose[T vec.Scalar](a *Dense[T]) *Dense[T] {
+	t := NewDense[T](a.Cols, a.Rows)
 	for i := 0; i < a.Rows; i++ {
 		for j := 0; j < a.Cols; j++ {
 			t.Set(j, i, a.At(i, j))
@@ -99,9 +110,20 @@ func Transpose(a *Dense) *Dense {
 	return t
 }
 
+// ConjTranspose returns aᴴ; in the real domains it coincides with Transpose.
+func ConjTranspose[T vec.Scalar](a *Dense[T]) *Dense[T] {
+	t := NewDense[T](a.Cols, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			t.Set(j, i, vec.Conj(a.At(i, j)))
+		}
+	}
+	return t
+}
+
 // FrobNorm returns the Frobenius norm of a, overflow/underflow-safe via the
-// scaled vec.Nrm2 (norm of per-row norms).
-func FrobNorm(a *Dense) float64 {
+// scaled vec.Nrm2 (norm of per-row norms for strided views).
+func FrobNorm[T vec.Scalar](a *Dense[T]) float64 {
 	if a.Rows == 0 || a.Cols == 0 {
 		return 0
 	}
@@ -117,14 +139,14 @@ func FrobNorm(a *Dense) float64 {
 
 // MaxAbsDiff returns max |a(i,j) − b(i,j)|. The matrices must have identical
 // shapes.
-func MaxAbsDiff(a, b *Dense) float64 {
+func MaxAbsDiff[T vec.Scalar](a, b *Dense[T]) float64 {
 	if a.Rows != b.Rows || a.Cols != b.Cols {
 		panic("tile: shape mismatch in MaxAbsDiff")
 	}
 	var m float64
 	for i := 0; i < a.Rows; i++ {
 		for j := 0; j < a.Cols; j++ {
-			d := math.Abs(a.At(i, j) - b.At(i, j))
+			d := vec.Abs(a.At(i, j) - b.At(i, j))
 			if d > m {
 				m = d
 			}
@@ -134,7 +156,7 @@ func MaxAbsDiff(a, b *Dense) float64 {
 }
 
 // ResidualQR returns ‖A − Q·R‖_F / ‖A‖_F, the scaled factorization residual.
-func ResidualQR(a, q, r *Dense) float64 {
+func ResidualQR[T vec.Scalar](a, q, r *Dense[T]) float64 {
 	qr := Mul(q, r)
 	diff := a.Clone()
 	for i := 0; i < diff.Rows; i++ {
@@ -149,10 +171,10 @@ func ResidualQR(a, q, r *Dense) float64 {
 	return FrobNorm(diff) / na
 }
 
-// OrthoResidual returns ‖QᵀQ − I‖_F, the loss of orthogonality of the columns
-// of Q.
-func OrthoResidual(q *Dense) float64 {
-	qtq := Mul(Transpose(q), q)
+// OrthoResidual returns ‖QᴴQ − I‖_F, the loss of orthogonality of the
+// columns of Q.
+func OrthoResidual[T vec.Scalar](q *Dense[T]) float64 {
+	qtq := Mul(ConjTranspose(q), q)
 	for i := 0; i < qtq.Rows; i++ {
 		qtq.Set(i, i, qtq.At(i, i)-1)
 	}

@@ -1,6 +1,10 @@
 package tile
 
-import "fmt"
+import (
+	"fmt"
+
+	"tiledqr/internal/vec"
+)
 
 // Grid describes the partition of an m×n matrix into p×q tiles with nominal
 // tile size nb. Interior tiles are nb×nb; the last tile row/column may be
@@ -52,29 +56,29 @@ func (g Grid) MinPQ() int {
 
 // Matrix is a tiled matrix: each tile is stored contiguously (PLASMA "tile
 // layout"), which is what gives the tiled kernels their locality.
-type Matrix struct {
+type Matrix[T vec.Scalar] struct {
 	Grid
-	Tiles []*Dense // row-major: Tiles[i*Q+j]
+	Tiles []*Dense[T] // row-major: Tiles[i*Q+j]
 }
 
 // NewMatrix allocates a zero tiled matrix for the given grid.
-func NewMatrix(g Grid) *Matrix {
-	m := &Matrix{Grid: g, Tiles: make([]*Dense, g.P*g.Q)}
+func NewMatrix[T vec.Scalar](g Grid) *Matrix[T] {
+	m := &Matrix[T]{Grid: g, Tiles: make([]*Dense[T], g.P*g.Q)}
 	for i := 0; i < g.P; i++ {
 		for j := 0; j < g.Q; j++ {
-			m.Tiles[i*g.Q+j] = NewDense(g.TileRows(i), g.TileCols(j))
+			m.Tiles[i*g.Q+j] = NewDense[T](g.TileRows(i), g.TileCols(j))
 		}
 	}
 	return m
 }
 
 // Tile returns tile (i, j), 0-based.
-func (m *Matrix) Tile(i, j int) *Dense { return m.Tiles[i*m.Q+j] }
+func (m *Matrix[T]) Tile(i, j int) *Dense[T] { return m.Tiles[i*m.Q+j] }
 
 // FromDense converts a dense matrix to tile layout with tile size nb.
-func FromDense(a *Dense, nb int) *Matrix {
+func FromDense[T vec.Scalar](a *Dense[T], nb int) *Matrix[T] {
 	g := NewGrid(a.Rows, a.Cols, nb)
-	t := NewMatrix(g)
+	t := NewMatrix[T](g)
 	for ti := 0; ti < g.P; ti++ {
 		for tj := 0; tj < g.Q; tj++ {
 			blk := t.Tile(ti, tj)
@@ -89,8 +93,8 @@ func FromDense(a *Dense, nb int) *Matrix {
 }
 
 // ToDense converts a tiled matrix back to a row-major dense matrix.
-func (m *Matrix) ToDense() *Dense {
-	a := NewDense(m.M, m.N)
+func (m *Matrix[T]) ToDense() *Dense[T] {
+	a := NewDense[T](m.M, m.N)
 	for ti := 0; ti < m.P; ti++ {
 		for tj := 0; tj < m.Q; tj++ {
 			blk := m.Tile(ti, tj)
@@ -105,8 +109,8 @@ func (m *Matrix) ToDense() *Dense {
 }
 
 // Clone returns a deep copy of the tiled matrix.
-func (m *Matrix) Clone() *Matrix {
-	c := &Matrix{Grid: m.Grid, Tiles: make([]*Dense, len(m.Tiles))}
+func (m *Matrix[T]) Clone() *Matrix[T] {
+	c := &Matrix[T]{Grid: m.Grid, Tiles: make([]*Dense[T], len(m.Tiles))}
 	for i, t := range m.Tiles {
 		c.Tiles[i] = t.Clone()
 	}

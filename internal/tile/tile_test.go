@@ -52,7 +52,7 @@ func TestGridRowColSums(t *testing.T) {
 
 func TestFromDenseToDenseRoundTrip(t *testing.T) {
 	for _, dims := range [][3]int{{7, 5, 3}, {64, 64, 16}, {100, 37, 24}, {5, 9, 4}} {
-		a := RandDense(dims[0], dims[1], 42)
+		a := RandDense[float64](dims[0], dims[1], 42)
 		back := FromDense(a, dims[2]).ToDense()
 		if MaxAbsDiff(a, back) != 0 {
 			t.Errorf("round trip %v: matrices differ", dims)
@@ -61,27 +61,27 @@ func TestFromDenseToDenseRoundTrip(t *testing.T) {
 }
 
 func TestZFromDenseToDenseRoundTrip(t *testing.T) {
-	a := RandZDense(33, 21, 7)
-	back := ZFromDense(a, 8).ToDense()
-	if ZMaxAbsDiff(a, back) != 0 {
+	a := RandDense[complex128](33, 21, 7)
+	back := FromDense(a, 8).ToDense()
+	if MaxAbsDiff(a, back) != 0 {
 		t.Error("complex round trip: matrices differ")
 	}
 }
 
 func TestMulIdentity(t *testing.T) {
-	a := RandDense(6, 6, 1)
-	if MaxAbsDiff(Mul(a, Identity(6)), a) != 0 {
+	a := RandDense[float64](6, 6, 1)
+	if MaxAbsDiff(Mul(a, Identity[float64](6)), a) != 0 {
 		t.Error("A·I != A")
 	}
-	if MaxAbsDiff(Mul(Identity(6), a), a) != 0 {
+	if MaxAbsDiff(Mul(Identity[float64](6), a), a) != 0 {
 		t.Error("I·A != A")
 	}
 }
 
 func TestMulKnown(t *testing.T) {
-	a := NewDense(2, 3)
+	a := NewDense[float64](2, 3)
 	copy(a.Data, []float64{1, 2, 3, 4, 5, 6})
-	b := NewDense(3, 2)
+	b := NewDense[float64](3, 2)
 	copy(b.Data, []float64{7, 8, 9, 10, 11, 12})
 	c := Mul(a, b)
 	want := []float64{58, 64, 139, 154}
@@ -94,7 +94,7 @@ func TestMulKnown(t *testing.T) {
 
 func TestTransposeInvolution(t *testing.T) {
 	f := func(seed int64) bool {
-		a := RandDense(5, 8, seed)
+		a := RandDense[float64](5, 8, seed)
 		return MaxAbsDiff(Transpose(Transpose(a)), a) == 0
 	}
 	if err := quick.Check(f, nil); err != nil {
@@ -103,7 +103,7 @@ func TestTransposeInvolution(t *testing.T) {
 }
 
 func TestFrobNorm(t *testing.T) {
-	a := NewDense(2, 2)
+	a := NewDense[float64](2, 2)
 	copy(a.Data, []float64{3, 4, 0, 0})
 	if got := FrobNorm(a); math.Abs(got-5) > 1e-15 {
 		t.Errorf("FrobNorm = %v, want 5", got)
@@ -111,8 +111,8 @@ func TestFrobNorm(t *testing.T) {
 }
 
 func TestZMulConjTranspose(t *testing.T) {
-	a := RandZDense(4, 3, 3)
-	aha := ZMul(ZConjTranspose(a), a)
+	a := RandDense[complex128](4, 3, 3)
+	aha := Mul(ConjTranspose(a), a)
 	// AᴴA must be Hermitian with real non-negative diagonal.
 	for i := 0; i < 3; i++ {
 		if math.Abs(imag(aha.At(i, i))) > 1e-12 {
@@ -131,7 +131,7 @@ func TestZMulConjTranspose(t *testing.T) {
 }
 
 func TestViewSharesStorage(t *testing.T) {
-	a := NewDense(4, 4)
+	a := NewDense[float64](4, 4)
 	v := a.View(1, 1, 2, 2)
 	v.Set(0, 0, 9)
 	if a.At(1, 1) != 9 {
@@ -143,38 +143,38 @@ func TestViewSharesStorage(t *testing.T) {
 }
 
 func TestOrthoResidualIdentity(t *testing.T) {
-	if r := OrthoResidual(Identity(7)); r != 0 {
+	if r := OrthoResidual(Identity[float64](7)); r != 0 {
 		t.Errorf("OrthoResidual(I) = %v, want 0", r)
 	}
-	if r := ZOrthoResidual(ZIdentity(7)); r != 0 {
-		t.Errorf("ZOrthoResidual(I) = %v, want 0", r)
+	if r := OrthoResidual(Identity[complex128](7)); r != 0 {
+		t.Errorf("OrthoResidual(I) = %v, want 0", r)
 	}
 }
 
 func TestRandDeterministic(t *testing.T) {
-	a := RandDense(5, 5, 99)
-	b := RandDense(5, 5, 99)
+	a := RandDense[float64](5, 5, 99)
+	b := RandDense[float64](5, 5, 99)
 	if MaxAbsDiff(a, b) != 0 {
 		t.Error("RandDense not deterministic for equal seeds")
 	}
 }
 
 func TestZMatrixRoundTripAndClone(t *testing.T) {
-	a := RandZDense(25, 17, 5)
-	m := ZFromDense(a, 8)
+	a := RandDense[complex128](25, 17, 5)
+	m := FromDense(a, 8)
 	c := m.Clone()
 	// Mutating the clone must not affect the original.
 	c.Tile(0, 0).Set(0, 0, 99)
 	if m.Tile(0, 0).At(0, 0) == 99 {
 		t.Error("ZMatrix.Clone shares tile storage")
 	}
-	if ZMaxAbsDiff(m.ToDense(), a) != 0 {
+	if MaxAbsDiff(m.ToDense(), a) != 0 {
 		t.Error("ZMatrix round trip differs")
 	}
 }
 
 func TestMatrixClone(t *testing.T) {
-	a := RandDense(10, 10, 6)
+	a := RandDense[float64](10, 10, 6)
 	m := FromDense(a, 4)
 	c := m.Clone()
 	c.Tile(1, 1).Set(0, 0, 42)
@@ -187,7 +187,7 @@ func TestMatrixClone(t *testing.T) {
 }
 
 func TestZViewSharesStorage(t *testing.T) {
-	a := NewZDense(4, 4)
+	a := NewDense[complex128](4, 4)
 	v := a.View(1, 1, 2, 2)
 	v.Set(0, 0, 9i)
 	if a.At(1, 1) != 9i {
@@ -205,17 +205,17 @@ func TestMinPQ(t *testing.T) {
 }
 
 func TestZResidualHelpers(t *testing.T) {
-	q := ZIdentity(4)
-	r := RandZDense(4, 4, 8)
-	if res := ZResidualQR(r, q, r); res != 0 {
-		t.Errorf("ZResidualQR(A, I, A) = %g, want 0", res)
+	q := Identity[complex128](4)
+	r := RandDense[complex128](4, 4, 8)
+	if res := ResidualQR(r, q, r); res != 0 {
+		t.Errorf("ResidualQR(A, I, A) = %g, want 0", res)
 	}
-	zero := NewZDense(3, 3)
-	if res := ZResidualQR(zero, ZIdentity(3), zero); res != 0 {
+	zero := NewDense[complex128](3, 3)
+	if res := ResidualQR(zero, Identity[complex128](3), zero); res != 0 {
 		t.Errorf("zero-matrix residual %g", res)
 	}
-	zeroR := NewDense(3, 3)
-	if res := ResidualQR(zeroR, Identity(3), zeroR); res != 0 {
+	zeroR := NewDense[float64](3, 3)
+	if res := ResidualQR(zeroR, Identity[float64](3), zeroR); res != 0 {
 		t.Errorf("real zero-matrix residual %g", res)
 	}
 }
@@ -226,7 +226,7 @@ func TestViewOutOfRangePanics(t *testing.T) {
 			t.Error("out-of-range view did not panic")
 		}
 	}()
-	NewDense(3, 3).View(1, 1, 3, 3)
+	NewDense[float64](3, 3).View(1, 1, 3, 3)
 }
 
 func TestGridPanicsOnBadTileIndex(t *testing.T) {

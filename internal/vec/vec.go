@@ -1,9 +1,11 @@
 // Package vec is the shared vector-primitive layer under every tile kernel
-// of the tiled QR factorization. Both arithmetic domains (float64 in package
-// kernel, complex128 in package zkernel) express their inner loops through
-// these primitives, so the tuning — 4-way unrolling, bounds-check
+// of the tiled QR factorization. All four arithmetic domains (float32,
+// float64, complex64, complex128) express their inner loops through these
+// generic primitives, so the tuning — 4-way unrolling, bounds-check
 // elimination via slice re-slicing, multiple accumulators to break the
-// floating-point dependency chain — lives in exactly one place.
+// floating-point dependency chain — lives in exactly one place, and the
+// real/complex conjugation difference is fused through the Conj hook of
+// scalar.go.
 //
 // Conventions: the destination operand is last; a scaling factor of zero is
 // treated as a structural zero (the operation is skipped, matching the
@@ -13,14 +15,16 @@ package vec
 
 import "math"
 
-// Dot returns Σ x[i]·y[i]. len(y) must be ≥ len(x).
-func Dot(x, y []float64) float64 {
+// Dot returns the unconjugated product Σ x[i]·y[i] (BLAS dot/zdotu), the
+// form the T-factor assembly and back-substitution need. len(y) must be
+// ≥ len(x).
+func Dot[T Scalar](x, y []T) T {
 	n := len(x)
+	var s0, s1, s2, s3 T
 	if n == 0 {
 		return 0
 	}
 	y = y[:n]
-	var s0, s1, s2, s3 float64
 	i := 0
 	for ; i+3 < n; i += 4 {
 		s0 += x[i] * y[i]
@@ -35,9 +39,32 @@ func Dot(x, y []float64) float64 {
 	return s
 }
 
+// Dotc returns the conjugated product Σ conj(x[i])·y[i] (BLAS dotc); for
+// real types it coincides with Dot.
+func Dotc[T Scalar](x, y []T) T {
+	if !IsComplex[T]() {
+		return Dot(x, y)
+	}
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	y = y[:n]
+	var s0, s1 T
+	i := 0
+	for ; i+1 < n; i += 2 {
+		s0 += Conj(x[i]) * y[i]
+		s1 += Conj(x[i+1]) * y[i+1]
+	}
+	if i < n {
+		s0 += Conj(x[i]) * y[i]
+	}
+	return s0 + s1
+}
+
 // Axpy computes y += α·x over len(x) elements. len(y) must be ≥ len(x).
 // α = 0 is a no-op (structural-zero skip).
-func Axpy(alpha float64, x, y []float64) {
+func Axpy[T Scalar](alpha T, x, y []T) {
 	if alpha == 0 {
 		return
 	}
@@ -61,7 +88,7 @@ func Axpy(alpha float64, x, y []float64) {
 // Axpy2 computes y += α·x1 + β·x2 in a single pass, halving the load/store
 // traffic on y versus two Axpy calls (the GEMM inner unroll). Each zero
 // scalar is a structural zero: its term is skipped entirely.
-func Axpy2(alpha float64, x1 []float64, beta float64, x2, y []float64) {
+func Axpy2[T Scalar](alpha T, x1 []T, beta T, x2, y []T) {
 	if alpha == 0 {
 		Axpy(beta, x2, y)
 		return
@@ -89,7 +116,7 @@ func Axpy2(alpha float64, x1 []float64, beta float64, x2, y []float64) {
 }
 
 // Scal computes x *= α in place.
-func Scal(alpha float64, x []float64) {
+func Scal[T Scalar](alpha T, x []T) {
 	n := len(x)
 	i := 0
 	for ; i+3 < n; i += 4 {
@@ -104,7 +131,7 @@ func Scal(alpha float64, x []float64) {
 }
 
 // Sub computes y -= x over len(x) elements. len(y) must be ≥ len(x).
-func Sub(x, y []float64) {
+func Sub[T Scalar](x, y []T) {
 	n := len(x)
 	if n == 0 {
 		return
@@ -124,7 +151,7 @@ func Sub(x, y []float64) {
 
 // AddScaled computes y = α·y + β·x in a single pass (BLAS axpby), fusing the
 // scale and first accumulation of the triangular T·W products.
-func AddScaled(alpha, beta float64, x, y []float64) {
+func AddScaled[T Scalar](alpha, beta T, x, y []T) {
 	n := len(x)
 	if n == 0 {
 		return
@@ -142,60 +169,95 @@ func AddScaled(alpha, beta float64, x, y []float64) {
 	}
 }
 
-// DotAxpy applies one Householder reflector H = I − τ·(1,v)·(1,v)ᵀ to the
-// column (c0; c) in a single fused call: w = τ·(c0 + v·c), then c -= w·v.
-// It returns w, so the caller finishes with c0 -= w. This is the contiguous
-// dlarf column micro-kernel, for callers holding column-major (or packed)
-// data; the row-major tile kernels express the same update as row sweeps of
-// Axpy instead.
-func DotAxpy(tau, c0 float64, v, c []float64) (w float64) {
-	w = tau * (c0 + Dot(v, c))
+// DotAxpy applies one Householder reflector H = I − τ·(1,v)·(1,v)ᴴ to the
+// column (c0; c) in a single fused call, in LAPACK's convention (Hᴴ is
+// applied when τ is passed conjugated): w = τ·(c0 + Σ conj(v[i])·c[i]),
+// then c -= w·v. It returns w, so the caller finishes with c0 -= w. This is
+// the contiguous larf column micro-kernel, for callers holding column-major
+// (or packed) data; the row-major tile kernels express the same update as
+// row sweeps of Axpy instead.
+func DotAxpy[T Scalar](tau, c0 T, v, c []T) (w T) {
+	w = tau * (c0 + Dotc(v, c))
 	Axpy(-w, v, c)
 	return w
 }
 
-// Nrm2 returns ‖x‖₂, safe against overflow and underflow with exactly one
-// Sqrt total (the seed's larfg did one Hypot per element). The common case
-// is a single unscaled sum-of-squares pass; only when that sum lands
-// outside the trustworthy range (over-/underflow or a degenerate input)
-// does a scaled LAPACK dnrm2-style two-pass fallback run.
-func Nrm2(x []float64) float64 {
-	n := len(x)
-	var s0, s1 float64
-	i := 0
-	for ; i+1 < n; i += 2 {
-		v0, v1 := x[i], x[i+1]
-		s0 += v0 * v0
-		s1 += v1 * v1
-	}
-	if i < n {
-		v := x[i]
-		s0 += v * v
-	}
-	if s := s0 + s1; nrm2SumOK(s) {
+// Nrm2 returns ‖x‖₂ — for complex types the Euclidean norm of the real and
+// imaginary parts interleaved — safe against overflow and underflow with
+// exactly one Sqrt total. The sum of squares accumulates in float64 for
+// every domain, so the single-precision types get the wider exponent range
+// for free. The common case is a single unscaled pass; only when the sum
+// lands outside the trustworthy range (over-/underflow or a degenerate
+// input) does a scaled LAPACK dnrm2-style two-pass fallback run.
+func Nrm2[T Scalar](x []T) float64 {
+	if s := sumSquares(x, len(x), 1); nrm2SumOK(s) {
 		return math.Sqrt(s)
 	}
-	return nrm2Scaled(x, n, 1)
+	return nrm2Scaled(x, len(x), 1)
 }
 
 // Nrm2Inc returns the Euclidean norm of the n strided elements
 // x[0], x[inc], …, x[(n−1)·inc].
-func Nrm2Inc(x []float64, n, inc int) float64 {
-	var s float64
-	for i, ix := 0, 0; i < n; i, ix = i+1, ix+inc {
-		v := x[ix]
-		s += v * v
-	}
-	if nrm2SumOK(s) {
+func Nrm2Inc[T Scalar](x []T, n, inc int) float64 {
+	if s := sumSquares(x, n, inc); nrm2SumOK(s) {
 		return math.Sqrt(s)
 	}
 	return nrm2Scaled(x, n, inc)
 }
 
+// sumSquares accumulates Σ|x[i·inc]|² in float64. The per-domain dispatch
+// happens once per call at the slice level: inside generic (gcshape) code
+// a per-element hook like Abs2 compiles to a dictionary type switch per
+// element, which triples the cost of the reflector-norm pass; one
+// assertion followed by a monomorphic loop keeps the norms at hand-written
+// speed in every domain.
+func sumSquares[T Scalar](x []T, n, inc int) float64 {
+	var s float64
+	switch xs := any(x).(type) {
+	case []float64:
+		var s0, s1 float64
+		i, ix := 0, 0
+		if inc == 1 {
+			for ; i+1 < n; i += 2 {
+				v0, v1 := xs[i], xs[i+1]
+				s0 += v0 * v0
+				s1 += v1 * v1
+			}
+			if i < n {
+				v := xs[i]
+				s0 += v * v
+			}
+			return s0 + s1
+		}
+		for ; i < n; i, ix = i+1, ix+inc {
+			v := xs[ix]
+			s0 += v * v
+		}
+		return s0
+	case []float32:
+		for i, ix := 0, 0; i < n; i, ix = i+1, ix+inc {
+			v := float64(xs[ix])
+			s += v * v
+		}
+	case []complex128:
+		for i, ix := 0, 0; i < n; i, ix = i+1, ix+inc {
+			re, im := real(xs[ix]), imag(xs[ix])
+			s += re*re + im*im
+		}
+	case []complex64:
+		for i, ix := 0, 0; i < n; i, ix = i+1, ix+inc {
+			re, im := float64(real(xs[ix])), float64(imag(xs[ix]))
+			s += re*re + im*im
+		}
+	}
+	return s
+}
+
 // nrm2SumSafe* bracket the sums of squares the single-pass path may trust:
 // inside this range neither overflow nor damaging underflow can have
 // occurred (squares below ~1e-308 that vanished are negligible against a
-// total above 1e-280).
+// total above 1e-280). Sums are float64 regardless of T, so one bracket
+// serves all four domains.
 const (
 	nrm2SumSafeMax = 1e280
 	nrm2SumSafeMin = 1e-280
@@ -205,14 +267,18 @@ func nrm2SumOK(s float64) bool {
 	return s > nrm2SumSafeMin && s < nrm2SumSafeMax
 }
 
-// nrm2Scaled is the rare-path norm: finds the magnitude, divides every
-// element by it (safe even for subnormal magnitudes, where multiplying by
-// the inverse would overflow), and rescales once at the end. Returns the
-// magnitude itself when it is 0, NaN, or ±Inf.
-func nrm2Scaled(x []float64, n, inc int) float64 {
+// nrm2Scaled is the rare-path norm: finds the magnitude of the largest
+// component, divides every component by it (safe even for subnormal
+// magnitudes, where multiplying by the inverse would overflow), and
+// rescales once at the end. Returns the magnitude itself when it is 0, NaN,
+// or ±Inf.
+func nrm2Scaled[T Scalar](x []T, n, inc int) float64 {
 	amax := 0.0
 	for i, ix := 0, 0; i < n; i, ix = i+1, ix+inc {
-		if av := math.Abs(x[ix]); av > amax || math.IsNaN(av) {
+		if av := math.Abs(RealPart(x[ix])); av > amax || math.IsNaN(av) {
+			amax = av
+		}
+		if av := math.Abs(ImagPart(x[ix])); av > amax || math.IsNaN(av) {
 			amax = av
 		}
 	}
@@ -221,8 +287,8 @@ func nrm2Scaled(x []float64, n, inc int) float64 {
 	}
 	var s float64
 	for i, ix := 0, 0; i < n; i, ix = i+1, ix+inc {
-		v := x[ix] / amax
-		s += v * v
+		re, im := RealPart(x[ix])/amax, ImagPart(x[ix])/amax
+		s += re*re + im*im
 	}
 	return amax * math.Sqrt(s)
 }

@@ -239,7 +239,7 @@ func TestNrm2OverflowUnderflow(t *testing.T) {
 		t.Errorf("overflow-range Nrm2Inc=%g want %g", got, 1e200*math.Sqrt2)
 	}
 
-	if got := Nrm2(nil); got != 0 {
+	if got := Nrm2[float64](nil); got != 0 {
 		t.Errorf("Nrm2(nil)=%g want 0", got)
 	}
 	if got := Nrm2([]float64{0, 0, 0}); got != 0 {

@@ -1,16 +1,20 @@
-// Package work holds the small execution helpers shared by the one-shot
-// factorization paths (factor.go, zfactor.go) and the streaming subsystem:
-// worker-count resolution, per-worker workspace allocation, and triangular
-// back-substitution, generic over the two arithmetic domains.
+// Package work holds the small execution helpers shared by the generic
+// factorization engine and the streaming subsystem: worker-count
+// resolution, per-worker workspace allocation, and triangular
+// back-substitution, generic over all four arithmetic domains.
 package work
 
 import (
 	"fmt"
 	"runtime"
+
+	"tiledqr/internal/vec"
 )
 
-// Scalar is the set of arithmetic domains the tiled kernels support.
-type Scalar interface{ ~float64 | ~complex128 }
+// Scalar is the set of arithmetic domains the tiled kernels support — the
+// constraint of vec.Scalar re-exported at the execution layer so callers
+// above the vector primitives need not import them for the type set alone.
+type Scalar = vec.Scalar
 
 // WorkersOrDefault resolves a Workers option: values < 1 mean GOMAXPROCS.
 func WorkersOrDefault(workers int) int {
@@ -34,13 +38,13 @@ func Workspaces[T any](workers, n int) [][]T {
 // read), B provides the top n rows of the right-hand sides at stride ldb,
 // and the solution is written to x at stride ldx. xcol is an n-element
 // scratch holding each solution column contiguously so every inner product
-// runs over a contiguous row of R via dot (vec.Dot or vec.ZDotu).
+// runs over a contiguous row of R via the unconjugated vec.Dot.
 func SolveUpper[T Scalar](n, nrhs int, r []T, ldr int, b []T, ldb int,
-	x []T, ldx int, xcol []T, dot func(x, y []T) T) error {
+	x []T, ldx int, xcol []T) error {
 	for c := 0; c < nrhs; c++ {
 		for i := n - 1; i >= 0; i-- {
 			row := r[i*ldr : i*ldr+n]
-			s := b[i*ldb+c] - dot(row[i+1:], xcol[i+1:n])
+			s := b[i*ldb+c] - vec.Dot(row[i+1:], xcol[i+1:n])
 			d := row[i]
 			if d == 0 {
 				return fmt.Errorf("tiledqr: SolveLS: R(%d,%d) = 0, matrix is rank deficient", i, i)

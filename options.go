@@ -108,7 +108,9 @@ func (o Options) withDefaults() Options {
 		o.TileSize = DefaultTileSize
 	}
 	if o.InnerBlock <= 0 {
-		o.InnerBlock = DefaultInnerBlock
+		// The default inner blocking never exceeds the tile: small tiles
+		// are factored as one panel.
+		o.InnerBlock = min(DefaultInnerBlock, o.TileSize)
 	}
 	return o
 }
@@ -118,8 +120,24 @@ func (o Options) coreOptions() core.Options {
 }
 
 func (o Options) validate(p int) error {
+	if err := o.validateSizes(); err != nil {
+		return err
+	}
 	if (o.Algorithm == PlasmaTree || o.Algorithm == HadriTree) && (o.BS < 1 || o.BS > p) {
 		return fmt.Errorf("tiledqr: %v needs 1 ≤ BS ≤ p (BS=%d, p=%d)", o.Algorithm, o.BS, p)
+	}
+	return nil
+}
+
+// validateSizes checks the grid-independent option constraints; the
+// streaming constructors share it (they have no tile-row count p to
+// validate against). An inner block wider than the tile would make the
+// GEQRT panel sweep read past its panel, so it is rejected up front with a
+// descriptive error instead of silently misbehaving.
+func (o Options) validateSizes() error {
+	if o.InnerBlock > o.TileSize {
+		return fmt.Errorf("tiledqr: InnerBlock (%d) must not exceed TileSize (%d): kernel panels are at most one tile wide",
+			o.InnerBlock, o.TileSize)
 	}
 	return nil
 }

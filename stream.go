@@ -1,13 +1,55 @@
 package tiledqr
 
 import (
+	"errors"
 	"fmt"
 
-	"tiledqr/internal/kernel"
 	"tiledqr/internal/stream"
+	"tiledqr/internal/tile"
 	"tiledqr/internal/vec"
 	"tiledqr/internal/work"
 )
+
+// newStreamCore applies defaults and validation and builds the generic
+// streaming reduction core — the single code path behind NewStream,
+// NewStream32, NewCStream and NewZStream.
+func newStreamCore[T vec.Scalar](n int, opt Options) (*stream.Core[T], error) {
+	opt = opt.withDefaults()
+	if err := opt.validateSizes(); err != nil {
+		return nil, err
+	}
+	return stream.NewCore[T](n, opt.TileSize, opt.InnerBlock,
+		work.WorkersOrDefault(opt.Workers), opt.Kernels.core())
+}
+
+// errEmptyBatch and errNilRHS are the shape errors shared by every
+// precision's stream wrapper.
+var (
+	errEmptyBatch = errors.New("tiledqr: stream: batch must have at least one row")
+	errNilRHS     = errors.New("tiledqr: stream: AppendRHS needs a non-nil right-hand side (use AppendRows)")
+)
+
+// streamAppend validates and funnels one batch (with or without a
+// right-hand side) into the generic reduction core — the single body
+// behind every precision's AppendRows/AppendRHS.
+func streamAppend[T vec.Scalar](c *stream.Core[T], batch, rhs *tile.Dense[T], withRHS bool) error {
+	if batch == nil || batch.Rows < 1 {
+		return errEmptyBatch
+	}
+	if batch.Cols != c.N() {
+		return fmt.Errorf("tiledqr: stream: batch has %d columns, stream has %d", batch.Cols, c.N())
+	}
+	if !withRHS {
+		return c.Append(batch.Rows, batch.Data, batch.Stride, nil, 0, 0)
+	}
+	if rhs == nil {
+		return errNilRHS
+	}
+	if rhs.Rows != batch.Rows {
+		return fmt.Errorf("tiledqr: stream: right-hand side has %d rows, batch has %d", rhs.Rows, batch.Rows)
+	}
+	return c.Append(batch.Rows, batch.Data, batch.Stride, rhs.Data, rhs.Stride, rhs.Cols)
+}
 
 // StreamQR is an incremental (streaming) tiled QR factorization: rows
 // arrive in batches and only the n×n upper triangular factor R — plus,
@@ -26,7 +68,9 @@ import (
 // Options.TileSize, InnerBlock, Workers and Kernels are honored;
 // Algorithm and BS are ignored (the per-column reduction tree of a
 // streaming merge is a binary tree, the optimal shape for single-column
-// reductions). StreamQR is not safe for concurrent use.
+// reductions). StreamQR is not safe for concurrent use. Its precision
+// siblings ZStreamQR (complex128), StreamQR32 (float32) and CStreamQR
+// (complex64) instantiate the same generic core.
 type StreamQR struct {
 	c *stream.Core[float64]
 }
@@ -35,16 +79,7 @@ type StreamQR struct {
 // The triangle starts at zero: a StreamQR with no ingested rows represents
 // the QR factorization of an empty (0×n) matrix.
 func NewStream(n int, opt Options) (*StreamQR, error) {
-	opt = opt.withDefaults()
-	c, err := stream.NewCore(n, opt.TileSize, opt.InnerBlock,
-		work.WorkersOrDefault(opt.Workers), opt.Kernels.core(), stream.Funcs[float64]{
-			GEQRT:   kernel.GEQRT,
-			UNMQR:   kernel.UNMQR,
-			TPQRT:   kernel.TPQRT,
-			TPMQRT:  kernel.TPMQRT,
-			WorkLen: kernel.WorkLen,
-			Dot:     vec.Dot,
-		})
+	c, err := newStreamCore[float64](n, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -55,10 +90,7 @@ func NewStream(n int, opt Options) (*StreamQR, error) {
 // triangle. The batch is not modified. Returns an error if the stream
 // tracks right-hand sides (use AppendRHS so Qᵀb stays consistent).
 func (s *StreamQR) AppendRows(batch *Dense) error {
-	if err := checkBatch(batch, s.c.N()); err != nil {
-		return err
-	}
-	return s.c.Append(batch.Rows, batch.Data, batch.Stride, nil, 0, 0)
+	return streamAppend(s.c, (*tile.Dense[float64])(batch), nil, false)
 }
 
 // AppendRHS merges a batch of rows together with the matching right-hand
@@ -66,27 +98,7 @@ func (s *StreamQR) AppendRows(batch *Dense) error {
 // Right-hand sides must be supplied from the first batch onwards and keep
 // the same column count; neither argument is modified.
 func (s *StreamQR) AppendRHS(batch, rhs *Dense) error {
-	if err := checkBatch(batch, s.c.N()); err != nil {
-		return err
-	}
-	if rhs == nil {
-		return fmt.Errorf("tiledqr: stream: AppendRHS needs a non-nil right-hand side (use AppendRows)")
-	}
-	if rhs.Rows != batch.Rows {
-		return fmt.Errorf("tiledqr: stream: right-hand side has %d rows, batch has %d", rhs.Rows, batch.Rows)
-	}
-	return s.c.Append(batch.Rows, batch.Data, batch.Stride, rhs.Data, rhs.Stride, rhs.Cols)
-}
-
-// checkBatch validates a row batch against the stream's column count.
-func checkBatch(batch *Dense, n int) error {
-	if batch == nil || batch.Rows < 1 {
-		return fmt.Errorf("tiledqr: stream: batch must have at least one row")
-	}
-	if batch.Cols != n {
-		return fmt.Errorf("tiledqr: stream: batch has %d columns, stream has %d", batch.Cols, n)
-	}
-	return nil
+	return streamAppend(s.c, (*tile.Dense[float64])(batch), (*tile.Dense[float64])(rhs), true)
 }
 
 // R returns the n×n upper triangular factor of all rows ingested so far.

@@ -1,280 +1,70 @@
 package tiledqr
 
 import (
-	"fmt"
-	"sync"
-
-	"tiledqr/internal/core"
+	"tiledqr/internal/engine"
 	"tiledqr/internal/sched"
 	"tiledqr/internal/tile"
-	"tiledqr/internal/vec"
-	"tiledqr/internal/work"
-	"tiledqr/internal/zkernel"
 )
 
-// ZFactorization is the complex128 counterpart of Factorization. The paper
-// evaluates double complex alongside double because complex arithmetic has
-// a 4× higher computation-to-communication ratio, which favours the highly
-// parallel TT algorithms (Section 4).
+// ZFactorization is the complex128 instantiation of the generic engine.
+// The paper evaluates double complex alongside double because complex
+// arithmetic has a 4× higher computation-to-communication ratio, which
+// favours the highly parallel TT algorithms (Section 4).
 type ZFactorization struct {
-	grid  tile.Grid
-	mat   *tile.ZMatrix
-	dag   *core.DAG
-	list  core.List
-	tg    [][]complex128
-	t2    [][]complex128
-	ib    int
-	opt   Options
-	trace *sched.Trace
-
-	workPool sync.Pool // scratch slices for ApplyQ/ApplyQH/SolveLS
-}
-
-// getWork fetches a pooled scratch slice of at least n elements; putWork
-// returns it. Steady-state Q applications allocate nothing.
-func (f *ZFactorization) getWork(n int) []complex128 {
-	if w, ok := f.workPool.Get().(*[]complex128); ok && len(*w) >= n {
-		return *w
-	}
-	return make([]complex128, n)
-}
-
-func (f *ZFactorization) putWork(w []complex128) {
-	f.workPool.Put(&w)
+	e *engine.Factorization[complex128]
 }
 
 // FactorComplex computes the tiled QR factorization A = Q·R of an m×n
 // complex matrix. A is not modified.
 func FactorComplex(a *ZDense, opt Options) (*ZFactorization, error) {
-	opt = opt.withDefaults()
-	if a == nil || a.Rows < 1 || a.Cols < 1 {
-		return nil, fmt.Errorf("tiledqr: cannot factor an empty matrix")
-	}
-	g := tile.NewGrid(a.Rows, a.Cols, opt.TileSize)
-	if err := opt.validate(g.P); err != nil {
-		return nil, err
-	}
-	list, err := core.Generate(opt.Algorithm.core(), g.P, g.Q, opt.coreOptions())
+	e, err := factorEngine((*tile.Dense[complex128])(a), opt)
 	if err != nil {
 		return nil, err
 	}
-	f := &ZFactorization{
-		grid: g,
-		mat:  tile.ZFromDense((*tile.ZDense)(a), opt.TileSize),
-		dag:  core.BuildDAG(list, opt.Kernels.core()),
-		list: list,
-		ib:   opt.InnerBlock,
-		opt:  opt,
-	}
-	f.allocT()
-	work := work.Workspaces[complex128](work.WorkersOrDefault(opt.Workers),
-		zkernel.WorkLen(opt.TileSize, f.ib))
-	trace, err := sched.Run(f.dag, sched.Options{Workers: opt.Workers, Trace: opt.Trace},
-		func(t int32, w int) { f.exec(t, work[w]) })
-	if err != nil {
-		return nil, err
-	}
-	f.trace = trace
-	return f, nil
-}
-
-func (f *ZFactorization) allocT() {
-	p, q := f.grid.P, f.grid.Q
-	f.tg = make([][]complex128, p*q)
-	f.t2 = make([][]complex128, p*q)
-	for _, t := range f.dag.Tasks {
-		switch t.Kind {
-		case core.KGEQRT:
-			f.tg[f.tidx(t.I, t.K)] = make([]complex128, f.ib*f.grid.TileCols(t.K-1))
-		case core.KTSQRT, core.KTTQRT:
-			f.t2[f.tidx(t.I, t.K)] = make([]complex128, f.ib*f.grid.TileCols(t.K-1))
-		}
-	}
-}
-
-func (f *ZFactorization) tidx(i, k int) int { return (i-1)*f.grid.Q + (k - 1) }
-
-func (f *ZFactorization) exec(t int32, work []complex128) {
-	task := f.dag.Tasks[t]
-	switch task.Kind {
-	case core.KGEQRT:
-		a := f.mat.Tile(task.I-1, task.K-1)
-		zkernel.GEQRT(a.Rows, a.Cols, f.ib, a.Data, a.Stride,
-			f.tg[f.tidx(task.I, task.K)], a.Cols, work)
-	case core.KUNMQR:
-		v := f.mat.Tile(task.I-1, task.K-1)
-		c := f.mat.Tile(task.I-1, task.J-1)
-		zkernel.UNMQR(true, v.Rows, min(v.Rows, v.Cols), f.ib, v.Data, v.Stride,
-			f.tg[f.tidx(task.I, task.K)], v.Cols, c.Data, c.Stride, c.Cols, work)
-	case core.KTSQRT, core.KTTQRT:
-		a := f.mat.Tile(task.Piv-1, task.K-1)
-		b := f.mat.Tile(task.I-1, task.K-1)
-		m, l := b.Rows, 0
-		if task.Kind == core.KTTQRT {
-			m = min(b.Rows, a.Cols)
-			l = m
-		}
-		zkernel.TPQRT(m, a.Cols, l, f.ib, a.Data, a.Stride, b.Data, b.Stride,
-			f.t2[f.tidx(task.I, task.K)], a.Cols, work)
-	case core.KTSMQR, core.KTTMQR:
-		v := f.mat.Tile(task.I-1, task.K-1)
-		c1 := f.mat.Tile(task.Piv-1, task.J-1)
-		c2 := f.mat.Tile(task.I-1, task.J-1)
-		kRef := f.grid.TileCols(task.K - 1)
-		m, l := v.Rows, 0
-		if task.Kind == core.KTTMQR {
-			m = min(v.Rows, kRef)
-			l = m
-		}
-		zkernel.TPMQRT(true, m, kRef, l, f.ib, v.Data, v.Stride,
-			f.t2[f.tidx(task.I, task.K)], kRef,
-			c1.Data, c1.Stride, c2.Data, c2.Stride, c2.Cols, work)
-	default:
-		panic(fmt.Sprintf("tiledqr: unknown task kind %v", task.Kind))
-	}
+	return &ZFactorization{e: e}, nil
 }
 
 // R returns the min(m,n)×n upper triangular (trapezoidal) factor.
-func (f *ZFactorization) R() *ZDense {
-	k := min(f.grid.M, f.grid.N)
-	r := NewZDense(k, f.grid.N)
-	nb := f.grid.NB
-	for i := 0; i < k; i++ {
-		for j := i; j < f.grid.N; j++ {
-			r.Set(i, j, f.mat.Tile(i/nb, j/nb).At(i%nb, j%nb))
-		}
-	}
-	return r
-}
+func (f *ZFactorization) R() *ZDense { return (*ZDense)(f.e.R()) }
 
 // ApplyQH overwrites b (m×nrhs) with Qᴴ·b.
-func (f *ZFactorization) ApplyQH(b *ZDense) error { return f.apply(b, true) }
+func (f *ZFactorization) ApplyQH(b *ZDense) error {
+	return f.e.Apply((*tile.Dense[complex128])(b), true)
+}
 
 // ApplyQ overwrites b (m×nrhs) with Q·b.
-func (f *ZFactorization) ApplyQ(b *ZDense) error { return f.apply(b, false) }
-
-func (f *ZFactorization) apply(b *ZDense, trans bool) error {
-	if b == nil {
-		return fmt.Errorf("tiledqr: ApplyQ: b must not be nil")
-	}
-	if b.Rows != f.grid.M {
-		return fmt.Errorf("tiledqr: ApplyQ: b has %d rows, want %d", b.Rows, f.grid.M)
-	}
-	bd := (*tile.ZDense)(b)
-	nrhs := b.Cols
-	work := f.getWork(f.ib * max(nrhs, 1))
-	defer f.putWork(work)
-	rowView := func(i int) *tile.ZDense {
-		return bd.View((i-1)*f.grid.NB, 0, f.grid.TileRows(i-1), nrhs)
-	}
-	applyOne := func(task core.Task) {
-		switch task.Kind {
-		case core.KGEQRT:
-			v := f.mat.Tile(task.I-1, task.K-1)
-			c := rowView(task.I)
-			zkernel.UNMQR(trans, v.Rows, min(v.Rows, v.Cols), f.ib, v.Data, v.Stride,
-				f.tg[f.tidx(task.I, task.K)], v.Cols, c.Data, c.Stride, nrhs, work)
-		case core.KTSQRT, core.KTTQRT:
-			v := f.mat.Tile(task.I-1, task.K-1)
-			c1 := rowView(task.Piv)
-			c2 := rowView(task.I)
-			kRef := f.grid.TileCols(task.K - 1)
-			m, l := v.Rows, 0
-			if task.Kind == core.KTTQRT {
-				m = min(v.Rows, kRef)
-				l = m
-			}
-			zkernel.TPMQRT(trans, m, kRef, l, f.ib, v.Data, v.Stride,
-				f.t2[f.tidx(task.I, task.K)], kRef,
-				c1.Data, c1.Stride, c2.Data, c2.Stride, nrhs, work)
-		}
-	}
-	if trans {
-		for _, task := range f.dag.Tasks {
-			applyOne(task)
-		}
-	} else {
-		for t := len(f.dag.Tasks) - 1; t >= 0; t-- {
-			applyOne(f.dag.Tasks[t])
-		}
-	}
-	return nil
+func (f *ZFactorization) ApplyQ(b *ZDense) error {
+	return f.e.Apply((*tile.Dense[complex128])(b), false)
 }
 
 // Q returns the full m×m unitary factor.
-func (f *ZFactorization) Q() *ZDense {
-	q := ZIdentity(f.grid.M)
-	if err := f.ApplyQ(q); err != nil {
-		panic(err)
-	}
-	return q
-}
+func (f *ZFactorization) Q() *ZDense { return (*ZDense)(f.e.Q()) }
 
 // ThinQ returns the first min(m,n) columns of Q.
-func (f *ZFactorization) ThinQ() *ZDense {
-	k := min(f.grid.M, f.grid.N)
-	e := NewZDense(f.grid.M, k)
-	for i := 0; i < k; i++ {
-		e.Set(i, i, 1)
-	}
-	if err := f.ApplyQ(e); err != nil {
-		panic(err)
-	}
-	return e
-}
+func (f *ZFactorization) ThinQ() *ZDense { return (*ZDense)(f.e.ThinQ()) }
 
 // SolveLS solves min‖A·x − b‖₂ (m ≥ n) for each column of b.
 func (f *ZFactorization) SolveLS(b *ZDense) (*ZDense, error) {
-	m, n := f.grid.M, f.grid.N
-	if m < n {
-		return nil, fmt.Errorf("tiledqr: SolveLS needs m ≥ n (have %d×%d)", m, n)
-	}
-	if b == nil {
-		return nil, fmt.Errorf("tiledqr: SolveLS: b must not be nil")
-	}
-	if b.Rows != m {
-		return nil, fmt.Errorf("tiledqr: SolveLS: b has %d rows, want %d", b.Rows, m)
-	}
-	qtb := b.Clone()
-	if err := f.ApplyQH(qtb); err != nil {
+	x, err := f.e.SolveLS((*tile.Dense[complex128])(b))
+	if err != nil {
 		return nil, err
 	}
-	r := f.R()
-	rd := (*tile.ZDense)(r)
-	x := NewZDense(n, b.Cols)
-	// Row-oriented back-substitution (shared with the streaming path).
-	wbuf := f.getWork(n)
-	defer f.putWork(wbuf)
-	if err := work.SolveUpper(n, b.Cols, rd.Data, rd.Stride, qtb.Data, qtb.Stride,
-		x.Data, x.Stride, wbuf[:n], vec.ZDotu); err != nil {
-		return nil, err
-	}
-	return x, nil
+	return (*ZDense)(x), nil
 }
 
 // Trace returns the execution trace (nil unless Options.Trace was set).
-func (f *ZFactorization) Trace() *sched.Trace { return f.trace }
+func (f *ZFactorization) Trace() *sched.Trace { return f.e.Trace() }
 
 // GanttChart renders an ASCII Gantt chart of the traced execution.
 // Requires Options.Trace.
-func (f *ZFactorization) GanttChart(width int) string {
-	if f.trace == nil || f.trace.Spans == nil {
-		return "(run with Options.Trace to record a Gantt chart)\n"
-	}
-	return f.trace.Gantt(f.dag, width)
-}
+func (f *ZFactorization) GanttChart(width int) string { return f.e.GanttChart(width) }
 
 // Utilization returns per-worker busy fractions and overall parallel
 // efficiency of the traced execution. Requires Options.Trace.
-func (f *ZFactorization) Utilization() sched.Utilization {
-	if f.trace == nil {
-		return sched.Utilization{}
-	}
-	return f.trace.Utilization()
-}
+func (f *ZFactorization) Utilization() sched.Utilization { return f.e.Utilization() }
 
 // TaskCount returns the number of kernel tasks the factorization executed.
-func (f *ZFactorization) TaskCount() int { return f.dag.NumTasks() }
+func (f *ZFactorization) TaskCount() int { return f.e.TaskCount() }
 
 // Grid returns the tile grid dimensions (p×q) and tile size.
-func (f *ZFactorization) Grid() (p, q, nb int) { return f.grid.P, f.grid.Q, f.grid.NB }
+func (f *ZFactorization) Grid() (p, q, nb int) { return f.e.Grid() }

@@ -1,19 +1,14 @@
 package tiledqr
 
 import (
-	"fmt"
-
 	"tiledqr/internal/stream"
-	"tiledqr/internal/vec"
-	"tiledqr/internal/work"
-	"tiledqr/internal/zkernel"
+	"tiledqr/internal/tile"
 )
 
-// ZStreamQR is the complex128 counterpart of StreamQR: an incremental tiled
-// QR over row batches that retains only the n×n upper triangular factor
-// (and optionally the top n rows of Qᴴb) in O(n² + batch) memory. See
-// StreamQR for the algorithm and option semantics; both domains share the
-// reduction core in internal/stream.
+// ZStreamQR is the complex128 instantiation of the streaming TSQR core: an
+// incremental tiled QR over row batches that retains only the n×n upper
+// triangular factor (and optionally the top n rows of Qᴴb) in O(n² + batch)
+// memory. See StreamQR for the algorithm and option semantics.
 type ZStreamQR struct {
 	c *stream.Core[complex128]
 }
@@ -21,16 +16,7 @@ type ZStreamQR struct {
 // NewZStream creates a complex streaming factorization for rows with n
 // columns.
 func NewZStream(n int, opt Options) (*ZStreamQR, error) {
-	opt = opt.withDefaults()
-	c, err := stream.NewCore(n, opt.TileSize, opt.InnerBlock,
-		work.WorkersOrDefault(opt.Workers), opt.Kernels.core(), stream.Funcs[complex128]{
-			GEQRT:   zkernel.GEQRT,
-			UNMQR:   zkernel.UNMQR,
-			TPQRT:   zkernel.TPQRT,
-			TPMQRT:  zkernel.TPMQRT,
-			WorkLen: zkernel.WorkLen,
-			Dot:     vec.ZDotu,
-		})
+	c, err := newStreamCore[complex128](n, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -40,36 +26,14 @@ func NewZStream(n int, opt Options) (*ZStreamQR, error) {
 // AppendRows merges a batch of rows (r×n, any r ≥ 1) into the resident
 // triangle. The batch is not modified.
 func (s *ZStreamQR) AppendRows(batch *ZDense) error {
-	if err := checkZBatch(batch, s.c.N()); err != nil {
-		return err
-	}
-	return s.c.Append(batch.Rows, batch.Data, batch.Stride, nil, 0, 0)
+	return streamAppend(s.c, (*tile.Dense[complex128])(batch), nil, false)
 }
 
 // AppendRHS merges a batch of rows together with the matching right-hand
 // side rows, maintaining the top n rows of Qᴴb for SolveLS. Right-hand
 // sides must be supplied from the first batch onwards.
 func (s *ZStreamQR) AppendRHS(batch, rhs *ZDense) error {
-	if err := checkZBatch(batch, s.c.N()); err != nil {
-		return err
-	}
-	if rhs == nil {
-		return fmt.Errorf("tiledqr: stream: AppendRHS needs a non-nil right-hand side (use AppendRows)")
-	}
-	if rhs.Rows != batch.Rows {
-		return fmt.Errorf("tiledqr: stream: right-hand side has %d rows, batch has %d", rhs.Rows, batch.Rows)
-	}
-	return s.c.Append(batch.Rows, batch.Data, batch.Stride, rhs.Data, rhs.Stride, rhs.Cols)
-}
-
-func checkZBatch(batch *ZDense, n int) error {
-	if batch == nil || batch.Rows < 1 {
-		return fmt.Errorf("tiledqr: stream: batch must have at least one row")
-	}
-	if batch.Cols != n {
-		return fmt.Errorf("tiledqr: stream: batch has %d columns, stream has %d", batch.Cols, n)
-	}
-	return nil
+	return streamAppend(s.c, (*tile.Dense[complex128])(batch), (*tile.Dense[complex128])(rhs), true)
 }
 
 // R returns the n×n upper triangular factor of all rows ingested so far.
