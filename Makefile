@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check lint bench bench-smoke clean
+.PHONY: all build test race vet fmt-check lint bench bench-smoke throughput clean
 
 all: lint build test
 
@@ -27,20 +27,27 @@ race:
 
 # bench measures every sequential kernel in all four precisions (double,
 # double complex, single, single complex, at the benchmark shape
-# nb=128/ib=32), scheduler dispatch cost, and streaming TSQR ingestion
-# throughput (rows/sec), and records the trajectory in BENCH_kernels.json.
-# The file's "baseline" object (seed figures) is preserved across
-# regenerations, so the float64/complex128 maps stay comparable to the
-# pre-generic numbers.
+# nb=128/ib=32), scheduler dispatch cost, streaming TSQR ingestion
+# throughput (rows/sec), and the concurrent-fleet factorization throughput
+# (per-call pools vs shared runtime vs FactorInto reuse, at 1..64 clients),
+# and records the trajectory in BENCH_kernels.json. The file's "baseline"
+# object (seed figures) is preserved across regenerations, so the
+# float64/complex128 maps stay comparable to the pre-generic numbers.
 bench:
 	$(GO) run ./cmd/qrperf -kernels-json BENCH_kernels.json
 
+# throughput prints the serving-workload table (factorizations/sec for a
+# fleet of concurrent clients, shared runtime vs per-call pools).
+throughput:
+	$(GO) run ./cmd/qrperf -throughput
+
 # bench-smoke is the CI-sized benchmark run: one iteration of the kernel and
-# streaming figures plus a tiny qrstream ingestion with verification, to
-# prove both harnesses still work.
+# streaming figures, a tiny qrstream ingestion with verification, and a
+# short fleet-throughput sweep, to prove the harnesses still work.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'Figure4|StreamAppendDouble$$' -benchtime 1x ./...
 	$(GO) run ./cmd/qrstream -n 96 -nb 32 -batch 64 -batches 6 -rhs 1 -verify
+	$(GO) run ./cmd/qrperf -throughput -quick
 
 clean:
 	$(GO) clean ./...

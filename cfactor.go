@@ -24,6 +24,26 @@ func CFactor(a *CDense, opt Options) (*CFactorization, error) {
 	return &CFactorization{e: e}, nil
 }
 
+// CFactorInto factors a into f, reusing f's storage when shape and
+// structural options match the previous factorization (see FactorInto).
+// f may be a zero &CFactorization{}.
+func CFactorInto(f *CFactorization, a *CDense, opt Options) error {
+	if f.e == nil {
+		f.e = new(engine.Factorization[complex64])
+	}
+	return factorEngineInto(f.e, (*tile.Dense[complex64])(a), opt)
+}
+
+// Refactor re-runs the factorization over new matrix data with the same
+// options, reusing every internal buffer when a has the previous shape.
+// Steady-state Refactor allocates O(1).
+func (f *CFactorization) Refactor(a *CDense) error {
+	if f.e == nil {
+		return errRefactorEmpty
+	}
+	return f.e.Refactor((*tile.Dense[complex64])(a))
+}
+
 // R returns the min(m,n)×n upper triangular (trapezoidal) factor.
 func (f *CFactorization) R() *CDense { return (*CDense)(f.e.R()) }
 

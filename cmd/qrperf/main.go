@@ -25,6 +25,13 @@
 //	                                     trajectory record tracked across PRs
 //	                                     (a "baseline" object already in FILE
 //	                                     is preserved verbatim)
+//	qrperf -throughput [-quick]          serving-workload benchmark: a fleet of
+//	                                     concurrent clients each factoring
+//	                                     512×256 float64 matrices, comparing
+//	                                     per-call worker pools (the legacy
+//	                                     mode), the shared runtime, and the
+//	                                     shared runtime with FactorInto reuse;
+//	                                     also recorded by -kernels-json
 //
 // Flags -p, -nb, -ib, -workers scale the experiment (defaults are a
 // laptop-sized version of the paper's p=40, nb=200, ib=32, P=48).
@@ -36,6 +43,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"text/tabwriter"
 	"time"
 
@@ -72,7 +81,13 @@ func unitKernelTimes() kernelTimes {
 func main() {
 	experiment := flag.String("experiment", "fig1", "fig1|fig2|fig6|fig7|table6|table7|table8|table9")
 	kernelsJSON := flag.String("kernels-json", "", "write kernel GFLOP/s to this file and exit")
+	throughput := flag.Bool("throughput", false, "run the concurrent-clients throughput benchmark and exit")
+	quick := flag.Bool("quick", false, "with -throughput: short smoke-sized run (CI)")
 	flag.Parse()
+	if *throughput {
+		printThroughput(measureThroughput(*quick))
+		return
+	}
 	if *kernelsJSON != "" {
 		if err := writeKernelsJSON(*kernelsJSON); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -379,6 +394,7 @@ type kernelsReport struct {
 	SchedulerNsPerTask float64            `json:"scheduler_dispatch_ns_per_task"`
 	SchedulerWorkers   int                `json:"scheduler_dispatch_workers"`
 	Stream             *streamReport      `json:"stream,omitempty"`
+	Throughput         *throughputReport  `json:"throughput,omitempty"`
 	Baseline           json.RawMessage    `json:"baseline,omitempty"`
 }
 
@@ -434,6 +450,123 @@ func measureStream() *streamReport {
 	cdata := tiledqr.RandomCDense(batch, n, 1)
 	rep.SingleComplexRowsPerSec = appendRate(func() error { return cs.AppendRows(cdata) })
 	return rep
+}
+
+// --- concurrent-clients throughput benchmark (qrperf -throughput) -----------
+
+// throughputPoint is one fleet size: factorizations/sec under each
+// execution mode over the same wall-clock window.
+type throughputPoint struct {
+	Clients        int     `json:"clients"`
+	PerCallQPS     float64 `json:"per_call_qps"`
+	SharedQPS      float64 `json:"shared_qps"`
+	SharedReuseQPS float64 `json:"shared_reuse_qps"`
+}
+
+// throughputReport records the serving-workload experiment: a fleet of
+// concurrent clients, each repeatedly factoring its own m×n float64 matrix,
+// under (a) per-call worker pools — every Factor spawns and tears down its
+// own GOMAXPROCS-goroutine pool, the pre-runtime default — (b) the shared
+// persistent runtime, and (c) the shared runtime with the FactorInto
+// zero-allocation reuse path.
+type throughputReport struct {
+	M          int               `json:"m"`
+	N          int               `json:"n"`
+	NB         int               `json:"nb"`
+	IB         int               `json:"ib"`
+	GoMaxProcs int               `json:"gomaxprocs"`
+	WindowMS   int64             `json:"window_ms"`
+	Points     []throughputPoint `json:"points"`
+}
+
+const tpM, tpN = 512, 256
+
+// fleetQPS runs `clients` goroutines, each looping factor over its own
+// matrix until the window closes, and returns completed factorizations per
+// second.
+func fleetQPS(clients int, window time.Duration, factor func(client int, a *tiledqr.Dense) error) float64 {
+	mats := make([]*tiledqr.Dense, clients)
+	for i := range mats {
+		mats[i] = tiledqr.RandomDense(tpM, tpN, int64(i+1))
+	}
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(window)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				if err := factor(c, mats[c]); err != nil {
+					panic(err)
+				}
+				done.Add(1)
+			}
+		}(c)
+	}
+	wg.Wait()
+	return float64(done.Load()) / time.Since(start).Seconds()
+}
+
+// measureThroughput sweeps the fleet sizes across the three execution
+// modes at equal GOMAXPROCS.
+func measureThroughput(quick bool) *throughputReport {
+	clients := []int{1, 4, 16, 64}
+	window := time.Second
+	if quick {
+		clients = []int{1, 4}
+		window = 200 * time.Millisecond
+	}
+	rep := &throughputReport{
+		M: tpM, N: tpN, NB: benchNB, IB: benchIB,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		WindowMS:   window.Milliseconds(),
+	}
+	perCall := tiledqr.Options{TileSize: benchNB, InnerBlock: benchIB, Workers: runtime.GOMAXPROCS(0)}
+	shared := tiledqr.Options{TileSize: benchNB, InnerBlock: benchIB}
+	// Warm the default runtime before timing.
+	if _, err := tiledqr.Factor(tiledqr.RandomDense(tpM, tpN, 99), shared); err != nil {
+		panic(err)
+	}
+	for _, c := range clients {
+		p := throughputPoint{Clients: c}
+		p.PerCallQPS = fleetQPS(c, window, func(_ int, a *tiledqr.Dense) error {
+			_, err := tiledqr.Factor(a, perCall)
+			return err
+		})
+		p.SharedQPS = fleetQPS(c, window, func(_ int, a *tiledqr.Dense) error {
+			_, err := tiledqr.Factor(a, shared)
+			return err
+		})
+		reusers := make([]*tiledqr.Factorization, c)
+		for i := range reusers {
+			reusers[i] = &tiledqr.Factorization{}
+		}
+		p.SharedReuseQPS = fleetQPS(c, window, func(client int, a *tiledqr.Dense) error {
+			return tiledqr.FactorInto(reusers[client], a, shared)
+		})
+		rep.Points = append(rep.Points, p)
+	}
+	return rep
+}
+
+// printThroughput renders the report as a table with per-mode speedups
+// over the per-call baseline.
+func printThroughput(rep *throughputReport) {
+	fmt.Printf("fleet throughput: %d×%d float64, nb=%d, ib=%d, GOMAXPROCS=%d, %d ms window\n\n",
+		rep.M, rep.N, rep.NB, rep.IB, rep.GoMaxProcs, rep.WindowMS)
+	w := tabwriter.NewWriter(os.Stdout, 10, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "clients\tper-call q/s\tshared q/s\tspeedup\tshared+reuse q/s\tspeedup\t")
+	for _, p := range rep.Points {
+		fmt.Fprintf(w, "%d\t%.2f\t%.2f\t%.2fx\t%.2f\t%.2fx\t\n",
+			p.Clients, p.PerCallQPS, p.SharedQPS, p.SharedQPS/p.PerCallQPS,
+			p.SharedReuseQPS, p.SharedReuseQPS/p.PerCallQPS)
+	}
+	w.Flush()
+	fmt.Println("\nper-call: every Factor builds and tears down its own GOMAXPROCS-worker pool (legacy default)")
+	fmt.Println("shared:   all clients submit to the persistent process runtime")
+	fmt.Println("reuse:    shared runtime + FactorInto arena reuse (zero steady-state allocation)")
 }
 
 // timeIt returns seconds per call, growing the repetition count until the
@@ -494,6 +627,7 @@ func writeKernelsJSON(path string) error {
 	})
 	rep.SchedulerNsPerTask = sec * 1e9 / float64(d.NumTasks())
 	rep.Stream = measureStream()
+	rep.Throughput = measureThroughput(false)
 	if old, err := os.ReadFile(path); err == nil {
 		var prev struct {
 			Baseline json.RawMessage `json:"baseline"`

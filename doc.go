@@ -108,6 +108,49 @@
 // throughput is benchmarked by BenchmarkStream* and cmd/qrstream, and
 // recorded in BENCH_kernels.json by make bench.
 //
+// # Runtime and throughput
+//
+// Execution happens on a persistent Runtime: one resident pool of worker
+// goroutines that accepts the task DAGs of any number of concurrent
+// factorizations, the way PLASMA's dynamic scheduler owns the cores for
+// the life of the process. By default (Options.Runtime nil, Workers 0)
+// every Factor/FactorComplex/Factor32/CFactor call and every stream merge
+// shares the process-wide DefaultRuntime of GOMAXPROCS workers, so N
+// concurrent callers never oversubscribe the machine with N pools.
+// Admission across factorizations is weighted-fair — each job accumulates
+// virtual time as its tasks execute and workers serve the furthest-behind
+// job first (with a stickiness quantum for cache locality) — so one huge
+// factorization cannot starve a fleet of small ones, while a lone job
+// still gets every worker. Within a job, critical-path priorities order
+// the tasks exactly as in a dedicated pool, and results are bit-identical
+// to per-call execution. A kernel error or panic cancels that job's
+// outstanding tasks promptly without touching other jobs.
+//
+// For a serving workload — many same-shaped problems at high QPS — pair
+// the shared runtime with the reuse path:
+//
+//	rt := tiledqr.NewRuntime(0)            // or just use the default
+//	defer rt.Close()
+//	opt := tiledqr.Options{TileSize: 128}.WithRuntime(rt)
+//	f := &tiledqr.Factorization{}
+//	for a := range problems {
+//		if err := tiledqr.FactorInto(f, a, opt); err != nil { ... }
+//		use(f.R())
+//	}
+//
+// FactorInto (and its shape-pinned shorthand Refactor) reuses the tile
+// arena — one contiguous allocation holding every tile payload and T
+// factor — plus the task DAG and its execution plan whenever shape and
+// structural options match, so steady-state refactorization performs O(1)
+// allocations; kernel workspaces live with the runtime's workers (one
+// grow-only buffer per precision each) and are shared by every job.
+// Setting Options.Workers > 0 instead opts out of sharing: that call gets
+// a private pool built and torn down around it (Workers == 1 is the
+// deterministic sequential path). `make throughput` (qrperf -throughput)
+// measures the fleet scenario — factorizations/sec at 1..64 concurrent
+// clients, per-call pools vs shared runtime vs FactorInto reuse — and
+// `make bench` records it in BENCH_kernels.json.
+//
 // # Performance
 //
 // All four arithmetic domains run on one tuned core, internal/vec:

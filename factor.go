@@ -9,6 +9,24 @@ import (
 	"tiledqr/internal/vec"
 )
 
+// engineConfig validates the (defaulted) options against the matrix shape
+// and lowers them to the engine's configuration.
+func engineConfig(m, n int, opt Options) (engine.Config, error) {
+	g := tile.NewGrid(m, n, opt.TileSize)
+	if err := opt.validate(g.P); err != nil {
+		return engine.Config{}, err
+	}
+	return engine.Config{
+		Algorithm:  opt.Algorithm.core(),
+		Kernels:    opt.Kernels.core(),
+		CoreOpts:   opt.coreOptions(),
+		TileSize:   opt.TileSize,
+		InnerBlock: opt.InnerBlock,
+		Env:        opt.execEnv(),
+		Trace:      opt.Trace,
+	}, nil
+}
+
 // factorEngine applies defaults, validates, and runs the generic engine —
 // the single code path behind Factor, Factor32, CFactor and FactorComplex.
 func factorEngine[T vec.Scalar](a *tile.Dense[T], opt Options) (*engine.Factorization[T], error) {
@@ -16,19 +34,26 @@ func factorEngine[T vec.Scalar](a *tile.Dense[T], opt Options) (*engine.Factoriz
 	if a == nil || a.Rows < 1 || a.Cols < 1 {
 		return nil, fmt.Errorf("tiledqr: cannot factor an empty matrix")
 	}
-	g := tile.NewGrid(a.Rows, a.Cols, opt.TileSize)
-	if err := opt.validate(g.P); err != nil {
+	cfg, err := engineConfig(a.Rows, a.Cols, opt)
+	if err != nil {
 		return nil, err
 	}
-	return engine.Factor(a, engine.Config{
-		Algorithm:  opt.Algorithm.core(),
-		Kernels:    opt.Kernels.core(),
-		CoreOpts:   opt.coreOptions(),
-		TileSize:   opt.TileSize,
-		InnerBlock: opt.InnerBlock,
-		Workers:    opt.Workers,
-		Trace:      opt.Trace,
-	})
+	return engine.Factor(a, cfg)
+}
+
+// factorEngineInto is the reuse-path sibling of factorEngine: it factors a
+// into an existing engine factorization, reusing its storage when shape
+// and structural options match.
+func factorEngineInto[T vec.Scalar](f *engine.Factorization[T], a *tile.Dense[T], opt Options) error {
+	opt = opt.withDefaults()
+	if a == nil || a.Rows < 1 || a.Cols < 1 {
+		return fmt.Errorf("tiledqr: cannot factor an empty matrix")
+	}
+	cfg, err := engineConfig(a.Rows, a.Cols, opt)
+	if err != nil {
+		return err
+	}
+	return engine.FactorInto(f, a, cfg)
 }
 
 // Factorization is the result of Factor: the factored tiles (R plus the
@@ -48,6 +73,35 @@ func Factor(a *Dense, opt Options) (*Factorization, error) {
 	}
 	return &Factorization{e: e}, nil
 }
+
+// FactorInto factors a into f, reusing f's tile storage, T factors, task
+// DAG and execution plan when a's shape and the structural options
+// (algorithm, kernels, tile/inner-block sizes, tree parameters) match f's
+// previous factorization — the zero-allocation serving path for fleets of
+// same-shaped problems. A mismatch rebuilds storage transparently. f may
+// be a zero &Factorization{}. On error, any previous factorization held by
+// f is gone (its storage was overwritten): f refuses to serve results
+// until a subsequent FactorInto/Refactor succeeds.
+func FactorInto(f *Factorization, a *Dense, opt Options) error {
+	if f.e == nil {
+		f.e = new(engine.Factorization[float64])
+	}
+	return factorEngineInto(f.e, (*tile.Dense[float64])(a), opt)
+}
+
+// Refactor re-runs the factorization over new matrix data with the same
+// options, reusing every internal buffer when a has the previous shape.
+// Steady-state Refactor allocates O(1).
+func (f *Factorization) Refactor(a *Dense) error {
+	if f.e == nil {
+		return errRefactorEmpty
+	}
+	return f.e.Refactor((*tile.Dense[float64])(a))
+}
+
+// errRefactorEmpty is returned by Refactor on a never-factored value; the
+// reuse paths start with Factor or FactorInto.
+var errRefactorEmpty = fmt.Errorf("tiledqr: Refactor on an empty factorization (use Factor or FactorInto first)")
 
 // R returns the min(m,n)×n upper triangular (trapezoidal) factor.
 func (f *Factorization) R() *Dense { return (*Dense)(f.e.R()) }

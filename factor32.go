@@ -26,6 +26,26 @@ func Factor32(a *Dense32, opt Options) (*Factorization32, error) {
 	return &Factorization32{e: e}, nil
 }
 
+// FactorInto32 factors a into f, reusing f's storage when shape and
+// structural options match the previous factorization (see FactorInto).
+// f may be a zero &Factorization32{}.
+func FactorInto32(f *Factorization32, a *Dense32, opt Options) error {
+	if f.e == nil {
+		f.e = new(engine.Factorization[float32])
+	}
+	return factorEngineInto(f.e, (*tile.Dense[float32])(a), opt)
+}
+
+// Refactor re-runs the factorization over new matrix data with the same
+// options, reusing every internal buffer when a has the previous shape.
+// Steady-state Refactor allocates O(1).
+func (f *Factorization32) Refactor(a *Dense32) error {
+	if f.e == nil {
+		return errRefactorEmpty
+	}
+	return f.e.Refactor((*tile.Dense[float32])(a))
+}
+
 // R returns the min(m,n)×n upper triangular (trapezoidal) factor.
 func (f *Factorization32) R() *Dense32 { return (*Dense32)(f.e.R()) }
 

@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Kind enumerates the six sequential kernels of Table 1.
 type Kind uint8
@@ -109,6 +112,12 @@ type DAG struct {
 	// ZeroTask maps sub-diagonal tile (i,k) (1-based) to the ID of the
 	// TSQRT/TTQRT task that zeroes it, or -1.
 	zeroTask []int32
+
+	// Succs adjacency, memoized on first use: cached DAGs (streaming merge
+	// shapes, refactored one-shots) are executed many times.
+	succOnce    sync.Once
+	succOffMemo []int32
+	succsMemo   []int32
 }
 
 // NumTasks returns the number of kernel tasks.
@@ -122,9 +131,15 @@ func (d *DAG) ZeroTask(i, k int) int32 {
 	return d.zeroTask[(i-1)*d.Q+(k-1)]
 }
 
-// Succs materializes the successor adjacency (flattened) from the stored
-// predecessor lists. Used by the runtime scheduler and the list scheduler.
+// Succs returns the successor adjacency (flattened), materialized from the
+// stored predecessor lists on first call and memoized. Used by the runtime
+// scheduler and the list scheduler. Callers must not mutate the slices.
 func (d *DAG) Succs() (off []int32, succs []int32) {
+	d.succOnce.Do(func() { d.succOffMemo, d.succsMemo = d.buildSuccs() })
+	return d.succOffMemo, d.succsMemo
+}
+
+func (d *DAG) buildSuccs() (off []int32, succs []int32) {
 	n := len(d.Tasks)
 	off = make([]int32, n+1)
 	for t := 0; t < n; t++ {

@@ -6,6 +6,15 @@
 // tracing. The public package instantiates Factorization at
 // float32/float64/complex64/complex128 behind thin typed wrappers;
 // internal/stream reuses ExecTasks/Replay for its resident-triangle merges.
+//
+// Execution placement goes through Env: a shared persistent sched.Runtime
+// (the default — many factorizations, one worker pool), a per-call pool
+// (the legacy mode, kept as the explicit-Workers path and benchmark
+// baseline), or inline on the calling goroutine (Workers == 1, and DAGs too
+// small to be worth a cross-goroutine hop). Kernel workspaces are owned by
+// the workers themselves — one grow-only buffer per arithmetic domain in
+// each worker's sched.Local — so repeated factorizations allocate no
+// scratch.
 package engine
 
 import (
@@ -20,6 +29,58 @@ import (
 	"tiledqr/internal/work"
 )
 
+// Env selects where a DAG executes.
+type Env struct {
+	// Runtime, when non-nil, is the shared persistent pool to execute on.
+	Runtime *sched.Runtime
+	// Workers is honored only when Runtime is nil: a per-call pool of that
+	// size is built and torn down around the execution (0 = GOMAXPROCS);
+	// Workers == 1 runs inline on the calling goroutine, deterministically.
+	Workers int
+}
+
+// run executes the plan's DAG under the Env's placement policy.
+func (e Env) run(p *sched.Plan, trace bool, exec sched.Exec) (*sched.Trace, error) {
+	if e.Runtime != nil {
+		return e.Runtime.Exec(p, sched.Options{Trace: trace}, exec)
+	}
+	if work.WorkersOrDefault(e.Workers) == 1 {
+		return sched.RunInline(p.DAG(), trace, exec)
+	}
+	rt := sched.NewRuntime(e.Workers)
+	defer rt.Close()
+	return rt.Exec(p, sched.Options{Trace: trace}, exec)
+}
+
+// wsSlot maps a scalar type to its sched.Local slot: one kernel workspace
+// per arithmetic domain per worker.
+func wsSlot[T vec.Scalar]() int {
+	switch any((*T)(nil)).(type) {
+	case *float32:
+		return 0
+	case *float64:
+		return 1
+	case *complex64:
+		return 2
+	default: // *complex128
+		return 3
+	}
+}
+
+// WorkerWS returns worker-local kernel scratch of length n, growing the
+// worker's cached buffer when a larger factorization comes through. Only
+// the owning worker touches a Local, so no synchronization is needed, and
+// steady-state executions allocate nothing here.
+func WorkerWS[T vec.Scalar](loc *sched.Local, n int) []T {
+	s := &loc.Slots[wsSlot[T]()]
+	if ws, ok := (*s).([]T); ok && cap(ws) >= n {
+		return ws[:n]
+	}
+	ws := make([]T, n)
+	*s = ws
+	return ws
+}
+
 // Config carries the resolved factorization parameters from the public
 // options layer (defaults applied, values validated) down to the engine.
 type Config struct {
@@ -28,8 +89,19 @@ type Config struct {
 	CoreOpts   core.Options
 	TileSize   int
 	InnerBlock int
-	Workers    int // 0 = GOMAXPROCS
+	Env        Env
 	Trace      bool
+}
+
+// reuseKey is the structural identity of a factorization: FactorInto
+// reuses tiles, T-factor arena, DAG and execution plan when it matches.
+type reuseKey struct {
+	m, n       int
+	algorithm  core.Algorithm
+	kernels    core.Kernels
+	coreOpts   core.Options
+	tileSize   int
+	innerBlock int
 }
 
 // Source resolves the tile and T-factor operands of DAG tasks, all in the
@@ -91,30 +163,16 @@ func ExecTask[T vec.Scalar](src Source[T], d *core.DAG, t int32, ib int, ws []T)
 	return nil
 }
 
-// ExecTasks runs every task of the DAG on the scheduler, dispatching
-// through ExecTask with one preallocated workspace per worker. The first
-// dispatch error (or exec panic, via sched.Run) aborts the run's result.
-func ExecTasks[T vec.Scalar](src Source[T], d *core.DAG, opt sched.Options, ib int, ws [][]T) (*sched.Trace, error) {
-	var (
-		mu       sync.Mutex
-		firstErr error
-	)
-	trace, err := sched.Run(d, opt, func(t int32, w int) {
-		if e := ExecTask(src, d, t, ib, ws[w]); e != nil {
-			mu.Lock()
-			if firstErr == nil {
-				firstErr = e
-			}
-			mu.Unlock()
-		}
+// ExecTasks runs every task of the plan's DAG under env, dispatching
+// through ExecTask with the executing worker's own kernel workspace. The
+// first dispatch error or kernel panic cancels the job's outstanding tasks
+// and is returned promptly — the scheduler does not drain the rest of the
+// DAG first.
+func ExecTasks[T vec.Scalar](src Source[T], p *sched.Plan, env Env, trace bool, ib, wsLen int) (*sched.Trace, error) {
+	d := p.DAG()
+	return env.run(p, trace, func(t int32, loc *sched.Local) error {
+		return ExecTask(src, d, t, ib, WorkerWS[T](loc, wsLen))
 	})
-	if err != nil {
-		return nil, err
-	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return trace, nil
 }
 
 // Replay applies the Q transformations recorded in the DAG's factor tasks
@@ -159,15 +217,24 @@ func Replay[T vec.Scalar](src Source[T], d *core.DAG, trans bool, row func(i int
 
 // Factorization is the generic one-shot tiled QR state: the factored tiles
 // (R plus the Householder representation of Q) and everything needed to
-// apply Q, for any scalar domain.
+// apply Q, for any scalar domain. A zero Factorization is the valid target
+// of FactorInto; Refactor re-runs it over new data with zero steady-state
+// allocation.
 type Factorization[T vec.Scalar] struct {
-	grid  tile.Grid
-	mat   *tile.Matrix[T]
-	dag   *core.DAG
-	tg    [][]T // GEQRT T factors per tile, indexed (i-1)*q+(k-1)
-	t2    [][]T // TSQRT/TTQRT T factors per tile
-	ib    int
-	trace *sched.Trace
+	grid    tile.Grid
+	mat     *tile.Matrix[T]
+	dag     *core.DAG
+	plan    *sched.Plan
+	arena   []T   // one contiguous block: all tile payloads, then all T factors
+	tg      [][]T // GEQRT T factors per tile, indexed (i-1)*q+(k-1), views into arena
+	t2      [][]T // TSQRT/TTQRT T factors per tile, views into arena
+	ib      int
+	wsLen   int
+	key     reuseKey
+	env     Env
+	traceOn bool
+	valid   bool // false between a failed execution and the next rebuild
+	trace   *sched.Trace
 
 	workPool sync.Pool // scratch slices for ApplyQ/ApplyQT/SolveLS
 }
@@ -176,41 +243,118 @@ type Factorization[T vec.Scalar] struct {
 // (any m, n ≥ 1). A is not modified. cfg must already carry defaulted,
 // validated options.
 func Factor[T vec.Scalar](a *tile.Dense[T], cfg Config) (*Factorization[T], error) {
-	g := tile.NewGrid(a.Rows, a.Cols, cfg.TileSize)
-	list, err := core.Generate(cfg.Algorithm, g.P, g.Q, cfg.CoreOpts)
-	if err != nil {
+	f := &Factorization[T]{}
+	if err := FactorInto(f, a, cfg); err != nil {
 		return nil, err
 	}
-	f := &Factorization[T]{
-		grid: g,
-		mat:  tile.FromDense(a, cfg.TileSize),
-		dag:  core.BuildDAG(list, cfg.Kernels),
-		ib:   cfg.InnerBlock,
-	}
-	f.allocT()
-	ws := work.Workspaces[T](work.WorkersOrDefault(cfg.Workers),
-		kernel.WorkLen(cfg.TileSize, f.ib))
-	trace, err := ExecTasks[T](f, f.dag, sched.Options{Workers: cfg.Workers, Trace: cfg.Trace}, f.ib, ws)
-	if err != nil {
-		return nil, err
-	}
-	f.trace = trace
 	return f, nil
 }
 
-// allocT allocates the per-tile T factor storage demanded by the DAG.
-func (f *Factorization[T]) allocT() {
-	p, q := f.grid.P, f.grid.Q
-	f.tg = make([][]T, p*q)
-	f.t2 = make([][]T, p*q)
+// FactorInto factors a into f, reusing f's tile arena, T-factor storage,
+// task DAG and execution plan when the matrix shape and the structural
+// options (algorithm, kernels, tile/inner-block sizes, tree parameters)
+// match the previous factorization; otherwise the storage is rebuilt.
+// Execution placement (Env) and tracing may change freely between calls.
+// Steady-state refactorization performs O(1) allocations — none of them
+// proportional to the matrix or task count.
+//
+// On error, any previous factorization held by f is gone (the reused
+// storage was overwritten): f refuses to serve results until a subsequent
+// FactorInto/Refactor succeeds, which rebuilds storage from scratch.
+func FactorInto[T vec.Scalar](f *Factorization[T], a *tile.Dense[T], cfg Config) error {
+	key := reuseKey{
+		m: a.Rows, n: a.Cols,
+		algorithm: cfg.Algorithm, kernels: cfg.Kernels, coreOpts: cfg.CoreOpts,
+		tileSize: cfg.TileSize, innerBlock: cfg.InnerBlock,
+	}
+	// A factorization left invalid by a failed run never reuses its
+	// half-written storage: rebuild from scratch.
+	if f.mat == nil || !f.valid || f.key != key {
+		if err := f.rebuild(cfg, key); err != nil {
+			return err
+		}
+	}
+	f.env = cfg.Env
+	f.traceOn = cfg.Trace
+	f.trace = nil
+	// The reused arena is overwritten in place: a failed execution leaves
+	// half-factored tiles, so the factorization is marked invalid until a
+	// run completes (R/Apply/SolveLS refuse to serve it) and the next
+	// FactorInto rebuilds from scratch instead of reusing.
+	f.valid = false
+	// CopyFrom overwrites every element of every tile, and each T-factor
+	// position a kernel reads is written by the factor kernel of the same
+	// run before any applier reads it, so no zeroing of reused storage is
+	// needed.
+	f.mat.CopyFrom(a)
+	trace, err := ExecTasks[T](f, f.plan, f.env, cfg.Trace, f.ib, f.wsLen)
+	if err != nil {
+		return err
+	}
+	f.valid = true
+	f.trace = trace
+	return nil
+}
+
+// Refactor re-runs the factorization over new matrix data, reusing every
+// internal buffer when a has the shape of the previous factorization (the
+// zero-allocation serving path; a different shape rebuilds storage).
+func (f *Factorization[T]) Refactor(a *tile.Dense[T]) error {
+	if f.mat == nil {
+		return fmt.Errorf("tiledqr: Refactor on an empty factorization (use Factor first)")
+	}
+	cfg := Config{
+		Algorithm: f.key.algorithm, Kernels: f.key.kernels, CoreOpts: f.key.coreOpts,
+		TileSize: f.key.tileSize, InnerBlock: f.key.innerBlock, Env: f.env,
+		Trace: f.traceOn,
+	}
+	return FactorInto(f, a, cfg)
+}
+
+// rebuild allocates the factorization's storage for a new structural key:
+// DAG, execution plan, and one contiguous arena holding every tile payload
+// followed by every T factor (replacing the former p×q individual
+// allocations).
+func (f *Factorization[T]) rebuild(cfg Config, key reuseKey) error {
+	g := tile.NewGrid(key.m, key.n, cfg.TileSize)
+	list, err := core.Generate(cfg.Algorithm, g.P, g.Q, cfg.CoreOpts)
+	if err != nil {
+		return err
+	}
+	f.grid = g
+	f.dag = core.BuildDAG(list, cfg.Kernels)
+	f.plan = sched.NewPlan(f.dag)
+	f.ib = cfg.InnerBlock
+	f.wsLen = kernel.WorkLen(cfg.TileSize, f.ib)
+	f.key = key
+
+	tNeed := 0
+	for _, t := range f.dag.Tasks {
+		switch t.Kind {
+		case core.KGEQRT, core.KTSQRT, core.KTTQRT:
+			tNeed += f.ib * g.TileCols(t.K-1)
+		}
+	}
+	f.arena = make([]T, g.M*g.N+tNeed)
+	f.mat = tile.NewMatrixOn[T](g, f.arena[:g.M*g.N])
+	f.tg = make([][]T, g.P*g.Q)
+	f.t2 = make([][]T, g.P*g.Q)
+	off := g.M * g.N
+	carve := func(k int) []T {
+		n := f.ib * g.TileCols(k-1)
+		s := f.arena[off : off+n : off+n]
+		off += n
+		return s
+	}
 	for _, t := range f.dag.Tasks {
 		switch t.Kind {
 		case core.KGEQRT:
-			f.tg[f.tidx(t.I, t.K)] = make([]T, f.ib*f.grid.TileCols(t.K-1))
+			f.tg[f.tidx(t.I, t.K)] = carve(t.K)
 		case core.KTSQRT, core.KTTQRT:
-			f.t2[f.tidx(t.I, t.K)] = make([]T, f.ib*f.grid.TileCols(t.K-1))
+			f.t2[f.tidx(t.I, t.K)] = carve(t.K)
 		}
 	}
+	return nil
 }
 
 // tidx maps 1-based tile coordinates to storage index.
@@ -242,8 +386,21 @@ func (f *Factorization[T]) putWork(w []T) {
 	f.workPool.Put(&w)
 }
 
+// errInvalid is the state guard shared by every factor accessor: a failed
+// Factor/FactorInto/Refactor leaves half-factored tiles that must never be
+// served as results.
+func (f *Factorization[T]) errInvalid(op string) error {
+	if f.valid {
+		return nil
+	}
+	return fmt.Errorf("tiledqr: %s on an invalid factorization (the last factorization attempt failed; re-run Factor or FactorInto)", op)
+}
+
 // R returns the min(m,n)×n upper triangular (trapezoidal) factor.
 func (f *Factorization[T]) R() *tile.Dense[T] {
+	if err := f.errInvalid("R"); err != nil {
+		panic(err) // value-returning accessor: fail loudly, never silently serve garbage
+	}
 	k := min(f.grid.M, f.grid.N)
 	r := tile.NewDense[T](k, f.grid.N)
 	nb := f.grid.NB
@@ -258,6 +415,9 @@ func (f *Factorization[T]) R() *tile.Dense[T] {
 // Apply overwrites b (m×nrhs) with Qᴴ·b (trans) or Q·b by replaying the
 // factorization's transformations.
 func (f *Factorization[T]) Apply(b *tile.Dense[T], trans bool) error {
+	if err := f.errInvalid("ApplyQ"); err != nil {
+		return err
+	}
 	if b == nil {
 		return fmt.Errorf("tiledqr: ApplyQ: b must not be nil")
 	}
@@ -304,6 +464,9 @@ func (f *Factorization[T]) ThinQ() *tile.Dense[T] {
 // b (m×nrhs), returning the n×nrhs solution. Requires m ≥ n and a
 // nonsingular R.
 func (f *Factorization[T]) SolveLS(b *tile.Dense[T]) (*tile.Dense[T], error) {
+	if err := f.errInvalid("SolveLS"); err != nil {
+		return nil, err
+	}
 	m, n := f.grid.M, f.grid.N
 	if m < n {
 		return nil, fmt.Errorf("tiledqr: SolveLS needs m ≥ n (have %d×%d)", m, n)

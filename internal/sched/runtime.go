@@ -1,0 +1,640 @@
+// The persistent runtime: one resident pool of workers executing the task
+// DAGs of any number of concurrently submitted factorizations, the way
+// PLASMA's dynamic scheduler owns the machine's cores for the lifetime of
+// the process rather than spawning threads per factorization.
+//
+// Scheduling discipline (three levels):
+//
+//   - Within a job (one submitted DAG), ready tasks are ordered by
+//     critical-path priority exactly as before: the weighted longest path
+//     to a sink using the paper's Table 1 kernel weights, so factor
+//     kernels on the critical path run ahead of trailing updates.
+//   - Across jobs, admission is weighted-fair: every job accumulates
+//     virtual time (the Table 1 weight of its executed tasks), and a
+//     worker choosing between jobs serves the one with the least virtual
+//     time. A huge factorization therefore cannot starve a fleet of small
+//     ones — the small jobs' virtual clocks stay behind and they win the
+//     next selection — while a lone job still gets every worker.
+//   - For cache locality, a worker sticks with its current job for a
+//     quantum of executed weight before reconsidering, so fair sharing
+//     interleaves at the granularity of several tiles, not single tasks.
+//
+// Completion, dependency counters, and tracing are all per-job. A task
+// error (kernel dispatch failure or panic) cancels the job: queued tasks
+// of that job are dropped instead of executed, no new successors are
+// released, and the submitter is unblocked as soon as the job's in-flight
+// tasks drain — it never waits for the rest of the DAG.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tiledqr/internal/core"
+)
+
+// NumLocalSlots is the number of opaque scratch slots in a Local.
+const NumLocalSlots = 8
+
+// Local is the per-worker scratch box handed to Exec callbacks. Exactly one
+// task uses a given Local at a time (pool workers own one each; inline runs
+// borrow one from a pool), so callers may cache grow-only buffers in Slots
+// without synchronization — the engine keeps one kernel workspace per
+// arithmetic domain there, reused across every job the worker executes.
+type Local struct {
+	ID    int // pool worker index in [0, Workers); 0 on inline runs
+	Slots [NumLocalSlots]any
+}
+
+// Exec executes one task using the per-worker scratch loc. A non-nil error
+// cancels the task's job promptly (outstanding tasks are dropped).
+type Exec func(t int32, loc *Local) error
+
+// weight returns the Table 1 weight of a kind, tolerating corrupted kinds
+// (a malformed DAG must surface as a dispatch error, not a panic here).
+func weight(k core.Kind) int64 {
+	if k > core.KTTMQR {
+		return 1
+	}
+	return int64(k.Weight())
+}
+
+// Plan is a DAG prepared for (repeated) execution: successor adjacency,
+// critical-path priorities, initial dependency counts, and the sorted
+// source tasks, computed once so steady-state re-execution allocates
+// nothing here. The working dependency counters live in the Plan too, so a
+// Plan must not be executed concurrently with itself (executing the same
+// factorization's DAG concurrently would race on the tiles anyway).
+type Plan struct {
+	d       *core.DAG
+	succOff []int32
+	succs   []int32
+	prio    []int64
+	indeg0  []int32 // initial in-degrees
+	indeg   []int32 // working counters, reset from indeg0 at submit
+	sources []int32 // zero-indegree tasks, by descending priority
+}
+
+// NewPlan prepares a DAG for execution on a Runtime.
+func NewPlan(d *core.DAG) *Plan {
+	n := d.NumTasks()
+	p := &Plan{d: d, prio: Priorities(d), indeg0: make([]int32, n), indeg: make([]int32, n)}
+	p.succOff, p.succs = d.Succs()
+	for t := 0; t < n; t++ {
+		p.indeg0[t] = int32(len(d.Preds(t)))
+		if p.indeg0[t] == 0 {
+			p.sources = append(p.sources, int32(t))
+		}
+	}
+	sort.Slice(p.sources, func(a, b int) bool { return p.prio[p.sources[a]] > p.prio[p.sources[b]] })
+	return p
+}
+
+// DAG returns the plan's task DAG.
+func (p *Plan) DAG() *core.DAG { return p.d }
+
+// job is one submitted DAG execution in flight on a runtime.
+type job struct {
+	plan *Plan
+	exec Exec
+	seq  uint64       // admission order, tie-break for fair selection
+	vt   atomic.Int64 // executed weight: the fair-share virtual time
+
+	remaining atomic.Int64 // tasks not yet retired (executed or dropped)
+	executing atomic.Int32 // tasks currently inside exec
+	canceled  atomic.Bool
+	failOnce  sync.Once
+	errMu     sync.Mutex
+	errv      error
+	doneOnce  sync.Once
+	done      chan struct{}
+
+	trace   bool
+	start   time.Time
+	spansMu sync.Mutex
+	spans   []Span
+}
+
+func (j *job) complete() { j.doneOnce.Do(func() { close(j.done) }) }
+
+// fail records the job's first error and cancels it. The job completes when
+// its in-flight tasks drain; queued tasks are dropped un-executed.
+func (j *job) fail(err error) {
+	j.failOnce.Do(func() {
+		j.errMu.Lock()
+		j.errv = err
+		j.errMu.Unlock()
+		j.canceled.Store(true)
+	})
+}
+
+func (j *job) loadErr() error {
+	j.errMu.Lock()
+	defer j.errMu.Unlock()
+	return j.errv
+}
+
+// jobQ is the ready-task heap of one job within one worker's deque: a
+// hand-rolled max-heap on the plan's critical-path priorities.
+type jobQ struct {
+	j     *job
+	tasks []int32
+}
+
+// deque is one worker's pool of ready tasks, segregated by job so that
+// cross-job fairness (pick a job) and within-job priority (pick its most
+// critical task) stay independent. The job list is scanned linearly: the
+// number of in-flight jobs with ready work on one worker is small.
+type deque struct {
+	mu    sync.Mutex
+	jobs  []jobQ
+	spare [][]int32 // recycled task-slice capacity from drained jobs
+}
+
+// push adds a ready task of job j.
+func (q *deque) push(j *job, t int32) {
+	q.mu.Lock()
+	qi := -1
+	for i := range q.jobs {
+		if q.jobs[i].j == j {
+			qi = i
+			break
+		}
+	}
+	if qi < 0 {
+		var buf []int32
+		if n := len(q.spare); n > 0 {
+			buf = q.spare[n-1][:0]
+			q.spare = q.spare[:n-1]
+		}
+		q.jobs = append(q.jobs, jobQ{j: j, tasks: buf})
+		qi = len(q.jobs) - 1
+	}
+	jq := &q.jobs[qi]
+	prio := j.plan.prio
+	jq.tasks = append(jq.tasks, t)
+	tasks := jq.tasks
+	i := len(tasks) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if prio[tasks[p]] >= prio[tasks[i]] {
+			break
+		}
+		tasks[p], tasks[i] = tasks[i], tasks[p]
+		i = p
+	}
+	q.mu.Unlock()
+}
+
+// popHeap removes the root of q.jobs[qi]'s heap, retiring the jobQ when it
+// drains. Callers hold q.mu.
+func (q *deque) popHeap(qi int) int32 {
+	jq := &q.jobs[qi]
+	tasks, prio := jq.tasks, jq.j.plan.prio
+	top := tasks[0]
+	n := len(tasks) - 1
+	tasks[0] = tasks[n]
+	jq.tasks = tasks[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && prio[tasks[r]] > prio[tasks[c]] {
+			c = r
+		}
+		if prio[tasks[i]] >= prio[tasks[c]] {
+			break
+		}
+		tasks[i], tasks[c] = tasks[c], tasks[i]
+		i = c
+	}
+	if n == 0 {
+		q.retire(qi)
+	}
+	return top
+}
+
+// retire removes a drained jobQ, recycling its task-slice capacity.
+// Callers hold q.mu.
+func (q *deque) retire(qi int) {
+	buf := q.jobs[qi].tasks[:0]
+	last := len(q.jobs) - 1
+	q.jobs[qi] = q.jobs[last]
+	q.jobs[last] = jobQ{}
+	q.jobs = q.jobs[:last]
+	if len(q.spare) < 8 {
+		q.spare = append(q.spare, buf)
+	}
+}
+
+// popJob removes the highest-priority ready task of job j, if present —
+// the stickiness fast path that keeps a worker on its current job.
+func (q *deque) popJob(j *job) (int32, bool) {
+	q.mu.Lock()
+	for i := range q.jobs {
+		if q.jobs[i].j == j {
+			t := q.popHeap(i)
+			q.mu.Unlock()
+			return t, true
+		}
+	}
+	q.mu.Unlock()
+	return 0, false
+}
+
+// fairest returns the index of the job with the least virtual time
+// (admission order breaks ties), or -1. Callers hold q.mu.
+func (q *deque) fairest() int {
+	best := -1
+	var bestVT int64
+	var bestSeq uint64
+	for i := range q.jobs {
+		vt := q.jobs[i].j.vt.Load()
+		if best < 0 || vt < bestVT || (vt == bestVT && q.jobs[i].j.seq < bestSeq) {
+			best, bestVT, bestSeq = i, vt, q.jobs[i].j.seq
+		}
+	}
+	return best
+}
+
+// popFair removes the most critical task of the fairest job.
+func (q *deque) popFair() (*job, int32, bool) {
+	q.mu.Lock()
+	qi := q.fairest()
+	if qi < 0 {
+		q.mu.Unlock()
+		return nil, 0, false
+	}
+	j := q.jobs[qi].j
+	t := q.popHeap(qi)
+	q.mu.Unlock()
+	return j, t, true
+}
+
+// stealFair removes a trailing heap leaf (locally low priority) of the
+// fairest job — O(1) and guaranteed not to be the victim's most critical
+// task of that job.
+func (q *deque) stealFair() (*job, int32, bool) {
+	q.mu.Lock()
+	qi := q.fairest()
+	if qi < 0 {
+		q.mu.Unlock()
+		return nil, 0, false
+	}
+	jq := &q.jobs[qi]
+	j := jq.j
+	n := len(jq.tasks) - 1
+	t := jq.tasks[n]
+	jq.tasks = jq.tasks[:n]
+	if n == 0 {
+		q.retire(qi)
+	}
+	q.mu.Unlock()
+	return j, t, true
+}
+
+// fairQuantum is how much executed weight (Table 1 units; one unit is
+// nb³/3 flops) a worker spends on one job before reconsidering fairness.
+// Coarse enough to amortize cache refills across several tile kernels,
+// fine enough that a fleet of small jobs interleaves with a huge one.
+const fairQuantum = 64
+
+// Runtime is a persistent pool of worker goroutines executing the task
+// DAGs of concurrently submitted jobs. Create one per process (see
+// Default) or per isolation domain; Close releases the workers.
+type Runtime struct {
+	workers  int
+	deques   []deque
+	locals   []Local
+	notify   chan struct{} // wake tokens for parked workers, cap == workers
+	parked   atomic.Int32
+	shutdown chan struct{}
+
+	mu       sync.Mutex
+	closed   bool
+	active   []*job         // jobs in flight, for the admission vt floor
+	inflight sync.WaitGroup // jobs submitted and not yet completed
+	wg       sync.WaitGroup // worker goroutines
+	seq      atomic.Uint64
+	isDef    bool
+}
+
+// NewRuntime starts a runtime with the given number of workers (≤ 0 means
+// GOMAXPROCS). The workers are goroutines that park when idle; Close stops
+// them.
+func NewRuntime(workers int) *Runtime {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rt := &Runtime{
+		workers:  workers,
+		deques:   make([]deque, workers),
+		locals:   make([]Local, workers),
+		notify:   make(chan struct{}, workers),
+		shutdown: make(chan struct{}),
+	}
+	for i := range rt.locals {
+		rt.locals[i].ID = i
+	}
+	rt.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go rt.worker(i)
+	}
+	return rt
+}
+
+var (
+	defaultOnce sync.Once
+	defaultRT   *Runtime
+)
+
+// Default returns the process-wide shared runtime (GOMAXPROCS workers),
+// started on first use. Closing it is a no-op: it lives for the process.
+func Default() *Runtime {
+	defaultOnce.Do(func() {
+		defaultRT = NewRuntime(0)
+		defaultRT.isDef = true
+	})
+	return defaultRT
+}
+
+// Workers returns the size of the worker pool.
+func (rt *Runtime) Workers() int { return rt.workers }
+
+// Close waits for in-flight jobs to complete, then stops every worker and
+// waits for them to exit. Further Exec calls return an error. Closing the
+// Default runtime is a no-op.
+func (rt *Runtime) Close() {
+	if rt.isDef {
+		return
+	}
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		rt.wg.Wait()
+		return
+	}
+	rt.closed = true
+	rt.mu.Unlock()
+	rt.inflight.Wait()
+	close(rt.shutdown)
+	rt.wg.Wait()
+}
+
+// wakeOne mints a wake token if any worker is parked. The channel holds at
+// most one token per worker, so a dropped send means every parked worker
+// already has a token to consume — and every consumed token is followed by
+// a full rescan, so no pushed task is ever lost.
+func (rt *Runtime) wakeOne() {
+	if rt.parked.Load() > 0 {
+		select {
+		case rt.notify <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Exec runs every task of the plan's DAG on the pool, honoring
+// dependencies, and blocks until the job completes or is canceled by a
+// task error. Safe for concurrent use from any number of goroutines; each
+// call is an independent job under the fair cross-job discipline. The
+// returned Trace has Spans only when opt.Trace is set.
+func (rt *Runtime) Exec(p *Plan, opt Options, exec Exec) (*Trace, error) {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return nil, fmt.Errorf("sched: Exec on closed runtime")
+	}
+	rt.inflight.Add(1)
+	rt.mu.Unlock()
+	defer rt.inflight.Done()
+
+	n := p.d.NumTasks()
+	if n == 0 {
+		return &Trace{Workers: rt.workers}, nil
+	}
+	j := &job{
+		plan:  p,
+		exec:  exec,
+		seq:   rt.seq.Add(1),
+		trace: opt.Trace,
+		start: time.Now(),
+		done:  make(chan struct{}),
+	}
+	j.remaining.Store(int64(n))
+	if opt.Trace {
+		j.spans = make([]Span, 0, n)
+	}
+	// Admit at the pool's minimum active virtual time (the CFS floor): a
+	// new job gets ahead of everything that has already consumed more
+	// work, but a sustained stream of fresh small jobs cannot pin a
+	// long-running job at the back of the queue forever.
+	rt.mu.Lock()
+	var floor int64
+	for i, a := range rt.active {
+		if vt := a.vt.Load(); i == 0 || vt < floor {
+			floor = vt
+		}
+	}
+	j.vt.Store(floor)
+	rt.active = append(rt.active, j)
+	rt.mu.Unlock()
+	defer func() {
+		rt.mu.Lock()
+		for i, a := range rt.active {
+			if a == j {
+				last := len(rt.active) - 1
+				rt.active[i] = rt.active[last]
+				rt.active[last] = nil
+				rt.active = rt.active[:last]
+				break
+			}
+		}
+		rt.mu.Unlock()
+	}()
+	copy(p.indeg, p.indeg0)
+	// Seed the sources (already sorted by descending priority) round-robin
+	// across the deques, rotating the starting worker per job so
+	// concurrent small jobs spread over the pool.
+	base := int(j.seq % uint64(rt.workers))
+	for k, t := range p.sources {
+		rt.deques[(base+k)%rt.workers].push(j, t)
+	}
+	for k := 0; k < rt.workers && k < len(p.sources); k++ {
+		rt.wakeOne()
+	}
+	<-j.done
+	tr := &Trace{Workers: rt.workers, Elapsed: time.Since(j.start)}
+	if opt.Trace {
+		j.spansMu.Lock()
+		tr.Spans = j.spans
+		j.spansMu.Unlock()
+	}
+	return tr, j.loadErr()
+}
+
+// scan tries the worker's own deque (fair order), then steals a leaf from
+// every victim in turn.
+func (rt *Runtime) scan(id int) (*job, int32, bool) {
+	j, t, ok := rt.deques[id].popFair()
+	for v := 1; !ok && v < rt.workers; v++ {
+		j, t, ok = rt.deques[(id+v)%rt.workers].stealFair()
+	}
+	return j, t, ok
+}
+
+func (rt *Runtime) worker(id int) {
+	defer rt.wg.Done()
+	loc := &rt.locals[id]
+	self := &rt.deques[id]
+	var cur *job
+	var budget int64
+	for {
+		var j *job
+		var t int32
+		ok := false
+		// Stickiness: stay on the current job while its quantum lasts and
+		// it has ready tasks here (the tiles it just wrote are hot).
+		if cur != nil && budget > 0 {
+			if t, ok = self.popJob(cur); ok {
+				j = cur
+			}
+		}
+		if !ok {
+			if j, t, ok = rt.scan(id); ok {
+				cur, budget = j, fairQuantum
+			}
+		}
+		if !ok {
+			// Park protocol: declare parked, rescan (lossless handshake
+			// with push — the rescan locks the same deque mutexes), then
+			// wait for a wake token.
+			rt.parked.Add(1)
+			if j, t, ok = rt.scan(id); ok {
+				rt.parked.Add(-1)
+				cur, budget = j, fairQuantum
+			} else {
+				cur = nil // don't pin a completed job while parked
+				select {
+				case <-rt.notify:
+					rt.parked.Add(-1)
+					continue
+				case <-rt.shutdown:
+					rt.parked.Add(-1)
+					return
+				}
+			}
+		}
+		budget -= weight(j.plan.d.Tasks[t].Kind)
+		rt.runOne(j, t, loc, self)
+	}
+}
+
+// runOne executes (or, for a canceled job, drops) one task and does the
+// job bookkeeping: successor release, fairness clock, completion.
+func (rt *Runtime) runOne(j *job, t int32, loc *Local, self *deque) {
+	// The executing counter is raised before the cancel check and held
+	// until after the successor release below, so that a concurrent
+	// fail() cannot observe executing == 0 (and unblock the submitter)
+	// while this worker is about to run the task — or is still
+	// decrementing the plan's shared dependency counters. Once Exec
+	// returns, no task of the job is inside exec and the Plan is quiescent
+	// (safe to re-submit).
+	j.executing.Add(1)
+	if j.canceled.Load() {
+		if j.executing.Add(-1) == 0 && j.canceled.Load() {
+			j.complete()
+		}
+		j.remaining.Add(-1)
+		return
+	}
+	if err := j.runTask(t, loc); err != nil {
+		j.fail(err)
+	}
+	if !j.canceled.Load() {
+		p := j.plan
+		for _, s := range p.succs[p.succOff[t]:p.succOff[t+1]] {
+			if atomic.AddInt32(&p.indeg[s], -1) == 0 {
+				self.push(j, s)
+				rt.wakeOne()
+			}
+		}
+		j.vt.Add(weight(p.d.Tasks[t].Kind))
+	}
+	if j.executing.Add(-1) == 0 && j.canceled.Load() {
+		j.complete()
+	}
+	if j.remaining.Add(-1) == 0 {
+		j.complete()
+	}
+}
+
+// runTask executes one task, converting panics into errors and recording a
+// span when tracing.
+func (j *job) runTask(t int32, loc *Local) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sched: task %v panicked: %v", j.plan.d.Tasks[t], r)
+		}
+	}()
+	var t0 time.Duration
+	if j.trace {
+		t0 = time.Since(j.start)
+	}
+	err = j.exec(t, loc)
+	if j.trace {
+		t1 := time.Since(j.start)
+		j.spansMu.Lock()
+		j.spans = append(j.spans, Span{Task: t, Worker: loc.ID, Start: t0, End: t1})
+		j.spansMu.Unlock()
+	}
+	return err
+}
+
+// inlineLocals lends Local boxes to inline (caller-goroutine) runs.
+var inlineLocals = sync.Pool{New: func() any { return &Local{} }}
+
+// RunInline executes every task of the DAG sequentially in topological
+// (ID) order on the calling goroutine: the deterministic Workers == 1 path,
+// also used for DAGs too small to be worth a cross-goroutine hop. Stops at
+// the first task error or panic.
+func RunInline(d *core.DAG, trace bool, exec Exec) (*Trace, error) {
+	loc := inlineLocals.Get().(*Local)
+	defer inlineLocals.Put(loc)
+	start := time.Now()
+	tr := &Trace{Workers: 1}
+	if trace {
+		tr.Spans = make([]Span, 0, d.NumTasks())
+	}
+	for t := 0; t < d.NumTasks(); t++ {
+		var t0 time.Duration
+		if trace {
+			t0 = time.Since(start)
+		}
+		if err := runInlineTask(d, int32(t), loc, exec); err != nil {
+			tr.Elapsed = time.Since(start)
+			return tr, err
+		}
+		if trace {
+			tr.Spans = append(tr.Spans, Span{Task: int32(t), Worker: 0, Start: t0, End: time.Since(start)})
+		}
+	}
+	tr.Elapsed = time.Since(start)
+	return tr, nil
+}
+
+// runInlineTask runs one task inline, converting panics into errors.
+func runInlineTask(d *core.DAG, t int32, loc *Local, exec Exec) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sched: task %v panicked: %v", d.Tasks[t], r)
+		}
+	}()
+	return exec(t, loc)
+}

@@ -4,23 +4,17 @@
 // reach zero and are executed so that factor and update stages overlap
 // exactly as the dependency analysis of §2 allows.
 //
-// Scheduling discipline: each worker owns a priority deque of ready tasks.
-// Completing a task pushes its newly released successors onto the finishing
-// worker's own deque (LIFO locality — the tiles it just wrote are still in
-// its cache); the deque orders tasks by critical-path priority (the
-// weighted longest path to a sink, Table 1 kernel weights), so TT/TS factor
-// kernels on the critical path run ahead of trailing updates — the ASAP
-// discipline the paper's §2 analysis assumes. An idle worker first drains
-// its own deque and then steals from a victim; steals take a low-priority
-// leaf of the victim's heap, leaving the victim its critical-path work.
+// The pool is persistent (see Runtime in runtime.go): one set of worker
+// goroutines executes the DAGs of any number of concurrent factorizations,
+// with critical-path priorities inside each DAG and weighted-fair admission
+// across DAGs. Run in this file is the one-shot convenience (and the
+// per-call baseline the throughput benchmarks compare against): it builds
+// a fresh pool, executes one DAG, and tears the pool down.
 package sched
 
 import (
 	"fmt"
 	"runtime"
-	"sort"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"tiledqr/internal/core"
@@ -30,11 +24,11 @@ import (
 type Span struct {
 	Task   int32
 	Worker int
-	Start  time.Duration // since Run began
+	Start  time.Duration // since the job was submitted
 	End    time.Duration
 }
 
-// Trace is the per-run execution record returned by Run when tracing is on.
+// Trace is the per-job execution record returned when tracing is on.
 type Trace struct {
 	Workers int
 	Spans   []Span
@@ -43,7 +37,8 @@ type Trace struct {
 
 // Options configures a DAG execution.
 type Options struct {
-	// Workers is the number of executor goroutines; 0 means GOMAXPROCS.
+	// Workers is the number of executor goroutines for the one-shot Run;
+	// 0 means GOMAXPROCS. Runtime.Exec ignores it (the pool is fixed).
 	Workers int
 	// Trace enables per-task span recording.
 	Trace bool
@@ -64,265 +59,37 @@ func Priorities(d *core.DAG) []int64 {
 				best = prio[s]
 			}
 		}
-		prio[t] = best + int64(d.Tasks[t].Kind.Weight())
+		prio[t] = best + weight(d.Tasks[t].Kind)
 	}
 	return prio
 }
 
-// deque is one worker's pool of ready tasks: a hand-rolled max-heap keyed
-// by critical-path priority (direct array code — no container/heap
-// interface boxing on the per-task hot path). The owner pops the maximum;
-// thieves remove a trailing leaf — O(1), no sift, and guaranteed not to be
-// the victim's most critical task.
-type deque struct {
-	mu    sync.Mutex
-	tasks []int32
-	prio  []int64 // shared priority table, indexed by task ID
-}
-
-func (q *deque) push(t int32) {
-	q.mu.Lock()
-	q.tasks = append(q.tasks, t)
-	tasks, prio := q.tasks, q.prio
-	i := len(tasks) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if prio[tasks[p]] >= prio[tasks[i]] {
-			break
-		}
-		tasks[p], tasks[i] = tasks[i], tasks[p]
-		i = p
-	}
-	q.mu.Unlock()
-}
-
-// pop removes the highest-priority ready task.
-func (q *deque) pop() (int32, bool) {
-	q.mu.Lock()
-	n := len(q.tasks)
-	if n == 0 {
-		q.mu.Unlock()
-		return 0, false
-	}
-	tasks, prio := q.tasks, q.prio
-	top := tasks[0]
-	n--
-	tasks[0] = tasks[n]
-	q.tasks = tasks[:n]
-	i := 0
-	for {
-		c := 2*i + 1
-		if c >= n {
-			break
-		}
-		if r := c + 1; r < n && prio[tasks[r]] > prio[tasks[c]] {
-			c = r
-		}
-		if prio[tasks[i]] >= prio[tasks[c]] {
-			break
-		}
-		tasks[i], tasks[c] = tasks[c], tasks[i]
-		i = c
-	}
-	q.mu.Unlock()
-	return top, true
-}
-
-// stealFrom removes a trailing heap leaf (locally low priority).
-func (q *deque) stealFrom() (int32, bool) {
-	q.mu.Lock()
-	n := len(q.tasks)
-	if n == 0 {
-		q.mu.Unlock()
-		return 0, false
-	}
-	t := q.tasks[n-1]
-	q.tasks = q.tasks[:n-1]
-	q.mu.Unlock()
-	return t, true
-}
-
-// Run executes every task of the DAG, honoring dependencies. exec is called
-// as exec(task, worker) with worker in [0, Workers); workers own disjoint
-// scratch space indexed by that id. Run returns a Trace (nil Spans unless
-// Options.Trace) and the first panic raised by exec, if any, wrapped as an
-// error.
+// Run executes every task of the DAG on a pool created for this one call
+// and torn down afterwards — the legacy per-call mode, kept as the
+// explicit-Workers path and as the baseline the shared Runtime is
+// benchmarked against. exec is called as exec(task, worker) with worker in
+// [0, Workers); workers own disjoint scratch space indexed by that id.
+// Workers == 1 selects the deterministic sequential path on the calling
+// goroutine. Run returns a Trace (nil Spans unless Options.Trace) and the
+// first panic raised by exec, if any, wrapped as an error.
 func Run(d *core.DAG, opt Options, exec func(task int32, worker int)) (*Trace, error) {
-	n := d.NumTasks()
+	wrapped := func(t int32, loc *Local) error {
+		exec(t, loc.ID)
+		return nil
+	}
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if n == 0 {
+	if d.NumTasks() == 0 {
 		return &Trace{Workers: workers}, nil
 	}
 	if workers == 1 {
-		return runSequential(d, opt, exec)
+		return RunInline(d, opt.Trace, wrapped)
 	}
-
-	succOff, succs := d.Succs()
-	prio := Priorities(d)
-	indeg := make([]int32, n)
-	initial := make([]int32, 0, workers*2)
-	for t := 0; t < n; t++ {
-		indeg[t] = int32(len(d.Preds(t)))
-		if indeg[t] == 0 {
-			initial = append(initial, int32(t))
-		}
-	}
-
-	// Seed the deques before any worker starts: sources sorted by
-	// descending critical-path priority, dealt round-robin so every worker
-	// opens with the most critical work available to it.
-	deques := make([]deque, workers)
-	for i := range deques {
-		deques[i].prio = prio
-		deques[i].tasks = make([]int32, 0, n/workers+4)
-	}
-	sort.Slice(initial, func(a, b int) bool { return prio[initial[a]] > prio[initial[b]] })
-	for k, t := range initial {
-		deques[k%workers].push(t)
-	}
-
-	var (
-		remaining atomic.Int64
-		failed    atomic.Value
-		wg        sync.WaitGroup
-		spansMu   sync.Mutex
-		spans     []Span
-	)
-	remaining.Store(int64(n))
-	// notify wakes parked workers; done is closed when the last task
-	// retires. Tokens are minted only while someone is parked (the parked
-	// counter), so the channel is silent in steady state. The
-	// increment-then-rescan handshake below makes the gate lossless: if a
-	// pusher reads parked = 0, the parking worker's rescan — which locks
-	// the same deque mutexes — is ordered after the push and finds the
-	// task. A consumed token whose task was taken by someone else is
-	// harmless: the taker's completions mint more.
-	var parked atomic.Int32
-	notify := make(chan struct{}, n)
-	done := make(chan struct{})
-	start := time.Now()
-	if opt.Trace {
-		spans = make([]Span, 0, n)
-	}
-
-	// scan tries the worker's own deque, then every victim.
-	scan := func(id int) (int32, bool) {
-		t, ok := deques[id].pop()
-		for v := 1; !ok && v < workers; v++ {
-			t, ok = deques[(id+v)%workers].stealFrom()
-		}
-		return t, ok
-	}
-
-	worker := func(id int) {
-		defer wg.Done()
-		self := &deques[id]
-		for {
-			t, ok := scan(id)
-			if !ok {
-				parked.Add(1)
-				if t, ok = scan(id); ok {
-					parked.Add(-1)
-				} else {
-					select {
-					case <-notify:
-						parked.Add(-1)
-						continue
-					case <-done:
-						parked.Add(-1)
-						return
-					}
-				}
-			}
-			// After a failure, keep retiring tasks (and releasing their
-			// successors) so the run terminates, but execute nothing more.
-			if failed.Load() == nil {
-				if err := runTask(d, t, id, exec, opt.Trace, start, &spansMu, &spans); err != nil {
-					failed.Store(err)
-				}
-			}
-			for _, s := range succs[succOff[t]:succOff[t+1]] {
-				if atomic.AddInt32(&indeg[s], -1) == 0 {
-					self.push(s)
-					if parked.Load() > 0 {
-						notify <- struct{}{}
-					}
-				}
-			}
-			if remaining.Add(-1) == 0 {
-				close(done)
-				return
-			}
-		}
-	}
-	wg.Add(workers)
-	for id := 0; id < workers; id++ {
-		go worker(id)
-	}
-	wg.Wait()
-
-	var err error
-	if e := failed.Load(); e != nil {
-		err = e.(error)
-	}
-	if !opt.Trace {
-		return &Trace{Workers: workers, Elapsed: time.Since(start)}, err
-	}
-	return &Trace{Workers: workers, Spans: spans, Elapsed: time.Since(start)}, err
-}
-
-// runTask executes one task, converting panics into errors and recording a
-// span when tracing.
-func runTask(d *core.DAG, t int32, worker int, exec func(int32, int),
-	trace bool, start time.Time, mu *sync.Mutex, spans *[]Span) (err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("sched: task %v panicked: %v", d.Tasks[t], r)
-		}
-	}()
-	var t0 time.Duration
-	if trace {
-		t0 = time.Since(start)
-	}
-	exec(t, worker)
-	if trace {
-		t1 := time.Since(start)
-		mu.Lock()
-		*spans = append(*spans, Span{Task: t, Worker: worker, Start: t0, End: t1})
-		mu.Unlock()
-	}
-	return nil
-}
-
-// runSequential executes tasks in topological (ID) order on one worker.
-// Deterministic and allocation-light; used for Workers == 1 and as the
-// reference path in tests.
-func runSequential(d *core.DAG, opt Options, exec func(int32, int)) (tr *Trace, err error) {
-	start := time.Now()
-	tr = &Trace{Workers: 1}
-	if opt.Trace {
-		tr.Spans = make([]Span, 0, d.NumTasks())
-	}
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("sched: task panicked: %v", r)
-		}
-		tr.Elapsed = time.Since(start)
-	}()
-	for t := 0; t < d.NumTasks(); t++ {
-		var t0 time.Duration
-		if opt.Trace {
-			t0 = time.Since(start)
-		}
-		exec(int32(t), 0)
-		if opt.Trace {
-			tr.Spans = append(tr.Spans, Span{Task: int32(t), Worker: 0, Start: t0, End: time.Since(start)})
-		}
-	}
-	return tr, nil
+	rt := NewRuntime(workers)
+	defer rt.Close()
+	return rt.Exec(NewPlan(d), Options{Trace: opt.Trace}, wrapped)
 }
 
 // Validate checks that a trace respects every DAG dependency (each task

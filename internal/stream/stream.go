@@ -32,13 +32,14 @@ import (
 const seqTaskThreshold = 64
 
 // Core is the domain-generic streaming state: the resident triangle, the
-// retained Qᵀb block, cached merge DAGs keyed by batch tile height, and the
-// per-worker kernel workspaces. All retained storage is O(n² + batch);
-// nothing grows with the number of rows ingested, and steady-state appends
-// of a repeated batch shape reuse every buffer.
+// retained Qᵀb block, and cached merge plans keyed by batch tile height.
+// Kernel workspaces live with the executing workers (engine.WorkerWS), not
+// here. All retained storage is O(n² + batch); nothing grows with the
+// number of rows ingested, and steady-state appends of a repeated batch
+// shape reuse every buffer.
 type Core[T vec.Scalar] struct {
 	n, nb, ib int
-	workers   int
+	env       engine.Env
 	kernels   core.Kernels
 
 	grid tile.Grid       // q×q resident grid over the n×n triangle
@@ -50,8 +51,8 @@ type Core[T vec.Scalar] struct {
 	rows   int64   // total rows ingested
 	resid2 float64 // Σ|discarded Qᵀb components|² = ‖b − A·X‖_F² so far
 
-	dags map[int]*core.DAG // merge DAGs keyed by batch tile rows pb
-	wk   [][]T             // per-worker kernel scratch
+	plans map[int]*sched.Plan // merge execution plans keyed by batch tile rows pb
+	rws   []T                 // replay scratch for the Qᵀb fold
 
 	// Grow-only staging reused across appends, bounded by the largest batch
 	// seen: the tiled batch copy, its T factors, and the RHS block. cur
@@ -66,22 +67,22 @@ type Core[T vec.Scalar] struct {
 	xcol  []T // back-substitution column scratch
 }
 
-// NewCore creates the streaming state for an n-column system. workers must
-// already be resolved (≥ 1).
-func NewCore[T vec.Scalar](n, nb, ib, workers int, kernels core.Kernels) (*Core[T], error) {
+// NewCore creates the streaming state for an n-column system. env selects
+// where merge DAGs execute (shared runtime, per-call pool, or inline).
+func NewCore[T vec.Scalar](n, nb, ib int, kernels core.Kernels, env engine.Env) (*Core[T], error) {
 	if n < 1 {
 		return nil, fmt.Errorf("tiledqr: stream: need at least one column (n=%d)", n)
 	}
-	if nb < 1 || ib < 1 || workers < 1 {
-		return nil, fmt.Errorf("tiledqr: stream: invalid nb=%d ib=%d workers=%d", nb, ib, workers)
+	if nb < 1 || ib < 1 {
+		return nil, fmt.Errorf("tiledqr: stream: invalid nb=%d ib=%d", nb, ib)
 	}
 	g := tile.NewGrid(n, n, nb)
 	c := &Core[T]{
-		n: n, nb: nb, ib: ib, workers: workers, kernels: kernels,
-		grid: g,
-		res:  make([]tile.Dense[T], g.Q*g.Q),
-		dags: make(map[int]*core.DAG),
-		wk:   work.Workspaces[T](workers, kernel.WorkLen(nb, ib)),
+		n: n, nb: nb, ib: ib, env: env, kernels: kernels,
+		grid:  g,
+		res:   make([]tile.Dense[T], g.Q*g.Q),
+		plans: make(map[int]*sched.Plan),
+		rws:   make([]T, kernel.WorkLen(nb, ib)),
 	}
 	for i := 0; i < g.Q; i++ {
 		for k := i; k < g.Q; k++ {
@@ -112,12 +113,9 @@ func (c *Core[T]) ResidualNorm() float64 { return math.Sqrt(c.resid2) }
 // is independent of the number of rows ingested.
 func (c *Core[T]) Footprint() int {
 	total := len(c.qtb) + cap(c.arena) + cap(c.tArena) + cap(c.rhsScratch) +
-		len(c.rwork) + len(c.xcol)
+		len(c.rwork) + len(c.xcol) + len(c.rws)
 	for i := range c.res {
 		total += len(c.res[i].Data)
-	}
-	for i := range c.wk {
-		total += len(c.wk[i])
 	}
 	return total
 }
@@ -164,16 +162,16 @@ func (c *Core[T]) tileBatch(r int, data []T, ld int) *batchView[T] {
 	return bv
 }
 
-// dag returns the cached merge DAG for a pb-tile-row batch. The cache is
-// keyed by batch height only — a handful of entries for any realistic
-// workload, never dependent on the number of batches ingested.
-func (c *Core[T]) dag(pb int) *core.DAG {
-	if d, ok := c.dags[pb]; ok {
-		return d
+// plan returns the cached merge execution plan for a pb-tile-row batch.
+// The cache is keyed by batch height only — a handful of entries for any
+// realistic workload, never dependent on the number of batches ingested.
+func (c *Core[T]) plan(pb int) *sched.Plan {
+	if p, ok := c.plans[pb]; ok {
+		return p
 	}
-	d := core.BuildStreamDAG(c.grid.Q, pb, c.kernels)
-	c.dags[pb] = d
-	return d
+	p := sched.NewPlan(core.BuildStreamDAG(c.grid.Q, pb, c.kernels))
+	c.plans[pb] = p
+	return p
 }
 
 // TileAt implements engine.Source with the stacked addressing: tile rows
@@ -260,15 +258,18 @@ func (c *Core[T]) Append(r int, data []T, ld int, rhs []T, ldr, nrhs int) error 
 	}
 
 	bv := c.tileBatch(r, data, ld)
-	d := c.dag(bv.g.P)
+	p := c.plan(bv.g.P)
+	d := p.DAG()
 	c.allocT(d, bv)
 	c.cur = bv
 	defer func() { c.cur = nil }()
-	workers := c.workers
+	env := c.env
 	if d.NumTasks() < seqTaskThreshold {
-		workers = 1
+		// Tiny merges are dominated by cross-goroutine wake-up cost: run
+		// them inline on the appending goroutine.
+		env = engine.Env{Workers: 1}
 	}
-	if _, err := engine.ExecTasks[T](c, d, sched.Options{Workers: workers}, c.ib, c.wk); err != nil {
+	if _, err := engine.ExecTasks[T](c, p, env, false, c.ib, len(c.rws)); err != nil {
 		return err
 	}
 	if c.nrhs > 0 {
@@ -297,7 +298,7 @@ func (c *Core[T]) applyRHS(d *core.DAG, r int, rhs []T, ldr int) {
 		}
 		return scratch[(i-c.grid.Q-1)*c.nb*nrhs:], nrhs
 	}
-	engine.Replay[T](c, d, true, row, nrhs, c.ib, c.wk[0])
+	engine.Replay[T](c, d, true, row, nrhs, c.ib, c.rws)
 	for _, v := range scratch {
 		c.resid2 += vec.Abs2(v)
 	}

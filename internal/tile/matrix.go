@@ -61,12 +61,31 @@ type Matrix[T vec.Scalar] struct {
 	Tiles []*Dense[T] // row-major: Tiles[i*Q+j]
 }
 
-// NewMatrix allocates a zero tiled matrix for the given grid.
+// NewMatrix allocates a zero tiled matrix for the given grid: one
+// contiguous payload arena plus one header slab, regardless of p×q.
 func NewMatrix[T vec.Scalar](g Grid) *Matrix[T] {
+	return NewMatrixOn[T](g, make([]T, g.M*g.N))
+}
+
+// NewMatrixOn builds a tiled matrix for grid g whose tile payloads are
+// carved, tile after tile, out of buf (len(buf) ≥ g.M·g.N) and whose
+// headers live in a single slab — the whole matrix is two allocations, and
+// callers owning buf (the factorization arena) get zero payload
+// allocations on reuse. Tile data capacities are clipped so kernels cannot
+// overrun into a neighbouring tile.
+func NewMatrixOn[T vec.Scalar](g Grid, buf []T) *Matrix[T] {
+	if len(buf) < g.M*g.N {
+		panic(fmt.Sprintf("tile: arena holds %d scalars, grid needs %d", len(buf), g.M*g.N))
+	}
+	hdrs := make([]Dense[T], g.P*g.Q)
 	m := &Matrix[T]{Grid: g, Tiles: make([]*Dense[T], g.P*g.Q)}
+	off := 0
 	for i := 0; i < g.P; i++ {
 		for j := 0; j < g.Q; j++ {
-			m.Tiles[i*g.Q+j] = NewDense[T](g.TileRows(i), g.TileCols(j))
+			r, c := g.TileRows(i), g.TileCols(j)
+			hdrs[i*g.Q+j] = Dense[T]{Rows: r, Cols: c, Stride: c, Data: buf[off : off+r*c : off+r*c]}
+			m.Tiles[i*g.Q+j] = &hdrs[i*g.Q+j]
+			off += r * c
 		}
 	}
 	return m
@@ -75,20 +94,28 @@ func NewMatrix[T vec.Scalar](g Grid) *Matrix[T] {
 // Tile returns tile (i, j), 0-based.
 func (m *Matrix[T]) Tile(i, j int) *Dense[T] { return m.Tiles[i*m.Q+j] }
 
-// FromDense converts a dense matrix to tile layout with tile size nb.
-func FromDense[T vec.Scalar](a *Dense[T], nb int) *Matrix[T] {
-	g := NewGrid(a.Rows, a.Cols, nb)
-	t := NewMatrix[T](g)
-	for ti := 0; ti < g.P; ti++ {
-		for tj := 0; tj < g.Q; tj++ {
-			blk := t.Tile(ti, tj)
-			r0, c0 := ti*nb, tj*nb
+// CopyFrom copies a dense matrix of the grid's shape into the tile layout,
+// overwriting every element of every tile.
+func (m *Matrix[T]) CopyFrom(a *Dense[T]) {
+	if a.Rows != m.M || a.Cols != m.N {
+		panic(fmt.Sprintf("tile: CopyFrom shape %d×%d into %d×%d grid", a.Rows, a.Cols, m.M, m.N))
+	}
+	for ti := 0; ti < m.P; ti++ {
+		for tj := 0; tj < m.Q; tj++ {
+			blk := m.Tile(ti, tj)
+			r0, c0 := ti*m.NB, tj*m.NB
 			for r := 0; r < blk.Rows; r++ {
 				copy(blk.Data[r*blk.Stride:r*blk.Stride+blk.Cols],
 					a.Data[(r0+r)*a.Stride+c0:(r0+r)*a.Stride+c0+blk.Cols])
 			}
 		}
 	}
+}
+
+// FromDense converts a dense matrix to tile layout with tile size nb.
+func FromDense[T vec.Scalar](a *Dense[T], nb int) *Matrix[T] {
+	t := NewMatrix[T](NewGrid(a.Rows, a.Cols, nb))
+	t.CopyFrom(a)
 	return t
 }
 

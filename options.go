@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"tiledqr/internal/core"
+	"tiledqr/internal/engine"
+	"tiledqr/internal/sched"
 )
 
 // Algorithm selects the elimination tree; see the package documentation and
@@ -83,17 +85,51 @@ func (k Kernels) core() core.Kernels {
 }
 
 // Options configures a factorization or an analysis. The zero value selects
-// Greedy with TT kernels, tile size 128, inner blocking 32, and GOMAXPROCS
-// workers.
+// Greedy with TT kernels, tile size 128, inner blocking 32, and execution
+// on the process-wide shared runtime (DefaultRuntime).
 type Options struct {
 	Algorithm  Algorithm
 	Kernels    Kernels
 	TileSize   int // nb; the paper uses 200 (80..200 is typical, §2)
 	InnerBlock int // ib; the paper uses 32
-	Workers    int // 0 = GOMAXPROCS
-	BS         int // PlasmaTree domain size, 1..p
-	GrasapK    int // Grasap: number of trailing Asap columns
-	Trace      bool
+
+	// Runtime selects the persistent worker pool the factorization's task
+	// DAG executes on. nil with Workers == 0 means the process-wide
+	// DefaultRuntime — concurrent factorizations then share one pool of
+	// GOMAXPROCS workers instead of oversubscribing the machine.
+	Runtime *Runtime
+
+	// Workers is honored only when Runtime is nil and Workers > 0: the
+	// call gets a private pool of that size, built and torn down around it
+	// (the pre-runtime behavior). Workers == 1 selects the deterministic
+	// sequential path on the calling goroutine.
+	Workers int
+
+	BS      int // PlasmaTree domain size, 1..p
+	GrasapK int // Grasap: number of trailing Asap columns
+	Trace   bool
+}
+
+// WithRuntime returns a copy of the options that executes on rt. It is
+// shorthand for setting the Runtime field, convenient in call chains:
+//
+//	f, err := tiledqr.Factor(a, opt.WithRuntime(rt))
+func (o Options) WithRuntime(rt *Runtime) Options {
+	o.Runtime = rt
+	return o
+}
+
+// execEnv resolves the execution placement: an explicit runtime wins, an
+// explicit worker count selects a per-call pool, and the default is the
+// process-wide shared runtime.
+func (o Options) execEnv() engine.Env {
+	if o.Runtime != nil {
+		return engine.Env{Runtime: o.Runtime.s}
+	}
+	if o.Workers > 0 {
+		return engine.Env{Workers: o.Workers}
+	}
+	return engine.Env{Runtime: sched.Default()}
 }
 
 // DefaultTileSize and DefaultInnerBlock are the defaults applied by

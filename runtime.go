@@ -1,0 +1,58 @@
+package tiledqr
+
+import (
+	"sync"
+
+	"tiledqr/internal/sched"
+)
+
+// Runtime is a persistent pool of worker goroutines that executes the task
+// DAGs of any number of concurrent factorizations — the role PLASMA's
+// resident dynamic scheduler plays in the paper's experiments. One runtime
+// serves Factor/Factor32/CFactor/FactorComplex and every stream across all
+// four precisions: submit from as many goroutines as you like, and the
+// pool multiplexes the work with critical-path priorities inside each
+// factorization and weighted-fair admission across them, so one huge
+// factorization cannot starve a fleet of small ones.
+//
+// Most programs never construct one: with Options.Runtime nil and
+// Options.Workers zero, calls share the process-wide DefaultRuntime.
+// Construct a dedicated Runtime to bound a subsystem's parallelism or to
+// isolate latency-sensitive work, and Close it when done. Setting
+// Options.Workers > 1 instead opts out of sharing entirely: a private pool
+// is built and torn down around that one call (the pre-runtime behavior,
+// kept as the benchmark baseline).
+type Runtime struct {
+	s *sched.Runtime
+}
+
+// NewRuntime starts a runtime with the given number of resident workers
+// (≤ 0 means GOMAXPROCS). The workers park when idle; call Close to stop
+// them.
+func NewRuntime(workers int) *Runtime {
+	return &Runtime{s: sched.NewRuntime(workers)}
+}
+
+var (
+	defaultRuntimeOnce sync.Once
+	defaultRuntime     *Runtime
+)
+
+// DefaultRuntime returns the process-wide shared runtime (GOMAXPROCS
+// workers), started on first use. Factorizations with neither
+// Options.Runtime nor Options.Workers set execute here. Closing it is a
+// no-op: it lives for the process.
+func DefaultRuntime() *Runtime {
+	defaultRuntimeOnce.Do(func() {
+		defaultRuntime = &Runtime{s: sched.Default()}
+	})
+	return defaultRuntime
+}
+
+// Workers returns the size of the worker pool.
+func (rt *Runtime) Workers() int { return rt.s.Workers() }
+
+// Close waits for in-flight factorizations to complete, then stops the
+// workers and waits for them to exit; afterwards submitting to the runtime
+// fails. Closing the DefaultRuntime is a no-op.
+func (rt *Runtime) Close() { rt.s.Close() }

@@ -7,19 +7,20 @@ import (
 	"tiledqr/internal/stream"
 	"tiledqr/internal/tile"
 	"tiledqr/internal/vec"
-	"tiledqr/internal/work"
 )
 
 // newStreamCore applies defaults and validation and builds the generic
 // streaming reduction core — the single code path behind NewStream,
-// NewStream32, NewCStream and NewZStream.
+// NewStream32, NewCStream and NewZStream. Merge DAGs execute under the
+// same placement policy as Factor: the shared default runtime unless
+// Options.Runtime or Options.Workers says otherwise.
 func newStreamCore[T vec.Scalar](n int, opt Options) (*stream.Core[T], error) {
 	opt = opt.withDefaults()
 	if err := opt.validateSizes(); err != nil {
 		return nil, err
 	}
 	return stream.NewCore[T](n, opt.TileSize, opt.InnerBlock,
-		work.WorkersOrDefault(opt.Workers), opt.Kernels.core())
+		opt.Kernels.core(), opt.execEnv())
 }
 
 // errEmptyBatch and errNilRHS are the shape errors shared by every

@@ -24,6 +24,26 @@ func FactorComplex(a *ZDense, opt Options) (*ZFactorization, error) {
 	return &ZFactorization{e: e}, nil
 }
 
+// ZFactorInto factors a into f, reusing f's storage when shape and
+// structural options match the previous factorization (see FactorInto).
+// f may be a zero &ZFactorization{}.
+func ZFactorInto(f *ZFactorization, a *ZDense, opt Options) error {
+	if f.e == nil {
+		f.e = new(engine.Factorization[complex128])
+	}
+	return factorEngineInto(f.e, (*tile.Dense[complex128])(a), opt)
+}
+
+// Refactor re-runs the factorization over new matrix data with the same
+// options, reusing every internal buffer when a has the previous shape.
+// Steady-state Refactor allocates O(1).
+func (f *ZFactorization) Refactor(a *ZDense) error {
+	if f.e == nil {
+		return errRefactorEmpty
+	}
+	return f.e.Refactor((*tile.Dense[complex128])(a))
+}
+
 // R returns the min(m,n)×n upper triangular (trapezoidal) factor.
 func (f *ZFactorization) R() *ZDense { return (*ZDense)(f.e.R()) }
 
