@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check lint bench bench-smoke throughput clean
+.PHONY: all build test race vet fmt-check lint bench bench-smoke bench-gate tune throughput clean
 
 all: lint build test
 
@@ -35,6 +35,21 @@ race:
 # float64/complex128 maps stay comparable to the pre-generic numbers.
 bench:
 	$(GO) run ./cmd/qrperf -kernels-json BENCH_kernels.json
+
+# bench-gate is the benchmark-regression gate CI runs on every PR: quickly
+# re-measure the kernel GFLOP/s and streaming rows/sec series and fail if
+# any of them regressed more than TOLERANCE percent below the committed
+# BENCH_kernels.json baseline. The default tolerance is sized for same-host
+# runs; CI passes a more generous one for hosted-runner drift.
+TOLERANCE ?= 25
+bench-gate:
+	$(GO) run ./cmd/qrperf -kernels-json bench-gate.json -quick
+	$(GO) run ./cmd/qrperf -compare BENCH_kernels.json bench-gate.json -tolerance $(TOLERANCE)
+
+# tune prints the autotuner's decision table: what AlgorithmAuto picks per
+# shape on this host, with predicted and (-measure) measured times.
+tune:
+	$(GO) run ./cmd/qrperf -tune -measure
 
 # throughput prints the serving-workload table (factorizations/sec for a
 # fleet of concurrent clients, shared runtime vs per-call pools).

@@ -15,9 +15,22 @@ type Elim struct {
 	I, Piv, K int
 }
 
+// errAutoAnalysis rejects AlgorithmAuto in the analysis entry points: Auto
+// is a resolution-time placeholder, not an elimination tree. Resolve the
+// options first (Options.Resolve) and analyze the concrete algorithm.
+func errAutoAnalysis(alg Algorithm) error {
+	if alg == AlgorithmAuto {
+		return fmt.Errorf("tiledqr: AlgorithmAuto has no elimination list of its own; resolve the options first (Options.Resolve) and analyze the chosen algorithm")
+	}
+	return nil
+}
+
 // EliminationList returns the ordered elimination list of the algorithm on
 // a p×q tile grid.
 func EliminationList(alg Algorithm, p, q int, opt Options) ([]Elim, error) {
+	if err := errAutoAnalysis(alg); err != nil {
+		return nil, err
+	}
 	list, err := core.Generate(alg.core(), p, q, opt.coreOptions())
 	if err != nil {
 		return nil, err
@@ -33,6 +46,9 @@ func EliminationList(alg Algorithm, p, q int, opt Options) ([]Elim, error) {
 // grid, in units of nb³/3 flops (the unit of Table 1 of the paper), with
 // unbounded processors.
 func CriticalPath(alg Algorithm, p, q int, opt Options) (int, error) {
+	if err := errAutoAnalysis(alg); err != nil {
+		return 0, err
+	}
 	list, err := core.Generate(alg.core(), p, q, opt.coreOptions())
 	if err != nil {
 		return 0, err
@@ -44,6 +60,9 @@ func CriticalPath(alg Algorithm, p, q int, opt Options) (int, error) {
 // sub-diagonal tile (i, k) is zeroed out, indexed [i-1][k-1] — the quantity
 // tabulated in Tables 3 and 4 of the paper.
 func ZeroTimes(alg Algorithm, p, q int, opt Options) ([][]int, error) {
+	if err := errAutoAnalysis(alg); err != nil {
+		return nil, err
+	}
 	list, err := core.Generate(alg.core(), p, q, opt.coreOptions())
 	if err != nil {
 		return nil, err
@@ -79,6 +98,9 @@ func BestGrasapK(p, q int) (k, cp int) {
 // of the algorithm's task graph executed by `workers` processors under
 // greedy list scheduling with longest-remaining-path priority.
 func SimulateWorkers(alg Algorithm, p, q, workers int, opt Options) (float64, error) {
+	if err := errAutoAnalysis(alg); err != nil {
+		return 0, err
+	}
 	list, err := core.Generate(alg.core(), p, q, opt.coreOptions())
 	if err != nil {
 		return 0, err

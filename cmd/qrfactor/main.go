@@ -20,7 +20,7 @@ func main() {
 	n := flag.Int("n", 400, "columns")
 	nb := flag.Int("nb", 100, "tile size")
 	ib := flag.Int("ib", 0, "inner blocking (0 = library default, capped at nb)")
-	algName := flag.String("alg", "Greedy", "FlatTree|BinaryTree|Fibonacci|Greedy|Asap|Grasap|PlasmaTree")
+	algName := flag.String("alg", "Greedy", "FlatTree|BinaryTree|Fibonacci|Greedy|Asap|Grasap|PlasmaTree|Auto")
 	bs := flag.Int("bs", 0, "PlasmaTree domain size (0 = pick best by critical path)")
 	grasapK := flag.Int("grasapk", 1, "Grasap trailing Asap columns")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
@@ -35,6 +35,7 @@ func main() {
 		"FlatTree": tiledqr.FlatTree, "BinaryTree": tiledqr.BinaryTree,
 		"Fibonacci": tiledqr.Fibonacci, "Greedy": tiledqr.Greedy,
 		"Asap": tiledqr.Asap, "Grasap": tiledqr.Grasap, "PlasmaTree": tiledqr.PlasmaTree,
+		"Auto": tiledqr.AlgorithmAuto,
 	}
 	alg, ok := algs[*algName]
 	if !ok {
@@ -47,6 +48,24 @@ func main() {
 	opt := tiledqr.Options{
 		Algorithm: alg, Kernels: kernels, TileSize: *nb, InnerBlock: *ib,
 		Workers: *workers, BS: *bs, GrasapK: *grasapK, Trace: *gantt,
+	}
+	if alg == tiledqr.AlgorithmAuto {
+		// Under Auto the -nb/-ib defaults mean "choose for me" unless the
+		// flags were given explicitly; resolve once and run the decision.
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		if !explicit["nb"] {
+			opt.TileSize = 0
+		}
+		resolved, err := opt.Resolve(*m, *n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Auto resolved to %v %v kernels, nb=%d, ib=%d\n",
+			resolved.Algorithm, resolved.Kernels, resolved.TileSize, resolved.InnerBlock)
+		opt = resolved
+		alg, *nb = resolved.Algorithm, resolved.TileSize
+		*algName, *kern = resolved.Algorithm.String(), resolved.Kernels.String()
 	}
 	p := (*m + *nb - 1) / *nb
 	q := (*n + *nb - 1) / *nb

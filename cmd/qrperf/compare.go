@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// benchSeries is the subset of a -kernels-json report the regression gate
+// compares: per-kernel GFLOP/s in every precision and the streaming
+// ingestion rates. Throughput points are excluded — fleet QPS on shared
+// hosted runners is too load-dependent to gate on.
+type benchSeries struct {
+	Double        map[string]float64 `json:"double_gflops"`
+	DoubleComplex map[string]float64 `json:"double_complex_gflops"`
+	Single        map[string]float64 `json:"single_gflops"`
+	SingleComplex map[string]float64 `json:"single_complex_gflops"`
+	Stream        *streamReport      `json:"stream"`
+}
+
+// series flattens the report into named scalar series ("higher is better").
+// Series missing or non-positive on either side are skipped by the
+// comparator, so old baselines without (say) single-precision figures still
+// gate the series they do have.
+func (b *benchSeries) series() map[string]float64 {
+	out := map[string]float64{}
+	add := func(prefix string, m map[string]float64) {
+		for k, v := range m {
+			out[prefix+"."+k] = v
+		}
+	}
+	add("double_gflops", b.Double)
+	add("double_complex_gflops", b.DoubleComplex)
+	add("single_gflops", b.Single)
+	add("single_complex_gflops", b.SingleComplex)
+	if s := b.Stream; s != nil {
+		out["stream.double_rows_per_sec"] = s.DoubleRowsPerSec
+		out["stream.double_complex_rows_per_sec"] = s.DoubleComplexRowsPerSec
+		out["stream.single_rows_per_sec"] = s.SingleRowsPerSec
+		out["stream.single_complex_rows_per_sec"] = s.SingleComplexRowsPerSec
+	}
+	return out
+}
+
+// compareBench returns one line per series that regressed beyond the
+// tolerance (new < old·(1 − tol/100)), sorted by series name, along with
+// the number of series actually compared. An empty regression list means
+// the gate passes — but only if compared > 0; a zero count means the two
+// files share no series (schema drift, half-written report) and the caller
+// must fail rather than report a vacuous pass.
+func compareBench(oldRep, newRep *benchSeries, tolPct float64) (regressions []string, compared int) {
+	oldS, newS := oldRep.series(), newRep.series()
+	names := make([]string, 0, len(oldS))
+	for name := range oldS {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ov := oldS[name]
+		nv, ok := newS[name]
+		if ov <= 0 || !ok || nv <= 0 {
+			continue // series absent on one side: nothing to gate
+		}
+		compared++
+		if nv < ov*(1-tolPct/100) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.3f -> %.3f (%+.1f%%, tolerance -%.0f%%)",
+					name, ov, nv, (nv/ov-1)*100, tolPct))
+		}
+	}
+	return regressions, compared
+}
+
+// readBenchSeries loads one -kernels-json file for comparison.
+func readBenchSeries(path string) (*benchSeries, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b benchSeries
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// runCompare implements `qrperf -compare old.json new.json [-tolerance N]`:
+// it prints every regression beyond tolerance and returns the process exit
+// code (0 = gate passes). The trailing -tolerance form is accepted so the
+// flag may follow the positional file arguments.
+func runCompare(args []string, tolPct float64) int {
+	var files []string
+	for i := 0; i < len(args); i++ {
+		if (args[i] == "-tolerance" || args[i] == "--tolerance") && i+1 < len(args) {
+			if _, err := fmt.Sscanf(args[i+1], "%g", &tolPct); err != nil {
+				fmt.Fprintf(os.Stderr, "qrperf -compare: bad tolerance %q\n", args[i+1])
+				return 2
+			}
+			i++
+			continue
+		}
+		files = append(files, args[i])
+	}
+	if len(files) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: qrperf -compare old.json new.json [-tolerance pct]")
+		return 2
+	}
+	oldRep, err := readBenchSeries(files[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	newRep, err := readBenchSeries(files[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	regressions, compared := compareBench(oldRep, newRep, tolPct)
+	if compared == 0 {
+		fmt.Fprintf(os.Stderr, "bench gate FAILED: %s and %s share no comparable series — schema drift or a half-written report would otherwise disarm the gate silently\n",
+			files[0], files[1])
+		return 1
+	}
+	if len(regressions) == 0 {
+		fmt.Printf("bench gate passed: %d series compared, none regressed beyond %.0f%% (%s vs %s)\n",
+			compared, tolPct, files[0], files[1])
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "bench gate FAILED: %d series regressed beyond %.0f%%:\n", len(regressions), tolPct)
+	for _, r := range regressions {
+		fmt.Fprintln(os.Stderr, "  "+r)
+	}
+	return 1
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// base returns a report with every series populated.
+func base() *benchSeries {
+	return &benchSeries{
+		Double:        map[string]float64{"GEQRT": 2.9, "TSMQR": 4.2, "GEMM": 5.6},
+		DoubleComplex: map[string]float64{"GEQRT": 4.5},
+		Single:        map[string]float64{"GEQRT": 3.5},
+		SingleComplex: map[string]float64{"GEQRT": 2.6},
+		Stream: &streamReport{
+			N: 512, Batch: 512,
+			DoubleRowsPerSec:        6500,
+			DoubleComplexRowsPerSec: 2700,
+			SingleRowsPerSec:        7100,
+			SingleComplexRowsPerSec: 1260,
+		},
+	}
+}
+
+func TestCompareNoRegression(t *testing.T) {
+	if regs, _ := compareBench(base(), base(), 25); len(regs) != 0 {
+		t.Fatalf("identical reports flagged: %v", regs)
+	}
+	// A drop inside tolerance passes.
+	within := base()
+	within.Double["GEQRT"] *= 0.80 // -20% < 25% tolerance
+	if regs, _ := compareBench(base(), within, 25); len(regs) != 0 {
+		t.Fatalf("within-tolerance drop flagged: %v", regs)
+	}
+	// Improvements never trip the gate.
+	better := base()
+	better.Double["GEQRT"] *= 3
+	better.Stream.DoubleRowsPerSec *= 2
+	if regs, _ := compareBench(base(), better, 25); len(regs) != 0 {
+		t.Fatalf("improvement flagged: %v", regs)
+	}
+}
+
+func TestCompareDetectsInjectedRegression(t *testing.T) {
+	bad := base()
+	bad.Double["GEQRT"] *= 0.5          // -50%
+	bad.Stream.SingleRowsPerSec *= 0.6  // -40%
+	bad.SingleComplex["GEQRT"] *= 0.745 // -25.5%, just beyond tolerance
+	regs, _ := compareBench(base(), bad, 25)
+	if len(regs) != 3 {
+		t.Fatalf("want 3 regressions, got %d: %v", len(regs), regs)
+	}
+	joined := strings.Join(regs, "\n")
+	for _, want := range []string{"double_gflops.GEQRT", "stream.single_rows_per_sec", "single_complex_gflops.GEQRT"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing regression for %s in:\n%s", want, joined)
+		}
+	}
+}
+
+func TestCompareSkipsMissingSeries(t *testing.T) {
+	// An old baseline without single-precision or stream figures gates only
+	// what it has; a new report missing a series is likewise not a (silent)
+	// regression of that series.
+	oldRep := base()
+	oldRep.Single = nil
+	oldRep.Stream = nil
+	newRep := base()
+	newRep.Double["GEQRT"] *= 0.5
+	regs, _ := compareBench(oldRep, newRep, 25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "double_gflops.GEQRT") {
+		t.Fatalf("want exactly the double GEQRT regression, got %v", regs)
+	}
+}
+
+// TestCompareFailsOnZeroComparedSeries: when the two files share no series
+// (schema drift, half-written report), the gate must fail rather than
+// report a vacuous pass.
+func TestCompareFailsOnZeroComparedSeries(t *testing.T) {
+	if _, compared := compareBench(base(), &benchSeries{}, 25); compared != 0 {
+		t.Fatalf("empty new report compared %d series, want 0", compared)
+	}
+	if _, compared := compareBench(base(), base(), 25); compared == 0 {
+		t.Fatal("full reports compared 0 series")
+	}
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	emptyPath := filepath.Join(dir, "empty.json")
+	raw, _ := json.Marshal(base())
+	if err := os.WriteFile(oldPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(emptyPath, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := runCompare([]string{oldPath, emptyPath}, 25); code != 1 {
+		t.Fatalf("zero-series compare exited %d, want 1 (gate must not disarm silently)", code)
+	}
+}
+
+// TestRunCompareGate exercises the CLI wrapper end to end, including the
+// trailing `-tolerance` form of the acceptance command line, against files
+// on disk.
+func TestRunCompareGate(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, b *benchSeries) string {
+		raw, err := json.Marshal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	oldPath := write("old.json", base())
+	bad := base()
+	bad.Double["GEQRT"] *= 0.4
+	badPath := write("new.json", bad)
+
+	if code := runCompare([]string{oldPath, oldPath, "-tolerance", "25"}, 25); code != 0 {
+		t.Fatalf("clean compare exited %d", code)
+	}
+	if code := runCompare([]string{oldPath, badPath, "-tolerance", "25"}, 25); code != 1 {
+		t.Fatalf("regressed compare exited %d, want 1", code)
+	}
+	// A -60% drop passes a 75% tolerance.
+	if code := runCompare([]string{oldPath, badPath, "-tolerance", "75"}, 25); code != 0 {
+		t.Fatalf("within generous tolerance exited %d, want 0", code)
+	}
+	if code := runCompare([]string{oldPath}, 25); code != 2 {
+		t.Fatalf("missing file arg exited %d, want 2", code)
+	}
+	if code := runCompare([]string{oldPath, filepath.Join(dir, "absent.json")}, 25); code != 2 {
+		t.Fatalf("unreadable file exited %d, want 2", code)
+	}
+}

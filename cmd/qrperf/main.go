@@ -32,6 +32,17 @@
 //	                                     mode), the shared runtime, and the
 //	                                     shared runtime with FactorInto reuse;
 //	                                     also recorded by -kernels-json
+//	qrperf -tune [-measure]              dump the autotuner's decision table:
+//	                                     the (algorithm, kernel family, nb, ib)
+//	                                     AlgorithmAuto picks per shape with its
+//	                                     predicted time, and with -measure the
+//	                                     measured time and prediction error
+//	qrperf -compare old.json new.json [-tolerance 25]
+//	                                     CI benchmark-regression gate: exits
+//	                                     nonzero when any kernel GFLOP/s or
+//	                                     stream rows/sec series in new.json
+//	                                     regressed more than tolerance percent
+//	                                     below old.json
 //
 // Flags -p, -nb, -ib, -workers scale the experiment (defaults are a
 // laptop-sized version of the paper's p=40, nb=200, ib=32, P=48).
@@ -55,6 +66,7 @@ import (
 	"tiledqr/internal/sched"
 	"tiledqr/internal/sim"
 	"tiledqr/internal/tile"
+	"tiledqr/internal/tune"
 	"tiledqr/internal/vec"
 )
 
@@ -82,14 +94,27 @@ func main() {
 	experiment := flag.String("experiment", "fig1", "fig1|fig2|fig6|fig7|table6|table7|table8|table9")
 	kernelsJSON := flag.String("kernels-json", "", "write kernel GFLOP/s to this file and exit")
 	throughput := flag.Bool("throughput", false, "run the concurrent-clients throughput benchmark and exit")
-	quick := flag.Bool("quick", false, "with -throughput: short smoke-sized run (CI)")
+	quick := flag.Bool("quick", false, "with -throughput or -kernels-json: short smoke-sized run (CI)")
+	tuneFlag := flag.Bool("tune", false, "dump the autotuner decision table (add -measure for predicted-vs-measured error) and exit")
+	compare := flag.Bool("compare", false, "compare two -kernels-json files (old new) and exit nonzero on regressions beyond -tolerance")
+	tolerance := flag.Float64("tolerance", 25, "with -compare: allowed per-series regression percent")
 	flag.Parse()
+	if *quick {
+		sampleWindow = 20 * time.Millisecond
+	}
+	if *compare {
+		os.Exit(runCompare(flag.Args(), *tolerance))
+	}
+	if *tuneFlag {
+		runTune(*flagMeasure)
+		return
+	}
 	if *throughput {
 		printThroughput(measureThroughput(*quick))
 		return
 	}
 	if *kernelsJSON != "" {
-		if err := writeKernelsJSON(*kernelsJSON); err != nil {
+		if err := writeKernelsJSON(*kernelsJSON, *quick); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -133,54 +158,11 @@ func measureKernels(nb, ib int, complexArith bool) kernelTimes {
 }
 
 // measureKernelsT times each of the six kernels on random nb×nb tiles of
-// one scalar domain — one generic harness instead of the former mirrored
-// float64/complex128 pair.
+// one scalar domain, delegating to the repo's single kernel-timing harness
+// (shared with the autotuner's calibration) at this command's sampling
+// window.
 func measureKernelsT[T vec.Scalar](nb, ib int) kernelTimes {
-	kt := kernelTimes{}
-	da := tile.RandDense[T](nb, nb, 1)
-	db := tile.RandDense[T](nb, nb, 2)
-	dc := tile.RandDense[T](nb, nb, 3)
-	tf := make([]T, ib*nb)
-	t2 := make([]T, ib*nb)
-	work := make([]T, kernel.WorkLen(nb, ib))
-	kt[core.KGEQRT] = timeIt(func() {
-		a := da.Clone()
-		kernel.GEQRT(nb, nb, ib, a.Data, nb, tf, nb, work)
-	})
-	v := da.Clone()
-	kernel.GEQRT(nb, nb, ib, v.Data, nb, tf, nb, work)
-	kt[core.KUNMQR] = timeIt(func() {
-		c := dc.Clone()
-		kernel.UNMQR(true, nb, nb, ib, v.Data, nb, tf, nb, c.Data, nb, nb, work)
-	})
-	rTri := v
-	kt[core.KTSQRT] = timeIt(func() {
-		a := rTri.Clone()
-		b := db.Clone()
-		kernel.TSQRT(nb, nb, ib, a.Data, nb, b.Data, nb, t2, nb, work)
-	})
-	vts := db.Clone()
-	kernel.TSQRT(nb, nb, ib, rTri.Clone().Data, nb, vts.Data, nb, t2, nb, work)
-	kt[core.KTSMQR] = timeIt(func() {
-		c1 := dc.Clone()
-		c2 := dc.Clone()
-		kernel.TSMQR(true, nb, nb, ib, vts.Data, nb, t2, nb, c1.Data, nb, c2.Data, nb, nb, work)
-	})
-	rTri2 := db.Clone()
-	kernel.GEQRT(nb, nb, ib, rTri2.Data, nb, tf, nb, work)
-	kt[core.KTTQRT] = timeIt(func() {
-		a := rTri.Clone()
-		b := rTri2.Clone()
-		kernel.TTQRT(nb, nb, ib, a.Data, nb, b.Data, nb, t2, nb, work)
-	})
-	vtt := rTri2.Clone()
-	kernel.TTQRT(nb, nb, ib, rTri.Clone().Data, nb, vtt.Data, nb, t2, nb, work)
-	kt[core.KTTMQR] = timeIt(func() {
-		c1 := dc.Clone()
-		c2 := dc.Clone()
-		kernel.TTMQR(true, nb, nb, ib, vtt.Data, nb, t2, nb, c1.Data, nb, c2.Data, nb, nb, work)
-	})
-	return kt
+	return kernelTimes(tune.MeasureKernelSecs[T](nb, ib, sampleWindow))
 }
 
 // series evaluates one algorithm at one shape.
@@ -569,6 +551,11 @@ func printThroughput(rep *throughputReport) {
 	fmt.Println("reuse:    shared runtime + FactorInto arena reuse (zero steady-state allocation)")
 }
 
+// sampleWindow is the minimum measurement window of timeIt; -quick shrinks
+// it so the CI bench gate finishes in seconds at the cost of a few percent
+// of noise (absorbed by the gate's tolerance).
+var sampleWindow = 100 * time.Millisecond
+
 // timeIt returns seconds per call, growing the repetition count until the
 // sample is long enough to trust.
 func timeIt(f func()) float64 {
@@ -578,7 +565,7 @@ func timeIt(f func()) float64 {
 		for i := 0; i < reps; i++ {
 			f()
 		}
-		if el := time.Since(start); el > 100*time.Millisecond || reps >= 1<<20 {
+		if el := time.Since(start); el > sampleWindow || reps >= 1<<20 {
 			return el.Seconds() / float64(reps)
 		}
 	}
@@ -608,8 +595,10 @@ func kernelGflops[T vec.Scalar]() map[string]float64 {
 }
 
 // writeKernelsJSON measures everything and writes the report, preserving
-// any "baseline" object already present in the target file.
-func writeKernelsJSON(path string) error {
+// any "baseline" object already present in the target file. quick shortens
+// the throughput sweep to the smoke-sized fleet (the kernel and stream
+// series shrink via sampleWindow).
+func writeKernelsJSON(path string, quick bool) error {
 	rep := kernelsReport{
 		NB:               benchNB,
 		IB:               benchIB,
@@ -627,7 +616,7 @@ func writeKernelsJSON(path string) error {
 	})
 	rep.SchedulerNsPerTask = sec * 1e9 / float64(d.NumTasks())
 	rep.Stream = measureStream()
-	rep.Throughput = measureThroughput(false)
+	rep.Throughput = measureThroughput(quick)
 	if old, err := os.ReadFile(path); err == nil {
 		var prev struct {
 			Baseline json.RawMessage `json:"baseline"`

@@ -80,6 +80,42 @@
 // to single precision, across every parameter-free algorithm and both
 // kernel families.
 //
+// # Autotuning
+//
+// The paper's central finding is that no single configuration wins
+// everywhere: the best elimination tree, kernel family and tile size all
+// depend on the matrix shape and the core count. AlgorithmAuto turns that
+// finding into the default decision procedure:
+//
+//	f, err := tiledqr.Factor(a, tiledqr.Options{Algorithm: tiledqr.AlgorithmAuto})
+//
+// On first use per precision, the library measures the host's sequential
+// kernel throughput (GEQRT/UNMQR/TSQRT/TSMQR/TTQRT/TTMQR) at a few
+// candidate tile sizes — a few hundred milliseconds of micro-benchmarks —
+// and persists the calibration to a versioned cache at
+// <user cache dir>/tiledqr/calibration.json (override the location with the
+// TILEDQR_CALIBRATION environment variable, or set it to "off" to keep the
+// calibration in process memory only). A corrupt or schema-incompatible
+// cache file is silently re-measured, and concurrent first uses calibrate
+// exactly once. Each Auto factorization then list-schedules the candidate
+// task DAGs with the calibrated kernel durations at the execution width it
+// will actually run at (falling back to the paper's closed-form roofline
+// bounds for grids too large to simulate) and picks the predicted-fastest
+// (algorithm, TT-vs-TS, nb, ib) tuple.
+//
+// Under AlgorithmAuto, TileSize = 0 and InnerBlock = 0 mean "choose for
+// me"; setting either nonzero pins that dimension while the rest is still
+// tuned, and the Kernels field is chosen by the tuner (streams keep
+// honoring it). Options.Resolve exposes the decision: it returns the
+// concrete options an Auto factorization of that shape would use, which
+// reproduce the Auto result bit for bit. Decisions are deterministic per
+// (shape, width, precision) within a process, so FactorInto/Refactor
+// serving fleets keep hitting the engine's plan/arena reuse path. `qrperf
+// -tune` prints the full decision table with predicted-vs-measured error,
+// and `make bench-gate` (run in CI) guards the calibration's foundation:
+// it fails when any measured kernel or streaming series regresses beyond
+// tolerance against the committed BENCH_kernels.json baseline.
+//
 // # Streaming (incremental) factorization
 //
 // StreamQR and its precision siblings factor a matrix whose rows arrive

@@ -27,12 +27,16 @@ func engineConfig(m, n int, opt Options) (engine.Config, error) {
 	}, nil
 }
 
-// factorEngine applies defaults, validates, and runs the generic engine —
-// the single code path behind Factor, Factor32, CFactor and FactorComplex.
+// factorEngine resolves AlgorithmAuto, applies defaults, validates, and
+// runs the generic engine — the single code path behind Factor, Factor32,
+// CFactor and FactorComplex.
 func factorEngine[T vec.Scalar](a *tile.Dense[T], opt Options) (*engine.Factorization[T], error) {
-	opt = opt.withDefaults()
 	if a == nil || a.Rows < 1 || a.Cols < 1 {
 		return nil, fmt.Errorf("tiledqr: cannot factor an empty matrix")
+	}
+	opt, err := resolveAuto[T](a.Rows, a.Cols, opt)
+	if err != nil {
+		return nil, err
 	}
 	cfg, err := engineConfig(a.Rows, a.Cols, opt)
 	if err != nil {
@@ -45,9 +49,12 @@ func factorEngine[T vec.Scalar](a *tile.Dense[T], opt Options) (*engine.Factoriz
 // into an existing engine factorization, reusing its storage when shape
 // and structural options match.
 func factorEngineInto[T vec.Scalar](f *engine.Factorization[T], a *tile.Dense[T], opt Options) error {
-	opt = opt.withDefaults()
 	if a == nil || a.Rows < 1 || a.Cols < 1 {
 		return fmt.Errorf("tiledqr: cannot factor an empty matrix")
+	}
+	opt, err := resolveAuto[T](a.Rows, a.Cols, opt)
+	if err != nil {
+		return err
 	}
 	cfg, err := engineConfig(a.Rows, a.Cols, opt)
 	if err != nil {

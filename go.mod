@@ -1,3 +1,3 @@
 module tiledqr
 
-go 1.24.0
+go 1.23.0

@@ -1,0 +1,138 @@
+package tiledqr
+
+import (
+	"testing"
+
+	"tiledqr/internal/model"
+)
+
+// The autotuner trusts CriticalPath/EliminationList as its schedule model,
+// so these tests pin them against the paper: literal critical-path values
+// on representative p×q grids for every parameter-free algorithm (the
+// quantities behind Tables 1–5), cross-checked where Theorem 1 and
+// Propositions 1–2 give closed forms. Any drift in the list generators or
+// the DAG weights — which would silently skew every Auto decision — fails
+// here first.
+
+// goldenGrids are the pinned p×q tile grids: the unit and degenerate
+// cases, the paper's 15×2 Asap-beats-Greedy example, pow2 grids where
+// Proposition 1 is exact, and the square/tall shapes of Tables 3–5.
+var goldenGrids = [][2]int{
+	{1, 1}, {2, 2}, {4, 1}, {4, 4}, {8, 4}, {8, 8}, {15, 2}, {15, 15},
+	{16, 8}, {30, 4}, {32, 8}, {40, 10}, {40, 40},
+}
+
+// goldenCP[t][alg] lists the critical path per goldenGrids entry, in units
+// of nb³/3 flops, for kernel family t (0 = TT, 1 = TS). Values verified
+// against the paper's closed forms where they exist (see the formula
+// cross-checks below); the rest pin today's generators.
+var goldenCP = map[Kernels]map[Algorithm][]int{
+	TT: {
+		Greedy:     {4, 20, 8, 58, 78, 140, 42, 288, 172, 98, 186, 236, 826},
+		FlatTree:   {4, 20, 10, 64, 90, 152, 100, 306, 202, 222, 298, 378, 856},
+		BinaryTree: {4, 20, 8, 64, 94, 176, 46, 414, 250, 134, 294, 422, 1456},
+		Fibonacci:  {4, 20, 8, 58, 86, 158, 48, 318, 180, 110, 198, 248, 892},
+		Asap:       {4, 20, 8, 58, 78, 140, 40, 294, 184, 156, 274, 354, 832},
+	},
+	TS: {
+		Greedy:     {4, 26, 12, 76, 96, 182, 48, 372, 214, 116, 228, 290, 1060},
+		FlatTree:   {4, 26, 22, 86, 136, 206, 184, 416, 304, 400, 496, 628, 1166},
+		BinaryTree: {4, 26, 12, 80, 108, 206, 58, 470, 272, 144, 312, 450, 1568},
+		Fibonacci:  {4, 26, 12, 76, 102, 194, 54, 396, 216, 128, 234, 296, 1108},
+		Asap:       {4, 26, 12, 76, 96, 182, 48, 378, 226, 192, 336, 432, 1066},
+	},
+}
+
+func TestGoldenCriticalPaths(t *testing.T) {
+	for kern, byAlg := range goldenCP {
+		for alg, want := range byAlg {
+			for gi, g := range goldenGrids {
+				p, q := g[0], g[1]
+				cp, err := CriticalPath(alg, p, q, Options{Kernels: kern})
+				if err != nil {
+					t.Fatalf("CriticalPath(%v, %d, %d, %v): %v", alg, p, q, kern, err)
+				}
+				if cp != want[gi] {
+					t.Errorf("CriticalPath(%v, %d×%d, %v) = %d, want %d (paper-pinned)",
+						alg, p, q, kern, cp, want[gi])
+				}
+			}
+		}
+	}
+}
+
+// TestGoldenFormulaCrossChecks ties the pinned values to the paper's closed
+// forms: Theorem 1's FlatTree formula, Proposition 2's TS FlatTree formula,
+// Proposition 1's BinaryTree formula on pow2 grids, the Greedy/Fibonacci
+// upper bounds, and the 22q−30 lower bound (stated for p > q).
+func TestGoldenFormulaCrossChecks(t *testing.T) {
+	for _, g := range goldenGrids {
+		p, q := g[0], g[1]
+		if p < q {
+			continue
+		}
+		ft, _ := CriticalPath(FlatTree, p, q, Options{})
+		if want := model.FlatTreeCP(p, q); ft != want {
+			t.Errorf("FlatTree TT %d×%d: %d != Theorem 1's %d", p, q, ft, want)
+		}
+		ftTS, _ := CriticalPath(FlatTree, p, q, Options{Kernels: TS})
+		if want := model.TSFlatTreeCP(p, q); ftTS != want {
+			t.Errorf("FlatTree TS %d×%d: %d != Proposition 2's %d", p, q, ftTS, want)
+		}
+		if p&(p-1) == 0 && q&(q-1) == 0 && q < p {
+			bt, _ := CriticalPath(BinaryTree, p, q, Options{})
+			if want := model.BinaryTreeCPPow2(p, q); bt != want {
+				t.Errorf("BinaryTree %d×%d: %d != Proposition 1's %d", p, q, bt, want)
+			}
+		}
+		greedy, _ := CriticalPath(Greedy, p, q, Options{})
+		if ub := model.GreedyCPUpper(p, q); greedy > ub {
+			t.Errorf("Greedy %d×%d: %d exceeds Theorem 1 upper bound %d", p, q, greedy, ub)
+		}
+		fib, _ := CriticalPath(Fibonacci, p, q, Options{})
+		if ub := model.FibonacciCPUpper(p, q); fib > ub {
+			t.Errorf("Fibonacci %d×%d: %d exceeds Theorem 1 upper bound %d", p, q, fib, ub)
+		}
+		if p > q {
+			lb := model.LowerBoundCP(q)
+			for _, alg := range Algorithms {
+				cp, _ := CriticalPath(alg, p, q, Options{})
+				if cp < lb {
+					t.Errorf("%v %d×%d: critical path %d beats the %d lower bound", alg, p, q, cp, lb)
+				}
+			}
+		}
+	}
+	// The paper's §3.2 example: Asap strictly beats Greedy on 15×2.
+	asap, _ := CriticalPath(Asap, 15, 2, Options{})
+	greedy, _ := CriticalPath(Greedy, 15, 2, Options{})
+	if asap >= greedy {
+		t.Errorf("Asap (%d) should beat Greedy (%d) on 15×2 (§3.2)", asap, greedy)
+	}
+}
+
+// TestGoldenEliminationLists pins the full 4×2 elimination list of every
+// parameter-free algorithm — the smallest grid where the trees diverge.
+func TestGoldenEliminationLists(t *testing.T) {
+	want := map[Algorithm][]Elim{
+		Greedy:     {{3, 1, 1}, {4, 2, 1}, {2, 1, 1}, {4, 3, 2}, {3, 2, 2}},
+		FlatTree:   {{2, 1, 1}, {3, 1, 1}, {4, 1, 1}, {3, 2, 2}, {4, 2, 2}},
+		BinaryTree: {{2, 1, 1}, {4, 3, 1}, {3, 1, 1}, {3, 2, 2}, {4, 2, 2}},
+		Fibonacci:  {{3, 1, 1}, {4, 2, 1}, {2, 1, 1}, {4, 3, 2}, {3, 2, 2}},
+		Asap:       {{3, 1, 1}, {4, 2, 1}, {2, 1, 1}, {4, 3, 2}, {3, 2, 2}},
+	}
+	for alg, w := range want {
+		got, err := EliminationList(alg, 4, 2, Options{})
+		if err != nil {
+			t.Fatalf("EliminationList(%v): %v", alg, err)
+		}
+		if len(got) != len(w) {
+			t.Fatalf("%v 4×2: %d eliminations, want %d", alg, len(got), len(w))
+		}
+		for i := range w {
+			if got[i] != w[i] {
+				t.Errorf("%v 4×2 elim %d: %v, want %v", alg, i, got[i], w[i])
+			}
+		}
+	}
+}

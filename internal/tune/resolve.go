@@ -1,0 +1,301 @@
+package tune
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"tiledqr/internal/core"
+	"tiledqr/internal/model"
+	"tiledqr/internal/sim"
+	"tiledqr/internal/vec"
+)
+
+// Request describes one resolution: the matrix shape, the execution width
+// the factorization will actually run at, and any pinned sizes (zero means
+// "choose for me").
+type Request struct {
+	M, N    int
+	Workers int // ≤ 0 means GOMAXPROCS
+	PinNB   int // > 0 pins the tile size
+	PinIB   int // > 0 pins the inner block
+}
+
+// Candidate is one scored configuration. Rank returns them best-first;
+// Resolve returns the winner.
+type Candidate struct {
+	Algorithm    core.Algorithm
+	Kernels      core.Kernels
+	NB, IB       int
+	P, Q         int     // tile grid at NB
+	PredictedSec float64 // model-predicted factorization wall time
+	Simulated    bool    // true: full DAG list-scheduling; false: roofline bound
+}
+
+const (
+	// simTaskLimit caps the DAG size the resolver fully simulates; larger
+	// grids fall back to the roofline bound (where the area term dominates
+	// anyway, so the approximation costs little accuracy).
+	simTaskLimit = 60_000
+	// dispatchSec is the scheduler's per-task dispatch overhead added to
+	// every simulated task — it is what steers tiny matrices away from tiny
+	// tiles (thousands of microsecond tasks) toward fewer, larger tiles.
+	dispatchSec = 120e-9
+)
+
+// decKey identifies one cached decision.
+type decKey struct {
+	prec          string
+	stream        bool
+	kernels       core.Kernels // streams only (factor decisions choose it)
+	m, n, workers int
+	pinNB, pinIB  int
+}
+
+// Resolve picks the predicted-fastest (algorithm, kernel family, nb, ib)
+// for a factorization of an m×n matrix in T's domain. Decisions are cached
+// per (shape, width, pins, precision), so repeated factorizations of one
+// shape — the FactorInto serving path — resolve to the identical tuple with
+// a map lookup.
+func Resolve[T vec.Scalar](req Request) (Candidate, error) {
+	if req.M < 1 || req.N < 1 {
+		return Candidate{}, fmt.Errorf("tiledqr: tune: invalid shape %d×%d", req.M, req.N)
+	}
+	if req.Workers < 1 {
+		req.Workers = runtime.GOMAXPROCS(0)
+	}
+	key := decKey{prec: precKey[T](), m: req.M, n: req.N, workers: req.Workers,
+		pinNB: req.PinNB, pinIB: req.PinIB}
+	if c, ok := decided.Load(key); ok {
+		return c.(Candidate), nil
+	}
+	ranked := Rank[T](req)
+	if len(ranked) == 0 {
+		return Candidate{}, fmt.Errorf("tiledqr: tune: no feasible configuration for %d×%d", req.M, req.N)
+	}
+	decided.Store(key, ranked[0])
+	return ranked[0], nil
+}
+
+// Rank scores every candidate configuration for the request and returns
+// them sorted fastest-predicted first. Candidate order is deterministic, so
+// ties resolve identically on every call.
+func Rank[T vec.Scalar](req Request) []Candidate {
+	if req.Workers < 1 {
+		req.Workers = runtime.GOMAXPROCS(0)
+	}
+	pts := ForPrecision[T]()
+	flopScale := 1.0
+	if vec.IsComplex[T]() {
+		flopScale = 4
+	}
+	var out []Candidate
+	for _, pt := range candidatePoints(req.M, req.N, req.PinNB, req.PinIB) {
+		p := (req.M + pt.nb - 1) / pt.nb
+		q := (req.N + pt.nb - 1) / pt.nb
+		secs := secsAt(pts, pt.nb, flopScale)
+		est := estTasks(p, q)
+		if est <= simTaskLimit {
+			for _, alg := range core.Algorithms {
+				list, err := core.Generate(alg, p, q, core.Options{})
+				if err != nil {
+					continue
+				}
+				for _, fam := range []core.Kernels{core.TT, core.TS} {
+					d := core.BuildDAG(list, fam)
+					w := sim.KindWeights(d, secs)
+					for i := range w {
+						w[i] += dispatchSec
+					}
+					sec := sim.ListSchedule(d, req.Workers, w, sim.PriorityBLevel)
+					out = append(out, Candidate{Algorithm: alg, Kernels: fam,
+						NB: pt.nb, IB: pt.ib, P: p, Q: q, PredictedSec: sec, Simulated: true})
+				}
+			}
+			continue
+		}
+		// Roofline path for huge grids: γ_pred's max(area, critical path)
+		// with the paper's closed-form critical-path bounds. Asap has no
+		// closed form (its list generation is itself a simulation), so it
+		// is not considered here.
+		totalUnits := float64(model.TotalUnits(p, q))
+		for _, alg := range core.Algorithms {
+			if alg == core.Asap {
+				continue
+			}
+			for _, fam := range []core.Kernels{core.TT, core.TS} {
+				unitSec := secs[core.KTTMQR] / 6
+				if fam == core.TS {
+					unitSec = secs[core.KTSMQR] / 12
+				}
+				cp := float64(cpUnitsApprox(alg, fam, p, q))
+				sec := max(totalUnits*unitSec/float64(req.Workers), cp*unitSec) +
+					dispatchSec*float64(est)/float64(req.Workers)
+				out = append(out, Candidate{Algorithm: alg, Kernels: fam,
+					NB: pt.nb, IB: pt.ib, P: p, Q: q, PredictedSec: sec})
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].PredictedSec < out[j].PredictedSec })
+	return out
+}
+
+// ResolveStream picks (nb, ib) for a streaming TSQR over n columns: the
+// per-row merge cost of a one-tile-row batch (per tile column: GEQRT plus a
+// triangle merge, plus trailing updates), divided by the column parallelism
+// the width can exploit. The kernel family is the caller's (streams honor
+// Options.Kernels); decisions are cached like factor resolutions.
+func ResolveStream[T vec.Scalar](n, workers, pinNB, pinIB int, fam core.Kernels) (Candidate, error) {
+	if n < 1 {
+		return Candidate{}, fmt.Errorf("tiledqr: tune: invalid stream width n=%d", n)
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	key := decKey{prec: precKey[T](), stream: true, kernels: fam,
+		n: n, workers: workers, pinNB: pinNB, pinIB: pinIB}
+	if c, ok := decided.Load(key); ok {
+		return c.(Candidate), nil
+	}
+	pts := ForPrecision[T]()
+	flopScale := 1.0
+	if vec.IsComplex[T]() {
+		flopScale = 4
+	}
+	mergeQ, mergeM := core.KTTQRT, core.KTTMQR
+	if fam == core.TS {
+		mergeQ, mergeM = core.KTSQRT, core.KTSMQR
+	}
+	var best Candidate
+	for _, pt := range candidatePoints(n, n, pinNB, pinIB) {
+		q := (n + pt.nb - 1) / pt.nb
+		secs := secsAt(pts, pt.nb, flopScale)
+		var batchSec float64
+		for k := 1; k <= q; k++ {
+			batchSec += secs[core.KGEQRT] + secs[mergeQ] +
+				float64(q-k)*(secs[core.KUNMQR]+secs[mergeM])
+		}
+		par := min(workers, q)
+		batchSec = batchSec/float64(par) + dispatchSec*float64(q*q)
+		perRow := batchSec / float64(pt.nb)
+		if best.NB == 0 || perRow < best.PredictedSec {
+			best = Candidate{Kernels: fam, NB: pt.nb, IB: pt.ib, P: 1, Q: q,
+				PredictedSec: perRow, Simulated: false}
+		}
+	}
+	decided.Store(key, best)
+	return best, nil
+}
+
+// candidatePoint is one (nb, ib) the resolver scores.
+type candidatePoint struct{ nb, ib int }
+
+// candidatePoints returns the (nb, ib) grid honoring pins: a pinned nb is
+// the single candidate; otherwise the calibration tile sizes, clamped so nb
+// never exceeds the matrix (a single right-sized tile replaces every
+// larger-than-the-matrix candidate) and never dips below a pinned ib.
+func candidatePoints(m, n, pinNB, pinIB int) []candidatePoint {
+	if pinNB > 0 {
+		ib := pinIB
+		if ib <= 0 {
+			ib = IBFor(pinNB)
+		}
+		return []candidatePoint{{nb: pinNB, ib: min(ib, pinNB)}}
+	}
+	maxDim := max(m, n)
+	seen := map[int]bool{}
+	var out []candidatePoint
+	for _, nb := range calNBs {
+		if nb > maxDim {
+			nb = maxDim
+		}
+		if pinIB > 0 && nb < pinIB {
+			nb = pinIB
+		}
+		if seen[nb] {
+			continue
+		}
+		seen[nb] = true
+		ib := pinIB
+		if ib <= 0 {
+			ib = IBFor(nb)
+		}
+		out = append(out, candidatePoint{nb: nb, ib: min(ib, nb)})
+	}
+	return out
+}
+
+// estTasks estimates the DAG task count of a p×q factorization from above,
+// modeling the TT family (the larger of the two: every participating row is
+// re-triangularized per column, so column k holds ≈ (q−k+1)(2(p−k)+1)
+// tasks; TS has roughly half). Measured against real DAGs it sits 2–8%
+// above the TT count and 10–30% above TS — a budget guard, not a cost
+// model.
+func estTasks(p, q int) int {
+	est := 0
+	for k := 1; k <= min(p, q); k++ {
+		est += 2 * (p - k + 1) * (q - k + 1)
+	}
+	return est
+}
+
+// secsAt converts the calibrated GFLOP/s into seconds per kernel call at an
+// arbitrary tile size, interpolating throughput piecewise-linearly in nb
+// between calibration points (clamped at the ends). Sensitivity to ib
+// within a point is ignored — the calibration grid follows IBFor, and
+// pinned inner blocks reuse the nearest measured throughput.
+func secsAt(pts []Point, nb int, flopScale float64) map[core.Kind]float64 {
+	cube := float64(nb) * float64(nb) * float64(nb)
+	out := make(map[core.Kind]float64, 6)
+	for k := core.Kind(0); k < 6; k++ {
+		g := interpGflops(pts, nb, k.String())
+		if g <= 0 {
+			g = 1 // defensive: a missing series predicts 1 GFLOP/s rather than dividing by zero
+		}
+		out[k] = flopScale * float64(k.Weight()) * cube / 3 / (g * 1e9)
+	}
+	return out
+}
+
+// interpGflops linearly interpolates one kernel's GFLOP/s at tile size nb.
+func interpGflops(pts []Point, nb int, kind string) float64 {
+	if len(pts) == 0 {
+		return 0
+	}
+	if nb <= pts[0].NB {
+		return pts[0].Gflops[kind]
+	}
+	for i := 1; i < len(pts); i++ {
+		if nb <= pts[i].NB {
+			lo, hi := pts[i-1], pts[i]
+			t := float64(nb-lo.NB) / float64(hi.NB-lo.NB)
+			return lo.Gflops[kind] + t*(hi.Gflops[kind]-lo.Gflops[kind])
+		}
+	}
+	return pts[len(pts)-1].Gflops[kind]
+}
+
+// cpUnitsApprox returns a closed-form critical-path estimate in Table 1
+// units for the roofline path, using the transposed grid when p < q (wide
+// matrices factor min(p,q) panels). TT bounds are the paper's Theorem 1 /
+// Propositions 1–2; the TS family, which serializes each elimination's
+// square update, is approximated as 3/2× the TT path (the FlatTree ratio of
+// Proposition 2 to Theorem 1).
+func cpUnitsApprox(alg core.Algorithm, fam core.Kernels, p, q int) int {
+	pp, qm := max(p, q), min(p, q)
+	var cp int
+	switch alg {
+	case core.FlatTree:
+		cp = model.FlatTreeCP(pp, qm)
+	case core.BinaryTree:
+		cp = model.BinaryTreeCPPow2(pp, qm)
+	case core.Fibonacci:
+		cp = model.FibonacciCPUpper(pp, qm)
+	default: // Greedy and anything else without a dedicated form
+		cp = model.GreedyCPUpper(pp, qm)
+	}
+	if fam == core.TS {
+		cp = cp * 3 / 2
+	}
+	return cp
+}

@@ -1,0 +1,353 @@
+// Package tune is the autotuning layer behind tiledqr.AlgorithmAuto: it
+// calibrates the host's sequential kernel throughput per precision with
+// short micro-benchmarks, persists the calibration to a versioned on-disk
+// cache, and combines it with the bounded-processor simulator of
+// internal/sim to pick the predicted-fastest (algorithm, tile size, inner
+// block, kernel family) for a concrete m×n shape — turning the paper's
+// offline Tables 1–3 analysis into a runtime decision procedure.
+//
+// Calibration is lazy and per precision: the first Auto factorization in a
+// given scalar domain measures GEQRT/UNMQR/TSQRT/TSMQR/TTQRT/TTMQR at a
+// handful of candidate (nb, ib) points (tens of milliseconds per point) and
+// the result is cached at ~/.cache/tiledqr/calibration.json — overridable
+// with the TILEDQR_CALIBRATION environment variable ("off" disables
+// persistence entirely). A corrupt, truncated or schema-incompatible cache
+// file is ignored and recalibrated, never an error; concurrent first uses
+// are single-flighted so the micro-benchmarks run once.
+package tune
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"tiledqr/internal/core"
+	"tiledqr/internal/kernel"
+	"tiledqr/internal/tile"
+	"tiledqr/internal/vec"
+)
+
+// SchemaVersion identifies the calibration file layout. Bumping it
+// invalidates every cached calibration: old files are silently ignored and
+// the host is re-measured.
+const SchemaVersion = 1
+
+// EnvCalibration overrides the calibration cache location. Set it to a file
+// path to relocate the cache, or to "off" to disable persistence (the
+// calibration then lives only in process memory).
+const EnvCalibration = "TILEDQR_CALIBRATION"
+
+// calNBs are the candidate tile sizes measured during calibration and
+// considered by the resolver; ib follows IBFor. The range brackets the
+// paper's 80..200 guidance plus a small-tile point for latency-bound
+// shapes.
+var calNBs = []int{48, 64, 96, 128, 192}
+
+// IBFor returns the default inner blocking for a tile size: nb/4 clamped to
+// [4, 48] (and never above nb), the paper's ib ≈ nb/6..nb/4 regime.
+func IBFor(nb int) int {
+	ib := nb / 4
+	if ib < 4 {
+		ib = 4
+	}
+	if ib > 48 {
+		ib = 48
+	}
+	if ib > nb {
+		ib = nb
+	}
+	return ib
+}
+
+// Point is one calibrated (nb, ib) sample: sustained GFLOP/s per kernel
+// (complex flops counted as four real flops, matching qrperf and the
+// paper's Section 4 convention).
+type Point struct {
+	NB     int                `json:"nb"`
+	IB     int                `json:"ib"`
+	Gflops map[string]float64 `json:"gflops"`
+}
+
+// fileFormat is the on-disk calibration cache: one point list per scalar
+// domain, under a schema version.
+type fileFormat struct {
+	Version    int                `json:"version"`
+	Precisions map[string][]Point `json:"precisions"`
+}
+
+// calEntry single-flights the calibration of one precision: the first
+// caller measures (or loads), every concurrent caller blocks on the Once.
+type calEntry struct {
+	once sync.Once
+	pts  []Point
+}
+
+var (
+	calMu   sync.Mutex
+	calBy   = map[string]*calEntry{}
+	fileMu  sync.Mutex // serializes read-merge-write of the cache file
+	decided sync.Map   // decKey → Candidate (per-process decision cache)
+)
+
+// measureHook, when non-nil, replaces the real micro-benchmarks — tests use
+// it to make calibration instant and observable.
+var measureHook func(prec string) []Point
+
+// Reset drops every in-process calibration and cached decision, forcing the
+// next Auto resolution to reload (or re-measure). Intended for tests and
+// for recalibration tooling; it does not touch the on-disk cache.
+func Reset() {
+	calMu.Lock()
+	calBy = map[string]*calEntry{}
+	calMu.Unlock()
+	decided.Range(func(k, _ any) bool {
+		decided.Delete(k)
+		return true
+	})
+}
+
+// precKey names a scalar domain in the calibration file.
+func precKey[T vec.Scalar]() string {
+	switch any((*T)(nil)).(type) {
+	case *float32:
+		return "float32"
+	case *float64:
+		return "float64"
+	case *complex64:
+		return "complex64"
+	default:
+		return "complex128"
+	}
+}
+
+// ForPrecision returns the calibration points of T's domain, measuring them
+// on first use. Concurrent first uses are single-flighted; the winner
+// persists the result best-effort (a read-only cache directory degrades to
+// in-process calibration, never an error).
+func ForPrecision[T vec.Scalar]() []Point {
+	key := precKey[T]()
+	calMu.Lock()
+	e := calBy[key]
+	if e == nil {
+		e = &calEntry{}
+		calBy[key] = e
+	}
+	calMu.Unlock()
+	e.once.Do(func() {
+		if pts := loadCalibration(key); pts != nil {
+			e.pts = pts
+			return
+		}
+		if measureHook != nil {
+			e.pts = measureHook(key)
+		} else {
+			e.pts = measureAll[T]()
+		}
+		saveCalibration(key, e.pts)
+	})
+	return e.pts
+}
+
+// CacheLocation describes where the calibration cache lives, for tooling
+// and diagnostics ("in-process only" when persistence is disabled).
+func CacheLocation() string {
+	path, ok := cachePath()
+	if !ok {
+		if os.Getenv(EnvCalibration) == "off" {
+			return "in-process only ($" + EnvCalibration + "=off)"
+		}
+		return "in-process only (no user cache dir)"
+	}
+	if os.Getenv(EnvCalibration) != "" {
+		return path + " ($" + EnvCalibration + ")"
+	}
+	return path
+}
+
+// cachePath resolves the calibration file location; ok is false when
+// persistence is disabled (env "off" or no user cache directory).
+func cachePath() (path string, ok bool) {
+	if p := os.Getenv(EnvCalibration); p != "" {
+		if p == "off" {
+			return "", false
+		}
+		return p, true
+	}
+	dir, err := os.UserCacheDir()
+	if err != nil {
+		return "", false
+	}
+	return filepath.Join(dir, "tiledqr", "calibration.json"), true
+}
+
+// loadCalibration returns the cached points of one precision, or nil when
+// the file is missing, unreadable, corrupt, from another schema version, or
+// holds no usable points — every failure mode means "recalibrate", never an
+// error.
+func loadCalibration(prec string) []Point {
+	path, ok := cachePath()
+	if !ok {
+		return nil
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var f fileFormat
+	if json.Unmarshal(raw, &f) != nil || f.Version != SchemaVersion {
+		return nil
+	}
+	pts := f.Precisions[prec]
+	if len(pts) == 0 {
+		return nil
+	}
+	for _, pt := range pts {
+		if pt.NB < 1 || pt.IB < 1 || pt.IB > pt.NB || len(pt.Gflops) == 0 {
+			return nil
+		}
+		for _, g := range pt.Gflops {
+			if g <= 0 {
+				return nil
+			}
+		}
+	}
+	return pts
+}
+
+// saveCalibration merges one precision's points into the cache file,
+// best-effort: IO failures are ignored (the in-process copy still serves
+// this run). The write is temp-file + rename so a crash never leaves a
+// truncated file, and the read-merge-write is serialized so concurrent
+// calibrations of different precisions don't drop each other.
+func saveCalibration(prec string, pts []Point) {
+	path, ok := cachePath()
+	if !ok {
+		return
+	}
+	fileMu.Lock()
+	defer fileMu.Unlock()
+	f := fileFormat{Version: SchemaVersion, Precisions: map[string][]Point{}}
+	if raw, err := os.ReadFile(path); err == nil {
+		var prev fileFormat
+		if json.Unmarshal(raw, &prev) == nil && prev.Version == SchemaVersion && prev.Precisions != nil {
+			f.Precisions = prev.Precisions
+		}
+	}
+	f.Precisions[prec] = pts
+	out, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return
+	}
+	out = append(out, '\n')
+	if os.MkdirAll(filepath.Dir(path), 0o755) != nil {
+		return
+	}
+	tmp := path + ".tmp"
+	if os.WriteFile(tmp, out, 0o644) != nil {
+		return
+	}
+	if os.Rename(tmp, path) != nil {
+		os.Remove(tmp)
+	}
+}
+
+// measureAll micro-benchmarks every calibration point of one domain.
+func measureAll[T vec.Scalar]() []Point {
+	pts := make([]Point, 0, len(calNBs))
+	for _, nb := range calNBs {
+		ib := IBFor(nb)
+		pts = append(pts, Point{NB: nb, IB: ib, Gflops: measurePoint[T](nb, ib)})
+	}
+	return pts
+}
+
+// calWindow bounds each kernel's sampling time during calibration: long
+// enough to smooth timer granularity, short enough that first-use
+// calibration stays well under a second per precision.
+const calWindow = 8 * time.Millisecond
+
+// timeKernel returns seconds per call, doubling the repetition count until
+// the sample window is long enough to trust.
+func timeKernel(f func(), window time.Duration) float64 {
+	f() // warm up
+	for reps := 1; ; reps *= 2 {
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			f()
+		}
+		if el := time.Since(start); el > window || reps >= 1<<16 {
+			return el.Seconds() / float64(reps)
+		}
+	}
+}
+
+// measurePoint times the six kernels at a calibration budget and converts
+// to GFLOP/s (4 real flops per complex flop, as everywhere in the repo).
+func measurePoint[T vec.Scalar](nb, ib int) map[string]float64 {
+	flopScale := 1.0
+	if vec.IsComplex[T]() {
+		flopScale = 4
+	}
+	cube := float64(nb) * float64(nb) * float64(nb)
+	sec := MeasureKernelSecs[T](nb, ib, calWindow)
+	out := make(map[string]float64, len(sec))
+	for kind, s := range sec {
+		out[kind.String()] = flopScale * float64(kind.Weight()) * cube / 3 / s / 1e9
+	}
+	return out
+}
+
+// MeasureKernelSecs micro-benchmarks the six Table 1 kernels on random
+// nb×nb tiles and returns seconds per invocation, sampling each kernel for
+// at least the given window. It is the one kernel-timing harness in the
+// repo: calibration uses it at a short window, qrperf's experiments and the
+// benchmark-JSON emitter at a longer one.
+func MeasureKernelSecs[T vec.Scalar](nb, ib int, window time.Duration) map[core.Kind]float64 {
+	da := tile.RandDense[T](nb, nb, 1)
+	db := tile.RandDense[T](nb, nb, 2)
+	dc := tile.RandDense[T](nb, nb, 3)
+	tf := make([]T, ib*nb)
+	t2 := make([]T, ib*nb)
+	ws := make([]T, kernel.WorkLen(nb, ib))
+	sec := map[core.Kind]float64{}
+	sec[core.KGEQRT] = timeKernel(func() {
+		a := da.Clone()
+		kernel.GEQRT(nb, nb, ib, a.Data, nb, tf, nb, ws)
+	}, window)
+	v := da.Clone()
+	kernel.GEQRT(nb, nb, ib, v.Data, nb, tf, nb, ws)
+	sec[core.KUNMQR] = timeKernel(func() {
+		c := dc.Clone()
+		kernel.UNMQR(true, nb, nb, ib, v.Data, nb, tf, nb, c.Data, nb, nb, ws)
+	}, window)
+	rTri := v
+	sec[core.KTSQRT] = timeKernel(func() {
+		a := rTri.Clone()
+		b := db.Clone()
+		kernel.TSQRT(nb, nb, ib, a.Data, nb, b.Data, nb, t2, nb, ws)
+	}, window)
+	vts := db.Clone()
+	kernel.TSQRT(nb, nb, ib, rTri.Clone().Data, nb, vts.Data, nb, t2, nb, ws)
+	sec[core.KTSMQR] = timeKernel(func() {
+		c1 := dc.Clone()
+		c2 := dc.Clone()
+		kernel.TSMQR(true, nb, nb, ib, vts.Data, nb, t2, nb, c1.Data, nb, c2.Data, nb, nb, ws)
+	}, window)
+	rTri2 := db.Clone()
+	kernel.GEQRT(nb, nb, ib, rTri2.Data, nb, tf, nb, ws)
+	sec[core.KTTQRT] = timeKernel(func() {
+		a := rTri.Clone()
+		b := rTri2.Clone()
+		kernel.TTQRT(nb, nb, ib, a.Data, nb, b.Data, nb, t2, nb, ws)
+	}, window)
+	vtt := rTri2.Clone()
+	kernel.TTQRT(nb, nb, ib, rTri.Clone().Data, nb, vtt.Data, nb, t2, nb, ws)
+	sec[core.KTTMQR] = timeKernel(func() {
+		c1 := dc.Clone()
+		c2 := dc.Clone()
+		kernel.TTMQR(true, nb, nb, ib, vtt.Data, nb, t2, nb, c1.Data, nb, c2.Data, nb, nb, ws)
+	}, window)
+	return sec
+}

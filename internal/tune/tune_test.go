@@ -1,0 +1,378 @@
+package tune
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"tiledqr/internal/core"
+)
+
+// synthPoints builds a plausible synthetic calibration: throughput mildly
+// increasing with nb, so larger tiles win on pure efficiency and the
+// dispatch-overhead term is what pushes small shapes to small tiles.
+func synthPoints() []Point {
+	var pts []Point
+	for _, nb := range []int{48, 64, 96, 128, 192} {
+		g := map[string]float64{}
+		for k := core.Kind(0); k < 6; k++ {
+			g[k.String()] = 2 + float64(nb)/128
+		}
+		pts = append(pts, Point{NB: nb, IB: IBFor(nb), Gflops: g})
+	}
+	return pts
+}
+
+// withHook installs a synthetic measurement function for the test and
+// resets all in-process calibration state around it. Tests using it must
+// not run in parallel (package-level state).
+func withHook(t *testing.T, f func(prec string) []Point) {
+	t.Helper()
+	measureHook = f
+	Reset()
+	t.Cleanup(func() {
+		measureHook = nil
+		Reset()
+	})
+}
+
+func TestCalibrationCorruptionFallsBackToMeasurement(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "calibration.json")
+	t.Setenv(EnvCalibration, path)
+
+	good, _ := json.Marshal(fileFormat{Version: SchemaVersion,
+		Precisions: map[string][]Point{"float64": synthPoints()}})
+	cases := map[string][]byte{
+		"truncated":      good[:len(good)/2],
+		"garbage":        []byte("{{{ not json at all"),
+		"empty":          {},
+		"wrong-version":  mustJSON(fileFormat{Version: SchemaVersion + 1, Precisions: map[string][]Point{"float64": synthPoints()}}),
+		"no-points":      mustJSON(fileFormat{Version: SchemaVersion, Precisions: map[string][]Point{}}),
+		"zero-gflops":    mustJSON(fileFormat{Version: SchemaVersion, Precisions: map[string][]Point{"float64": {{NB: 64, IB: 16, Gflops: map[string]float64{"GEQRT": 0}}}}}),
+		"ib-exceeds-nb":  mustJSON(fileFormat{Version: SchemaVersion, Precisions: map[string][]Point{"float64": {{NB: 16, IB: 64, Gflops: map[string]float64{"GEQRT": 1}}}}}),
+		"negative-sizes": mustJSON(fileFormat{Version: SchemaVersion, Precisions: map[string][]Point{"float64": {{NB: -1, IB: -1, Gflops: map[string]float64{"GEQRT": 1}}}}}),
+	}
+	for name, raw := range cases {
+		t.Run(name, func(t *testing.T) {
+			var calls atomic.Int32
+			withHook(t, func(string) []Point { calls.Add(1); return synthPoints() })
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			pts := ForPrecision[float64]()
+			if len(pts) == 0 {
+				t.Fatal("no calibration points after corrupt cache")
+			}
+			if calls.Load() != 1 {
+				t.Fatalf("corrupt cache %q: measured %d times, want 1 (recalibration)", name, calls.Load())
+			}
+			// The recalibration must have repaired the file on disk.
+			if got := loadCalibration("float64"); got == nil {
+				t.Fatalf("corrupt cache %q: recalibration did not persist a valid file", name)
+			}
+		})
+	}
+}
+
+func mustJSON(v any) []byte {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return raw
+}
+
+func TestCalibrationRoundTripAndReuse(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cal.json")
+	t.Setenv(EnvCalibration, path)
+	var calls atomic.Int32
+	withHook(t, func(string) []Point { calls.Add(1); return synthPoints() })
+
+	first := ForPrecision[float64]()
+	Reset() // drop in-process state; the next call must load from disk
+	second := ForPrecision[float64]()
+	if calls.Load() != 1 {
+		t.Fatalf("measured %d times, want 1 (second run loads the cache)", calls.Load())
+	}
+	if len(first) != len(second) {
+		t.Fatalf("cache round trip changed point count: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i].NB != second[i].NB || first[i].IB != second[i].IB {
+			t.Fatalf("cache round trip changed point %d: %+v vs %+v", i, first[i], second[i])
+		}
+		for k, v := range first[i].Gflops {
+			if second[i].Gflops[k] != v {
+				t.Fatalf("cache round trip changed %s@nb=%d", k, first[i].NB)
+			}
+		}
+	}
+}
+
+func TestCalibrationMergesPrecisions(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cal.json")
+	t.Setenv(EnvCalibration, path)
+	withHook(t, func(string) []Point { return synthPoints() })
+	ForPrecision[float64]()
+	ForPrecision[complex128]()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f fileFormat
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatal(err)
+	}
+	for _, prec := range []string{"float64", "complex128"} {
+		if len(f.Precisions[prec]) == 0 {
+			t.Errorf("cache file lost precision %s: have %v", prec, f.Precisions)
+		}
+	}
+}
+
+func TestCalibrationPersistenceOff(t *testing.T) {
+	t.Setenv(EnvCalibration, "off")
+	withHook(t, func(string) []Point { return synthPoints() })
+	if pts := ForPrecision[float64](); len(pts) == 0 {
+		t.Fatal("persistence off must still calibrate in process")
+	}
+}
+
+func TestCacheLocation(t *testing.T) {
+	t.Setenv(EnvCalibration, "off")
+	if got := CacheLocation(); got != "in-process only ($"+EnvCalibration+"=off)" {
+		t.Errorf("off sentinel described as %q", got)
+	}
+	t.Setenv(EnvCalibration, "/tmp/somewhere.json")
+	if got := CacheLocation(); got != "/tmp/somewhere.json ($"+EnvCalibration+")" {
+		t.Errorf("env override described as %q", got)
+	}
+}
+
+// TestCalibrationSingleFlight hammers first-use calibration from many
+// goroutines (run under -race in CI): the micro-benchmark must run exactly
+// once and everyone must observe the same points.
+func TestCalibrationSingleFlight(t *testing.T) {
+	t.Setenv(EnvCalibration, filepath.Join(t.TempDir(), "cal.json"))
+	var calls atomic.Int32
+	withHook(t, func(string) []Point { calls.Add(1); return synthPoints() })
+
+	const goroutines = 16
+	results := make([][]Point, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = ForPrecision[float64]()
+		}(i)
+	}
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Fatalf("calibration ran %d times under concurrency, want 1", calls.Load())
+	}
+	for i := 1; i < goroutines; i++ {
+		if &results[i][0] != &results[0][0] {
+			t.Fatalf("goroutine %d observed a different calibration slice", i)
+		}
+	}
+}
+
+// TestConcurrentResolveSingleFlightsPerPrecision mixes Resolve calls across
+// precisions and shapes under the race detector: one measurement per
+// precision, identical decisions per shape.
+func TestConcurrentResolveSingleFlights(t *testing.T) {
+	t.Setenv(EnvCalibration, "off")
+	var calls atomic.Int32
+	withHook(t, func(string) []Point { calls.Add(1); return synthPoints() })
+
+	const per = 8
+	decs := make([]Candidate, per)
+	var wg sync.WaitGroup
+	for i := 0; i < per; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			d, err := Resolve[float64](Request{M: 512, N: 256, Workers: 4})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			decs[i] = d
+			if _, err := Resolve[complex128](Request{M: 300, N: 300, Workers: 4}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if calls.Load() != 2 {
+		t.Fatalf("calibrated %d times, want 2 (one per precision)", calls.Load())
+	}
+	for i := 1; i < per; i++ {
+		if decs[i] != decs[0] {
+			t.Fatalf("concurrent Resolve diverged: %+v vs %+v", decs[i], decs[0])
+		}
+	}
+}
+
+func TestResolveDeterministicAndPinned(t *testing.T) {
+	t.Setenv(EnvCalibration, "off")
+	withHook(t, func(string) []Point { return synthPoints() })
+
+	a, err := Resolve[float64](Request{M: 512, N: 256, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Resolve[float64](Request{M: 512, N: 256, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("Resolve not deterministic: %+v vs %+v", a, b)
+	}
+	if a.NB < 1 || a.IB < 1 || a.IB > a.NB {
+		t.Fatalf("Resolve produced invalid sizes: %+v", a)
+	}
+
+	pinned, err := Resolve[float64](Request{M: 512, N: 256, Workers: 4, PinNB: 100, PinIB: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinned.NB != 100 || pinned.IB != 20 {
+		t.Fatalf("pins not honored: %+v", pinned)
+	}
+
+	if _, err := Resolve[float64](Request{M: 0, N: 5}); err == nil {
+		t.Fatal("Resolve accepted an empty shape")
+	}
+}
+
+func TestRankSortedAndExhaustive(t *testing.T) {
+	t.Setenv(EnvCalibration, "off")
+	withHook(t, func(string) []Point { return synthPoints() })
+	ranked := Rank[float64](Request{M: 512, N: 256, Workers: 4})
+	if len(ranked) == 0 {
+		t.Fatal("empty ranking")
+	}
+	algs, fams := map[core.Algorithm]bool{}, map[core.Kernels]bool{}
+	for i, c := range ranked {
+		if i > 0 && c.PredictedSec < ranked[i-1].PredictedSec {
+			t.Fatalf("ranking not sorted at %d", i)
+		}
+		if !c.Simulated {
+			t.Errorf("small grid candidate fell back to roofline: %+v", c)
+		}
+		algs[c.Algorithm] = true
+		fams[c.Kernels] = true
+	}
+	if len(algs) != len(core.Algorithms) || len(fams) != 2 {
+		t.Fatalf("ranking not exhaustive: %d algorithms, %d families", len(algs), len(fams))
+	}
+}
+
+// TestRankRooflineForHugeGrids checks the resolver does not try to build
+// million-task DAGs: huge shapes use the closed-form roofline path.
+func TestRankRooflineForHugeGrids(t *testing.T) {
+	t.Setenv(EnvCalibration, "off")
+	withHook(t, func(string) []Point { return synthPoints() })
+	ranked := Rank[float64](Request{M: 100_000, N: 50_000, Workers: 48})
+	if len(ranked) == 0 {
+		t.Fatal("empty ranking for huge shape")
+	}
+	for _, c := range ranked {
+		if c.Simulated {
+			t.Fatalf("huge grid %d×%d tiles was fully simulated", c.P, c.Q)
+		}
+	}
+}
+
+func TestCandidatePoints(t *testing.T) {
+	// Pinned nb is the single candidate; default ib follows IBFor.
+	pts := candidatePoints(512, 256, 100, 0)
+	if len(pts) != 1 || pts[0].nb != 100 || pts[0].ib != IBFor(100) {
+		t.Fatalf("pinned nb: %+v", pts)
+	}
+	// nb candidates never exceed the matrix.
+	for _, pt := range candidatePoints(40, 30, 0, 0) {
+		if pt.nb > 40 {
+			t.Errorf("candidate nb %d exceeds the 40×30 matrix", pt.nb)
+		}
+		if pt.ib > pt.nb {
+			t.Errorf("candidate ib %d exceeds nb %d", pt.ib, pt.nb)
+		}
+	}
+	// A pinned ib floors nb.
+	for _, pt := range candidatePoints(512, 512, 0, 80) {
+		if pt.nb < 80 || pt.ib != 80 {
+			t.Errorf("pinned ib not honored: %+v", pt)
+		}
+	}
+}
+
+func TestInterpGflops(t *testing.T) {
+	pts := []Point{
+		{NB: 64, Gflops: map[string]float64{"GEQRT": 2}},
+		{NB: 128, Gflops: map[string]float64{"GEQRT": 4}},
+	}
+	for _, tc := range []struct {
+		nb   int
+		want float64
+	}{{32, 2}, {64, 2}, {96, 3}, {128, 4}, {256, 4}} {
+		if got := interpGflops(pts, tc.nb, "GEQRT"); got != tc.want {
+			t.Errorf("interp at nb=%d: %g, want %g", tc.nb, got, tc.want)
+		}
+	}
+}
+
+func TestResolveStream(t *testing.T) {
+	t.Setenv(EnvCalibration, "off")
+	withHook(t, func(string) []Point { return synthPoints() })
+	d, err := ResolveStream[float64](300, 4, 0, 0, core.TT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NB < 1 || d.NB > 300 || d.IB < 1 || d.IB > d.NB {
+		t.Fatalf("stream decision out of range: %+v", d)
+	}
+	d2, err := ResolveStream[float64](300, 4, 0, 0, core.TT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != d2 {
+		t.Fatalf("stream resolution not deterministic: %+v vs %+v", d, d2)
+	}
+	pinned, err := ResolveStream[float64](300, 4, 96, 24, core.TS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinned.NB != 96 || pinned.IB != 24 {
+		t.Fatalf("stream pins not honored: %+v", pinned)
+	}
+	if _, err := ResolveStream[float64](0, 4, 0, 0, core.TT); err == nil {
+		t.Fatal("ResolveStream accepted n=0")
+	}
+}
+
+func TestEstTasksMatchesDAG(t *testing.T) {
+	for _, g := range [][2]int{{4, 4}, {8, 4}, {10, 10}, {15, 2}, {3, 7}} {
+		p, q := g[0], g[1]
+		list, err := core.Generate(core.Greedy, p, q, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := core.BuildDAG(list, core.TT).NumTasks()
+		est := estTasks(p, q)
+		// The estimate only guards the simulation budget; it must bound the
+		// real count from above without being wildly off.
+		if est < exact {
+			t.Errorf("estTasks(%d,%d) = %d underestimates the real %d tasks", p, q, est, exact)
+		}
+		if est > 3*exact+8 {
+			t.Errorf("estTasks(%d,%d) = %d is far above the real %d tasks", p, q, est, exact)
+		}
+	}
+}

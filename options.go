@@ -2,10 +2,13 @@ package tiledqr
 
 import (
 	"fmt"
+	"runtime"
 
 	"tiledqr/internal/core"
 	"tiledqr/internal/engine"
 	"tiledqr/internal/sched"
+	"tiledqr/internal/tune"
+	"tiledqr/internal/vec"
 )
 
 // Algorithm selects the elimination tree; see the package documentation and
@@ -33,9 +36,24 @@ const (
 	// (top domain shrinks instead of the bottom one); requires Options.BS.
 	// The paper finds PLASMA's anchoring identical or better.
 	HadriTree
+	// AlgorithmAuto asks the library to choose: the autotuner combines a
+	// per-host kernel calibration (measured once and cached, see the
+	// package documentation) with the paper's bounded-processor schedule
+	// model to pick the predicted-fastest algorithm and kernel family for
+	// the actual matrix shape and execution width. With AlgorithmAuto,
+	// TileSize = 0 and InnerBlock = 0 additionally mean "choose for me"
+	// (nonzero values pin them), and the Kernels field is ignored — the
+	// tuner picks the family. Use Options.Resolve to inspect or pin the
+	// decision.
+	AlgorithmAuto
 )
 
-func (a Algorithm) String() string { return a.core().String() }
+func (a Algorithm) String() string {
+	if a == AlgorithmAuto {
+		return "Auto"
+	}
+	return a.core().String()
+}
 
 func (a Algorithm) core() core.Algorithm {
 	switch a {
@@ -57,6 +75,36 @@ func (a Algorithm) core() core.Algorithm {
 		return core.HadriTree
 	}
 	return core.Algorithm(-1)
+}
+
+// algorithmFromCore maps a core algorithm back to the public enum — the
+// return path of an autotuning decision.
+func algorithmFromCore(a core.Algorithm) Algorithm {
+	switch a {
+	case core.Greedy:
+		return Greedy
+	case core.FlatTree:
+		return FlatTree
+	case core.BinaryTree:
+		return BinaryTree
+	case core.Fibonacci:
+		return Fibonacci
+	case core.Asap:
+		return Asap
+	case core.Grasap:
+		return Grasap
+	case core.PlasmaTree:
+		return PlasmaTree
+	}
+	return HadriTree
+}
+
+// kernelsFromCore maps a core kernel family back to the public enum.
+func kernelsFromCore(k core.Kernels) Kernels {
+	if k == core.TS {
+		return TS
+	}
+	return TT
 }
 
 // Algorithms lists the parameter-free algorithms, mainly for sweeps in
@@ -88,10 +136,17 @@ func (k Kernels) core() core.Kernels {
 // Greedy with TT kernels, tile size 128, inner blocking 32, and execution
 // on the process-wide shared runtime (DefaultRuntime).
 type Options struct {
-	Algorithm  Algorithm
-	Kernels    Kernels
-	TileSize   int // nb; the paper uses 200 (80..200 is typical, §2)
-	InnerBlock int // ib; the paper uses 32
+	Algorithm Algorithm
+	// Kernels selects the elimination kernel family. Ignored under
+	// AlgorithmAuto for one-shot factorizations (the tuner picks TT vs TS);
+	// streams always honor it.
+	Kernels Kernels
+	// TileSize (nb) and InnerBlock (ib): the paper uses nb=200 (80..200 is
+	// typical, §2) and ib=32. Zero means the package defaults — except
+	// under AlgorithmAuto, where zero means "let the autotuner choose" and
+	// a nonzero value pins that dimension of the decision.
+	TileSize   int
+	InnerBlock int
 
 	// Runtime selects the persistent worker pool the factorization's task
 	// DAG executes on. nil with Workers == 0 means the process-wide
@@ -163,6 +218,69 @@ func (o Options) validate(p int) error {
 		return fmt.Errorf("tiledqr: %v needs 1 ≤ BS ≤ p (BS=%d, p=%d)", o.Algorithm, o.BS, p)
 	}
 	return nil
+}
+
+// autoWidth returns the execution width a factorization under these
+// options will actually run at — the quantity the autotuner's
+// bounded-processor schedule model needs. It must not spin up the default
+// runtime as a side effect, so the default case reports GOMAXPROCS (the
+// default runtime's size) directly.
+func (o Options) autoWidth() int {
+	if o.Runtime != nil {
+		return o.Runtime.Workers()
+	}
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// resolveAuto turns AlgorithmAuto into a concrete (algorithm, kernel
+// family, tile size, inner block) tuple for an m×n factorization in T's
+// domain, honoring pinned nonzero TileSize/InnerBlock. Non-auto options
+// pass through untouched (beyond the usual defaulting). The decision is
+// deterministic per (shape, width, pins, precision) within a process, so
+// FactorInto/Refactor fleets resolve to the identical tuple every time and
+// the engine's plan/arena reuse keys on the resolved values.
+func resolveAuto[T vec.Scalar](m, n int, opt Options) (Options, error) {
+	if opt.Algorithm != AlgorithmAuto {
+		return opt.withDefaults(), nil
+	}
+	// Pinned sizes obey the same constraints as explicit ones: an inner
+	// block wider than a pinned tile is an error, not a silent clamp.
+	if opt.TileSize > 0 {
+		if err := opt.validateSizes(); err != nil {
+			return Options{}, err
+		}
+	}
+	dec, err := tune.Resolve[T](tune.Request{
+		M: m, N: n,
+		Workers: opt.autoWidth(),
+		PinNB:   opt.TileSize,
+		PinIB:   opt.InnerBlock,
+	})
+	if err != nil {
+		return Options{}, err
+	}
+	opt.Algorithm = algorithmFromCore(dec.Algorithm)
+	opt.Kernels = kernelsFromCore(dec.Kernels)
+	opt.TileSize = dec.NB
+	opt.InnerBlock = dec.IB
+	return opt.withDefaults(), nil
+}
+
+// Resolve returns the options a float64 factorization of an m×n matrix
+// would actually run with: defaults applied and, under AlgorithmAuto, the
+// autotuner's (algorithm, kernel family, tile size, inner block) decision
+// substituted in. Factoring with the returned options reproduces the Auto
+// factorization bit for bit; edit them to pin or tweak the decision. The
+// other precisions resolve with their own calibrations internally —
+// CFactor/FactorComplex/Factor32 may legitimately pick different tuples.
+func (o Options) Resolve(m, n int) (Options, error) {
+	if m < 1 || n < 1 {
+		return Options{}, fmt.Errorf("tiledqr: Resolve: invalid shape %d×%d", m, n)
+	}
+	return resolveAuto[float64](m, n, o)
 }
 
 // validateSizes checks the grid-independent option constraints; the

@@ -1,0 +1,7 @@
+//go:build race
+
+package tiledqr
+
+// raceEnabled reports whether the race detector instruments this build;
+// wall-clock performance assertions skip themselves under it.
+const raceEnabled = true

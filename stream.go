@@ -6,6 +6,7 @@ import (
 
 	"tiledqr/internal/stream"
 	"tiledqr/internal/tile"
+	"tiledqr/internal/tune"
 	"tiledqr/internal/vec"
 )
 
@@ -15,6 +16,27 @@ import (
 // same placement policy as Factor: the shared default runtime unless
 // Options.Runtime or Options.Workers says otherwise.
 func newStreamCore[T vec.Scalar](n int, opt Options) (*stream.Core[T], error) {
+	// AlgorithmAuto picks the tile shape for streams too: the per-column
+	// merge tree is structurally fixed (binary), so the tuner only chooses
+	// nb/ib — by estimated merge throughput at the stream's width — while
+	// Options.Kernels keeps selecting the merge kernel family.
+	if opt.Algorithm == AlgorithmAuto && n >= 1 {
+		// Pinned sizes obey the same constraints as explicit ones (matching
+		// resolveAuto): an inner block wider than a pinned tile is an
+		// error, not a silent clamp.
+		if opt.TileSize > 0 {
+			if err := opt.validateSizes(); err != nil {
+				return nil, err
+			}
+		}
+		dec, err := tune.ResolveStream[T](n, opt.autoWidth(),
+			opt.TileSize, opt.InnerBlock, opt.Kernels.core())
+		if err != nil {
+			return nil, err
+		}
+		opt.Algorithm = Greedy // streams ignore the tree; record a concrete value
+		opt.TileSize, opt.InnerBlock = dec.NB, dec.IB
+	}
 	opt = opt.withDefaults()
 	if err := opt.validateSizes(); err != nil {
 		return nil, err
