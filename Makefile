@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check lint bench bench-smoke bench-gate tune throughput clean
+.PHONY: all build test race vet fmt-check lint bench bench-smoke bench-gate tune throughput chaos fault-smoke fuzz-smoke clean
 
 all: lint build test
 
@@ -24,6 +24,35 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# chaos runs the fault-tolerance suite under the race detector, twice:
+# deterministic fault injection (error/panic/stall/NaN-poison) with
+# bit-identical bystander jobs, context cancellation promptness, sticky
+# factorization/stream failure states, CheckHealth validation, and the
+# runtime lifecycle (closed-submit, double Close, deadline-bounded Drain)
+# with hand-rolled goroutine-leak checks.
+chaos:
+	$(GO) test -race -count=2 -run 'TestChaos|TestCancel|TestRuntimeLifecycle|TestSticky|TestStream|TestCheckHealth' .
+	$(GO) test -race -count=2 ./internal/fault/ ./internal/sched/
+
+# fault-smoke proves the CLI failure path end to end: with a fault armed
+# through TILEDQR_FAULT, qrstream must exit 1 carrying the injected error
+# on stderr — and must not dump a panic stack trace.
+fault-smoke:
+	@out=$$(TILEDQR_FAULT="mode=error;index=0" $(GO) run ./cmd/qrstream -n 96 -nb 32 -batch 64 -batches 2 2>&1); code=$$?; \
+	echo "$$out"; \
+	if [ $$code -ne 1 ]; then echo "fault-smoke: want exit code 1, got $$code"; exit 1; fi; \
+	echo "$$out" | grep -q "fault injection" || { echo "fault-smoke: injected error missing from output"; exit 1; }; \
+	if echo "$$out" | grep -q "^goroutine "; then echo "fault-smoke: panic stack trace in output"; exit 1; fi; \
+	echo "fault-smoke: ok (exit 1, clean error, no panic)"
+
+# fuzz-smoke briefly runs the fuzz targets (hostile options, adversarial
+# matrices with NaN/Inf/degenerate shapes) — the no-panic contract of the
+# public API. Seed corpora live under testdata/fuzz/.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzOptionsValidate -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz FuzzFactor -fuzztime $(FUZZTIME) .
 
 # bench measures every sequential kernel in all four precisions (double,
 # double complex, single, single complex, at the benchmark shape

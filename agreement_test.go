@@ -339,7 +339,11 @@ func TestStream32MatchesFactor32(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sr, fr := s.R(), f.R()
+	sr, err := s.R()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := f.R()
 	for i := 0; i < n; i++ {
 		sgn := float32(rowSign(float64(fr.At(i, i)), float64(sr.At(i, i))))
 		for j := i; j < n; j++ {
@@ -369,7 +373,11 @@ func TestStream32MatchesFactor32(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	csr, cfr := cs.R(), cf.R()
+	csr, err := cs.R()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfr := cf.R()
 	for i := 0; i < n; i++ {
 		sgn := complex(float32(rowSign(float64(real(cfr.At(i, i))), float64(real(csr.At(i, i))))), 0)
 		for j := i; j < n; j++ {

@@ -241,7 +241,11 @@ func TestAutoStream(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rs, rf := st.R(), f.R()
+	rs, err := st.R()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf := f.R()
 	for i := 0; i < n; i++ {
 		for j := i; j < n; j++ {
 			if d := math.Abs(math.Abs(rs.At(i, j)) - math.Abs(rf.At(i, j))); d > 1e-10 {

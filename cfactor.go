@@ -1,6 +1,8 @@
 package tiledqr
 
 import (
+	"context"
+
 	"tiledqr/internal/engine"
 	"tiledqr/internal/sched"
 	"tiledqr/internal/tile"
@@ -17,7 +19,12 @@ type CFactorization struct {
 // CFactor computes the tiled QR factorization A = Q·R of an m×n complex64
 // matrix. A is not modified.
 func CFactor(a *CDense, opt Options) (*CFactorization, error) {
-	e, err := factorEngine((*tile.Dense[complex64])(a), opt)
+	return CFactorCtx(nil, a, opt)
+}
+
+// CFactorCtx is CFactor under a cancellation context (see FactorCtx).
+func CFactorCtx(ctx context.Context, a *CDense, opt Options) (*CFactorization, error) {
+	e, err := factorEngine(ctx, (*tile.Dense[complex64])(a), opt)
 	if err != nil {
 		return nil, err
 	}
@@ -28,10 +35,16 @@ func CFactor(a *CDense, opt Options) (*CFactorization, error) {
 // structural options match the previous factorization (see FactorInto).
 // f may be a zero &CFactorization{}.
 func CFactorInto(f *CFactorization, a *CDense, opt Options) error {
+	return CFactorIntoCtx(nil, f, a, opt)
+}
+
+// CFactorIntoCtx is CFactorInto under a cancellation context (see
+// FactorIntoCtx).
+func CFactorIntoCtx(ctx context.Context, f *CFactorization, a *CDense, opt Options) error {
 	if f.e == nil {
 		f.e = new(engine.Factorization[complex64])
 	}
-	return factorEngineInto(f.e, (*tile.Dense[complex64])(a), opt)
+	return factorEngineInto(ctx, f.e, (*tile.Dense[complex64])(a), opt)
 }
 
 // Refactor re-runs the factorization over new matrix data with the same
@@ -44,17 +57,46 @@ func (f *CFactorization) Refactor(a *CDense) error {
 	return f.e.Refactor((*tile.Dense[complex64])(a))
 }
 
+// RefactorCtx is Refactor under a cancellation context (see FactorCtx).
+func (f *CFactorization) RefactorCtx(ctx context.Context, a *CDense) error {
+	if f.e == nil {
+		return errRefactorEmpty
+	}
+	return f.e.RefactorCtx(ctx, (*tile.Dense[complex64])(a))
+}
+
+// Err returns the cause of the last failed or cancelled factorization
+// attempt, nil while the factorization is valid.
+func (f *CFactorization) Err() error {
+	if f.e == nil {
+		return errRefactorEmpty
+	}
+	return f.e.Err()
+}
+
 // R returns the min(m,n)×n upper triangular (trapezoidal) factor.
 func (f *CFactorization) R() *CDense { return (*CDense)(f.e.R()) }
 
 // ApplyQH overwrites b (m×nrhs) with Qᴴ·b.
 func (f *CFactorization) ApplyQH(b *CDense) error {
-	return f.e.Apply((*tile.Dense[complex64])(b), true)
+	return f.e.Apply(nil, (*tile.Dense[complex64])(b), true)
+}
+
+// ApplyQHCtx is ApplyQH under a cancellation context; on cancellation b is
+// partially transformed and must be discarded.
+func (f *CFactorization) ApplyQHCtx(ctx context.Context, b *CDense) error {
+	return f.e.Apply(ctx, (*tile.Dense[complex64])(b), true)
 }
 
 // ApplyQ overwrites b (m×nrhs) with Q·b.
 func (f *CFactorization) ApplyQ(b *CDense) error {
-	return f.e.Apply((*tile.Dense[complex64])(b), false)
+	return f.e.Apply(nil, (*tile.Dense[complex64])(b), false)
+}
+
+// ApplyQCtx is ApplyQ under a cancellation context; on cancellation b is
+// partially transformed and must be discarded.
+func (f *CFactorization) ApplyQCtx(ctx context.Context, b *CDense) error {
+	return f.e.Apply(ctx, (*tile.Dense[complex64])(b), false)
 }
 
 // Q returns the full m×m unitary factor.
@@ -65,7 +107,12 @@ func (f *CFactorization) ThinQ() *CDense { return (*CDense)(f.e.ThinQ()) }
 
 // SolveLS solves min‖A·x − b‖₂ (m ≥ n) for each column of b.
 func (f *CFactorization) SolveLS(b *CDense) (*CDense, error) {
-	x, err := f.e.SolveLS((*tile.Dense[complex64])(b))
+	return f.SolveLSCtx(nil, b)
+}
+
+// SolveLSCtx is SolveLS under a cancellation context (see FactorCtx).
+func (f *CFactorization) SolveLSCtx(ctx context.Context, b *CDense) (*CDense, error) {
+	x, err := f.e.SolveLS(ctx, (*tile.Dense[complex64])(b))
 	if err != nil {
 		return nil, err
 	}

@@ -90,6 +90,14 @@ func unitKernelTimes() kernelTimes {
 	return kt
 }
 
+// die reports a fatal operational error on stderr and exits nonzero — the
+// benchmarks never panic on failures a user can hit (I/O, bad flags, a
+// factorization error): a stack trace is for bugs, not operations.
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "qrperf:", err)
+	os.Exit(1)
+}
+
 func main() {
 	experiment := flag.String("experiment", "fig1", "fig1|fig2|fig6|fig7|table6|table7|table8|table9")
 	kernelsJSON := flag.String("kernels-json", "", "write kernel GFLOP/s to this file and exit")
@@ -212,14 +220,14 @@ func measured(alg tiledqr.Algorithm, kern tiledqr.Kernels, bs, p, q, nb, ib int,
 		a := tiledqr.RandomZDense(p*nb, q*nb, 7)
 		start = time.Now()
 		if _, err := tiledqr.FactorComplex(a, opt); err != nil {
-			panic(err)
+			die(err)
 		}
 		flops = model.ComplexFlops(p*nb, q*nb)
 	} else {
 		a := tiledqr.RandomDense(p*nb, q*nb, 7)
 		start = time.Now()
 		if _, err := tiledqr.Factor(a, opt); err != nil {
-			panic(err)
+			die(err)
 		}
 	}
 	return flops / time.Since(start).Seconds() / 1e9
@@ -402,32 +410,32 @@ func measureStream() *streamReport {
 	appendRate := func(app func() error) float64 {
 		sec := timeIt(func() {
 			if err := app(); err != nil {
-				panic(err)
+				die(err)
 			}
 		})
 		return float64(batch) / sec
 	}
 	d, err := tiledqr.NewStream(n, opt)
 	if err != nil {
-		panic(err)
+		die(err)
 	}
 	ddata := tiledqr.RandomDense(batch, n, 1)
 	rep.DoubleRowsPerSec = appendRate(func() error { return d.AppendRows(ddata) })
 	z, err := tiledqr.NewZStream(n, opt)
 	if err != nil {
-		panic(err)
+		die(err)
 	}
 	zdata := tiledqr.RandomZDense(batch, n, 1)
 	rep.DoubleComplexRowsPerSec = appendRate(func() error { return z.AppendRows(zdata) })
 	sg, err := tiledqr.NewStream32(n, opt)
 	if err != nil {
-		panic(err)
+		die(err)
 	}
 	sdata := tiledqr.RandomDense32(batch, n, 1)
 	rep.SingleRowsPerSec = appendRate(func() error { return sg.AppendRows(sdata) })
 	cs, err := tiledqr.NewCStream(n, opt)
 	if err != nil {
-		panic(err)
+		die(err)
 	}
 	cdata := tiledqr.RandomCDense(batch, n, 1)
 	rep.SingleComplexRowsPerSec = appendRate(func() error { return cs.AppendRows(cdata) })
@@ -481,7 +489,7 @@ func fleetQPS(clients int, window time.Duration, factor func(client int, a *tile
 			defer wg.Done()
 			for time.Now().Before(deadline) {
 				if err := factor(c, mats[c]); err != nil {
-					panic(err)
+					die(err)
 				}
 				done.Add(1)
 			}
@@ -509,7 +517,7 @@ func measureThroughput(quick bool) *throughputReport {
 	shared := tiledqr.Options{TileSize: benchNB, InnerBlock: benchIB}
 	// Warm the default runtime before timing.
 	if _, err := tiledqr.Factor(tiledqr.RandomDense(tpM, tpN, 99), shared); err != nil {
-		panic(err)
+		die(err)
 	}
 	for _, c := range clients {
 		p := throughputPoint{Clients: c}
@@ -611,7 +619,7 @@ func writeKernelsJSON(path string, quick bool) error {
 	d := core.BuildDAG(core.GreedyList(20, 10), core.TT)
 	sec := timeIt(func() {
 		if _, err := sched.Run(d, sched.Options{Workers: 2}, func(int32, int) {}); err != nil {
-			panic(err)
+			die(err)
 		}
 	})
 	rep.SchedulerNsPerTask = sec * 1e9 / float64(d.NumTasks())

@@ -52,14 +52,14 @@ func runTune(measure bool) {
 		if measure {
 			opt, err := tiledqr.Options{Algorithm: tiledqr.AlgorithmAuto}.Resolve(m, n)
 			if err != nil {
-				panic(err)
+				die(err)
 			}
 			a := tiledqr.RandomDense(m, n, 7)
 			meas := time.Duration(1 << 62)
 			for rep := 0; rep < 3; rep++ {
 				start := time.Now()
 				if _, err := tiledqr.Factor(a, opt); err != nil {
-					panic(err)
+					die(err)
 				}
 				if el := time.Since(start); el < meas {
 					meas = el

@@ -95,7 +95,11 @@ func runReal(opt tiledqr.Options) error {
 		}
 	}
 	elapsed := time.Since(start)
-	report("double", s.Rows(), elapsed, s.ResidualNorm(), *flagRHS > 0)
+	resid, err := s.ResidualNorm()
+	if err != nil {
+		return err
+	}
+	report("double", s.Rows(), elapsed, resid, *flagRHS > 0)
 	if *flagRHS > 0 && s.Rows() >= int64(n) {
 		if _, err := s.SolveLS(); err != nil {
 			return err
@@ -117,7 +121,11 @@ func runReal(opt tiledqr.Options) error {
 		if err != nil {
 			return err
 		}
-		rRef, rStream := f.R(), s.R()
+		rStream, err := s.R()
+		if err != nil {
+			return err
+		}
+		rRef := f.R()
 		var worst float64
 		for i := 0; i < n; i++ {
 			sign := 1.0
@@ -162,7 +170,11 @@ func runComplex(opt tiledqr.Options) error {
 		}
 	}
 	elapsed := time.Since(start)
-	report("double complex", s.Rows(), elapsed, s.ResidualNorm(), *flagRHS > 0)
+	resid, err := s.ResidualNorm()
+	if err != nil {
+		return err
+	}
+	report("double complex", s.Rows(), elapsed, resid, *flagRHS > 0)
 	if *flagRHS > 0 && s.Rows() >= int64(n) {
 		if _, err := s.SolveLS(); err != nil {
 			return err
@@ -186,7 +198,11 @@ func runComplex(opt tiledqr.Options) error {
 		}
 		// The reflector construction keeps R's diagonal real, so the per-row
 		// ambiguity is a ±1 sign exactly as in the real domain.
-		rRef, rStream := f.R(), s.R()
+		rStream, err := s.R()
+		if err != nil {
+			return err
+		}
+		rRef := f.R()
 		var worst float64
 		for i := 0; i < n; i++ {
 			sign := complex(1, 0)

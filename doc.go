@@ -187,6 +187,58 @@
 // clients, per-call pools vs shared runtime vs FactorInto reuse — and
 // `make bench` records it in BENCH_kernels.json.
 //
+// # Failure semantics
+//
+// Every public entry point has a Ctx variant (FactorCtx, FactorIntoCtx,
+// RefactorCtx, SolveLSCtx, ApplyQCtx/ApplyQTCtx, AppendRowsCtx,
+// AppendRHSCtx) threading a context.Context through the DAG execution. On
+// cancellation, in-flight kernel tasks run to completion (they are
+// microseconds), queued tasks are dropped un-executed, and the call
+// returns ctx.Err() promptly; concurrent factorizations sharing the
+// runtime are unaffected and bit-identical. Contexts apply to one call
+// and are never retained. A nil context means "never cancelled" — the
+// non-Ctx names are exactly that.
+//
+// Failure is sticky but never silent. A Factorization whose last attempt
+// failed — kernel error, panic (contained by the scheduler and converted
+// to an error), cancellation, or health-check breakdown — refuses to
+// serve results: Err reports the original cause, error-returning
+// accessors (ApplyQ/ApplyQT/SolveLS) wrap it, and value-returning
+// accessors (R, Q, ThinQ) panic with it rather than return half-factored
+// tiles. The state is recoverable: the next successful
+// Factor/FactorInto/Refactor rebuilds storage from scratch and clears it.
+// A stream is different: a batch merge mutates the resident triangle in
+// place, so an append that fails past validation poisons the stream
+// permanently — Err, R, QTB, SolveLS, ResidualNorm and every later
+// append return the original cause, and further appends are unsupported
+// (replace the stream). Input validation failures (shape mismatches, and
+// non-finite entries under CheckHealth) are detected before any retained
+// state is touched and leave factorization and stream fully intact.
+//
+// Options.CheckHealth opts into numerical health checking: inputs
+// containing NaN or Inf are rejected up front, and every kernel task
+// fails fast when it writes a non-finite value into a tile — a NaN
+// reflector or an overflow to Inf stops the DAG at the task that produced
+// it instead of poisoning everything downstream. The scan is O(nb²) per
+// O(nb³) task, a few percent; with CheckHealth off the happy path pays
+// nothing.
+//
+// Runtime lifecycle is hardened for serving: Close is idempotent, waits
+// for in-flight jobs, and later submissions fail with ErrRuntimeClosed —
+// they never hang. Drain(ctx) is the graceful variant: admission stops
+// (ErrRuntimeDraining) and it waits, bounded by ctx, for in-flight work.
+//
+// The failure paths are exercised by a chaos suite driven by a
+// deterministic fault injector (internal/fault): injected kernel errors,
+// panics, stalls and NaN poison, filtered by kernel kind, precision and
+// match index. Operators can arm it via the TILEDQR_FAULT environment
+// variable (e.g. "mode=panic;kind=GEQRT;prec=d;index=3") to rehearse
+// failure handling in staging; when disarmed it costs one atomic load per
+// task. `make chaos` runs the suite under the race detector and CI gates
+// on it, alongside fuzz targets (`make fuzz-smoke`) that keep hostile
+// options and adversarial matrices erroring descriptively instead of
+// panicking.
+//
 // # Performance
 //
 // All four arithmetic domains run on one tuned core, internal/vec:

@@ -66,8 +66,12 @@ func main() {
 				worst = math.Max(worst, math.Abs(w.At(c, 0)-truth[c]))
 			}
 			rows := float64(s.Rows())
+			resid, err := s.ResidualNorm()
+			if err != nil {
+				log.Fatal(err)
+			}
 			fmt.Printf("  %5d  %8d        %.3e          %.4f         %d floats\n",
-				bi, s.Rows(), worst, s.ResidualNorm()/math.Sqrt(rows), s.Footprint())
+				bi, s.Rows(), worst, resid/math.Sqrt(rows), s.Footprint())
 		}
 	}
 

@@ -1,6 +1,7 @@
 package tiledqr
 
 import (
+	"context"
 	"fmt"
 
 	"tiledqr/internal/engine"
@@ -10,27 +11,29 @@ import (
 )
 
 // engineConfig validates the (defaulted) options against the matrix shape
-// and lowers them to the engine's configuration.
-func engineConfig(m, n int, opt Options) (engine.Config, error) {
+// and lowers them, with the per-call context, to the engine's configuration.
+func engineConfig(ctx context.Context, m, n int, opt Options) (engine.Config, error) {
 	g := tile.NewGrid(m, n, opt.TileSize)
 	if err := opt.validate(g.P); err != nil {
 		return engine.Config{}, err
 	}
 	return engine.Config{
-		Algorithm:  opt.Algorithm.core(),
-		Kernels:    opt.Kernels.core(),
-		CoreOpts:   opt.coreOptions(),
-		TileSize:   opt.TileSize,
-		InnerBlock: opt.InnerBlock,
-		Env:        opt.execEnv(),
-		Trace:      opt.Trace,
+		Algorithm:   opt.Algorithm.core(),
+		Kernels:     opt.Kernels.core(),
+		CoreOpts:    opt.coreOptions(),
+		TileSize:    opt.TileSize,
+		InnerBlock:  opt.InnerBlock,
+		Env:         opt.execEnv(),
+		Trace:       opt.Trace,
+		Ctx:         ctx,
+		CheckHealth: opt.CheckHealth,
 	}, nil
 }
 
 // factorEngine resolves AlgorithmAuto, applies defaults, validates, and
 // runs the generic engine — the single code path behind Factor, Factor32,
-// CFactor and FactorComplex.
-func factorEngine[T vec.Scalar](a *tile.Dense[T], opt Options) (*engine.Factorization[T], error) {
+// CFactor and FactorComplex (and their Ctx variants).
+func factorEngine[T vec.Scalar](ctx context.Context, a *tile.Dense[T], opt Options) (*engine.Factorization[T], error) {
 	if a == nil || a.Rows < 1 || a.Cols < 1 {
 		return nil, fmt.Errorf("tiledqr: cannot factor an empty matrix")
 	}
@@ -38,7 +41,7 @@ func factorEngine[T vec.Scalar](a *tile.Dense[T], opt Options) (*engine.Factoriz
 	if err != nil {
 		return nil, err
 	}
-	cfg, err := engineConfig(a.Rows, a.Cols, opt)
+	cfg, err := engineConfig(ctx, a.Rows, a.Cols, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -48,7 +51,7 @@ func factorEngine[T vec.Scalar](a *tile.Dense[T], opt Options) (*engine.Factoriz
 // factorEngineInto is the reuse-path sibling of factorEngine: it factors a
 // into an existing engine factorization, reusing its storage when shape
 // and structural options match.
-func factorEngineInto[T vec.Scalar](f *engine.Factorization[T], a *tile.Dense[T], opt Options) error {
+func factorEngineInto[T vec.Scalar](ctx context.Context, f *engine.Factorization[T], a *tile.Dense[T], opt Options) error {
 	if a == nil || a.Rows < 1 || a.Cols < 1 {
 		return fmt.Errorf("tiledqr: cannot factor an empty matrix")
 	}
@@ -56,7 +59,7 @@ func factorEngineInto[T vec.Scalar](f *engine.Factorization[T], a *tile.Dense[T]
 	if err != nil {
 		return err
 	}
-	cfg, err := engineConfig(a.Rows, a.Cols, opt)
+	cfg, err := engineConfig(ctx, a.Rows, a.Cols, opt)
 	if err != nil {
 		return err
 	}
@@ -74,7 +77,15 @@ type Factorization struct {
 // Factor computes the tiled QR factorization A = Q·R of an m×n matrix
 // (any m, n ≥ 1). A is not modified.
 func Factor(a *Dense, opt Options) (*Factorization, error) {
-	e, err := factorEngine((*tile.Dense[float64])(a), opt)
+	return FactorCtx(nil, a, opt)
+}
+
+// FactorCtx is Factor under a cancellation context: when ctx is cancelled,
+// in-flight kernel tasks finish, queued tasks are dropped, and the call
+// returns ctx.Err(). Other factorizations sharing the runtime are
+// unaffected. A nil ctx behaves exactly like Factor.
+func FactorCtx(ctx context.Context, a *Dense, opt Options) (*Factorization, error) {
+	e, err := factorEngine(ctx, (*tile.Dense[float64])(a), opt)
 	if err != nil {
 		return nil, err
 	}
@@ -90,20 +101,47 @@ func Factor(a *Dense, opt Options) (*Factorization, error) {
 // f is gone (its storage was overwritten): f refuses to serve results
 // until a subsequent FactorInto/Refactor succeeds.
 func FactorInto(f *Factorization, a *Dense, opt Options) error {
+	return FactorIntoCtx(nil, f, a, opt)
+}
+
+// FactorIntoCtx is FactorInto under a cancellation context (see FactorCtx).
+// A cancelled execution leaves f invalid — accessors return or panic with
+// the cancellation cause — until a later FactorInto/Refactor succeeds.
+func FactorIntoCtx(ctx context.Context, f *Factorization, a *Dense, opt Options) error {
 	if f.e == nil {
 		f.e = new(engine.Factorization[float64])
 	}
-	return factorEngineInto(f.e, (*tile.Dense[float64])(a), opt)
+	return factorEngineInto(ctx, f.e, (*tile.Dense[float64])(a), opt)
 }
 
 // Refactor re-runs the factorization over new matrix data with the same
 // options, reusing every internal buffer when a has the previous shape.
-// Steady-state Refactor allocates O(1).
+// Steady-state Refactor allocates O(1). After a failed or cancelled
+// execution, a successful Refactor rebuilds storage and clears the sticky
+// failure state.
 func (f *Factorization) Refactor(a *Dense) error {
 	if f.e == nil {
 		return errRefactorEmpty
 	}
 	return f.e.Refactor((*tile.Dense[float64])(a))
+}
+
+// RefactorCtx is Refactor under a cancellation context (see FactorCtx); ctx
+// applies to this call only and is never retained.
+func (f *Factorization) RefactorCtx(ctx context.Context, a *Dense) error {
+	if f.e == nil {
+		return errRefactorEmpty
+	}
+	return f.e.RefactorCtx(ctx, (*tile.Dense[float64])(a))
+}
+
+// Err returns the cause of the last failed or cancelled factorization
+// attempt, nil while the factorization is valid.
+func (f *Factorization) Err() error {
+	if f.e == nil {
+		return errRefactorEmpty
+	}
+	return f.e.Err()
 }
 
 // errRefactorEmpty is returned by Refactor on a never-factored value; the
@@ -116,12 +154,24 @@ func (f *Factorization) R() *Dense { return (*Dense)(f.e.R()) }
 // ApplyQT overwrites b (m×nrhs) with Qᵀ·b by replaying the factorization's
 // transformations in execution order.
 func (f *Factorization) ApplyQT(b *Dense) error {
-	return f.e.Apply((*tile.Dense[float64])(b), true)
+	return f.e.Apply(nil, (*tile.Dense[float64])(b), true)
+}
+
+// ApplyQTCtx is ApplyQT under a cancellation context; on cancellation b is
+// partially transformed and must be discarded.
+func (f *Factorization) ApplyQTCtx(ctx context.Context, b *Dense) error {
+	return f.e.Apply(ctx, (*tile.Dense[float64])(b), true)
 }
 
 // ApplyQ overwrites b (m×nrhs) with Q·b.
 func (f *Factorization) ApplyQ(b *Dense) error {
-	return f.e.Apply((*tile.Dense[float64])(b), false)
+	return f.e.Apply(nil, (*tile.Dense[float64])(b), false)
+}
+
+// ApplyQCtx is ApplyQ under a cancellation context; on cancellation b is
+// partially transformed and must be discarded.
+func (f *Factorization) ApplyQCtx(ctx context.Context, b *Dense) error {
+	return f.e.Apply(ctx, (*tile.Dense[float64])(b), false)
 }
 
 // Q returns the full m×m orthogonal factor (built by applying Q to the
@@ -136,7 +186,12 @@ func (f *Factorization) ThinQ() *Dense { return (*Dense)(f.e.ThinQ()) }
 // b (m×nrhs), returning the n×nrhs solution. Requires m ≥ n and a
 // nonsingular R.
 func (f *Factorization) SolveLS(b *Dense) (*Dense, error) {
-	x, err := f.e.SolveLS((*tile.Dense[float64])(b))
+	return f.SolveLSCtx(nil, b)
+}
+
+// SolveLSCtx is SolveLS under a cancellation context (see FactorCtx).
+func (f *Factorization) SolveLSCtx(ctx context.Context, b *Dense) (*Dense, error) {
+	x, err := f.e.SolveLS(ctx, (*tile.Dense[float64])(b))
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package tiledqr
 
 import (
+	"context"
+
 	"tiledqr/internal/engine"
 	"tiledqr/internal/sched"
 	"tiledqr/internal/tile"
@@ -19,7 +21,12 @@ type Factorization32 struct {
 // Factor32 computes the tiled QR factorization A = Q·R of an m×n float32
 // matrix. A is not modified.
 func Factor32(a *Dense32, opt Options) (*Factorization32, error) {
-	e, err := factorEngine((*tile.Dense[float32])(a), opt)
+	return Factor32Ctx(nil, a, opt)
+}
+
+// Factor32Ctx is Factor32 under a cancellation context (see FactorCtx).
+func Factor32Ctx(ctx context.Context, a *Dense32, opt Options) (*Factorization32, error) {
+	e, err := factorEngine(ctx, (*tile.Dense[float32])(a), opt)
 	if err != nil {
 		return nil, err
 	}
@@ -30,10 +37,16 @@ func Factor32(a *Dense32, opt Options) (*Factorization32, error) {
 // structural options match the previous factorization (see FactorInto).
 // f may be a zero &Factorization32{}.
 func FactorInto32(f *Factorization32, a *Dense32, opt Options) error {
+	return FactorInto32Ctx(nil, f, a, opt)
+}
+
+// FactorInto32Ctx is FactorInto32 under a cancellation context (see
+// FactorIntoCtx).
+func FactorInto32Ctx(ctx context.Context, f *Factorization32, a *Dense32, opt Options) error {
 	if f.e == nil {
 		f.e = new(engine.Factorization[float32])
 	}
-	return factorEngineInto(f.e, (*tile.Dense[float32])(a), opt)
+	return factorEngineInto(ctx, f.e, (*tile.Dense[float32])(a), opt)
 }
 
 // Refactor re-runs the factorization over new matrix data with the same
@@ -46,17 +59,46 @@ func (f *Factorization32) Refactor(a *Dense32) error {
 	return f.e.Refactor((*tile.Dense[float32])(a))
 }
 
+// RefactorCtx is Refactor under a cancellation context (see FactorCtx).
+func (f *Factorization32) RefactorCtx(ctx context.Context, a *Dense32) error {
+	if f.e == nil {
+		return errRefactorEmpty
+	}
+	return f.e.RefactorCtx(ctx, (*tile.Dense[float32])(a))
+}
+
+// Err returns the cause of the last failed or cancelled factorization
+// attempt, nil while the factorization is valid.
+func (f *Factorization32) Err() error {
+	if f.e == nil {
+		return errRefactorEmpty
+	}
+	return f.e.Err()
+}
+
 // R returns the min(m,n)×n upper triangular (trapezoidal) factor.
 func (f *Factorization32) R() *Dense32 { return (*Dense32)(f.e.R()) }
 
 // ApplyQT overwrites b (m×nrhs) with Qᵀ·b.
 func (f *Factorization32) ApplyQT(b *Dense32) error {
-	return f.e.Apply((*tile.Dense[float32])(b), true)
+	return f.e.Apply(nil, (*tile.Dense[float32])(b), true)
+}
+
+// ApplyQTCtx is ApplyQT under a cancellation context; on cancellation b is
+// partially transformed and must be discarded.
+func (f *Factorization32) ApplyQTCtx(ctx context.Context, b *Dense32) error {
+	return f.e.Apply(ctx, (*tile.Dense[float32])(b), true)
 }
 
 // ApplyQ overwrites b (m×nrhs) with Q·b.
 func (f *Factorization32) ApplyQ(b *Dense32) error {
-	return f.e.Apply((*tile.Dense[float32])(b), false)
+	return f.e.Apply(nil, (*tile.Dense[float32])(b), false)
+}
+
+// ApplyQCtx is ApplyQ under a cancellation context; on cancellation b is
+// partially transformed and must be discarded.
+func (f *Factorization32) ApplyQCtx(ctx context.Context, b *Dense32) error {
+	return f.e.Apply(ctx, (*tile.Dense[float32])(b), false)
 }
 
 // Q returns the full m×m orthogonal factor.
@@ -67,7 +109,12 @@ func (f *Factorization32) ThinQ() *Dense32 { return (*Dense32)(f.e.ThinQ()) }
 
 // SolveLS solves min‖A·x − b‖₂ (m ≥ n) for each column of b.
 func (f *Factorization32) SolveLS(b *Dense32) (*Dense32, error) {
-	x, err := f.e.SolveLS((*tile.Dense[float32])(b))
+	return f.SolveLSCtx(nil, b)
+}
+
+// SolveLSCtx is SolveLS under a cancellation context (see FactorCtx).
+func (f *Factorization32) SolveLSCtx(ctx context.Context, b *Dense32) (*Dense32, error) {
+	x, err := f.e.SolveLS(ctx, (*tile.Dense[float32])(b))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,113 @@
+package tiledqr
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// The fuzz targets harden the public entry points against adversarial
+// inputs: hostile option combinations (huge/negative/inverted sizes,
+// out-of-range enums) and hostile matrix data (NaN, Inf, degenerate and
+// empty shapes). The invariant is uniform — a bad input produces a
+// descriptive error, never a panic or an index out of range — plus, when
+// a factorization is accepted, basic result sanity. Seed corpora live
+// under testdata/fuzz/; CI runs each target briefly via `make fuzz-smoke`.
+
+// FuzzOptionsValidate throws arbitrary Options at validation and at a
+// small factorization. Every combination must either error or factor
+// successfully; no combination may panic.
+func FuzzOptionsValidate(f *testing.F) {
+	f.Add(8, 4, 1, 0, 0, uint8(0), uint8(0), false)
+	f.Add(0, 0, 0, 0, 0, uint8(0), uint8(0), false)      // all defaults
+	f.Add(4, 8, 1, 0, 0, uint8(0), uint8(0), true)       // ib > nb: must error
+	f.Add(1<<20, 4, 2, 0, 0, uint8(1), uint8(1), false)  // huge nb
+	f.Add(-5, -3, -2, -1, -1, uint8(7), uint8(1), false) // negative everything
+	f.Add(8, 8, 1, 3, 2, uint8(6), uint8(0), true)       // PlasmaTree with BS
+	f.Add(8, 4, 1, 0, 2, uint8(5), uint8(1), false)      // Grasap
+	f.Add(16, 16, 4, 200, 0, uint8(7), uint8(0), false)  // HadriTree, BS > p
+	f.Fuzz(func(t *testing.T, nb, ib, workers, bs, grasapK int, alg, kern uint8, check bool) {
+		opt := Options{
+			// The fuzzed byte covers the full concrete-algorithm range;
+			// AlgorithmAuto is excluded so the target stays hermetic (no
+			// per-host calibration in a fuzz loop).
+			Algorithm:   Algorithm(int(alg) % int(AlgorithmAuto)),
+			Kernels:     Kernels(int(kern) % 2),
+			TileSize:    nb,
+			InnerBlock:  ib,
+			Workers:     workers % 4,
+			BS:          bs,
+			GrasapK:     grasapK,
+			CheckHealth: check,
+		}
+		a := RandomDense(12, 7, 42)
+		f64, err := Factor(a, opt)
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "tiledqr:") {
+				t.Errorf("error %q does not carry the package prefix", err)
+			}
+			return
+		}
+		// Accepted options must produce a structurally sane result.
+		r := f64.R()
+		if r.Rows != 7 || r.Cols != 7 {
+			t.Fatalf("R is %d×%d, want 7×7", r.Rows, r.Cols)
+		}
+		for _, v := range r.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatal("finite input factored to a non-finite R")
+			}
+		}
+	})
+}
+
+// FuzzFactor throws adversarial matrices at Factor: fuzzed shape (down to
+// empty and 1×n), fuzzed tile geometry, and raw IEEE-754 bit patterns
+// (NaN payloads, infinities, subnormals) planted in the data. Factor must
+// never panic; with CheckHealth a non-finite input must be rejected with
+// a descriptive error.
+func FuzzFactor(f *testing.F) {
+	nan := math.Float64bits(math.NaN())
+	inf := math.Float64bits(math.Inf(1))
+	f.Add(uint8(12), uint8(7), uint8(8), uint8(4), uint64(0x3ff0000000000000), uint64(0), false)
+	f.Add(uint8(0), uint8(0), uint8(0), uint8(0), uint64(0), uint64(0), false) // empty matrix
+	f.Add(uint8(1), uint8(17), uint8(8), uint8(4), nan, uint64(3), true)       // 1×n with NaN
+	f.Add(uint8(20), uint8(12), uint8(255), uint8(1), inf, uint64(7), true)    // huge nb, Inf
+	f.Add(uint8(9), uint8(9), uint8(3), uint8(200), uint64(1), uint64(1), false)
+	f.Add(uint8(16), uint8(8), uint8(8), uint8(4), nan^1, uint64(11), false) // NaN payload, checks off
+	f.Fuzz(func(t *testing.T, m, n, nb, ib uint8, bits, pos uint64, check bool) {
+		opt := Options{
+			TileSize:    int(nb),
+			InnerBlock:  int(ib),
+			Workers:     1, // deterministic inline execution keeps the loop fast
+			CheckHealth: check,
+		}
+		var a *Dense
+		planted := math.Float64frombits(bits)
+		if m > 0 && n > 0 {
+			a = RandomDense(int(m), int(n), 5)
+			a.Data[int(pos%uint64(len(a.Data)))] = planted
+		}
+		fz, err := Factor(a, opt)
+		nonFinite := a != nil && (math.IsNaN(planted) || math.IsInf(planted, 0))
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "tiledqr:") {
+				t.Errorf("error %q does not carry the package prefix", err)
+			}
+			return
+		}
+		if a == nil {
+			t.Fatal("Factor accepted a nil matrix")
+		}
+		if check && nonFinite {
+			t.Fatalf("CheckHealth accepted a matrix containing %v", planted)
+		}
+		if check {
+			for _, v := range fz.R().Data {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatal("CheckHealth passed but R has a non-finite entry")
+				}
+			}
+		}
+	})
+}

@@ -18,10 +18,14 @@
 package engine
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"sync"
+	"time"
 
 	"tiledqr/internal/core"
+	"tiledqr/internal/fault"
 	"tiledqr/internal/kernel"
 	"tiledqr/internal/sched"
 	"tiledqr/internal/tile"
@@ -39,17 +43,33 @@ type Env struct {
 	Workers int
 }
 
+// RunOpts carries the per-execution policies a DAG run honors: context
+// cancellation, tracing, and opt-in numerical health checks. The zero
+// value (no context, no trace, no checks) is the free-of-overhead happy
+// path.
+type RunOpts struct {
+	// Ctx, when non-nil, cancels the execution: in-flight tasks finish,
+	// queued tasks are dropped, and the run returns ctx.Err().
+	Ctx context.Context
+	// Trace enables per-task span recording.
+	Trace bool
+	// Check enables the poison fail-fast: every task verifies the tiles it
+	// wrote are finite, so a NaN or Inf stops the DAG at the first task
+	// that produces it instead of flowing downstream.
+	Check bool
+}
+
 // run executes the plan's DAG under the Env's placement policy.
-func (e Env) run(p *sched.Plan, trace bool, exec sched.Exec) (*sched.Trace, error) {
+func (e Env) run(p *sched.Plan, opts RunOpts, exec sched.Exec) (*sched.Trace, error) {
 	if e.Runtime != nil {
-		return e.Runtime.Exec(p, sched.Options{Trace: trace}, exec)
+		return e.Runtime.Exec(p, sched.Options{Trace: opts.Trace, Ctx: opts.Ctx}, exec)
 	}
 	if work.WorkersOrDefault(e.Workers) == 1 {
-		return sched.RunInline(p.DAG(), trace, exec)
+		return sched.RunInline(opts.Ctx, p.DAG(), opts.Trace, exec)
 	}
 	rt := sched.NewRuntime(e.Workers)
 	defer rt.Close()
-	return rt.Exec(p, sched.Options{Trace: trace}, exec)
+	return rt.Exec(p, sched.Options{Trace: opts.Trace, Ctx: opts.Ctx}, exec)
 }
 
 // wsSlot maps a scalar type to its sched.Local slot: one kernel workspace
@@ -81,6 +101,21 @@ func WorkerWS[T vec.Scalar](loc *sched.Local, n int) []T {
 	return ws
 }
 
+// precName maps a scalar type to its BLAS-style precision letter, the
+// identity the fault injector and diagnostics use.
+func precName[T vec.Scalar]() string {
+	switch any((*T)(nil)).(type) {
+	case *float32:
+		return "s"
+	case *float64:
+		return "d"
+	case *complex64:
+		return "c"
+	default: // *complex128
+		return "z"
+	}
+}
+
 // Config carries the resolved factorization parameters from the public
 // options layer (defaults applied, values validated) down to the engine.
 type Config struct {
@@ -91,6 +126,13 @@ type Config struct {
 	InnerBlock int
 	Env        Env
 	Trace      bool
+	// Ctx cancels the factorization's DAG execution (per call, never
+	// retained by the factorization).
+	Ctx context.Context
+	// CheckHealth enables input validation (reject non-finite entries) and
+	// the breakdown fail-fast (every task verifies its output tiles are
+	// finite).
+	CheckHealth bool
 }
 
 // reuseKey is the structural identity of a factorization: FactorInto
@@ -119,11 +161,122 @@ type Source[T vec.Scalar] interface {
 	KCols(k int) int
 }
 
+// isFinite reports whether v is free of NaN and Inf components. vec.Abs is
+// overflow-safe (scaled hypot in the complex domains), so huge-but-finite
+// values are not misreported.
+func isFinite[T vec.Scalar](v T) bool {
+	a := vec.Abs(v)
+	return !math.IsNaN(a) && !math.IsInf(a, 0)
+}
+
+// CheckFinite scans a matrix for non-finite entries, returning a
+// descriptive error naming the first offender — the input-validation half
+// of Options.CheckHealth, shared by the one-shot and streaming paths.
+func CheckFinite[T vec.Scalar](what string, a *tile.Dense[T]) error {
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Stride : i*a.Stride+a.Cols]
+		for j, v := range row {
+			if !isFinite(v) {
+				return fmt.Errorf("tiledqr: CheckHealth: %s contains a non-finite entry %v at (%d,%d)", what, v, i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// checkTile is the breakdown fail-fast of Options.CheckHealth: a tile a
+// task just wrote must be free of non-finite entries, otherwise a NaN or
+// Inf would silently propagate into every downstream task. The scan is
+// O(nb²) against the kernel's O(nb³) work, so the opt-in costs a few
+// percent; every output tile of every task is scanned, so a finite input
+// that overflows mid-factorization (entries near ±MaxFloat) is caught at
+// the task that produced the overflow — not just on the R diagonal.
+func checkTile[T vec.Scalar](a *tile.Dense[T], task core.Task) error {
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Stride : i*a.Stride+a.Cols]
+		for j, v := range row {
+			if !isFinite(v) {
+				return fmt.Errorf("tiledqr: CheckHealth: numerical breakdown: non-finite entry %v at local (%d,%d) after %v (non-finite input or overflow upstream)", v, i, j, task)
+			}
+		}
+	}
+	return nil
+}
+
+// checkTask scans every tile the task wrote (factor kernels also rewrite
+// the reflector tile; appliers rewrite one or two trailing tiles). Each
+// tile's final content is checked by the last task that wrote it, so a
+// run whose every check passed has a fully finite factorization.
+func checkTask[T vec.Scalar](src Source[T], task core.Task) error {
+	switch task.Kind {
+	case core.KGEQRT:
+		return checkTile(src.TileAt(task.I, task.K), task)
+	case core.KUNMQR:
+		return checkTile(src.TileAt(task.I, task.J), task)
+	case core.KTSQRT, core.KTTQRT:
+		if err := checkTile(src.TileAt(task.Piv, task.K), task); err != nil {
+			return err
+		}
+		return checkTile(src.TileAt(task.I, task.K), task)
+	case core.KTSMQR, core.KTTMQR:
+		if err := checkTile(src.TileAt(task.Piv, task.J), task); err != nil {
+			return err
+		}
+		return checkTile(src.TileAt(task.I, task.J), task)
+	}
+	return nil
+}
+
+// injectFault consults the armed fault injector for this task. It returns
+// (poison, err): err aborts the task (ModeError), poison asks the caller
+// to NaN the task's output tile after the kernel runs (ModeNaN). ModePanic
+// panics here — the scheduler's containment turns it into a job error —
+// and ModeStall sleeps before the kernel executes.
+func injectFault[T vec.Scalar](task core.Task) (bool, error) {
+	act, hit := fault.Check(task.Kind, precName[T]())
+	if !hit {
+		return false, nil
+	}
+	switch act.Mode {
+	case fault.ModeError:
+		return false, fault.Errorf(task.Kind, precName[T]())
+	case fault.ModePanic:
+		panic(fault.PanicMsg(task.Kind, precName[T]()))
+	case fault.ModeStall:
+		time.Sleep(act.Stall)
+	case fault.ModeNaN:
+		return true, nil
+	}
+	return false, nil
+}
+
+// outTile returns the tile a task writes its primary output to: the
+// factored/zeroed tile for factor kernels, the updated trailing tile for
+// appliers — the target of a ModeNaN poison injection.
+func outTile[T vec.Scalar](src Source[T], task core.Task) *tile.Dense[T] {
+	switch task.Kind {
+	case core.KUNMQR, core.KTSMQR, core.KTTMQR:
+		return src.TileAt(task.I, task.J)
+	default:
+		return src.TileAt(task.I, task.K)
+	}
+}
+
 // ExecTask dispatches one DAG task to the corresponding tile kernel.
 // Unknown task kinds are reported as an error (not a panic): the DAG is
 // data, and a malformed one must fail the factorization, not the process.
-func ExecTask[T vec.Scalar](src Source[T], d *core.DAG, t int32, ib int, ws []T) error {
+// check enables the per-task breakdown fail-fast of Options.CheckHealth;
+// when the process-global fault injector is armed, matching tasks suffer
+// their configured failure here (one atomic load when disarmed).
+func ExecTask[T vec.Scalar](src Source[T], d *core.DAG, t int32, ib int, ws []T, check bool) error {
 	task := d.Tasks[t]
+	poison := false
+	if fault.Armed() {
+		var err error
+		if poison, err = injectFault[T](task); err != nil {
+			return err
+		}
+	}
 	switch task.Kind {
 	case core.KGEQRT:
 		a := src.TileAt(task.I, task.K)
@@ -160,18 +313,25 @@ func ExecTask[T vec.Scalar](src Source[T], d *core.DAG, t int32, ib int, ws []T)
 	default:
 		return fmt.Errorf("tiledqr: unknown task kind %v (task %d)", task.Kind, t)
 	}
+	if poison {
+		outTile(src, task).Data[0] = vec.FromParts[T](math.NaN(), math.NaN())
+	}
+	if check {
+		return checkTask(src, task)
+	}
 	return nil
 }
 
 // ExecTasks runs every task of the plan's DAG under env, dispatching
 // through ExecTask with the executing worker's own kernel workspace. The
-// first dispatch error or kernel panic cancels the job's outstanding tasks
-// and is returned promptly — the scheduler does not drain the rest of the
-// DAG first.
-func ExecTasks[T vec.Scalar](src Source[T], p *sched.Plan, env Env, trace bool, ib, wsLen int) (*sched.Trace, error) {
+// first dispatch error, kernel panic, health-check failure, or context
+// cancellation cancels the job's outstanding tasks and is returned
+// promptly — the scheduler does not drain the rest of the DAG first.
+func ExecTasks[T vec.Scalar](src Source[T], p *sched.Plan, env Env, opts RunOpts, ib, wsLen int) (*sched.Trace, error) {
 	d := p.DAG()
-	return env.run(p, trace, func(t int32, loc *sched.Local) error {
-		return ExecTask(src, d, t, ib, WorkerWS[T](loc, wsLen))
+	check := opts.Check
+	return env.run(p, opts, func(t int32, loc *sched.Local) error {
+		return ExecTask(src, d, t, ib, WorkerWS[T](loc, wsLen), check)
 	})
 }
 
@@ -180,8 +340,14 @@ func ExecTasks[T vec.Scalar](src Source[T], p *sched.Plan, env Env, trace bool, 
 // tile row i (1-based) and their row stride. trans replays Qᴴ in execution
 // order; !trans replays Q by walking the tasks backwards (task IDs are
 // topological). Update-kernel tasks (UNMQR/TSMQR/TTMQR) carry no new
-// reflectors and are skipped.
-func Replay[T vec.Scalar](src Source[T], d *core.DAG, trans bool, row func(i int) ([]T, int), nrhs, ib int, ws []T) {
+// reflectors and are skipped. A non-nil ctx cancels the replay at the next
+// task boundary, returning ctx.Err() — the partially transformed RHS is
+// then garbage, so callers must not serve it.
+func Replay[T vec.Scalar](ctx context.Context, src Source[T], d *core.DAG, trans bool, row func(i int) ([]T, int), nrhs, ib int, ws []T) error {
+	var cancelCh <-chan struct{}
+	if ctx != nil {
+		cancelCh = ctx.Done()
+	}
 	applyOne := func(task core.Task) {
 		switch task.Kind {
 		case core.KGEQRT:
@@ -204,15 +370,33 @@ func Replay[T vec.Scalar](src Source[T], d *core.DAG, trans bool, row func(i int
 				c1, ldc1, c2, ldc2, nrhs, ws)
 		}
 	}
+	canceled := func() bool {
+		if cancelCh == nil {
+			return false
+		}
+		select {
+		case <-cancelCh:
+			return true
+		default:
+			return false
+		}
+	}
 	if trans {
 		for _, task := range d.Tasks {
+			if canceled() {
+				return ctx.Err()
+			}
 			applyOne(task)
 		}
 	} else {
 		for t := len(d.Tasks) - 1; t >= 0; t-- {
+			if canceled() {
+				return ctx.Err()
+			}
 			applyOne(d.Tasks[t])
 		}
 	}
+	return nil
 }
 
 // Factorization is the generic one-shot tiled QR state: the factored tiles
@@ -233,7 +417,9 @@ type Factorization[T vec.Scalar] struct {
 	key     reuseKey
 	env     Env
 	traceOn bool
-	valid   bool // false between a failed execution and the next rebuild
+	checkOn bool
+	valid   bool  // false between a failed execution and the next rebuild
+	ferr    error // cause of the last failed execution, cleared on success
 	trace   *sched.Trace
 
 	workPool sync.Pool // scratch slices for ApplyQ/ApplyQT/SolveLS
@@ -267,6 +453,13 @@ func FactorInto[T vec.Scalar](f *Factorization[T], a *tile.Dense[T], cfg Config)
 		algorithm: cfg.Algorithm, kernels: cfg.Kernels, coreOpts: cfg.CoreOpts,
 		tileSize: cfg.TileSize, innerBlock: cfg.InnerBlock,
 	}
+	// Input validation happens before any state is touched: a rejected
+	// matrix leaves a previously valid factorization fully intact.
+	if cfg.CheckHealth {
+		if err := CheckFinite("input matrix", a); err != nil {
+			return err
+		}
+	}
 	// A factorization left invalid by a failed run never reuses its
 	// half-written storage: rebuild from scratch.
 	if f.mat == nil || !f.valid || f.key != key {
@@ -276,6 +469,7 @@ func FactorInto[T vec.Scalar](f *Factorization[T], a *tile.Dense[T], cfg Config)
 	}
 	f.env = cfg.Env
 	f.traceOn = cfg.Trace
+	f.checkOn = cfg.CheckHealth
 	f.trace = nil
 	// The reused arena is overwritten in place: a failed execution leaves
 	// half-factored tiles, so the factorization is marked invalid until a
@@ -287,26 +481,37 @@ func FactorInto[T vec.Scalar](f *Factorization[T], a *tile.Dense[T], cfg Config)
 	// run before any applier reads it, so no zeroing of reused storage is
 	// needed.
 	f.mat.CopyFrom(a)
-	trace, err := ExecTasks[T](f, f.plan, f.env, cfg.Trace, f.ib, f.wsLen)
+	trace, err := ExecTasks[T](f, f.plan, f.env,
+		RunOpts{Ctx: cfg.Ctx, Trace: cfg.Trace, Check: cfg.CheckHealth}, f.ib, f.wsLen)
 	if err != nil {
+		f.ferr = err
 		return err
 	}
 	f.valid = true
+	f.ferr = nil
 	f.trace = trace
 	return nil
 }
 
 // Refactor re-runs the factorization over new matrix data, reusing every
 // internal buffer when a has the shape of the previous factorization (the
-// zero-allocation serving path; a different shape rebuilds storage).
+// zero-allocation serving path; a different shape rebuilds storage). A
+// Refactor after a failed or cancelled execution rebuilds storage and, on
+// success, clears the sticky failure state.
 func (f *Factorization[T]) Refactor(a *tile.Dense[T]) error {
+	return f.RefactorCtx(nil, a)
+}
+
+// RefactorCtx is Refactor under a cancellation context: ctx applies to this
+// execution only and is never retained by the factorization.
+func (f *Factorization[T]) RefactorCtx(ctx context.Context, a *tile.Dense[T]) error {
 	if f.mat == nil {
 		return fmt.Errorf("tiledqr: Refactor on an empty factorization (use Factor first)")
 	}
 	cfg := Config{
 		Algorithm: f.key.algorithm, Kernels: f.key.kernels, CoreOpts: f.key.coreOpts,
 		TileSize: f.key.tileSize, InnerBlock: f.key.innerBlock, Env: f.env,
-		Trace: f.traceOn,
+		Trace: f.traceOn, Ctx: ctx, CheckHealth: f.checkOn,
 	}
 	return FactorInto(f, a, cfg)
 }
@@ -393,7 +598,19 @@ func (f *Factorization[T]) errInvalid(op string) error {
 	if f.valid {
 		return nil
 	}
+	if f.ferr != nil {
+		return fmt.Errorf("tiledqr: %s on an invalid factorization (the last factorization attempt failed: %w; re-run Factor, FactorInto or Refactor)", op, f.ferr)
+	}
 	return fmt.Errorf("tiledqr: %s on an invalid factorization (the last factorization attempt failed; re-run Factor or FactorInto)", op)
+}
+
+// Err returns the cause of the last failed execution (nil when the
+// factorization is valid) — the sticky error the accessors wrap.
+func (f *Factorization[T]) Err() error {
+	if f.valid {
+		return nil
+	}
+	return f.ferr
 }
 
 // R returns the min(m,n)×n upper triangular (trapezoidal) factor.
@@ -413,8 +630,9 @@ func (f *Factorization[T]) R() *tile.Dense[T] {
 }
 
 // Apply overwrites b (m×nrhs) with Qᴴ·b (trans) or Q·b by replaying the
-// factorization's transformations.
-func (f *Factorization[T]) Apply(b *tile.Dense[T], trans bool) error {
+// factorization's transformations. A non-nil ctx cancels the replay at a
+// task boundary; b is then partially transformed and must be discarded.
+func (f *Factorization[T]) Apply(ctx context.Context, b *tile.Dense[T], trans bool) error {
 	if err := f.errInvalid("ApplyQ"); err != nil {
 		return err
 	}
@@ -432,15 +650,14 @@ func (f *Factorization[T]) Apply(b *tile.Dense[T], trans bool) error {
 		v := b.View((i-1)*f.grid.NB, 0, f.grid.TileRows(i-1), nrhs)
 		return v.Data, v.Stride
 	}
-	Replay[T](f, f.dag, trans, row, nrhs, f.ib, ws)
-	return nil
+	return Replay[T](ctx, f, f.dag, trans, row, nrhs, f.ib, ws)
 }
 
 // Q returns the full m×m orthogonal (unitary) factor, built by applying Q
 // to the identity; O(m³) work — prefer ThinQ or Apply for large m.
 func (f *Factorization[T]) Q() *tile.Dense[T] {
 	q := tile.Identity[T](f.grid.M)
-	if err := f.Apply(q, false); err != nil {
+	if err := f.Apply(nil, q, false); err != nil {
 		panic(err) // identity always has the right shape
 	}
 	return q
@@ -454,7 +671,7 @@ func (f *Factorization[T]) ThinQ() *tile.Dense[T] {
 	for i := 0; i < k; i++ {
 		e.Set(i, i, 1)
 	}
-	if err := f.Apply(e, false); err != nil {
+	if err := f.Apply(nil, e, false); err != nil {
 		panic(err)
 	}
 	return e
@@ -462,8 +679,8 @@ func (f *Factorization[T]) ThinQ() *tile.Dense[T] {
 
 // SolveLS solves the least-squares problem min‖A·x − b‖₂ for each column of
 // b (m×nrhs), returning the n×nrhs solution. Requires m ≥ n and a
-// nonsingular R.
-func (f *Factorization[T]) SolveLS(b *tile.Dense[T]) (*tile.Dense[T], error) {
+// nonsingular R. A non-nil ctx cancels the Qᴴ·b replay at a task boundary.
+func (f *Factorization[T]) SolveLS(ctx context.Context, b *tile.Dense[T]) (*tile.Dense[T], error) {
 	if err := f.errInvalid("SolveLS"); err != nil {
 		return nil, err
 	}
@@ -478,7 +695,7 @@ func (f *Factorization[T]) SolveLS(b *tile.Dense[T]) (*tile.Dense[T], error) {
 		return nil, fmt.Errorf("tiledqr: SolveLS: b has %d rows, want %d", b.Rows, m)
 	}
 	qtb := b.Clone()
-	if err := f.Apply(qtb, true); err != nil {
+	if err := f.Apply(ctx, qtb, true); err != nil {
 		return nil, err
 	}
 	r := f.R()

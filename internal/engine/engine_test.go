@@ -37,7 +37,7 @@ func TestUnknownTaskKindReturnsError(t *testing.T) {
 	defer func() { d.Tasks[0].Kind = saved }()
 
 	ws := make([]float64, kernel.WorkLen(8, 4))
-	if err := ExecTask[float64](f, d, 0, 4, ws); err == nil {
+	if err := ExecTask[float64](f, d, 0, 4, ws, false); err == nil {
 		t.Error("ExecTask accepted an unknown task kind")
 	} else if !strings.Contains(err.Error(), "unknown task kind") {
 		t.Errorf("unexpected error: %v", err)
@@ -47,7 +47,7 @@ func TestUnknownTaskKindReturnsError(t *testing.T) {
 	// inline run and a parallel pool.
 	for _, env := range []Env{{Workers: 1}, {Workers: 2}} {
 		p := sched.NewPlan(d)
-		if _, err := ExecTasks[float64](f, p, env, false, 4, kernel.WorkLen(8, 4)); err == nil {
+		if _, err := ExecTasks[float64](f, p, env, RunOpts{}, 4, kernel.WorkLen(8, 4)); err == nil {
 			t.Errorf("ExecTasks (workers=%d) did not propagate the dispatch error", env.Workers)
 		} else if !strings.Contains(err.Error(), "unknown task kind") {
 			t.Errorf("unexpected ExecTasks error: %v", err)
@@ -175,10 +175,10 @@ func TestFailedRefactorInvalidates(t *testing.T) {
 		}()
 		f.R()
 	}()
-	if err := f.Apply(tile.NewDense[float64](24, 1), true); err == nil {
+	if err := f.Apply(nil, tile.NewDense[float64](24, 1), true); err == nil {
 		t.Error("Apply served a failed factorization")
 	}
-	if _, err := f.SolveLS(tile.NewDense[float64](24, 1)); err == nil {
+	if _, err := f.SolveLS(nil, tile.NewDense[float64](24, 1)); err == nil {
 		t.Error("SolveLS served a failed factorization")
 	}
 

@@ -1,0 +1,308 @@
+// Package fault is the deterministic fault-injection harness of the tiled
+// QR runtime: a process-global injector that can make a kernel task return
+// an error, panic, stall, or poison its output tile with NaN, at sites
+// selected by task kind, arithmetic precision, and match index. The chaos
+// test suite uses it to prove the failure-containment properties of the
+// shared runtime — one job's injected failure never corrupts or blocks a
+// concurrent job — and operators can arm it from the environment
+// (TILEDQR_FAULT) to rehearse failure handling in a staging deployment.
+//
+// The injector is deterministic: matching is by an atomic counter over the
+// tasks that satisfy the (kind, precision) filter, and the optional
+// probability mode draws from a seeded counter-keyed hash, so the same
+// configuration hits the same tasks on every run of a sequential execution
+// (parallel executions interleave counter increments, but the *number* of
+// injected faults is still exact for counted modes).
+//
+// When no configuration is armed the hot-path cost is one atomic pointer
+// load per task — nothing else, no allocation, no branch on configuration
+// fields.
+package fault
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tiledqr/internal/core"
+)
+
+// Mode is the failure a matched task suffers.
+type Mode int
+
+const (
+	// ModeError makes the task's kernel dispatch return an error.
+	ModeError Mode = iota
+	// ModePanic makes the task panic (exercising the runtime's panic
+	// containment, which converts it into a job error).
+	ModePanic
+	// ModeStall puts the task to sleep for Config.Stall before executing
+	// normally (slow-tenant simulation; pair with a context deadline).
+	ModeStall
+	// ModeNaN lets the kernel run, then overwrites the first element of the
+	// task's output tile with NaN (silent-poison simulation; pair with
+	// Options.CheckHealth to observe fail-fast detection).
+	ModeNaN
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeError:
+		return "error"
+	case ModePanic:
+		return "panic"
+	case ModeStall:
+		return "stall"
+	case ModeNaN:
+		return "nan"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// AnyKind matches every task kind.
+const AnyKind core.Kind = 0xff
+
+// Config selects which tasks are injected and what happens to them. The
+// zero value (with AnyKind/empty filters) injects ModeError into every
+// task; narrow it with the filters.
+type Config struct {
+	Mode Mode
+	// Kind restricts injection to one kernel kind (AnyKind = all).
+	Kind core.Kind
+	// Prec restricts injection to one arithmetic domain: "s", "d", "c", or
+	// "z" ("" = all).
+	Prec string
+	// Index triggers on the Index-th task (0-based) that passes the
+	// kind/precision filter, counted process-wide; -1 triggers on every
+	// match (subject to Prob).
+	Index int
+	// Times caps the number of injections (0 = unlimited).
+	Times int
+	// Stall is the sleep duration for ModeStall.
+	Stall time.Duration
+	// Prob, when in (0, 1), injects each filtered task independently with
+	// this probability, decided by a hash of (Seed, match counter) — a
+	// deterministic coin per site.
+	Prob float64
+	// Seed keys the Prob coin.
+	Seed uint64
+}
+
+// Action is what the execution layer must do to the current task.
+type Action struct {
+	Mode  Mode
+	Stall time.Duration
+}
+
+// armed holds the active configuration (nil = disarmed) plus its live
+// counters, swapped atomically so workers never lock.
+type armed struct {
+	cfg      Config
+	matches  atomic.Int64 // tasks that passed the kind/prec filter
+	injected atomic.Int64 // faults actually delivered
+}
+
+var (
+	current atomic.Pointer[armed]
+	envOnce sync.Once
+)
+
+// Armed reports whether any injection is configured — the one check on the
+// task hot path.
+func Armed() bool {
+	envOnce.Do(armFromEnv)
+	return current.Load() != nil
+}
+
+// Set arms the injector with cfg (the test hook). Counters start at zero.
+func Set(cfg Config) {
+	envOnce.Do(func() {}) // a test hook overrides the environment
+	a := &armed{cfg: cfg}
+	current.Store(a)
+}
+
+// Reset disarms the injector.
+func Reset() {
+	envOnce.Do(func() {})
+	current.Store(nil)
+}
+
+// Injected returns how many faults have been delivered since the last
+// Set/arm.
+func Injected() int64 {
+	if a := current.Load(); a != nil {
+		return a.injected.Load()
+	}
+	return 0
+}
+
+// splitmix64 is the deterministic coin behind Prob: a full-avalanche hash
+// of the seeded counter, so every site flips an independent, reproducible
+// coin without shared RNG state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Check decides whether the task described by (kind, prec) is injected,
+// returning the action to apply. Callers gate on Armed() first so the
+// disarmed hot path stays a single atomic load.
+func Check(kind core.Kind, prec string) (Action, bool) {
+	a := current.Load()
+	if a == nil {
+		return Action{}, false
+	}
+	cfg := &a.cfg
+	if cfg.Kind != AnyKind && cfg.Kind != kind {
+		return Action{}, false
+	}
+	if cfg.Prec != "" && cfg.Prec != prec {
+		return Action{}, false
+	}
+	m := a.matches.Add(1) - 1 // this task's 0-based match index
+	switch {
+	case cfg.Index >= 0:
+		if m != int64(cfg.Index) {
+			return Action{}, false
+		}
+	case cfg.Prob > 0 && cfg.Prob < 1:
+		coin := float64(splitmix64(cfg.Seed^uint64(m))>>11) / float64(1<<53)
+		if coin >= cfg.Prob {
+			return Action{}, false
+		}
+	}
+	if cfg.Times > 0 {
+		if a.injected.Add(1) > int64(cfg.Times) {
+			return Action{}, false
+		}
+	} else {
+		a.injected.Add(1)
+	}
+	return Action{Mode: cfg.Mode, Stall: cfg.Stall}, true
+}
+
+// Errorf builds the descriptive error a ModeError injection surfaces as.
+func Errorf(kind core.Kind, prec string) error {
+	return fmt.Errorf("tiledqr: fault injection: injected error in %v kernel (precision %q)", kind, prec)
+}
+
+// PanicMsg is the payload of a ModePanic injection.
+func PanicMsg(kind core.Kind, prec string) string {
+	return fmt.Sprintf("tiledqr: fault injection: injected panic in %v kernel (precision %q)", kind, prec)
+}
+
+// armFromEnv parses TILEDQR_FAULT once at first use. The syntax is
+// semicolon-separated key=value pairs:
+//
+//	TILEDQR_FAULT="mode=panic;kind=GEQRT;prec=d;index=3"
+//	TILEDQR_FAULT="mode=stall;stall=50ms;prob=0.01;seed=7"
+//
+// keys: mode (error|panic|stall|nan), kind (GEQRT|UNMQR|TSQRT|TSMQR|TTQRT|
+// TTMQR|any), prec (s|d|c|z), index (int, default -1 = every match), times
+// (int, 0 = unlimited), stall (duration), prob (float), seed (uint).
+// A malformed value disarms the injector and warns on stderr — a chaos
+// harness must never be silently misconfigured.
+func armFromEnv() {
+	spec := os.Getenv("TILEDQR_FAULT")
+	if spec == "" {
+		return
+	}
+	cfg, err := parseSpec(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tiledqr: ignoring TILEDQR_FAULT: %v\n", err)
+		return
+	}
+	current.Store(&armed{cfg: cfg})
+}
+
+// parseSpec parses the TILEDQR_FAULT syntax (exported to tests via the
+// internal package boundary).
+func parseSpec(spec string) (Config, error) {
+	cfg := Config{Kind: AnyKind, Index: -1}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return Config{}, fmt.Errorf("%q is not key=value", part)
+		}
+		switch key {
+		case "mode":
+			switch val {
+			case "error":
+				cfg.Mode = ModeError
+			case "panic":
+				cfg.Mode = ModePanic
+			case "stall":
+				cfg.Mode = ModeStall
+			case "nan":
+				cfg.Mode = ModeNaN
+			default:
+				return Config{}, fmt.Errorf("unknown mode %q", val)
+			}
+		case "kind":
+			if val == "any" {
+				cfg.Kind = AnyKind
+				break
+			}
+			found := false
+			for k := core.KGEQRT; k <= core.KTTMQR; k++ {
+				if k.String() == val {
+					cfg.Kind, found = k, true
+					break
+				}
+			}
+			if !found {
+				return Config{}, fmt.Errorf("unknown kind %q", val)
+			}
+		case "prec":
+			switch val {
+			case "s", "d", "c", "z":
+				cfg.Prec = val
+			default:
+				return Config{}, fmt.Errorf("unknown precision %q (want s, d, c or z)", val)
+			}
+		case "index":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return Config{}, fmt.Errorf("index: %v", err)
+			}
+			cfg.Index = n
+		case "times":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return Config{}, fmt.Errorf("times: %v", err)
+			}
+			cfg.Times = n
+		case "stall":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return Config{}, fmt.Errorf("stall: %v", err)
+			}
+			cfg.Stall = d
+		case "prob":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Config{}, fmt.Errorf("prob: %v", err)
+			}
+			cfg.Prob = p
+		case "seed":
+			s, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return Config{}, fmt.Errorf("seed: %v", err)
+			}
+			cfg.Seed = s
+		default:
+			return Config{}, fmt.Errorf("unknown key %q", key)
+		}
+	}
+	return cfg, nil
+}

@@ -23,10 +23,15 @@
 // error (kernel dispatch failure or panic) cancels the job: queued tasks
 // of that job are dropped instead of executed, no new successors are
 // released, and the submitter is unblocked as soon as the job's in-flight
-// tasks drain — it never waits for the rest of the DAG.
+// tasks drain — it never waits for the rest of the DAG. Cancelling the
+// job's context (Options.Ctx) takes the same path with ctx.Err() as the
+// job error, so an abandoned factorization stops consuming workers as
+// soon as its in-flight tasks finish, while every other job keeps running
+// untouched.
 package sched
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -39,6 +44,14 @@ import (
 
 // NumLocalSlots is the number of opaque scratch slots in a Local.
 const NumLocalSlots = 8
+
+// ErrClosed and ErrDraining are returned by Exec when the runtime no
+// longer admits jobs; submitting never hangs or panics, whatever state the
+// runtime is in.
+var (
+	ErrClosed   = fmt.Errorf("sched: submit on a closed runtime")
+	ErrDraining = fmt.Errorf("sched: submit on a draining runtime")
+)
 
 // Local is the per-worker scratch box handed to Exec callbacks. Exactly one
 // task uses a given Local at a time (pool workers own one each; inline runs
@@ -318,9 +331,11 @@ type Runtime struct {
 
 	mu       sync.Mutex
 	closed   bool
-	active   []*job         // jobs in flight, for the admission vt floor
-	inflight sync.WaitGroup // jobs submitted and not yet completed
-	wg       sync.WaitGroup // worker goroutines
+	draining bool
+	inflight int             // jobs submitted and not yet completed
+	idlers   []chan struct{} // waiters (Close/Drain) signaled when inflight hits 0
+	active   []*job          // jobs in flight, for the admission vt floor
+	wg       sync.WaitGroup  // worker goroutines
 	seq      atomic.Uint64
 	isDef    bool
 }
@@ -368,8 +383,9 @@ func Default() *Runtime {
 func (rt *Runtime) Workers() int { return rt.workers }
 
 // Close waits for in-flight jobs to complete, then stops every worker and
-// waits for them to exit. Further Exec calls return an error. Closing the
-// Default runtime is a no-op.
+// waits for them to exit. Further Exec calls return an error. Close is
+// idempotent: concurrent and repeated calls all block until the workers
+// are gone and then return. Closing the Default runtime is a no-op.
 func (rt *Runtime) Close() {
 	if rt.isDef {
 		return
@@ -382,9 +398,65 @@ func (rt *Runtime) Close() {
 	}
 	rt.closed = true
 	rt.mu.Unlock()
-	rt.inflight.Wait()
+	rt.awaitIdle(nil)
 	close(rt.shutdown)
 	rt.wg.Wait()
+}
+
+// Drain gracefully winds the runtime down: admission stops (further Exec
+// calls return an error) and Drain blocks until every in-flight job has
+// completed or ctx expires, returning ctx.Err() in the latter case — the
+// deadline-bounded shutdown a serving front end needs. Jobs still running
+// at the deadline keep running (cancel them through their own contexts);
+// a subsequent Close reaps the workers. On the Default runtime Drain only
+// waits for the runtime to go idle — the process-wide pool never refuses
+// admission.
+func (rt *Runtime) Drain(ctx context.Context) error {
+	if !rt.isDef {
+		rt.mu.Lock()
+		rt.draining = true
+		rt.mu.Unlock()
+	}
+	return rt.awaitIdle(ctx)
+}
+
+// awaitIdle blocks until no job is in flight, or until ctx (when non-nil)
+// is done. Waiters register a channel closed by the job that takes
+// inflight to zero, so an expired wait leaves nothing behind but an
+// already-registered channel — no polling, no helper goroutine to leak.
+func (rt *Runtime) awaitIdle(ctx context.Context) error {
+	rt.mu.Lock()
+	if rt.inflight == 0 {
+		rt.mu.Unlock()
+		return nil
+	}
+	ch := make(chan struct{})
+	rt.idlers = append(rt.idlers, ch)
+	rt.mu.Unlock()
+	if ctx == nil {
+		<-ch
+		return nil
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// jobDone retires one in-flight job, waking Close/Drain waiters when the
+// runtime goes idle.
+func (rt *Runtime) jobDone() {
+	rt.mu.Lock()
+	rt.inflight--
+	if rt.inflight == 0 {
+		for _, ch := range rt.idlers {
+			close(ch)
+		}
+		rt.idlers = nil
+	}
+	rt.mu.Unlock()
 }
 
 // wakeOne mints a wake token if any worker is parked. The channel holds at
@@ -401,20 +473,41 @@ func (rt *Runtime) wakeOne() {
 }
 
 // Exec runs every task of the plan's DAG on the pool, honoring
-// dependencies, and blocks until the job completes or is canceled by a
-// task error. Safe for concurrent use from any number of goroutines; each
-// call is an independent job under the fair cross-job discipline. The
-// returned Trace has Spans only when opt.Trace is set.
+// dependencies, and blocks until the job completes, is canceled by a task
+// error, or is canceled by Options.Ctx. Safe for concurrent use from any
+// number of goroutines; each call is an independent job under the fair
+// cross-job discipline. The returned Trace has Spans only when opt.Trace
+// is set.
+//
+// On cancellation (task error, panic, or context) the job's in-flight
+// tasks run to completion, its queued tasks are dropped un-executed, and
+// Exec returns as soon as the in-flight tasks drain — dropped tasks never
+// touch the Plan's dependency counters, so the Plan may be re-submitted
+// immediately even while its dropped tasks are still being swept out of
+// the worker deques.
 func (rt *Runtime) Exec(p *Plan, opt Options, exec Exec) (*Trace, error) {
 	rt.mu.Lock()
-	if rt.closed {
+	switch {
+	case rt.closed:
 		rt.mu.Unlock()
-		return nil, fmt.Errorf("sched: Exec on closed runtime")
+		return nil, ErrClosed
+	case rt.draining:
+		rt.mu.Unlock()
+		return nil, ErrDraining
 	}
-	rt.inflight.Add(1)
+	rt.inflight++
 	rt.mu.Unlock()
-	defer rt.inflight.Done()
+	defer rt.jobDone()
 
+	var cancelCh <-chan struct{}
+	if opt.Ctx != nil {
+		// A context that is already dead never submits: the caller gets
+		// ctx.Err() without a single task executing.
+		if err := opt.Ctx.Err(); err != nil {
+			return nil, err
+		}
+		cancelCh = opt.Ctx.Done()
+	}
 	n := p.d.NumTasks()
 	if n == 0 {
 		return &Trace{Workers: rt.workers}, nil
@@ -469,7 +562,24 @@ func (rt *Runtime) Exec(p *Plan, opt Options, exec Exec) (*Trace, error) {
 	for k := 0; k < rt.workers && k < len(p.sources); k++ {
 		rt.wakeOne()
 	}
-	<-j.done
+	if cancelCh == nil {
+		<-j.done
+	} else {
+		select {
+		case <-j.done:
+		case <-cancelCh:
+			j.fail(opt.Ctx.Err())
+			// With no task inside exec the workers may take a while to
+			// sweep the dropped tasks; complete the job now so the
+			// submitter unblocks immediately. Any worker that raced past
+			// the cancel flag completes it again harmlessly (doneOnce),
+			// and has already made the job visible in `executing`.
+			if j.executing.Load() == 0 {
+				j.complete()
+			}
+			<-j.done
+		}
+	}
 	tr := &Trace{Workers: rt.workers, Elapsed: time.Since(j.start)}
 	if opt.Trace {
 		j.spansMu.Lock()
@@ -603,16 +713,30 @@ var inlineLocals = sync.Pool{New: func() any { return &Local{} }}
 // RunInline executes every task of the DAG sequentially in topological
 // (ID) order on the calling goroutine: the deterministic Workers == 1 path,
 // also used for DAGs too small to be worth a cross-goroutine hop. Stops at
-// the first task error or panic.
-func RunInline(d *core.DAG, trace bool, exec Exec) (*Trace, error) {
+// the first task error or panic, and — when ctx is non-nil — at the first
+// task boundary after ctx is done, returning ctx.Err(). A nil (or
+// never-canceled background) ctx costs nothing per task.
+func RunInline(ctx context.Context, d *core.DAG, trace bool, exec Exec) (*Trace, error) {
 	loc := inlineLocals.Get().(*Local)
 	defer inlineLocals.Put(loc)
+	var cancelCh <-chan struct{}
+	if ctx != nil {
+		cancelCh = ctx.Done()
+	}
 	start := time.Now()
 	tr := &Trace{Workers: 1}
 	if trace {
 		tr.Spans = make([]Span, 0, d.NumTasks())
 	}
 	for t := 0; t < d.NumTasks(); t++ {
+		if cancelCh != nil {
+			select {
+			case <-cancelCh:
+				tr.Elapsed = time.Since(start)
+				return tr, ctx.Err()
+			default:
+			}
+		}
 		var t0 time.Duration
 		if trace {
 			t0 = time.Since(start)

@@ -13,6 +13,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -42,6 +43,10 @@ type Options struct {
 	Workers int
 	// Trace enables per-task span recording.
 	Trace bool
+	// Ctx, when non-nil, cancels the job: in-flight tasks finish, queued
+	// tasks are dropped, and the submitter gets ctx.Err(). nil means the
+	// job runs to completion or first task error.
+	Ctx context.Context
 }
 
 // Priorities returns the critical-path priority of every task: its Table 1
@@ -85,11 +90,11 @@ func Run(d *core.DAG, opt Options, exec func(task int32, worker int)) (*Trace, e
 		return &Trace{Workers: workers}, nil
 	}
 	if workers == 1 {
-		return RunInline(d, opt.Trace, wrapped)
+		return RunInline(opt.Ctx, d, opt.Trace, wrapped)
 	}
 	rt := NewRuntime(workers)
 	defer rt.Close()
-	return rt.Exec(NewPlan(d), Options{Trace: opt.Trace}, wrapped)
+	return rt.Exec(NewPlan(d), Options{Trace: opt.Trace, Ctx: opt.Ctx}, wrapped)
 }
 
 // Validate checks that a trace respects every DAG dependency (each task

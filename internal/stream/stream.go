@@ -14,6 +14,7 @@
 package stream
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -41,6 +42,13 @@ type Core[T vec.Scalar] struct {
 	n, nb, ib int
 	env       engine.Env
 	kernels   core.Kernels
+	check     bool // Options.CheckHealth: validate batches, fail fast on breakdown
+
+	// err is the stream's sticky failure: a merge that errors, panics, or is
+	// cancelled mid-DAG leaves the resident triangle (and Qᵀb) partially
+	// transformed, so every later operation refuses with the original cause.
+	// There is no recovery path — a poisoned stream must be replaced.
+	err error
 
 	grid tile.Grid       // q×q resident grid over the n×n triangle
 	res  []tile.Dense[T] // row-major q×q; only tiles with i ≤ k are allocated
@@ -69,7 +77,8 @@ type Core[T vec.Scalar] struct {
 
 // NewCore creates the streaming state for an n-column system. env selects
 // where merge DAGs execute (shared runtime, per-call pool, or inline).
-func NewCore[T vec.Scalar](n, nb, ib int, kernels core.Kernels, env engine.Env) (*Core[T], error) {
+// check enables batch input validation and the breakdown fail-fast.
+func NewCore[T vec.Scalar](n, nb, ib int, kernels core.Kernels, env engine.Env, check bool) (*Core[T], error) {
 	if n < 1 {
 		return nil, fmt.Errorf("tiledqr: stream: need at least one column (n=%d)", n)
 	}
@@ -78,7 +87,7 @@ func NewCore[T vec.Scalar](n, nb, ib int, kernels core.Kernels, env engine.Env) 
 	}
 	g := tile.NewGrid(n, n, nb)
 	c := &Core[T]{
-		n: n, nb: nb, ib: ib, env: env, kernels: kernels,
+		n: n, nb: nb, ib: ib, env: env, kernels: kernels, check: check,
 		grid:  g,
 		res:   make([]tile.Dense[T], g.Q*g.Q),
 		plans: make(map[int]*sched.Plan),
@@ -95,6 +104,18 @@ func NewCore[T vec.Scalar](n, nb, ib int, kernels core.Kernels, env engine.Env) 
 
 // N returns the column count of the streamed system.
 func (c *Core[T]) N() int { return c.n }
+
+// Err returns the stream's sticky failure (nil while healthy). Once a merge
+// errors, panics, or is cancelled mid-DAG, the retained state is partially
+// transformed: every later append and result accessor fails with this cause,
+// and there is no recovery path — a poisoned stream must be replaced.
+func (c *Core[T]) Err() error { return c.err }
+
+// poisoned records a failure that left retained state partially transformed.
+func (c *Core[T]) poisoned(err error) error {
+	c.err = fmt.Errorf("tiledqr: stream failed (a previous append did not complete: %w); results are unavailable and further appends are unsupported", err)
+	return c.err
+}
 
 // Rows returns the total number of rows ingested so far.
 func (c *Core[T]) Rows() int64 { return c.rows }
@@ -234,8 +255,13 @@ func (c *Core[T]) allocT(d *core.DAG, bv *batchView[T]) {
 // matching r×nrhs RHS rows (stride ldr) into the retained Qᵀb block. The
 // caller's slices are never modified. rhs must be nil exactly when the
 // stream tracks no RHS; tracking is decided by the first append. Append is
-// not safe for concurrent use.
-func (c *Core[T]) Append(r int, data []T, ld int, rhs []T, ldr, nrhs int) error {
+// not safe for concurrent use. A non-nil ctx cancels the merge: validation
+// failures leave the stream intact, but a cancellation (or task failure)
+// once the merge DAG is running poisons the stream permanently.
+func (c *Core[T]) Append(ctx context.Context, r int, data []T, ld int, rhs []T, ldr, nrhs int) error {
+	if c.err != nil {
+		return c.err
+	}
 	if r < 1 {
 		return fmt.Errorf("tiledqr: stream: batch must have at least one row")
 	}
@@ -246,6 +272,14 @@ func (c *Core[T]) Append(r int, data []T, ld int, rhs []T, ldr, nrhs int) error 
 		if nrhs < 1 {
 			return fmt.Errorf("tiledqr: stream: right-hand side must have at least one column")
 		}
+		// Input validation precedes every retained-state mutation: a
+		// rejected batch leaves the stream healthy and serving results.
+		if c.check {
+			if err := engine.CheckFinite("appended right-hand side",
+				&tile.Dense[T]{Rows: r, Cols: nrhs, Stride: ldr, Data: rhs}); err != nil {
+				return err
+			}
+		}
 		switch {
 		case c.nrhs == 0 && c.rows > 0:
 			return fmt.Errorf("tiledqr: stream: right-hand sides must be supplied from the first batch onwards")
@@ -254,6 +288,12 @@ func (c *Core[T]) Append(r int, data []T, ld int, rhs []T, ldr, nrhs int) error 
 			c.qtb = make([]T, c.n*nrhs)
 		case nrhs != c.nrhs:
 			return fmt.Errorf("tiledqr: stream: right-hand side has %d columns, want %d", nrhs, c.nrhs)
+		}
+	}
+	if c.check {
+		if err := engine.CheckFinite("appended batch",
+			&tile.Dense[T]{Rows: r, Cols: c.n, Stride: ld, Data: data}); err != nil {
+			return err
 		}
 	}
 
@@ -269,11 +309,16 @@ func (c *Core[T]) Append(r int, data []T, ld int, rhs []T, ldr, nrhs int) error 
 		// them inline on the appending goroutine.
 		env = engine.Env{Workers: 1}
 	}
-	if _, err := engine.ExecTasks[T](c, p, env, false, c.ib, len(c.rws)); err != nil {
-		return err
+	if _, err := engine.ExecTasks[T](c, p, env,
+		engine.RunOpts{Ctx: ctx, Check: c.check}, c.ib, len(c.rws)); err != nil {
+		// The merge DAG mutates the resident triangle in place, so any
+		// failure past this point leaves it partially transformed: poison.
+		return c.poisoned(err)
 	}
 	if c.nrhs > 0 {
-		c.applyRHS(d, r, rhs, ldr)
+		if err := c.applyRHS(ctx, d, r, rhs, ldr); err != nil {
+			return c.poisoned(err)
+		}
 	}
 	c.rows += int64(r)
 	return nil
@@ -284,7 +329,7 @@ func (c *Core[T]) Append(r int, data []T, ld int, rhs []T, ldr, nrhs int) error 
 // topological). The batch rows' leftover components are exactly the Qᵀb
 // coordinates orthogonal to the retained top block; their squared norm
 // accumulates into the running least-squares residual.
-func (c *Core[T]) applyRHS(d *core.DAG, r int, rhs []T, ldr int) {
+func (c *Core[T]) applyRHS(ctx context.Context, d *core.DAG, r int, rhs []T, ldr int) error {
 	nrhs := c.nrhs
 	c.rhsScratch = grow(c.rhsScratch, r*nrhs)
 	scratch := c.rhsScratch
@@ -298,10 +343,13 @@ func (c *Core[T]) applyRHS(d *core.DAG, r int, rhs []T, ldr int) {
 		}
 		return scratch[(i-c.grid.Q-1)*c.nb*nrhs:], nrhs
 	}
-	engine.Replay[T](c, d, true, row, nrhs, c.ib, c.rws)
+	if err := engine.Replay[T](ctx, c, d, true, row, nrhs, c.ib, c.rws); err != nil {
+		return err
+	}
 	for _, v := range scratch {
 		c.resid2 += vec.Abs2(v)
 	}
+	return nil
 }
 
 // CopyR writes the resident upper triangular factor into dst (n×n, row
@@ -336,6 +384,9 @@ func (c *Core[T]) CopyQTB(dst []T, ld int) {
 // SolveLS back-substitutes the resident triangle against the retained Qᵀb,
 // writing the n×nrhs least-squares solution to x (row stride ldx).
 func (c *Core[T]) SolveLS(x []T, ldx int) error {
+	if c.err != nil {
+		return c.err
+	}
 	if c.nrhs == 0 {
 		return fmt.Errorf("tiledqr: SolveLS: stream tracks no right-hand side (ingest batches with AppendRHS)")
 	}

@@ -163,6 +163,15 @@ type Options struct {
 	BS      int // PlasmaTree domain size, 1..p
 	GrasapK int // Grasap: number of trailing Asap columns
 	Trace   bool
+
+	// CheckHealth enables numerical health checking: inputs (matrices,
+	// batches, right-hand sides) are rejected up front when they contain
+	// NaN or Inf entries, and every kernel task fails fast when it writes a
+	// non-finite value into a tile, stopping the DAG at the first breakdown
+	// (a NaN reflector, an overflow to Inf) instead of letting the poison
+	// flow downstream. Off by default — the happy path pays nothing for the
+	// feature.
+	CheckHealth bool
 }
 
 // WithRuntime returns a copy of the options that executes on rt. It is

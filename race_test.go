@@ -5,3 +5,7 @@ package tiledqr
 // raceEnabled reports whether the race detector instruments this build;
 // wall-clock performance assertions skip themselves under it.
 const raceEnabled = true
+
+// raceFactor scales timing budgets in latency assertions (instrumented
+// kernels run several times slower under the race detector).
+const raceFactor = 10

@@ -1,6 +1,7 @@
 package tiledqr
 
 import (
+	"context"
 	"sync"
 
 	"tiledqr/internal/sched"
@@ -54,5 +55,22 @@ func (rt *Runtime) Workers() int { return rt.s.Workers() }
 
 // Close waits for in-flight factorizations to complete, then stops the
 // workers and waits for them to exit; afterwards submitting to the runtime
-// fails. Closing the DefaultRuntime is a no-op.
+// fails with ErrRuntimeClosed (it never hangs). Close is idempotent:
+// calling it twice is safe. Closing the DefaultRuntime is a no-op.
 func (rt *Runtime) Close() { rt.s.Close() }
+
+// Drain gracefully quiesces the runtime: new submissions are rejected with
+// ErrRuntimeDraining and Drain waits — bounded by ctx — for every in-flight
+// factorization to complete. It returns nil once the runtime is idle, or
+// ctx.Err() if the deadline expires first (in-flight work keeps running; a
+// later Drain or Close can wait for it again). Draining the DefaultRuntime
+// waits for idleness but never rejects submissions — it lives for the
+// process. A nil ctx waits without bound.
+func (rt *Runtime) Drain(ctx context.Context) error { return rt.s.Drain(ctx) }
+
+// ErrRuntimeClosed and ErrRuntimeDraining report submissions to a Runtime
+// that is no longer accepting work; match them with errors.Is.
+var (
+	ErrRuntimeClosed   = sched.ErrClosed
+	ErrRuntimeDraining = sched.ErrDraining
+)

@@ -114,7 +114,17 @@ func TestSharedRuntimeConcurrentStress(t *testing.T) {
 						errs <- err
 						return
 					}
-					if !equalData(s.R().Data, sr.R().Data) {
+					sR, err := s.R()
+					if err != nil {
+						errs <- err
+						return
+					}
+					srR, err := sr.R()
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !equalData(sR.Data, srR.Data) {
 						errs <- fmt.Errorf("g%d rep%d: complex64 stream shared R differs", g, rep)
 						return
 					}

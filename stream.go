@@ -1,6 +1,7 @@
 package tiledqr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -42,7 +43,7 @@ func newStreamCore[T vec.Scalar](n int, opt Options) (*stream.Core[T], error) {
 		return nil, err
 	}
 	return stream.NewCore[T](n, opt.TileSize, opt.InnerBlock,
-		opt.Kernels.core(), opt.execEnv())
+		opt.Kernels.core(), opt.execEnv(), opt.CheckHealth)
 }
 
 // errEmptyBatch and errNilRHS are the shape errors shared by every
@@ -54,8 +55,11 @@ var (
 
 // streamAppend validates and funnels one batch (with or without a
 // right-hand side) into the generic reduction core — the single body
-// behind every precision's AppendRows/AppendRHS.
-func streamAppend[T vec.Scalar](c *stream.Core[T], batch, rhs *tile.Dense[T], withRHS bool) error {
+// behind every precision's AppendRows/AppendRHS and their Ctx variants.
+func streamAppend[T vec.Scalar](ctx context.Context, c *stream.Core[T], batch, rhs *tile.Dense[T], withRHS bool) error {
+	if err := c.Err(); err != nil {
+		return err
+	}
 	if batch == nil || batch.Rows < 1 {
 		return errEmptyBatch
 	}
@@ -63,7 +67,7 @@ func streamAppend[T vec.Scalar](c *stream.Core[T], batch, rhs *tile.Dense[T], wi
 		return fmt.Errorf("tiledqr: stream: batch has %d columns, stream has %d", batch.Cols, c.N())
 	}
 	if !withRHS {
-		return c.Append(batch.Rows, batch.Data, batch.Stride, nil, 0, 0)
+		return c.Append(ctx, batch.Rows, batch.Data, batch.Stride, nil, 0, 0)
 	}
 	if rhs == nil {
 		return errNilRHS
@@ -71,7 +75,7 @@ func streamAppend[T vec.Scalar](c *stream.Core[T], batch, rhs *tile.Dense[T], wi
 	if rhs.Rows != batch.Rows {
 		return fmt.Errorf("tiledqr: stream: right-hand side has %d rows, batch has %d", rhs.Rows, batch.Rows)
 	}
-	return c.Append(batch.Rows, batch.Data, batch.Stride, rhs.Data, rhs.Stride, rhs.Cols)
+	return c.Append(ctx, batch.Rows, batch.Data, batch.Stride, rhs.Data, rhs.Stride, rhs.Cols)
 }
 
 // StreamQR is an incremental (streaming) tiled QR factorization: rows
@@ -113,7 +117,14 @@ func NewStream(n int, opt Options) (*StreamQR, error) {
 // triangle. The batch is not modified. Returns an error if the stream
 // tracks right-hand sides (use AppendRHS so Qᵀb stays consistent).
 func (s *StreamQR) AppendRows(batch *Dense) error {
-	return streamAppend(s.c, (*tile.Dense[float64])(batch), nil, false)
+	return streamAppend(nil, s.c, (*tile.Dense[float64])(batch), nil, false)
+}
+
+// AppendRowsCtx is AppendRows under a cancellation context: a merge
+// cancelled mid-DAG leaves the resident triangle partially transformed, so
+// the stream fails permanently (see Err). A nil ctx behaves like AppendRows.
+func (s *StreamQR) AppendRowsCtx(ctx context.Context, batch *Dense) error {
+	return streamAppend(ctx, s.c, (*tile.Dense[float64])(batch), nil, false)
 }
 
 // AppendRHS merges a batch of rows together with the matching right-hand
@@ -121,27 +132,48 @@ func (s *StreamQR) AppendRows(batch *Dense) error {
 // Right-hand sides must be supplied from the first batch onwards and keep
 // the same column count; neither argument is modified.
 func (s *StreamQR) AppendRHS(batch, rhs *Dense) error {
-	return streamAppend(s.c, (*tile.Dense[float64])(batch), (*tile.Dense[float64])(rhs), true)
+	return streamAppend(nil, s.c, (*tile.Dense[float64])(batch), (*tile.Dense[float64])(rhs), true)
 }
 
+// AppendRHSCtx is AppendRHS under a cancellation context (see
+// AppendRowsCtx).
+func (s *StreamQR) AppendRHSCtx(ctx context.Context, batch, rhs *Dense) error {
+	return streamAppend(ctx, s.c, (*tile.Dense[float64])(batch), (*tile.Dense[float64])(rhs), true)
+}
+
+// Err returns the stream's sticky failure: nil while the stream is healthy,
+// and the original cause once an append failed, panicked, or was cancelled
+// mid-merge. A failed stream's retained state is partially transformed, so
+// every accessor and later append returns this error; further appends are
+// unsupported — replace the stream.
+func (s *StreamQR) Err() error { return s.c.Err() }
+
 // R returns the n×n upper triangular factor of all rows ingested so far.
-// It equals (up to row signs) the R of a one-shot Factor over the same rows.
-func (s *StreamQR) R() *Dense {
+// It equals (up to row signs) the R of a one-shot Factor over the same
+// rows. After a failed append, R returns the append's original error.
+func (s *StreamQR) R() (*Dense, error) {
+	if err := s.c.Err(); err != nil {
+		return nil, err
+	}
 	n := s.c.N()
 	r := NewDense(n, n)
 	s.c.CopyR(r.Data, r.Stride)
-	return r
+	return r, nil
 }
 
 // QTB returns the retained top n rows of Qᵀb (n×nrhs), or nil when the
-// stream tracks no right-hand side.
-func (s *StreamQR) QTB() *Dense {
+// stream tracks no right-hand side. After a failed append, QTB returns the
+// append's original error.
+func (s *StreamQR) QTB() (*Dense, error) {
+	if err := s.c.Err(); err != nil {
+		return nil, err
+	}
 	if s.c.NRHS() == 0 {
-		return nil
+		return nil, nil
 	}
 	q := NewDense(s.c.N(), s.c.NRHS())
 	s.c.CopyQTB(q.Data, q.Stride)
-	return q
+	return q, nil
 }
 
 // SolveLS returns the n×nrhs least-squares solution min‖A·x − b‖₂ over
@@ -164,8 +196,14 @@ func (s *StreamQR) N() int { return s.c.N() }
 // ResidualNorm returns the running least-squares residual of the ingested
 // system: ‖b − A·X‖_F over all tracked right-hand-side columns (0 when no
 // RHS is tracked). The components of Qᵀb rotated beyond the retained top
-// block accumulate here instead of being stored.
-func (s *StreamQR) ResidualNorm() float64 { return s.c.ResidualNorm() }
+// block accumulate here instead of being stored. After a failed append,
+// ResidualNorm returns the append's original error.
+func (s *StreamQR) ResidualNorm() (float64, error) {
+	if err := s.c.Err(); err != nil {
+		return 0, err
+	}
+	return s.c.ResidualNorm(), nil
+}
 
 // Footprint returns the number of float64 values retained across appends —
 // the O(n² + batch) bound made observable for tests and capacity planning.

@@ -121,7 +121,11 @@ func TestStreamMatchesFactor(t *testing.T) {
 					if s.Rows() != int64(sh.m) {
 						t.Fatalf("ingested %d rows, want %d", s.Rows(), sh.m)
 					}
-					if d := maxUpperDiffSigned(s.R(), rRef, sh.n); d > 1e-12 {
+					sR, err := s.R()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if d := maxUpperDiffSigned(sR, rRef, sh.n); d > 1e-12 {
 						t.Errorf("%v/%v %dx%d %s: stream R differs from Factor R by %.3e", alg, kern, sh.m, sh.n, pattern, d)
 					}
 					x, err := s.SolveLS()
@@ -173,7 +177,10 @@ func TestZStreamMatchesFactor(t *testing.T) {
 			}
 			r0 += k
 		}
-		rs := s.R()
+		rs, err := s.R()
+		if err != nil {
+			t.Fatal(err)
+		}
 		var worstR float64
 		for i := 0; i < n; i++ {
 			sign := complex(1, 0)
@@ -266,7 +273,11 @@ func TestStreamResidualNorm(t *testing.T) {
 		res.Set(i, 0, b.At(i, 0)-res.At(i, 0))
 	}
 	want := FrobeniusNorm(res)
-	if got := s.ResidualNorm(); math.Abs(got-want) > 1e-10*math.Max(1, want) {
+	got, err := s.ResidualNorm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-10*math.Max(1, want) {
 		t.Fatalf("running residual %.12e, direct residual %.12e", got, want)
 	}
 }
@@ -296,8 +307,8 @@ func TestStreamErrors(t *testing.T) {
 	if _, err := s.SolveLS(); err == nil {
 		t.Error("SolveLS without RHS tracking should fail")
 	}
-	if s.QTB() != nil {
-		t.Error("QTB should be nil without RHS tracking")
+	if q, err := s.QTB(); err != nil || q != nil {
+		t.Errorf("QTB should be (nil, nil) without RHS tracking, got (%v, %v)", q, err)
 	}
 	// Rows-only stream cannot start RHS tracking later.
 	if err := s.AppendRows(RandomDense(4, 8, 2)); err != nil {
@@ -386,10 +397,14 @@ func TestStreamRowsOnly(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if d := maxUpperDiffSigned(s.R(), f.R(), n); d > 1e-12 {
+	sR, err := s.R()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxUpperDiffSigned(sR, f.R(), n); d > 1e-12 {
 		t.Fatalf("rows-only stream R differs by %.3e", d)
 	}
-	if s.ResidualNorm() != 0 {
-		t.Fatalf("rows-only stream should report zero residual")
+	if resid, err := s.ResidualNorm(); err != nil || resid != 0 {
+		t.Fatalf("rows-only stream should report zero residual, got (%v, %v)", resid, err)
 	}
 }

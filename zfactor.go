@@ -1,6 +1,8 @@
 package tiledqr
 
 import (
+	"context"
+
 	"tiledqr/internal/engine"
 	"tiledqr/internal/sched"
 	"tiledqr/internal/tile"
@@ -17,7 +19,13 @@ type ZFactorization struct {
 // FactorComplex computes the tiled QR factorization A = Q·R of an m×n
 // complex matrix. A is not modified.
 func FactorComplex(a *ZDense, opt Options) (*ZFactorization, error) {
-	e, err := factorEngine((*tile.Dense[complex128])(a), opt)
+	return FactorComplexCtx(nil, a, opt)
+}
+
+// FactorComplexCtx is FactorComplex under a cancellation context (see
+// FactorCtx).
+func FactorComplexCtx(ctx context.Context, a *ZDense, opt Options) (*ZFactorization, error) {
+	e, err := factorEngine(ctx, (*tile.Dense[complex128])(a), opt)
 	if err != nil {
 		return nil, err
 	}
@@ -28,10 +36,16 @@ func FactorComplex(a *ZDense, opt Options) (*ZFactorization, error) {
 // structural options match the previous factorization (see FactorInto).
 // f may be a zero &ZFactorization{}.
 func ZFactorInto(f *ZFactorization, a *ZDense, opt Options) error {
+	return ZFactorIntoCtx(nil, f, a, opt)
+}
+
+// ZFactorIntoCtx is ZFactorInto under a cancellation context (see
+// FactorIntoCtx).
+func ZFactorIntoCtx(ctx context.Context, f *ZFactorization, a *ZDense, opt Options) error {
 	if f.e == nil {
 		f.e = new(engine.Factorization[complex128])
 	}
-	return factorEngineInto(f.e, (*tile.Dense[complex128])(a), opt)
+	return factorEngineInto(ctx, f.e, (*tile.Dense[complex128])(a), opt)
 }
 
 // Refactor re-runs the factorization over new matrix data with the same
@@ -44,17 +58,46 @@ func (f *ZFactorization) Refactor(a *ZDense) error {
 	return f.e.Refactor((*tile.Dense[complex128])(a))
 }
 
+// RefactorCtx is Refactor under a cancellation context (see FactorCtx).
+func (f *ZFactorization) RefactorCtx(ctx context.Context, a *ZDense) error {
+	if f.e == nil {
+		return errRefactorEmpty
+	}
+	return f.e.RefactorCtx(ctx, (*tile.Dense[complex128])(a))
+}
+
+// Err returns the cause of the last failed or cancelled factorization
+// attempt, nil while the factorization is valid.
+func (f *ZFactorization) Err() error {
+	if f.e == nil {
+		return errRefactorEmpty
+	}
+	return f.e.Err()
+}
+
 // R returns the min(m,n)×n upper triangular (trapezoidal) factor.
 func (f *ZFactorization) R() *ZDense { return (*ZDense)(f.e.R()) }
 
 // ApplyQH overwrites b (m×nrhs) with Qᴴ·b.
 func (f *ZFactorization) ApplyQH(b *ZDense) error {
-	return f.e.Apply((*tile.Dense[complex128])(b), true)
+	return f.e.Apply(nil, (*tile.Dense[complex128])(b), true)
+}
+
+// ApplyQHCtx is ApplyQH under a cancellation context; on cancellation b is
+// partially transformed and must be discarded.
+func (f *ZFactorization) ApplyQHCtx(ctx context.Context, b *ZDense) error {
+	return f.e.Apply(ctx, (*tile.Dense[complex128])(b), true)
 }
 
 // ApplyQ overwrites b (m×nrhs) with Q·b.
 func (f *ZFactorization) ApplyQ(b *ZDense) error {
-	return f.e.Apply((*tile.Dense[complex128])(b), false)
+	return f.e.Apply(nil, (*tile.Dense[complex128])(b), false)
+}
+
+// ApplyQCtx is ApplyQ under a cancellation context; on cancellation b is
+// partially transformed and must be discarded.
+func (f *ZFactorization) ApplyQCtx(ctx context.Context, b *ZDense) error {
+	return f.e.Apply(ctx, (*tile.Dense[complex128])(b), false)
 }
 
 // Q returns the full m×m unitary factor.
@@ -65,7 +108,12 @@ func (f *ZFactorization) ThinQ() *ZDense { return (*ZDense)(f.e.ThinQ()) }
 
 // SolveLS solves min‖A·x − b‖₂ (m ≥ n) for each column of b.
 func (f *ZFactorization) SolveLS(b *ZDense) (*ZDense, error) {
-	x, err := f.e.SolveLS((*tile.Dense[complex128])(b))
+	return f.SolveLSCtx(nil, b)
+}
+
+// SolveLSCtx is SolveLS under a cancellation context (see FactorCtx).
+func (f *ZFactorization) SolveLSCtx(ctx context.Context, b *ZDense) (*ZDense, error) {
+	x, err := f.e.SolveLS(ctx, (*tile.Dense[complex128])(b))
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package tiledqr
 
 import (
+	"context"
+
 	"tiledqr/internal/stream"
 	"tiledqr/internal/tile"
 )
@@ -8,7 +10,7 @@ import (
 // ZStreamQR is the complex128 instantiation of the streaming TSQR core: an
 // incremental tiled QR over row batches that retains only the n×n upper
 // triangular factor (and optionally the top n rows of Qᴴb) in O(n² + batch)
-// memory. See StreamQR for the algorithm and option semantics.
+// memory. See StreamQR for the algorithm, option and failure semantics.
 type ZStreamQR struct {
 	c *stream.Core[complex128]
 }
@@ -26,33 +28,56 @@ func NewZStream(n int, opt Options) (*ZStreamQR, error) {
 // AppendRows merges a batch of rows (r×n, any r ≥ 1) into the resident
 // triangle. The batch is not modified.
 func (s *ZStreamQR) AppendRows(batch *ZDense) error {
-	return streamAppend(s.c, (*tile.Dense[complex128])(batch), nil, false)
+	return streamAppend(nil, s.c, (*tile.Dense[complex128])(batch), nil, false)
+}
+
+// AppendRowsCtx is AppendRows under a cancellation context (see
+// StreamQR.AppendRowsCtx).
+func (s *ZStreamQR) AppendRowsCtx(ctx context.Context, batch *ZDense) error {
+	return streamAppend(ctx, s.c, (*tile.Dense[complex128])(batch), nil, false)
 }
 
 // AppendRHS merges a batch of rows together with the matching right-hand
 // side rows, maintaining the top n rows of Qᴴb for SolveLS. Right-hand
 // sides must be supplied from the first batch onwards.
 func (s *ZStreamQR) AppendRHS(batch, rhs *ZDense) error {
-	return streamAppend(s.c, (*tile.Dense[complex128])(batch), (*tile.Dense[complex128])(rhs), true)
+	return streamAppend(nil, s.c, (*tile.Dense[complex128])(batch), (*tile.Dense[complex128])(rhs), true)
 }
 
+// AppendRHSCtx is AppendRHS under a cancellation context (see
+// StreamQR.AppendRowsCtx).
+func (s *ZStreamQR) AppendRHSCtx(ctx context.Context, batch, rhs *ZDense) error {
+	return streamAppend(ctx, s.c, (*tile.Dense[complex128])(batch), (*tile.Dense[complex128])(rhs), true)
+}
+
+// Err returns the stream's sticky failure (see StreamQR.Err).
+func (s *ZStreamQR) Err() error { return s.c.Err() }
+
 // R returns the n×n upper triangular factor of all rows ingested so far.
-func (s *ZStreamQR) R() *ZDense {
+// After a failed append, R returns the append's original error.
+func (s *ZStreamQR) R() (*ZDense, error) {
+	if err := s.c.Err(); err != nil {
+		return nil, err
+	}
 	n := s.c.N()
 	r := NewZDense(n, n)
 	s.c.CopyR(r.Data, r.Stride)
-	return r
+	return r, nil
 }
 
 // QTB returns the retained top n rows of Qᴴb (n×nrhs), or nil when the
-// stream tracks no right-hand side.
-func (s *ZStreamQR) QTB() *ZDense {
+// stream tracks no right-hand side. After a failed append, QTB returns the
+// append's original error.
+func (s *ZStreamQR) QTB() (*ZDense, error) {
+	if err := s.c.Err(); err != nil {
+		return nil, err
+	}
 	if s.c.NRHS() == 0 {
-		return nil
+		return nil, nil
 	}
 	q := NewZDense(s.c.N(), s.c.NRHS())
 	s.c.CopyQTB(q.Data, q.Stride)
-	return q
+	return q, nil
 }
 
 // SolveLS returns the n×nrhs least-squares solution min‖A·x − b‖₂ over
@@ -73,8 +98,14 @@ func (s *ZStreamQR) Rows() int64 { return s.c.Rows() }
 func (s *ZStreamQR) N() int { return s.c.N() }
 
 // ResidualNorm returns the running least-squares residual ‖b − A·X‖_F over
-// all tracked right-hand-side columns (0 when no RHS is tracked).
-func (s *ZStreamQR) ResidualNorm() float64 { return s.c.ResidualNorm() }
+// all tracked right-hand-side columns (0 when no RHS is tracked). After a
+// failed append, ResidualNorm returns the append's original error.
+func (s *ZStreamQR) ResidualNorm() (float64, error) {
+	if err := s.c.Err(); err != nil {
+		return 0, err
+	}
+	return s.c.ResidualNorm(), nil
+}
 
 // Footprint returns the number of complex128 values retained across
 // appends — the O(n² + batch) bound made observable.
