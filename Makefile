@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check lint bench bench-smoke bench-gate tune throughput chaos fault-smoke fuzz-smoke clean
+.PHONY: all build test race vet fmt-check lint bench bench-smoke bench-gate tune throughput chaos fault-smoke fuzz-smoke serve-smoke clean
 
 all: lint build test
 
@@ -92,6 +92,14 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'Figure4|StreamAppendDouble$$' -benchtime 1x ./...
 	$(GO) run ./cmd/qrstream -n 96 -nb 32 -batch 64 -batches 6 -rhs 1 -verify
 	$(GO) run ./cmd/qrperf -throughput -quick
+
+# serve-smoke proves the QR-as-a-service stack end to end: build qrserve and
+# qrload, run the ~2s smoke scenario against a live server (zero failed
+# requests, nonzero rows/sec, reported p50/p95/p99), then SIGTERM and assert
+# a graceful drain — in-flight requests finish, new ones get 503, and the
+# server logs "drained cleanly" before exiting 0.
+serve-smoke:
+	GO="$(GO)" sh scripts/serve_smoke.sh
 
 clean:
 	$(GO) clean ./...

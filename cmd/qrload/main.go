@@ -1,0 +1,475 @@
+// Command qrload drives load at a running qrserve and reports latency
+// percentiles and sustained rows/sec — the harness that turns "serves heavy
+// traffic" into a measured number. Scenarios are TOML files describing a
+// duration, a thread count, pacing/ramp-up, and a weighted endpoint mix
+// (one-shot factor, one-shot least-squares solve, streaming append); matrix
+// data is generated on the fly from per-thread deterministic generators.
+//
+//	qrload -scenario testdata/scenarios/smoke.toml
+//	qrload -scenario heavy.toml -url http://10.0.0.5:8787 -json load-report.json
+//
+// The JSON report shares the "serve" series shape with qrperf, so two runs
+// gate against each other with `qrperf -compare old.json new.json`.
+// qrload exits 1 when any request fails outright (429 backpressure counts
+// as throttled, not failed) or when nothing succeeded.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"tiledqr/internal/serve"
+)
+
+var (
+	flagScenario = flag.String("scenario", "", "scenario TOML file (required)")
+	flagURL      = flag.String("url", "", "override the scenario's base_url")
+	flagJSON     = flag.String("json", "", "write a JSON report here (qrperf -compare compatible)")
+)
+
+func main() {
+	flag.Parse()
+	if *flagScenario == "" {
+		fmt.Fprintln(os.Stderr, "usage: qrload -scenario file.toml [-url http://host:port] [-json report.json]")
+		os.Exit(2)
+	}
+	sc, err := loadScenario(*flagScenario)
+	if err != nil {
+		die(err)
+	}
+	if *flagURL != "" {
+		sc.BaseURL = *flagURL
+	}
+	rep, err := run(sc)
+	if err != nil {
+		die(err)
+	}
+	rep.print(sc)
+	if *flagJSON != "" {
+		if err := rep.export(sc, *flagJSON); err != nil {
+			die(err)
+		}
+	}
+	if rep.failed > 0 || rep.ok == 0 {
+		fmt.Fprintf(os.Stderr, "qrload: FAILED — %d failed requests, %d ok\n", rep.failed, rep.ok)
+		os.Exit(1)
+	}
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "qrload:", err)
+	os.Exit(1)
+}
+
+// kindAgg accumulates one endpoint kind's results inside one worker (no
+// locking: workers merge at the end).
+type kindAgg struct {
+	ok        int64
+	failed    int64
+	throttled int64
+	rows      int64
+	lat       []time.Duration
+}
+
+// report is the merged run outcome.
+type report struct {
+	elapsed   time.Duration
+	ok        int64
+	failed    int64
+	throttled int64
+	rows      int64
+	lat       []time.Duration
+	kinds     map[string]*kindAgg
+}
+
+// run executes the scenario and merges the per-worker results.
+func run(sc *Scenario) (*report, error) {
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        sc.Threads * 2,
+		MaxIdleConnsPerHost: sc.Threads * 2,
+	}}
+	// Fail fast when the server is not there rather than recording a
+	// thread-count's worth of connection errors.
+	if err := waitHealthy(client, sc.BaseURL, 5*time.Second); err != nil {
+		return nil, err
+	}
+	// Shared per-endpoint design matrices (see Endpoint.VaryMatrix).
+	shared := make([]*serve.Matrix, len(sc.Endpoints))
+	for i, ep := range sc.Endpoints {
+		shared[i] = randMatrix(rand.New(rand.NewSource(int64(1000+i))), ep.Rows, ep.Cols, isComplex(ep.Precision))
+	}
+	deadline := time.Now().Add(sc.RampUp + sc.Duration)
+	results := make([]*report, sc.Threads)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for t := 0; t < sc.Threads; t++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			if sc.RampUp > 0 && sc.Threads > 1 {
+				time.Sleep(sc.RampUp * time.Duration(id) / time.Duration(sc.Threads))
+			}
+			results[id] = worker(client, sc, shared, id, deadline)
+		}(t)
+	}
+	wg.Wait()
+	merged := &report{elapsed: time.Since(start), kinds: map[string]*kindAgg{}}
+	for _, r := range results {
+		merged.ok += r.ok
+		merged.failed += r.failed
+		merged.throttled += r.throttled
+		merged.rows += r.rows
+		merged.lat = append(merged.lat, r.lat...)
+		for k, a := range r.kinds {
+			m := merged.kinds[k]
+			if m == nil {
+				m = &kindAgg{}
+				merged.kinds[k] = m
+			}
+			m.ok += a.ok
+			m.failed += a.failed
+			m.throttled += a.throttled
+			m.rows += a.rows
+			m.lat = append(m.lat, a.lat...)
+		}
+	}
+	sort.Slice(merged.lat, func(i, j int) bool { return merged.lat[i] < merged.lat[j] })
+	return merged, nil
+}
+
+// waitHealthy polls /healthz until the server answers.
+func waitHealthy(client *http.Client, base string, limit time.Duration) error {
+	deadline := time.Now().Add(limit)
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("server at %s not healthy: %v", base, err)
+			}
+			return fmt.Errorf("server at %s not healthy", base)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// worker is one load thread: pick an endpoint by weight, fire, record,
+// pace, until the deadline.
+func worker(client *http.Client, sc *Scenario, shared []*serve.Matrix, id int, deadline time.Time) *report {
+	rng := rand.New(rand.NewSource(int64(7919*id + 13)))
+	rep := &report{kinds: map[string]*kindAgg{}}
+	total := 0
+	for _, ep := range sc.Endpoints {
+		total += ep.Weight
+	}
+	streams := make(map[int]string) // endpoint index -> session id
+	for time.Now().Before(deadline) {
+		ei := pickEndpoint(rng, sc.Endpoints, total)
+		ep := &sc.Endpoints[ei]
+		agg := rep.kinds[ep.Kind]
+		if agg == nil {
+			agg = &kindAgg{}
+			rep.kinds[ep.Kind] = agg
+		}
+		var (
+			status int
+			rows   int64
+			err    error
+		)
+		t0 := time.Now()
+		switch ep.Kind {
+		case "factor":
+			status, err = doFactor(client, sc, rng, ep)
+			rows = int64(ep.Rows)
+		case "solve":
+			status, err = doSolve(client, sc, rng, ep, shared[ei])
+			rows = int64(ep.Rows)
+		case "stream":
+			status, err = doStream(client, sc, rng, ep, streams, ei)
+			rows = int64(ep.Rows)
+		}
+		lat := time.Since(t0)
+		switch {
+		case err != nil || status >= 500 || (status >= 400 && status != http.StatusTooManyRequests):
+			agg.failed++
+			rep.failed++
+		case status == http.StatusTooManyRequests:
+			agg.throttled++
+			rep.throttled++
+			time.Sleep(retryAfter())
+		default:
+			agg.ok++
+			rep.ok++
+			agg.rows += rows
+			rep.rows += rows
+			agg.lat = append(agg.lat, lat)
+			rep.lat = append(rep.lat, lat)
+		}
+		if sc.Pacing > 0 {
+			time.Sleep(sc.Pacing)
+		}
+	}
+	// Finalize streams: one solve where the maths permits, then delete.
+	for ei, id := range streams {
+		ep := &sc.Endpoints[ei]
+		if ep.RHS > 0 {
+			resp, err := client.Get(sc.BaseURL + "/v1/streams/" + id + "/solve")
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+		req, _ := http.NewRequest(http.MethodDelete, sc.BaseURL+"/v1/streams/"+id, nil)
+		if resp, err := client.Do(req); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	return rep
+}
+
+// retryAfter is how long a throttled worker backs off: a bounded slice of
+// the server's suggested second.
+func retryAfter() time.Duration { return 100 * time.Millisecond }
+
+func pickEndpoint(rng *rand.Rand, eps []Endpoint, total int) int {
+	n := rng.Intn(total)
+	for i := range eps {
+		n -= eps[i].Weight
+		if n < 0 {
+			return i
+		}
+	}
+	return len(eps) - 1
+}
+
+func isComplex(prec string) bool { return prec == "z" || prec == "c" }
+
+// randMatrix builds a wire matrix with standard-normal entries.
+func randMatrix(rng *rand.Rand, rows, cols int, complexData bool) *serve.Matrix {
+	n := rows * cols
+	if complexData {
+		n *= 2
+	}
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	return &serve.Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// post sends a JSON body and returns the HTTP status.
+func post(client *http.Client, sc *Scenario, url string, body any) (int, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(raw))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if sc.Tenant != "" {
+		req.Header.Set("X-Tenant", sc.Tenant)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+func wireOptions(ep *Endpoint) *serve.WireOptions {
+	if ep.TileSize == 0 && ep.InnerBlock == 0 {
+		return nil
+	}
+	return &serve.WireOptions{TileSize: ep.TileSize, InnerBlock: ep.InnerBlock}
+}
+
+func doFactor(client *http.Client, sc *Scenario, rng *rand.Rand, ep *Endpoint) (int, error) {
+	return post(client, sc, sc.BaseURL+"/v1/factor", map[string]any{
+		"precision": ep.Precision,
+		"matrix":    randMatrix(rng, ep.Rows, ep.Cols, isComplex(ep.Precision)),
+		"options":   wireOptions(ep),
+	})
+}
+
+func doSolve(client *http.Client, sc *Scenario, rng *rand.Rand, ep *Endpoint, shared *serve.Matrix) (int, error) {
+	m := shared
+	if ep.VaryMatrix {
+		m = randMatrix(rng, ep.Rows, ep.Cols, isComplex(ep.Precision))
+	}
+	return post(client, sc, sc.BaseURL+"/v1/solve", map[string]any{
+		"precision": ep.Precision,
+		"matrix":    m,
+		"rhs":       randMatrix(rng, ep.Rows, ep.RHS, isComplex(ep.Precision)),
+		"options":   wireOptions(ep),
+	})
+}
+
+// doStream appends one batch to the worker's session for this endpoint,
+// creating the session on first use (or after an eviction 404).
+func doStream(client *http.Client, sc *Scenario, rng *rand.Rand, ep *Endpoint, streams map[int]string, ei int) (int, error) {
+	id, ok := streams[ei]
+	if !ok {
+		raw, err := json.Marshal(map[string]any{
+			"precision": ep.Precision,
+			"cols":      ep.Cols,
+			"options":   wireOptions(ep),
+		})
+		if err != nil {
+			return 0, err
+		}
+		req, err := http.NewRequest(http.MethodPost, sc.BaseURL+"/v1/streams", bytes.NewReader(raw))
+		if err != nil {
+			return 0, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if sc.Tenant != "" {
+			req.Header.Set("X-Tenant", sc.Tenant)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		var created struct {
+			ID string `json:"id"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&created)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return resp.StatusCode, nil
+		}
+		if err != nil {
+			return 0, err
+		}
+		id = created.ID
+		streams[ei] = id
+	}
+	body := map[string]any{"batch": randMatrix(rng, ep.Rows, ep.Cols, isComplex(ep.Precision))}
+	if ep.RHS > 0 {
+		body["rhs"] = randMatrix(rng, ep.Rows, ep.RHS, isComplex(ep.Precision))
+	}
+	status, err := post(client, sc, sc.BaseURL+"/v1/streams/"+id+"/rows", body)
+	if status == http.StatusNotFound {
+		// The session aged out of the table; rebuild next iteration.
+		delete(streams, ei)
+	}
+	return status, err
+}
+
+// quantile returns the q-quantile of sorted latencies.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func (r *report) print(sc *Scenario) {
+	fmt.Printf("qrload: %s — %d threads, %v (+%v ramp-up), pacing %v\n",
+		*flagScenario, sc.Threads, sc.Duration, sc.RampUp, sc.Pacing)
+	fmt.Printf("  requests: %d ok, %d failed, %d throttled (429)\n", r.ok, r.failed, r.throttled)
+	if len(r.lat) > 0 {
+		fmt.Printf("  latency:  p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms\n",
+			ms(quantile(r.lat, 0.50)), ms(quantile(r.lat, 0.95)),
+			ms(quantile(r.lat, 0.99)), ms(r.lat[len(r.lat)-1]))
+	}
+	sec := r.elapsed.Seconds()
+	fmt.Printf("  throughput: %.1f req/sec, %.0f rows/sec over %.2fs\n",
+		float64(r.ok)/sec, float64(r.rows)/sec, sec)
+	kinds := make([]string, 0, len(r.kinds))
+	for k := range r.kinds {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		a := r.kinds[k]
+		sort.Slice(a.lat, func(i, j int) bool { return a.lat[i] < a.lat[j] })
+		fmt.Printf("  %-8s %d ok, %d failed, %d throttled, p99 %.2fms, %.0f rows/sec\n",
+			k+":", a.ok, a.failed, a.throttled, ms(quantile(a.lat, 0.99)), float64(a.rows)/sec)
+	}
+}
+
+// exportEndpoint and the export* types mirror the text report as JSON. The
+// top-level "serve" object is the series qrperf -compare gates on.
+type exportEndpoint struct {
+	OK         int64   `json:"ok"`
+	Failed     int64   `json:"failed"`
+	Throttled  int64   `json:"throttled"`
+	P99MS      float64 `json:"p99_ms"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+}
+
+type exportFile struct {
+	Serve struct {
+		RowsPerSec     float64 `json:"rows_per_sec"`
+		RequestsPerSec float64 `json:"requests_per_sec"`
+	} `json:"serve"`
+	Load struct {
+		Scenario    string                    `json:"scenario"`
+		Threads     int                       `json:"threads"`
+		DurationSec float64                   `json:"duration_sec"`
+		Requests    int64                     `json:"requests"`
+		Failed      int64                     `json:"failed"`
+		Throttled   int64                     `json:"throttled"`
+		P50MS       float64                   `json:"p50_ms"`
+		P95MS       float64                   `json:"p95_ms"`
+		P99MS       float64                   `json:"p99_ms"`
+		Endpoints   map[string]exportEndpoint `json:"endpoints"`
+	} `json:"load"`
+}
+
+func (r *report) export(sc *Scenario, path string) error {
+	var out exportFile
+	sec := r.elapsed.Seconds()
+	out.Serve.RowsPerSec = float64(r.rows) / sec
+	out.Serve.RequestsPerSec = float64(r.ok) / sec
+	out.Load.Scenario = *flagScenario
+	out.Load.Threads = sc.Threads
+	out.Load.DurationSec = sec
+	out.Load.Requests = r.ok
+	out.Load.Failed = r.failed
+	out.Load.Throttled = r.throttled
+	out.Load.P50MS = ms(quantile(r.lat, 0.50))
+	out.Load.P95MS = ms(quantile(r.lat, 0.95))
+	out.Load.P99MS = ms(quantile(r.lat, 0.99))
+	out.Load.Endpoints = map[string]exportEndpoint{}
+	for k, a := range r.kinds {
+		out.Load.Endpoints[k] = exportEndpoint{
+			OK: a.ok, Failed: a.failed, Throttled: a.throttled,
+			P99MS:      ms(quantile(a.lat, 0.99)),
+			RowsPerSec: float64(a.rows) / sec,
+		}
+	}
+	raw, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

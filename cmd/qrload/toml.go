@@ -1,0 +1,152 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// A deliberately small TOML reader covering what load scenarios need —
+// comments, `key = value` pairs (string / integer / float / bool),
+// `[table]` headers and `[[array-of-tables]]` headers — with no external
+// dependency. Tables decode to map[string]any, arrays of tables to
+// []map[string]any; dotted keys, inline tables and value arrays are out of
+// scope and rejected with a line-numbered error.
+
+// parseTOML parses src into a tree of nested maps.
+func parseTOML(src string) (map[string]any, error) {
+	root := map[string]any{}
+	cur := root
+	for ln, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(stripComment(raw))
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "[["): // array of tables
+			name := strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(line, "[["), "]]"))
+			if name == "" || strings.ContainsAny(name, "[]. ") {
+				return nil, fmt.Errorf("line %d: bad table array header %q", ln+1, line)
+			}
+			tbl := map[string]any{}
+			switch prev := root[name].(type) {
+			case nil:
+				root[name] = []map[string]any{tbl}
+			case []map[string]any:
+				root[name] = append(prev, tbl)
+			default:
+				return nil, fmt.Errorf("line %d: %q is both a value and a table array", ln+1, name)
+			}
+			cur = tbl
+		case strings.HasPrefix(line, "["): // plain table
+			name := strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(line, "["), "]"))
+			if name == "" || strings.ContainsAny(name, "[]. ") {
+				return nil, fmt.Errorf("line %d: bad table header %q", ln+1, line)
+			}
+			tbl, ok := root[name].(map[string]any)
+			if !ok {
+				if _, exists := root[name]; exists {
+					return nil, fmt.Errorf("line %d: %q is already a value", ln+1, name)
+				}
+				tbl = map[string]any{}
+				root[name] = tbl
+			}
+			cur = tbl
+		default:
+			key, val, ok := strings.Cut(line, "=")
+			if !ok {
+				return nil, fmt.Errorf("line %d: expected key = value, got %q", ln+1, line)
+			}
+			key = strings.TrimSpace(key)
+			if key == "" || strings.ContainsAny(key, "[]. \"") {
+				return nil, fmt.Errorf("line %d: bad key %q", ln+1, key)
+			}
+			v, err := parseValue(strings.TrimSpace(val))
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", ln+1, err)
+			}
+			if _, dup := cur[key]; dup {
+				return nil, fmt.Errorf("line %d: duplicate key %q", ln+1, key)
+			}
+			cur[key] = v
+		}
+	}
+	return root, nil
+}
+
+// stripComment removes a trailing # comment, respecting quoted strings.
+func stripComment(line string) string {
+	inStr := false
+	for i, r := range line {
+		switch r {
+		case '"':
+			inStr = !inStr
+		case '#':
+			if !inStr {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+// parseValue decodes one TOML value: string, bool, integer or float.
+func parseValue(s string) (any, error) {
+	switch {
+	case s == "":
+		return nil, fmt.Errorf("empty value")
+	case strings.HasPrefix(s, `"`):
+		if len(s) < 2 || !strings.HasSuffix(s, `"`) {
+			return nil, fmt.Errorf("unterminated string %s", s)
+		}
+		return strconv.Unquote(s)
+	case s == "true":
+		return true, nil
+	case s == "false":
+		return false, nil
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return i, nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, nil
+	}
+	return nil, fmt.Errorf("unsupported value %q (want string, bool, integer or float)", s)
+}
+
+// tomlGet reads a typed key from a table with a default.
+func tomlStr(t map[string]any, key, def string) (string, error) {
+	v, ok := t[key]
+	if !ok {
+		return def, nil
+	}
+	s, ok := v.(string)
+	if !ok {
+		return "", fmt.Errorf("%s: want a string, got %v", key, v)
+	}
+	return s, nil
+}
+
+func tomlInt(t map[string]any, key string, def int) (int, error) {
+	v, ok := t[key]
+	if !ok {
+		return def, nil
+	}
+	i, ok := v.(int64)
+	if !ok {
+		return 0, fmt.Errorf("%s: want an integer, got %v", key, v)
+	}
+	return int(i), nil
+}
+
+func tomlBool(t map[string]any, key string, def bool) (bool, error) {
+	v, ok := t[key]
+	if !ok {
+		return def, nil
+	}
+	b, ok := v.(bool)
+	if !ok {
+		return false, fmt.Errorf("%s: want a bool, got %v", key, v)
+	}
+	return b, nil
+}

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseTOML(t *testing.T) {
+	root, err := parseTOML(`
+# a scenario
+base_url = "http://example:1"   # trailing comment
+duration = "2s"
+threads  = 3
+paced    = true
+ratio    = 0.5
+
+[meta]
+note = "with # inside a string"
+
+[[endpoint]]
+kind = "solve"
+rows = 8
+
+[[endpoint]]
+kind = "factor"
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := root["base_url"]; got != "http://example:1" {
+		t.Fatalf("base_url = %v", got)
+	}
+	if got := root["threads"]; got != int64(3) {
+		t.Fatalf("threads = %v (%T)", got, got)
+	}
+	if got := root["paced"]; got != true {
+		t.Fatalf("paced = %v", got)
+	}
+	if got := root["ratio"]; got != 0.5 {
+		t.Fatalf("ratio = %v", got)
+	}
+	meta, ok := root["meta"].(map[string]any)
+	if !ok || meta["note"] != "with # inside a string" {
+		t.Fatalf("meta = %v", root["meta"])
+	}
+	eps, ok := root["endpoint"].([]map[string]any)
+	if !ok || len(eps) != 2 {
+		t.Fatalf("endpoint = %v", root["endpoint"])
+	}
+	if eps[0]["kind"] != "solve" || eps[0]["rows"] != int64(8) || eps[1]["kind"] != "factor" {
+		t.Fatalf("endpoints = %v", eps)
+	}
+}
+
+func TestParseTOMLErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"no equals", "just words\n", "key = value"},
+		{"dup key", "a = 1\na = 2\n", "duplicate key"},
+		{"bad value", "a = [1, 2]\n", "unsupported value"},
+		{"unterminated string", `a = "oops` + "\n", "unterminated"},
+		{"dotted table", "[a.b]\n", "bad table header"},
+		{"value then table", "e = 1\n[[e]]\n", "both a value and a table array"},
+	}
+	for _, tc := range cases {
+		_, err := parseTOML(tc.src)
+		if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+func TestLoadScenario(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.toml")
+	if err := os.WriteFile(path, []byte(`
+duration = "1s"
+threads  = 2
+pacing   = "5ms"
+ramp_up  = "100ms"
+tenant   = "load"
+
+[[endpoint]]
+kind      = "solve"
+weight    = 3
+rows      = 16
+cols      = 8
+precision = "z"
+
+[[endpoint]]
+kind = "stream"
+rows = 32
+cols = 8
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := loadScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Duration != time.Second || sc.Threads != 2 || sc.Pacing != 5*time.Millisecond ||
+		sc.RampUp != 100*time.Millisecond || sc.Tenant != "load" {
+		t.Fatalf("scenario globals %+v", sc)
+	}
+	if sc.BaseURL != "http://127.0.0.1:8787" {
+		t.Fatalf("default base_url = %q", sc.BaseURL)
+	}
+	if len(sc.Endpoints) != 2 {
+		t.Fatalf("endpoints = %+v", sc.Endpoints)
+	}
+	ep := sc.Endpoints[0]
+	if ep.Kind != "solve" || ep.Weight != 3 || ep.Rows != 16 || ep.Cols != 8 || ep.Precision != "z" {
+		t.Fatalf("endpoint 0 = %+v", ep)
+	}
+	if ep.RHS != 1 {
+		t.Fatalf("solve endpoint RHS defaulted to %d, want 1", ep.RHS)
+	}
+	if sc.Endpoints[1].Weight != 1 {
+		t.Fatalf("endpoint 1 weight defaulted to %d, want 1", sc.Endpoints[1].Weight)
+	}
+}
+
+func TestLoadScenarioRejects(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"no endpoints", `duration = "1s"` + "\n"},
+		{"bad kind", "[[endpoint]]\nkind = \"warp\"\n"},
+		{"underdetermined solve", "[[endpoint]]\nkind = \"solve\"\nrows = 4\ncols = 8\n"},
+		{"bad duration", `duration = "fast"` + "\n[[endpoint]]\nkind = \"factor\"\n"},
+		{"zero threads", "threads = 0\n[[endpoint]]\nkind = \"factor\"\n"},
+	}
+	for _, tc := range cases {
+		path := filepath.Join(t.TempDir(), "s.toml")
+		if err := os.WriteFile(path, []byte(tc.src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := loadScenario(path); err == nil {
+			t.Errorf("%s: scenario accepted, want error", tc.name)
+		}
+	}
+}

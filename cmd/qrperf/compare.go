@@ -17,6 +17,14 @@ type benchSeries struct {
 	Single        map[string]float64 `json:"single_gflops"`
 	SingleComplex map[string]float64 `json:"single_complex_gflops"`
 	Stream        *streamReport      `json:"stream"`
+	Serve         *serveSeries       `json:"serve"`
+}
+
+// serveSeries is the throughput summary a qrload -json report carries, so
+// two load runs gate against each other the same way kernel reports do.
+type serveSeries struct {
+	RowsPerSec     float64 `json:"rows_per_sec"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
 }
 
 // series flattens the report into named scalar series ("higher is better").
@@ -39,6 +47,10 @@ func (b *benchSeries) series() map[string]float64 {
 		out["stream.double_complex_rows_per_sec"] = s.DoubleComplexRowsPerSec
 		out["stream.single_rows_per_sec"] = s.SingleRowsPerSec
 		out["stream.single_complex_rows_per_sec"] = s.SingleComplexRowsPerSec
+	}
+	if s := b.Serve; s != nil {
+		out["serve.rows_per_sec"] = s.RowsPerSec
+		out["serve.requests_per_sec"] = s.RequestsPerSec
 	}
 	return out
 }

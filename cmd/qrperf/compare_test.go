@@ -139,3 +139,29 @@ func TestRunCompareGate(t *testing.T) {
 		t.Fatalf("unreadable file exited %d, want 2", code)
 	}
 }
+
+// TestCompareServeSeries gates the qrload "serve" throughput series: two
+// load reports compare against each other, a regression trips, and kernel
+// reports without a serve section still compare their own series.
+func TestCompareServeSeries(t *testing.T) {
+	load := func(rows, reqs float64) *benchSeries {
+		return &benchSeries{Serve: &serveSeries{RowsPerSec: rows, RequestsPerSec: reqs}}
+	}
+	if regs, n := compareBench(load(40000, 500), load(41000, 520), 25); len(regs) != 0 || n != 2 {
+		t.Fatalf("healthy serve reports: regs=%v compared=%d", regs, n)
+	}
+	regs, _ := compareBench(load(40000, 500), load(10000, 500), 25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "serve.rows_per_sec") {
+		t.Fatalf("collapsed rows/sec not flagged: %v", regs)
+	}
+	// A kernel report vs a load report shares no series → vacuous, count 0.
+	if _, n := compareBench(base(), load(40000, 500), 25); n != 0 {
+		t.Fatalf("kernel vs load report compared %d series, want 0", n)
+	}
+	// A mixed report gates both families at once.
+	mixed := base()
+	mixed.Serve = &serveSeries{RowsPerSec: 40000, RequestsPerSec: 500}
+	if regs, n := compareBench(mixed, mixed, 25); len(regs) != 0 || n < 8 {
+		t.Fatalf("mixed report: regs=%v compared=%d", regs, n)
+	}
+}

@@ -1,0 +1,121 @@
+// Command qrserve puts the tiled QR runtime behind an HTTP/JSON front end —
+// QR as a service. It exposes one-shot factorization and least-squares
+// endpoints, session-oriented streaming TSQR (rows arrive in batches,
+// solves are served from the resident triangle), and reusable FactorInto
+// sessions, in all four precisions, with per-tenant admission quotas,
+// queue-depth backpressure (429 + Retry-After), same-matrix solve
+// coalescing, and a graceful SIGTERM drain: in-flight requests finish, new
+// ones get 503, and the runtime quiesces before the process exits.
+//
+//	qrserve -addr :8787
+//	curl -s localhost:8787/healthz
+//	curl -s localhost:8787/statsz | jq .
+//	curl -s -X POST localhost:8787/v1/factor -d '{"matrix":{"rows":2,"cols":2,"data":[1,2,3,4]}}'
+//
+// See the README's "QR as a service" section for the endpoint reference and
+// cmd/qrload for the matching load harness.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tiledqr"
+	"tiledqr/internal/serve"
+)
+
+var (
+	flagAddr     = flag.String("addr", "127.0.0.1:8787", "listen address (host:port; port 0 picks a free port)")
+	flagAddrFile = flag.String("addr-file", "", "write the resolved listen address to this file (for scripts)")
+	flagWorkers  = flag.Int("workers", 0, "runtime workers (0 = TILEDQR_WORKERS or GOMAXPROCS)")
+
+	flagQueueDepth = flag.Int("max-queue", 0, "runtime task-backlog bound for 429 backpressure (0 = 512×workers, <0 disables)")
+	flagTenantAct  = flag.Int("tenant-active", 0, "per-tenant concurrent requests (0 = default 32, <0 disables quotas)")
+	flagTenantQ    = flag.Int("tenant-queued", 0, "per-tenant waiting requests (0 = default 64)")
+
+	flagCoalesce    = flag.Duration("coalesce", 0, "same-matrix solve coalescing window (0 = default 2ms, <0 disables)")
+	flagSessionTTL  = flag.Duration("session-ttl", 0, "idle session eviction TTL (0 = default 5m)")
+	flagMaxSessions = flag.Int("max-sessions", 0, "session table bound (0 = default 1024)")
+
+	flagDrainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight work on SIGTERM")
+	flagDrainGrace   = flag.Duration("drain-grace", 0, "keep answering 503 for this long after the drain completes before closing the listener")
+)
+
+func main() {
+	flag.Parse()
+	log.SetPrefix("qrserve: ")
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	rt := tiledqr.NewRuntime(*flagWorkers)
+	defer rt.Close()
+	srv := serve.New(serve.Config{
+		Runtime:        rt,
+		MaxQueueDepth:  *flagQueueDepth,
+		TenantActive:   *flagTenantAct,
+		TenantQueued:   *flagTenantQ,
+		CoalesceWindow: *flagCoalesce,
+		SessionTTL:     *flagSessionTTL,
+		MaxSessions:    *flagMaxSessions,
+	})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *flagAddr)
+	if err != nil {
+		return err
+	}
+	if *flagAddrFile != "" {
+		if err := os.WriteFile(*flagAddrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			return err
+		}
+	}
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	log.Printf("listening on %s (%d workers)", ln.Addr(), rt.Workers())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		return fmt.Errorf("serve: %w", err)
+	case got := <-sig:
+		log.Printf("%v: draining — in-flight requests finish, new ones get 503", got)
+	}
+
+	// Drain sequence: stop admitting (503), let in-flight requests finish,
+	// quiesce the runtime, optionally keep 503ing through the grace window
+	// (so load balancers observe the drain), then close the listener.
+	srv.StartDrain()
+	deadline := time.Now().Add(*flagDrainTimeout)
+	ctx, cancel := context.WithDeadline(context.Background(), deadline)
+	defer cancel()
+	if err := srv.AwaitIdle(ctx); err != nil {
+		log.Printf("drain: in-flight requests still running at deadline: %v", err)
+	}
+	if err := rt.Drain(ctx); err != nil {
+		log.Printf("drain: runtime still busy at deadline: %v", err)
+	}
+	if *flagDrainGrace > 0 {
+		time.Sleep(*flagDrainGrace)
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	log.Printf("drained cleanly")
+	return nil
+}

@@ -187,6 +187,28 @@
 // clients, per-call pools vs shared runtime vs FactorInto reuse — and
 // `make bench` records it in BENCH_kernels.json.
 //
+// # Serving
+//
+// cmd/qrserve packages the fleet pattern above as a network service: an
+// HTTP/JSON front end on one shared Runtime, with one-shot factor and
+// least-squares endpoints, session-oriented streaming TSQR and reusable
+// FactorInto sessions, all four precisions on the wire (complex data
+// travels as interleaved re/im pairs). The server layers serving concerns
+// over the runtime's weighted-fair admission: per-tenant concurrency
+// quotas, 429 + Retry-After backpressure when the runtime's task backlog
+// exceeds a bound, and coalescing of concurrent solves that share a
+// design matrix into one factorization plus a single multi-column
+// SolveLS. On SIGTERM it drains gracefully — in-flight requests finish,
+// new ones get 503, and Runtime.Drain quiesces the pool before exit.
+// Runtime.Stats exposes the pool's worker count, ready-task backlog and
+// in-flight job count for exactly this kind of supervision, and the
+// TILEDQR_WORKERS environment variable overrides the default pool width
+// wherever a worker count is left at zero. cmd/qrload replays TOML load
+// scenarios against a server and reports p50/p95/p99 latency and rows/sec
+// (JSON-exportable, gated by qrperf -compare); `make serve-smoke` runs
+// the whole stack end to end. See the README's "QR as a service" section
+// for the endpoint reference.
+//
 // # Failure semantics
 //
 // Every public entry point has a Ctx variant (FactorCtx, FactorIntoCtx,

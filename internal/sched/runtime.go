@@ -33,8 +33,10 @@ package sched
 import (
 	"context"
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -340,12 +342,27 @@ type Runtime struct {
 	isDef    bool
 }
 
+// DefaultWorkers returns the worker count a runtime sized with workers ≤ 0
+// gets: the TILEDQR_WORKERS environment variable when it parses as a
+// positive integer, else GOMAXPROCS. The env override lets container
+// deployments cap the library's parallelism without a code change (a
+// cgroup CPU quota does not lower GOMAXPROCS on its own); malformed or
+// non-positive values are ignored rather than honored surprisingly.
+func DefaultWorkers() int {
+	if s := os.Getenv("TILEDQR_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // NewRuntime starts a runtime with the given number of workers (≤ 0 means
-// GOMAXPROCS). The workers are goroutines that park when idle; Close stops
-// them.
+// DefaultWorkers: TILEDQR_WORKERS if set, else GOMAXPROCS). The workers are
+// goroutines that park when idle; Close stops them.
 func NewRuntime(workers int) *Runtime {
 	if workers < 1 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = DefaultWorkers()
 	}
 	rt := &Runtime{
 		workers:  workers,
@@ -369,8 +386,9 @@ var (
 	defaultRT   *Runtime
 )
 
-// Default returns the process-wide shared runtime (GOMAXPROCS workers),
-// started on first use. Closing it is a no-op: it lives for the process.
+// Default returns the process-wide shared runtime (DefaultWorkers workers,
+// honoring TILEDQR_WORKERS), started on first use. Closing it is a no-op:
+// it lives for the process.
 func Default() *Runtime {
 	defaultOnce.Do(func() {
 		defaultRT = NewRuntime(0)
@@ -381,6 +399,41 @@ func Default() *Runtime {
 
 // Workers returns the size of the worker pool.
 func (rt *Runtime) Workers() int { return rt.workers }
+
+// Stats is a point-in-time snapshot of a runtime's load, the observability
+// feed for a serving front end's /statsz endpoint and for admission
+// decisions (queue-depth backpressure).
+type Stats struct {
+	Workers     int  // size of the worker pool
+	QueuedTasks int  // ready tasks waiting in worker deques, across all jobs
+	InFlight    int  // jobs submitted and not yet completed
+	Draining    bool // Drain was called: new submissions are rejected
+	Closed      bool // Close was called
+}
+
+// Stats snapshots the runtime's current load. The queued-task count is a
+// consistent-enough sum taken deque by deque (each under its own lock);
+// tasks in the middle of a steal may be counted zero or one times, which is
+// fine for load reporting and backpressure thresholds.
+func (rt *Runtime) Stats() Stats {
+	rt.mu.Lock()
+	st := Stats{
+		Workers:  rt.workers,
+		InFlight: rt.inflight,
+		Draining: rt.draining,
+		Closed:   rt.closed,
+	}
+	rt.mu.Unlock()
+	for i := range rt.deques {
+		q := &rt.deques[i]
+		q.mu.Lock()
+		for j := range q.jobs {
+			st.QueuedTasks += len(q.jobs[j].tasks)
+		}
+		q.mu.Unlock()
+	}
+	return st
+}
 
 // Close waits for in-flight jobs to complete, then stops every worker and
 // waits for them to exit. Further Exec calls return an error. Close is

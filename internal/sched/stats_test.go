@@ -1,0 +1,59 @@
+package sched
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestStatsIdleAndClosed(t *testing.T) {
+	rt := NewRuntime(3)
+	st := rt.Stats()
+	if st.Workers != 3 {
+		t.Fatalf("Workers = %d, want 3", st.Workers)
+	}
+	if st.QueuedTasks != 0 || st.InFlight != 0 {
+		t.Fatalf("idle runtime reports queued=%d inflight=%d", st.QueuedTasks, st.InFlight)
+	}
+	if st.Draining || st.Closed {
+		t.Fatalf("idle runtime reports draining=%v closed=%v", st.Draining, st.Closed)
+	}
+	rt.Close()
+	if st = rt.Stats(); !st.Closed {
+		t.Fatal("closed runtime reports Closed = false")
+	}
+}
+
+func TestDefaultWorkersEnv(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		val  string
+		want int
+	}{
+		{"3", 3},
+		{"1", 1},
+		{"", procs},      // unset/empty falls back
+		{"bogus", procs}, // non-numeric ignored
+		{"0", procs},     // non-positive ignored
+		{"-2", procs},    // non-positive ignored
+		{"2.5", procs},   // non-integer ignored
+	}
+	for _, tc := range cases {
+		t.Setenv("TILEDQR_WORKERS", tc.val)
+		if got := DefaultWorkers(); got != tc.want {
+			t.Errorf("TILEDQR_WORKERS=%q: DefaultWorkers() = %d, want %d", tc.val, got, tc.want)
+		}
+	}
+	// NewRuntime(0) sizes from the override too.
+	t.Setenv("TILEDQR_WORKERS", "2")
+	rt := NewRuntime(0)
+	defer rt.Close()
+	if rt.Workers() != 2 {
+		t.Fatalf("NewRuntime(0).Workers() = %d with TILEDQR_WORKERS=2", rt.Workers())
+	}
+	// An explicit worker count always wins over the environment.
+	rt4 := NewRuntime(4)
+	defer rt4.Close()
+	if rt4.Workers() != 4 {
+		t.Fatalf("NewRuntime(4).Workers() = %d with TILEDQR_WORKERS=2", rt4.Workers())
+	}
+}

@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// errThrottled maps to 429 + Retry-After: the tenant's quota is exhausted
+// and its wait queue is full, or the runtime's task backlog exceeds the
+// configured bound. Clients should back off and retry.
+var errThrottled = errors.New("over capacity, retry later")
+
+// tenantGate is one tenant's admission state: a counting semaphore of
+// maxActive concurrent requests plus a bounded wait queue. Cross-tenant
+// fairness below this layer comes from the runtime's weighted-fair
+// scheduler; the gate just stops any single tenant from parking unbounded
+// work on the server.
+type tenantGate struct {
+	slots  chan struct{} // capacity maxActive; a token is one running request
+	queued chan struct{} // capacity maxQueued; a token is one waiting request
+}
+
+// limiter hands out per-tenant gates on demand. Tenants are never removed:
+// the per-tenant state is two channels, and the tenant cardinality of a
+// deployment is bounded by its client population.
+type limiter struct {
+	maxActive int
+	maxQueued int
+
+	mu      sync.Mutex
+	tenants map[string]*tenantGate
+}
+
+func newLimiter(maxActive, maxQueued int) *limiter {
+	return &limiter{maxActive: maxActive, maxQueued: maxQueued, tenants: make(map[string]*tenantGate)}
+}
+
+func (l *limiter) gate(tenant string) *tenantGate {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	g := l.tenants[tenant]
+	if g == nil {
+		g = &tenantGate{
+			slots:  make(chan struct{}, l.maxActive),
+			queued: make(chan struct{}, l.maxQueued),
+		}
+		l.tenants[tenant] = g
+	}
+	return g
+}
+
+// acquire admits one request for the tenant, blocking (bounded by the wait
+// queue and ctx) until a slot frees. It returns errThrottled when the
+// tenant has maxActive running requests and maxQueued already waiting, and
+// ctx.Err() if the client goes away while queued. The caller must release()
+// after the request finishes.
+func (l *limiter) acquire(ctx context.Context, tenant string) (release func(), err error) {
+	if l.maxActive <= 0 {
+		return func() {}, nil // quotas disabled
+	}
+	g := l.gate(tenant)
+	select {
+	case g.slots <- struct{}{}: // fast path: a slot is free
+		return func() { <-g.slots }, nil
+	default:
+	}
+	select {
+	case g.queued <- struct{}{}: // join the bounded wait queue
+	default:
+		return nil, errThrottled
+	}
+	defer func() { <-g.queued }()
+	select {
+	case g.slots <- struct{}{}:
+		return func() { <-g.slots }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}

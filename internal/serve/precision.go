@@ -1,0 +1,379 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"tiledqr"
+	"tiledqr/internal/tile"
+	"tiledqr/internal/vec"
+)
+
+// The handlers are precision-blind: they speak to one of four domains
+// through the ops interface below, whose single generic implementation
+// (domain[T]) works on tile.Dense[T] and reaches the public tiledqr API
+// through two small per-precision adapter interfaces. The adapters are the
+// only per-precision code in the package — four mechanical blocks wrapping
+// Factor/FactorInto/SolveLS and the stream methods, whose receivers differ
+// in name only.
+
+// ops is one precision's view of the library, expressed over wire matrices.
+type ops interface {
+	// Precision returns the wire tag: "d", "z", "s" or "c".
+	Precision() string
+	// IsComplex reports whether Data is interleaved re/im.
+	IsComplex() bool
+	// CheckMatrix validates a wire matrix for this domain.
+	CheckMatrix(m *Matrix, maxElems int) error
+	// Factor runs a one-shot factorization and returns R and the task count.
+	Factor(ctx context.Context, a *Matrix, opt tiledqr.Options) (*Matrix, int, error)
+	// Solve factors a once and solves min‖a·x − rhs‖₂ for every right-hand
+	// side in one multi-column SolveLS — the coalescing primitive. The
+	// returned slice is index-aligned with rhs.
+	Solve(ctx context.Context, a *Matrix, rhs []*Matrix, opt tiledqr.Options) ([]*Matrix, int, error)
+	// NewStream opens a streaming session over n columns.
+	NewStream(n int, opt tiledqr.Options) (streamOps, error)
+	// NewReusable opens a reusable factorization session (FactorInto
+	// arena reuse across same-shaped submissions).
+	NewReusable(opt tiledqr.Options) reusableOps
+}
+
+// streamOps is a precision-blind streaming session.
+type streamOps interface {
+	Append(ctx context.Context, batch, rhs *Matrix) error
+	Rows() int64
+	N() int
+	Solve() (*Matrix, float64, error)
+	R() (*Matrix, error)
+}
+
+// reusableOps is a precision-blind FactorInto session: Submit factors a
+// (reusing the previous arena and plan when the shape matches) and either
+// solves against rhs or returns R when rhs is nil.
+type reusableOps interface {
+	Submit(ctx context.Context, a, rhs *Matrix) (*Matrix, int, error)
+}
+
+// factorization adapts one precision's (reusable) factorization; stream
+// adapts its streaming session. Both operate on tile.Dense[T], which the
+// public wrapper types convert to for free.
+type factorization[T vec.Scalar] interface {
+	FactorIntoCtx(ctx context.Context, a *tile.Dense[T]) error
+	R() *tile.Dense[T]
+	SolveLSCtx(ctx context.Context, b *tile.Dense[T]) (*tile.Dense[T], error)
+	TaskCount() int
+}
+
+type stream[T vec.Scalar] interface {
+	AppendCtx(ctx context.Context, batch, rhs *tile.Dense[T]) error
+	Rows() int64
+	N() int
+	SolveLS() (*tile.Dense[T], error)
+	R() (*tile.Dense[T], error)
+	ResidualNorm() (float64, error)
+}
+
+// domain is the one generic ops implementation, parameterized by the two
+// per-precision constructors.
+type domain[T vec.Scalar] struct {
+	tag       string
+	newFact   func(opt tiledqr.Options) factorization[T]
+	newStream func(n int, opt tiledqr.Options) (stream[T], error)
+}
+
+func (d *domain[T]) Precision() string { return d.tag }
+func (d *domain[T]) IsComplex() bool   { return vec.IsComplex[T]() }
+
+func (d *domain[T]) CheckMatrix(m *Matrix, maxElems int) error {
+	return m.check(vec.IsComplex[T](), maxElems)
+}
+
+func (d *domain[T]) Factor(ctx context.Context, a *Matrix, opt tiledqr.Options) (*Matrix, int, error) {
+	f := d.newFact(opt)
+	if err := f.FactorIntoCtx(ctx, decode[T](a)); err != nil {
+		return nil, 0, err
+	}
+	return encode(f.R()), f.TaskCount(), nil
+}
+
+func (d *domain[T]) Solve(ctx context.Context, a *Matrix, rhs []*Matrix, opt tiledqr.Options) ([]*Matrix, int, error) {
+	if a.Rows < a.Cols {
+		return nil, 0, fmt.Errorf("least squares wants rows ≥ cols, got %d×%d", a.Rows, a.Cols)
+	}
+	widths := make([]int, len(rhs))
+	for k, b := range rhs {
+		if b.Rows != a.Rows {
+			return nil, 0, fmt.Errorf("right-hand side has %d rows, matrix has %d", b.Rows, a.Rows)
+		}
+		widths[k] = b.Cols
+	}
+	f := d.newFact(opt)
+	if err := f.FactorIntoCtx(ctx, decode[T](a)); err != nil {
+		return nil, 0, err
+	}
+	x, err := f.SolveLSCtx(ctx, hcat[T](rhs, vec.IsComplex[T]()))
+	if err != nil {
+		return nil, 0, err
+	}
+	return splitCols(x, widths), f.TaskCount(), nil
+}
+
+func (d *domain[T]) NewStream(n int, opt tiledqr.Options) (streamOps, error) {
+	s, err := d.newStream(n, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &streamSession[T]{s: s}, nil
+}
+
+func (d *domain[T]) NewReusable(opt tiledqr.Options) reusableOps {
+	return &reusableSession[T]{f: d.newFact(opt)}
+}
+
+// streamSession lifts a stream[T] to the wire level.
+type streamSession[T vec.Scalar] struct{ s stream[T] }
+
+func (w *streamSession[T]) Append(ctx context.Context, batch, rhs *Matrix) error {
+	var r *tile.Dense[T]
+	if rhs != nil {
+		r = decode[T](rhs)
+	}
+	return w.s.AppendCtx(ctx, decode[T](batch), r)
+}
+
+func (w *streamSession[T]) Rows() int64 { return w.s.Rows() }
+func (w *streamSession[T]) N() int      { return w.s.N() }
+
+func (w *streamSession[T]) Solve() (*Matrix, float64, error) {
+	x, err := w.s.SolveLS()
+	if err != nil {
+		return nil, 0, err
+	}
+	resid, err := w.s.ResidualNorm()
+	if err != nil {
+		return nil, 0, err
+	}
+	return encode(x), resid, nil
+}
+
+func (w *streamSession[T]) R() (*Matrix, error) {
+	r, err := w.s.R()
+	if err != nil {
+		return nil, err
+	}
+	return encode(r), nil
+}
+
+// reusableSession lifts a factorization[T] to the wire level.
+type reusableSession[T vec.Scalar] struct{ f factorization[T] }
+
+func (w *reusableSession[T]) Submit(ctx context.Context, a, rhs *Matrix) (*Matrix, int, error) {
+	if rhs != nil && a.Rows < a.Cols {
+		return nil, 0, fmt.Errorf("least squares wants rows ≥ cols, got %d×%d", a.Rows, a.Cols)
+	}
+	if rhs != nil && rhs.Rows != a.Rows {
+		return nil, 0, fmt.Errorf("right-hand side has %d rows, matrix has %d", rhs.Rows, a.Rows)
+	}
+	if err := w.f.FactorIntoCtx(ctx, decode[T](a)); err != nil {
+		return nil, 0, err
+	}
+	if rhs == nil {
+		return encode(w.f.R()), w.f.TaskCount(), nil
+	}
+	x, err := w.f.SolveLSCtx(ctx, decode[T](rhs))
+	if err != nil {
+		return nil, 0, err
+	}
+	return encode(x), w.f.TaskCount(), nil
+}
+
+// ---- per-precision adapters: the only non-generic code ----
+
+type dFact struct {
+	f   tiledqr.Factorization
+	opt tiledqr.Options
+}
+
+func (a *dFact) FactorIntoCtx(ctx context.Context, m *tile.Dense[float64]) error {
+	return tiledqr.FactorIntoCtx(ctx, &a.f, (*tiledqr.Dense)(m), a.opt)
+}
+func (a *dFact) R() *tile.Dense[float64] { return (*tile.Dense[float64])(a.f.R()) }
+func (a *dFact) TaskCount() int          { return a.f.TaskCount() }
+func (a *dFact) SolveLSCtx(ctx context.Context, b *tile.Dense[float64]) (*tile.Dense[float64], error) {
+	x, err := a.f.SolveLSCtx(ctx, (*tiledqr.Dense)(b))
+	return (*tile.Dense[float64])(x), err
+}
+
+type zFact struct {
+	f   tiledqr.ZFactorization
+	opt tiledqr.Options
+}
+
+func (a *zFact) FactorIntoCtx(ctx context.Context, m *tile.Dense[complex128]) error {
+	return tiledqr.ZFactorIntoCtx(ctx, &a.f, (*tiledqr.ZDense)(m), a.opt)
+}
+func (a *zFact) R() *tile.Dense[complex128] { return (*tile.Dense[complex128])(a.f.R()) }
+func (a *zFact) TaskCount() int             { return a.f.TaskCount() }
+func (a *zFact) SolveLSCtx(ctx context.Context, b *tile.Dense[complex128]) (*tile.Dense[complex128], error) {
+	x, err := a.f.SolveLSCtx(ctx, (*tiledqr.ZDense)(b))
+	return (*tile.Dense[complex128])(x), err
+}
+
+type sFact struct {
+	f   tiledqr.Factorization32
+	opt tiledqr.Options
+}
+
+func (a *sFact) FactorIntoCtx(ctx context.Context, m *tile.Dense[float32]) error {
+	return tiledqr.FactorInto32Ctx(ctx, &a.f, (*tiledqr.Dense32)(m), a.opt)
+}
+func (a *sFact) R() *tile.Dense[float32] { return (*tile.Dense[float32])(a.f.R()) }
+func (a *sFact) TaskCount() int          { return a.f.TaskCount() }
+func (a *sFact) SolveLSCtx(ctx context.Context, b *tile.Dense[float32]) (*tile.Dense[float32], error) {
+	x, err := a.f.SolveLSCtx(ctx, (*tiledqr.Dense32)(b))
+	return (*tile.Dense[float32])(x), err
+}
+
+type cFact struct {
+	f   tiledqr.CFactorization
+	opt tiledqr.Options
+}
+
+func (a *cFact) FactorIntoCtx(ctx context.Context, m *tile.Dense[complex64]) error {
+	return tiledqr.CFactorIntoCtx(ctx, &a.f, (*tiledqr.CDense)(m), a.opt)
+}
+func (a *cFact) R() *tile.Dense[complex64] { return (*tile.Dense[complex64])(a.f.R()) }
+func (a *cFact) TaskCount() int            { return a.f.TaskCount() }
+func (a *cFact) SolveLSCtx(ctx context.Context, b *tile.Dense[complex64]) (*tile.Dense[complex64], error) {
+	x, err := a.f.SolveLSCtx(ctx, (*tiledqr.CDense)(b))
+	return (*tile.Dense[complex64])(x), err
+}
+
+type dStream struct{ s *tiledqr.StreamQR }
+
+func (a dStream) AppendCtx(ctx context.Context, batch, rhs *tile.Dense[float64]) error {
+	if rhs != nil {
+		return a.s.AppendRHSCtx(ctx, (*tiledqr.Dense)(batch), (*tiledqr.Dense)(rhs))
+	}
+	return a.s.AppendRowsCtx(ctx, (*tiledqr.Dense)(batch))
+}
+func (a dStream) Rows() int64                    { return a.s.Rows() }
+func (a dStream) N() int                         { return a.s.N() }
+func (a dStream) ResidualNorm() (float64, error) { return a.s.ResidualNorm() }
+func (a dStream) SolveLS() (*tile.Dense[float64], error) {
+	x, err := a.s.SolveLS()
+	return (*tile.Dense[float64])(x), err
+}
+func (a dStream) R() (*tile.Dense[float64], error) {
+	r, err := a.s.R()
+	return (*tile.Dense[float64])(r), err
+}
+
+type zStream struct{ s *tiledqr.ZStreamQR }
+
+func (a zStream) AppendCtx(ctx context.Context, batch, rhs *tile.Dense[complex128]) error {
+	if rhs != nil {
+		return a.s.AppendRHSCtx(ctx, (*tiledqr.ZDense)(batch), (*tiledqr.ZDense)(rhs))
+	}
+	return a.s.AppendRowsCtx(ctx, (*tiledqr.ZDense)(batch))
+}
+func (a zStream) Rows() int64                    { return a.s.Rows() }
+func (a zStream) N() int                         { return a.s.N() }
+func (a zStream) ResidualNorm() (float64, error) { return a.s.ResidualNorm() }
+func (a zStream) SolveLS() (*tile.Dense[complex128], error) {
+	x, err := a.s.SolveLS()
+	return (*tile.Dense[complex128])(x), err
+}
+func (a zStream) R() (*tile.Dense[complex128], error) {
+	r, err := a.s.R()
+	return (*tile.Dense[complex128])(r), err
+}
+
+type sStream struct{ s *tiledqr.StreamQR32 }
+
+func (a sStream) AppendCtx(ctx context.Context, batch, rhs *tile.Dense[float32]) error {
+	if rhs != nil {
+		return a.s.AppendRHSCtx(ctx, (*tiledqr.Dense32)(batch), (*tiledqr.Dense32)(rhs))
+	}
+	return a.s.AppendRowsCtx(ctx, (*tiledqr.Dense32)(batch))
+}
+func (a sStream) Rows() int64                    { return a.s.Rows() }
+func (a sStream) N() int                         { return a.s.N() }
+func (a sStream) ResidualNorm() (float64, error) { return a.s.ResidualNorm() }
+func (a sStream) SolveLS() (*tile.Dense[float32], error) {
+	x, err := a.s.SolveLS()
+	return (*tile.Dense[float32])(x), err
+}
+func (a sStream) R() (*tile.Dense[float32], error) {
+	r, err := a.s.R()
+	return (*tile.Dense[float32])(r), err
+}
+
+type cStream struct{ s *tiledqr.CStreamQR }
+
+func (a cStream) AppendCtx(ctx context.Context, batch, rhs *tile.Dense[complex64]) error {
+	if rhs != nil {
+		return a.s.AppendRHSCtx(ctx, (*tiledqr.CDense)(batch), (*tiledqr.CDense)(rhs))
+	}
+	return a.s.AppendRowsCtx(ctx, (*tiledqr.CDense)(batch))
+}
+func (a cStream) Rows() int64                    { return a.s.Rows() }
+func (a cStream) N() int                         { return a.s.N() }
+func (a cStream) ResidualNorm() (float64, error) { return a.s.ResidualNorm() }
+func (a cStream) SolveLS() (*tile.Dense[complex64], error) {
+	x, err := a.s.SolveLS()
+	return (*tile.Dense[complex64])(x), err
+}
+func (a cStream) R() (*tile.Dense[complex64], error) {
+	r, err := a.s.R()
+	return (*tile.Dense[complex64])(r), err
+}
+
+// domains maps the wire precision tag to its ops.
+var domains = map[string]ops{
+	"d": &domain[float64]{
+		tag:     "d",
+		newFact: func(opt tiledqr.Options) factorization[float64] { return &dFact{opt: opt} },
+		newStream: func(n int, opt tiledqr.Options) (stream[float64], error) {
+			s, err := tiledqr.NewStream(n, opt)
+			return dStream{s: s}, err
+		},
+	},
+	"z": &domain[complex128]{
+		tag:     "z",
+		newFact: func(opt tiledqr.Options) factorization[complex128] { return &zFact{opt: opt} },
+		newStream: func(n int, opt tiledqr.Options) (stream[complex128], error) {
+			s, err := tiledqr.NewZStream(n, opt)
+			return zStream{s: s}, err
+		},
+	},
+	"s": &domain[float32]{
+		tag:     "s",
+		newFact: func(opt tiledqr.Options) factorization[float32] { return &sFact{opt: opt} },
+		newStream: func(n int, opt tiledqr.Options) (stream[float32], error) {
+			s, err := tiledqr.NewStream32(n, opt)
+			return sStream{s: s}, err
+		},
+	},
+	"c": &domain[complex64]{
+		tag:     "c",
+		newFact: func(opt tiledqr.Options) factorization[complex64] { return &cFact{opt: opt} },
+		newStream: func(n int, opt tiledqr.Options) (stream[complex64], error) {
+			s, err := tiledqr.NewCStream(n, opt)
+			return cStream{s: s}, err
+		},
+	},
+}
+
+// opsFor resolves a request's precision tag ("" defaults to double).
+func opsFor(tag string) (ops, error) {
+	if tag == "" {
+		tag = "d"
+	}
+	o, ok := domains[strings.ToLower(tag)]
+	if !ok {
+		return nil, fmt.Errorf("unknown precision %q (want d, z, s or c)", tag)
+	}
+	return o, nil
+}

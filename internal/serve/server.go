@@ -1,0 +1,701 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"tiledqr"
+)
+
+// Config sizes a Server. The zero value of every field selects a sensible
+// default; Runtime is the only required field.
+type Config struct {
+	// Runtime is the shared worker pool every request's DAG executes on.
+	// Admission across concurrent requests is the runtime's weighted-fair
+	// scheduler; the server layers per-tenant quotas and queue-depth
+	// backpressure on top.
+	Runtime *tiledqr.Runtime
+
+	// MaxBodyBytes bounds a request body (default 64 MiB).
+	MaxBodyBytes int64
+	// MaxElements bounds rows·cols of any one wire matrix (default 4M).
+	MaxElements int
+
+	// MaxQueueDepth is the runtime ready-task backlog beyond which compute
+	// requests are rejected with 429 + Retry-After (default 512 × workers;
+	// negative disables).
+	MaxQueueDepth int
+	// TenantActive and TenantQueued bound one tenant (X-Tenant header,
+	// "default" when absent) to TenantActive concurrent requests plus
+	// TenantQueued waiting ones (defaults 32 and 64; TenantActive < 0
+	// disables quotas).
+	TenantActive int
+	TenantQueued int
+
+	// CoalesceWindow is how long the first of a burst of identical-matrix
+	// solves waits for companions before factoring (default 2ms; negative
+	// disables coalescing). CoalesceMax bounds one batch (default 16).
+	CoalesceWindow time.Duration
+	CoalesceMax    int
+
+	// SessionTTL evicts sessions idle longer than this (default 5m);
+	// MaxSessions bounds the table (default 1024).
+	SessionTTL  time.Duration
+	MaxSessions int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.MaxElements == 0 {
+		c.MaxElements = 4 << 20
+	}
+	if c.MaxQueueDepth == 0 {
+		c.MaxQueueDepth = 512 * c.Runtime.Workers()
+	}
+	if c.TenantActive == 0 {
+		c.TenantActive = 32
+	}
+	if c.TenantQueued == 0 {
+		c.TenantQueued = 64
+	}
+	if c.CoalesceWindow == 0 {
+		c.CoalesceWindow = 2 * time.Millisecond
+	}
+	if c.CoalesceMax == 0 {
+		c.CoalesceMax = 16
+	}
+	if c.SessionTTL == 0 {
+		c.SessionTTL = 5 * time.Minute
+	}
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 1024
+	}
+	return c
+}
+
+// Server is the HTTP serving layer: construct with New, mount Handler, and
+// on shutdown call StartDrain + AwaitIdle before draining the runtime.
+type Server struct {
+	cfg      Config
+	rt       *tiledqr.Runtime
+	mux      *http.ServeMux
+	sessions *sessionTable
+	limiter  *limiter
+	coal     *coalescer
+	stats    serverStats
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	mu       sync.Mutex
+	draining bool
+	inflight int
+	idlers   []chan struct{}
+}
+
+// New builds a Server on the given runtime.
+func New(cfg Config) *Server {
+	if cfg.Runtime == nil {
+		panic("serve: Config.Runtime is required")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		rt:       cfg.Runtime,
+		mux:      http.NewServeMux(),
+		sessions: newSessionTable(cfg.SessionTTL, cfg.MaxSessions),
+		limiter:  newLimiter(cfg.TenantActive, cfg.TenantQueued),
+		coal:     newCoalescer(cfg.CoalesceWindow, cfg.CoalesceMax),
+	}
+	s.baseCtx, s.cancel = context.WithCancel(context.Background())
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux.HandleFunc("POST /v1/factor", s.compute(&s.stats.factor, s.handleFactor))
+	s.mux.HandleFunc("POST /v1/solve", s.compute(&s.stats.solve, s.handleSolve))
+	s.mux.HandleFunc("POST /v1/streams", s.compute(nil, s.handleStreamCreate))
+	s.mux.HandleFunc("POST /v1/streams/{id}/rows", s.compute(&s.stats.streamRows, s.handleStreamRows))
+	s.mux.HandleFunc("GET /v1/streams/{id}/solve", s.compute(&s.stats.streamSolve, s.handleStreamSolve))
+	s.mux.HandleFunc("POST /v1/streams/{id}/factor", s.compute(&s.stats.reuse, s.handleStreamFactor))
+	s.mux.HandleFunc("DELETE /v1/streams/{id}", s.compute(nil, s.handleStreamDelete))
+	return s
+}
+
+// Handler returns the root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// StartDrain stops admitting compute requests: every subsequent one gets
+// 503, while requests already in flight run to completion (AwaitIdle
+// observes them). healthz flips to 503 so load balancers stop routing here.
+func (s *Server) StartDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Draining reports whether StartDrain was called.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// AwaitIdle blocks until no compute request is in flight, or until ctx is
+// done (returning its error). Call after StartDrain for a graceful stop.
+func (s *Server) AwaitIdle(ctx context.Context) error {
+	s.mu.Lock()
+	if s.inflight == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	ch := make(chan struct{})
+	s.idlers = append(s.idlers, ch)
+	s.mu.Unlock()
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close cancels the server's base context (failing any coalesced batches
+// still waiting for their window). It does not touch the runtime.
+func (s *Server) Close() { s.cancel() }
+
+// InFlight returns the number of compute requests currently being served.
+func (s *Server) InFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inflight
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+		s.stats.throttled.Add(1)
+	} else if status >= 400 {
+		s.stats.failed.Add(1)
+	}
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// failErr maps library errors onto HTTP statuses: lifecycle rejections are
+// 503 (the server is going away), everything else is the caller's fault or
+// a plain failure.
+func (s *Server) failErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, tiledqr.ErrRuntimeDraining), errors.Is(err, tiledqr.ErrRuntimeClosed):
+		s.fail(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, errThrottled):
+		s.fail(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, errNoSession):
+		s.fail(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, errSessionLimit):
+		s.fail(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		s.fail(w, 499, "%v", err) // client closed request (nginx convention)
+	default:
+		s.fail(w, http.StatusUnprocessableEntity, "%v", err)
+	}
+}
+
+// compute wraps a handler with the shared serving concerns: drain gating,
+// in-flight accounting, queue-depth backpressure, per-tenant quotas, and
+// latency recording (hist may be nil for cheap administrative endpoints).
+func (s *Server) compute(hist *Histogram, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			s.fail(w, http.StatusServiceUnavailable, "server is draining")
+			return
+		}
+		s.inflight++
+		s.mu.Unlock()
+		defer func() {
+			s.mu.Lock()
+			s.inflight--
+			if s.inflight == 0 {
+				for _, ch := range s.idlers {
+					close(ch)
+				}
+				s.idlers = nil
+			}
+			s.mu.Unlock()
+		}()
+
+		if s.cfg.MaxQueueDepth > 0 && hist != nil {
+			if st := s.rt.Stats(); st.QueuedTasks > s.cfg.MaxQueueDepth {
+				s.fail(w, http.StatusTooManyRequests,
+					"runtime backlog %d exceeds bound %d", st.QueuedTasks, s.cfg.MaxQueueDepth)
+				return
+			}
+		}
+		tenant := r.Header.Get("X-Tenant")
+		if tenant == "" {
+			tenant = "default"
+		}
+		release, err := s.limiter.acquire(r.Context(), tenant)
+		if err != nil {
+			s.failErr(w, err)
+			return
+		}
+		defer release()
+
+		s.stats.requests.Add(1)
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		start := time.Now()
+		h(w, r)
+		if hist != nil {
+			hist.Observe(time.Since(start))
+		}
+	}
+}
+
+// readBody decodes a JSON request body into v.
+func readBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+// WireOptions is the wire form of the tunable factorization options.
+type WireOptions struct {
+	Algorithm   string `json:"algorithm,omitempty"`
+	Kernels     string `json:"kernels,omitempty"`
+	TileSize    int    `json:"tile_size,omitempty"`
+	InnerBlock  int    `json:"inner_block,omitempty"`
+	CheckHealth bool   `json:"check_health,omitempty"`
+}
+
+// options lowers the wire options onto the server's runtime.
+func (w *WireOptions) options(rt *tiledqr.Runtime) (tiledqr.Options, error) {
+	opt := tiledqr.Options{Runtime: rt}
+	if w == nil {
+		return opt, nil
+	}
+	switch w.Algorithm {
+	case "", "greedy":
+		opt.Algorithm = tiledqr.Greedy
+	case "auto":
+		opt.Algorithm = tiledqr.AlgorithmAuto
+	case "flattree":
+		opt.Algorithm = tiledqr.FlatTree
+	case "binarytree":
+		opt.Algorithm = tiledqr.BinaryTree
+	case "fibonacci":
+		opt.Algorithm = tiledqr.Fibonacci
+	case "asap":
+		opt.Algorithm = tiledqr.Asap
+	default:
+		return opt, fmt.Errorf("unknown algorithm %q", w.Algorithm)
+	}
+	switch w.Kernels {
+	case "", "tt":
+		opt.Kernels = tiledqr.TT
+	case "ts":
+		opt.Kernels = tiledqr.TS
+	default:
+		return opt, fmt.Errorf("unknown kernel family %q", w.Kernels)
+	}
+	if w.TileSize < 0 || w.InnerBlock < 0 {
+		return opt, fmt.Errorf("tile_size and inner_block must be ≥ 0")
+	}
+	opt.TileSize = w.TileSize
+	opt.InnerBlock = w.InnerBlock
+	opt.CheckHealth = w.CheckHealth
+	return opt, nil
+}
+
+// ---- one-shot endpoints ----
+
+type factorRequest struct {
+	Precision string       `json:"precision,omitempty"`
+	Matrix    *Matrix      `json:"matrix"`
+	Options   *WireOptions `json:"options,omitempty"`
+}
+
+type factorReply struct {
+	R         *Matrix `json:"r"`
+	TaskCount int     `json:"task_count"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+func (s *Server) handleFactor(w http.ResponseWriter, r *http.Request) {
+	var req factorRequest
+	if err := readBody(r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	o, opt, err := s.prep(req.Precision, req.Options, req.Matrix)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	start := time.Now()
+	rm, tasks, err := o.Factor(r.Context(), req.Matrix, opt)
+	s.stats.factorizations.Add(1)
+	if err != nil {
+		s.failErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, factorReply{
+		R: rm, TaskCount: tasks,
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+type solveRequest struct {
+	Precision string       `json:"precision,omitempty"`
+	Matrix    *Matrix      `json:"matrix"`
+	RHS       *Matrix      `json:"rhs"`
+	Options   *WireOptions `json:"options,omitempty"`
+}
+
+type solveReply struct {
+	X         *Matrix `json:"x"`
+	Coalesced int     `json:"coalesced"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req solveRequest
+	if err := readBody(r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	o, opt, err := s.prep(req.Precision, req.Options, req.Matrix)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := o.CheckMatrix(req.RHS, s.cfg.MaxElements); err != nil {
+		s.fail(w, http.StatusBadRequest, "rhs: %v", err)
+		return
+	}
+	if req.RHS.Rows != req.Matrix.Rows || req.Matrix.Rows < req.Matrix.Cols {
+		s.fail(w, http.StatusBadRequest,
+			"solve wants matrix rows ≥ cols and rhs rows == matrix rows (matrix %d×%d, rhs %d×%d)",
+			req.Matrix.Rows, req.Matrix.Cols, req.RHS.Rows, req.RHS.Cols)
+		return
+	}
+	start := time.Now()
+	x, size, err := s.coal.solve(r.Context(), s.baseCtx, o, req.Matrix, req.RHS, opt, &s.stats)
+	if err != nil {
+		s.failErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, solveReply{
+		X: x, Coalesced: size,
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+// prep resolves precision and options and validates the primary matrix.
+func (s *Server) prep(prec string, wo *WireOptions, m *Matrix) (ops, tiledqr.Options, error) {
+	o, err := opsFor(prec)
+	if err != nil {
+		return nil, tiledqr.Options{}, err
+	}
+	opt, err := wo.options(s.rt)
+	if err != nil {
+		return nil, tiledqr.Options{}, err
+	}
+	if err := o.CheckMatrix(m, s.cfg.MaxElements); err != nil {
+		return nil, tiledqr.Options{}, err
+	}
+	return o, opt, nil
+}
+
+// ---- session endpoints ----
+
+type streamCreateRequest struct {
+	Precision string       `json:"precision,omitempty"`
+	Kind      string       `json:"kind,omitempty"` // "stream" (default) or "factor"
+	Cols      int          `json:"cols,omitempty"` // required for kind "stream"
+	Options   *WireOptions `json:"options,omitempty"`
+}
+
+type streamCreateReply struct {
+	ID   string `json:"id"`
+	Kind string `json:"kind"`
+}
+
+func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
+	var req streamCreateRequest
+	if err := readBody(r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	o, err := opsFor(req.Precision)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	opt, err := req.Options.options(s.rt)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sess := &session{tenant: r.Header.Get("X-Tenant"), prec: o.Precision()}
+	switch req.Kind {
+	case "", "stream":
+		if req.Cols < 1 {
+			s.fail(w, http.StatusBadRequest, "stream sessions need cols ≥ 1")
+			return
+		}
+		st, err := o.NewStream(req.Cols, opt)
+		if err != nil {
+			s.failErr(w, err)
+			return
+		}
+		sess.stream = st
+		req.Kind = "stream"
+	case "factor":
+		sess.reuse = o.NewReusable(opt)
+	default:
+		s.fail(w, http.StatusBadRequest, "unknown session kind %q (want stream or factor)", req.Kind)
+		return
+	}
+	if err := s.sessions.add(sess); err != nil {
+		s.failErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, streamCreateReply{ID: sess.id, Kind: req.Kind})
+}
+
+type streamRowsRequest struct {
+	Batch *Matrix `json:"batch"`
+	RHS   *Matrix `json:"rhs,omitempty"`
+}
+
+type streamRowsReply struct {
+	Rows      int64   `json:"rows"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// getSession fetches the session for a /v1/streams/{id}/... request.
+func (s *Server) getSession(w http.ResponseWriter, r *http.Request) *session {
+	sess, err := s.sessions.get(r.PathValue("id"))
+	if err != nil {
+		s.failErr(w, err)
+		return nil
+	}
+	return sess
+}
+
+func (s *Server) handleStreamRows(w http.ResponseWriter, r *http.Request) {
+	sess := s.getSession(w, r)
+	if sess == nil {
+		return
+	}
+	if sess.stream == nil {
+		s.fail(w, http.StatusBadRequest, "session %s is a factor session, not a stream", sess.id)
+		return
+	}
+	var req streamRowsRequest
+	if err := readBody(r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	o, _ := opsFor(sess.prec)
+	if err := o.CheckMatrix(req.Batch, s.cfg.MaxElements); err != nil {
+		s.fail(w, http.StatusBadRequest, "batch: %v", err)
+		return
+	}
+	if req.RHS != nil {
+		if err := o.CheckMatrix(req.RHS, s.cfg.MaxElements); err != nil {
+			s.fail(w, http.StatusBadRequest, "rhs: %v", err)
+			return
+		}
+	}
+	start := time.Now()
+	sess.mu.Lock()
+	err := sess.stream.Append(r.Context(), req.Batch, req.RHS)
+	rows := sess.stream.Rows()
+	sess.mu.Unlock()
+	if err != nil {
+		s.failErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, streamRowsReply{
+		Rows:      rows,
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+type streamSolveReply struct {
+	X         *Matrix `json:"x"`
+	Residual  float64 `json:"residual"`
+	Rows      int64   `json:"rows"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+func (s *Server) handleStreamSolve(w http.ResponseWriter, r *http.Request) {
+	sess := s.getSession(w, r)
+	if sess == nil {
+		return
+	}
+	if sess.stream == nil {
+		s.fail(w, http.StatusBadRequest, "session %s is a factor session, not a stream", sess.id)
+		return
+	}
+	start := time.Now()
+	sess.mu.Lock()
+	x, resid, err := sess.stream.Solve()
+	rows := sess.stream.Rows()
+	sess.mu.Unlock()
+	if err != nil {
+		s.failErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, streamSolveReply{
+		X: x, Residual: resid, Rows: rows,
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+type streamFactorRequest struct {
+	Matrix *Matrix `json:"matrix"`
+	RHS    *Matrix `json:"rhs,omitempty"`
+}
+
+type streamFactorReply struct {
+	R         *Matrix `json:"r,omitempty"`
+	X         *Matrix `json:"x,omitempty"`
+	TaskCount int     `json:"task_count"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+func (s *Server) handleStreamFactor(w http.ResponseWriter, r *http.Request) {
+	sess := s.getSession(w, r)
+	if sess == nil {
+		return
+	}
+	if sess.reuse == nil {
+		s.fail(w, http.StatusBadRequest, "session %s is a stream, not a factor session", sess.id)
+		return
+	}
+	var req streamFactorRequest
+	if err := readBody(r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	o, _ := opsFor(sess.prec)
+	if err := o.CheckMatrix(req.Matrix, s.cfg.MaxElements); err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.RHS != nil {
+		if err := o.CheckMatrix(req.RHS, s.cfg.MaxElements); err != nil {
+			s.fail(w, http.StatusBadRequest, "rhs: %v", err)
+			return
+		}
+	}
+	start := time.Now()
+	sess.mu.Lock()
+	res, tasks, err := sess.reuse.Submit(r.Context(), req.Matrix, req.RHS)
+	sess.mu.Unlock()
+	s.stats.factorizations.Add(1)
+	if err != nil {
+		s.failErr(w, err)
+		return
+	}
+	reply := streamFactorReply{
+		TaskCount: tasks,
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	if req.RHS == nil {
+		reply.R = res
+	} else {
+		reply.X = res
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+func (s *Server) handleStreamDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.sessions.remove(r.PathValue("id")); err != nil {
+		s.failErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ---- health and stats ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		s.fail(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// Statsz is the wire form of /statsz.
+type Statsz struct {
+	Runtime struct {
+		Workers      int  `json:"workers"`
+		QueuedTasks  int  `json:"queued_tasks"`
+		InFlightJobs int  `json:"inflight_jobs"`
+		Draining     bool `json:"draining"`
+	} `json:"runtime"`
+	Server struct {
+		InFlightRequests  int    `json:"inflight_requests"`
+		Sessions          int    `json:"sessions"`
+		Requests          uint64 `json:"requests"`
+		Failed            uint64 `json:"failed"`
+		Throttled         uint64 `json:"throttled"`
+		Factorizations    uint64 `json:"factorizations"`
+		CoalescedRequests uint64 `json:"coalesced_requests"`
+		SolveBatches      uint64 `json:"solve_batches"`
+		Draining          bool   `json:"draining"`
+	} `json:"server"`
+	Endpoints map[string]endpointStats `json:"endpoints"`
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	var out Statsz
+	rs := s.rt.Stats()
+	out.Runtime.Workers = rs.Workers
+	out.Runtime.QueuedTasks = rs.QueuedTasks
+	out.Runtime.InFlightJobs = rs.InFlightJobs
+	out.Runtime.Draining = rs.Draining
+	out.Server.InFlightRequests = s.InFlight()
+	out.Server.Sessions = s.sessions.count()
+	out.Server.Requests = s.stats.requests.Load()
+	out.Server.Failed = s.stats.failed.Load()
+	out.Server.Throttled = s.stats.throttled.Load()
+	out.Server.Factorizations = s.stats.factorizations.Load()
+	out.Server.CoalescedRequests = s.stats.coalesced.Load()
+	out.Server.SolveBatches = s.stats.batches.Load()
+	out.Server.Draining = s.Draining()
+	out.Endpoints = map[string]endpointStats{
+		"factor":       s.stats.factor.wire(),
+		"solve":        s.stats.solve.wire(),
+		"stream_rows":  s.stats.streamRows.wire(),
+		"stream_solve": s.stats.streamSolve.wire(),
+		"reuse_factor": s.stats.reuse.wire(),
+	}
+	writeJSON(w, http.StatusOK, out)
+}

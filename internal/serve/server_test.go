@@ -1,0 +1,527 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"tiledqr"
+)
+
+// newTestServer builds a Server on a small private runtime plus an httptest
+// front end.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	rt := tiledqr.NewRuntime(2)
+	t.Cleanup(rt.Close)
+	cfg.Runtime = rt
+	s := New(cfg)
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// postJSON posts body and decodes the JSON response into out (may be nil).
+func postJSON(t *testing.T, url string, body, out any) int {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding response from %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding response from %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// complexTag reports whether a precision tag carries interleaved re/im data.
+func complexTag(prec string) bool { return prec == "z" || prec == "c" }
+
+// testMatrix builds a wire matrix from an element function; for complex
+// precisions every element is (f, 0), so one real-valued oracle covers all
+// four domains while still exercising the interleaved wire layout.
+func testMatrix(rows, cols int, prec string, f func(i, j int) float64) *Matrix {
+	m := &Matrix{Rows: rows, Cols: cols}
+	if complexTag(prec) {
+		m.Data = make([]float64, 2*rows*cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				m.Data[2*(i*cols+j)] = f(i, j)
+			}
+		}
+		return m
+	}
+	m.Data = make([]float64, rows*cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Data[i*cols+j] = f(i, j)
+		}
+	}
+	return m
+}
+
+// wellConditioned is a diagonally dominant full-rank test matrix.
+func wellConditioned(rows, cols int, prec string) *Matrix {
+	return testMatrix(rows, cols, prec, func(i, j int) float64 {
+		v := 1 / float64(1+abs(i-j))
+		if i == j {
+			v += float64(cols)
+		}
+		return v
+	})
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// matTimesOnes returns b = scale · A·1, the right-hand side whose exact
+// least-squares solution is scale·ones (A has full column rank and b lies in
+// its range only when A is square; for tall A the system A·x = b with
+// b = A·1 is still consistent, so x = 1 exactly).
+func matTimesOnes(a *Matrix, prec string, scale float64) *Matrix {
+	cplx := complexTag(prec)
+	at := func(i, j int) float64 {
+		if cplx {
+			return a.Data[2*(i*a.Cols+j)]
+		}
+		return a.Data[i*a.Cols+j]
+	}
+	return testMatrix(a.Rows, 1, prec, func(i, _ int) float64 {
+		sum := 0.0
+		for j := 0; j < a.Cols; j++ {
+			sum += at(i, j)
+		}
+		return scale * sum
+	})
+}
+
+// solutionAt reads element (i,0) of a returned solution.
+func solutionAt(x *Matrix, prec string, i int) float64 {
+	if complexTag(prec) {
+		return x.Data[2*i*x.Cols]
+	}
+	return x.Data[i*x.Cols]
+}
+
+func tolFor(prec string) float64 {
+	if prec == "s" || prec == "c" {
+		return 1e-3
+	}
+	return 1e-8
+}
+
+func TestSolveAllPrecisions(t *testing.T) {
+	_, ts := newTestServer(t, Config{CoalesceWindow: -1})
+	for _, prec := range []string{"d", "z", "s", "c"} {
+		t.Run(prec, func(t *testing.T) {
+			a := wellConditioned(12, 5, prec)
+			rhs := matTimesOnes(a, prec, 1)
+			var reply solveReply
+			if code := postJSON(t, ts.URL+"/v1/solve", solveRequest{Precision: prec, Matrix: a, RHS: rhs}, &reply); code != http.StatusOK {
+				t.Fatalf("solve (%s): status %d", prec, code)
+			}
+			if reply.X == nil || reply.X.Rows != 5 || reply.X.Cols != 1 {
+				t.Fatalf("solve (%s): bad solution shape %+v", prec, reply.X)
+			}
+			for i := 0; i < 5; i++ {
+				if got := solutionAt(reply.X, prec, i); math.Abs(got-1) > tolFor(prec) {
+					t.Fatalf("solve (%s): x[%d] = %v, want 1", prec, i, got)
+				}
+			}
+		})
+	}
+}
+
+func TestFactorAllPrecisions(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, prec := range []string{"d", "z", "s", "c"} {
+		a := wellConditioned(16, 8, prec)
+		var reply factorReply
+		if code := postJSON(t, ts.URL+"/v1/factor", factorRequest{Precision: prec, Matrix: a}, &reply); code != http.StatusOK {
+			t.Fatalf("factor (%s): status %d", prec, code)
+		}
+		if reply.R == nil || reply.R.Cols != 8 {
+			t.Fatalf("factor (%s): bad R %+v", prec, reply.R)
+		}
+		if reply.TaskCount < 1 {
+			t.Fatalf("factor (%s): task count %d", prec, reply.TaskCount)
+		}
+		// R must be upper triangular: below-diagonal entries (within the
+		// leading Cols rows) vanish.
+		for i := 1; i < reply.R.Cols && i < reply.R.Rows; i++ {
+			for j := 0; j < i; j++ {
+				if got := math.Abs(solutionRC(reply.R, prec, i, j)); got > tolFor(prec) {
+					t.Fatalf("factor (%s): R[%d,%d] = %v, want 0", prec, i, j, got)
+				}
+			}
+		}
+	}
+}
+
+func solutionRC(m *Matrix, prec string, i, j int) float64 {
+	if complexTag(prec) {
+		return m.Data[2*(i*m.Cols+j)]
+	}
+	return m.Data[i*m.Cols+j]
+}
+
+func TestStreamLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	a := wellConditioned(8, 3, "d")
+	rhs := matTimesOnes(a, "d", 1)
+
+	var created streamCreateReply
+	if code := postJSON(t, ts.URL+"/v1/streams", streamCreateRequest{Cols: 3}, &created); code != http.StatusOK {
+		t.Fatalf("stream create: status %d", code)
+	}
+	if created.ID == "" || created.Kind != "stream" {
+		t.Fatalf("stream create: reply %+v", created)
+	}
+
+	var rowsReply streamRowsReply
+	if code := postJSON(t, ts.URL+"/v1/streams/"+created.ID+"/rows",
+		streamRowsRequest{Batch: a, RHS: rhs}, &rowsReply); code != http.StatusOK {
+		t.Fatalf("stream rows: status %d", code)
+	}
+	if rowsReply.Rows != 8 {
+		t.Fatalf("stream rows: got %d rows, want 8", rowsReply.Rows)
+	}
+
+	var solveReplyS streamSolveReply
+	if code := getJSON(t, ts.URL+"/v1/streams/"+created.ID+"/solve", &solveReplyS); code != http.StatusOK {
+		t.Fatalf("stream solve: status %d", code)
+	}
+	for i := 0; i < 3; i++ {
+		if got := solutionAt(solveReplyS.X, "d", i); math.Abs(got-1) > 1e-8 {
+			t.Fatalf("stream solve: x[%d] = %v, want 1", i, got)
+		}
+	}
+	if solveReplyS.Residual > 1e-8 {
+		t.Fatalf("stream solve: residual %v for a consistent system", solveReplyS.Residual)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/streams/"+created.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("stream delete: status %d", resp.StatusCode)
+	}
+	if code := getJSON(t, ts.URL+"/v1/streams/"+created.ID+"/solve", nil); code != http.StatusNotFound {
+		t.Fatalf("solve after delete: status %d, want 404", code)
+	}
+}
+
+func TestReusableFactorSession(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var created streamCreateReply
+	if code := postJSON(t, ts.URL+"/v1/streams", streamCreateRequest{Kind: "factor", Precision: "d"}, &created); code != http.StatusOK {
+		t.Fatalf("factor session create: status %d", code)
+	}
+	a := wellConditioned(10, 4, "d")
+	// First submission: R only.
+	var r1 streamFactorReply
+	if code := postJSON(t, ts.URL+"/v1/streams/"+created.ID+"/factor",
+		streamFactorRequest{Matrix: a}, &r1); code != http.StatusOK {
+		t.Fatalf("factor submit 1: status %d", code)
+	}
+	if r1.R == nil || r1.X != nil {
+		t.Fatalf("factor submit 1: want R only, got %+v", r1)
+	}
+	// Second same-shape submission reuses the arena and solves.
+	var r2 streamFactorReply
+	if code := postJSON(t, ts.URL+"/v1/streams/"+created.ID+"/factor",
+		streamFactorRequest{Matrix: a, RHS: matTimesOnes(a, "d", 2)}, &r2); code != http.StatusOK {
+		t.Fatalf("factor submit 2: status %d", code)
+	}
+	if r2.X == nil {
+		t.Fatalf("factor submit 2: want X, got %+v", r2)
+	}
+	for i := 0; i < 4; i++ {
+		if got := solutionAt(r2.X, "d", i); math.Abs(got-2) > 1e-8 {
+			t.Fatalf("factor submit 2: x[%d] = %v, want 2", i, got)
+		}
+	}
+}
+
+func TestSolveCoalescing(t *testing.T) {
+	_, ts := newTestServer(t, Config{CoalesceWindow: 100 * time.Millisecond})
+	a := wellConditioned(10, 4, "d")
+	const n = 4
+	replies := make([]solveReply, n)
+	var wg sync.WaitGroup
+	for k := 0; k < n; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			rhs := matTimesOnes(a, "d", float64(k+1))
+			if code := postJSON(t, ts.URL+"/v1/solve", solveRequest{Matrix: a, RHS: rhs}, &replies[k]); code != http.StatusOK {
+				t.Errorf("solve %d: status %d", k, code)
+			}
+		}(k)
+	}
+	wg.Wait()
+	maxBatch := 0
+	for k := range replies {
+		if replies[k].X == nil {
+			t.Fatalf("solve %d: no solution", k)
+		}
+		for i := 0; i < 4; i++ {
+			want := float64(k + 1)
+			if got := solutionAt(replies[k].X, "d", i); math.Abs(got-want) > 1e-8 {
+				t.Fatalf("solve %d: x[%d] = %v, want %v", k, i, got, want)
+			}
+		}
+		if replies[k].Coalesced > maxBatch {
+			maxBatch = replies[k].Coalesced
+		}
+	}
+	// All four share one matrix and were fired inside a 100ms window: at
+	// least two must have shared a factorization.
+	if maxBatch < 2 {
+		t.Fatalf("no solves coalesced (max batch %d)", maxBatch)
+	}
+	var st Statsz
+	if code := getJSON(t, ts.URL+"/statsz", &st); code != http.StatusOK {
+		t.Fatalf("statsz: status %d", code)
+	}
+	if st.Server.SolveBatches >= uint64(n) {
+		t.Fatalf("statsz: %d batches for %d coalescible solves", st.Server.SolveBatches, n)
+	}
+	if st.Server.CoalescedRequests < 2 {
+		t.Fatalf("statsz: coalesced_requests = %d, want ≥ 2", st.Server.CoalescedRequests)
+	}
+}
+
+func TestStatszShape(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	a := wellConditioned(8, 4, "d")
+	if code := postJSON(t, ts.URL+"/v1/factor", factorRequest{Matrix: a}, nil); code != http.StatusOK {
+		t.Fatalf("factor: status %d", code)
+	}
+	var st Statsz
+	if code := getJSON(t, ts.URL+"/statsz", &st); code != http.StatusOK {
+		t.Fatalf("statsz: status %d", code)
+	}
+	if st.Runtime.Workers != 2 {
+		t.Fatalf("statsz: workers = %d, want 2", st.Runtime.Workers)
+	}
+	if st.Server.Requests < 1 || st.Server.Factorizations < 1 {
+		t.Fatalf("statsz: requests=%d factorizations=%d, want ≥ 1",
+			st.Server.Requests, st.Server.Factorizations)
+	}
+	ep, ok := st.Endpoints["factor"]
+	if !ok || ep.Count < 1 || ep.P99MS <= 0 {
+		t.Fatalf("statsz: factor endpoint stats %+v", ep)
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		url  string
+		body any
+		want int
+	}{
+		{"unknown precision", "/v1/factor", factorRequest{Precision: "q", Matrix: wellConditioned(4, 2, "d")}, 400},
+		{"bad data length", "/v1/factor", factorRequest{Matrix: &Matrix{Rows: 2, Cols: 2, Data: []float64{1}}}, 400},
+		{"missing matrix", "/v1/factor", factorRequest{}, 400},
+		{"solve underdetermined", "/v1/solve", solveRequest{
+			Matrix: wellConditioned(2, 4, "d"), RHS: wellConditioned(2, 1, "d")}, 400},
+		{"solve rhs mismatch", "/v1/solve", solveRequest{
+			Matrix: wellConditioned(4, 2, "d"), RHS: wellConditioned(3, 1, "d")}, 400},
+		{"stream without cols", "/v1/streams", streamCreateRequest{}, 400},
+		{"bad session kind", "/v1/streams", streamCreateRequest{Kind: "nope"}, 400},
+		{"unknown session", "/v1/streams/s-missing/rows", streamRowsRequest{Batch: wellConditioned(4, 2, "d")}, 404},
+	}
+	for _, tc := range cases {
+		if code := postJSON(t, ts.URL+tc.url, tc.body, nil); code != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, code, tc.want)
+		}
+	}
+	// Oversized matrices are rejected before allocation.
+	_, tsSmall := newTestServer(t, Config{MaxElements: 16})
+	if code := postJSON(t, tsSmall.URL+"/v1/factor", factorRequest{Matrix: wellConditioned(8, 4, "d")}, nil); code != 400 {
+		t.Errorf("oversized matrix: status %d, want 400", code)
+	}
+}
+
+func TestSessionLimit429(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxSessions: 1})
+	if code := postJSON(t, ts.URL+"/v1/streams", streamCreateRequest{Cols: 2}, nil); code != http.StatusOK {
+		t.Fatalf("first session: status %d", code)
+	}
+	raw, _ := json.Marshal(streamCreateRequest{Cols: 2})
+	resp, err := http.Post(ts.URL+"/v1/streams", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second session: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+}
+
+func TestLimiterQuota(t *testing.T) {
+	l := newLimiter(1, 1)
+	release1, err := l.acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second request parks in the wait queue.
+	acquired := make(chan error, 1)
+	go func() {
+		release2, err := l.acquire(context.Background(), "a")
+		if err == nil {
+			release2()
+		}
+		acquired <- err
+	}()
+	// Wait for the goroutine to take the one queue token, then a third
+	// request finds both the slot and the queue full.
+	g := l.gate("a")
+	deadline := time.Now().Add(time.Second)
+	for len(g.queued) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second acquire never joined the wait queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := l.acquire(context.Background(), "a"); err != errThrottled {
+		t.Fatalf("third acquire: %v, want errThrottled", err)
+	}
+	// Another tenant is unaffected.
+	releaseB, err := l.acquire(context.Background(), "b")
+	if err != nil {
+		t.Fatalf("tenant b: %v", err)
+	}
+	releaseB()
+	// Releasing the slot admits the queued request.
+	release1()
+	if err := <-acquired; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+	// A canceled context abandons the queue promptly.
+	r3, _ := l.acquire(context.Background(), "a")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := l.acquire(ctx, "a"); err != context.Canceled {
+		t.Fatalf("canceled acquire: %v, want context.Canceled", err)
+	}
+	r3()
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count %d, want 1000", h.Count())
+	}
+	p50, p99 := h.Quantile(0.50), h.Quantile(0.99)
+	if p50 <= 0 || p99 < p50 {
+		t.Fatalf("quantiles not monotonic: p50=%v p99=%v", p50, p99)
+	}
+	// Bucketed quantiles overestimate by at most one bucket width (≈19%).
+	if p50 < 500*time.Microsecond || p50 > 620*time.Microsecond {
+		t.Fatalf("p50 %v outside [500µs, 620µs]", p50)
+	}
+	if h.Mean() < 400*time.Microsecond || h.Mean() > 600*time.Microsecond {
+		t.Fatalf("mean %v outside [400µs, 600µs]", h.Mean())
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	for _, prec := range []string{"d", "z", "s", "c"} {
+		o, err := opsFor(prec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := testMatrix(3, 2, prec, func(i, j int) float64 { return float64(10*i + j) })
+		if complexTag(prec) {
+			// Give the imaginary parts non-zero values too.
+			for k := 1; k < len(m.Data); k += 2 {
+				m.Data[k] = float64(k)
+			}
+		}
+		if err := o.CheckMatrix(m, 0); err != nil {
+			t.Fatalf("%s: check: %v", prec, err)
+		}
+		got := roundTrip(m, prec)
+		if got.Rows != m.Rows || got.Cols != m.Cols || len(got.Data) != len(m.Data) {
+			t.Fatalf("%s: shape changed: %+v -> %+v", prec, m, got)
+		}
+		for k := range m.Data {
+			if math.Abs(got.Data[k]-m.Data[k]) > 1e-6 {
+				t.Fatalf("%s: data[%d] = %v, want %v", prec, k, got.Data[k], m.Data[k])
+			}
+		}
+	}
+}
+
+// roundTrip decodes and re-encodes a wire matrix in the given precision.
+func roundTrip(m *Matrix, prec string) *Matrix {
+	switch prec {
+	case "d":
+		return encode(decode[float64](m))
+	case "z":
+		return encode(decode[complex128](m))
+	case "s":
+		return encode(decode[float32](m))
+	case "c":
+		return encode(decode[complex64](m))
+	}
+	panic(fmt.Sprintf("bad precision %q", prec))
+}
+
+func TestHealthz(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz: status %d", code)
+	}
+	s.StartDrain()
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: status %d, want 503", code)
+	}
+}

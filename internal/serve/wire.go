@@ -1,0 +1,164 @@
+// Package serve implements the HTTP serving layer behind cmd/qrserve: JSON
+// wire encoding for matrices in all four precisions, one-shot factor/solve
+// handlers, session-oriented streaming (NewStream*) and reusable-
+// factorization (FactorInto) endpoints, per-tenant admission quotas,
+// runtime queue-depth backpressure, same-matrix solve coalescing, and
+// latency statistics. Everything is plain net/http over the public tiledqr
+// API, so the package is unit-testable with httptest and no sockets.
+package serve
+
+import (
+	"errors"
+	"fmt"
+
+	"tiledqr/internal/tile"
+	"tiledqr/internal/vec"
+)
+
+// Matrix is the wire form of a dense row-major matrix. For the real
+// precisions ("d", "s") Data holds rows·cols values; for the complex
+// precisions ("z", "c") it holds 2·rows·cols values with the real and
+// imaginary parts of each element interleaved, row-major. The single
+// precisions travel as JSON numbers like the doubles and are narrowed on
+// decode.
+type Matrix struct {
+	Rows int       `json:"rows"`
+	Cols int       `json:"cols"`
+	Data []float64 `json:"data"`
+}
+
+// errNilMatrix reports a request missing a required matrix field.
+var errNilMatrix = errors.New("missing matrix")
+
+// check validates the shape against the element count, with maxElems
+// bounding rows·cols so a hostile request cannot make the server allocate
+// without bound.
+func (m *Matrix) check(isComplex bool, maxElems int) error {
+	if m == nil {
+		return errNilMatrix
+	}
+	if m.Rows < 1 || m.Cols < 1 {
+		return fmt.Errorf("matrix shape %d×%d is invalid", m.Rows, m.Cols)
+	}
+	if maxElems > 0 && (m.Rows > maxElems/m.Cols) {
+		return fmt.Errorf("matrix %d×%d exceeds the %d-element limit", m.Rows, m.Cols, maxElems)
+	}
+	want := m.Rows * m.Cols
+	if isComplex {
+		want *= 2
+	}
+	if len(m.Data) != want {
+		return fmt.Errorf("matrix %d×%d wants %d data values, got %d", m.Rows, m.Cols, want, len(m.Data))
+	}
+	return nil
+}
+
+// decode converts a checked wire matrix into a dense matrix of T's domain.
+func decode[T vec.Scalar](m *Matrix) *tile.Dense[T] {
+	d := tile.NewDense[T](m.Rows, m.Cols)
+	if vec.IsComplex[T]() {
+		for i := 0; i < m.Rows; i++ {
+			row := d.Data[i*d.Stride:]
+			src := m.Data[2*i*m.Cols:]
+			for j := 0; j < m.Cols; j++ {
+				row[j] = vec.FromParts[T](src[2*j], src[2*j+1])
+			}
+		}
+		return d
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := d.Data[i*d.Stride:]
+		src := m.Data[i*m.Cols:]
+		for j := 0; j < m.Cols; j++ {
+			row[j] = vec.FromParts[T](src[j], 0)
+		}
+	}
+	return d
+}
+
+// encode converts a dense matrix back to the wire form.
+func encode[T vec.Scalar](d *tile.Dense[T]) *Matrix {
+	m := &Matrix{Rows: d.Rows, Cols: d.Cols}
+	if vec.IsComplex[T]() {
+		m.Data = make([]float64, 2*d.Rows*d.Cols)
+		for i := 0; i < d.Rows; i++ {
+			row := d.Data[i*d.Stride:]
+			dst := m.Data[2*i*d.Cols:]
+			for j := 0; j < d.Cols; j++ {
+				dst[2*j] = vec.RealPart(row[j])
+				dst[2*j+1] = vec.ImagPart(row[j])
+			}
+		}
+		return m
+	}
+	m.Data = make([]float64, d.Rows*d.Cols)
+	for i := 0; i < d.Rows; i++ {
+		row := d.Data[i*d.Stride:]
+		dst := m.Data[i*d.Cols:]
+		for j := 0; j < d.Cols; j++ {
+			dst[j] = vec.RealPart(row[j])
+		}
+	}
+	return m
+}
+
+// hcat concatenates checked wire matrices with equal row counts column-wise
+// into one dense matrix — the coalescing path stacks many small right-hand
+// sides into a single multi-column solve.
+func hcat[T vec.Scalar](ms []*Matrix, isComplex bool) *tile.Dense[T] {
+	rows, cols := ms[0].Rows, 0
+	for _, m := range ms {
+		cols += m.Cols
+	}
+	d := tile.NewDense[T](rows, cols)
+	off := 0
+	for _, m := range ms {
+		for i := 0; i < rows; i++ {
+			row := d.Data[i*d.Stride+off:]
+			if isComplex {
+				src := m.Data[2*i*m.Cols:]
+				for j := 0; j < m.Cols; j++ {
+					row[j] = vec.FromParts[T](src[2*j], src[2*j+1])
+				}
+			} else {
+				src := m.Data[i*m.Cols:]
+				for j := 0; j < m.Cols; j++ {
+					row[j] = vec.FromParts[T](src[j], 0)
+				}
+			}
+		}
+		off += m.Cols
+	}
+	return d
+}
+
+// splitCols slices an encoded solution back into per-request column blocks.
+func splitCols[T vec.Scalar](x *tile.Dense[T], widths []int) []*Matrix {
+	out := make([]*Matrix, len(widths))
+	off := 0
+	for k, w := range widths {
+		m := &Matrix{Rows: x.Rows, Cols: w}
+		if vec.IsComplex[T]() {
+			m.Data = make([]float64, 2*x.Rows*w)
+			for i := 0; i < x.Rows; i++ {
+				row := x.Data[i*x.Stride+off:]
+				dst := m.Data[2*i*w:]
+				for j := 0; j < w; j++ {
+					dst[2*j] = vec.RealPart(row[j])
+					dst[2*j+1] = vec.ImagPart(row[j])
+				}
+			}
+		} else {
+			m.Data = make([]float64, x.Rows*w)
+			for i := 0; i < x.Rows; i++ {
+				row := x.Data[i*x.Stride+off:]
+				for j := 0; j < w; j++ {
+					m.Data[i*w+j] = vec.RealPart(row[j])
+				}
+			}
+		}
+		out[k] = m
+		off += w
+	}
+	return out
+}

@@ -2,7 +2,6 @@ package tiledqr
 
 import (
 	"fmt"
-	"runtime"
 
 	"tiledqr/internal/core"
 	"tiledqr/internal/engine"
@@ -232,8 +231,8 @@ func (o Options) validate(p int) error {
 // autoWidth returns the execution width a factorization under these
 // options will actually run at — the quantity the autotuner's
 // bounded-processor schedule model needs. It must not spin up the default
-// runtime as a side effect, so the default case reports GOMAXPROCS (the
-// default runtime's size) directly.
+// runtime as a side effect, so the default case reports the default
+// runtime's sizing (TILEDQR_WORKERS if set, else GOMAXPROCS) directly.
 func (o Options) autoWidth() int {
 	if o.Runtime != nil {
 		return o.Runtime.Workers()
@@ -241,7 +240,7 @@ func (o Options) autoWidth() int {
 	if o.Workers > 0 {
 		return o.Workers
 	}
-	return runtime.GOMAXPROCS(0)
+	return sched.DefaultWorkers()
 }
 
 // resolveAuto turns AlgorithmAuto into a concrete (algorithm, kernel

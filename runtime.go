@@ -27,9 +27,11 @@ type Runtime struct {
 	s *sched.Runtime
 }
 
-// NewRuntime starts a runtime with the given number of resident workers
-// (≤ 0 means GOMAXPROCS). The workers park when idle; call Close to stop
-// them.
+// NewRuntime starts a runtime with the given number of resident workers.
+// workers ≤ 0 means the default sizing: the TILEDQR_WORKERS environment
+// variable when it parses as a positive integer, else GOMAXPROCS — so
+// container deployments can cap the library's parallelism without a code
+// change. The workers park when idle; call Close to stop them.
 func NewRuntime(workers int) *Runtime {
 	return &Runtime{s: sched.NewRuntime(workers)}
 }
@@ -39,10 +41,11 @@ var (
 	defaultRuntime     *Runtime
 )
 
-// DefaultRuntime returns the process-wide shared runtime (GOMAXPROCS
-// workers), started on first use. Factorizations with neither
-// Options.Runtime nor Options.Workers set execute here. Closing it is a
-// no-op: it lives for the process.
+// DefaultRuntime returns the process-wide shared runtime, started on first
+// use with the default sizing (TILEDQR_WORKERS if set to a positive
+// integer, else GOMAXPROCS). Factorizations with neither Options.Runtime
+// nor Options.Workers set execute here. Closing it is a no-op: it lives for
+// the process.
 func DefaultRuntime() *Runtime {
 	defaultRuntimeOnce.Do(func() {
 		defaultRuntime = &Runtime{s: sched.Default()}
@@ -52,6 +55,41 @@ func DefaultRuntime() *Runtime {
 
 // Workers returns the size of the worker pool.
 func (rt *Runtime) Workers() int { return rt.s.Workers() }
+
+// RuntimeStats is a point-in-time snapshot of a Runtime's load, as reported
+// by Runtime.Stats — the feed for a serving front end's health and stats
+// endpoints.
+type RuntimeStats struct {
+	// Workers is the size of the worker pool.
+	Workers int
+	// QueuedTasks counts ready kernel tasks waiting in the worker deques
+	// across every in-flight factorization — the instantaneous backlog the
+	// pool has yet to execute. Tasks whose dependencies are unmet are not
+	// counted until they become ready.
+	QueuedTasks int
+	// InFlightJobs counts factorization/merge DAGs submitted and not yet
+	// completed (each Factor, FactorInto, stream append or solve that runs
+	// on the pool is one job).
+	InFlightJobs int
+	// Draining and Closed report lifecycle state: a draining or closed
+	// runtime rejects new submissions.
+	Draining bool
+	Closed   bool
+}
+
+// Stats snapshots the runtime's current load. It is safe to call from any
+// goroutine and cheap enough for per-request admission checks; the counts
+// are a consistent-enough point-in-time view, not a serialized snapshot.
+func (rt *Runtime) Stats() RuntimeStats {
+	s := rt.s.Stats()
+	return RuntimeStats{
+		Workers:      s.Workers,
+		QueuedTasks:  s.QueuedTasks,
+		InFlightJobs: s.InFlight,
+		Draining:     s.Draining,
+		Closed:       s.Closed,
+	}
+}
 
 // Close waits for in-flight factorizations to complete, then stops the
 // workers and waits for them to exit; afterwards submitting to the runtime

@@ -1,0 +1,46 @@
+package tiledqr
+
+import (
+	"testing"
+)
+
+// TestRuntimeStats exercises the public stats surface: worker count, the
+// idle state, and the lifecycle flags, before and after real work.
+func TestRuntimeStats(t *testing.T) {
+	rt := NewRuntime(3)
+	defer rt.Close()
+	st := rt.Stats()
+	if st.Workers != 3 {
+		t.Fatalf("Workers = %d, want 3", st.Workers)
+	}
+	if st.QueuedTasks != 0 || st.InFlightJobs != 0 || st.Draining || st.Closed {
+		t.Fatalf("idle runtime stats %+v", st)
+	}
+	// Run a factorization on this runtime; afterwards it is idle again.
+	a := RandomDense(64, 32, 7)
+	if _, err := Factor(a, Options{Runtime: rt}); err != nil {
+		t.Fatal(err)
+	}
+	if st = rt.Stats(); st.QueuedTasks != 0 || st.InFlightJobs != 0 {
+		t.Fatalf("post-factor stats %+v, want idle", st)
+	}
+}
+
+func TestRuntimeStatsClosed(t *testing.T) {
+	rt := NewRuntime(2)
+	rt.Close()
+	if st := rt.Stats(); !st.Closed {
+		t.Fatalf("closed runtime stats %+v, want Closed", st)
+	}
+}
+
+// TestNewRuntimeWorkersEnv checks the TILEDQR_WORKERS sizing override on the
+// public constructor.
+func TestNewRuntimeWorkersEnv(t *testing.T) {
+	t.Setenv("TILEDQR_WORKERS", "2")
+	rt := NewRuntime(0)
+	defer rt.Close()
+	if rt.Workers() != 2 {
+		t.Fatalf("NewRuntime(0).Workers() = %d with TILEDQR_WORKERS=2", rt.Workers())
+	}
+}

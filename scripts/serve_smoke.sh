@@ -1,0 +1,77 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke for the QR-as-a-service stack:
+# build qrserve and qrload, run the ~2s smoke scenario against a live
+# server, require zero failed requests and nonzero rows/sec, then SIGTERM
+# the server and require a graceful drain (503s during the grace window,
+# "drained cleanly" in the log, exit code 0).
+set -eu
+
+GO=${GO:-go}
+tmp=$(mktemp -d)
+serve_pid=""
+cleanup() {
+    [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "serve-smoke: building qrserve and qrload"
+$GO build -o "$tmp/qrserve" ./cmd/qrserve
+$GO build -o "$tmp/qrload" ./cmd/qrload
+
+"$tmp/qrserve" -addr 127.0.0.1:0 -addr-file "$tmp/addr" -drain-grace 2s \
+    >"$tmp/serve.log" 2>&1 &
+serve_pid=$!
+
+# The server writes its resolved address once the listener is up.
+i=0
+while [ ! -s "$tmp/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "serve-smoke: server never wrote its address file" >&2
+        cat "$tmp/serve.log" >&2
+        exit 1
+    fi
+    sleep 0.05
+done
+addr=$(cat "$tmp/addr")
+echo "serve-smoke: qrserve listening on $addr"
+
+# qrload polls /healthz before loading, exits nonzero on any failed request
+# or an all-failure run, and writes the qrperf-compatible report.
+report="$tmp/load-report.json"
+"$tmp/qrload" -scenario testdata/scenarios/smoke.toml \
+    -url "http://$addr" -json "$report"
+
+grep -q '"rows_per_sec": 0,' "$report" && {
+    echo "serve-smoke: zero rows/sec in the load report" >&2
+    exit 1
+}
+
+echo "serve-smoke: draining (SIGTERM)"
+kill -TERM "$serve_pid"
+
+# During the drain-grace window the server still answers — with 503.
+if command -v curl >/dev/null 2>&1; then
+    sleep 0.5
+    code=$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/healthz" || echo unreachable)
+    if [ "$code" != "503" ]; then
+        echo "serve-smoke: healthz during drain grace returned $code, want 503" >&2
+        cat "$tmp/serve.log" >&2
+        exit 1
+    fi
+    echo "serve-smoke: healthz answered 503 during the drain grace window"
+fi
+
+if ! wait "$serve_pid"; then
+    echo "serve-smoke: qrserve exited nonzero after SIGTERM" >&2
+    cat "$tmp/serve.log" >&2
+    exit 1
+fi
+serve_pid=""
+if ! grep -q "drained cleanly" "$tmp/serve.log"; then
+    echo "serve-smoke: server log is missing the clean-drain marker" >&2
+    cat "$tmp/serve.log" >&2
+    exit 1
+fi
+echo "serve-smoke: ok (0 failed requests, nonzero rows/sec, clean drain)"
