@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check lint bench bench-smoke bench-gate tune throughput chaos fault-smoke fuzz-smoke serve-smoke clean
+.PHONY: all build test test-noasm race vet fmt-check lint bench bench-smoke bench-gate tune throughput chaos fault-smoke fuzz-smoke serve-smoke clean
 
 all: lint build test
 
@@ -21,6 +21,14 @@ lint: fmt-check vet
 
 test:
 	$(GO) test ./...
+
+# test-noasm proves the pure-Go fallback family: once with the assembly
+# compiled out entirely and once with the binary intact but the vector
+# backend disabled at startup.
+test-noasm:
+	$(GO) build -tags noasm ./...
+	$(GO) test -tags noasm ./...
+	TILEDQR_SIMD=off $(GO) test ./...
 
 race:
 	$(GO) test -race ./...
@@ -53,6 +61,7 @@ FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzOptionsValidate -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz FuzzFactor -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz FuzzVecSIMD -fuzztime $(FUZZTIME) ./internal/vec/
 
 # bench measures every sequential kernel in all four precisions (double,
 # double complex, single, single complex, at the benchmark shape

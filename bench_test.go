@@ -134,7 +134,7 @@ func benchFigureKernels[T vec.Scalar](b *testing.B, prefix string) {
 		{"TSMQR", 12, func() { kernel.TSMQR(true, nb, nb, ib, full.Data, nb, t2, nb, c1.Data, nb, c2.Data, nb, nb, work) }},
 		{"TTQRT", 2, func() { kernel.TTQRT(nb, nb, ib, tri.Clone().Data, nb, vtt.Clone().Data, nb, t2, nb, work) }},
 		{"TTMQR", 6, func() { kernel.TTMQR(true, nb, nb, ib, vtt.Data, nb, t2, nb, c1.Data, nb, c2.Data, nb, nb, work) }},
-		{"GEMM", 6, func() { kernel.GEMM(nb, nb, nb, full.Data, nb, c1.Data, nb, c2.Data, nb) }},
+		{"GEMM", 6, func() { kernel.GEMM(nb, nb, nb, full.Data, nb, c1.Data, nb, c2.Data, nb, work) }},
 	}
 	for _, c := range cases {
 		b.Run(prefix+c.name, func(b *testing.B) {

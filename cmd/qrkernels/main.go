@@ -31,11 +31,12 @@ import (
 )
 
 var (
-	flagIB    = flag.Int("ib", 32, "inner blocking")
-	flagSizes = flag.String("sizes", "100,200,300,400,500,600", "tile sizes to sweep")
-	flagCache = flag.Int("cachemb", 8, "assumed last-level cache size (MB) for the out-of-cache working set")
-	flagReps  = flag.Int("minreps", 3, "minimum repetitions per measurement")
-	flagPrec  = flag.String("prec", "z,d", "comma-separated precisions to sweep: d, z, s, c")
+	flagIB     = flag.Int("ib", 32, "inner blocking")
+	flagSizes  = flag.String("sizes", "100,200,300,400,500,600", "tile sizes to sweep")
+	flagCache  = flag.Int("cachemb", 8, "assumed last-level cache size (MB) for the out-of-cache working set")
+	flagReps   = flag.Int("minreps", 3, "minimum repetitions per measurement")
+	flagPrec   = flag.String("prec", "z,d", "comma-separated precisions to sweep: d, z, s, c")
+	flagFamily = flag.String("family", "", "pin the vec kernel family (generic|simd); default: the best available on this host")
 )
 
 // flops per kernel call at tile size nb, real arithmetic, from the Table 1
@@ -46,6 +47,17 @@ func kernelFlops(weight, nb int) float64 {
 
 func main() {
 	flag.Parse()
+	if *flagFamily != "" {
+		if err := vec.SetFamily(*flagFamily); err != nil {
+			fmt.Fprintln(os.Stderr, "qrkernels:", err)
+			os.Exit(2)
+		}
+	}
+	fam := vec.ActiveFamily()
+	if isa := vec.SIMDName(); isa != "" && fam == vec.FamilySIMD {
+		fam += " (" + isa + ")"
+	}
+	fmt.Printf("kernel family: %s\n", fam)
 	var sizes []int
 	for _, s := range splitComma(*flagSizes) {
 		var v int
@@ -224,7 +236,7 @@ func (p *pool[T]) ttmqr(i int) {
 	kernel.TTMQR(true, p.nb, p.nb, p.ib, p.vTT[i].Data, p.nb, p.t2, p.nb, p.c1[i].Data, p.nb, p.c2[i].Data, p.nb, p.nb, p.work)
 }
 func (p *pool[T]) gemm(i int) {
-	kernel.GEMM(p.nb, p.nb, p.nb, p.full[i].Data, p.nb, p.c1[i].Data, p.nb, p.c2[i].Data, p.nb)
+	kernel.GEMM(p.nb, p.nb, p.nb, p.full[i].Data, p.nb, p.c1[i].Data, p.nb, p.c2[i].Data, p.nb, p.work)
 }
 
 func splitComma(s string) []string {

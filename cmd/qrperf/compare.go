@@ -12,12 +12,13 @@ import (
 // ingestion rates. Throughput points are excluded — fleet QPS on shared
 // hosted runners is too load-dependent to gate on.
 type benchSeries struct {
-	Double        map[string]float64 `json:"double_gflops"`
-	DoubleComplex map[string]float64 `json:"double_complex_gflops"`
-	Single        map[string]float64 `json:"single_gflops"`
-	SingleComplex map[string]float64 `json:"single_complex_gflops"`
-	Stream        *streamReport      `json:"stream"`
-	Serve         *serveSeries       `json:"serve"`
+	Double        map[string]float64       `json:"double_gflops"`
+	DoubleComplex map[string]float64       `json:"double_complex_gflops"`
+	Single        map[string]float64       `json:"single_gflops"`
+	SingleComplex map[string]float64       `json:"single_complex_gflops"`
+	Families      map[string]*familyReport `json:"families"`
+	Stream        *streamReport            `json:"stream"`
+	Serve         *serveSeries             `json:"serve"`
 }
 
 // serveSeries is the throughput summary a qrload -json report carries, so
@@ -42,6 +43,16 @@ func (b *benchSeries) series() map[string]float64 {
 	add("double_complex_gflops", b.DoubleComplex)
 	add("single_gflops", b.Single)
 	add("single_complex_gflops", b.SingleComplex)
+	// Per-kernel-family series. A family absent from either report (an old
+	// baseline predating them, or a host without the SIMD backend) simply
+	// contributes no series, so the gate skips it like any other hole.
+	for fam, fr := range b.Families {
+		if fr == nil {
+			continue
+		}
+		add("families."+fam+".double_gflops", fr.Double)
+		add("families."+fam+".double_complex_gflops", fr.DoubleComplex)
+	}
 	if s := b.Stream; s != nil {
 		out["stream.double_rows_per_sec"] = s.DoubleRowsPerSec
 		out["stream.double_complex_rows_per_sec"] = s.DoubleComplexRowsPerSec

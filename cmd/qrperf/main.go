@@ -46,6 +46,12 @@
 //
 // Flags -p, -nb, -ib, -workers scale the experiment (defaults are a
 // laptop-sized version of the paper's p=40, nb=200, ib=32, P=48).
+//
+// -family pins the vec kernel family ("generic" or "simd") for every mode,
+// so the experiments can be re-run per backend; without it the best family
+// available on the host is used. -kernels-json additionally records a
+// per-family series for the paper's two precisions by measuring the kernels
+// under each family in turn.
 package main
 
 import (
@@ -78,6 +84,7 @@ var (
 	flagQs      = flag.String("q", "", "comma-separated q values (default: paper's grid)")
 	flagMeasure = flag.Bool("measure", false, "also run real factorizations on the host (slow)")
 	flagUnits   = flag.Bool("units", false, "use Table 1 unit weights instead of measured kernel times (pure-model ranking)")
+	flagFamily  = flag.String("family", "", "pin the vec kernel family (generic|simd); default: the best available on this host")
 )
 
 // unitKernelTimes returns Table 1 weights as synthetic durations (1 unit =
@@ -107,6 +114,11 @@ func main() {
 	compare := flag.Bool("compare", false, "compare two -kernels-json files (old new) and exit nonzero on regressions beyond -tolerance")
 	tolerance := flag.Float64("tolerance", 25, "with -compare: allowed per-series regression percent")
 	flag.Parse()
+	if *flagFamily != "" {
+		if err := vec.SetFamily(*flagFamily); err != nil {
+			die(err)
+		}
+	}
 	if *quick {
 		sampleWindow = 20 * time.Millisecond
 	}
@@ -379,13 +391,24 @@ type kernelsReport struct {
 	Double        map[string]float64 `json:"double_gflops"`
 	DoubleComplex map[string]float64 `json:"double_complex_gflops"`
 	// The single-precision pair the generic engine opened up.
-	Single             map[string]float64 `json:"single_gflops"`
-	SingleComplex      map[string]float64 `json:"single_complex_gflops"`
-	SchedulerNsPerTask float64            `json:"scheduler_dispatch_ns_per_task"`
-	SchedulerWorkers   int                `json:"scheduler_dispatch_workers"`
-	Stream             *streamReport      `json:"stream,omitempty"`
-	Throughput         *throughputReport  `json:"throughput,omitempty"`
-	Baseline           json.RawMessage    `json:"baseline,omitempty"`
+	Single        map[string]float64 `json:"single_gflops"`
+	SingleComplex map[string]float64 `json:"single_complex_gflops"`
+	// Per-kernel-family series in the paper's two precisions, measured by
+	// flipping the vec backend: tracks the generic and SIMD trajectories
+	// separately (the top-level maps above use the family active at startup,
+	// i.e. the best available unless -family pinned one).
+	Families           map[string]*familyReport `json:"families,omitempty"`
+	SchedulerNsPerTask float64                  `json:"scheduler_dispatch_ns_per_task"`
+	SchedulerWorkers   int                      `json:"scheduler_dispatch_workers"`
+	Stream             *streamReport            `json:"stream,omitempty"`
+	Throughput         *throughputReport        `json:"throughput,omitempty"`
+	Baseline           json.RawMessage          `json:"baseline,omitempty"`
+}
+
+// familyReport is one vec kernel family's GFLOP/s series.
+type familyReport struct {
+	Double        map[string]float64 `json:"double_gflops"`
+	DoubleComplex map[string]float64 `json:"double_complex_gflops"`
 }
 
 // streamReport records the streaming TSQR ingestion throughput at a fixed
@@ -597,7 +620,8 @@ func kernelGflops[T vec.Scalar]() map[string]float64 {
 	a := tile.RandDense[T](nb, nb, 2)
 	b := tile.RandDense[T](nb, nb, 3)
 	c := tile.RandDense[T](nb, nb, 4)
-	gemmSec := timeIt(func() { kernel.GEMM(nb, nb, nb, a.Data, nb, b.Data, nb, c.Data, nb) })
+	gemmWork := make([]T, vec.GemmPackLen[T](nb, nb, nb))
+	gemmSec := timeIt(func() { kernel.GEMM(nb, nb, nb, a.Data, nb, b.Data, nb, c.Data, nb, gemmWork) })
 	out["GEMM"] = flopScale * 6 * cube / 3 / gemmSec / 1e9
 	return out
 }
@@ -615,6 +639,20 @@ func writeKernelsJSON(path string, quick bool) error {
 		Single:           kernelGflops[float32](),
 		SingleComplex:    kernelGflops[complex64](),
 		SchedulerWorkers: 2,
+	}
+	rep.Families = map[string]*familyReport{}
+	startFam := vec.ActiveFamily()
+	for _, fam := range vec.Families() {
+		if err := vec.SetFamily(fam); err != nil {
+			continue
+		}
+		rep.Families[fam] = &familyReport{
+			Double:        kernelGflops[float64](),
+			DoubleComplex: kernelGflops[complex128](),
+		}
+	}
+	if err := vec.SetFamily(startFam); err != nil {
+		die(err)
 	}
 	d := core.BuildDAG(core.GreedyList(20, 10), core.TT)
 	sec := timeIt(func() {
@@ -641,6 +679,10 @@ func writeKernelsJSON(path string, quick bool) error {
 	if err := os.WriteFile(path, out, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (nb=%d, ib=%d)\n", path, benchNB, benchIB)
+	fam := vec.ActiveFamily()
+	if isa := vec.SIMDName(); isa != "" && fam == vec.FamilySIMD {
+		fam += " (" + isa + ")"
+	}
+	fmt.Printf("wrote %s (nb=%d, ib=%d, family %s)\n", path, benchNB, benchIB, fam)
 	return nil
 }

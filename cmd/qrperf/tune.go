@@ -10,6 +10,7 @@ import (
 	"tiledqr"
 	"tiledqr/internal/model"
 	"tiledqr/internal/tune"
+	"tiledqr/internal/vec"
 )
 
 // tuneShapes is the decision-table grid of `qrperf -tune`: tall, square and
@@ -27,7 +28,11 @@ var tuneShapes = [][2]int{
 // factorization would resolve against.
 func runTune(measure bool) {
 	workers := runtime.GOMAXPROCS(0)
-	fmt.Printf("autotuner decision table — float64, width %d (GOMAXPROCS)\n", workers)
+	fam := vec.ActiveFamily()
+	if isa := vec.SIMDName(); isa != "" && fam == vec.FamilySIMD {
+		fam += " (" + isa + ")"
+	}
+	fmt.Printf("autotuner decision table — float64, width %d (GOMAXPROCS), kernel family %s\n", workers, fam)
 	fmt.Printf("calibration: %s\n\n", tune.CacheLocation())
 	w := tabwriter.NewWriter(os.Stdout, 8, 0, 2, ' ', tabwriter.AlignRight)
 	hdr := "m\tn\talgorithm\tkernels\tnb\tib\tgrid\tpred ms\tmargin\t"

@@ -272,6 +272,22 @@
 // workspace to a fixed byte budget per domain so the updated block streams
 // through cache once per pass.
 //
+// The hot primitives additionally exist as a hand-vectorized kernel family
+// — AVX2/FMA assembly on amd64, NEON on arm64 — selected by CPU detection
+// at startup, with the generic loops as the always-present fallback
+// (build tag noasm compiles the assembly out; TILEDQR_SIMD=off disables it
+// at startup). The trailing-matrix updates route their full-height rows
+// through a register-blocked packed micro-GEMM in the same family, which
+// is where the bulk of the factorization's flops live; on an AVX2 host the
+// double-precision factor kernels run 2–3× and the update kernels 3–4×
+// faster than the generic loops. The two families agree to rounding level
+// (the vector code fuses multiply-adds, so results are not bit-identical
+// across families — they are bit-identical for a fixed family), an
+// agreement the test suite enforces per primitive and end to end across
+// Factor, SolveLS and the streams in all four precisions. The autotuner
+// calibrates each family separately and records which one scored each
+// decision.
+//
 // The parallel runtime (internal/sched) executes the task DAG with
 // per-worker deques plus work stealing. Ready tasks are ordered by
 // critical-path priority — the longest weighted path to a DAG sink, using

@@ -530,7 +530,10 @@ func (f *Factorization[T]) rebuild(cfg Config, key reuseKey) error {
 	f.dag = core.BuildDAG(list, cfg.Kernels)
 	f.plan = sched.NewPlan(f.dag)
 	f.ib = cfg.InnerBlock
-	f.wsLen = kernel.WorkLen(cfg.TileSize, f.ib)
+	// Size worker scratch by the tiles that actually occur: a TileSize far
+	// beyond the matrix (legal — the grid is then a single tile) must not
+	// inflate the quadratic micro-GEMM pack bound inside WorkLen.
+	f.wsLen = kernel.WorkLen(min(cfg.TileSize, max(g.M, g.N)), f.ib)
 	f.key = key
 
 	tNeed := 0
@@ -643,7 +646,7 @@ func (f *Factorization[T]) Apply(ctx context.Context, b *tile.Dense[T], trans bo
 		return fmt.Errorf("tiledqr: ApplyQ: b has %d rows, want %d", b.Rows, f.grid.M)
 	}
 	nrhs := b.Cols
-	ws := f.getWork(f.ib * max(nrhs, 1))
+	ws := f.getWork(kernel.ApplyWorkLen(f.grid.NB, f.ib, max(nrhs, 1)))
 	defer f.putWork(ws)
 	// row returns a view of b's tile row i (1-based).
 	row := func(i int) ([]T, int) {

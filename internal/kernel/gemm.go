@@ -5,9 +5,15 @@ import "tiledqr/internal/vec"
 // GEMM computes C += A·B for row-major blocks: A is m×kk, B is kk×n, C is
 // m×n. It is the reference kernel of Figures 4 and 5 of the paper: the
 // update kernels' speeds are compared against plain matrix multiplication
-// at the same tile size. The inner dimension is consumed two rows of B at a
-// time (vec.Axpy2), halving the load/store traffic on each row of C.
-func GEMM[T vec.Scalar](m, n, kk int, a []T, lda int, b []T, ldb int, c []T, ldc int) {
+// at the same tile size. work may be nil or micro-GEMM pack scratch
+// (length ≥ vec.GemmPackLen for the shape routes the product through the
+// packed SIMD path; WorkLen(n, ib) covers any n×n×n product). Without it —
+// or for the complex domains — the inner dimension is consumed two rows of
+// B at a time (vec.Axpy2), halving the load/store traffic on each row of C.
+func GEMM[T vec.Scalar](m, n, kk int, a []T, lda int, b []T, ldb int, c []T, ldc int, work []T) {
+	if vec.GemmNN(m, n, kk, T(1), a, lda, b, ldb, c, ldc, work) {
+		return
+	}
 	for i := 0; i < m; i++ {
 		ci := c[i*ldc : i*ldc+n]
 		ai := a[i*lda : i*lda+kk]

@@ -101,17 +101,35 @@ func geqrt2[T vec.Scalar](m int, a []T, lda, j0, kb int, t []T, ldt int, comb []
 // v[r0:m, vc0:vc0+kb] of the array v; the block triangular factor is in
 // columns tc0:tc0+kb of t. If trans is true it applies (I − V·Tᴴ·Vᴴ)
 // (i.e. Qᴴ; Qᵀ in the real domains), otherwise I − V·T·Vᴴ. Only rows r0:m
-// of C[, cc0:cc0+nc] are touched. w must have length ≥ kb·nc.
+// of C[, cc0:cc0+nc] are touched. w must have length ≥ kb·nc; pack is
+// micro-GEMM scratch and may be empty (the packed bulk path then stays
+// off).
+//
+// Rows r0+kb:m sit below the unit-lower-triangular head of the panel, so
+// every reflector column has a full V entry there: over that region both
+// sweeps are plain matrix products, handed to the packed micro-GEMM when
+// it will take them. The triangular head keeps the scalar sweeps — the
+// diagonal copy/Sub and the ragged column starts don't map onto GEMM.
 func applyPanel[T vec.Scalar](trans bool, m int, v []T, ldv, r0, vc0, kb int,
-	t []T, ldt, tc0 int, c []T, ldc, cc0, nc int, w []T) {
+	t []T, ldt, tc0 int, c []T, ldc, cc0, nc int, w, pack []T) {
 	xBlock := xBlockOf[T]()
 	cc := vec.IsComplex[T]()
+	mb := r0 + kb // first bulk row
+	bulk := m - mb
+	gemmBulk := bulk > 0 && vec.GemmOK[T](kb, nc, bulk, len(pack)) &&
+		vec.GemmOK[T](bulk, nc, kb, len(pack))
+	mEnd := m
+	if gemmBulk {
+		mEnd = mb
+	}
 	// W = Vᴴ · C, swept in blocks of xBlock reflector columns: each block's
 	// W rows stay cache-resident while C's rows stream through, so the C
-	// tile is read ⌈kb/xBlock⌉ times instead of kb times.
+	// tile is read ⌈kb/xBlock⌉ times instead of kb times. The head rows
+	// also seed every W row (the copy at the reflector diagonal), so this
+	// sweep must precede the bulk product, which accumulates.
 	for xb := 0; xb < kb; xb += xBlock {
 		xe := min(xb+xBlock, kb)
-		for i := r0 + xb; i < m; i++ {
+		for i := r0 + xb; i < mEnd; i++ {
 			ci := c[i*ldc+cc0 : i*ldc+cc0+nc]
 			d := i - r0 // reflector columns x < d accumulate row i
 			nx := min(d, xe)
@@ -124,11 +142,17 @@ func applyPanel[T vec.Scalar](trans bool, m int, v []T, ldv, r0, vc0, kb int,
 			}
 		}
 	}
+	if gemmBulk {
+		// W += V₂ᵀ·C₂ over the full rows in one packed product (real
+		// domains only, so the conjugation is the identity).
+		vec.GemmTN(kb, nc, bulk, T(1), v[mb*ldv+vc0:], ldv,
+			c[mb*ldc+cc0:], ldc, w[:kb*nc], nc, pack)
+	}
 	triMulW(trans, kb, t, ldt, tc0, w, nc)
 	// C −= V · W, same blocking, consuming W rows in pairs per C row.
 	for xb := 0; xb < kb; xb += xBlock {
 		xe := min(xb+xBlock, kb)
-		for i := r0 + xb; i < m; i++ {
+		for i := r0 + xb; i < mEnd; i++ {
 			ci := c[i*ldc+cc0 : i*ldc+cc0+nc]
 			d := i - r0
 			nx := min(d, xe)
@@ -144,6 +168,12 @@ func applyPanel[T vec.Scalar](trans bool, m int, v []T, ldv, r0, vc0, kb int,
 				vec.Axpy(-vrow[x], w[x*nc:x*nc+nc], ci)
 			}
 		}
+	}
+	if gemmBulk {
+		// C₂ −= V₂·W. The packed path copies V out before writing C, so
+		// V and C aliasing the same tile (GEQRT's trailing update) is safe.
+		vec.GemmNN(bulk, nc, kb, T(-1), v[mb*ldv+vc0:], ldv,
+			w[:kb*nc], nc, c[mb*ldc+cc0:], ldc, pack)
 	}
 }
 
@@ -218,12 +248,12 @@ func GEQRT[T vec.Scalar](m, n, ib int, a []T, lda int, t []T, ldt int, work []T)
 	}
 	ib = clampIB(ib, k)
 	work = ensureWork(work, WorkLen(n, ib))
-	comb, w := work[:ib], work[ib:]
+	comb, w, pack := work[:ib], work[ib:ib+ib*n], work[ib+ib*n:]
 	for k0 := 0; k0 < k; k0 += ib {
 		kb := min(ib, k-k0)
 		geqrt2(m, a, lda, k0, kb, t, ldt, comb)
 		if k0+kb < n {
-			applyPanel(true, m, a, lda, k0, k0, kb, t, ldt, k0, a, lda, k0+kb, n-k0-kb, w)
+			applyPanel(true, m, a, lda, k0, k0, kb, t, ldt, k0, a, lda, k0+kb, n-k0-kb, w, pack)
 		}
 	}
 }
@@ -231,7 +261,8 @@ func GEQRT[T vec.Scalar](m, n, ib int, a []T, lda int, t []T, ldt int, work []T)
 // UNMQR applies the orthogonal (unitary) factor of a GEQRT factorization to
 // the m×nc tile c: C := Qᴴ·C if trans, else C := Q·C. v and t are the
 // outputs of GEQRT on an m×· tile with k reflectors and inner block size
-// ib. work may be nil or a scratch slice of length ≥ ib·nc.
+// ib. work may be nil or a scratch slice of length ≥ ib·nc; length ≥
+// ApplyWorkLen(m, ib, nc) additionally enables the packed bulk path.
 func UNMQR[T vec.Scalar](trans bool, m, k, ib int, v []T, ldv int, t []T, ldt int,
 	c []T, ldc, nc int, work []T) {
 	if k == 0 || nc == 0 {
@@ -239,25 +270,39 @@ func UNMQR[T vec.Scalar](trans bool, m, k, ib int, v []T, ldv int, t []T, ldt in
 	}
 	ib = clampIB(ib, k)
 	work = ensureWork(work, ib*nc)
+	w, pack := work[:ib*nc], work[ib*nc:]
 	if trans {
 		for k0 := 0; k0 < k; k0 += ib {
 			kb := min(ib, k-k0)
-			applyPanel(true, m, v, ldv, k0, k0, kb, t, ldt, k0, c, ldc, 0, nc, work)
+			applyPanel(true, m, v, ldv, k0, k0, kb, t, ldt, k0, c, ldc, 0, nc, w, pack)
 		}
 	} else {
 		start := ((k - 1) / ib) * ib
 		for k0 := start; k0 >= 0; k0 -= ib {
 			kb := min(ib, k-k0)
-			applyPanel(false, m, v, ldv, k0, k0, kb, t, ldt, k0, c, ldc, 0, nc, work)
+			applyPanel(false, m, v, ldv, k0, k0, kb, t, ldt, k0, c, ldc, 0, nc, w, pack)
 		}
 	}
 }
 
-// WorkLen returns the scratch length the factor kernels (GEQRT, TPQRT) need
-// for an n-column tile at inner block size ib: one ib-vector of fused dot
-// accumulators plus the ib×n block-reflector workspace.
+// WorkLen returns the scratch length the tile kernels need for square-ish
+// tiles of at most n rows and columns at inner block size ib: one
+// ib-vector of fused dot accumulators, the ib×n block-reflector workspace,
+// and packed micro-GEMM scratch covering every product the factor and
+// update kernels form on such tiles (including the full n×n×n GEMM task).
+// Kernels handed less scratch than this still run — a short pack region
+// only disables the packed bulk path.
 func WorkLen(n, ib int) int {
-	return ib * (n + 1)
+	return ib*(n+1) + vec.GemmPackBound(n, n, n)
+}
+
+// ApplyWorkLen returns the scratch length the Q-application kernels
+// (UNMQR, TPMQRT and their wrappers) need to take the packed bulk path
+// when applying a factorization with inner block ib to a C tile of at most
+// m rows and nc columns. Any length ≥ ib·nc is accepted; the extra
+// headroom here feeds the micro-GEMM pack buffers.
+func ApplyWorkLen(m, ib, nc int) int {
+	return ib*nc + max(vec.GemmPackBound(ib, nc, m), vec.GemmPackBound(m, nc, ib))
 }
 
 // clampIB normalizes the inner blocking factor to 1 ≤ ib ≤ k.

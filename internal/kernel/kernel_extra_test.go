@@ -123,7 +123,7 @@ func TestGEMMKnown(t *testing.T) {
 			want.Set(i, j, want.At(i, j)+c.At(i, j))
 		}
 	}
-	GEMM(5, 4, 7, a.Data, a.Stride, b.Data, b.Stride, c.Data, c.Stride)
+	GEMM(5, 4, 7, a.Data, a.Stride, b.Data, b.Stride, c.Data, c.Stride, nil)
 	if d := tile.MaxAbsDiff(c, want); d > tol {
 		t.Errorf("GEMM differs from reference by %g", d)
 	}

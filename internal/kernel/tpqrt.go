@@ -105,13 +105,29 @@ func tpqrt2[T vec.Scalar](m, n, l int, a []T, lda int, b []T, ldb, j0, kb int,
 // vc0:vc0+kb of the pentagonal array v, with T in columns vc0:vc0+kb of t)
 // to the stacked pair [C1; C2]. The identity part of reflector column vc0+x
 // acts on row vc0+x of C1; the pentagonal part acts on C2. If trans it
-// applies (I − V·Tᴴ·Vᴴ), else I − V·T·Vᴴ. w must have length ≥ kb·nc.
+// applies (I − V·Tᴴ·Vᴴ), else I − V·T·Vᴴ. w must have length ≥ kb·nc;
+// pack is micro-GEMM scratch and may be empty (the packed bulk path then
+// stays off).
+//
+// Rows 0:mFull of C2, where mFull = pentRows(m, l, vc0), lie inside the
+// pentagonal part of every reflector column (pentRows is nondecreasing in
+// the column index, so its minimum over the panel is at vc0): both sweeps
+// over that region are plain matrix products, handed to the packed
+// micro-GEMM when it will take them. With l = 0 (the TSMQR shape, the
+// hottest update kernel) that region is all of C2.
 func applyPentPanel[T vec.Scalar](trans bool, m, l int, v []T, ldv, vc0, kb int,
 	t []T, ldt int,
 	c1 []T, ldc1, c1c0 int,
-	c2 []T, ldc2, c2c0, nc int, w []T) {
+	c2 []T, ldc2, c2c0, nc int, w, pack []T) {
 	xBlock := xBlockOf[T]()
 	cc := vec.IsComplex[T]()
+	mFull := pentRows(m, l, vc0)
+	gemmBulk := vec.GemmOK[T](kb, nc, mFull, len(pack)) &&
+		vec.GemmOK[T](mFull, nc, kb, len(pack))
+	iStart := 0
+	if gemmBulk {
+		iStart = mFull
+	}
 	// W = C1[vc0+x] + V₂ᴴ · C2. The C1 rows seed W (the identity tops of
 	// the reflectors); then one sweep over C2's structural rows accumulates
 	// the pentagonal parts — row i of C2 is read once and feeds the
@@ -124,7 +140,7 @@ func applyPentPanel[T vec.Scalar](trans bool, m, l int, v []T, ldv, vc0, kb int,
 	for xb := 0; xb < kb; xb += xBlock {
 		xe := min(xb+xBlock, kb)
 		pmaxB := pentRows(m, l, vc0+xe-1)
-		for i := 0; i < pmaxB; i++ {
+		for i := iStart; i < pmaxB; i++ {
 			ci := c2[i*ldc2+c2c0 : i*ldc2+c2c0+nc]
 			xs := xb
 			if d := i - (m - l) - vc0; d > xs {
@@ -136,6 +152,12 @@ func applyPentPanel[T vec.Scalar](trans bool, m, l int, v []T, ldv, vc0, kb int,
 			}
 		}
 	}
+	if gemmBulk {
+		// W += V₂ᵀ·C₂ over the fully pentagonal rows in one packed product
+		// (real domains only, so the conjugation is the identity).
+		vec.GemmTN(kb, nc, mFull, T(1), v[vc0:], ldv,
+			c2[c2c0:], ldc2, w[:kb*nc], nc, pack)
+	}
 	triMulW(trans, kb, t, ldt, vc0, w, nc)
 	// C1 −= W ; C2 −= V₂·W, same blocking, consuming W rows in pairs per
 	// C2 row.
@@ -146,7 +168,7 @@ func applyPentPanel[T vec.Scalar](trans bool, m, l int, v []T, ldv, vc0, kb int,
 	for xb := 0; xb < kb; xb += xBlock {
 		xe := min(xb+xBlock, kb)
 		pmaxB := pentRows(m, l, vc0+xe-1)
-		for i := 0; i < pmaxB; i++ {
+		for i := iStart; i < pmaxB; i++ {
 			ci := c2[i*ldc2+c2c0 : i*ldc2+c2c0+nc]
 			xs := xb
 			if d := i - (m - l) - vc0; d > xs {
@@ -161,6 +183,10 @@ func applyPentPanel[T vec.Scalar](trans bool, m, l int, v []T, ldv, vc0, kb int,
 				vec.Axpy(-vrow[x], w[x*nc:x*nc+nc], ci)
 			}
 		}
+	}
+	if gemmBulk {
+		vec.GemmNN(mFull, nc, kb, T(-1), v[vc0:], ldv,
+			w[:kb*nc], nc, c2[c2c0:], ldc2, pack)
 	}
 }
 
@@ -187,7 +213,7 @@ func TPQRT[T vec.Scalar](m, n, l, ib int, a []T, lda int, b []T, ldb int,
 	}
 	ib = clampIB(ib, n)
 	work = ensureWork(work, WorkLen(n, ib))
-	comb, w := work[:ib], work[ib:]
+	comb, w, pack := work[:ib], work[ib:ib+ib*n], work[ib+ib*n:]
 	for k0 := 0; k0 < n; k0 += ib {
 		kb := min(ib, n-k0)
 		tpqrt2(m, n, l, a, lda, b, ldb, k0, kb, t, ldt, comb)
@@ -195,7 +221,7 @@ func TPQRT[T vec.Scalar](m, n, l, ib int, a []T, lda int, b []T, ldb int,
 			// Trailing update inside [A; B]: C1 is A's rows k0:k0+kb,
 			// columns k0+kb:n; C2 is B's columns k0+kb:n.
 			applyPentPanel(true, m, l, b, ldb, k0, kb, t, ldt,
-				a, lda, k0+kb, b, ldb, k0+kb, n-k0-kb, w)
+				a, lda, k0+kb, b, ldb, k0+kb, n-k0-kb, w, pack)
 		}
 	}
 }
@@ -220,7 +246,8 @@ func TTQRT[T vec.Scalar](m, n, ib int, a []T, lda int, b []T, ldb int,
 // [C1; C2]: rows 0:k of the tile c1 and the full m×nc tile c2. v (m×k
 // pentagonal, trapezoid height l) and t are TPQRT's outputs; trans selects
 // Qᴴ (as used during factorization) versus Q. work may be nil or a scratch
-// slice of length ≥ ib·nc.
+// slice of length ≥ ib·nc; length ≥ ApplyWorkLen(m, ib, nc) additionally
+// enables the packed bulk path.
 func TPMQRT[T vec.Scalar](trans bool, m, k, l, ib int, v []T, ldv int, t []T, ldt int,
 	c1 []T, ldc1 int, c2 []T, ldc2, nc int, work []T) {
 	if k == 0 || nc == 0 {
@@ -228,18 +255,19 @@ func TPMQRT[T vec.Scalar](trans bool, m, k, l, ib int, v []T, ldv int, t []T, ld
 	}
 	ib = clampIB(ib, k)
 	work = ensureWork(work, ib*nc)
+	w, pack := work[:ib*nc], work[ib*nc:]
 	if trans {
 		for k0 := 0; k0 < k; k0 += ib {
 			kb := min(ib, k-k0)
 			applyPentPanel(true, m, l, v, ldv, k0, kb, t, ldt,
-				c1, ldc1, 0, c2, ldc2, 0, nc, work)
+				c1, ldc1, 0, c2, ldc2, 0, nc, w, pack)
 		}
 	} else {
 		start := ((k - 1) / ib) * ib
 		for k0 := start; k0 >= 0; k0 -= ib {
 			kb := min(ib, k-k0)
 			applyPentPanel(false, m, l, v, ldv, k0, kb, t, ldt,
-				c1, ldc1, 0, c2, ldc2, 0, nc, work)
+				c1, ldc1, 0, c2, ldc2, 0, nc, w, pack)
 		}
 	}
 }

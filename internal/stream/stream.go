@@ -91,7 +91,7 @@ func NewCore[T vec.Scalar](n, nb, ib int, kernels core.Kernels, env engine.Env, 
 		grid:  g,
 		res:   make([]tile.Dense[T], g.Q*g.Q),
 		plans: make(map[int]*sched.Plan),
-		rws:   make([]T, kernel.WorkLen(nb, ib)),
+		rws:   make([]T, kernel.WorkLen(min(nb, n), ib)),
 	}
 	for i := 0; i < g.Q; i++ {
 		for k := i; k < g.Q; k++ {

@@ -26,6 +26,7 @@ type Request struct {
 type Candidate struct {
 	Algorithm    core.Algorithm
 	Kernels      core.Kernels
+	Family       string // vec kernel family whose calibration scored this candidate
 	NB, IB       int
 	P, Q         int     // tile grid at NB
 	PredictedSec float64 // model-predicted factorization wall time
@@ -43,9 +44,11 @@ const (
 	dispatchSec = 120e-9
 )
 
-// decKey identifies one cached decision.
+// decKey identifies one cached decision. The vec kernel family is part of
+// the key: flipping the backend (SetFamily, benchmarks) must not serve
+// decisions scored with the other family's throughput.
 type decKey struct {
-	prec          string
+	prec, family  string
 	stream        bool
 	kernels       core.Kernels // streams only (factor decisions choose it)
 	m, n, workers int
@@ -64,7 +67,8 @@ func Resolve[T vec.Scalar](req Request) (Candidate, error) {
 	if req.Workers < 1 {
 		req.Workers = runtime.GOMAXPROCS(0)
 	}
-	key := decKey{prec: precKey[T](), m: req.M, n: req.N, workers: req.Workers,
+	key := decKey{prec: precKey[T](), family: vec.ActiveFamily(),
+		m: req.M, n: req.N, workers: req.Workers,
 		pinNB: req.PinNB, pinIB: req.PinIB}
 	if c, ok := decided.Load(key); ok {
 		return c.(Candidate), nil
@@ -84,7 +88,8 @@ func Rank[T vec.Scalar](req Request) []Candidate {
 	if req.Workers < 1 {
 		req.Workers = runtime.GOMAXPROCS(0)
 	}
-	pts := ForPrecision[T]()
+	family := vec.ActiveFamily()
+	pts := ForFamily[T](family)
 	flopScale := 1.0
 	if vec.IsComplex[T]() {
 		flopScale = 4
@@ -108,7 +113,7 @@ func Rank[T vec.Scalar](req Request) []Candidate {
 						w[i] += dispatchSec
 					}
 					sec := sim.ListSchedule(d, req.Workers, w, sim.PriorityBLevel)
-					out = append(out, Candidate{Algorithm: alg, Kernels: fam,
+					out = append(out, Candidate{Algorithm: alg, Kernels: fam, Family: family,
 						NB: pt.nb, IB: pt.ib, P: p, Q: q, PredictedSec: sec, Simulated: true})
 				}
 			}
@@ -131,7 +136,7 @@ func Rank[T vec.Scalar](req Request) []Candidate {
 				cp := float64(cpUnitsApprox(alg, fam, p, q))
 				sec := max(totalUnits*unitSec/float64(req.Workers), cp*unitSec) +
 					dispatchSec*float64(est)/float64(req.Workers)
-				out = append(out, Candidate{Algorithm: alg, Kernels: fam,
+				out = append(out, Candidate{Algorithm: alg, Kernels: fam, Family: family,
 					NB: pt.nb, IB: pt.ib, P: p, Q: q, PredictedSec: sec})
 			}
 		}
@@ -152,12 +157,13 @@ func ResolveStream[T vec.Scalar](n, workers, pinNB, pinIB int, fam core.Kernels)
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	key := decKey{prec: precKey[T](), stream: true, kernels: fam,
+	family := vec.ActiveFamily()
+	key := decKey{prec: precKey[T](), family: family, stream: true, kernels: fam,
 		n: n, workers: workers, pinNB: pinNB, pinIB: pinIB}
 	if c, ok := decided.Load(key); ok {
 		return c.(Candidate), nil
 	}
-	pts := ForPrecision[T]()
+	pts := ForFamily[T](family)
 	flopScale := 1.0
 	if vec.IsComplex[T]() {
 		flopScale = 4
@@ -179,7 +185,7 @@ func ResolveStream[T vec.Scalar](n, workers, pinNB, pinIB int, fam core.Kernels)
 		batchSec = batchSec/float64(par) + dispatchSec*float64(q*q)
 		perRow := batchSec / float64(pt.nb)
 		if best.NB == 0 || perRow < best.PredictedSec {
-			best = Candidate{Kernels: fam, NB: pt.nb, IB: pt.ib, P: 1, Q: q,
+			best = Candidate{Kernels: fam, Family: family, NB: pt.nb, IB: pt.ib, P: 1, Q: q,
 				PredictedSec: perRow, Simulated: false}
 		}
 	}

@@ -6,8 +6,12 @@
 // block, kernel family) for a concrete m×n shape — turning the paper's
 // offline Tables 1–3 analysis into a runtime decision procedure.
 //
-// Calibration is lazy and per precision: the first Auto factorization in a
-// given scalar domain measures GEQRT/UNMQR/TSQRT/TSMQR/TTQRT/TTMQR at a
+// Calibration is lazy and per (kernel family, precision): the first Auto
+// factorization in a given scalar domain measures the six kernels under the
+// vec backend currently active (generic loops or the SIMD family), and
+// measuring the other family on demand flips the backend around the
+// micro-benchmarks. Each combination measures
+// GEQRT/UNMQR/TSQRT/TSMQR/TTQRT/TTMQR at a
 // handful of candidate (nb, ib) points (tens of milliseconds per point) and
 // the result is cached at ~/.cache/tiledqr/calibration.json — overridable
 // with the TILEDQR_CALIBRATION environment variable ("off" disables
@@ -31,8 +35,11 @@ import (
 
 // SchemaVersion identifies the calibration file layout. Bumping it
 // invalidates every cached calibration: old files are silently ignored and
-// the host is re-measured.
-const SchemaVersion = 1
+// the host is re-measured. Version 2 added the kernel-family axis (points
+// are stored per vec family per precision), so version-1 caches — which
+// cannot say whether their numbers came from the generic or the SIMD
+// backend — recalibrate on first use.
+const SchemaVersion = 2
 
 // EnvCalibration overrides the calibration cache location. Set it to a file
 // path to relocate the cache, or to "off" to disable persistence (the
@@ -70,30 +77,32 @@ type Point struct {
 	Gflops map[string]float64 `json:"gflops"`
 }
 
-// fileFormat is the on-disk calibration cache: one point list per scalar
-// domain, under a schema version.
+// fileFormat is the on-disk calibration cache: one point list per kernel
+// family per scalar domain, under a schema version.
 type fileFormat struct {
-	Version    int                `json:"version"`
-	Precisions map[string][]Point `json:"precisions"`
+	Version  int                           `json:"version"`
+	Families map[string]map[string][]Point `json:"families"`
 }
 
-// calEntry single-flights the calibration of one precision: the first
-// caller measures (or loads), every concurrent caller blocks on the Once.
+// calEntry single-flights the calibration of one (family, precision): the
+// first caller measures (or loads), every concurrent caller blocks on the
+// Once.
 type calEntry struct {
 	once sync.Once
 	pts  []Point
 }
 
 var (
-	calMu   sync.Mutex
-	calBy   = map[string]*calEntry{}
-	fileMu  sync.Mutex // serializes read-merge-write of the cache file
-	decided sync.Map   // decKey → Candidate (per-process decision cache)
+	calMu     sync.Mutex
+	calBy     = map[string]*calEntry{} // "family/precision" → entry
+	fileMu    sync.Mutex               // serializes read-merge-write of the cache file
+	measureMu sync.Mutex               // serializes backend flips during measurement
+	decided   sync.Map                 // decKey → Candidate (per-process decision cache)
 )
 
 // measureHook, when non-nil, replaces the real micro-benchmarks — tests use
 // it to make calibration instant and observable.
-var measureHook func(prec string) []Point
+var measureHook func(family, prec string) []Point
 
 // Reset drops every in-process calibration and cached decision, forcing the
 // next Auto resolution to reload (or re-measure). Intended for tests and
@@ -122,12 +131,28 @@ func precKey[T vec.Scalar]() string {
 	}
 }
 
-// ForPrecision returns the calibration points of T's domain, measuring them
-// on first use. Concurrent first uses are single-flighted; the winner
-// persists the result best-effort (a read-only cache directory degrades to
-// in-process calibration, never an error).
+// ForPrecision returns the calibration points of T's domain for the kernel
+// family the vec primitives currently dispatch to, measuring them on first
+// use. Concurrent first uses are single-flighted; the winner persists the
+// result best-effort (a read-only cache directory degrades to in-process
+// calibration, never an error).
 func ForPrecision[T vec.Scalar]() []Point {
-	key := precKey[T]()
+	return ForFamily[T](vec.ActiveFamily())
+}
+
+// ForFamily returns the calibration points of T's domain under the named
+// kernel family, measuring them on first use. Requesting the SIMD family on
+// a host without a vector backend degrades to the generic family (the only
+// one that can actually run there). Measuring a family other than the
+// active one flips the vec backend for the duration of the micro-benchmarks
+// and restores it afterwards; flips are serialized so concurrent
+// calibrations of different families don't corrupt each other's timings.
+func ForFamily[T vec.Scalar](family string) []Point {
+	if family == vec.FamilySIMD && !vec.SIMDSupported() {
+		family = vec.FamilyGeneric
+	}
+	prec := precKey[T]()
+	key := family + "/" + prec
 	calMu.Lock()
 	e := calBy[key]
 	if e == nil {
@@ -136,18 +161,33 @@ func ForPrecision[T vec.Scalar]() []Point {
 	}
 	calMu.Unlock()
 	e.once.Do(func() {
-		if pts := loadCalibration(key); pts != nil {
+		if pts := loadCalibration(family, prec); pts != nil {
 			e.pts = pts
 			return
 		}
 		if measureHook != nil {
-			e.pts = measureHook(key)
+			e.pts = measureHook(family, prec)
 		} else {
-			e.pts = measureAll[T]()
+			e.pts = measureFamily[T](family)
 		}
-		saveCalibration(key, e.pts)
+		saveCalibration(family, prec, e.pts)
 	})
 	return e.pts
+}
+
+// measureFamily runs the calibration micro-benchmarks with the vec backend
+// pinned to the requested family, restoring the previous backend state when
+// done. The measurement lock keeps a concurrent calibration of the other
+// family from flipping the backend mid-benchmark; kernels running on other
+// goroutines during a flip stay correct (the families agree numerically)
+// but may briefly execute on the other backend.
+func measureFamily[T vec.Scalar](family string) []Point {
+	measureMu.Lock()
+	defer measureMu.Unlock()
+	prev := vec.SIMDEnabled()
+	vec.SetSIMD(family == vec.FamilySIMD)
+	defer vec.SetSIMD(prev)
+	return measureAll[T]()
 }
 
 // CacheLocation describes where the calibration cache lives, for tooling
@@ -182,11 +222,13 @@ func cachePath() (path string, ok bool) {
 	return filepath.Join(dir, "tiledqr", "calibration.json"), true
 }
 
-// loadCalibration returns the cached points of one precision, or nil when
-// the file is missing, unreadable, corrupt, from another schema version, or
-// holds no usable points — every failure mode means "recalibrate", never an
-// error.
-func loadCalibration(prec string) []Point {
+// loadCalibration returns the cached points of one (family, precision), or
+// nil when the file is missing, unreadable, corrupt, from another schema
+// version, or holds no usable points — every failure mode means
+// "recalibrate", never an error. In particular a version-1 cache (written
+// before the kernel-family axis existed) fails the version check and the
+// host silently re-measures.
+func loadCalibration(family, prec string) []Point {
 	path, ok := cachePath()
 	if !ok {
 		return nil
@@ -199,7 +241,7 @@ func loadCalibration(prec string) []Point {
 	if json.Unmarshal(raw, &f) != nil || f.Version != SchemaVersion {
 		return nil
 	}
-	pts := f.Precisions[prec]
+	pts := f.Families[family][prec]
 	if len(pts) == 0 {
 		return nil
 	}
@@ -216,26 +258,29 @@ func loadCalibration(prec string) []Point {
 	return pts
 }
 
-// saveCalibration merges one precision's points into the cache file,
-// best-effort: IO failures are ignored (the in-process copy still serves
-// this run). The write is temp-file + rename so a crash never leaves a
-// truncated file, and the read-merge-write is serialized so concurrent
-// calibrations of different precisions don't drop each other.
-func saveCalibration(prec string, pts []Point) {
+// saveCalibration merges one (family, precision)'s points into the cache
+// file, best-effort: IO failures are ignored (the in-process copy still
+// serves this run). The write is temp-file + rename so a crash never leaves
+// a truncated file, and the read-merge-write is serialized so concurrent
+// calibrations of different families or precisions don't drop each other.
+func saveCalibration(family, prec string, pts []Point) {
 	path, ok := cachePath()
 	if !ok {
 		return
 	}
 	fileMu.Lock()
 	defer fileMu.Unlock()
-	f := fileFormat{Version: SchemaVersion, Precisions: map[string][]Point{}}
+	f := fileFormat{Version: SchemaVersion, Families: map[string]map[string][]Point{}}
 	if raw, err := os.ReadFile(path); err == nil {
 		var prev fileFormat
-		if json.Unmarshal(raw, &prev) == nil && prev.Version == SchemaVersion && prev.Precisions != nil {
-			f.Precisions = prev.Precisions
+		if json.Unmarshal(raw, &prev) == nil && prev.Version == SchemaVersion && prev.Families != nil {
+			f.Families = prev.Families
 		}
 	}
-	f.Precisions[prec] = pts
+	if f.Families[family] == nil {
+		f.Families[family] = map[string][]Point{}
+	}
+	f.Families[family][prec] = pts
 	out, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		return

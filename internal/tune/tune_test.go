@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"tiledqr/internal/core"
+	"tiledqr/internal/vec"
 )
 
 // synthPoints builds a plausible synthetic calibration: throughput mildly
@@ -26,10 +27,16 @@ func synthPoints() []Point {
 	return pts
 }
 
+// fam1 wraps one family's points in the on-disk layout, under the family
+// the vec backend currently dispatches to (what ForPrecision will look up).
+func fam1(pts []Point) map[string]map[string][]Point {
+	return map[string]map[string][]Point{vec.ActiveFamily(): {"float64": pts}}
+}
+
 // withHook installs a synthetic measurement function for the test and
 // resets all in-process calibration state around it. Tests using it must
 // not run in parallel (package-level state).
-func withHook(t *testing.T, f func(prec string) []Point) {
+func withHook(t *testing.T, f func(family, prec string) []Point) {
 	t.Helper()
 	measureHook = f
 	Reset()
@@ -44,22 +51,24 @@ func TestCalibrationCorruptionFallsBackToMeasurement(t *testing.T) {
 	path := filepath.Join(dir, "calibration.json")
 	t.Setenv(EnvCalibration, path)
 
-	good, _ := json.Marshal(fileFormat{Version: SchemaVersion,
-		Precisions: map[string][]Point{"float64": synthPoints()}})
+	good, _ := json.Marshal(fileFormat{Version: SchemaVersion, Families: fam1(synthPoints())})
 	cases := map[string][]byte{
 		"truncated":      good[:len(good)/2],
 		"garbage":        []byte("{{{ not json at all"),
 		"empty":          {},
-		"wrong-version":  mustJSON(fileFormat{Version: SchemaVersion + 1, Precisions: map[string][]Point{"float64": synthPoints()}}),
-		"no-points":      mustJSON(fileFormat{Version: SchemaVersion, Precisions: map[string][]Point{}}),
-		"zero-gflops":    mustJSON(fileFormat{Version: SchemaVersion, Precisions: map[string][]Point{"float64": {{NB: 64, IB: 16, Gflops: map[string]float64{"GEQRT": 0}}}}}),
-		"ib-exceeds-nb":  mustJSON(fileFormat{Version: SchemaVersion, Precisions: map[string][]Point{"float64": {{NB: 16, IB: 64, Gflops: map[string]float64{"GEQRT": 1}}}}}),
-		"negative-sizes": mustJSON(fileFormat{Version: SchemaVersion, Precisions: map[string][]Point{"float64": {{NB: -1, IB: -1, Gflops: map[string]float64{"GEQRT": 1}}}}}),
+		"wrong-version":  mustJSON(fileFormat{Version: SchemaVersion + 1, Families: fam1(synthPoints())}),
+		"no-points":      mustJSON(fileFormat{Version: SchemaVersion, Families: map[string]map[string][]Point{}}),
+		"zero-gflops":    mustJSON(fileFormat{Version: SchemaVersion, Families: fam1([]Point{{NB: 64, IB: 16, Gflops: map[string]float64{"GEQRT": 0}}})}),
+		"ib-exceeds-nb":  mustJSON(fileFormat{Version: SchemaVersion, Families: fam1([]Point{{NB: 16, IB: 64, Gflops: map[string]float64{"GEQRT": 1}}})}),
+		"negative-sizes": mustJSON(fileFormat{Version: SchemaVersion, Families: fam1([]Point{{NB: -1, IB: -1, Gflops: map[string]float64{"GEQRT": 1}}})}),
+		// The exact layout written by schema version 1, before the kernel
+		// family axis: must be ignored (recalibrated), never misread.
+		"stale-v1-schema": []byte(`{"version":1,"precisions":{"float64":[{"nb":64,"ib":16,"gflops":{"GEQRT":3}}]}}`),
 	}
 	for name, raw := range cases {
 		t.Run(name, func(t *testing.T) {
 			var calls atomic.Int32
-			withHook(t, func(string) []Point { calls.Add(1); return synthPoints() })
+			withHook(t, func(string, string) []Point { calls.Add(1); return synthPoints() })
 			if err := os.WriteFile(path, raw, 0o644); err != nil {
 				t.Fatal(err)
 			}
@@ -71,7 +80,7 @@ func TestCalibrationCorruptionFallsBackToMeasurement(t *testing.T) {
 				t.Fatalf("corrupt cache %q: measured %d times, want 1 (recalibration)", name, calls.Load())
 			}
 			// The recalibration must have repaired the file on disk.
-			if got := loadCalibration("float64"); got == nil {
+			if got := loadCalibration(vec.ActiveFamily(), "float64"); got == nil {
 				t.Fatalf("corrupt cache %q: recalibration did not persist a valid file", name)
 			}
 		})
@@ -90,7 +99,7 @@ func TestCalibrationRoundTripAndReuse(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "cal.json")
 	t.Setenv(EnvCalibration, path)
 	var calls atomic.Int32
-	withHook(t, func(string) []Point { calls.Add(1); return synthPoints() })
+	withHook(t, func(string, string) []Point { calls.Add(1); return synthPoints() })
 
 	first := ForPrecision[float64]()
 	Reset() // drop in-process state; the next call must load from disk
@@ -116,7 +125,7 @@ func TestCalibrationRoundTripAndReuse(t *testing.T) {
 func TestCalibrationMergesPrecisions(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "cal.json")
 	t.Setenv(EnvCalibration, path)
-	withHook(t, func(string) []Point { return synthPoints() })
+	withHook(t, func(string, string) []Point { return synthPoints() })
 	ForPrecision[float64]()
 	ForPrecision[complex128]()
 	raw, err := os.ReadFile(path)
@@ -127,16 +136,87 @@ func TestCalibrationMergesPrecisions(t *testing.T) {
 	if err := json.Unmarshal(raw, &f); err != nil {
 		t.Fatal(err)
 	}
+	fam := vec.ActiveFamily()
 	for _, prec := range []string{"float64", "complex128"} {
-		if len(f.Precisions[prec]) == 0 {
-			t.Errorf("cache file lost precision %s: have %v", prec, f.Precisions)
+		if len(f.Families[fam][prec]) == 0 {
+			t.Errorf("cache file lost precision %s: have %v", prec, f.Families)
 		}
+	}
+}
+
+// TestCalibrationPerFamily checks the cache keeps the two kernel families'
+// points apart and that ForFamily measures exactly the family it was asked
+// for (flipping the vec backend if needed, restoring it afterwards).
+func TestCalibrationPerFamily(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cal.json")
+	t.Setenv(EnvCalibration, path)
+	var families []string
+	withHook(t, func(family, prec string) []Point {
+		families = append(families, family)
+		return synthPoints()
+	})
+	before := vec.ActiveFamily()
+	generic := ForFamily[float64](vec.FamilyGeneric)
+	active := ForPrecision[float64]()
+	if vec.ActiveFamily() != before {
+		t.Fatalf("calibration changed the active family: %s → %s", before, vec.ActiveFamily())
+	}
+	if len(generic) == 0 || len(active) == 0 {
+		t.Fatal("missing calibration points")
+	}
+	wantFams := []string{vec.FamilyGeneric}
+	if before != vec.FamilyGeneric {
+		wantFams = append(wantFams, before)
+	}
+	if len(families) != len(wantFams) {
+		t.Fatalf("measured families %v, want %v", families, wantFams)
+	}
+	for i, f := range wantFams {
+		if families[i] != f {
+			t.Fatalf("measured families %v, want %v", families, wantFams)
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f fileFormat
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range wantFams {
+		if len(f.Families[fam]["float64"]) == 0 {
+			t.Errorf("cache file missing family %s: have %v", fam, f.Families)
+		}
+	}
+}
+
+// TestForFamilyUnsupportedSIMDDegrades pins the contract that asking for
+// the SIMD family on a host without a vector backend serves the generic
+// calibration instead of inventing one (meaningful on the noasm build).
+func TestForFamilyUnsupportedSIMDDegrades(t *testing.T) {
+	if vec.SIMDSupported() {
+		t.Skip("host has a SIMD backend; degradation path not reachable")
+	}
+	t.Setenv(EnvCalibration, "off")
+	var calls atomic.Int32
+	withHook(t, func(family, prec string) []Point {
+		calls.Add(1)
+		if family != vec.FamilyGeneric {
+			t.Errorf("measured family %q on a host without SIMD", family)
+		}
+		return synthPoints()
+	})
+	ForFamily[float64](vec.FamilySIMD)
+	ForFamily[float64](vec.FamilyGeneric)
+	if calls.Load() != 1 {
+		t.Fatalf("measured %d times, want 1 (simd request degrades to the generic entry)", calls.Load())
 	}
 }
 
 func TestCalibrationPersistenceOff(t *testing.T) {
 	t.Setenv(EnvCalibration, "off")
-	withHook(t, func(string) []Point { return synthPoints() })
+	withHook(t, func(string, string) []Point { return synthPoints() })
 	if pts := ForPrecision[float64](); len(pts) == 0 {
 		t.Fatal("persistence off must still calibrate in process")
 	}
@@ -159,7 +239,7 @@ func TestCacheLocation(t *testing.T) {
 func TestCalibrationSingleFlight(t *testing.T) {
 	t.Setenv(EnvCalibration, filepath.Join(t.TempDir(), "cal.json"))
 	var calls atomic.Int32
-	withHook(t, func(string) []Point { calls.Add(1); return synthPoints() })
+	withHook(t, func(string, string) []Point { calls.Add(1); return synthPoints() })
 
 	const goroutines = 16
 	results := make([][]Point, goroutines)
@@ -188,7 +268,7 @@ func TestCalibrationSingleFlight(t *testing.T) {
 func TestConcurrentResolveSingleFlights(t *testing.T) {
 	t.Setenv(EnvCalibration, "off")
 	var calls atomic.Int32
-	withHook(t, func(string) []Point { calls.Add(1); return synthPoints() })
+	withHook(t, func(string, string) []Point { calls.Add(1); return synthPoints() })
 
 	const per = 8
 	decs := make([]Candidate, per)
@@ -221,7 +301,7 @@ func TestConcurrentResolveSingleFlights(t *testing.T) {
 
 func TestResolveDeterministicAndPinned(t *testing.T) {
 	t.Setenv(EnvCalibration, "off")
-	withHook(t, func(string) []Point { return synthPoints() })
+	withHook(t, func(string, string) []Point { return synthPoints() })
 
 	a, err := Resolve[float64](Request{M: 512, N: 256, Workers: 4})
 	if err != nil {
@@ -253,7 +333,7 @@ func TestResolveDeterministicAndPinned(t *testing.T) {
 
 func TestRankSortedAndExhaustive(t *testing.T) {
 	t.Setenv(EnvCalibration, "off")
-	withHook(t, func(string) []Point { return synthPoints() })
+	withHook(t, func(string, string) []Point { return synthPoints() })
 	ranked := Rank[float64](Request{M: 512, N: 256, Workers: 4})
 	if len(ranked) == 0 {
 		t.Fatal("empty ranking")
@@ -278,7 +358,7 @@ func TestRankSortedAndExhaustive(t *testing.T) {
 // million-task DAGs: huge shapes use the closed-form roofline path.
 func TestRankRooflineForHugeGrids(t *testing.T) {
 	t.Setenv(EnvCalibration, "off")
-	withHook(t, func(string) []Point { return synthPoints() })
+	withHook(t, func(string, string) []Point { return synthPoints() })
 	ranked := Rank[float64](Request{M: 100_000, N: 50_000, Workers: 48})
 	if len(ranked) == 0 {
 		t.Fatal("empty ranking for huge shape")
@@ -330,7 +410,7 @@ func TestInterpGflops(t *testing.T) {
 
 func TestResolveStream(t *testing.T) {
 	t.Setenv(EnvCalibration, "off")
-	withHook(t, func(string) []Point { return synthPoints() })
+	withHook(t, func(string, string) []Point { return synthPoints() })
 	d, err := ResolveStream[float64](300, 4, 0, 0, core.TT)
 	if err != nil {
 		t.Fatal(err)

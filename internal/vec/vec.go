@@ -13,12 +13,31 @@
 // not alias unless a function documents otherwise.
 package vec
 
-import "math"
+import (
+	"math"
+	"unsafe"
+)
 
 // Dot returns the unconjugated product Σ x[i]·y[i] (BLAS dot/zdotu), the
 // form the T-factor assembly and back-substitution need. len(y) must be
-// ≥ len(x).
+// ≥ len(x). Real inputs long enough to amortize the call dispatch to the
+// SIMD backend when it is enabled (simd.go); results then differ from the
+// generic path only in rounding (FMA, different accumulation order).
 func Dot[T Scalar](x, y []T) T {
+	if simdEnabled.Load() && len(x) >= simdMinLen {
+		switch xs := any(x).(type) {
+		case []float64:
+			ys := any(y).([]float64)
+			return any(dotF64(&xs[0], &ys[0], len(xs))).(T)
+		case []float32:
+			ys := any(y).([]float32)
+			return any(dotF32(&xs[0], &ys[0], len(xs))).(T)
+		}
+	}
+	return dotGeneric(x, y)
+}
+
+func dotGeneric[T Scalar](x, y []T) T {
 	n := len(x)
 	var s0, s1, s2, s3 T
 	if n == 0 {
@@ -63,11 +82,28 @@ func Dotc[T Scalar](x, y []T) T {
 }
 
 // Axpy computes y += α·x over len(x) elements. len(y) must be ≥ len(x).
-// α = 0 is a no-op (structural-zero skip).
+// α = 0 is a no-op (structural-zero skip — enforced before SIMD dispatch,
+// so 0·Inf never manufactures a NaN on either family).
 func Axpy[T Scalar](alpha T, x, y []T) {
 	if alpha == 0 {
 		return
 	}
+	if simdEnabled.Load() && len(x) >= simdMinLen {
+		switch xs := any(x).(type) {
+		case []float64:
+			ys := any(y).([]float64)
+			axpyF64(any(alpha).(float64), &xs[0], &ys[0], len(xs))
+			return
+		case []float32:
+			ys := any(y).([]float32)
+			axpyF32(any(alpha).(float32), &xs[0], &ys[0], len(xs))
+			return
+		}
+	}
+	axpyGeneric(alpha, x, y)
+}
+
+func axpyGeneric[T Scalar](alpha T, x, y []T) {
 	n := len(x)
 	if n == 0 {
 		return
@@ -97,6 +133,22 @@ func Axpy2[T Scalar](alpha T, x1 []T, beta T, x2, y []T) {
 		Axpy(alpha, x1, y)
 		return
 	}
+	if simdEnabled.Load() && len(x1) >= simdMinLen {
+		switch x1s := any(x1).(type) {
+		case []float64:
+			x2s, ys := any(x2).([]float64), any(y).([]float64)
+			axpy2F64(any(alpha).(float64), &x1s[0], any(beta).(float64), &x2s[0], &ys[0], len(x1s))
+			return
+		case []float32:
+			x2s, ys := any(x2).([]float32), any(y).([]float32)
+			axpy2F32(any(alpha).(float32), &x1s[0], any(beta).(float32), &x2s[0], &ys[0], len(x1s))
+			return
+		}
+	}
+	axpy2Generic(alpha, x1, beta, x2, y)
+}
+
+func axpy2Generic[T Scalar](alpha T, x1 []T, beta T, x2, y []T) {
 	n := len(x1)
 	if n == 0 {
 		return
@@ -211,10 +263,18 @@ func Nrm2Inc[T Scalar](x []T, n, inc int) float64 {
 // element, which triples the cost of the reflector-norm pass; one
 // assertion followed by a monomorphic loop keeps the norms at hand-written
 // speed in every domain.
+// For contiguous data (inc == 1) with the SIMD backend enabled, all four
+// domains route to the vector sum-of-squares kernels — the complex slices
+// by reinterpreting their interleaved re/im layout as a real slice of
+// twice the length, which is exact (the sum of |z|² over lanes is the sum
+// of squares over components in some order).
 func sumSquares[T Scalar](x []T, n, inc int) float64 {
 	var s float64
 	switch xs := any(x).(type) {
 	case []float64:
+		if inc == 1 && n >= simdMinLen && simdEnabled.Load() {
+			return sumsqF64(&xs[0], n)
+		}
 		var s0, s1 float64
 		i, ix := 0, 0
 		if inc == 1 {
@@ -235,16 +295,25 @@ func sumSquares[T Scalar](x []T, n, inc int) float64 {
 		}
 		return s0
 	case []float32:
+		if inc == 1 && n >= simdMinLen && simdEnabled.Load() {
+			return sumsqF32(&xs[0], n)
+		}
 		for i, ix := 0, 0; i < n; i, ix = i+1, ix+inc {
 			v := float64(xs[ix])
 			s += v * v
 		}
 	case []complex128:
+		if inc == 1 && 2*n >= simdMinLen && simdEnabled.Load() {
+			return sumsqF64((*float64)(unsafe.Pointer(&xs[0])), 2*n)
+		}
 		for i, ix := 0, 0; i < n; i, ix = i+1, ix+inc {
 			re, im := real(xs[ix]), imag(xs[ix])
 			s += re*re + im*im
 		}
 	case []complex64:
+		if inc == 1 && 2*n >= simdMinLen && simdEnabled.Load() {
+			return sumsqF32((*float32)(unsafe.Pointer(&xs[0])), 2*n)
+		}
 		for i, ix := 0, 0; i < n; i, ix = i+1, ix+inc {
 			re, im := float64(real(xs[ix])), float64(imag(xs[ix]))
 			s += re*re + im*im

@@ -28,6 +28,18 @@ func refDot(x, y []float64) float64 {
 	return s
 }
 
+// pinGeneric forces the generic kernel family for one test: the bit-exact
+// reference checks below define the semantics of the portable loops, which
+// the SIMD family intentionally does not reproduce bit for bit (FMA,
+// different accumulation order). The SIMD family is held to ULP-level
+// agreement against these same loops by simd_test.go.
+func pinGeneric(t *testing.T) {
+	t.Helper()
+	prev := SIMDEnabled()
+	SetSIMD(false)
+	t.Cleanup(func() { SetSIMD(prev) })
+}
+
 func almostEq(a, b float64) bool {
 	if a == b {
 		return true
@@ -55,6 +67,7 @@ func TestDot(t *testing.T) {
 }
 
 func TestAxpy(t *testing.T) {
+	pinGeneric(t)
 	rng := rand.New(rand.NewSource(3))
 	for _, n := range lengths {
 		for _, alpha := range []float64{0, 1, -2.5} {
@@ -84,6 +97,7 @@ func TestAxpyDestLongerThanX(t *testing.T) {
 }
 
 func TestAxpy2(t *testing.T) {
+	pinGeneric(t)
 	rng := rand.New(rand.NewSource(4))
 	for _, n := range lengths {
 		for _, ab := range [][2]float64{{0, 0}, {2, 0}, {0, -1}, {1.5, -2.5}} {
@@ -247,5 +261,67 @@ func TestNrm2OverflowUnderflow(t *testing.T) {
 	}
 	if got := Nrm2([]float64{math.Inf(-1), 1}); !math.IsInf(got, 1) {
 		t.Errorf("Nrm2 with Inf=%g want +Inf", got)
+	}
+}
+
+// TestNrm2IncStrided pins the strided norm to the hypot reference across
+// strides and lengths, independent of the contiguous tests above.
+func TestNrm2IncStrided(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, inc := range []int{1, 2, 3, 5, 7} {
+		for _, n := range []int{0, 1, 2, 5, 16, 33, 100} {
+			var x []float64
+			if n > 0 {
+				x = randSlice((n-1)*inc+1+3, rng)
+			}
+			var want float64
+			for i := 0; i < n; i++ {
+				want = math.Hypot(want, x[i*inc])
+			}
+			if got := Nrm2Inc(x, n, inc); !almostEq(got, want) {
+				t.Errorf("n=%d inc=%d: Nrm2Inc=%g want %g", n, inc, got, want)
+			}
+		}
+	}
+}
+
+// TestNrm2IncOverflowUnderflow proves the strided path reuses the same
+// overflow-safe scaled accumulation as the contiguous one: values the naive
+// sum of squares cannot represent must still produce finite, accurate norms
+// at every stride, with garbage in the skipped gaps ignored.
+func TestNrm2IncOverflowUnderflow(t *testing.T) {
+	// Gap elements are poisoned with values that would dominate or destroy
+	// the sum if a stride bug ever read them.
+	poison := math.Inf(1)
+	build := func(vals []float64, inc int) []float64 {
+		x := make([]float64, (len(vals)-1)*inc+1)
+		for i := range x {
+			x[i] = poison
+		}
+		for i, v := range vals {
+			x[i*inc] = v
+		}
+		return x
+	}
+	for _, inc := range []int{2, 3, 7} {
+		big := build([]float64{1e200, -1e200, 1e200}, inc)
+		if got, want := Nrm2Inc(big, 3, inc), 1e200*math.Sqrt(3); !almostEq(got, want) {
+			t.Errorf("inc=%d overflow-range Nrm2Inc=%g want %g", inc, got, want)
+		}
+		small := build([]float64{1e-200, 3e-200}, inc)
+		if got, want := Nrm2Inc(small, 2, inc), 1e-200*math.Sqrt(10); !almostEq(got, want) {
+			t.Errorf("inc=%d underflow-range Nrm2Inc=%g want %g", inc, got, want)
+		}
+		tiny := build([]float64{5e-310, 5e-310, 5e-310, 5e-310}, inc)
+		if got, want := Nrm2Inc(tiny, 4, inc), 1e-309; math.Abs(got-want) > 1e-312 {
+			t.Errorf("inc=%d subnormal Nrm2Inc=%g want %g", inc, got, want)
+		}
+	}
+	// Non-finite entries at the strided positions must propagate.
+	if got := Nrm2Inc([]float64{1, 0, math.Inf(-1), 0, 2}, 3, 2); !math.IsInf(got, 1) {
+		t.Errorf("strided Inf: Nrm2Inc=%g want +Inf", got)
+	}
+	if got := Nrm2Inc[float64](nil, 0, 3); got != 0 {
+		t.Errorf("Nrm2Inc(nil, 0)=%g want 0", got)
 	}
 }
