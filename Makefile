@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-noasm race vet fmt-check lint bench bench-smoke bench-gate tune throughput chaos fault-smoke fuzz-smoke serve-smoke clean
+.PHONY: all build test test-noasm race vet fmt-check lint bench bench-smoke bench-gate tune throughput chaos fault-smoke fuzz-smoke serve-smoke dist-smoke clean
 
 all: lint build test
 
@@ -62,6 +62,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzOptionsValidate -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz FuzzFactor -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz FuzzVecSIMD -fuzztime $(FUZZTIME) ./internal/vec/
+	$(GO) test -run '^$$' -fuzz FuzzTileFrame -fuzztime $(FUZZTIME) ./internal/dist/
 
 # bench measures every sequential kernel in all four precisions (double,
 # double complex, single, single complex, at the benchmark shape
@@ -78,11 +79,20 @@ bench:
 # re-measure the kernel GFLOP/s and streaming rows/sec series and fail if
 # any of them regressed more than TOLERANCE percent below the committed
 # BENCH_kernels.json baseline. The default tolerance is sized for same-host
-# runs; CI passes a more generous one for hosted-runner drift.
+# runs; CI passes a more generous one for hosted-runner drift. A single
+# failing pass is re-measured once before the gate fails for real: a
+# noisy-neighbor blip on a shared runner trips one sample, a genuine
+# regression trips both. The tripped series (with old/new figures) are
+# printed by -compare on each failing pass.
 TOLERANCE ?= 25
 bench-gate:
-	$(GO) run ./cmd/qrperf -kernels-json bench-gate.json -quick
-	$(GO) run ./cmd/qrperf -compare BENCH_kernels.json bench-gate.json -tolerance $(TOLERANCE)
+	@run_gate() { \
+		$(GO) run ./cmd/qrperf -kernels-json bench-gate.json -quick && \
+		$(GO) run ./cmd/qrperf -compare BENCH_kernels.json bench-gate.json -tolerance $(TOLERANCE); \
+	}; \
+	if run_gate; then exit 0; fi; \
+	echo "bench-gate: first pass tripped (series above); re-measuring once to rule out host noise"; \
+	run_gate || { echo "bench-gate: regression confirmed on the retry"; exit 1; }
 
 # tune prints the autotuner's decision table: what AlgorithmAuto picks per
 # shape on this host, with predicted and (-measure) measured times.
@@ -109,6 +119,14 @@ bench-smoke:
 # server logs "drained cleanly" before exiting 0.
 serve-smoke:
 	GO="$(GO)" sh scripts/serve_smoke.sh
+
+# dist-smoke proves the distributed CAQR stack end to end: build qrdist and
+# qrworker, factor 2048×256 across a coordinator and 2 real worker
+# processes with -verify (R and x must match single-process Factor), then
+# SIGTERM a long multi-round run and assert the coordinated drain — every
+# worker finishes the same round and qrdist exits 0 after "drained cleanly".
+dist-smoke:
+	GO="$(GO)" sh scripts/dist_smoke.sh
 
 clean:
 	$(GO) clean ./...

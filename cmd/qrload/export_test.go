@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestExportRoundTrip writes a report through the JSON exporter and reads
+// it back, gating the per-kind breakdown: every endpoint entry must carry
+// a count equal to ok+failed+throttled, so an all-failing endpoint is
+// distinguishable from one the scenario never exercised.
+func TestExportRoundTrip(t *testing.T) {
+	r := &report{
+		elapsed: 2 * time.Second,
+		ok:      30, failed: 2, throttled: 4, rows: 6000,
+		lat: []time.Duration{time.Millisecond, 2 * time.Millisecond, 9 * time.Millisecond},
+		kinds: map[string]*kindAgg{
+			"factor": {ok: 20, failed: 0, throttled: 4, rows: 5000,
+				lat: []time.Duration{time.Millisecond, 9 * time.Millisecond}},
+			"solve": {ok: 10, failed: 2, throttled: 0, rows: 1000,
+				lat: []time.Duration{2 * time.Millisecond}},
+		},
+	}
+	sc := &Scenario{Threads: 3}
+	path := filepath.Join(t.TempDir(), "load.json")
+	if err := r.export(sc, path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got exportFile
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	want := map[string]int64{"factor": 24, "solve": 12}
+	for kind, n := range want {
+		ep, ok := got.Load.Endpoints[kind]
+		if !ok {
+			t.Fatalf("endpoint %q missing from export", kind)
+		}
+		if ep.Count != n {
+			t.Errorf("%s: count = %d, want %d", kind, ep.Count, n)
+		}
+		if ep.Count != ep.OK+ep.Failed+ep.Throttled {
+			t.Errorf("%s: count %d != ok %d + failed %d + throttled %d",
+				kind, ep.Count, ep.OK, ep.Failed, ep.Throttled)
+		}
+	}
+
+	// The field must be present on the wire under its documented name, not
+	// just populated in the struct — external dashboards key on "count".
+	var loose struct {
+		Load struct {
+			Endpoints map[string]map[string]any `json:"endpoints"`
+		} `json:"load"`
+	}
+	if err := json.Unmarshal(raw, &loose); err != nil {
+		t.Fatal(err)
+	}
+	for kind, fields := range loose.Load.Endpoints {
+		if _, ok := fields["count"]; !ok {
+			t.Errorf("endpoint %q: no \"count\" key in exported JSON", kind)
+		}
+	}
+}

@@ -419,6 +419,11 @@ func (r *report) print(sc *Scenario) {
 // exportEndpoint and the export* types mirror the text report as JSON. The
 // top-level "serve" object is the series qrperf -compare gates on.
 type exportEndpoint struct {
+	// Count is the total requests sent to the endpoint (ok + failed +
+	// throttled) — the denominator the percentile below is drawn from.
+	// Earlier reports omitted it, so a kind whose requests all failed was
+	// indistinguishable from one that was never exercised.
+	Count      int64   `json:"count"`
 	OK         int64   `json:"ok"`
 	Failed     int64   `json:"failed"`
 	Throttled  int64   `json:"throttled"`
@@ -462,7 +467,8 @@ func (r *report) export(sc *Scenario, path string) error {
 	out.Load.Endpoints = map[string]exportEndpoint{}
 	for k, a := range r.kinds {
 		out.Load.Endpoints[k] = exportEndpoint{
-			OK: a.ok, Failed: a.failed, Throttled: a.throttled,
+			Count: a.ok + a.failed + a.throttled,
+			OK:    a.ok, Failed: a.failed, Throttled: a.throttled,
 			P99MS:      ms(quantile(a.lat, 0.99)),
 			RowsPerSec: float64(a.rows) / sec,
 		}

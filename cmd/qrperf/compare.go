@@ -18,6 +18,7 @@ type benchSeries struct {
 	SingleComplex map[string]float64       `json:"single_complex_gflops"`
 	Families      map[string]*familyReport `json:"families"`
 	Stream        *streamReport            `json:"stream"`
+	Dist          *distReport              `json:"dist"`
 	Serve         *serveSeries             `json:"serve"`
 }
 
@@ -58,6 +59,14 @@ func (b *benchSeries) series() map[string]float64 {
 		out["stream.double_complex_rows_per_sec"] = s.DoubleComplexRowsPerSec
 		out["stream.single_rows_per_sec"] = s.SingleRowsPerSec
 		out["stream.single_complex_rows_per_sec"] = s.SingleComplexRowsPerSec
+	}
+	// Distributed scaling sweep: gate shard-normalized throughput per worker
+	// count. Bytes/round is a format property (checked by tests, not gated)
+	// and overlap is too host-dependent to gate.
+	if d := b.Dist; d != nil {
+		for _, p := range d.Points {
+			out[fmt.Sprintf("dist.w%d.rows_per_sec_per_shard", p.Workers)] = p.RowsPerSecPerShard
+		}
 	}
 	if s := b.Serve; s != nil {
 		out["serve.rows_per_sec"] = s.RowsPerSec

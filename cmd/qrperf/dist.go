@@ -1,0 +1,84 @@
+package main
+
+import (
+	"context"
+	"runtime"
+	"time"
+
+	"tiledqr/internal/dist"
+)
+
+// distReport records the distributed CAQR scaling series: the same
+// per-shard workload run at growing worker counts, each point reporting
+// shard-normalized throughput, the bytes the reduction tree moved per
+// round, and how much of that communication the pipelining hid behind
+// the next round's local factorization. Workers are in-process goroutines
+// over TCP loopback — the protocol and serialization costs are real, the
+// scheduling is shared, so on a many-core host rows/sec-per-shard should
+// hold roughly flat as workers double (communication avoidance working)
+// while on a starved host it degrades gracefully.
+type distReport struct {
+	RowsPerShard int         `json:"rows_per_shard"`
+	N            int         `json:"n"`
+	NB           int         `json:"nb"`
+	IB           int         `json:"ib"`
+	Rounds       int         `json:"rounds"`
+	Points       []distPoint `json:"points"`
+}
+
+// distPoint is one worker count of the scaling sweep.
+type distPoint struct {
+	Workers            int     `json:"workers"`
+	RowsPerSec         float64 `json:"rows_per_sec"`
+	RowsPerSecPerShard float64 `json:"rows_per_sec_per_shard"`
+	BytesPerRound      float64 `json:"bytes_per_round"`
+	OverlapFrac        float64 `json:"overlap_frac"`
+}
+
+// measureDist sweeps the distributed runtime at 1/2/4/8 local worker
+// processes (1/2 in quick mode), benchmark mode: shards are generated
+// worker-side, so the wire carries only the R triangles and Qᵀb blocks of
+// the steady state.
+func measureDist(quick bool) *distReport {
+	rep := &distReport{RowsPerShard: 768, N: 128, NB: 64, IB: 16, Rounds: 4}
+	counts := []int{1, 2, 4, 8}
+	if quick {
+		counts = []int{1, 2}
+		rep.Rounds = 2
+	}
+	for _, w := range counts {
+		local := runtime.GOMAXPROCS(0) / w
+		if local < 1 {
+			local = 1
+		}
+		coord, err := dist.NewCoordinator(dist.Config{
+			Workers: w, NB: rep.NB, IB: rep.IB,
+			Rounds: rep.Rounds, LocalWorkers: local,
+			GenSeed: 11, GenRows: rep.RowsPerShard, GenCols: rep.N, GenRHS: 1,
+		})
+		if err != nil {
+			die(err)
+		}
+		errs := dist.SpawnLocal(context.Background(), coord.Addr(), w)
+		t0 := time.Now()
+		res, err := dist.Run[float64](context.Background(), coord, nil, nil)
+		if err != nil {
+			die(err)
+		}
+		for i := 0; i < w; i++ {
+			if werr := <-errs; werr != nil {
+				die(werr)
+			}
+		}
+		sec := time.Since(t0).Seconds()
+		rows := float64(rep.RowsPerShard) * float64(w) * float64(res.Rounds)
+		rep.Points = append(rep.Points, distPoint{
+			Workers:            w,
+			RowsPerSec:         rows / sec,
+			RowsPerSecPerShard: rows / sec / float64(w),
+			BytesPerRound:      float64(res.Stats.BytesSent) / float64(res.Rounds),
+			OverlapFrac:        res.Stats.OverlapFrac,
+		})
+	}
+	return rep
+}

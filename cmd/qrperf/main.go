@@ -402,6 +402,7 @@ type kernelsReport struct {
 	SchedulerWorkers   int                      `json:"scheduler_dispatch_workers"`
 	Stream             *streamReport            `json:"stream,omitempty"`
 	Throughput         *throughputReport        `json:"throughput,omitempty"`
+	Dist               *distReport              `json:"dist,omitempty"`
 	Baseline           json.RawMessage          `json:"baseline,omitempty"`
 }
 
@@ -663,6 +664,7 @@ func writeKernelsJSON(path string, quick bool) error {
 	rep.SchedulerNsPerTask = sec * 1e9 / float64(d.NumTasks())
 	rep.Stream = measureStream()
 	rep.Throughput = measureThroughput(quick)
+	rep.Dist = measureDist(quick)
 	if old, err := os.ReadFile(path); err == nil {
 		var prev struct {
 			Baseline json.RawMessage `json:"baseline"`

@@ -1,0 +1,33 @@
+// Command qrworker is one shard of a distributed CAQR run: it connects to
+// a qrdist coordinator, receives its rank, shard and reduction-tree peer
+// table, and runs local tiled QR rounds, feeding its R triangles up the
+// TTQRT tree. It has no flags beyond the coordinator address — every
+// parameter comes over the wire — and no signal handling of its own:
+// shutdown is coordinated by the coordinator's drain protocol, so all
+// workers stop at the same round.
+//
+//	qrworker -connect 127.0.0.1:7421
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"tiledqr/internal/dist"
+)
+
+var flagConnect = flag.String("connect", "", "coordinator address (required)")
+
+func main() {
+	flag.Parse()
+	if *flagConnect == "" {
+		fmt.Fprintln(os.Stderr, "qrworker: -connect is required")
+		os.Exit(2)
+	}
+	if err := dist.RunWorker(context.Background(), *flagConnect); err != nil {
+		fmt.Fprintln(os.Stderr, "qrworker:", err)
+		os.Exit(1)
+	}
+}

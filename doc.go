@@ -209,6 +209,33 @@
 // the whole stack end to end. See the README's "QR as a service" section
 // for the endpoint reference.
 //
+// # Distributed factorization
+//
+// cmd/qrdist scales the factorization past one process with the
+// communication-avoiding algorithm (CAQR): the matrix is sharded row-wise
+// across worker processes (cmd/qrworker, or in-process goroutines),
+// each worker runs ordinary local tiled QR on its shard — FactorInto
+// underneath, so tile arenas and plans are reused across rounds — and the
+// per-shard n×n R triangles are combined pairwise up a binomial TTQRT
+// reduction tree until rank 0 holds the global R (and Qᵀb, folded through
+// the same tree with TTMQR), from which the coordinator solves the
+// least-squares system. Only packed triangles travel: for tall shards the
+// communication volume is O(n²) per worker per round against O(rows·n²)
+// of local compute, which is the communication-avoiding trade. Frames are
+// length-prefixed binary over plain TCP in all four precisions, buffers
+// are pooled on both the send and receive paths (zero steady-state
+// allocations per round), and a worker whose tree role is done starts the
+// next round's local factorization while its R is still in flight — the
+// reported overlap fraction measures how much communication that hid.
+// Multi-round jobs pipeline under a credit window; SIGTERM freezes the
+// window so every worker stops at the same round and the driver exits 0.
+// The distributed R matches single-process Factor up to the usual
+// row-phase ambiguity, and `make dist-smoke` asserts that agreement
+// against two real worker processes end to end. Shards shorter than n are
+// rejected with a pointer back to single-node Factor. See the README's
+// "Distributed CAQR" section for the topology diagram and sharding
+// guidance.
+//
 // # Failure semantics
 //
 // Every public entry point has a Ctx variant (FactorCtx, FactorIntoCtx,

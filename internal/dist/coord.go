@@ -1,0 +1,419 @@
+// The coordinator of the distributed CAQR runtime: it shards the global
+// matrix row-wise across worker processes, hands each worker its rank and
+// the peer table of the reduction tree, and then runs the flow-control
+// plane — a credit window of round allowances that keeps every shard one
+// to two rounds deep in pipelined work (local factorization overlapping
+// in-flight R triangles) while still being able to drain: on context
+// cancellation the coordinator freezes the window and broadcasts the
+// agreed final round, so every worker stops at the same round and no tree
+// pivot waits on a partner that already quit.
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+
+	"tiledqr/internal/core"
+	"tiledqr/internal/tile"
+	"tiledqr/internal/vec"
+	"tiledqr/internal/work"
+)
+
+// Config shapes a distributed run. Zero values take the documented
+// defaults.
+type Config struct {
+	Workers      int            // worker processes to expect (default 2)
+	NB           int            // tile size inside each shard (default 128)
+	IB           int            // inner block size (default 32)
+	Algorithm    core.Algorithm // local elimination order (default Greedy)
+	Kernels      core.Kernels   // local kernel family (default TT)
+	Rounds       int            // factor+reduce rounds per run (default 1)
+	Window       int            // pipelining credit window in rounds (default 2)
+	LocalWorkers int            // scheduler width inside each worker (0 = default)
+	Addr         string         // listen address (default "127.0.0.1:0")
+
+	// GenSeed ≠ 0 selects benchmark mode: workers generate their own
+	// GenRows×GenCols shards (plus GenRHS right-hand columns) from
+	// deterministic per-rank seeds, so the wire carries only R triangles
+	// and Qᵀb blocks — the communication-avoiding steady state, with no
+	// one-time shard shipment to distort the measurement.
+	GenSeed int64
+	GenRows int
+	GenCols int
+	GenRHS  int
+}
+
+func (c *Config) defaults() {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.NB <= 0 {
+		c.NB = 128
+	}
+	if c.IB <= 0 {
+		c.IB = 32
+	}
+	if c.Algorithm == 0 && c.Kernels == 0 {
+		c.Algorithm = core.Greedy
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 1
+	}
+	if c.Window <= 0 {
+		c.Window = 2
+	}
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+}
+
+// Coordinator is a listening distributed-run endpoint. Create one, point
+// workers at Addr(), then call Run.
+type Coordinator struct {
+	cfg Config
+	ln  net.Listener
+}
+
+// NewCoordinator validates cfg, applies defaults, and starts listening.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	cfg.defaults()
+	if cfg.GenSeed != 0 && (cfg.GenRows < cfg.GenCols || cfg.GenCols <= 0) {
+		return nil, fmt.Errorf("dist: benchmark mode needs GenRows ≥ GenCols ≥ 1 (have %d×%d)", cfg.GenRows, cfg.GenCols)
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: coordinator listen: %w", err)
+	}
+	return &Coordinator{cfg: cfg, ln: ln}, nil
+}
+
+// Addr returns the address workers should connect to.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Close releases the listener. Run closes it itself after the workers
+// have connected.
+func (c *Coordinator) Close() { _ = c.ln.Close() }
+
+// Result is the outcome of a distributed run at one precision.
+type Result[T vec.Scalar] struct {
+	R      *tile.Dense[T] // n×n upper-triangular global R factor
+	QTB    *tile.Dense[T] // top n rows of Qᵀb (nil when nrhs == 0)
+	X      *tile.Dense[T] // n×nrhs least-squares solution (nil when nrhs == 0)
+	Rounds int            // rounds actually completed (< cfg.Rounds after a drain)
+	Stats  RunStats
+}
+
+// workerConn is the coordinator's handle on one connected worker.
+type workerConn struct {
+	conn     net.Conn
+	peerAddr string
+}
+
+// coordEvent is one frame (or failure) delivered by a per-worker reader.
+type coordEvent struct {
+	rank int
+	f    Frame
+	buf  []byte
+	err  error
+}
+
+// Run executes one distributed factorization: wait for cfg.Workers workers
+// to connect, shard a (m×n, row-wise) and b (m×nrhs, optional) across
+// them, run the configured rounds, and return the global R, the Qᵀb top
+// block, and the least-squares solution X = R⁻¹(Qᵀb)[:n]. In benchmark
+// mode (GenSeed ≠ 0) a and b must be nil and the shapes come from the
+// config. Cancelling ctx drains: in-flight rounds complete consistently
+// across workers and Run returns with Rounds < cfg.Rounds and no error.
+func Run[T vec.Scalar](ctx context.Context, c *Coordinator, a, b *tile.Dense[T]) (*Result[T], error) {
+	cfg := c.cfg
+	W := cfg.Workers
+
+	// Resolve the global shape and the row split.
+	var n, nrhs int
+	shardRows := make([]int, W)
+	if cfg.GenSeed != 0 {
+		if a != nil || b != nil {
+			return nil, fmt.Errorf("dist: benchmark mode generates shards worker-side; a and b must be nil")
+		}
+		n, nrhs = cfg.GenCols, cfg.GenRHS
+		for i := range shardRows {
+			shardRows[i] = cfg.GenRows
+		}
+	} else {
+		if a == nil {
+			return nil, fmt.Errorf("dist: Run needs a matrix (or benchmark mode via GenSeed)")
+		}
+		m := a.Rows
+		n = a.Cols
+		if b != nil {
+			if b.Rows != m {
+				return nil, fmt.Errorf("dist: b has %d rows, want %d", b.Rows, m)
+			}
+			nrhs = b.Cols
+		}
+		base, rem := m/W, m%W
+		for i := range shardRows {
+			shardRows[i] = base
+			if i < rem {
+				shardRows[i]++
+			}
+		}
+		// The reduction tree combines n×n triangles, so every shard must
+		// cover at least n rows; thinner shards mean the matrix is too
+		// small to scale out — stay single-node (see README).
+		if base < n {
+			return nil, fmt.Errorf("dist: %d rows over %d workers gives shards of %d < n=%d rows; use fewer workers or single-node Factor", m, W, base, n)
+		}
+	}
+
+	workers, err := c.acceptWorkers(ctx, W)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		for _, w := range workers {
+			if w.conn != nil {
+				_ = w.conn.Close()
+			}
+		}
+	}()
+
+	// Configure every worker: rank, peer table, shape, initial allowance.
+	peers := make([]string, W)
+	for r, w := range workers {
+		peers[r] = w.peerAddr
+	}
+	granted := min(cfg.Rounds, cfg.Window)
+	for r, w := range workers {
+		wc := wireConfig{
+			Proto: protoVersion, Rank: r, Workers: W, Peers: peers,
+			Prec: string(precOf[T]()), ShardRows: shardRows[r], N: n, NRHS: nrhs,
+			NB: cfg.NB, IB: cfg.IB, Alg: int(cfg.Algorithm), Kern: int(cfg.Kernels),
+			Rounds: cfg.Rounds, Allow: granted,
+			GenSeed: cfg.GenSeed, LocalWorkers: cfg.LocalWorkers,
+		}
+		if err := writeJSON(w.conn, KindConfig, 0, &wc); err != nil {
+			return nil, fmt.Errorf("dist: configuring rank %d: %w", r, err)
+		}
+	}
+	// Data mode: ship each worker its shard (and RHS rows) exactly once.
+	if cfg.GenSeed == 0 {
+		row := 0
+		for r, w := range workers {
+			rows := shardRows[r]
+			buf := packDense(KindShard, 0, a.Data[row*a.Stride:], a.Stride, rows, n)
+			_, err := w.conn.Write(buf)
+			putBuf(buf)
+			if err != nil {
+				return nil, fmt.Errorf("dist: shipping shard to rank %d: %w", r, err)
+			}
+			if nrhs > 0 {
+				buf = packDense(KindRHS, 0, b.Data[row*b.Stride:], b.Stride, rows, nrhs)
+				_, err = w.conn.Write(buf)
+				putBuf(buf)
+				if err != nil {
+					return nil, fmt.Errorf("dist: shipping rhs to rank %d: %w", r, err)
+				}
+			}
+			row += rows
+		}
+	}
+
+	// Per-worker readers feed one event stream; the run loop below is the
+	// only writer to the worker connections from here on.
+	events := make(chan coordEvent, 4*W)
+	runDone := make(chan struct{})
+	defer close(runDone)
+	for r, w := range workers {
+		go func(rank int, conn net.Conn) {
+			for {
+				f, buf, err := ReadFrame(conn, getBuf(0))
+				ev := coordEvent{rank: rank, f: f, buf: buf, err: err}
+				if err != nil {
+					putBuf(buf)
+					ev.buf = nil
+				}
+				select {
+				case events <- ev:
+				case <-runDone:
+					putBuf(ev.buf)
+					return
+				}
+				if err != nil {
+					return
+				}
+			}
+		}(r, w.conn)
+	}
+
+	res := &Result[T]{R: tile.NewDense[T](n, n)}
+	if nrhs > 0 {
+		res.QTB = tile.NewDense[T](n, nrhs)
+	}
+	final := cfg.Rounds // agreed last round; lowered once on drain
+	stopped := false
+	gotResults, expectQTB := 0, false
+	statsBy := make([]WorkerStats, 0, W)
+	cancelCh := ctx.Done()
+	for gotResults < final || len(statsBy) < W {
+		// A drain can lower final below the results already collected;
+		// re-check before blocking so completion is prompt.
+		if gotResults >= final && len(statsBy) >= W {
+			break
+		}
+		select {
+		case <-cancelCh:
+			cancelCh = nil // fire once
+			stopped = true
+			final = granted
+			for r, w := range workers {
+				if _, err := WriteFrame(w.conn, &Frame{Kind: KindStop, Seq: uint32(final)}); err != nil {
+					return nil, fmt.Errorf("dist: draining rank %d: %w", r, err)
+				}
+			}
+		case ev := <-events:
+			if ev.err != nil {
+				return nil, fmt.Errorf("dist: worker %d connection: %w", ev.rank, ev.err)
+			}
+			switch ev.f.Kind {
+			case KindErr:
+				err := fmt.Errorf("dist: worker %d failed", ev.rank)
+				var em errMsg
+				if jsonErr := json.Unmarshal(ev.f.Payload, &em); jsonErr == nil {
+					err = fmt.Errorf("dist: worker %d failed: %s", em.Rank, em.Error)
+				}
+				putBuf(ev.buf)
+				return nil, err
+			case KindRTri:
+				err := UnpackTriangle(res.R.Data, res.R.Stride, n, ev.f.Payload)
+				putBuf(ev.buf)
+				if err != nil {
+					return nil, err
+				}
+				expectQTB = nrhs > 0
+				if !expectQTB {
+					gotResults++
+					granted = c.grant(workers, granted, gotResults, final, stopped)
+				}
+			case KindQTB:
+				if !expectQTB {
+					putBuf(ev.buf)
+					return nil, fmt.Errorf("dist: unexpected Qᵀb frame from worker %d", ev.rank)
+				}
+				err := unpackDense(res.QTB.Data, res.QTB.Stride, &ev.f)
+				putBuf(ev.buf)
+				if err != nil {
+					return nil, err
+				}
+				expectQTB = false
+				gotResults++
+				granted = c.grant(workers, granted, gotResults, final, stopped)
+			case KindStats:
+				var ws WorkerStats
+				err := json.Unmarshal(ev.f.Payload, &ws)
+				putBuf(ev.buf)
+				if err != nil {
+					return nil, fmt.Errorf("dist: worker %d stats: %w", ev.rank, err)
+				}
+				statsBy = append(statsBy, ws)
+			default:
+				putBuf(ev.buf)
+				return nil, fmt.Errorf("dist: unexpected frame kind %d from worker %d", ev.f.Kind, ev.rank)
+			}
+		}
+	}
+	for _, w := range workers {
+		_, _ = WriteFrame(w.conn, &Frame{Kind: KindDone})
+	}
+	res.Rounds = final
+	res.Stats = aggregate(statsBy, final)
+	if nrhs > 0 && final > 0 {
+		res.X = tile.NewDense[T](n, nrhs)
+		xcol := make([]T, n)
+		if err := work.SolveUpper(n, nrhs, res.R.Data, res.R.Stride,
+			res.QTB.Data, res.QTB.Stride, res.X.Data, res.X.Stride, xcol); err != nil {
+			return nil, fmt.Errorf("dist: back-substitution: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// grant extends the credit window after a completed round: every worker
+// learns it may run up to round `allow` — unless a drain froze the window.
+func (c *Coordinator) grant(workers []workerConn, granted, completed, final int, stopped bool) int {
+	if stopped {
+		return granted
+	}
+	allow := min(final, completed+c.cfg.Window)
+	if allow <= granted {
+		return granted
+	}
+	for _, w := range workers {
+		_, _ = WriteFrame(w.conn, &Frame{Kind: KindRound, Seq: uint32(allow)})
+	}
+	return allow
+}
+
+// acceptWorkers waits for W workers to connect and say hello, assigning
+// ranks in connection order.
+func (c *Coordinator) acceptWorkers(ctx context.Context, W int) ([]workerConn, error) {
+	defer c.ln.Close()
+	type accepted struct {
+		conn net.Conn
+		err  error
+	}
+	conns := make(chan accepted)
+	go func() {
+		for {
+			conn, err := c.ln.Accept()
+			conns <- accepted{conn, err}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	workers := make([]workerConn, 0, W)
+	fail := func(err error) ([]workerConn, error) {
+		for _, w := range workers {
+			_ = w.conn.Close()
+		}
+		return nil, err
+	}
+	for len(workers) < W {
+		select {
+		case <-ctx.Done():
+			return fail(ctx.Err())
+		case acc := <-conns:
+			if acc.err != nil {
+				return fail(fmt.Errorf("dist: accept: %w", acc.err))
+			}
+			setDeadline(acc.conn, 30*time.Second)
+			var hello helloMsg
+			if _, err := readJSON(acc.conn, nil, KindHello, &hello); err != nil {
+				_ = acc.conn.Close()
+				return fail(fmt.Errorf("dist: worker handshake: %w", err))
+			}
+			if hello.Proto != protoVersion {
+				_ = acc.conn.Close()
+				return fail(fmt.Errorf("dist: protocol version mismatch: worker %d, coordinator %d", hello.Proto, protoVersion))
+			}
+			setDeadline(acc.conn, 0)
+			workers = append(workers, workerConn{conn: acc.conn, peerAddr: hello.PeerAddr})
+		}
+	}
+	return workers, nil
+}
+
+// SpawnLocal starts w in-process workers as goroutines against addr — the
+// single-binary mode of cmd/qrdist, the benchmark harness, and the tests.
+// The returned channel yields one value per worker as it exits.
+func SpawnLocal(ctx context.Context, addr string, w int) <-chan error {
+	errs := make(chan error, w)
+	for i := 0; i < w; i++ {
+		go func() { errs <- RunWorker(ctx, addr) }()
+	}
+	return errs
+}

@@ -1,0 +1,181 @@
+package dist
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"tiledqr/internal/core"
+	"tiledqr/internal/engine"
+	"tiledqr/internal/tile"
+	"tiledqr/internal/vec"
+)
+
+// canonicalizeR scales each row of an upper-triangular factor so its
+// diagonal entry is real and non-negative. R is unique only up to a
+// unitary diagonal phase, and the distributed elimination order differs
+// from the single-process one, so factors must be canonicalized before an
+// entrywise comparison.
+func canonicalizeR[T vec.Scalar](r *tile.Dense[T]) {
+	for i := 0; i < r.Rows && i < r.Cols; i++ {
+		d := r.At(i, i)
+		a := vec.Abs(d)
+		if a == 0 {
+			continue
+		}
+		scale := vec.Conj(d) * vec.FromParts[T](1/a, 0)
+		for j := i; j < r.Cols; j++ {
+			r.Set(i, j, r.At(i, j)*scale)
+		}
+	}
+}
+
+// joinWorkers drains the SpawnLocal error channel, failing on any worker
+// error.
+func joinWorkers(t *testing.T, errs <-chan error, w int) {
+	t.Helper()
+	for i := 0; i < w; i++ {
+		select {
+		case err := <-errs:
+			if err != nil {
+				t.Fatalf("worker failed: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("worker did not exit")
+		}
+	}
+}
+
+// runDistVsLocal runs a W-worker distributed factorization of a random
+// m×n matrix against the single-process engine and requires R (after sign
+// canonicalization) and the least-squares solution to agree to tol
+// relative to the input's scale.
+func runDistVsLocal[T vec.Scalar](t *testing.T, m, n, nrhs, W, rounds int, tol float64) {
+	t.Helper()
+	a := tile.RandDense[T](m, n, 7)
+	b := tile.RandDense[T](m, nrhs, 8)
+
+	c, err := NewCoordinator(Config{
+		Workers: W, NB: 32, IB: 8, Rounds: rounds, LocalWorkers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := SpawnLocal(context.Background(), c.Addr(), W)
+	res, err := Run[T](context.Background(), c, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joinWorkers(t, errs, W)
+	if res.Rounds != rounds {
+		t.Fatalf("completed %d rounds, want %d", res.Rounds, rounds)
+	}
+
+	f, err := engine.Factor(a, engine.Config{
+		Algorithm: core.Greedy, TileSize: 32, InnerBlock: 8,
+		Env: engine.Env{Workers: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := f.R().View(0, 0, n, n)
+	got := res.R
+	canonicalizeR(want)
+	canonicalizeR(got)
+	scale := tile.FrobNorm(a)
+	if diff := tile.MaxAbsDiff(got, want); diff > tol*scale {
+		t.Errorf("R disagrees with single-process Factor: max |Δ| = %g (tolerance %g)", diff, tol*scale)
+	}
+
+	x, err := f.SolveLS(nil, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The LS solution is unique (full-rank random A), so it compares
+	// directly — no canonicalization.
+	xScale := tile.FrobNorm(x)
+	if diff := tile.MaxAbsDiff(res.X, x); diff > tol*xScale {
+		t.Errorf("SolveLS disagrees with single-process engine: max |Δ| = %g (tolerance %g)", diff, tol*xScale)
+	}
+
+	st := res.Stats
+	if st.Workers != W {
+		t.Errorf("stats cover %d workers, want %d", st.Workers, W)
+	}
+	if W > 1 && (st.BytesSent == 0 || st.BytesRecv == 0) {
+		t.Errorf("stats report no wire traffic: sent=%d recv=%d", st.BytesSent, st.BytesRecv)
+	}
+	if st.TasksRun == 0 || st.ComputeNS == 0 {
+		t.Errorf("stats report no compute: tasks=%d computeNS=%d", st.TasksRun, st.ComputeNS)
+	}
+}
+
+// TestDistMatchesLocal is the heart of the acceptance criteria: the
+// multi-process CAQR result must agree with the single-process engine in
+// all four precisions, including a non-power-of-two worker count and
+// multiple pipelined rounds.
+func TestDistMatchesLocal(t *testing.T) {
+	t.Run("double", func(t *testing.T) { runDistVsLocal[float64](t, 256, 64, 2, 3, 2, 1e-12) })
+	t.Run("double-complex", func(t *testing.T) { runDistVsLocal[complex128](t, 256, 64, 2, 3, 2, 1e-12) })
+	t.Run("single", func(t *testing.T) { runDistVsLocal[float32](t, 256, 64, 2, 3, 2, 2e-4) })
+	t.Run("single-complex", func(t *testing.T) { runDistVsLocal[complex64](t, 256, 64, 2, 3, 2, 2e-4) })
+}
+
+// TestDistSingleWorker degenerates the tree to nothing: one shard, no
+// peer traffic, still the right answer.
+func TestDistSingleWorker(t *testing.T) {
+	runDistVsLocal[float64](t, 128, 32, 1, 1, 1, 1e-12)
+}
+
+// TestDistPowerOfTwoWorkers runs the full-depth binary tree.
+func TestDistPowerOfTwoWorkers(t *testing.T) {
+	runDistVsLocal[float64](t, 512, 64, 1, 4, 3, 1e-12)
+}
+
+// TestDistDrain cancels a long benchmark-mode run mid-flight and requires
+// a coordinated drain: Run returns cleanly with fewer rounds than asked,
+// and every worker exits without error — the SIGTERM semantics of
+// cmd/qrdist.
+func TestDistDrain(t *testing.T) {
+	const W, rounds = 2, 1000
+	c, err := NewCoordinator(Config{
+		Workers: W, NB: 32, IB: 8, Rounds: rounds, Window: 2, LocalWorkers: 1,
+		GenSeed: 42, GenRows: 96, GenCols: 32, GenRHS: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errs := SpawnLocal(context.Background(), c.Addr(), W)
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		cancel()
+	}()
+	res, err := Run[float64](ctx, c, nil, nil)
+	if err != nil {
+		t.Fatalf("drain must complete cleanly, got %v", err)
+	}
+	joinWorkers(t, errs, W)
+	if res.Rounds <= 0 || res.Rounds >= rounds {
+		t.Errorf("drained after %d rounds, want 0 < rounds < %d", res.Rounds, rounds)
+	}
+	if res.Stats.Rounds != res.Rounds {
+		t.Errorf("stats rounds %d != result rounds %d", res.Stats.Rounds, res.Rounds)
+	}
+}
+
+// TestDistRejectsThinShards enforces the shard ≥ n floor with a
+// when-to-shard hint instead of producing a malformed tree.
+func TestDistRejectsThinShards(t *testing.T) {
+	c, err := NewCoordinator(Config{Workers: 4, NB: 32, IB: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	a := tile.RandDense[float64](64, 64, 1)
+	_, err = Run[float64](context.Background(), c, a, nil)
+	if err == nil || !strings.Contains(err.Error(), "single-node") {
+		t.Fatalf("thin shards must be rejected with a single-node hint, got %v", err)
+	}
+}

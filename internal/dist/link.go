@@ -1,0 +1,223 @@
+// Reduction-tree connection plumbing: one lazily dialed TCP connection per
+// (sender, pivot) pair, a writer goroutine per connection so a shard can
+// start its next local factorization while its R triangle is still in
+// flight (the overlap the benchmark measures), and a receive hub that
+// demultiplexes incoming peer frames by sender rank. Buffers are pooled on
+// both sides; the steady state moves zero allocations per round.
+package dist
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// sendQueueDepth bounds the frames queued per outgoing connection: enough
+// for about two rounds of (RTri, QTB) pairs in flight, so pipelining is
+// real but a stalled pivot exerts backpressure instead of unbounded
+// buffering.
+const sendQueueDepth = 4
+
+// peerSender is one outgoing tree edge: a connection plus its writer
+// goroutine's queue.
+type peerSender struct {
+	ch   chan []byte
+	conn net.Conn
+}
+
+// sendHub owns a worker's outgoing tree edges and their accounting.
+type sendHub struct {
+	rank  int
+	peers []string
+
+	mu    sync.Mutex
+	conns map[int]*peerSender
+	wg    sync.WaitGroup
+
+	bytesSent atomic.Int64
+	sendNS    atomic.Int64
+	errv      atomic.Value // error from any writer
+}
+
+func newSendHub(rank int, peers []string) *sendHub {
+	return &sendHub{rank: rank, peers: peers, conns: map[int]*peerSender{}}
+}
+
+func (h *sendHub) fail(err error) { h.errv.CompareAndSwap(nil, err) }
+
+func (h *sendHub) err() error {
+	if v := h.errv.Load(); v != nil {
+		return v.(error)
+	}
+	return nil
+}
+
+// send enqueues a framed buffer (ownership transfers; the writer recycles
+// it) to the peer with the given rank, dialing on first use. The first
+// frame on a fresh connection is a PeerHello identifying this sender.
+func (h *sendHub) send(to int, framed []byte) error {
+	if err := h.err(); err != nil {
+		putBuf(framed)
+		return err
+	}
+	h.mu.Lock()
+	ps := h.conns[to]
+	if ps == nil {
+		conn, err := net.DialTimeout("tcp", h.peers[to], 10*time.Second)
+		if err != nil {
+			h.mu.Unlock()
+			putBuf(framed)
+			err = fmt.Errorf("dist: rank %d dialing peer %d: %w", h.rank, to, err)
+			h.fail(err)
+			return err
+		}
+		ps = &peerSender{ch: make(chan []byte, sendQueueDepth), conn: conn}
+		h.conns[to] = ps
+		h.wg.Add(1)
+		go h.writer(ps)
+		ps.ch <- packFrame(&Frame{Kind: KindPeerHello, Seq: uint32(h.rank)}, 0, func([]byte) {})
+	}
+	h.mu.Unlock()
+	ps.ch <- framed
+	return nil
+}
+
+// writer drains one connection's queue. After a write error it keeps
+// consuming (recycling buffers) so senders never block on a dead edge; the
+// recorded error fails the worker at its next send.
+func (h *sendHub) writer(ps *peerSender) {
+	defer h.wg.Done()
+	dead := false
+	for buf := range ps.ch {
+		if !dead {
+			t0 := time.Now()
+			n, err := ps.conn.Write(buf)
+			h.sendNS.Add(int64(time.Since(t0)))
+			h.bytesSent.Add(int64(n))
+			if err != nil {
+				h.fail(fmt.Errorf("dist: rank %d peer send: %w", h.rank, err))
+				dead = true
+			}
+		}
+		putBuf(buf)
+	}
+	_ = ps.conn.Close()
+}
+
+// close flushes and tears down every outgoing edge, waiting for the
+// writers so all queued frames are on the wire before the worker exits.
+func (h *sendHub) close() {
+	h.mu.Lock()
+	for _, ps := range h.conns {
+		close(ps.ch)
+	}
+	h.mu.Unlock()
+	h.wg.Wait()
+}
+
+// recvMsg is one delivered peer frame; buf owns the payload and goes back
+// to the pool via putBuf once the consumer is done with it.
+type recvMsg struct {
+	f   Frame
+	buf []byte
+	err error
+}
+
+// recvHub accepts reduction-tree connections on a worker's peer listener
+// and demultiplexes their frames into per-sender queues.
+type recvHub struct {
+	ln   net.Listener
+	done chan struct{}
+
+	mu      sync.Mutex
+	senders map[int]chan recvMsg
+
+	bytesRecv atomic.Int64
+}
+
+func newRecvHub(ln net.Listener) *recvHub {
+	h := &recvHub{ln: ln, done: make(chan struct{}), senders: map[int]chan recvMsg{}}
+	go h.accept()
+	return h
+}
+
+// queueFor get-or-creates the delivery queue of a sender rank (the accept
+// goroutine and the combine loop race to be first).
+func (h *recvHub) queueFor(rank int) chan recvMsg {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ch := h.senders[rank]
+	if ch == nil {
+		ch = make(chan recvMsg, sendQueueDepth)
+		h.senders[rank] = ch
+	}
+	return ch
+}
+
+func (h *recvHub) accept() {
+	for {
+		conn, err := h.ln.Accept()
+		if err != nil {
+			return // listener closed: hub shutting down
+		}
+		go h.serve(conn)
+	}
+}
+
+// serve reads one peer connection: a PeerHello naming the sender, then a
+// stream of bulk frames delivered in order to that sender's queue. Each
+// frame lands in its own pooled buffer because ownership transfers to the
+// consumer.
+func (h *recvHub) serve(conn net.Conn) {
+	defer conn.Close()
+	setDeadline(conn, 30*time.Second)
+	hello, buf, err := ReadFrame(conn, getBuf(0))
+	if err != nil || hello.Kind != KindPeerHello {
+		putBuf(buf)
+		return // not a valid peer: drop the connection
+	}
+	putBuf(buf)
+	setDeadline(conn, 0)
+	ch := h.queueFor(int(hello.Seq))
+	for {
+		f, fbuf, err := ReadFrame(conn, getBuf(0))
+		if err != nil {
+			putBuf(fbuf)
+			select {
+			case ch <- recvMsg{err: err}:
+			case <-h.done:
+			}
+			return
+		}
+		h.bytesRecv.Add(int64(HeaderLen + len(f.Payload)))
+		select {
+		case ch <- recvMsg{f: f, buf: fbuf}:
+		case <-h.done:
+			putBuf(fbuf)
+			return
+		}
+	}
+}
+
+// recv waits for the next frame from a sender rank. The returned buffer
+// must be recycled with putBuf after the payload is consumed.
+func (h *recvHub) recv(from int) (Frame, []byte, error) {
+	select {
+	case m := <-h.queueFor(from):
+		if m.err != nil {
+			return Frame{}, nil, fmt.Errorf("dist: receiving from rank %d: %w", from, m.err)
+		}
+		return m.f, m.buf, nil
+	case <-h.done:
+		return Frame{}, nil, fmt.Errorf("dist: receive from rank %d aborted", from)
+	}
+}
+
+// close tears the hub down: the listener stops accepting and every
+// blocked recv unblocks.
+func (h *recvHub) close() {
+	_ = h.ln.Close()
+	close(h.done)
+}

@@ -1,0 +1,334 @@
+// The wire layer of the distributed CAQR runtime: length-prefixed binary
+// frames over plain TCP carrying packed tile payloads. The format is as
+// small as correctness allows — communication avoidance starts with what
+// goes on the wire, so the reduction tree ships only packed q×q R
+// triangles (n(n+1)/2 scalars, not n² and never the trailing matrix), and
+// every send and receive goes through pooled buffers so the steady state
+// of a multi-round run allocates nothing per frame.
+//
+// Frame layout (all integers little-endian):
+//
+//	offset  size  field
+//	0       4     magic "QRD1"
+//	4       1     kind (frame kinds below)
+//	5       1     precision letter ('d','s','z','c'; 0 for control frames)
+//	6       2     reserved (zero)
+//	8       4     seq   (round number, or kind-specific)
+//	12      4     rows
+//	16      4     cols
+//	20      4     payload length in bytes
+//	24      ...   payload
+//
+// Scalars are packed little-endian in row-major order; complex values as
+// interleaved (re, im) pairs, so a complex64 costs 8 bytes and a
+// complex128 costs 16. Control frames (hello, config, stats, errors)
+// carry JSON payloads; bulk frames (shards, triangles, Qᵀb blocks) carry
+// packed scalars.
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"tiledqr/internal/vec"
+)
+
+// Frame kinds. The handshake is Hello → Config → (Shard, RHS)?; each round
+// moves RTri/QTB frames up the reduction tree and a Result pair from the
+// tree root to the coordinator; Round/Stop/Done are the coordinator's
+// flow-control plane; Err carries a worker-side failure.
+const (
+	KindHello     byte = iota + 1 // worker → coordinator: JSON helloMsg
+	KindConfig                    // coordinator → worker: JSON wireConfig
+	KindShard                     // coordinator → worker: packed shard rows
+	KindRHS                       // coordinator → worker: packed RHS rows
+	KindRTri                      // packed upper triangle of a shard R
+	KindQTB                       // packed top-n block of a shard's Qᵀb
+	KindPeerHello                 // worker → worker: seq = sender rank
+	KindStats                     // worker → coordinator: JSON WorkerStats
+	KindRound                     // coordinator → worker: seq = new round allowance
+	KindStop                      // coordinator → worker: seq = final round count (drain)
+	KindDone                      // coordinator → worker: run complete, disconnect
+	KindErr                       // worker → coordinator: JSON errMsg
+
+	kindMax = KindErr
+)
+
+// HeaderLen is the fixed frame header size in bytes.
+const HeaderLen = 24
+
+// MaxPayload bounds a frame's payload; ReadFrame rejects anything larger
+// before allocating, so a corrupt or hostile length field cannot OOM the
+// receiver.
+const MaxPayload = 1 << 30
+
+var magic = [4]byte{'Q', 'R', 'D', '1'}
+
+// Frame is one decoded wire frame. Payload aliases the read buffer handed
+// to ReadFrame; it is valid until that buffer is reused.
+type Frame struct {
+	Kind    byte
+	Prec    byte
+	Seq     uint32
+	Rows    uint32
+	Cols    uint32
+	Payload []byte
+}
+
+// putHeader encodes a frame header into dst[:HeaderLen].
+func putHeader(dst []byte, f *Frame, payloadLen int) {
+	copy(dst[:4], magic[:])
+	dst[4] = f.Kind
+	dst[5] = f.Prec
+	dst[6], dst[7] = 0, 0
+	binary.LittleEndian.PutUint32(dst[8:], f.Seq)
+	binary.LittleEndian.PutUint32(dst[12:], f.Rows)
+	binary.LittleEndian.PutUint32(dst[16:], f.Cols)
+	binary.LittleEndian.PutUint32(dst[20:], uint32(payloadLen))
+}
+
+// WriteFrame writes one frame (header + payload) to w, returning the bytes
+// written. Senders on hot paths pre-frame into a pooled buffer and write
+// once instead (see packFrame); WriteFrame is the handshake/control path.
+func WriteFrame(w io.Writer, f *Frame) (int, error) {
+	var hdr [HeaderLen]byte
+	putHeader(hdr[:], f, len(f.Payload))
+	n, err := w.Write(hdr[:])
+	if err != nil {
+		return n, err
+	}
+	m, err := w.Write(f.Payload)
+	return n + m, err
+}
+
+// packFrame appends a fully framed message (header + payload built by
+// fill) to a pooled buffer and returns it; the caller hands it to a writer
+// and recycles it with putBuf. One buffer, one Write call, zero copies
+// beyond the packing itself.
+func packFrame(f *Frame, payloadLen int, fill func(dst []byte)) []byte {
+	buf := getBuf(HeaderLen + payloadLen)
+	putHeader(buf, f, payloadLen)
+	fill(buf[HeaderLen:])
+	return buf
+}
+
+// ReadFrame reads and validates one frame from r. buf is an optional
+// reusable payload buffer: the returned Frame's Payload is a prefix of the
+// returned slice, which the caller passes back in on the next read. A
+// truncated stream surfaces as io.ErrUnexpectedEOF; a malformed header
+// (bad magic, unknown kind, oversized payload) as a descriptive error
+// before any payload is read.
+func ReadFrame(r io.Reader, buf []byte) (Frame, []byte, error) {
+	var hdr [HeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, buf, err
+	}
+	if [4]byte(hdr[:4]) != magic {
+		return Frame{}, buf, fmt.Errorf("dist: bad frame magic %q", hdr[:4])
+	}
+	f := Frame{
+		Kind: hdr[4],
+		Prec: hdr[5],
+		Seq:  binary.LittleEndian.Uint32(hdr[8:]),
+		Rows: binary.LittleEndian.Uint32(hdr[12:]),
+		Cols: binary.LittleEndian.Uint32(hdr[16:]),
+	}
+	if f.Kind == 0 || f.Kind > kindMax {
+		return Frame{}, buf, fmt.Errorf("dist: unknown frame kind %d", f.Kind)
+	}
+	plen := binary.LittleEndian.Uint32(hdr[20:])
+	if plen > MaxPayload {
+		return Frame{}, buf, fmt.Errorf("dist: frame payload %d exceeds limit %d", plen, MaxPayload)
+	}
+	if cap(buf) < int(plen) {
+		buf = make([]byte, plen)
+	}
+	buf = buf[:plen]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, buf, err
+	}
+	f.Payload = buf
+	return f, buf, nil
+}
+
+// bufPool recycles framed send buffers and received payload copies; the
+// steady state of a multi-round run allocates no wire memory.
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+func getBuf(n int) []byte {
+	b := *bufPool.Get().(*[]byte)
+	if cap(b) < n {
+		b = make([]byte, n)
+	}
+	return b[:n]
+}
+
+func putBuf(b []byte) {
+	if b == nil {
+		return
+	}
+	bufPool.Put(&b)
+}
+
+// precOf returns the BLAS-style precision letter of T, the wire's type tag.
+func precOf[T vec.Scalar]() byte {
+	switch any((*T)(nil)).(type) {
+	case *float32:
+		return 's'
+	case *float64:
+		return 'd'
+	case *complex64:
+		return 'c'
+	default: // *complex128
+		return 'z'
+	}
+}
+
+// scalarBytes returns the wire size of one scalar of precision prec, or 0
+// for an unknown tag.
+func scalarBytes(prec byte) int {
+	switch prec {
+	case 's':
+		return 4
+	case 'd':
+		return 8
+	case 'c':
+		return 8
+	case 'z':
+		return 16
+	default:
+		return 0
+	}
+}
+
+// PackScalars encodes src into dst little-endian (complex interleaved
+// re/im) and returns the bytes consumed. dst must hold
+// len(src)·scalarBytes(precOf[T]()) bytes.
+func PackScalars[T vec.Scalar](dst []byte, src []T) int {
+	switch s := any(src).(type) {
+	case []float32:
+		for i, v := range s {
+			binary.LittleEndian.PutUint32(dst[4*i:], math.Float32bits(v))
+		}
+		return 4 * len(s)
+	case []float64:
+		for i, v := range s {
+			binary.LittleEndian.PutUint64(dst[8*i:], math.Float64bits(v))
+		}
+		return 8 * len(s)
+	case []complex64:
+		for i, v := range s {
+			binary.LittleEndian.PutUint32(dst[8*i:], math.Float32bits(real(v)))
+			binary.LittleEndian.PutUint32(dst[8*i+4:], math.Float32bits(imag(v)))
+		}
+		return 8 * len(s)
+	default:
+		z := any(src).([]complex128)
+		for i, v := range z {
+			binary.LittleEndian.PutUint64(dst[16*i:], math.Float64bits(real(v)))
+			binary.LittleEndian.PutUint64(dst[16*i+8:], math.Float64bits(imag(v)))
+		}
+		return 16 * len(z)
+	}
+}
+
+// UnpackScalars decodes len(dst) scalars from src, the inverse of
+// PackScalars. It returns an error (not a short read) when src is too
+// small, so a truncated frame is rejected instead of half-applied.
+func UnpackScalars[T vec.Scalar](dst []T, src []byte) error {
+	if need := len(dst) * scalarBytes(precOf[T]()); len(src) < need {
+		return fmt.Errorf("dist: scalar payload %d bytes, need %d", len(src), need)
+	}
+	switch d := any(dst).(type) {
+	case []float32:
+		for i := range d {
+			d[i] = math.Float32frombits(binary.LittleEndian.Uint32(src[4*i:]))
+		}
+	case []float64:
+		for i := range d {
+			d[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
+		}
+	case []complex64:
+		for i := range d {
+			d[i] = complex(
+				math.Float32frombits(binary.LittleEndian.Uint32(src[8*i:])),
+				math.Float32frombits(binary.LittleEndian.Uint32(src[8*i+4:])))
+		}
+	default:
+		z := any(dst).([]complex128)
+		for i := range z {
+			z[i] = complex(
+				math.Float64frombits(binary.LittleEndian.Uint64(src[16*i:])),
+				math.Float64frombits(binary.LittleEndian.Uint64(src[16*i+8:])))
+		}
+	}
+	return nil
+}
+
+// TriLen returns the element count of a packed n×n upper triangle.
+func TriLen(n int) int { return n * (n + 1) / 2 }
+
+// PackTriangle encodes the upper triangle of the n×n matrix r (row stride
+// ldr) into dst, row-major packed — the communication-avoiding payload:
+// n(n+1)/2 scalars instead of n². Returns the bytes written.
+func PackTriangle[T vec.Scalar](dst []byte, r []T, ldr, n int) int {
+	off := 0
+	for i := 0; i < n; i++ {
+		off += PackScalars(dst[off:], r[i*ldr+i:i*ldr+n])
+	}
+	return off
+}
+
+// UnpackTriangle decodes a packed upper triangle into the n×n matrix r
+// (row stride ldr), leaving the strictly lower part untouched.
+func UnpackTriangle[T vec.Scalar](r []T, ldr, n int, src []byte) error {
+	sz := scalarBytes(precOf[T]())
+	if need := TriLen(n) * sz; len(src) < need {
+		return fmt.Errorf("dist: triangle payload %d bytes, need %d", len(src), need)
+	}
+	off := 0
+	for i := 0; i < n; i++ {
+		w := n - i
+		if err := UnpackScalars(r[i*ldr+i:i*ldr+n], src[off:off+w*sz]); err != nil {
+			return err
+		}
+		off += w * sz
+	}
+	return nil
+}
+
+// packDense frames a rows×cols block of scalars (row stride ld) as kind k
+// with sequence seq into a pooled buffer.
+func packDense[T vec.Scalar](k byte, seq uint32, a []T, ld, rows, cols int) []byte {
+	sz := scalarBytes(precOf[T]())
+	f := &Frame{Kind: k, Prec: precOf[T](), Seq: seq, Rows: uint32(rows), Cols: uint32(cols)}
+	return packFrame(f, rows*cols*sz, func(dst []byte) {
+		off := 0
+		for i := 0; i < rows; i++ {
+			off += PackScalars(dst[off:], a[i*ld:i*ld+cols])
+		}
+	})
+}
+
+// unpackDense decodes a packDense payload into a (row stride ld).
+func unpackDense[T vec.Scalar](a []T, ld int, f *Frame) error {
+	rows, cols := int(f.Rows), int(f.Cols)
+	sz := scalarBytes(precOf[T]())
+	if need := rows * cols * sz; len(f.Payload) < need {
+		return fmt.Errorf("dist: dense payload %d bytes, need %d", len(f.Payload), need)
+	}
+	off := 0
+	for i := 0; i < rows; i++ {
+		if err := UnpackScalars(a[i*ld:i*ld+cols], f.Payload[off:off+cols*sz]); err != nil {
+			return err
+		}
+		off += cols * sz
+	}
+	return nil
+}

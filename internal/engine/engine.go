@@ -57,19 +57,28 @@ type RunOpts struct {
 	// wrote are finite, so a NaN or Inf stops the DAG at the first task
 	// that produces it instead of flowing downstream.
 	Check bool
+	// Stats, when non-nil, receives the job's execution accounting (tasks
+	// run, summed kernel time, wall clock) — the compute side of the
+	// distributed layer's comms-vs-compute overlap measurement.
+	Stats *sched.JobStats
 }
 
 // run executes the plan's DAG under the Env's placement policy.
 func (e Env) run(p *sched.Plan, opts RunOpts, exec sched.Exec) (*sched.Trace, error) {
 	if e.Runtime != nil {
-		return e.Runtime.Exec(p, sched.Options{Trace: opts.Trace, Ctx: opts.Ctx}, exec)
+		return e.Runtime.Exec(p, sched.Options{Trace: opts.Trace, Ctx: opts.Ctx, Stats: opts.Stats}, exec)
 	}
 	if work.WorkersOrDefault(e.Workers) == 1 {
-		return sched.RunInline(opts.Ctx, p.DAG(), opts.Trace, exec)
+		tr, err := sched.RunInline(opts.Ctx, p.DAG(), opts.Trace, exec)
+		if opts.Stats != nil {
+			// Inline runs have no idle worker time: busy equals wall.
+			*opts.Stats = sched.JobStats{Tasks: int64(p.DAG().NumTasks()), Busy: tr.Elapsed, Wall: tr.Elapsed}
+		}
+		return tr, err
 	}
 	rt := sched.NewRuntime(e.Workers)
 	defer rt.Close()
-	return rt.Exec(p, sched.Options{Trace: opts.Trace, Ctx: opts.Ctx}, exec)
+	return rt.Exec(p, sched.Options{Trace: opts.Trace, Ctx: opts.Ctx, Stats: opts.Stats}, exec)
 }
 
 // wsSlot maps a scalar type to its sched.Local slot: one kernel workspace
@@ -133,6 +142,9 @@ type Config struct {
 	// the breakdown fail-fast (every task verifies its output tiles are
 	// finite).
 	CheckHealth bool
+	// Stats, when non-nil, receives the DAG execution's accounting (tasks,
+	// busy, wall) for this factorization — per call, never retained.
+	Stats *sched.JobStats
 }
 
 // reuseKey is the structural identity of a factorization: FactorInto
@@ -482,7 +494,7 @@ func FactorInto[T vec.Scalar](f *Factorization[T], a *tile.Dense[T], cfg Config)
 	// needed.
 	f.mat.CopyFrom(a)
 	trace, err := ExecTasks[T](f, f.plan, f.env,
-		RunOpts{Ctx: cfg.Ctx, Trace: cfg.Trace, Check: cfg.CheckHealth}, f.ib, f.wsLen)
+		RunOpts{Ctx: cfg.Ctx, Trace: cfg.Trace, Check: cfg.CheckHealth, Stats: cfg.Stats}, f.ib, f.wsLen)
 	if err != nil {
 		f.ferr = err
 		return err
@@ -630,6 +642,35 @@ func (f *Factorization[T]) R() *tile.Dense[T] {
 		}
 	}
 	return r
+}
+
+// RInto writes the leading k×k (k = min(m,n), capped at dst's shape by ldr
+// and len) upper triangle of R into dst with row stride ldr, leaving dst's
+// strictly lower part untouched. It is the allocation-free sibling of R for
+// callers that keep a resident R buffer across factorizations — the
+// distributed reduction tree refills its combine buffer from here every
+// round. dst must hold at least k rows of ldr with ldr ≥ n.
+func (f *Factorization[T]) RInto(dst []T, ldr int) error {
+	if err := f.errInvalid("RInto"); err != nil {
+		return err
+	}
+	n := f.grid.N
+	k := min(f.grid.M, n)
+	if ldr < n {
+		return fmt.Errorf("tiledqr: RInto: row stride %d < n=%d", ldr, n)
+	}
+	if need := (k-1)*ldr + n; len(dst) < need {
+		return fmt.Errorf("tiledqr: RInto: dst has %d elements, need %d", len(dst), need)
+	}
+	nb := f.grid.NB
+	for i := 0; i < k; i++ {
+		ti, li := i/nb, i%nb
+		row := dst[i*ldr : i*ldr+n]
+		for j := i; j < n; j++ {
+			row[j] = f.mat.Tile(ti, j/nb).At(li, j%nb)
+		}
+	}
+	return nil
 }
 
 // Apply overwrites b (m×nrhs) with Qᴴ·b (trans) or Q·b by replaying the

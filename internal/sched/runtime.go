@@ -129,6 +129,9 @@ type job struct {
 	done      chan struct{}
 
 	trace   bool
+	statsOn bool
+	busyNS  atomic.Int64 // summed task time, when statsOn or trace
+	ran     atomic.Int64 // tasks actually executed (not dropped)
 	start   time.Time
 	spansMu sync.Mutex
 	spans   []Span
@@ -566,12 +569,13 @@ func (rt *Runtime) Exec(p *Plan, opt Options, exec Exec) (*Trace, error) {
 		return &Trace{Workers: rt.workers}, nil
 	}
 	j := &job{
-		plan:  p,
-		exec:  exec,
-		seq:   rt.seq.Add(1),
-		trace: opt.Trace,
-		start: time.Now(),
-		done:  make(chan struct{}),
+		plan:    p,
+		exec:    exec,
+		seq:     rt.seq.Add(1),
+		trace:   opt.Trace,
+		statsOn: opt.Stats != nil,
+		start:   time.Now(),
+		done:    make(chan struct{}),
 	}
 	j.remaining.Store(int64(n))
 	if opt.Trace {
@@ -638,6 +642,13 @@ func (rt *Runtime) Exec(p *Plan, opt Options, exec Exec) (*Trace, error) {
 		j.spansMu.Lock()
 		tr.Spans = j.spans
 		j.spansMu.Unlock()
+	}
+	if opt.Stats != nil {
+		*opt.Stats = JobStats{
+			Tasks: j.ran.Load(),
+			Busy:  time.Duration(j.busyNS.Load()),
+			Wall:  tr.Elapsed,
+		}
 	}
 	return tr, j.loadErr()
 }
@@ -747,15 +758,19 @@ func (j *job) runTask(t int32, loc *Local) (err error) {
 		}
 	}()
 	var t0 time.Duration
-	if j.trace {
+	if j.trace || j.statsOn {
 		t0 = time.Since(j.start)
 	}
 	err = j.exec(t, loc)
-	if j.trace {
+	if j.trace || j.statsOn {
 		t1 := time.Since(j.start)
-		j.spansMu.Lock()
-		j.spans = append(j.spans, Span{Task: t, Worker: loc.ID, Start: t0, End: t1})
-		j.spansMu.Unlock()
+		j.busyNS.Add(int64(t1 - t0))
+		j.ran.Add(1)
+		if j.trace {
+			j.spansMu.Lock()
+			j.spans = append(j.spans, Span{Task: t, Worker: loc.ID, Start: t0, End: t1})
+			j.spansMu.Unlock()
+		}
 	}
 	return err
 }

@@ -47,6 +47,30 @@ type Options struct {
 	// tasks are dropped, and the submitter gets ctx.Err(). nil means the
 	// job runs to completion or first task error.
 	Ctx context.Context
+	// Stats, when non-nil, is filled on completion with the job's execution
+	// accounting: tasks run, summed kernel time across workers, and wall
+	// clock. Far cheaper than Trace (two clock reads per task, no span
+	// storage) — the compute side of comms-vs-compute overlap accounting in
+	// the distributed layer.
+	Stats *JobStats
+}
+
+// JobStats is the per-job execution summary requested through
+// Options.Stats: how much worker time the job's tasks consumed versus its
+// submit-to-completion wall clock. Busy > Wall means the DAG ran with real
+// parallelism; Busy/Wall is the job's effective worker count.
+type JobStats struct {
+	Tasks int64         // tasks executed (dropped tasks of a canceled job excluded)
+	Busy  time.Duration // summed task execution time across all workers
+	Wall  time.Duration // submission to completion
+}
+
+// Add accumulates another job's stats — callers tracking a whole session of
+// executions (one per round in the distributed layer) fold each job in.
+func (s *JobStats) Add(o JobStats) {
+	s.Tasks += o.Tasks
+	s.Busy += o.Busy
+	s.Wall += o.Wall
 }
 
 // Priorities returns the critical-path priority of every task: its Table 1
@@ -94,7 +118,7 @@ func Run(d *core.DAG, opt Options, exec func(task int32, worker int)) (*Trace, e
 	}
 	rt := NewRuntime(workers)
 	defer rt.Close()
-	return rt.Exec(NewPlan(d), Options{Trace: opt.Trace, Ctx: opt.Ctx}, wrapped)
+	return rt.Exec(NewPlan(d), Options{Trace: opt.Trace, Ctx: opt.Ctx, Stats: opt.Stats}, wrapped)
 }
 
 // Validate checks that a trace respects every DAG dependency (each task
