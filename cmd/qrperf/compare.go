@@ -18,6 +18,7 @@ type benchSeries struct {
 	SingleComplex map[string]float64       `json:"single_complex_gflops"`
 	Families      map[string]*familyReport `json:"families"`
 	Stream        *streamReport            `json:"stream"`
+	Fleet         *fleetReport             `json:"fleet"`
 	Dist          *distReport              `json:"dist"`
 	Serve         *serveSeries             `json:"serve"`
 }
@@ -59,6 +60,11 @@ func (b *benchSeries) series() map[string]float64 {
 		out["stream.double_complex_rows_per_sec"] = s.DoubleComplexRowsPerSec
 		out["stream.single_rows_per_sec"] = s.SingleRowsPerSec
 		out["stream.single_complex_rows_per_sec"] = s.SingleComplexRowsPerSec
+	}
+	// Windowed-stream fleet: one aggregate ingestion rate. The per-stream
+	// footprint is a memory invariant (checked by tests), not a speed series.
+	if f := b.Fleet; f != nil {
+		out["fleet.rows_per_sec"] = f.RowsPerSec
 	}
 	// Distributed scaling sweep: gate shard-normalized throughput per worker
 	// count. Bytes/round is a format property (checked by tests, not gated)

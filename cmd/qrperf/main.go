@@ -32,6 +32,12 @@
 //	                                     mode), the shared runtime, and the
 //	                                     shared runtime with FactorInto reuse;
 //	                                     also recorded by -kernels-json
+//	qrperf -fleet [-quick]               windowed-stream fleet benchmark: many
+//	                                     small sliding-window streams ingesting
+//	                                     at steady state, where every append
+//	                                     also pays the hyperbolic downdate that
+//	                                     holds the window; rows/sec recorded by
+//	                                     -kernels-json as the "fleet" series
 //	qrperf -tune [-measure]              dump the autotuner's decision table:
 //	                                     the (algorithm, kernel family, nb, ib)
 //	                                     AlgorithmAuto picks per shape with its
@@ -109,6 +115,7 @@ func main() {
 	experiment := flag.String("experiment", "fig1", "fig1|fig2|fig6|fig7|table6|table7|table8|table9")
 	kernelsJSON := flag.String("kernels-json", "", "write kernel GFLOP/s to this file and exit")
 	throughput := flag.Bool("throughput", false, "run the concurrent-clients throughput benchmark and exit")
+	fleet := flag.Bool("fleet", false, "run the windowed-stream fleet benchmark (many small sliding-window streams) and exit")
 	quick := flag.Bool("quick", false, "with -throughput or -kernels-json: short smoke-sized run (CI)")
 	tuneFlag := flag.Bool("tune", false, "dump the autotuner decision table (add -measure for predicted-vs-measured error) and exit")
 	compare := flag.Bool("compare", false, "compare two -kernels-json files (old new) and exit nonzero on regressions beyond -tolerance")
@@ -131,6 +138,11 @@ func main() {
 	}
 	if *throughput {
 		printThroughput(measureThroughput(*quick))
+		return
+	}
+	if *fleet {
+		start := time.Now()
+		printFleet(measureFleet(*quick), time.Since(start))
 		return
 	}
 	if *kernelsJSON != "" {
@@ -401,6 +413,7 @@ type kernelsReport struct {
 	SchedulerNsPerTask float64                  `json:"scheduler_dispatch_ns_per_task"`
 	SchedulerWorkers   int                      `json:"scheduler_dispatch_workers"`
 	Stream             *streamReport            `json:"stream,omitempty"`
+	Fleet              *fleetReport             `json:"fleet,omitempty"`
 	Throughput         *throughputReport        `json:"throughput,omitempty"`
 	Dist               *distReport              `json:"dist,omitempty"`
 	Baseline           json.RawMessage          `json:"baseline,omitempty"`
@@ -663,6 +676,7 @@ func writeKernelsJSON(path string, quick bool) error {
 	})
 	rep.SchedulerNsPerTask = sec * 1e9 / float64(d.NumTasks())
 	rep.Stream = measureStream()
+	rep.Fleet = measureFleet(quick)
 	rep.Throughput = measureThroughput(quick)
 	rep.Dist = measureDist(quick)
 	if old, err := os.ReadFile(path); err == nil {

@@ -1,16 +1,20 @@
 // Command qrstream measures the streaming TSQR subsystem: it ingests row
-// batches into a StreamQR and reports sustained throughput in rows/sec —
-// the serving-style metric of an online least-squares workload, where
-// millions of small updates replace one big factorization.
+// batches into a tiledqr.Stream and reports sustained throughput in
+// rows/sec — the serving-style metric of an online least-squares workload,
+// where millions of small updates replace one big factorization.
 //
 //	qrstream -n 256 -batch 256 -batches 64          # throughput run
 //	qrstream -n 256 -batch 256 -batches 64 -rhs 1   # with online least squares
 //	qrstream -complex ...                           # double complex domain
+//	qrstream -window 4096 ...                       # sliding window of recent rows
+//	qrstream -forget 0.99 ...                       # exponential forgetting
 //	qrstream -verify ...                            # also check against one-shot Factor
 //
-// With -verify the ingested rows are retained and re-factored in one shot;
-// the reported deviation is the max elementwise difference of the two R
-// factors after per-row sign alignment (should sit at rounding level).
+// With -verify the ingested rows are retained and re-factored in one shot
+// — windowed runs re-factor only the retained window, forgetful runs weight
+// each batch by its decay λ^(k/2) — and the reported deviation is the max
+// elementwise difference of the two R factors after per-row sign alignment
+// (should sit at rounding level).
 package main
 
 import (
@@ -32,25 +36,23 @@ var (
 	flagWorkers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	flagRHS     = flag.Int("rhs", 0, "right-hand-side columns to track (0 = R only)")
 	flagComplex = flag.Bool("complex", false, "stream complex128 rows")
-	flagVerify  = flag.Bool("verify", false, "re-factor all rows one-shot and compare R")
+	flagVerify  = flag.Bool("verify", false, "re-factor the represented rows one-shot and compare R")
 	flagTS      = flag.Bool("ts", false, "use TS kernels for the intra-batch reduction")
+	flagWindow  = flag.Int("window", 0, "sliding window: keep only the most recent rows (0 = keep everything, irrevocably)")
+	flagForget  = flag.Float64("forget", 0, "exponential forgetting factor λ in (0,1] applied per append (0 = off)")
 )
 
 func main() {
 	flag.Parse()
-	opt := tiledqr.Options{TileSize: *flagNB, InnerBlock: *flagIB, Workers: *flagWorkers}
-	if *flagTS {
-		opt.Kernels = tiledqr.TS
-	}
 	if *flagN < 1 || *flagBatch < 1 || *flagBatches < 1 {
 		fmt.Fprintln(os.Stderr, "qrstream: -n, -batch and -batches must be positive")
 		os.Exit(2)
 	}
 	var err error
 	if *flagComplex {
-		err = runComplex(opt)
+		err = run[complex128]("double complex", 16, tiledqr.FactorComplex)
 	} else {
-		err = runReal(opt)
+		err = run[float64]("double", 8, tiledqr.Factor)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qrstream:", err)
@@ -59,28 +61,43 @@ func main() {
 }
 
 func report(domain string, rows int64, elapsed time.Duration, residual float64, haveRHS bool) {
-	rps := float64(rows) / elapsed.Seconds()
+	rps := float64(*flagBatch) * float64(*flagBatches) / elapsed.Seconds()
 	fmt.Printf("%s: ingested %d rows × %d cols in %d batches of %d — %.0f rows/sec (%.2f ms/batch)\n",
-		domain, rows, *flagN, *flagBatches, *flagBatch, rps,
+		domain, int64(*flagBatch)*int64(*flagBatches), *flagN, *flagBatches, *flagBatch, rps,
 		elapsed.Seconds()*1e3/float64(*flagBatches))
+	if *flagWindow > 0 {
+		fmt.Printf("sliding window: stream represents the most recent %d rows\n", rows)
+	}
 	if haveRHS {
 		fmt.Printf("running least-squares residual ‖b − A·X‖_F = %.6e\n", residual)
 	}
 }
 
-func runReal(opt tiledqr.Options) error {
+// run ingests, times, reports and verifies in one generic body — the
+// streaming API is precision-blind, so qrstream is too. factorization is
+// the domain's one-shot entry point for -verify.
+func run[T tiledqr.Scalar, F interface {
+	R() *tiledqr.Mat[T]
+}](domain string, elemBytes int, factor func(*tiledqr.Mat[T], tiledqr.Options) (F, error)) error {
 	n, batch, batches := *flagN, *flagBatch, *flagBatches
-	s, err := tiledqr.NewStream(n, opt)
+	opt := tiledqr.Options{
+		TileSize: *flagNB, InnerBlock: *flagIB, Workers: *flagWorkers,
+		WindowRows: *flagWindow, Forget: *flagForget,
+	}
+	if *flagTS {
+		opt.Kernels = tiledqr.TS
+	}
+	s, err := tiledqr.NewStreamOf[T](n, opt)
 	if err != nil {
 		return err
 	}
 	// Pre-generate the batches so the timed loop measures the merge alone.
-	data := make([]*tiledqr.Dense, batches)
-	rhs := make([]*tiledqr.Dense, batches)
+	data := make([]*tiledqr.Mat[T], batches)
+	rhs := make([]*tiledqr.Mat[T], batches)
 	for i := range data {
-		data[i] = tiledqr.RandomDense(batch, n, int64(i+1))
+		data[i] = tiledqr.RandomMat[T](batch, n, int64(i+1))
 		if *flagRHS > 0 {
-			rhs[i] = tiledqr.RandomDense(batch, *flagRHS, int64(1000+i))
+			rhs[i] = tiledqr.RandomMat[T](batch, *flagRHS, int64(1000+i))
 		}
 	}
 	start := time.Now()
@@ -99,125 +116,122 @@ func runReal(opt tiledqr.Options) error {
 	if err != nil {
 		return err
 	}
-	report("double", s.Rows(), elapsed, resid, *flagRHS > 0)
+	report(domain, s.Rows(), elapsed, resid, *flagRHS > 0)
 	if *flagRHS > 0 && s.Rows() >= int64(n) {
 		if _, err := s.SolveLS(); err != nil {
 			return err
 		}
 		fmt.Printf("SolveLS over %d retained Qᵀb rows: ok\n", n)
 	}
-	fmt.Printf("retained footprint: %d float64 (%.1f MiB) — independent of rows ingested\n",
-		s.Footprint(), float64(s.Footprint())*8/(1<<20))
+	bound := "independent of rows ingested"
+	if *flagWindow > 0 {
+		bound = "steady state, O(n² + window)"
+	}
+	fmt.Printf("retained footprint: %d scalars (%.1f MiB) — %s\n",
+		s.Footprint(), float64(s.Footprint())*float64(elemBytes)/(1<<20), bound)
 	if *flagVerify {
-		all := tiledqr.NewDense(batch*batches, n)
-		for i, d := range data {
-			for r := 0; r < batch; r++ {
-				for c := 0; c < n; c++ {
-					all.Set(i*batch+r, c, d.At(r, c))
-				}
-			}
-		}
-		f, err := tiledqr.Factor(all, opt)
-		if err != nil {
-			return err
-		}
-		rStream, err := s.R()
-		if err != nil {
-			return err
-		}
-		rRef := f.R()
-		var worst float64
-		for i := 0; i < n; i++ {
-			sign := 1.0
-			if rStream.At(i, i)*rRef.At(i, i) < 0 {
-				sign = -1
-			}
-			for j := i; j < n; j++ {
-				worst = math.Max(worst, math.Abs(sign*rStream.At(i, j)-rRef.At(i, j)))
-			}
-		}
-		fmt.Printf("verify: max |R_stream − R_oneshot| = %.3e (sign-aligned)\n", worst)
-		if worst > 1e-10 {
-			return fmt.Errorf("verification failed: deviation %.3e", worst)
-		}
+		return verify(s, data, factor, opt)
 	}
 	return nil
 }
 
-func runComplex(opt tiledqr.Options) error {
+// verify re-factors the rows the stream currently represents — the most
+// recent -window rows (all of them without a window), each batch weighted
+// by its accumulated forgetting decay — and compares R factors after
+// per-row sign alignment (the reflector construction keeps the diagonal
+// real in the complex domains too, so the row ambiguity is ±1).
+func verify[T tiledqr.Scalar, F interface {
+	R() *tiledqr.Mat[T]
+}](s *tiledqr.Stream[T], data []*tiledqr.Mat[T], factor func(*tiledqr.Mat[T], tiledqr.Options) (F, error), opt tiledqr.Options) error {
 	n, batch, batches := *flagN, *flagBatch, *flagBatches
-	s, err := tiledqr.NewZStream(n, opt)
+	total := batch * batches
+	kept := total
+	if *flagWindow > 0 && *flagWindow < total {
+		kept = *flagWindow
+	}
+	first := total - kept
+	all := tiledqr.NewMat[T](kept, n)
+	for r := first; r < total; r++ {
+		bi := r / batch
+		w := 1.0
+		if *flagForget > 0 && *flagForget < 1 {
+			w = math.Pow(*flagForget, float64(batches-1-bi)/2)
+		}
+		for c := 0; c < n; c++ {
+			all.Set(r-first, c, scale[T](w)*data[bi].At(r%batch, c))
+		}
+	}
+	refOpt := opt
+	refOpt.WindowRows, refOpt.Forget = 0, 0
+	f, err := factor(all, refOpt)
 	if err != nil {
 		return err
 	}
-	data := make([]*tiledqr.ZDense, batches)
-	rhs := make([]*tiledqr.ZDense, batches)
-	for i := range data {
-		data[i] = tiledqr.RandomZDense(batch, n, int64(i+1))
-		if *flagRHS > 0 {
-			rhs[i] = tiledqr.RandomZDense(batch, *flagRHS, int64(1000+i))
-		}
-	}
-	start := time.Now()
-	for i := range data {
-		if *flagRHS > 0 {
-			err = s.AppendRHS(data[i], rhs[i])
-		} else {
-			err = s.AppendRows(data[i])
-		}
-		if err != nil {
-			return err
-		}
-	}
-	elapsed := time.Since(start)
-	resid, err := s.ResidualNorm()
+	rStream, err := s.R()
 	if err != nil {
 		return err
 	}
-	report("double complex", s.Rows(), elapsed, resid, *flagRHS > 0)
-	if *flagRHS > 0 && s.Rows() >= int64(n) {
-		if _, err := s.SolveLS(); err != nil {
-			return err
+	rRef := f.R()
+	var worst float64
+	for i := 0; i < n; i++ {
+		sign := scale[T](1)
+		if realPart(rStream.At(i, i))*realPart(rRef.At(i, i)) < 0 {
+			sign = scale[T](-1)
 		}
-		fmt.Printf("SolveLS over %d retained Qᴴb rows: ok\n", n)
+		for j := i; j < n; j++ {
+			worst = math.Max(worst, absOf(sign*rStream.At(i, j)-rRef.At(i, j)))
+		}
 	}
-	fmt.Printf("retained footprint: %d complex128 (%.1f MiB) — independent of rows ingested\n",
-		s.Footprint(), float64(s.Footprint())*16/(1<<20))
-	if *flagVerify {
-		all := tiledqr.NewZDense(batch*batches, n)
-		for i, d := range data {
-			for r := 0; r < batch; r++ {
-				for c := 0; c < n; c++ {
-					all.Set(i*batch+r, c, d.At(r, c))
-				}
-			}
-		}
-		f, err := tiledqr.FactorComplex(all, opt)
-		if err != nil {
-			return err
-		}
-		// The reflector construction keeps R's diagonal real, so the per-row
-		// ambiguity is a ±1 sign exactly as in the real domain.
-		rStream, err := s.R()
-		if err != nil {
-			return err
-		}
-		rRef := f.R()
-		var worst float64
-		for i := 0; i < n; i++ {
-			sign := complex(1, 0)
-			if real(rStream.At(i, i))*real(rRef.At(i, i)) < 0 {
-				sign = -1
-			}
-			for j := i; j < n; j++ {
-				d := sign*rStream.At(i, j) - rRef.At(i, j)
-				worst = math.Max(worst, math.Hypot(real(d), imag(d)))
-			}
-		}
-		fmt.Printf("verify: max |R_stream − R_oneshot| = %.3e (sign-aligned)\n", worst)
-		if worst > 1e-10 {
-			return fmt.Errorf("verification failed: deviation %.3e", worst)
-		}
+	fmt.Printf("verify: max |R_stream − R_oneshot| = %.3e (sign-aligned, %d represented rows)\n", worst, kept)
+	// Windowed and forgetful runs accumulate rounding across the downdate
+	// and decay passes, so their bound is an order looser than pure accretion.
+	tol := 1e-10
+	if *flagWindow > 0 || *flagForget > 0 {
+		tol = 1e-9
+	}
+	if worst > tol {
+		return fmt.Errorf("verification failed: deviation %.3e", worst)
 	}
 	return nil
+}
+
+func scale[T tiledqr.Scalar](w float64) T {
+	var z T
+	switch any(z).(type) {
+	case float32:
+		return any(float32(w)).(T)
+	case float64:
+		return any(w).(T)
+	case complex64:
+		return any(complex64(complex(w, 0))).(T)
+	default:
+		return any(complex(w, 0)).(T)
+	}
+}
+
+func realPart[T tiledqr.Scalar](v T) float64 {
+	switch x := any(v).(type) {
+	case float32:
+		return float64(x)
+	case float64:
+		return x
+	case complex64:
+		return float64(real(x))
+	default:
+		return real(any(v).(complex128))
+	}
+}
+
+func absOf[T tiledqr.Scalar](v T) float64 {
+	switch x := any(v).(type) {
+	case float32:
+		return math.Abs(float64(x))
+	case float64:
+		return math.Abs(x)
+	case complex64:
+		return math.Hypot(float64(real(x)), float64(imag(x)))
+	default:
+		x128 := any(v).(complex128)
+		return math.Hypot(real(x128), imag(x128))
+	}
 }

@@ -1,108 +1,15 @@
 package tiledqr
 
-import (
-	"context"
-
-	"tiledqr/internal/stream"
-	"tiledqr/internal/tile"
-)
-
-// CStreamQR is the complex64 instantiation of the streaming TSQR core. See
-// StreamQR for the algorithm, option and failure semantics.
-type CStreamQR struct {
-	c *stream.Core[complex64]
-}
+// CStreamQR is the complex64 stream instantiation — an alias of
+// Stream[complex64]. See Stream for the algorithm, windowing, option and
+// failure semantics.
+//
+// Deprecated: use Stream[complex64] (or keep using this alias; they are
+// the same type). New stream capabilities land on the generic Stream.
+type CStreamQR = Stream[complex64]
 
 // NewCStream creates a complex64 streaming factorization for rows with n
 // columns.
 func NewCStream(n int, opt Options) (*CStreamQR, error) {
-	c, err := newStreamCore[complex64](n, opt)
-	if err != nil {
-		return nil, err
-	}
-	return &CStreamQR{c: c}, nil
+	return NewStreamOf[complex64](n, opt)
 }
-
-// AppendRows merges a batch of rows (r×n, any r ≥ 1) into the resident
-// triangle. The batch is not modified.
-func (s *CStreamQR) AppendRows(batch *CDense) error {
-	return streamAppend(nil, s.c, (*tile.Dense[complex64])(batch), nil, false)
-}
-
-// AppendRowsCtx is AppendRows under a cancellation context (see
-// StreamQR.AppendRowsCtx).
-func (s *CStreamQR) AppendRowsCtx(ctx context.Context, batch *CDense) error {
-	return streamAppend(ctx, s.c, (*tile.Dense[complex64])(batch), nil, false)
-}
-
-// AppendRHS merges a batch of rows together with the matching right-hand
-// side rows, maintaining the top n rows of Qᴴb for SolveLS.
-func (s *CStreamQR) AppendRHS(batch, rhs *CDense) error {
-	return streamAppend(nil, s.c, (*tile.Dense[complex64])(batch), (*tile.Dense[complex64])(rhs), true)
-}
-
-// AppendRHSCtx is AppendRHS under a cancellation context (see
-// StreamQR.AppendRowsCtx).
-func (s *CStreamQR) AppendRHSCtx(ctx context.Context, batch, rhs *CDense) error {
-	return streamAppend(ctx, s.c, (*tile.Dense[complex64])(batch), (*tile.Dense[complex64])(rhs), true)
-}
-
-// Err returns the stream's sticky failure (see StreamQR.Err).
-func (s *CStreamQR) Err() error { return s.c.Err() }
-
-// R returns the n×n upper triangular factor of all rows ingested so far.
-// After a failed append, R returns the append's original error.
-func (s *CStreamQR) R() (*CDense, error) {
-	if err := s.c.Err(); err != nil {
-		return nil, err
-	}
-	n := s.c.N()
-	r := NewCDense(n, n)
-	s.c.CopyR(r.Data, r.Stride)
-	return r, nil
-}
-
-// QTB returns the retained top n rows of Qᴴb (n×nrhs), or nil when the
-// stream tracks no right-hand side. After a failed append, QTB returns the
-// append's original error.
-func (s *CStreamQR) QTB() (*CDense, error) {
-	if err := s.c.Err(); err != nil {
-		return nil, err
-	}
-	if s.c.NRHS() == 0 {
-		return nil, nil
-	}
-	q := NewCDense(s.c.N(), s.c.NRHS())
-	s.c.CopyQTB(q.Data, q.Stride)
-	return q, nil
-}
-
-// SolveLS returns the n×nrhs least-squares solution over every row
-// ingested so far. Requires right-hand-side tracking and at least n
-// ingested rows.
-func (s *CStreamQR) SolveLS() (*CDense, error) {
-	x := NewCDense(s.c.N(), max(s.c.NRHS(), 1))
-	if err := s.c.SolveLS(x.Data, x.Stride); err != nil {
-		return nil, err
-	}
-	return x, nil
-}
-
-// Rows returns the total number of rows ingested.
-func (s *CStreamQR) Rows() int64 { return s.c.Rows() }
-
-// N returns the column count of the streamed system.
-func (s *CStreamQR) N() int { return s.c.N() }
-
-// ResidualNorm returns the running least-squares residual ‖b − A·X‖_F over
-// all tracked right-hand-side columns (0 when no RHS is tracked). After a
-// failed append, ResidualNorm returns the append's original error.
-func (s *CStreamQR) ResidualNorm() (float64, error) {
-	if err := s.c.Err(); err != nil {
-		return 0, err
-	}
-	return s.c.ResidualNorm(), nil
-}
-
-// Footprint returns the number of complex64 values retained across appends.
-func (s *CStreamQR) Footprint() int { return s.c.Footprint() }

@@ -4,30 +4,52 @@ import (
 	"tiledqr/internal/tile"
 )
 
-// Dense is a row-major dense float64 matrix: element (i, j) lives at
-// Data[i*Stride+j]. Its three precision siblings — ZDense (complex128),
-// Dense32 (float32) and CDense (complex64) — share one generic
-// implementation below the public API.
-type Dense tile.Dense[float64]
+// Scalar is the set of element types the package factors: the four
+// precision domains of the paper's kernel family. Generic entry points
+// (Mat, Stream, NewStreamOf) are parameterized over it; the per-precision
+// named types below are aliases of their generic instantiations.
+type Scalar interface {
+	float32 | float64 | complex64 | complex128
+}
+
+// Mat is a row-major dense matrix over any supported scalar domain:
+// element (i, j) lives at Data[i*Stride+j]. The named types Dense
+// (float64), ZDense (complex128), Dense32 (float32) and CDense (complex64)
+// are aliases of its four instantiations, so the historical per-precision
+// API and the generic one are interchangeable.
+type Mat[T Scalar] tile.Dense[T]
+
+// NewMat allocates a zero r×c matrix in the scalar domain T.
+func NewMat[T Scalar](r, c int) *Mat[T] { return (*Mat[T])(tile.NewDense[T](r, c)) }
+
+// RandomMat returns an r×c matrix with standard normal entries (normal
+// real and imaginary parts in the complex domains) from a deterministic
+// generator.
+func RandomMat[T Scalar](r, c int, seed int64) *Mat[T] {
+	return (*Mat[T])(tile.RandDense[T](r, c, seed))
+}
+
+// At returns element (i, j).
+func (a *Mat[T]) At(i, j int) T { return (*tile.Dense[T])(a).At(i, j) }
+
+// Set assigns element (i, j).
+func (a *Mat[T]) Set(i, j int, v T) { (*tile.Dense[T])(a).Set(i, j, v) }
+
+// Clone returns a deep copy.
+func (a *Mat[T]) Clone() *Mat[T] { return (*Mat[T])((*tile.Dense[T])(a).Clone()) }
+
+// Dense is a row-major dense float64 matrix — an alias of Mat[float64].
+type Dense = Mat[float64]
 
 // NewDense allocates a zero r×c matrix.
-func NewDense(r, c int) *Dense { return (*Dense)(tile.NewDense[float64](r, c)) }
+func NewDense(r, c int) *Dense { return NewMat[float64](r, c) }
 
 // RandomDense returns an r×c matrix with standard normal entries from a
 // deterministic generator (useful for examples and benchmarks).
-func RandomDense(r, c int, seed int64) *Dense { return (*Dense)(tile.RandDense[float64](r, c, seed)) }
+func RandomDense(r, c int, seed int64) *Dense { return RandomMat[float64](r, c, seed) }
 
 // Identity returns the n×n identity matrix.
 func Identity(n int) *Dense { return (*Dense)(tile.Identity[float64](n)) }
-
-// At returns element (i, j).
-func (a *Dense) At(i, j int) float64 { return (*tile.Dense[float64])(a).At(i, j) }
-
-// Set assigns element (i, j).
-func (a *Dense) Set(i, j int, v float64) { (*tile.Dense[float64])(a).Set(i, j, v) }
-
-// Clone returns a deep copy.
-func (a *Dense) Clone() *Dense { return (*Dense)((*tile.Dense[float64])(a).Clone()) }
 
 // Mul returns the product a·b.
 func Mul(a, b *Dense) *Dense {
@@ -50,29 +72,19 @@ func QRResidual(a, q, r *Dense) float64 {
 // columns.
 func OrthoResidual(q *Dense) float64 { return tile.OrthoResidual((*tile.Dense[float64])(q)) }
 
-// ZDense is a row-major dense complex128 matrix.
-type ZDense tile.Dense[complex128]
+// ZDense is a row-major dense complex128 matrix — an alias of
+// Mat[complex128].
+type ZDense = Mat[complex128]
 
 // NewZDense allocates a zero r×c complex matrix.
-func NewZDense(r, c int) *ZDense { return (*ZDense)(tile.NewDense[complex128](r, c)) }
+func NewZDense(r, c int) *ZDense { return NewMat[complex128](r, c) }
 
 // RandomZDense returns an r×c complex matrix with standard normal real and
 // imaginary parts.
-func RandomZDense(r, c int, seed int64) *ZDense {
-	return (*ZDense)(tile.RandDense[complex128](r, c, seed))
-}
+func RandomZDense(r, c int, seed int64) *ZDense { return RandomMat[complex128](r, c, seed) }
 
 // ZIdentity returns the n×n complex identity.
 func ZIdentity(n int) *ZDense { return (*ZDense)(tile.Identity[complex128](n)) }
-
-// At returns element (i, j).
-func (a *ZDense) At(i, j int) complex128 { return (*tile.Dense[complex128])(a).At(i, j) }
-
-// Set assigns element (i, j).
-func (a *ZDense) Set(i, j int, v complex128) { (*tile.Dense[complex128])(a).Set(i, j, v) }
-
-// Clone returns a deep copy.
-func (a *ZDense) Clone() *ZDense { return (*ZDense)((*tile.Dense[complex128])(a).Clone()) }
 
 // ZMul returns the product a·b.
 func ZMul(a, b *ZDense) *ZDense {
@@ -90,30 +102,19 @@ func ZQRResidual(a, q, r *ZDense) float64 {
 // ZOrthoResidual returns ‖QᴴQ − I‖_F.
 func ZOrthoResidual(q *ZDense) float64 { return tile.OrthoResidual((*tile.Dense[complex128])(q)) }
 
-// Dense32 is a row-major dense float32 matrix — the single-precision
-// sibling of Dense, factored by Factor32.
-type Dense32 tile.Dense[float32]
+// Dense32 is a row-major dense float32 matrix — an alias of Mat[float32],
+// factored by Factor32.
+type Dense32 = Mat[float32]
 
 // NewDense32 allocates a zero r×c float32 matrix.
-func NewDense32(r, c int) *Dense32 { return (*Dense32)(tile.NewDense[float32](r, c)) }
+func NewDense32(r, c int) *Dense32 { return NewMat[float32](r, c) }
 
 // RandomDense32 returns an r×c float32 matrix with standard normal entries
 // from a deterministic generator.
-func RandomDense32(r, c int, seed int64) *Dense32 {
-	return (*Dense32)(tile.RandDense[float32](r, c, seed))
-}
+func RandomDense32(r, c int, seed int64) *Dense32 { return RandomMat[float32](r, c, seed) }
 
 // Identity32 returns the n×n float32 identity.
 func Identity32(n int) *Dense32 { return (*Dense32)(tile.Identity[float32](n)) }
-
-// At returns element (i, j).
-func (a *Dense32) At(i, j int) float32 { return (*tile.Dense[float32])(a).At(i, j) }
-
-// Set assigns element (i, j).
-func (a *Dense32) Set(i, j int, v float32) { (*tile.Dense[float32])(a).Set(i, j, v) }
-
-// Clone returns a deep copy.
-func (a *Dense32) Clone() *Dense32 { return (*Dense32)((*tile.Dense[float32])(a).Clone()) }
 
 // Mul32 returns the product a·b.
 func Mul32(a, b *Dense32) *Dense32 {
@@ -131,30 +132,19 @@ func QRResidual32(a, q, r *Dense32) float64 {
 // OrthoResidual32 returns ‖QᵀQ − I‖_F.
 func OrthoResidual32(q *Dense32) float64 { return tile.OrthoResidual((*tile.Dense[float32])(q)) }
 
-// CDense is a row-major dense complex64 matrix — the single-precision
-// complex sibling of ZDense, factored by CFactor.
-type CDense tile.Dense[complex64]
+// CDense is a row-major dense complex64 matrix — an alias of
+// Mat[complex64], factored by CFactor.
+type CDense = Mat[complex64]
 
 // NewCDense allocates a zero r×c complex64 matrix.
-func NewCDense(r, c int) *CDense { return (*CDense)(tile.NewDense[complex64](r, c)) }
+func NewCDense(r, c int) *CDense { return NewMat[complex64](r, c) }
 
 // RandomCDense returns an r×c complex64 matrix with standard normal real
 // and imaginary parts.
-func RandomCDense(r, c int, seed int64) *CDense {
-	return (*CDense)(tile.RandDense[complex64](r, c, seed))
-}
+func RandomCDense(r, c int, seed int64) *CDense { return RandomMat[complex64](r, c, seed) }
 
 // CIdentity returns the n×n complex64 identity.
 func CIdentity(n int) *CDense { return (*CDense)(tile.Identity[complex64](n)) }
-
-// At returns element (i, j).
-func (a *CDense) At(i, j int) complex64 { return (*tile.Dense[complex64])(a).At(i, j) }
-
-// Set assigns element (i, j).
-func (a *CDense) Set(i, j int, v complex64) { (*tile.Dense[complex64])(a).Set(i, j, v) }
-
-// Clone returns a deep copy.
-func (a *CDense) Clone() *CDense { return (*CDense)((*tile.Dense[complex64])(a).Clone()) }
 
 // CMul returns the product a·b.
 func CMul(a, b *CDense) *CDense {

@@ -53,8 +53,10 @@
 //	                  kernel dispatch with error reporting), ApplyQ/ApplyQT
 //	                  replay, SolveLS, workspace pooling, tracing
 //	public API      — Factor (float64), Factor32 (float32), FactorComplex
-//	                  (complex128), CFactor (complex64), and the matching
-//	                  StreamQR / StreamQR32 / ZStreamQR / CStreamQR
+//	                  (complex128), CFactor (complex64), and one generic
+//	                  Stream[T] for all four (NewStreamOf[T]; the historic
+//	                  StreamQR / StreamQR32 / ZStreamQR / CStreamQR names
+//	                  remain as deprecated aliases of its instantiations)
 //
 // The real/complex difference never forks the code: conjugation is the
 // identity in the real domains and every hook compiles to straight-line
@@ -118,19 +120,27 @@
 //
 // # Streaming (incremental) factorization
 //
-// StreamQR and its precision siblings factor a matrix whose rows arrive
-// over time — the incremental mode of communication-avoiding TSQR, built
-// from the same triangle-on-triangle kernels the paper's algorithms use.
-// Each appended batch is tiled, panel-factored with GEQRT,
-// binary-tree-reduced within each column, and merged into a resident n×n
-// triangle with TTQRT/TTMQR, scheduled by the same work-stealing runtime
-// and critical-path priorities as a one-shot factorization:
+// Stream[T] factors a matrix whose rows arrive over time — the incremental
+// mode of communication-avoiding TSQR, built from the same
+// triangle-on-triangle kernels the paper's algorithms use. Each appended
+// batch is tiled, panel-factored with GEQRT, binary-tree-reduced within
+// each column, and merged into a resident n×n triangle with TTQRT/TTMQR,
+// scheduled by the same work-stealing runtime and critical-path priorities
+// as a one-shot factorization:
 //
-//	s, _ := tiledqr.NewStream(nFeatures, tiledqr.Options{})
+//	s, _ := tiledqr.NewStreamOf[float64](nFeatures, tiledqr.Options{})
 //	for batch, rhs := range observations {   // r×n rows + r×nrhs targets
 //		s.AppendRHS(batch, rhs)
 //	}
 //	x, _ := s.SolveLS()  // LS fit over every row ever ingested
+//
+// One generic type serves all four precisions; NewStreamOf[complex128],
+// NewStreamOf[float32] and NewStreamOf[complex64] are the same code. The
+// historic per-precision names — StreamQR, ZStreamQR, StreamQR32,
+// CStreamQR and their NewStream/NewZStream/NewStream32/NewCStream
+// constructors — remain as deprecated aliases of the corresponding
+// Stream[T] instantiations: existing code keeps compiling and behaves
+// identically, but new stream capabilities land on the generic type.
 //
 // Use Factor when the matrix fits in memory and is factored once: it sees
 // the whole matrix, so wide trailing updates amortize better and Q can be
@@ -140,9 +150,45 @@
 // scales with rows ingested (Footprint makes the bound observable, and a
 // test asserts it). Appending r rows costs 2·r·n² flops regardless of how
 // many rows came before; Q is never materialized, but the running
-// least-squares residual is available as ResidualNorm. Ingestion
-// throughput is benchmarked by BenchmarkStream* and cmd/qrstream, and
-// recorded in BENCH_kernels.json by make bench.
+// least-squares residual is available as ResidualNorm.
+//
+// # Sliding windows, downdating and forgetting
+//
+// By default a stream's triangle aggregates every row ever ingested,
+// irrevocably. Two Options fields change that for rolling estimation:
+//
+// Options.WindowRows = w keeps the stream equivalent to a QR of only the
+// most recent w rows: each append merges the batch and then *downdates*
+// the rows that just fell out of the window. Downdating removes a row by
+// the hyperbolic (J-orthogonal) analogue of a Givens rotation applied up
+// the triangle's diagonal — O(n²) per row, no refactorization — with the
+// same rotations folded through Qᵀb so SolveLS and ResidualNorm track the
+// window too. Hyperbolic rotations are the numerically delicate part of
+// any downdating scheme: when cancellation would make one unstable
+// (‖z‖ approaching the diagonal entry), the stream detects the breakdown
+// and transparently re-triangularizes the retained rows from its window
+// buffer through the same merge DAG instead — slower, always stable,
+// bit-identical semantics. Retained rows live in a ring of recent batches,
+// so memory is O(n² + w), observable via Footprint and asserted flat by
+// the test suite after hundreds of batches.
+//
+// Options.WindowRows = RetainAll keeps the full row history without
+// automatic eviction, enabling explicit revocation: DowndateRows(k)
+// removes the k oldest retained rows on demand (corrections, late
+// deletions, GDPR-style erasure). With the default WindowRows = 0 no
+// history is kept and DowndateRows reports a descriptive error.
+//
+// Options.Forget = λ (0 < λ ≤ 1) applies exponential forgetting: each
+// append first scales the resident triangle, Qᵀb and the running residual
+// by √λ, so a row appended k batches ago contributes with weight λᵏ — the
+// classic RLS forgetting factor, giving smoothly decaying influence
+// instead of (or in addition to) the window's hard cutoff. Stream.Forget
+// applies one decay step manually for externally-clocked schedules.
+//
+// Ingestion throughput is benchmarked by BenchmarkStream*, cmd/qrstream
+// (which exposes -window and -forget and reports the steady-state
+// footprint) and the windowed-fleet series of qrperf -fleet, all recorded
+// in BENCH_kernels.json by make bench.
 //
 // # Runtime and throughput
 //

@@ -13,10 +13,11 @@ import (
 // The handlers are precision-blind: they speak to one of four domains
 // through the ops interface below, whose single generic implementation
 // (domain[T]) works on tile.Dense[T] and reaches the public tiledqr API
-// through two small per-precision adapter interfaces. The adapters are the
-// only per-precision code in the package — four mechanical blocks wrapping
-// Factor/FactorInto/SolveLS and the stream methods, whose receivers differ
-// in name only.
+// directly where it is generic (tiledqr.Stream[T]) and through a small
+// per-precision adapter interface where it is not. The factorization
+// adapters are the only per-precision code left in the package — four
+// mechanical blocks wrapping Factor/FactorInto/SolveLS whose receivers
+// differ in name only; streaming sessions have no adapters at all.
 
 // ops is one precision's view of the library, expressed over wire matrices.
 type ops interface {
@@ -32,7 +33,8 @@ type ops interface {
 	// side in one multi-column SolveLS — the coalescing primitive. The
 	// returned slice is index-aligned with rhs.
 	Solve(ctx context.Context, a *Matrix, rhs []*Matrix, opt tiledqr.Options) ([]*Matrix, int, error)
-	// NewStream opens a streaming session over n columns.
+	// NewStream opens a streaming session over n columns. opt may carry
+	// WindowRows/Forget for windowed or forgetful streams.
 	NewStream(n int, opt tiledqr.Options) (streamOps, error)
 	// NewReusable opens a reusable factorization session (FactorInto
 	// arena reuse across same-shaped submissions).
@@ -42,6 +44,9 @@ type ops interface {
 // streamOps is a precision-blind streaming session.
 type streamOps interface {
 	Append(ctx context.Context, batch, rhs *Matrix) error
+	// Downdate removes the oldest k rows (requires a retention-enabled
+	// stream) and returns the remaining row count.
+	Downdate(ctx context.Context, k int) (int64, error)
 	Rows() int64
 	N() int
 	Solve() (*Matrix, float64, error)
@@ -55,9 +60,9 @@ type reusableOps interface {
 	Submit(ctx context.Context, a, rhs *Matrix) (*Matrix, int, error)
 }
 
-// factorization adapts one precision's (reusable) factorization; stream
-// adapts its streaming session. Both operate on tile.Dense[T], which the
-// public wrapper types convert to for free.
+// factorization adapts one precision's (reusable) factorization. It
+// operates on tile.Dense[T], which the public wrapper types convert to for
+// free.
 type factorization[T vec.Scalar] interface {
 	FactorIntoCtx(ctx context.Context, a *tile.Dense[T]) error
 	R() *tile.Dense[T]
@@ -65,21 +70,12 @@ type factorization[T vec.Scalar] interface {
 	TaskCount() int
 }
 
-type stream[T vec.Scalar] interface {
-	AppendCtx(ctx context.Context, batch, rhs *tile.Dense[T]) error
-	Rows() int64
-	N() int
-	SolveLS() (*tile.Dense[T], error)
-	R() (*tile.Dense[T], error)
-	ResidualNorm() (float64, error)
-}
-
-// domain is the one generic ops implementation, parameterized by the two
-// per-precision constructors.
+// domain is the one generic ops implementation, parameterized by the
+// per-precision factorization constructor; streams need no constructor
+// parameter because tiledqr.Stream is itself generic.
 type domain[T vec.Scalar] struct {
-	tag       string
-	newFact   func(opt tiledqr.Options) factorization[T]
-	newStream func(n int, opt tiledqr.Options) (stream[T], error)
+	tag     string
+	newFact func(opt tiledqr.Options) factorization[T]
 }
 
 func (d *domain[T]) Precision() string { return d.tag }
@@ -120,7 +116,7 @@ func (d *domain[T]) Solve(ctx context.Context, a *Matrix, rhs []*Matrix, opt til
 }
 
 func (d *domain[T]) NewStream(n int, opt tiledqr.Options) (streamOps, error) {
-	s, err := d.newStream(n, opt)
+	s, err := tiledqr.NewStreamOf[T](n, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -131,15 +127,22 @@ func (d *domain[T]) NewReusable(opt tiledqr.Options) reusableOps {
 	return &reusableSession[T]{f: d.newFact(opt)}
 }
 
-// streamSession lifts a stream[T] to the wire level.
-type streamSession[T vec.Scalar] struct{ s stream[T] }
+// streamSession lifts the generic tiledqr.Stream to the wire level —
+// one body for all four precisions, no per-precision adapters.
+type streamSession[T vec.Scalar] struct{ s *tiledqr.Stream[T] }
 
 func (w *streamSession[T]) Append(ctx context.Context, batch, rhs *Matrix) error {
-	var r *tile.Dense[T]
 	if rhs != nil {
-		r = decode[T](rhs)
+		return w.s.AppendRHSCtx(ctx, (*tiledqr.Mat[T])(decode[T](batch)), (*tiledqr.Mat[T])(decode[T](rhs)))
 	}
-	return w.s.AppendCtx(ctx, decode[T](batch), r)
+	return w.s.AppendRowsCtx(ctx, (*tiledqr.Mat[T])(decode[T](batch)))
+}
+
+func (w *streamSession[T]) Downdate(ctx context.Context, k int) (int64, error) {
+	if err := w.s.DowndateRowsCtx(ctx, k); err != nil {
+		return 0, err
+	}
+	return w.s.Rows(), nil
 }
 
 func (w *streamSession[T]) Rows() int64 { return w.s.Rows() }
@@ -154,7 +157,7 @@ func (w *streamSession[T]) Solve() (*Matrix, float64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	return encode(x), resid, nil
+	return encode((*tile.Dense[T])(x)), resid, nil
 }
 
 func (w *streamSession[T]) R() (*Matrix, error) {
@@ -162,7 +165,7 @@ func (w *streamSession[T]) R() (*Matrix, error) {
 	if err != nil {
 		return nil, err
 	}
-	return encode(r), nil
+	return encode((*tile.Dense[T])(r)), nil
 }
 
 // reusableSession lifts a factorization[T] to the wire level.
@@ -250,119 +253,23 @@ func (a *cFact) SolveLSCtx(ctx context.Context, b *tile.Dense[complex64]) (*tile
 	return (*tile.Dense[complex64])(x), err
 }
 
-type dStream struct{ s *tiledqr.StreamQR }
-
-func (a dStream) AppendCtx(ctx context.Context, batch, rhs *tile.Dense[float64]) error {
-	if rhs != nil {
-		return a.s.AppendRHSCtx(ctx, (*tiledqr.Dense)(batch), (*tiledqr.Dense)(rhs))
-	}
-	return a.s.AppendRowsCtx(ctx, (*tiledqr.Dense)(batch))
-}
-func (a dStream) Rows() int64                    { return a.s.Rows() }
-func (a dStream) N() int                         { return a.s.N() }
-func (a dStream) ResidualNorm() (float64, error) { return a.s.ResidualNorm() }
-func (a dStream) SolveLS() (*tile.Dense[float64], error) {
-	x, err := a.s.SolveLS()
-	return (*tile.Dense[float64])(x), err
-}
-func (a dStream) R() (*tile.Dense[float64], error) {
-	r, err := a.s.R()
-	return (*tile.Dense[float64])(r), err
-}
-
-type zStream struct{ s *tiledqr.ZStreamQR }
-
-func (a zStream) AppendCtx(ctx context.Context, batch, rhs *tile.Dense[complex128]) error {
-	if rhs != nil {
-		return a.s.AppendRHSCtx(ctx, (*tiledqr.ZDense)(batch), (*tiledqr.ZDense)(rhs))
-	}
-	return a.s.AppendRowsCtx(ctx, (*tiledqr.ZDense)(batch))
-}
-func (a zStream) Rows() int64                    { return a.s.Rows() }
-func (a zStream) N() int                         { return a.s.N() }
-func (a zStream) ResidualNorm() (float64, error) { return a.s.ResidualNorm() }
-func (a zStream) SolveLS() (*tile.Dense[complex128], error) {
-	x, err := a.s.SolveLS()
-	return (*tile.Dense[complex128])(x), err
-}
-func (a zStream) R() (*tile.Dense[complex128], error) {
-	r, err := a.s.R()
-	return (*tile.Dense[complex128])(r), err
-}
-
-type sStream struct{ s *tiledqr.StreamQR32 }
-
-func (a sStream) AppendCtx(ctx context.Context, batch, rhs *tile.Dense[float32]) error {
-	if rhs != nil {
-		return a.s.AppendRHSCtx(ctx, (*tiledqr.Dense32)(batch), (*tiledqr.Dense32)(rhs))
-	}
-	return a.s.AppendRowsCtx(ctx, (*tiledqr.Dense32)(batch))
-}
-func (a sStream) Rows() int64                    { return a.s.Rows() }
-func (a sStream) N() int                         { return a.s.N() }
-func (a sStream) ResidualNorm() (float64, error) { return a.s.ResidualNorm() }
-func (a sStream) SolveLS() (*tile.Dense[float32], error) {
-	x, err := a.s.SolveLS()
-	return (*tile.Dense[float32])(x), err
-}
-func (a sStream) R() (*tile.Dense[float32], error) {
-	r, err := a.s.R()
-	return (*tile.Dense[float32])(r), err
-}
-
-type cStream struct{ s *tiledqr.CStreamQR }
-
-func (a cStream) AppendCtx(ctx context.Context, batch, rhs *tile.Dense[complex64]) error {
-	if rhs != nil {
-		return a.s.AppendRHSCtx(ctx, (*tiledqr.CDense)(batch), (*tiledqr.CDense)(rhs))
-	}
-	return a.s.AppendRowsCtx(ctx, (*tiledqr.CDense)(batch))
-}
-func (a cStream) Rows() int64                    { return a.s.Rows() }
-func (a cStream) N() int                         { return a.s.N() }
-func (a cStream) ResidualNorm() (float64, error) { return a.s.ResidualNorm() }
-func (a cStream) SolveLS() (*tile.Dense[complex64], error) {
-	x, err := a.s.SolveLS()
-	return (*tile.Dense[complex64])(x), err
-}
-func (a cStream) R() (*tile.Dense[complex64], error) {
-	r, err := a.s.R()
-	return (*tile.Dense[complex64])(r), err
-}
-
 // domains maps the wire precision tag to its ops.
 var domains = map[string]ops{
 	"d": &domain[float64]{
 		tag:     "d",
 		newFact: func(opt tiledqr.Options) factorization[float64] { return &dFact{opt: opt} },
-		newStream: func(n int, opt tiledqr.Options) (stream[float64], error) {
-			s, err := tiledqr.NewStream(n, opt)
-			return dStream{s: s}, err
-		},
 	},
 	"z": &domain[complex128]{
 		tag:     "z",
 		newFact: func(opt tiledqr.Options) factorization[complex128] { return &zFact{opt: opt} },
-		newStream: func(n int, opt tiledqr.Options) (stream[complex128], error) {
-			s, err := tiledqr.NewZStream(n, opt)
-			return zStream{s: s}, err
-		},
 	},
 	"s": &domain[float32]{
 		tag:     "s",
 		newFact: func(opt tiledqr.Options) factorization[float32] { return &sFact{opt: opt} },
-		newStream: func(n int, opt tiledqr.Options) (stream[float32], error) {
-			s, err := tiledqr.NewStream32(n, opt)
-			return sStream{s: s}, err
-		},
 	},
 	"c": &domain[complex64]{
 		tag:     "c",
 		newFact: func(opt tiledqr.Options) factorization[complex64] { return &cFact{opt: opt} },
-		newStream: func(n int, opt tiledqr.Options) (stream[complex64], error) {
-			s, err := tiledqr.NewCStream(n, opt)
-			return cStream{s: s}, err
-		},
 	},
 }
 

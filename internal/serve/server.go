@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -121,6 +122,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/solve", s.compute(&s.stats.solve, s.handleSolve))
 	s.mux.HandleFunc("POST /v1/streams", s.compute(nil, s.handleStreamCreate))
 	s.mux.HandleFunc("POST /v1/streams/{id}/rows", s.compute(&s.stats.streamRows, s.handleStreamRows))
+	s.mux.HandleFunc("DELETE /v1/streams/{id}/rows", s.compute(&s.stats.streamRows, s.handleStreamDowndate))
 	s.mux.HandleFunc("GET /v1/streams/{id}/solve", s.compute(&s.stats.streamSolve, s.handleStreamSolve))
 	s.mux.HandleFunc("POST /v1/streams/{id}/factor", s.compute(&s.stats.reuse, s.handleStreamFactor))
 	s.mux.HandleFunc("DELETE /v1/streams/{id}", s.compute(nil, s.handleStreamDelete))
@@ -435,6 +437,13 @@ type streamCreateRequest struct {
 	Kind      string       `json:"kind,omitempty"` // "stream" (default) or "factor"
 	Cols      int          `json:"cols,omitempty"` // required for kind "stream"
 	Options   *WireOptions `json:"options,omitempty"`
+	// Window and Forget configure stream retention (tiledqr.Options
+	// WindowRows/Forget): a positive window keeps the most recent Window
+	// rows (older ones are downdated away automatically), -1 retains the
+	// full history for manual DELETE .../rows calls, and Forget λ ∈ (0, 1]
+	// decays past rows' weight per append. Stream sessions only.
+	Window int     `json:"window,omitempty"`
+	Forget float64 `json:"forget,omitempty"`
 }
 
 type streamCreateReply struct {
@@ -465,6 +474,8 @@ func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
 			s.fail(w, http.StatusBadRequest, "stream sessions need cols ≥ 1")
 			return
 		}
+		opt.WindowRows = req.Window
+		opt.Forget = req.Forget
 		st, err := o.NewStream(req.Cols, opt)
 		if err != nil {
 			s.failErr(w, err)
@@ -473,6 +484,10 @@ func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
 		sess.stream = st
 		req.Kind = "stream"
 	case "factor":
+		if req.Window != 0 || req.Forget != 0 {
+			s.fail(w, http.StatusBadRequest, "window and forget apply to stream sessions, not factor sessions")
+			return
+		}
 		sess.reuse = o.NewReusable(opt)
 	default:
 		s.fail(w, http.StatusBadRequest, "unknown session kind %q (want stream or factor)", req.Kind)
@@ -534,6 +549,39 @@ func (s *Server) handleStreamRows(w http.ResponseWriter, r *http.Request) {
 	sess.mu.Lock()
 	err := sess.stream.Append(r.Context(), req.Batch, req.RHS)
 	rows := sess.stream.Rows()
+	sess.mu.Unlock()
+	if err != nil {
+		s.failErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, streamRowsReply{
+		Rows:      rows,
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+// handleStreamDowndate serves DELETE /v1/streams/{id}/rows?rows=k: it
+// downdates the oldest k rows out of a retention-enabled stream session
+// (created with "window" or "forget"), the revocation counterpart of the
+// POST append. The row count travels in a query parameter because DELETE
+// request bodies are widely dropped by proxies.
+func (s *Server) handleStreamDowndate(w http.ResponseWriter, r *http.Request) {
+	sess := s.getSession(w, r)
+	if sess == nil {
+		return
+	}
+	if sess.stream == nil {
+		s.fail(w, http.StatusBadRequest, "session %s is a factor session, not a stream", sess.id)
+		return
+	}
+	k, err := strconv.Atoi(r.URL.Query().Get("rows"))
+	if err != nil || k < 1 {
+		s.fail(w, http.StatusBadRequest, "downdate needs a positive ?rows=k query parameter")
+		return
+	}
+	start := time.Now()
+	sess.mu.Lock()
+	rows, err := sess.stream.Downdate(r.Context(), k)
 	sess.mu.Unlock()
 	if err != nil {
 		s.failErr(w, err)

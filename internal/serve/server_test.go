@@ -525,3 +525,96 @@ func TestHealthz(t *testing.T) {
 		t.Fatalf("healthz while draining: status %d, want 503", code)
 	}
 }
+
+// TestWindowedStreamSession covers the retention wire surface: window and
+// forget in the create request, the DELETE .../rows downdate endpoint, and
+// the rejections (downdate on a retention-free stream, retention knobs on
+// a factor session, bad forget values).
+func TestWindowedStreamSession(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	a := wellConditioned(8, 3, "d")
+	rhs := matTimesOnes(a, "d", 1)
+
+	doDowndate := func(id string, query string, out *streamRowsReply) int {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/streams/"+id+"/rows"+query, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if out != nil && resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp.StatusCode
+	}
+
+	// Retain-all session: rows accumulate, DELETE .../rows revokes them.
+	var created streamCreateReply
+	if code := postJSON(t, ts.URL+"/v1/streams", streamCreateRequest{Cols: 3, Window: -1}, &created); code != http.StatusOK {
+		t.Fatalf("retain-all create: status %d", code)
+	}
+	for i := 0; i < 2; i++ {
+		var rr streamRowsReply
+		if code := postJSON(t, ts.URL+"/v1/streams/"+created.ID+"/rows",
+			streamRowsRequest{Batch: a, RHS: rhs}, &rr); code != http.StatusOK {
+			t.Fatalf("append %d: status %d", i, code)
+		}
+	}
+	var dd streamRowsReply
+	if code := doDowndate(created.ID, "?rows=8", &dd); code != http.StatusOK {
+		t.Fatalf("downdate: status %d", code)
+	}
+	if dd.Rows != 8 {
+		t.Fatalf("downdate: %d rows remain, want 8", dd.Rows)
+	}
+	var solved streamSolveReply
+	if code := getJSON(t, ts.URL+"/v1/streams/"+created.ID+"/solve", &solved); code != http.StatusOK {
+		t.Fatalf("solve after downdate: status %d", code)
+	}
+	for i := 0; i < 3; i++ {
+		if got := solutionAt(solved.X, "d", i); math.Abs(got-1) > 1e-8 {
+			t.Fatalf("solve after downdate: x[%d] = %v, want 1", i, got)
+		}
+	}
+	if code := doDowndate(created.ID, "", nil); code != http.StatusBadRequest {
+		t.Fatalf("downdate without ?rows: status %d, want 400", code)
+	}
+
+	// Sliding window: the session stays at the window size as rows stream in.
+	var windowed streamCreateReply
+	if code := postJSON(t, ts.URL+"/v1/streams",
+		streamCreateRequest{Cols: 3, Window: 8, Forget: 0.99}, &windowed); code != http.StatusOK {
+		t.Fatalf("windowed create: status %d", code)
+	}
+	var last streamRowsReply
+	for i := 0; i < 3; i++ {
+		if code := postJSON(t, ts.URL+"/v1/streams/"+windowed.ID+"/rows",
+			streamRowsRequest{Batch: a, RHS: rhs}, &last); code != http.StatusOK {
+			t.Fatalf("windowed append %d: status %d", i, code)
+		}
+	}
+	if last.Rows != 8 {
+		t.Fatalf("windowed session reports %d rows, want window 8", last.Rows)
+	}
+
+	// Rejections: no retention → downdate fails; factor sessions take no
+	// retention knobs; a bad forget factor fails at create.
+	var plain streamCreateReply
+	if code := postJSON(t, ts.URL+"/v1/streams", streamCreateRequest{Cols: 3}, &plain); code != http.StatusOK {
+		t.Fatalf("plain create: status %d", code)
+	}
+	if code := doDowndate(plain.ID, "?rows=1", nil); code != http.StatusUnprocessableEntity {
+		t.Fatalf("downdate on retention-free stream: status %d, want 422", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/streams",
+		streamCreateRequest{Kind: "factor", Window: 4}, nil); code != http.StatusBadRequest {
+		t.Fatalf("factor session with window: status %d, want 400", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/streams",
+		streamCreateRequest{Cols: 3, Forget: 1.5}, nil); code != http.StatusUnprocessableEntity {
+		t.Fatalf("create with forget 1.5: status %d, want 422", code)
+	}
+}

@@ -1,0 +1,216 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"tiledqr/internal/vec"
+)
+
+// errBreakdown signals that a hyperbolic rotation could not be formed
+// stably: the row being removed carries too much of the triangle's mass in
+// some column (1 − |ρ|² ≤ tol), so the O(k·n²) fast path gives up and the
+// caller re-triangularizes the retained batches instead.
+var errBreakdown = errors.New("hyperbolic downdate breakdown")
+
+// breakdownTol is the stability floor for 1 − |ρ|² — roughly √ε of the
+// scalar domain, so a downdate that would amplify rounding error by more
+// than ~ε^(-1/2) is routed to the rebuild path.
+func breakdownTol[T vec.Scalar]() float64 {
+	var z T
+	switch any(z).(type) {
+	case float32, complex64:
+		return 3.5e-4
+	default:
+		return 1.5e-8
+	}
+}
+
+// Downdate removes the oldest k retained rows from the represented system:
+// the inverse of Append over those rows. It requires retention
+// (Config.Window != 0). The fast path annihilates each departing row
+// against a copy of the resident triangle with hyperbolic rotations —
+// J-orthogonal 2×2 transforms that subtract the row's outer product from
+// RᴴR the way a Givens rotation would add it — and commits the copy only
+// if every row succeeds, so a breakdown never corrupts resident state.
+// On breakdown (or a non-finite intermediate) it falls back to
+// re-triangularizing the retained batches through the ordinary merge DAG;
+// only a failure inside that rebuild poisons the stream.
+func (c *Core[T]) Downdate(ctx context.Context, k int) error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.window == 0 {
+		return fmt.Errorf("tiledqr: DowndateRows: stream retains no row history (construct it with Options.WindowRows set to a window size or RetainAll)")
+	}
+	if k < 1 {
+		return fmt.Errorf("tiledqr: DowndateRows: must remove at least one row (k=%d)", k)
+	}
+	if int64(k) > c.rows {
+		return fmt.Errorf("tiledqr: DowndateRows: cannot remove %d rows, only %d are represented", k, c.rows)
+	}
+	if err := c.downdateHyperbolic(k); err != nil {
+		c.dropOldest(k)
+		if rerr := c.rebuild(ctx); rerr != nil {
+			return c.poisoned(rerr)
+		}
+		return nil
+	}
+	c.dropOldest(k)
+	c.rows -= int64(k)
+	// Re-derive the residual from ‖b‖² = ‖Qᵀb (top n)‖² + ‖residual‖²:
+	// the incremental sum no longer applies once rows leave the system.
+	if c.nrhs > 0 {
+		qn := 0.0
+		for _, v := range c.qtb {
+			qn += vec.Abs2(v)
+		}
+		c.resid2 = math.Max(0, c.bnorm2-qn)
+	}
+	return nil
+}
+
+// downdateHyperbolic removes the oldest k retained rows by hyperbolic
+// rotations against packed copies of R and Qᵀb, committing only on
+// success. Returns errBreakdown (leaving resident state untouched) when
+// any rotation is unstable.
+func (c *Core[T]) downdateHyperbolic(k int) error {
+	n, nrhs := c.n, c.nrhs
+	c.dR = grow(c.dR, n*n)
+	c.CopyR(c.dR, n)
+	if nrhs > 0 {
+		c.dQTB = grow(c.dQTB, n*nrhs)
+		copy(c.dQTB, c.qtb)
+		c.brow = grow(c.brow, nrhs)
+	}
+	c.zrow = grow(c.zrow, n)
+
+	rem := k
+	for bi := 0; bi < len(c.hist) && rem > 0; bi++ {
+		hb := &c.hist[bi]
+		rows := min(rem, hb.rows)
+		f := vec.FromParts[T](hb.scale, 0)
+		for i := 0; i < rows; i++ {
+			// The retained copy is unweighted; the row the triangle
+			// currently represents carries the batch's decayed scale.
+			src := hb.data[i*n : (i+1)*n]
+			for j := range c.zrow {
+				c.zrow[j] = f * src[j]
+			}
+			for j := 0; j < nrhs; j++ {
+				c.brow[j] = f * hb.rhs[i*nrhs+j]
+			}
+			if err := c.removeRow(); err != nil {
+				return err
+			}
+		}
+		rem -= rows
+	}
+
+	c.scatterR(c.dR, n)
+	if nrhs > 0 {
+		copy(c.qtb, c.dQTB)
+	}
+	return nil
+}
+
+// removeRow annihilates the row in zrow (RHS in brow) against the packed
+// triangle dR/dQTB with one hyperbolic rotation per column. For column k
+// the rotation is H = [[c, −s̄], [−s, c]] with c = 1/√(1−|ρ|²), s = c·ρ,
+// ρ = z_k/r_kk; H is J-orthogonal (HᴴJH = J, J = diag(1,−1)), so applying
+// it to the stacked rows [R_k; z] preserves RᴴR − zᴴz while zeroing z_k.
+// The diagonal of R stays real and keeps its sign (r̃_kk = r_kk·√(1−|ρ|²)).
+func (c *Core[T]) removeRow() error {
+	n, nrhs := c.n, c.nrhs
+	tol := breakdownTol[T]()
+	for k := 0; k < n; k++ {
+		zk := c.zrow[k]
+		if vec.Abs2(zk) == 0 {
+			continue
+		}
+		rho := zk / c.dR[k*n+k]
+		t := 1 - vec.Abs2(rho)
+		// NaN (from a zero or non-finite diagonal) fails this comparison
+		// too, which is exactly the conservative behavior we want.
+		if !(t > tol) {
+			return errBreakdown
+		}
+		ch := vec.FromParts[T](1/math.Sqrt(t), 0)
+		s := ch * rho
+		sbar := vec.Conj(s)
+		for j := k; j < n; j++ {
+			rv, zv := c.dR[k*n+j], c.zrow[j]
+			c.dR[k*n+j] = ch*rv - sbar*zv
+			c.zrow[j] = ch*zv - s*rv
+		}
+		c.zrow[k] = 0 // exact by construction; clear rounding residue
+		for j := 0; j < nrhs; j++ {
+			dv, bv := c.dQTB[k*nrhs+j], c.brow[j]
+			c.dQTB[k*nrhs+j] = ch*dv - sbar*bv
+			c.brow[j] = ch*bv - s*dv
+		}
+	}
+	return nil
+}
+
+// dropOldest removes the oldest k rows from the retained history and their
+// weight from the represented ‖b‖². Partially-consumed batches keep their
+// tail by reslicing; the batch's backing array is released once the window
+// slides past it entirely.
+func (c *Core[T]) dropOldest(k int) {
+	n, nrhs := c.n, c.nrhs
+	for k > 0 && len(c.hist) > 0 {
+		hb := &c.hist[0]
+		drop := min(k, hb.rows)
+		if nrhs > 0 {
+			w := hb.scale * hb.scale
+			for _, v := range hb.rhs[:drop*nrhs] {
+				c.bnorm2 -= w * vec.Abs2(v)
+			}
+		}
+		if drop == hb.rows {
+			c.hist = c.hist[1:]
+		} else {
+			hb.data = hb.data[drop*n:]
+			if hb.rhs != nil {
+				hb.rhs = hb.rhs[drop*nrhs:]
+			}
+			hb.rows -= drop
+		}
+		k -= drop
+	}
+	if c.bnorm2 < 0 {
+		c.bnorm2 = 0
+	}
+}
+
+// rebuild re-triangularizes the retained history from scratch through the
+// ordinary merge DAG: the downdate fallback when hyperbolic rotations
+// break down. Each batch re-merges at its accumulated forgetting weight.
+func (c *Core[T]) rebuild(ctx context.Context) error {
+	for i := range c.res {
+		for j := range c.res[i].Data {
+			c.res[i].Data[j] = 0
+		}
+	}
+	for j := range c.qtb {
+		c.qtb[j] = 0
+	}
+	c.rows, c.resid2, c.bnorm2 = 0, 0, 0
+	for _, hb := range c.hist {
+		if hb.rows == 0 {
+			continue
+		}
+		var rhs []T
+		ldr := 0
+		if c.nrhs > 0 {
+			rhs, ldr = hb.rhs, c.nrhs
+		}
+		if err := c.merge(ctx, hb.rows, hb.data, c.n, rhs, ldr, hb.scale); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package stream
+
+import (
+	"sync"
+
+	"tiledqr/internal/tile"
+	"tiledqr/internal/vec"
+)
+
+// staging is the per-append merge scratch: the tiled copy of the in-flight
+// batch, the T factor tables and arena its merge DAG demands, and the RHS
+// staging rows. None of it outlives one merge, so it is borrowed from a
+// package-level pool shared by every stream of the same scalar domain:
+// a fleet of thousands of mostly-idle streams pays for its resident
+// triangles and windows, not for per-stream append scratch.
+type staging[T vec.Scalar] struct {
+	g      tile.Grid
+	tiles  []tile.Dense[T] // tiled batch views into arena
+	tg     [][]T           // GEQRT T factors by stacked tile index
+	t2     [][]T           // TSQRT/TTQRT T factors by stacked tile index
+	arena  []T             // backing storage for the tiled batch copy
+	tArena []T             // backing storage for the T factors
+	rhs    []T             // batch RHS staging
+}
+
+// stagingPools holds one sync.Pool per scalar domain. Package-level
+// variables cannot be generic, so the pool is picked by a type switch on
+// the zero value (mirroring the engine's workspace slotting).
+var stagingPools [4]sync.Pool
+
+func poolIdx[T vec.Scalar]() int {
+	var z T
+	switch any(z).(type) {
+	case float64:
+		return 0
+	case complex128:
+		return 1
+	case float32:
+		return 2
+	default: // complex64
+		return 3
+	}
+}
+
+func getStaging[T vec.Scalar]() *staging[T] {
+	if v := stagingPools[poolIdx[T]()].Get(); v != nil {
+		return v.(*staging[T])
+	}
+	return &staging[T]{}
+}
+
+func putStaging[T vec.Scalar](st *staging[T]) {
+	stagingPools[poolIdx[T]()].Put(st)
+}

@@ -11,6 +11,13 @@
 // generic over all four scalar domains and dispatches tasks through the
 // shared engine.Source loop — the Core's only jobs are batch staging, the
 // stacked tile addressing, and the Qᵀb/residual bookkeeping.
+//
+// Beyond pure accretion the Core supports revocation: with retention
+// enabled (Config.Window) appended batches are kept in a compact row
+// history, rows can be removed again by a hyperbolic downdate of the
+// resident triangle (see downdate.go), a sliding window evicts the oldest
+// rows automatically, and an exponential forgetting factor decays the
+// weight of old rows geometrically per append.
 package stream
 
 import (
@@ -32,17 +39,55 @@ import (
 // batch into a narrow triangle) are dominated by goroutine wake-up cost.
 const seqTaskThreshold = 64
 
+// RetainAll configures Config.Window to retain the full row history without
+// a sliding window: rows are kept (and memory grows with them) until the
+// caller removes them with Downdate.
+const RetainAll = -1
+
+// Config carries the streaming parameters beyond the column count.
+type Config struct {
+	NB, IB  int
+	Kernels core.Kernels
+	Env     engine.Env
+	Check   bool // validate batches, fail fast on breakdown
+
+	// Window selects the retention policy: 0 retains nothing (appends are
+	// irrevocable, the historical behavior), a positive value keeps a
+	// sliding window of the most recent Window rows (older rows are
+	// downdated away automatically after each append), and RetainAll keeps
+	// every row for manual Downdate calls.
+	Window int
+	// Forget is the exponential forgetting factor λ ∈ (0, 1]: before each
+	// append the resident R and Qᵀb are scaled by √λ, so a row appended k
+	// batches ago carries weight λ^(k/2). Zero (or 1) disables forgetting.
+	Forget float64
+}
+
+// histBatch is one retained row batch: a compact copy of its rows (and RHS
+// rows when the stream tracks them) plus the forgetting weight accumulated
+// since it was appended. Downdating consumes batches head-first.
+type histBatch[T vec.Scalar] struct {
+	data  []T // rows×n, stride n
+	rhs   []T // rows×nrhs, stride nrhs (nil when no RHS is tracked)
+	rows  int
+	scale float64
+}
+
 // Core is the domain-generic streaming state: the resident triangle, the
-// retained Qᵀb block, and cached merge plans keyed by batch tile height.
-// Kernel workspaces live with the executing workers (engine.WorkerWS), not
-// here. All retained storage is O(n² + batch); nothing grows with the
-// number of rows ingested, and steady-state appends of a repeated batch
-// shape reuse every buffer.
+// retained Qᵀb block, the optional row history, and cached merge plans
+// keyed by batch tile height. Kernel workspaces live with the executing
+// workers (engine.WorkerWS), and per-append staging (the tiled batch copy
+// and its T factors) is borrowed from a package-level pool shared by every
+// stream, so the idle footprint of one Core is O(n² + window): the
+// triangle, Qᵀb, solve/downdate scratch, and the retained rows.
 type Core[T vec.Scalar] struct {
 	n, nb, ib int
 	env       engine.Env
 	kernels   core.Kernels
 	check     bool // Options.CheckHealth: validate batches, fail fast on breakdown
+
+	window int     // retention policy (see Config.Window)
+	forget float64 // per-append forgetting factor λ (0 = off)
 
 	// err is the stream's sticky failure: a merge that errors, panics, or is
 	// cancelled mid-DAG leaves the resident triangle (and Qᵀb) partially
@@ -56,42 +101,55 @@ type Core[T vec.Scalar] struct {
 	qtb  []T // top n rows of Qᵀb, row-major with stride nrhs
 	nrhs int
 
-	rows   int64   // total rows ingested
-	resid2 float64 // Σ|discarded Qᵀb components|² = ‖b − A·X‖_F² so far
+	rows   int64   // rows currently represented (ingested − downdated)
+	resid2 float64 // Σ|discarded Qᵀb components|² = ‖b − A·X‖_F² of the represented system
+	bnorm2 float64 // Σ scale²·‖rhs rows‖² of the represented system
+
+	hist []histBatch[T] // retained batches, oldest first (retention only)
 
 	plans map[int]*sched.Plan // merge execution plans keyed by batch tile rows pb
 	rws   []T                 // replay scratch for the Qᵀb fold
 
-	// Grow-only staging reused across appends, bounded by the largest batch
-	// seen: the tiled batch copy, its T factors, and the RHS block. cur
-	// points at bv while a merge is in flight (the Source methods need it).
-	bv         batchView[T]
-	cur        *batchView[T]
-	arena      []T // batch tile payloads (r·n scalars)
-	tArena     []T // T-factor payloads
-	rhsScratch []T // batch RHS staging
+	// cur points at the pooled staging while a merge is in flight (the
+	// Source methods need it).
+	cur *staging[T]
 
 	rwork []T // contiguous R for back-substitution
 	xcol  []T // back-substitution column scratch
+
+	// Downdate scratch, allocated on first use: the packed triangle and Qᵀb
+	// copies rotations run on (committed only if every removal succeeds),
+	// and the row being annihilated.
+	dR, dQTB, zrow, brow []T
 }
 
-// NewCore creates the streaming state for an n-column system. env selects
-// where merge DAGs execute (shared runtime, per-call pool, or inline).
-// check enables batch input validation and the breakdown fail-fast.
-func NewCore[T vec.Scalar](n, nb, ib int, kernels core.Kernels, env engine.Env, check bool) (*Core[T], error) {
+// NewCore creates the streaming state for an n-column system. cfg.Env
+// selects where merge DAGs execute (shared runtime, per-call pool, or
+// inline).
+func NewCore[T vec.Scalar](n int, cfg Config) (*Core[T], error) {
 	if n < 1 {
 		return nil, fmt.Errorf("tiledqr: stream: need at least one column (n=%d)", n)
 	}
-	if nb < 1 || ib < 1 {
-		return nil, fmt.Errorf("tiledqr: stream: invalid nb=%d ib=%d", nb, ib)
+	if cfg.NB < 1 || cfg.IB < 1 {
+		return nil, fmt.Errorf("tiledqr: stream: invalid nb=%d ib=%d", cfg.NB, cfg.IB)
 	}
-	g := tile.NewGrid(n, n, nb)
+	if cfg.Window < RetainAll {
+		return nil, fmt.Errorf("tiledqr: stream: invalid window %d", cfg.Window)
+	}
+	if cfg.Forget != 0 && (cfg.Forget <= 0 || cfg.Forget > 1) {
+		return nil, fmt.Errorf("tiledqr: stream: forgetting factor %g outside (0, 1]", cfg.Forget)
+	}
+	if cfg.Forget == 1 {
+		cfg.Forget = 0 // λ = 1 is a no-op; skip the scaling pass entirely
+	}
+	g := tile.NewGrid(n, n, cfg.NB)
 	c := &Core[T]{
-		n: n, nb: nb, ib: ib, env: env, kernels: kernels, check: check,
+		n: n, nb: cfg.NB, ib: cfg.IB, env: cfg.Env, kernels: cfg.Kernels, check: cfg.Check,
+		window: cfg.Window, forget: cfg.Forget,
 		grid:  g,
 		res:   make([]tile.Dense[T], g.Q*g.Q),
 		plans: make(map[int]*sched.Plan),
-		rws:   make([]T, kernel.WorkLen(min(nb, n), ib)),
+		rws:   make([]T, kernel.WorkLen(min(cfg.NB, n), cfg.IB)),
 	}
 	for i := 0; i < g.Q; i++ {
 		for k := i; k < g.Q; k++ {
@@ -105,6 +163,9 @@ func NewCore[T vec.Scalar](n, nb, ib int, kernels core.Kernels, env engine.Env, 
 // N returns the column count of the streamed system.
 func (c *Core[T]) N() int { return c.n }
 
+// Window returns the retention policy (see Config.Window).
+func (c *Core[T]) Window() int { return c.window }
+
 // Err returns the stream's sticky failure (nil while healthy). Once a merge
 // errors, panics, or is cancelled mid-DAG, the retained state is partially
 // transformed: every later append and result accessor fails with this cause,
@@ -113,41 +174,38 @@ func (c *Core[T]) Err() error { return c.err }
 
 // poisoned records a failure that left retained state partially transformed.
 func (c *Core[T]) poisoned(err error) error {
-	c.err = fmt.Errorf("tiledqr: stream failed (a previous append did not complete: %w); results are unavailable and further appends are unsupported", err)
+	c.err = fmt.Errorf("tiledqr: stream failed (a previous operation did not complete: %w); results are unavailable and further appends are unsupported", err)
 	return c.err
 }
 
-// Rows returns the total number of rows ingested so far.
+// Rows returns the number of rows the resident factorization currently
+// represents: every row ingested minus every row downdated away.
 func (c *Core[T]) Rows() int64 { return c.rows }
 
 // NRHS returns the number of tracked right-hand sides (0 when none).
 func (c *Core[T]) NRHS() int { return c.nrhs }
 
-// ResidualNorm returns ‖b − A·X‖_F of the least-squares system ingested so
-// far, summed over all tracked right-hand-side columns: the norm of the
-// Qᵀb components rotated out of the retained top block. Zero when no
+// ResidualNorm returns ‖b − A·X‖_F of the least-squares system currently
+// represented, summed over all tracked right-hand-side columns: the norm of
+// the Qᵀb components rotated out of the retained top block. Zero when no
 // right-hand side is tracked.
 func (c *Core[T]) ResidualNorm() float64 { return math.Sqrt(c.resid2) }
 
-// Footprint returns the number of scalars retained across appends (resident
-// tiles, Qᵀb, workspaces, staging arenas). The memory-bound test asserts it
-// is independent of the number of rows ingested.
+// Footprint returns the number of scalars retained across appends: resident
+// tiles, Qᵀb, solve and downdate scratch, and the row history. With a
+// sliding window the total is O(n² + window); without retention it is
+// O(n²) plus nothing that grows with rows ingested (per-append staging is
+// pooled across streams, not owned here).
 func (c *Core[T]) Footprint() int {
-	total := len(c.qtb) + cap(c.arena) + cap(c.tArena) + cap(c.rhsScratch) +
-		len(c.rwork) + len(c.xcol) + len(c.rws)
+	total := len(c.qtb) + len(c.rwork) + len(c.xcol) + len(c.rws) +
+		len(c.dR) + len(c.dQTB) + len(c.zrow) + len(c.brow)
 	for i := range c.res {
 		total += len(c.res[i].Data)
 	}
+	for i := range c.hist {
+		total += len(c.hist[i].data) + len(c.hist[i].rhs)
+	}
 	return total
-}
-
-// batchView is the per-append staging: the tiled batch and the T factors of
-// its merge tasks, indexed over the stacked row space. Its slices view the
-// Core's grow-only arenas.
-type batchView[T vec.Scalar] struct {
-	g      tile.Grid
-	tiles  []tile.Dense[T]
-	tg, t2 [][]T
 }
 
 // grow returns buf resliced to n elements, reallocating only when the
@@ -159,28 +217,35 @@ func grow[S any](buf []S, n int) []S {
 	return buf[:n]
 }
 
-// tileBatch copies an r×n batch (row stride ld) into tile layout, reusing
-// the arena from previous appends.
-func (c *Core[T]) tileBatch(r int, data []T, ld int) *batchView[T] {
+// tileBatch copies an r×n batch (row stride ld), scaled by scale, into tile
+// layout in the pooled staging.
+func (c *Core[T]) tileBatch(st *staging[T], r int, data []T, ld int, scale float64) {
 	g := tile.NewGrid(r, c.n, c.nb)
-	bv := &c.bv
-	bv.g = g
-	bv.tiles = grow(bv.tiles, g.P*g.Q)
-	c.arena = grow(c.arena, r*c.n)
+	st.g = g
+	st.tiles = grow(st.tiles, g.P*g.Q)
+	st.arena = grow(st.arena, r*c.n)
+	f := vec.FromParts[T](scale, 0)
 	off := 0
 	for ti := 0; ti < g.P; ti++ {
 		for tk := 0; tk < g.Q; tk++ {
 			tr, tc := g.TileRows(ti), g.TileCols(tk)
-			t := tile.Dense[T]{Rows: tr, Cols: tc, Stride: tc, Data: c.arena[off : off+tr*tc]}
+			t := tile.Dense[T]{Rows: tr, Cols: tc, Stride: tc, Data: st.arena[off : off+tr*tc]}
 			off += tr * tc
 			r0, c0 := ti*c.nb, tk*c.nb
 			for rr := 0; rr < tr; rr++ {
-				copy(t.Data[rr*tc:rr*tc+tc], data[(r0+rr)*ld+c0:(r0+rr)*ld+c0+tc])
+				dst := t.Data[rr*tc : rr*tc+tc]
+				src := data[(r0+rr)*ld+c0 : (r0+rr)*ld+c0+tc]
+				if scale == 1 {
+					copy(dst, src)
+				} else {
+					for j := range dst {
+						dst[j] = f * src[j]
+					}
+				}
 			}
-			bv.tiles[ti*g.Q+tk] = t
+			st.tiles[ti*g.Q+tk] = t
 		}
 	}
-	return bv
 }
 
 // plan returns the cached merge execution plan for a pb-tile-row batch.
@@ -216,15 +281,15 @@ func (c *Core[T]) KCols(k int) int { return c.grid.TileCols(k - 1) }
 func (c *Core[T]) tidx(i, k int) int { return (i-1)*c.grid.Q + (k - 1) }
 
 // allocT carves the per-task T factor storage demanded by a merge DAG out
-// of the reused arena. Only batch rows ever carry factors (the resident
+// of the pooled arena. Only batch rows ever carry factors (the resident
 // triangle is never re-factored), so this is O(batch · n · ib/nb). No
 // zeroing is needed: every T position a kernel reads (the upper triangle of
 // each panel block) is written by the factor kernel of the same append
 // before any applier reads it.
-func (c *Core[T]) allocT(d *core.DAG, bv *batchView[T]) {
-	p := c.grid.Q + bv.g.P
-	bv.tg = grow(bv.tg, p*c.grid.Q)
-	bv.t2 = grow(bv.t2, p*c.grid.Q)
+func (c *Core[T]) allocT(d *core.DAG, st *staging[T]) {
+	p := c.grid.Q + st.g.P
+	st.tg = grow(st.tg, p*c.grid.Q)
+	st.t2 = grow(st.t2, p*c.grid.Q)
 	need := 0
 	for _, t := range d.Tasks {
 		switch t.Kind {
@@ -232,20 +297,20 @@ func (c *Core[T]) allocT(d *core.DAG, bv *batchView[T]) {
 			need += c.ib * c.grid.TileCols(t.K-1)
 		}
 	}
-	c.tArena = grow(c.tArena, need)
+	st.tArena = grow(st.tArena, need)
 	off := 0
 	carve := func(k int) []T {
 		n := c.ib * c.grid.TileCols(k-1)
-		s := c.tArena[off : off+n]
+		s := st.tArena[off : off+n]
 		off += n
 		return s
 	}
 	for _, t := range d.Tasks {
 		switch t.Kind {
 		case core.KGEQRT:
-			bv.tg[c.tidx(t.I, t.K)] = carve(t.K)
+			st.tg[c.tidx(t.I, t.K)] = carve(t.K)
 		case core.KTSQRT, core.KTTQRT:
-			bv.t2[c.tidx(t.I, t.K)] = carve(t.K)
+			st.t2[c.tidx(t.I, t.K)] = carve(t.K)
 		}
 	}
 }
@@ -258,6 +323,10 @@ func (c *Core[T]) allocT(d *core.DAG, bv *batchView[T]) {
 // not safe for concurrent use. A non-nil ctx cancels the merge: validation
 // failures leave the stream intact, but a cancellation (or task failure)
 // once the merge DAG is running poisons the stream permanently.
+//
+// Under a forgetting factor the resident state is decayed by √λ first;
+// with retention on, the batch is recorded in the row history, and a
+// sliding window then downdates the oldest rows beyond the window.
 func (c *Core[T]) Append(ctx context.Context, r int, data []T, ld int, rhs []T, ldr, nrhs int) error {
 	if c.err != nil {
 		return c.err
@@ -297,12 +366,38 @@ func (c *Core[T]) Append(ctx context.Context, r int, data []T, ld int, rhs []T, 
 		}
 	}
 
-	bv := c.tileBatch(r, data, ld)
-	p := c.plan(bv.g.P)
+	if c.forget > 0 {
+		c.scaleForget(c.forget)
+	}
+	if c.window != 0 {
+		c.record(r, data, ld, rhs, ldr)
+	}
+	if err := c.merge(ctx, r, data, ld, rhs, ldr, 1); err != nil {
+		// The merge DAG mutates the resident triangle in place, so any
+		// failure past this point leaves it partially transformed: poison.
+		return c.poisoned(err)
+	}
+	if c.window > 0 && c.rows > int64(c.window) {
+		return c.Downdate(ctx, int(c.rows)-c.window)
+	}
+	return nil
+}
+
+// merge is the retention-blind core of Append (shared with the rebuild
+// fallback of Downdate): tile the batch scaled by scale, execute the merge
+// DAG against the resident triangle, fold the RHS, and advance the row
+// count. The caller poisons the stream on error.
+func (c *Core[T]) merge(ctx context.Context, r int, data []T, ld int, rhs []T, ldr int, scale float64) error {
+	st := getStaging[T]()
+	defer func() {
+		c.cur = nil
+		putStaging(st)
+	}()
+	c.tileBatch(st, r, data, ld, scale)
+	p := c.plan(st.g.P)
 	d := p.DAG()
-	c.allocT(d, bv)
-	c.cur = bv
-	defer func() { c.cur = nil }()
+	c.allocT(d, st)
+	c.cur = st
 	env := c.env
 	if d.NumTasks() < seqTaskThreshold {
 		// Tiny merges are dominated by cross-goroutine wake-up cost: run
@@ -311,30 +406,95 @@ func (c *Core[T]) Append(ctx context.Context, r int, data []T, ld int, rhs []T, 
 	}
 	if _, err := engine.ExecTasks[T](c, p, env,
 		engine.RunOpts{Ctx: ctx, Check: c.check}, c.ib, len(c.rws)); err != nil {
-		// The merge DAG mutates the resident triangle in place, so any
-		// failure past this point leaves it partially transformed: poison.
-		return c.poisoned(err)
+		return err
 	}
 	if c.nrhs > 0 {
-		if err := c.applyRHS(ctx, d, r, rhs, ldr); err != nil {
-			return c.poisoned(err)
+		if err := c.applyRHS(ctx, d, r, rhs, ldr, scale); err != nil {
+			return err
 		}
 	}
 	c.rows += int64(r)
 	return nil
 }
 
+// record appends a compact copy of the batch (and its RHS rows) to the row
+// history at full weight.
+func (c *Core[T]) record(r int, data []T, ld int, rhs []T, ldr int) {
+	hb := histBatch[T]{rows: r, scale: 1, data: make([]T, r*c.n)}
+	for i := 0; i < r; i++ {
+		copy(hb.data[i*c.n:(i+1)*c.n], data[i*ld:i*ld+c.n])
+	}
+	if rhs != nil {
+		nrhs := c.nrhs
+		hb.rhs = make([]T, r*nrhs)
+		for i := 0; i < r; i++ {
+			copy(hb.rhs[i*nrhs:(i+1)*nrhs], rhs[i*ldr:i*ldr+nrhs])
+		}
+	}
+	c.hist = append(c.hist, hb)
+}
+
+// scaleForget decays the represented system by the forgetting factor λ:
+// the resident triangle and Qᵀb scale by √λ (so the implicit rows do too),
+// the squared norms by λ, and every retained batch's weight by √λ.
+func (c *Core[T]) scaleForget(lambda float64) {
+	s := math.Sqrt(lambda)
+	f := vec.FromParts[T](s, 0)
+	for i := range c.res {
+		for j := range c.res[i].Data {
+			c.res[i].Data[j] *= f
+		}
+	}
+	for j := range c.qtb {
+		c.qtb[j] *= f
+	}
+	c.resid2 *= lambda
+	c.bnorm2 *= lambda
+	for i := range c.hist {
+		c.hist[i].scale *= s
+	}
+}
+
+// Forget applies one decay step with factor lambda ∈ (0, 1] immediately —
+// the manual form of Config.Forget (which decays before every append).
+// lambda = 1 is a no-op.
+func (c *Core[T]) Forget(lambda float64) error {
+	if c.err != nil {
+		return c.err
+	}
+	if lambda <= 0 || lambda > 1 {
+		return fmt.Errorf("tiledqr: stream: forgetting factor %g outside (0, 1]", lambda)
+	}
+	if lambda != 1 {
+		c.scaleForget(lambda)
+	}
+	return nil
+}
+
 // applyRHS replays the merge transformations over the stacked right-hand
-// side [qtb; batch rhs] via the shared engine.Replay (task IDs are
+// side [qtb; scale·(batch rhs)] via the shared engine.Replay (task IDs are
 // topological). The batch rows' leftover components are exactly the Qᵀb
 // coordinates orthogonal to the retained top block; their squared norm
-// accumulates into the running least-squares residual.
-func (c *Core[T]) applyRHS(ctx context.Context, d *core.DAG, r int, rhs []T, ldr int) error {
+// accumulates into the running least-squares residual, and the incoming
+// rows' squared norm into the represented ‖b‖².
+func (c *Core[T]) applyRHS(ctx context.Context, d *core.DAG, r int, rhs []T, ldr int, scale float64) error {
 	nrhs := c.nrhs
-	c.rhsScratch = grow(c.rhsScratch, r*nrhs)
-	scratch := c.rhsScratch
+	c.cur.rhs = grow(c.cur.rhs, r*nrhs)
+	scratch := c.cur.rhs
+	f := vec.FromParts[T](scale, 0)
 	for i := 0; i < r; i++ {
-		copy(scratch[i*nrhs:i*nrhs+nrhs], rhs[i*ldr:i*ldr+nrhs])
+		dst := scratch[i*nrhs : i*nrhs+nrhs]
+		src := rhs[i*ldr : i*ldr+nrhs]
+		if scale == 1 {
+			copy(dst, src)
+		} else {
+			for j := range dst {
+				dst[j] = f * src[j]
+			}
+		}
+	}
+	for _, v := range scratch {
+		c.bnorm2 += vec.Abs2(v)
 	}
 	// row returns the stacked RHS rows of tile row i.
 	row := func(i int) ([]T, int) {
@@ -373,6 +533,27 @@ func (c *Core[T]) CopyR(dst []T, ld int) {
 	}
 }
 
+// scatterR writes the upper triangle of src (n×n, row stride ld) back into
+// the resident tiles — the inverse of CopyR, used to commit a successful
+// downdate. The zero lower parts of diagonal tiles are left untouched.
+func (c *Core[T]) scatterR(src []T, ld int) {
+	q, nb := c.grid.Q, c.nb
+	for ti := 0; ti < q; ti++ {
+		for tk := ti; tk < q; tk++ {
+			t := &c.res[ti*q+tk]
+			r0, c0 := ti*nb, tk*nb
+			for rr := 0; rr < t.Rows; rr++ {
+				start := 0
+				if ti == tk {
+					start = rr
+				}
+				copy(t.Data[rr*t.Stride+start:rr*t.Stride+t.Cols],
+					src[(r0+rr)*ld+c0+start:(r0+rr)*ld+c0+t.Cols])
+			}
+		}
+	}
+}
+
 // CopyQTB writes the retained top n rows of Qᵀb into dst (n×nrhs, row
 // stride ld ≥ nrhs).
 func (c *Core[T]) CopyQTB(dst []T, ld int) {
@@ -391,7 +572,7 @@ func (c *Core[T]) SolveLS(x []T, ldx int) error {
 		return fmt.Errorf("tiledqr: SolveLS: stream tracks no right-hand side (ingest batches with AppendRHS)")
 	}
 	if c.rows < int64(c.n) {
-		return fmt.Errorf("tiledqr: SolveLS: needs at least n = %d ingested rows (have %d)", c.n, c.rows)
+		return fmt.Errorf("tiledqr: SolveLS: needs at least n = %d represented rows (have %d)", c.n, c.rows)
 	}
 	if c.rwork == nil {
 		c.rwork = make([]T, c.n*c.n)

@@ -171,7 +171,29 @@ type Options struct {
 	// flow downstream. Off by default — the happy path pays nothing for the
 	// feature.
 	CheckHealth bool
+
+	// WindowRows selects a stream's retention policy. Zero (the default)
+	// retains nothing: appends are irrevocable and memory stays O(n² +
+	// batch). A positive value keeps a sliding window: after each append the
+	// stream downdates itself back to the most recent WindowRows rows, in
+	// O(n² + window) memory. RetainAll keeps every appended row for manual
+	// DowndateRows calls — memory then grows with the retained history.
+	// Streams only; one-shot factorizations reject a nonzero value.
+	WindowRows int
+
+	// Forget is a stream's exponential forgetting factor λ ∈ (0, 1]: before
+	// each append the resident R and Qᵀb are scaled by √λ, so a row
+	// appended k batches ago contributes with weight λᵏ to RᵀR. Zero (the
+	// default) and 1 disable forgetting. Forgetting needs no retention —
+	// it combines with any WindowRows setting. Streams only; one-shot
+	// factorizations reject a nonzero value.
+	Forget float64
 }
+
+// RetainAll is the WindowRows value that retains the full row history
+// without a sliding window: every appended row stays revocable via
+// DowndateRows, and memory grows with the rows retained.
+const RetainAll = -1
 
 // WithRuntime returns a copy of the options that executes on rt. It is
 // shorthand for setting the Runtime field, convenient in call chains:
@@ -224,6 +246,25 @@ func (o Options) validate(p int) error {
 	}
 	if (o.Algorithm == PlasmaTree || o.Algorithm == HadriTree) && (o.BS < 1 || o.BS > p) {
 		return fmt.Errorf("tiledqr: %v needs 1 ≤ BS ≤ p (BS=%d, p=%d)", o.Algorithm, o.BS, p)
+	}
+	if o.WindowRows != 0 || o.Forget != 0 {
+		return fmt.Errorf("tiledqr: WindowRows (%d) and Forget (%g) apply to streams (NewStreamOf and the per-precision stream constructors), not one-shot factorizations",
+			o.WindowRows, o.Forget)
+	}
+	return nil
+}
+
+// validateStream checks the stream-only option constraints; every stream
+// constructor runs it before building the reduction core, so a bad knob is
+// a descriptive construction error rather than a surprise later.
+func (o Options) validateStream() error {
+	if o.WindowRows < 0 && o.WindowRows != RetainAll {
+		return fmt.Errorf("tiledqr: WindowRows (%d) must be positive (sliding window), zero (no retention) or RetainAll (keep the full history for manual DowndateRows)",
+			o.WindowRows)
+	}
+	if o.Forget != 0 && (o.Forget <= 0 || o.Forget > 1) {
+		return fmt.Errorf("tiledqr: Forget (%g) must lie in (0, 1]: it is the exponential forgetting factor λ scaling past rows' weight per append (0 disables forgetting)",
+			o.Forget)
 	}
 	return nil
 }

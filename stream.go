@@ -12,11 +12,14 @@ import (
 )
 
 // newStreamCore applies defaults and validation and builds the generic
-// streaming reduction core — the single code path behind NewStream,
-// NewStream32, NewCStream and NewZStream. Merge DAGs execute under the
-// same placement policy as Factor: the shared default runtime unless
+// streaming reduction core — the single code path behind NewStreamOf and
+// the per-precision constructors. Merge DAGs execute under the same
+// placement policy as Factor: the shared default runtime unless
 // Options.Runtime or Options.Workers says otherwise.
 func newStreamCore[T vec.Scalar](n int, opt Options) (*stream.Core[T], error) {
+	if err := opt.validateStream(); err != nil {
+		return nil, err
+	}
 	// AlgorithmAuto picks the tile shape for streams too: the per-column
 	// merge tree is structurally fixed (binary), so the tuner only chooses
 	// nb/ib — by estimated merge throughput at the stream's width — while
@@ -42,12 +45,19 @@ func newStreamCore[T vec.Scalar](n int, opt Options) (*stream.Core[T], error) {
 	if err := opt.validateSizes(); err != nil {
 		return nil, err
 	}
-	return stream.NewCore[T](n, opt.TileSize, opt.InnerBlock,
-		opt.Kernels.core(), opt.execEnv(), opt.CheckHealth)
+	return stream.NewCore[T](n, stream.Config{
+		NB:      opt.TileSize,
+		IB:      opt.InnerBlock,
+		Kernels: opt.Kernels.core(),
+		Env:     opt.execEnv(),
+		Check:   opt.CheckHealth,
+		Window:  opt.WindowRows,
+		Forget:  opt.Forget,
+	})
 }
 
 // errEmptyBatch and errNilRHS are the shape errors shared by every
-// precision's stream wrapper.
+// stream instantiation.
 var (
 	errEmptyBatch = errors.New("tiledqr: stream: batch must have at least one row")
 	errNilRHS     = errors.New("tiledqr: stream: AppendRHS needs a non-nil right-hand side (use AppendRows)")
@@ -55,7 +65,7 @@ var (
 
 // streamAppend validates and funnels one batch (with or without a
 // right-hand side) into the generic reduction core — the single body
-// behind every precision's AppendRows/AppendRHS and their Ctx variants.
+// behind AppendRows/AppendRHS and their Ctx variants.
 func streamAppend[T vec.Scalar](ctx context.Context, c *stream.Core[T], batch, rhs *tile.Dense[T], withRHS bool) error {
 	if err := c.Err(); err != nil {
 		return err
@@ -78,12 +88,12 @@ func streamAppend[T vec.Scalar](ctx context.Context, c *stream.Core[T], batch, r
 	return c.Append(ctx, batch.Rows, batch.Data, batch.Stride, rhs.Data, rhs.Stride, rhs.Cols)
 }
 
-// StreamQR is an incremental (streaming) tiled QR factorization: rows
-// arrive in batches and only the n×n upper triangular factor R — plus,
-// optionally, the top n rows of Qᵀb for online least squares — is retained.
-// Memory stays O(n² + batch) no matter how many rows are ingested, so a
-// StreamQR can absorb millions of observations that would never fit as one
-// matrix.
+// Stream is an incremental (streaming) tiled QR factorization over any
+// supported scalar domain: rows arrive in batches and only the n×n upper
+// triangular factor R — plus, optionally, the top n rows of Qᵀb for online
+// least squares — is retained. Without retention, memory stays O(n² +
+// batch) no matter how many rows are ingested, so a Stream can absorb
+// millions of observations that would never fit as one matrix.
 //
 // Each batch is tiled, panel-factored with GEQRT, and merged into the
 // resident triangle with the paper's triangle-on-triangle kernels — the
@@ -92,53 +102,94 @@ func streamAppend[T vec.Scalar](ctx context.Context, c *stream.Core[T], batch, r
 // with critical-path priorities, so batches spanning several tile rows
 // reduce in parallel.
 //
-// Options.TileSize, InnerBlock, Workers and Kernels are honored;
-// Algorithm and BS are ignored (the per-column reduction tree of a
-// streaming merge is a binary tree, the optimal shape for single-column
-// reductions). StreamQR is not safe for concurrent use. Its precision
-// siblings ZStreamQR (complex128), StreamQR32 (float32) and CStreamQR
-// (complex64) instantiate the same generic core.
-type StreamQR struct {
-	c *stream.Core[float64]
+// Streams can also unlearn. With Options.WindowRows set, appended rows are
+// retained (compactly, outside the triangle) and can be removed again:
+// DowndateRows revokes the oldest k rows, a positive window evicts
+// automatically so the stream always represents the most recent WindowRows
+// rows in O(n² + window) memory, and Options.Forget decays old rows'
+// weight geometrically per append. Downdating runs hyperbolic rotations
+// against the resident triangle and falls back to re-triangularizing the
+// retained batches through the ordinary merge path when that is unstable.
+//
+// Options.TileSize, InnerBlock, Workers, Kernels, WindowRows and Forget
+// are honored; Algorithm and BS are ignored (the per-column reduction tree
+// of a streaming merge is a binary tree, the optimal shape for
+// single-column reductions). A Stream is not safe for concurrent use.
+//
+// The named types StreamQR (float64), ZStreamQR (complex128), StreamQR32
+// (float32) and CStreamQR (complex64) are aliases of the four
+// instantiations, kept for compatibility; new code can use Stream[T] and
+// NewStreamOf directly.
+type Stream[T Scalar] struct {
+	c *stream.Core[T]
 }
 
-// NewStream creates a streaming factorization for rows with n columns.
-// The triangle starts at zero: a StreamQR with no ingested rows represents
-// the QR factorization of an empty (0×n) matrix.
-func NewStream(n int, opt Options) (*StreamQR, error) {
-	c, err := newStreamCore[float64](n, opt)
+// NewStreamOf creates a streaming factorization for rows with n columns in
+// the scalar domain T. The triangle starts at zero: a Stream with no
+// ingested rows represents the QR factorization of an empty (0×n) matrix.
+func NewStreamOf[T Scalar](n int, opt Options) (*Stream[T], error) {
+	c, err := newStreamCore[T](n, opt)
 	if err != nil {
 		return nil, err
 	}
-	return &StreamQR{c: c}, nil
+	return &Stream[T]{c: c}, nil
 }
 
 // AppendRows merges a batch of rows (r×n, any r ≥ 1) into the resident
 // triangle. The batch is not modified. Returns an error if the stream
 // tracks right-hand sides (use AppendRHS so Qᵀb stays consistent).
-func (s *StreamQR) AppendRows(batch *Dense) error {
-	return streamAppend(nil, s.c, (*tile.Dense[float64])(batch), nil, false)
+func (s *Stream[T]) AppendRows(batch *Mat[T]) error {
+	return streamAppend(nil, s.c, (*tile.Dense[T])(batch), nil, false)
 }
 
 // AppendRowsCtx is AppendRows under a cancellation context: a merge
 // cancelled mid-DAG leaves the resident triangle partially transformed, so
 // the stream fails permanently (see Err). A nil ctx behaves like AppendRows.
-func (s *StreamQR) AppendRowsCtx(ctx context.Context, batch *Dense) error {
-	return streamAppend(ctx, s.c, (*tile.Dense[float64])(batch), nil, false)
+func (s *Stream[T]) AppendRowsCtx(ctx context.Context, batch *Mat[T]) error {
+	return streamAppend(ctx, s.c, (*tile.Dense[T])(batch), nil, false)
 }
 
 // AppendRHS merges a batch of rows together with the matching right-hand
 // side rows (r×nrhs), maintaining the top n rows of Qᵀb for SolveLS.
 // Right-hand sides must be supplied from the first batch onwards and keep
 // the same column count; neither argument is modified.
-func (s *StreamQR) AppendRHS(batch, rhs *Dense) error {
-	return streamAppend(nil, s.c, (*tile.Dense[float64])(batch), (*tile.Dense[float64])(rhs), true)
+func (s *Stream[T]) AppendRHS(batch, rhs *Mat[T]) error {
+	return streamAppend(nil, s.c, (*tile.Dense[T])(batch), (*tile.Dense[T])(rhs), true)
 }
 
 // AppendRHSCtx is AppendRHS under a cancellation context (see
 // AppendRowsCtx).
-func (s *StreamQR) AppendRHSCtx(ctx context.Context, batch, rhs *Dense) error {
-	return streamAppend(ctx, s.c, (*tile.Dense[float64])(batch), (*tile.Dense[float64])(rhs), true)
+func (s *Stream[T]) AppendRHSCtx(ctx context.Context, batch, rhs *Mat[T]) error {
+	return streamAppend(ctx, s.c, (*tile.Dense[T])(batch), (*tile.Dense[T])(rhs), true)
+}
+
+// DowndateRows removes the oldest k rows from the represented system — the
+// inverse of appending them. It requires retention: construct the stream
+// with Options.WindowRows set to a positive window or RetainAll. The
+// resident triangle (and Qᵀb) are downdated with hyperbolic rotations;
+// when a rotation would be unstable the stream re-triangularizes the
+// retained rows through the ordinary merge path instead, so a successful
+// DowndateRows always leaves the stream exactly representing the remaining
+// rows. Validation failures leave the stream untouched.
+func (s *Stream[T]) DowndateRows(k int) error {
+	return s.c.Downdate(nil, k)
+}
+
+// DowndateRowsCtx is DowndateRows under a cancellation context. The
+// context only matters on the re-triangularization fallback, where a
+// cancellation mid-merge poisons the stream (see Err); the hyperbolic fast
+// path is not cancellable.
+func (s *Stream[T]) DowndateRowsCtx(ctx context.Context, k int) error {
+	return s.c.Downdate(ctx, k)
+}
+
+// Forget applies one exponential-forgetting step immediately: the
+// represented system is scaled so every past row's weight decays by
+// √lambda (its contribution to RᵀR by lambda), with lambda ∈ (0, 1].
+// This is the manual form of Options.Forget, which applies the same decay
+// before every append; lambda = 1 is a no-op.
+func (s *Stream[T]) Forget(lambda float64) error {
+	return s.c.Forget(lambda)
 }
 
 // Err returns the stream's sticky failure: nil while the stream is healthy,
@@ -146,65 +197,84 @@ func (s *StreamQR) AppendRHSCtx(ctx context.Context, batch, rhs *Dense) error {
 // mid-merge. A failed stream's retained state is partially transformed, so
 // every accessor and later append returns this error; further appends are
 // unsupported — replace the stream.
-func (s *StreamQR) Err() error { return s.c.Err() }
+func (s *Stream[T]) Err() error { return s.c.Err() }
 
-// R returns the n×n upper triangular factor of all rows ingested so far.
+// R returns the n×n upper triangular factor of the rows currently
+// represented (ingested minus downdated, with forgetting weights applied).
 // It equals (up to row signs) the R of a one-shot Factor over the same
-// rows. After a failed append, R returns the append's original error.
-func (s *StreamQR) R() (*Dense, error) {
+// weighted rows. After a failure, R returns the original error.
+func (s *Stream[T]) R() (*Mat[T], error) {
 	if err := s.c.Err(); err != nil {
 		return nil, err
 	}
 	n := s.c.N()
-	r := NewDense(n, n)
+	r := NewMat[T](n, n)
 	s.c.CopyR(r.Data, r.Stride)
 	return r, nil
 }
 
 // QTB returns the retained top n rows of Qᵀb (n×nrhs), or nil when the
-// stream tracks no right-hand side. After a failed append, QTB returns the
-// append's original error.
-func (s *StreamQR) QTB() (*Dense, error) {
+// stream tracks no right-hand side. After a failure, QTB returns the
+// original error.
+func (s *Stream[T]) QTB() (*Mat[T], error) {
 	if err := s.c.Err(); err != nil {
 		return nil, err
 	}
 	if s.c.NRHS() == 0 {
 		return nil, nil
 	}
-	q := NewDense(s.c.N(), s.c.NRHS())
+	q := NewMat[T](s.c.N(), s.c.NRHS())
 	s.c.CopyQTB(q.Data, q.Stride)
 	return q, nil
 }
 
-// SolveLS returns the n×nrhs least-squares solution min‖A·x − b‖₂ over
-// every row ingested so far, without ever having materialized A or b.
-// Requires right-hand-side tracking and at least n ingested rows.
-func (s *StreamQR) SolveLS() (*Dense, error) {
-	x := NewDense(s.c.N(), max(s.c.NRHS(), 1))
+// SolveLS returns the n×nrhs least-squares solution min‖A·x − b‖₂ over the
+// rows currently represented, without ever having materialized A or b.
+// Requires right-hand-side tracking and at least n represented rows.
+func (s *Stream[T]) SolveLS() (*Mat[T], error) {
+	x := NewMat[T](s.c.N(), max(s.c.NRHS(), 1))
 	if err := s.c.SolveLS(x.Data, x.Stride); err != nil {
 		return nil, err
 	}
 	return x, nil
 }
 
-// Rows returns the total number of rows ingested.
-func (s *StreamQR) Rows() int64 { return s.c.Rows() }
+// Rows returns the number of rows the stream currently represents: every
+// row ingested minus every row downdated away.
+func (s *Stream[T]) Rows() int64 { return s.c.Rows() }
 
 // N returns the column count of the streamed system.
-func (s *StreamQR) N() int { return s.c.N() }
+func (s *Stream[T]) N() int { return s.c.N() }
 
-// ResidualNorm returns the running least-squares residual of the ingested
-// system: ‖b − A·X‖_F over all tracked right-hand-side columns (0 when no
-// RHS is tracked). The components of Qᵀb rotated beyond the retained top
-// block accumulate here instead of being stored. After a failed append,
-// ResidualNorm returns the append's original error.
-func (s *StreamQR) ResidualNorm() (float64, error) {
+// ResidualNorm returns the running least-squares residual of the
+// represented system: ‖b − A·X‖_F over all tracked right-hand-side columns
+// (0 when no RHS is tracked). The components of Qᵀb rotated beyond the
+// retained top block accumulate here instead of being stored. After a
+// failure, ResidualNorm returns the original error.
+func (s *Stream[T]) ResidualNorm() (float64, error) {
 	if err := s.c.Err(); err != nil {
 		return 0, err
 	}
 	return s.c.ResidualNorm(), nil
 }
 
-// Footprint returns the number of float64 values retained across appends —
-// the O(n² + batch) bound made observable for tests and capacity planning.
-func (s *StreamQR) Footprint() int { return s.c.Footprint() }
+// Footprint returns the number of scalars retained across appends — the
+// O(n² + window) bound made observable for tests and capacity planning.
+// Per-append staging is pooled across all streams of a domain and is not
+// counted; with retention, the compact row history is.
+func (s *Stream[T]) Footprint() int { return s.c.Footprint() }
+
+// StreamQR is the float64 stream instantiation — an alias of
+// Stream[float64], kept for compatibility with the original per-precision
+// API.
+//
+// Deprecated: use Stream[float64] (or keep using this alias; they are the
+// same type). New stream capabilities land on the generic Stream.
+type StreamQR = Stream[float64]
+
+// NewStream creates a float64 streaming factorization for rows with n
+// columns. The triangle starts at zero: a stream with no ingested rows
+// represents the QR factorization of an empty (0×n) matrix.
+func NewStream(n int, opt Options) (*StreamQR, error) {
+	return NewStreamOf[float64](n, opt)
+}

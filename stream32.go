@@ -1,110 +1,16 @@
 package tiledqr
 
-import (
-	"context"
-
-	"tiledqr/internal/stream"
-	"tiledqr/internal/tile"
-)
-
-// StreamQR32 is the float32 instantiation of the streaming TSQR core: half
-// the resident-state memory and memory traffic of StreamQR, at
-// single-precision accuracy (~1e-6 relative). See StreamQR for the
-// algorithm, option and failure semantics.
-type StreamQR32 struct {
-	c *stream.Core[float32]
-}
+// StreamQR32 is the float32 stream instantiation — an alias of
+// Stream[float32]: half the resident-state memory and memory traffic of
+// StreamQR, at single-precision accuracy (~1e-6 relative). See Stream for
+// the algorithm, windowing, option and failure semantics.
+//
+// Deprecated: use Stream[float32] (or keep using this alias; they are the
+// same type). New stream capabilities land on the generic Stream.
+type StreamQR32 = Stream[float32]
 
 // NewStream32 creates a float32 streaming factorization for rows with n
 // columns.
 func NewStream32(n int, opt Options) (*StreamQR32, error) {
-	c, err := newStreamCore[float32](n, opt)
-	if err != nil {
-		return nil, err
-	}
-	return &StreamQR32{c: c}, nil
+	return NewStreamOf[float32](n, opt)
 }
-
-// AppendRows merges a batch of rows (r×n, any r ≥ 1) into the resident
-// triangle. The batch is not modified.
-func (s *StreamQR32) AppendRows(batch *Dense32) error {
-	return streamAppend(nil, s.c, (*tile.Dense[float32])(batch), nil, false)
-}
-
-// AppendRowsCtx is AppendRows under a cancellation context (see
-// StreamQR.AppendRowsCtx).
-func (s *StreamQR32) AppendRowsCtx(ctx context.Context, batch *Dense32) error {
-	return streamAppend(ctx, s.c, (*tile.Dense[float32])(batch), nil, false)
-}
-
-// AppendRHS merges a batch of rows together with the matching right-hand
-// side rows, maintaining the top n rows of Qᵀb for SolveLS.
-func (s *StreamQR32) AppendRHS(batch, rhs *Dense32) error {
-	return streamAppend(nil, s.c, (*tile.Dense[float32])(batch), (*tile.Dense[float32])(rhs), true)
-}
-
-// AppendRHSCtx is AppendRHS under a cancellation context (see
-// StreamQR.AppendRowsCtx).
-func (s *StreamQR32) AppendRHSCtx(ctx context.Context, batch, rhs *Dense32) error {
-	return streamAppend(ctx, s.c, (*tile.Dense[float32])(batch), (*tile.Dense[float32])(rhs), true)
-}
-
-// Err returns the stream's sticky failure (see StreamQR.Err).
-func (s *StreamQR32) Err() error { return s.c.Err() }
-
-// R returns the n×n upper triangular factor of all rows ingested so far.
-// After a failed append, R returns the append's original error.
-func (s *StreamQR32) R() (*Dense32, error) {
-	if err := s.c.Err(); err != nil {
-		return nil, err
-	}
-	n := s.c.N()
-	r := NewDense32(n, n)
-	s.c.CopyR(r.Data, r.Stride)
-	return r, nil
-}
-
-// QTB returns the retained top n rows of Qᵀb (n×nrhs), or nil when the
-// stream tracks no right-hand side. After a failed append, QTB returns the
-// append's original error.
-func (s *StreamQR32) QTB() (*Dense32, error) {
-	if err := s.c.Err(); err != nil {
-		return nil, err
-	}
-	if s.c.NRHS() == 0 {
-		return nil, nil
-	}
-	q := NewDense32(s.c.N(), s.c.NRHS())
-	s.c.CopyQTB(q.Data, q.Stride)
-	return q, nil
-}
-
-// SolveLS returns the n×nrhs least-squares solution over every row
-// ingested so far. Requires right-hand-side tracking and at least n
-// ingested rows.
-func (s *StreamQR32) SolveLS() (*Dense32, error) {
-	x := NewDense32(s.c.N(), max(s.c.NRHS(), 1))
-	if err := s.c.SolveLS(x.Data, x.Stride); err != nil {
-		return nil, err
-	}
-	return x, nil
-}
-
-// Rows returns the total number of rows ingested.
-func (s *StreamQR32) Rows() int64 { return s.c.Rows() }
-
-// N returns the column count of the streamed system.
-func (s *StreamQR32) N() int { return s.c.N() }
-
-// ResidualNorm returns the running least-squares residual ‖b − A·X‖_F over
-// all tracked right-hand-side columns (0 when no RHS is tracked). After a
-// failed append, ResidualNorm returns the append's original error.
-func (s *StreamQR32) ResidualNorm() (float64, error) {
-	if err := s.c.Err(); err != nil {
-		return 0, err
-	}
-	return s.c.ResidualNorm(), nil
-}
-
-// Footprint returns the number of float32 values retained across appends.
-func (s *StreamQR32) Footprint() int { return s.c.Footprint() }

@@ -1,112 +1,16 @@
 package tiledqr
 
-import (
-	"context"
-
-	"tiledqr/internal/stream"
-	"tiledqr/internal/tile"
-)
-
-// ZStreamQR is the complex128 instantiation of the streaming TSQR core: an
-// incremental tiled QR over row batches that retains only the n×n upper
-// triangular factor (and optionally the top n rows of Qᴴb) in O(n² + batch)
-// memory. See StreamQR for the algorithm, option and failure semantics.
-type ZStreamQR struct {
-	c *stream.Core[complex128]
-}
+// ZStreamQR is the complex128 stream instantiation — an alias of
+// Stream[complex128]. It retains the n×n upper triangular factor (and
+// optionally the top n rows of Qᴴb). See Stream for the algorithm,
+// windowing, option and failure semantics.
+//
+// Deprecated: use Stream[complex128] (or keep using this alias; they are
+// the same type). New stream capabilities land on the generic Stream.
+type ZStreamQR = Stream[complex128]
 
 // NewZStream creates a complex streaming factorization for rows with n
 // columns.
 func NewZStream(n int, opt Options) (*ZStreamQR, error) {
-	c, err := newStreamCore[complex128](n, opt)
-	if err != nil {
-		return nil, err
-	}
-	return &ZStreamQR{c: c}, nil
+	return NewStreamOf[complex128](n, opt)
 }
-
-// AppendRows merges a batch of rows (r×n, any r ≥ 1) into the resident
-// triangle. The batch is not modified.
-func (s *ZStreamQR) AppendRows(batch *ZDense) error {
-	return streamAppend(nil, s.c, (*tile.Dense[complex128])(batch), nil, false)
-}
-
-// AppendRowsCtx is AppendRows under a cancellation context (see
-// StreamQR.AppendRowsCtx).
-func (s *ZStreamQR) AppendRowsCtx(ctx context.Context, batch *ZDense) error {
-	return streamAppend(ctx, s.c, (*tile.Dense[complex128])(batch), nil, false)
-}
-
-// AppendRHS merges a batch of rows together with the matching right-hand
-// side rows, maintaining the top n rows of Qᴴb for SolveLS. Right-hand
-// sides must be supplied from the first batch onwards.
-func (s *ZStreamQR) AppendRHS(batch, rhs *ZDense) error {
-	return streamAppend(nil, s.c, (*tile.Dense[complex128])(batch), (*tile.Dense[complex128])(rhs), true)
-}
-
-// AppendRHSCtx is AppendRHS under a cancellation context (see
-// StreamQR.AppendRowsCtx).
-func (s *ZStreamQR) AppendRHSCtx(ctx context.Context, batch, rhs *ZDense) error {
-	return streamAppend(ctx, s.c, (*tile.Dense[complex128])(batch), (*tile.Dense[complex128])(rhs), true)
-}
-
-// Err returns the stream's sticky failure (see StreamQR.Err).
-func (s *ZStreamQR) Err() error { return s.c.Err() }
-
-// R returns the n×n upper triangular factor of all rows ingested so far.
-// After a failed append, R returns the append's original error.
-func (s *ZStreamQR) R() (*ZDense, error) {
-	if err := s.c.Err(); err != nil {
-		return nil, err
-	}
-	n := s.c.N()
-	r := NewZDense(n, n)
-	s.c.CopyR(r.Data, r.Stride)
-	return r, nil
-}
-
-// QTB returns the retained top n rows of Qᴴb (n×nrhs), or nil when the
-// stream tracks no right-hand side. After a failed append, QTB returns the
-// append's original error.
-func (s *ZStreamQR) QTB() (*ZDense, error) {
-	if err := s.c.Err(); err != nil {
-		return nil, err
-	}
-	if s.c.NRHS() == 0 {
-		return nil, nil
-	}
-	q := NewZDense(s.c.N(), s.c.NRHS())
-	s.c.CopyQTB(q.Data, q.Stride)
-	return q, nil
-}
-
-// SolveLS returns the n×nrhs least-squares solution min‖A·x − b‖₂ over
-// every row ingested so far. Requires right-hand-side tracking and at
-// least n ingested rows.
-func (s *ZStreamQR) SolveLS() (*ZDense, error) {
-	x := NewZDense(s.c.N(), max(s.c.NRHS(), 1))
-	if err := s.c.SolveLS(x.Data, x.Stride); err != nil {
-		return nil, err
-	}
-	return x, nil
-}
-
-// Rows returns the total number of rows ingested.
-func (s *ZStreamQR) Rows() int64 { return s.c.Rows() }
-
-// N returns the column count of the streamed system.
-func (s *ZStreamQR) N() int { return s.c.N() }
-
-// ResidualNorm returns the running least-squares residual ‖b − A·X‖_F over
-// all tracked right-hand-side columns (0 when no RHS is tracked). After a
-// failed append, ResidualNorm returns the append's original error.
-func (s *ZStreamQR) ResidualNorm() (float64, error) {
-	if err := s.c.Err(); err != nil {
-		return 0, err
-	}
-	return s.c.ResidualNorm(), nil
-}
-
-// Footprint returns the number of complex128 values retained across
-// appends — the O(n² + batch) bound made observable.
-func (s *ZStreamQR) Footprint() int { return s.c.Footprint() }
